@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the compressed graph representation: encoding
+//! (sequential vs parallel single-pass) and on-the-fly neighbourhood decoding vs the
+//! uncompressed CSR (the claim of paper §III that decoding runs at near-CSR speed).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::builder::compress_csr_parallel;
+use graph::traits::Graph;
+use graph::{gen, CompressedGraph, CompressionConfig};
+
+fn bench_compression(c: &mut Criterion) {
+    let graph = gen::weblike(14, 12, 9);
+    let mut group = c.benchmark_group("compress");
+    group.bench_function("sequential", |b| {
+        b.iter(|| CompressedGraph::from_csr(&graph, &CompressionConfig::default()));
+    });
+    for threads in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| compress_csr_parallel(&graph, &CompressionConfig::default(), t));
+        });
+    }
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let csr = gen::weblike(14, 12, 10);
+    let compressed = CompressedGraph::from_csr(&csr, &CompressionConfig::default());
+    let mut group = c.benchmark_group("traverse_all_edges");
+    group.bench_function("csr", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for u in 0..csr.n() as u32 {
+                csr.for_each_neighbor(u, &mut |v, w| total += u64::from(v) + w);
+            }
+            total
+        });
+    });
+    group.bench_function("compressed", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for u in 0..compressed.n() as u32 {
+                compressed.for_each_neighbor(u, &mut |v, w| total += u64::from(v) + w);
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression, bench_traversal);
+criterion_main!(benches);

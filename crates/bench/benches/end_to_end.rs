@@ -1,0 +1,28 @@
+//! Criterion end-to-end benchmarks: the full configuration ladder (KaMinPar -> TeraPart)
+//! on a representative instance — the per-run counterpart of Figures 1 and 4.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::gen;
+use terapart::{partition_csr, PartitionerConfig};
+
+fn bench_config_ladder(c: &mut Criterion) {
+    let graph = gen::rgg2d(12_000, 16, 3);
+    let mut group = c.benchmark_group("end_to_end_k16");
+    group.sample_size(10);
+    let ladder: Vec<(&str, PartitionerConfig)> = vec![
+        ("kaminpar", PartitionerConfig::kaminpar(16)),
+        ("two_phase_lp", PartitionerConfig::kaminpar_two_phase_lp(16)),
+        ("compressed", PartitionerConfig::kaminpar_compressed(16)),
+        ("terapart", PartitionerConfig::terapart(16)),
+        ("terapart_fm", PartitionerConfig::terapart_fm(16)),
+    ];
+    for (name, config) in ladder {
+        let config = config.with_threads(2);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| partition_csr(&graph, config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_config_ladder);
+criterion_main!(benches);

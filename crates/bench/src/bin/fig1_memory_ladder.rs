@@ -1,0 +1,31 @@
+//! Figure 1: peak memory as the TeraPart optimizations are enabled one after another.
+//!
+//! Paper setting: eu-2015, p = 96 cores, k = 30 000. Here: a web-like synthetic graph
+//! and k = 128 (scaled down); the expected shape is a monotone decrease from the
+//! KaMinPar baseline to the full TeraPart configuration.
+use graph::traits::Graph;
+use bench::{config_ladder, measure_run};
+use graph::gen;
+
+fn main() {
+    let graph = gen::weblike(15, 12, 7);
+    let k = 128;
+    println!("Figure 1: peak memory ladder (web-like graph, n={}, m={}, k={})", graph.xadj().len() - 1, graph.m(), k);
+    println!("{:<36} {:>14} {:>10}", "configuration", "peak memory", "time [s]");
+    let mut previous = None;
+    for (name, config) in config_ladder(k) {
+        let m = measure_run("weblike-2^15", name, &graph, &config.with_threads(2));
+        println!(
+            "{:<36} {:>14} {:>10.2}",
+            name,
+            memtrack::format_bytes(m.peak_memory_bytes),
+            m.time.as_secs_f64()
+        );
+        if let Some(prev) = previous {
+            if m.peak_memory_bytes > prev {
+                println!("  note: step did not reduce memory at this scale");
+            }
+        }
+        previous = Some(m.peak_memory_bytes);
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 2: memory consumption during the different phases of the algorithm.
+//!
+//! Paper setting: webbase2001, p = 96, k = 64 with the baseline KaMinPar configuration.
+//! Here: a web-like synthetic graph, k = 64; the expected shape is that clustering on
+//! the top level dominates the peak, followed by contraction.
+use graph::gen;
+use memtrack::PhaseTracker;
+use terapart::{partition_csr_with_tracker, PartitionerConfig};
+
+fn main() {
+    let graph = gen::weblike(14, 14, 9);
+    let k = 64;
+    let tracker = PhaseTracker::new();
+    let config = PartitionerConfig::kaminpar(k).with_threads(2);
+    let result = partition_csr_with_tracker(&graph, &config, &tracker);
+    println!("Figure 2: per-phase peak memory (KaMinPar baseline, k={})", k);
+    println!("{:<20} {:>6} {:>14} {:>14} {:>10}", "phase", "level", "peak", "auxiliary", "time [s]");
+    for report in tracker.reports() {
+        println!(
+            "{:<20} {:>6} {:>14} {:>14} {:>10.3}",
+            report.name,
+            report.level,
+            memtrack::format_bytes(report.peak_bytes),
+            memtrack::format_bytes(report.auxiliary_bytes()),
+            report.elapsed.as_secs_f64()
+        );
+    }
+    println!("edge cut = {}, overall peak = {}", result.edge_cut, memtrack::format_bytes(tracker.overall_peak()));
+}

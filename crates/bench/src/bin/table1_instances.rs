@@ -1,0 +1,15 @@
+//! Table I / Figure 9: properties of the benchmark instances (n, m, average and maximum
+//! degree) for both benchmark sets.
+use bench::{benchmark_set_a, benchmark_set_b};
+use graph::stats::GraphStats;
+
+fn main() {
+    println!("Table I / Figure 9: benchmark instance properties");
+    println!("{:<20} {:>12} {:>14} {:>8} {:>10}", "graph", "n", "m", "d(G)", "max deg");
+    for set in [benchmark_set_a(), benchmark_set_b()] {
+        for instance in set {
+            println!("{}", GraphStats::of(&instance.graph).table_row(instance.name));
+        }
+        println!("---");
+    }
+}

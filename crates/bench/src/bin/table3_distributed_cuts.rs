@@ -1,0 +1,33 @@
+//! Table III: edge cuts of XTeraPart vs the ParMETIS-like and XtraPuLP-like baselines on
+//! growing rgg2D and rhg graphs (k = 64 in the paper; k = 16 here). Expected shape: the
+//! single-level partitioner cuts several times more edges, the multilevel baselines are
+//! within a small factor of XTeraPart.
+use graph::traits::Graph;
+use baselines::{mtmetis_partition, xtrapulp_partition};
+use graph::gen;
+use xterapart::{dist_partition, DistPartitionConfig};
+
+fn main() {
+    let k = 16;
+    println!("Table III: cuts relative to XTeraPart (k = {})", k);
+    println!("{:<8} {:>10} {:>16} {:>16} {:>16}", "family", "edges", "XTeraPart cut%", "ParMETIS-like", "XtraPuLP-like");
+    for exponent in [14u32, 15, 16] {
+        let n = 1usize << exponent;
+        for (family, graph) in [
+            ("rgg2d", gen::rgg2d(n, 16, exponent as u64)),
+            ("rhg", gen::rhg_like(n, 16, 3.0, exponent as u64)),
+        ] {
+            let xt = dist_partition(&graph, &DistPartitionConfig::xterapart(k, 4));
+            let pm = mtmetis_partition(&graph, k, 0.03, 1);
+            let xp = xtrapulp_partition(&graph, k, 0.03, 1);
+            println!(
+                "{:<8} {:>10} {:>15.2}% {:>15.2}x {:>15.2}x{}",
+                family, graph.m(),
+                100.0 * xt.edge_cut as f64 / graph.m() as f64,
+                pm.edge_cut as f64 / xt.edge_cut.max(1) as f64,
+                xp.edge_cut as f64 / xt.edge_cut.max(1) as f64,
+                if xp.balanced { "" } else { " *" }
+            );
+        }
+    }
+}

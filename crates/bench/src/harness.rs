@@ -1,0 +1,160 @@
+//! Measurement and aggregation utilities shared by the experiment binaries.
+//!
+//! The paper aggregates running times and memory with geometric means, relative speedups
+//! with harmonic means, and compares solution quality with performance profiles
+//! (Dolan–Moré). The same aggregations are provided here so the regenerated tables use
+//! the paper's methodology.
+
+use std::time::Duration;
+
+use graph::csr::CsrGraph;
+use memtrack::PhaseTracker;
+use terapart::{partition_csr_with_tracker, PartitionerConfig};
+
+/// One measured partitioning run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Instance name.
+    pub instance: String,
+    /// Algorithm/configuration name.
+    pub algorithm: String,
+    /// Number of blocks.
+    pub k: usize,
+    /// Edge cut.
+    pub edge_cut: u64,
+    /// Wall-clock time.
+    pub time: Duration,
+    /// Peak memory charged to the accounting during the run, in bytes.
+    pub peak_memory_bytes: usize,
+    /// Whether the balance constraint held.
+    pub balanced: bool,
+}
+
+impl Measurement {
+    /// Formats the measurement as a compact report row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<18} {:<34} k={:<6} cut={:<10} time={:>8.3}s mem={:>12} {}",
+            self.instance,
+            self.algorithm,
+            self.k,
+            self.edge_cut,
+            self.time.as_secs_f64(),
+            memtrack::format_bytes(self.peak_memory_bytes),
+            if self.balanced { "" } else { "*imbalanced*" }
+        )
+    }
+}
+
+/// Runs one partitioning configuration on one instance and collects the measurement.
+pub fn measure_run(
+    instance: &str,
+    algorithm: &str,
+    graph: &CsrGraph,
+    config: &PartitionerConfig,
+) -> Measurement {
+    let tracker = PhaseTracker::new();
+    memtrack::global().reset_peak();
+    let result = partition_csr_with_tracker(graph, config, &tracker);
+    Measurement {
+        instance: instance.to_string(),
+        algorithm: algorithm.to_string(),
+        k: config.k,
+        edge_cut: result.edge_cut,
+        time: result.total_time,
+        peak_memory_bytes: result.peak_memory_bytes.max(tracker.overall_peak()),
+        balanced: result.partition.is_balanced(),
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Harmonic mean of a slice of positive values (used for relative speedups).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.len() as f64 / values.iter().map(|&v| 1.0 / v.max(1e-12)).sum::<f64>()
+}
+
+/// Computes a Dolan–Moré performance profile.
+///
+/// `cuts_per_algorithm[i]` holds algorithm `i`'s edge cut on every instance (same
+/// instance order for all algorithms). Returns, for each algorithm and each τ in `taus`,
+/// the fraction of instances where that algorithm's cut is within a factor τ of the best.
+pub fn performance_profile(
+    cuts_per_algorithm: &[Vec<u64>],
+    taus: &[f64],
+) -> Vec<Vec<f64>> {
+    if cuts_per_algorithm.is_empty() {
+        return Vec::new();
+    }
+    let num_instances = cuts_per_algorithm[0].len();
+    assert!(cuts_per_algorithm.iter().all(|c| c.len() == num_instances));
+    let best_per_instance: Vec<f64> = (0..num_instances)
+        .map(|i| {
+            cuts_per_algorithm
+                .iter()
+                .map(|c| c[i])
+                .min()
+                .unwrap_or(0)
+                .max(1) as f64
+        })
+        .collect();
+    cuts_per_algorithm
+        .iter()
+        .map(|cuts| {
+            taus.iter()
+                .map(|&tau| {
+                    let count = cuts
+                        .iter()
+                        .zip(&best_per_instance)
+                        .filter(|&(&cut, &best)| (cut.max(1) as f64) <= tau * best)
+                        .count();
+                    count as f64 / num_instances as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn means_are_correct() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert!((harmonic_mean(&[2.0, 6.0]) - 3.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn performance_profile_ranks_algorithms() {
+        // Algorithm 0 is always best; algorithm 1 is 2x worse on every instance.
+        let cuts = vec![vec![10, 20, 30], vec![20, 40, 60]];
+        let profile = performance_profile(&cuts, &[1.0, 1.5, 2.0]);
+        assert_eq!(profile[0], vec![1.0, 1.0, 1.0]);
+        assert_eq!(profile[1], vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn measure_run_produces_sane_numbers() {
+        let g = gen::grid2d(24, 24);
+        let m = measure_run("grid", "terapart", &g, &terapart::PartitionerConfig::terapart(4).with_threads(1));
+        assert!(m.edge_cut > 0);
+        assert!(m.balanced);
+        assert!(m.peak_memory_bytes > 0);
+        assert!(m.row().contains("terapart"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness reproducing the tables and figures of the TeraPart paper.
+//!
+//! The binaries under `src/bin/` each regenerate one table or figure (see DESIGN.md for
+//! the experiment index); this library provides what they share: the scaled-down
+//! benchmark instance sets ([`setup`]) and the measurement/aggregation utilities
+//! ([`harness`]). Criterion micro-benchmarks of the core algorithms live in `benches/`.
+
+pub mod harness;
+pub mod setup;
+
+pub use harness::{
+    geometric_mean, harmonic_mean, measure_run, performance_profile, Measurement,
+};
+pub use setup::{benchmark_set_a, benchmark_set_b, config_ladder, Instance};

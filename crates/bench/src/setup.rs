@@ -1,0 +1,109 @@
+//! Benchmark instance sets (scaled-down stand-ins for the paper's Sets A and B).
+//!
+//! Set A in the paper contains 72 graphs from several application domains with 5.4M–1.8B
+//! edges; Set B contains five huge web crawls. Neither fits this environment, so the
+//! sets are reproduced *structurally*: a mix of mesh-like, geometric, power-law, random,
+//! web-like and weighted instances whose sizes are chosen so every experiment binary
+//! finishes in seconds. See DESIGN.md for the substitution rationale.
+
+use graph::csr::CsrGraph;
+use graph::gen;
+use terapart::PartitionerConfig;
+
+/// A named benchmark instance.
+pub struct Instance {
+    /// Instance name used in report rows.
+    pub name: &'static str,
+    /// Application-domain class (mirrors the classes of Figure 9/10).
+    pub class: &'static str,
+    /// The graph.
+    pub graph: CsrGraph,
+}
+
+/// The scaled-down Benchmark Set A: diverse medium-sized instances.
+pub fn benchmark_set_a() -> Vec<Instance> {
+    vec![
+        Instance { name: "grid-64x64", class: "finite-element", graph: gen::grid2d(64, 64) },
+        Instance { name: "grid3d-12", class: "finite-element", graph: gen::grid3d(12, 12, 12) },
+        Instance { name: "rgg2d-4k", class: "geometric", graph: gen::rgg2d(4_000, 12, 11) },
+        Instance { name: "rgg2d-8k", class: "geometric", graph: gen::rgg2d(8_000, 16, 12) },
+        Instance { name: "rhg-4k", class: "social", graph: gen::rhg_like(4_000, 10, 3.0, 13) },
+        Instance { name: "rhg-8k", class: "social", graph: gen::rhg_like(8_000, 12, 2.6, 14) },
+        Instance { name: "er-4k", class: "random", graph: gen::erdos_renyi(4_000, 24_000, 15) },
+        Instance { name: "rmat-12", class: "web", graph: gen::weblike(12, 10, 16) },
+        Instance { name: "rmat-13", class: "web", graph: gen::weblike(13, 8, 17) },
+        Instance {
+            name: "weighted-grid",
+            class: "text-compression",
+            graph: gen::with_random_edge_weights(&gen::grid2d(48, 48), 40, 18),
+        },
+        Instance {
+            name: "weighted-rhg",
+            class: "text-compression",
+            graph: gen::with_random_edge_weights(&gen::rhg_like(3_000, 10, 3.0, 19), 20, 20),
+        },
+        Instance { name: "star-5k", class: "irregular", graph: gen::star(5_000) },
+    ]
+}
+
+/// The scaled-down Benchmark Set B: "huge" web-like instances (relative to Set A).
+pub fn benchmark_set_b() -> Vec<Instance> {
+    vec![
+        Instance { name: "gsh-like", class: "web-huge", graph: gen::weblike(14, 12, 31) },
+        Instance { name: "clueweb-like", class: "web-huge", graph: gen::weblike(14, 16, 32) },
+        Instance { name: "uk-like", class: "web-huge", graph: gen::rgg2d(20_000, 24, 33) },
+        Instance { name: "eu-like", class: "web-huge", graph: gen::weblike(15, 12, 34) },
+        Instance { name: "hyperlink-like", class: "web-huge", graph: gen::rhg_like(24_000, 20, 2.8, 35) },
+    ]
+}
+
+/// The configuration ladder of Figures 1, 4 and 6: the KaMinPar baseline with the
+/// TeraPart optimizations enabled one after another.
+pub fn config_ladder(k: usize) -> Vec<(&'static str, PartitionerConfig)> {
+    vec![
+        ("KaMinPar", PartitionerConfig::kaminpar(k)),
+        ("Two-Phase LP", PartitionerConfig::kaminpar_two_phase_lp(k)),
+        ("Graph Compression", PartitionerConfig::kaminpar_compressed(k)),
+        ("One-Pass Contraction (TeraPart)", PartitionerConfig::terapart(k)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::traits::Graph;
+
+    #[test]
+    fn set_a_is_diverse_and_nontrivial() {
+        let set = benchmark_set_a();
+        assert!(set.len() >= 10);
+        let classes: std::collections::HashSet<_> = set.iter().map(|i| i.class).collect();
+        assert!(classes.len() >= 5, "need several application domains");
+        for instance in &set {
+            assert!(instance.graph.m() > 1_000, "{} too small", instance.name);
+        }
+        assert!(set.iter().any(|i| i.graph.is_edge_weighted()));
+    }
+
+    #[test]
+    fn set_b_graphs_are_larger_than_set_a_median() {
+        let a = benchmark_set_a();
+        let b = benchmark_set_b();
+        let mut a_sizes: Vec<usize> = a.iter().map(|i| i.graph.m()).collect();
+        a_sizes.sort_unstable();
+        let median_a = a_sizes[a_sizes.len() / 2];
+        for instance in &b {
+            assert!(instance.graph.m() > median_a, "{} not huge enough", instance.name);
+        }
+    }
+
+    #[test]
+    fn config_ladder_has_four_steps_in_paper_order() {
+        let ladder = config_ladder(8);
+        assert_eq!(ladder.len(), 4);
+        assert_eq!(ladder[0].0, "KaMinPar");
+        assert!(ladder[3].0.contains("TeraPart"));
+        assert!(!ladder[0].1.use_compression);
+        assert!(ladder[3].1.use_compression);
+    }
+}

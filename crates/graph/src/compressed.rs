@@ -1,0 +1,610 @@
+//! Compressed graph representation with on-the-fly neighbourhood decoding (paper §III-A).
+//!
+//! The encoding follows the paper: neighbourhoods are sorted by neighbour ID and stored as
+//! *gaps* (differences between consecutive IDs) encoded as VarInts; runs of at least
+//! [`CompressionConfig::min_interval_len`] consecutive IDs are stored as *intervals*
+//! `(left, length)` instead of individual gaps; the first gap of a neighbourhood is taken
+//! relative to the vertex's own ID and may be negative, so it uses zigzag encoding. Edge
+//! weights, when present, are stored as signed deltas interleaved with each chunk. To
+//! allow parallel iteration over very large neighbourhoods, the neighbour list of a vertex
+//! whose degree exceeds [`CompressionConfig::high_degree_threshold`] is split into chunks
+//! of [`CompressionConfig::chunk_len`] neighbours that are encoded and decoded
+//! independently.
+//!
+//! Every neighbourhood additionally starts with the ID of its first half-edge, so edge IDs
+//! can be recovered during iteration (several KaMinPar components index per-edge arrays).
+
+use crate::csr::CsrGraph;
+use crate::traits::Graph;
+use crate::varint::{
+    decode_signed_varint, decode_varint, encode_signed_varint, encode_varint,
+};
+use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+
+/// Tuning knobs of the compression scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressionConfig {
+    /// Enables interval encoding of consecutive-ID runs. Disabling it yields the
+    /// "gap encoding only" configuration of Figure 6 (right) / Figure 10.
+    pub enable_intervals: bool,
+    /// Compress edge weights (signed-delta VarInts). Only relevant for weighted graphs.
+    pub compress_edge_weights: bool,
+    /// Degree above which a neighbourhood is split into independently decodable chunks.
+    /// The paper uses 10 000.
+    pub high_degree_threshold: usize,
+    /// Number of neighbours per chunk for high-degree vertices. The paper uses 1 000.
+    pub chunk_len: usize,
+    /// Minimum length of a consecutive run to be stored as an interval. The paper uses 3.
+    pub min_interval_len: usize,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        Self {
+            enable_intervals: true,
+            compress_edge_weights: true,
+            high_degree_threshold: 10_000,
+            chunk_len: 1_000,
+            min_interval_len: 3,
+        }
+    }
+}
+
+impl CompressionConfig {
+    /// Configuration with interval encoding disabled (gap encoding only).
+    pub fn gap_only() -> Self {
+        Self {
+            enable_intervals: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// A graph stored in the compressed byte format with per-vertex byte offsets.
+#[derive(Debug, Clone)]
+pub struct CompressedGraph {
+    n: usize,
+    m: usize,
+    /// Byte offset of each vertex's encoded neighbourhood; length `n + 1`.
+    offsets: Vec<u64>,
+    /// Concatenated encoded neighbourhoods.
+    data: Vec<u8>,
+    /// Node weights, empty when uniform.
+    node_weights: Vec<NodeWeight>,
+    edge_weighted: bool,
+    total_node_weight: NodeWeight,
+    total_edge_weight: EdgeWeight,
+    max_degree: usize,
+    config: CompressionConfig,
+}
+
+/// Encodes one neighbourhood into `out`.
+///
+/// `first_edge` is the ID of the first half-edge of the neighbourhood, `u` the vertex the
+/// neighbourhood belongs to, and `neighbors` its `(neighbor, weight)` pairs sorted by
+/// neighbour ID. `weighted` selects whether weights are stored. Exposed so the parallel
+/// single-pass builder (paper §III-B) can compress packets into thread-local buffers.
+pub fn encode_neighborhood(
+    u: NodeId,
+    first_edge: EdgeId,
+    neighbors: &[(NodeId, EdgeWeight)],
+    weighted: bool,
+    config: &CompressionConfig,
+    out: &mut Vec<u8>,
+) {
+    debug_assert!(neighbors.windows(2).all(|w| w[0].0 < w[1].0), "neighbors must be sorted");
+    encode_varint(first_edge, out);
+    encode_varint(neighbors.len() as u64, out);
+    if neighbors.is_empty() {
+        return;
+    }
+    let chunked = neighbors.len() > config.high_degree_threshold;
+    if !chunked {
+        encode_chunk(u, neighbors, weighted, config, out);
+        return;
+    }
+    let chunks: Vec<&[(NodeId, EdgeWeight)]> = neighbors.chunks(config.chunk_len).collect();
+    encode_varint(chunks.len() as u64, out);
+    // Encode each chunk into a scratch buffer first so the chunk byte lengths can be
+    // written as a header, allowing chunks to be located (and decoded in parallel)
+    // without decoding their predecessors.
+    let mut encoded_chunks: Vec<Vec<u8>> = Vec::with_capacity(chunks.len());
+    for chunk in &chunks {
+        let mut buf = Vec::new();
+        encode_chunk(u, chunk, weighted, config, &mut buf);
+        encoded_chunks.push(buf);
+    }
+    for buf in &encoded_chunks {
+        encode_varint(buf.len() as u64, out);
+    }
+    for buf in &encoded_chunks {
+        out.extend_from_slice(buf);
+    }
+}
+
+/// Encodes a single chunk of a neighbourhood (gap + interval + optional weights).
+fn encode_chunk(
+    u: NodeId,
+    neighbors: &[(NodeId, EdgeWeight)],
+    weighted: bool,
+    config: &CompressionConfig,
+    out: &mut Vec<u8>,
+) {
+    // Identify interval runs of consecutive IDs.
+    let ids: Vec<NodeId> = neighbors.iter().map(|&(v, _)| v).collect();
+    let mut intervals: Vec<(NodeId, usize)> = Vec::new();
+    let mut residuals: Vec<NodeId> = Vec::new();
+    // `order` records, for each neighbour position in decode order (intervals first, then
+    // residuals), the index into `neighbors` — used to emit the weights in decode order.
+    let mut interval_order: Vec<usize> = Vec::new();
+    let mut residual_order: Vec<usize> = Vec::new();
+    if config.enable_intervals {
+        let mut i = 0;
+        while i < ids.len() {
+            let mut j = i + 1;
+            while j < ids.len() && ids[j] == ids[j - 1] + 1 {
+                j += 1;
+            }
+            let run = j - i;
+            if run >= config.min_interval_len {
+                intervals.push((ids[i], run));
+                interval_order.extend(i..j);
+            } else {
+                residuals.extend_from_slice(&ids[i..j]);
+                residual_order.extend(i..j);
+            }
+            i = j;
+        }
+    } else {
+        residuals.extend_from_slice(&ids);
+        residual_order.extend(0..ids.len());
+    }
+
+    if config.enable_intervals {
+        encode_varint(intervals.len() as u64, out);
+        let mut prev_end: i64 = i64::from(u);
+        for (k, &(left, len)) in intervals.iter().enumerate() {
+            if k == 0 {
+                encode_signed_varint(i64::from(left) - i64::from(u), out);
+            } else {
+                encode_varint((i64::from(left) - prev_end) as u64, out);
+            }
+            encode_varint((len - config.min_interval_len) as u64, out);
+            prev_end = i64::from(left) + len as i64;
+        }
+    }
+
+    // Residual gaps: first gap is signed relative to u, later gaps are strictly positive
+    // (stored minus one).
+    let mut prev: i64 = i64::from(u);
+    for (k, &v) in residuals.iter().enumerate() {
+        if k == 0 {
+            encode_signed_varint(i64::from(v) - prev, out);
+        } else {
+            encode_varint((i64::from(v) - prev - 1) as u64, out);
+        }
+        prev = i64::from(v);
+    }
+
+    if weighted {
+        let mut prev_weight: i64 = 0;
+        for &idx in interval_order.iter().chain(residual_order.iter()) {
+            let w = neighbors[idx].1 as i64;
+            encode_signed_varint(w - prev_weight, out);
+            prev_weight = w;
+        }
+    }
+}
+
+/// Decodes a single chunk, invoking `f(neighbor, weight)` for every neighbour.
+///
+/// Returns the byte position right after the chunk.
+fn decode_chunk(
+    data: &[u8],
+    mut pos: usize,
+    u: NodeId,
+    count: usize,
+    weighted: bool,
+    config: &CompressionConfig,
+    f: &mut dyn FnMut(NodeId, EdgeWeight),
+) -> usize {
+    let mut ids: Vec<NodeId> = Vec::with_capacity(count);
+    if config.enable_intervals {
+        let (interval_count, p) = decode_varint(data, pos);
+        pos = p;
+        let mut prev_end: i64 = i64::from(u);
+        for k in 0..interval_count {
+            let left = if k == 0 {
+                let (delta, p) = decode_signed_varint(data, pos);
+                pos = p;
+                i64::from(u) + delta
+            } else {
+                let (delta, p) = decode_varint(data, pos);
+                pos = p;
+                prev_end + delta as i64
+            };
+            let (len_raw, p) = decode_varint(data, pos);
+            pos = p;
+            let len = len_raw as usize + config.min_interval_len;
+            for offset in 0..len {
+                ids.push((left + offset as i64) as NodeId);
+            }
+            prev_end = left + len as i64;
+        }
+    }
+    let residual_count = count - ids.len();
+    let mut prev: i64 = i64::from(u);
+    for k in 0..residual_count {
+        let v = if k == 0 {
+            let (delta, p) = decode_signed_varint(data, pos);
+            pos = p;
+            prev + delta
+        } else {
+            let (gap, p) = decode_varint(data, pos);
+            pos = p;
+            prev + gap as i64 + 1
+        };
+        ids.push(v as NodeId);
+        prev = v;
+    }
+    if weighted {
+        let mut prev_weight: i64 = 0;
+        for &v in &ids {
+            let (delta, p) = decode_signed_varint(data, pos);
+            pos = p;
+            prev_weight += delta;
+            f(v, prev_weight as EdgeWeight);
+        }
+    } else {
+        for &v in &ids {
+            f(v, 1);
+        }
+    }
+    pos
+}
+
+impl CompressedGraph {
+    /// Compresses a CSR graph. Neighbourhoods are sorted internally before encoding.
+    pub fn from_csr(csr: &CsrGraph, config: &CompressionConfig) -> Self {
+        let weighted = csr.is_edge_weighted() && config.compress_edge_weights;
+        let n = csr.n();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut data = Vec::new();
+        offsets.push(0u64);
+        let mut first_edge: EdgeId = 0;
+        for u in 0..n as NodeId {
+            let mut nbrs = csr.neighbors_vec(u);
+            nbrs.sort_unstable_by_key(|&(v, _)| v);
+            encode_neighborhood(u, first_edge, &nbrs, weighted, config, &mut data);
+            first_edge += nbrs.len() as EdgeId;
+            offsets.push(data.len() as u64);
+        }
+        Self {
+            n,
+            m: csr.m(),
+            offsets,
+            data,
+            node_weights: csr.raw_node_weights().to_vec(),
+            edge_weighted: weighted || csr.is_edge_weighted(),
+            total_node_weight: csr.total_node_weight(),
+            total_edge_weight: csr.total_edge_weight(),
+            max_degree: csr.max_degree(),
+            config: config.clone(),
+        }
+    }
+
+    /// Assembles a compressed graph from pre-encoded parts. Used by the parallel
+    /// single-pass builder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_encoded_parts(
+        n: usize,
+        m: usize,
+        offsets: Vec<u64>,
+        data: Vec<u8>,
+        node_weights: Vec<NodeWeight>,
+        edge_weighted: bool,
+        total_node_weight: NodeWeight,
+        total_edge_weight: EdgeWeight,
+        max_degree: usize,
+        config: CompressionConfig,
+    ) -> Self {
+        assert_eq!(offsets.len(), n + 1);
+        Self {
+            n,
+            m,
+            offsets,
+            data,
+            node_weights,
+            edge_weighted,
+            total_node_weight,
+            total_edge_weight,
+            max_degree,
+            config,
+        }
+    }
+
+    /// Number of bytes used by the encoded adjacency data plus the offset array.
+    pub fn size_in_bytes(&self) -> usize {
+        self.data.len()
+            + self.offsets.len() * std::mem::size_of::<u64>()
+            + self.node_weights.len() * std::mem::size_of::<NodeWeight>()
+    }
+
+    /// Number of bytes used by the encoded adjacency data alone.
+    pub fn encoded_data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Ratio of the uncompressed CSR size to this graph's size ("compression ratio" in
+    /// Figures 6 and 10). Values above 1 mean the compressed form is smaller.
+    pub fn compression_ratio(&self, csr: &CsrGraph) -> f64 {
+        csr.size_in_bytes() as f64 / self.size_in_bytes() as f64
+    }
+
+    /// Average number of bytes per stored half-edge.
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.m == 0 {
+            0.0
+        } else {
+            self.data.len() as f64 / (2.0 * self.m as f64)
+        }
+    }
+
+    /// The configuration the graph was encoded with.
+    pub fn config(&self) -> &CompressionConfig {
+        &self.config
+    }
+
+    /// ID of the first half-edge of `u`'s neighbourhood.
+    pub fn first_edge(&self, u: NodeId) -> EdgeId {
+        let pos = self.offsets[u as usize] as usize;
+        decode_varint(&self.data, pos).0
+    }
+
+    /// Invokes `f(edge_id, neighbor, weight)` for every neighbour of `u`, where `edge_id`
+    /// is the global half-edge ID (first edge ID plus position).
+    pub fn for_each_neighbor_with_edge_id(
+        &self,
+        u: NodeId,
+        f: &mut dyn FnMut(EdgeId, NodeId, EdgeWeight),
+    ) {
+        let first = self.first_edge(u);
+        let mut idx = 0;
+        self.for_each_neighbor(u, &mut |v, w| {
+            f(first + idx, v, w);
+            idx += 1;
+        });
+    }
+
+    fn decode_header(&self, u: NodeId) -> (usize, usize) {
+        let pos = self.offsets[u as usize] as usize;
+        let (_, pos) = decode_varint(&self.data, pos);
+        let (degree, pos) = decode_varint(&self.data, pos);
+        (degree as usize, pos)
+    }
+}
+
+impl Graph for CompressedGraph {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        self.decode_header(u).0
+    }
+
+    fn node_weight(&self, u: NodeId) -> NodeWeight {
+        if self.node_weights.is_empty() {
+            1
+        } else {
+            self.node_weights[u as usize]
+        }
+    }
+
+    fn total_node_weight(&self) -> NodeWeight {
+        self.total_node_weight
+    }
+
+    fn total_edge_weight(&self) -> EdgeWeight {
+        self.total_edge_weight
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, EdgeWeight)) {
+        let (degree, mut pos) = self.decode_header(u);
+        if degree == 0 {
+            return;
+        }
+        let weighted = self.edge_weighted && self.config.compress_edge_weights;
+        if degree <= self.config.high_degree_threshold {
+            decode_chunk(&self.data, pos, u, degree, weighted, &self.config, f);
+            return;
+        }
+        let (num_chunks, p) = decode_varint(&self.data, pos);
+        pos = p;
+        let mut chunk_lens = Vec::with_capacity(num_chunks as usize);
+        for _ in 0..num_chunks {
+            let (len, p) = decode_varint(&self.data, pos);
+            pos = p;
+            chunk_lens.push(len as usize);
+        }
+        let mut remaining = degree;
+        for &len in &chunk_lens {
+            let count = remaining.min(self.config.chunk_len);
+            decode_chunk(&self.data, pos, u, count, weighted, &self.config, f);
+            pos += len;
+            remaining -= count;
+        }
+    }
+
+    fn is_edge_weighted(&self) -> bool {
+        self.edge_weighted
+    }
+
+    fn is_node_weighted(&self) -> bool {
+        !self.node_weights.is_empty()
+    }
+
+    fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraphBuilder;
+    use crate::gen;
+    use proptest::prelude::*;
+
+    fn assert_same_graph(csr: &CsrGraph, compressed: &CompressedGraph) {
+        assert_eq!(csr.n(), compressed.n());
+        assert_eq!(csr.m(), compressed.m());
+        assert_eq!(csr.total_edge_weight(), compressed.total_edge_weight());
+        assert_eq!(csr.total_node_weight(), compressed.total_node_weight());
+        assert_eq!(csr.max_degree(), compressed.max_degree());
+        for u in 0..csr.n() as NodeId {
+            assert_eq!(csr.degree(u), compressed.degree(u), "degree mismatch at {}", u);
+            assert_eq!(csr.node_weight(u), compressed.node_weight(u));
+            let mut a = csr.neighbors_vec(u);
+            let mut b = compressed.neighbors_vec(u);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "neighborhood mismatch at {}", u);
+        }
+    }
+
+    #[test]
+    fn round_trip_small_graph() {
+        let mut b = CsrGraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 1);
+        b.add_edge(0, 3, 1);
+        b.add_edge(0, 5, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(4, 5, 1);
+        let csr = b.build();
+        let compressed = CompressedGraph::from_csr(&csr, &CompressionConfig::default());
+        assert_same_graph(&csr, &compressed);
+    }
+
+    #[test]
+    fn round_trip_weighted_graph() {
+        let mut b = CsrGraphBuilder::new(5);
+        b.add_edge(0, 1, 10);
+        b.add_edge(0, 2, 3);
+        b.add_edge(1, 2, 100);
+        b.add_edge(3, 4, 7);
+        b.add_edge(0, 4, 1);
+        let csr = b.build();
+        let compressed = CompressedGraph::from_csr(&csr, &CompressionConfig::default());
+        assert!(compressed.is_edge_weighted());
+        assert_same_graph(&csr, &compressed);
+    }
+
+    #[test]
+    fn round_trip_grid_and_powerlaw() {
+        let grid = gen::grid2d(20, 20);
+        let compressed = CompressedGraph::from_csr(&grid, &CompressionConfig::default());
+        assert_same_graph(&grid, &compressed);
+
+        let pl = gen::rhg_like(500, 8, 3.0, 42);
+        let compressed = CompressedGraph::from_csr(&pl, &CompressionConfig::default());
+        assert_same_graph(&pl, &compressed);
+    }
+
+    #[test]
+    fn gap_only_round_trips_and_is_larger_on_local_graphs() {
+        // A complete graph has perfectly consecutive neighbourhoods, which is where
+        // interval encoding shines.
+        let g = gen::complete(64);
+        let with_intervals = CompressedGraph::from_csr(&g, &CompressionConfig::default());
+        let gap_only = CompressedGraph::from_csr(&g, &CompressionConfig::gap_only());
+        assert_same_graph(&g, &with_intervals);
+        assert_same_graph(&g, &gap_only);
+        assert!(
+            with_intervals.encoded_data_bytes() < gap_only.encoded_data_bytes(),
+            "interval encoding should be smaller on a complete graph: {} vs {}",
+            with_intervals.encoded_data_bytes(),
+            gap_only.encoded_data_bytes()
+        );
+    }
+
+    #[test]
+    fn high_degree_vertices_are_chunked() {
+        // A star graph with a hub whose degree exceeds the (lowered) threshold.
+        let config = CompressionConfig {
+            high_degree_threshold: 50,
+            chunk_len: 16,
+            ..CompressionConfig::default()
+        };
+        let g = gen::star(201);
+        let compressed = CompressedGraph::from_csr(&g, &config);
+        assert_same_graph(&g, &compressed);
+        assert_eq!(compressed.degree(0), 200);
+    }
+
+    #[test]
+    fn compression_ratio_exceeds_one_on_structured_graphs() {
+        let g = gen::grid2d(50, 50);
+        let compressed = CompressedGraph::from_csr(&g, &CompressionConfig::default());
+        assert!(compressed.compression_ratio(&g) > 1.0);
+        assert!(compressed.bytes_per_edge() < 8.0);
+    }
+
+    #[test]
+    fn edge_ids_are_consecutive() {
+        let g = gen::grid2d(8, 8);
+        let compressed = CompressedGraph::from_csr(&g, &CompressionConfig::default());
+        let mut expected: EdgeId = 0;
+        for u in 0..g.n() as NodeId {
+            assert_eq!(compressed.first_edge(u), expected);
+            let mut count = 0;
+            compressed.for_each_neighbor_with_edge_id(u, &mut |e, _, _| {
+                assert_eq!(e, expected + count);
+                count += 1;
+            });
+            expected += g.degree(u) as EdgeId;
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let mut b = CsrGraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        let csr = b.build();
+        let compressed = CompressedGraph::from_csr(&csr, &CompressionConfig::default());
+        assert_eq!(compressed.degree(2), 0);
+        assert_eq!(compressed.neighbors_vec(2), vec![]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_compressed_equals_csr(
+            n in 2usize..60,
+            edges in proptest::collection::vec((0u32..60, 0u32..60, 1u64..20), 0..200),
+            intervals in proptest::bool::ANY,
+        ) {
+            let mut b = CsrGraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            let csr = b.build();
+            let config = CompressionConfig {
+                enable_intervals: intervals,
+                high_degree_threshold: 8,
+                chunk_len: 4,
+                ..CompressionConfig::default()
+            };
+            let compressed = CompressedGraph::from_csr(&csr, &config);
+            assert_same_graph(&csr, &compressed);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's benchmark instances (see DESIGN.md for the substitution
+//! rationale): `rgg2d` reproduces the mesh-like random geometric family, [`rhg_like`]
+//! reproduces the skewed power-law family used for the tera-scale experiments, and
+//! [`weblike`] produces R-MAT-style graphs with hub vertices and neighbour-ID locality
+//! similar to web crawls. Small deterministic graphs (grids, stars, paths, complete
+//! graphs) are used heavily by unit and property tests.
+//!
+//! All generators are deterministic for a fixed seed (ChaCha8 PRNG), so experiments are
+//! reproducible.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::csr::{CsrGraph, CsrGraphBuilder};
+use crate::{EdgeWeight, NodeId};
+
+/// 2D grid (mesh) graph with `rows * cols` vertices connected to their horizontal and
+/// vertical neighbours. Models the "finite element"-style instances of Benchmark Set A.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut b = CsrGraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3D grid graph (`x * y * z` vertices, 6-neighbourhood).
+pub fn grid3d(x: usize, y: usize, z: usize) -> CsrGraph {
+    let n = x * y * z;
+    let mut b = CsrGraphBuilder::new(n);
+    let id = |i: usize, j: usize, k: usize| (i * y * z + j * z + k) as NodeId;
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                if i + 1 < x {
+                    b.add_edge(id(i, j, k), id(i + 1, j, k), 1);
+                }
+                if j + 1 < y {
+                    b.add_edge(id(i, j, k), id(i, j + 1, k), 1);
+                }
+                if k + 1 < z {
+                    b.add_edge(id(i, j, k), id(i, j, k + 1), 1);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Path graph 0 — 1 — 2 — ... — (n-1).
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = CsrGraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge((u - 1) as NodeId, u as NodeId, 1);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = CsrGraphBuilder::new(n);
+    for u in 0..n {
+        b.add_edge(u as NodeId, ((u + 1) % n) as NodeId, 1);
+    }
+    b.build()
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = CsrGraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as NodeId, v as NodeId, 1);
+        }
+    }
+    b.build()
+}
+
+/// Star graph: vertex 0 is connected to all other `n - 1` vertices. Used to exercise the
+/// high-degree (chunked / two-phase) code paths.
+pub fn star(n: usize) -> CsrGraph {
+    let mut b = CsrGraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v as NodeId, 1);
+    }
+    b.build()
+}
+
+/// Disconnected union of `k` cliques of size `clique_size` with a single bridge edge
+/// between consecutive cliques. The optimal `k`-way cut of this graph is known, which
+/// makes it ideal for quality assertions.
+pub fn clique_chain(k: usize, clique_size: usize) -> CsrGraph {
+    let n = k * clique_size;
+    let mut b = CsrGraphBuilder::new(n);
+    for c in 0..k {
+        let base = c * clique_size;
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                b.add_edge((base + i) as NodeId, (base + j) as NodeId, 1);
+            }
+        }
+        if c + 1 < k {
+            b.add_edge((base + clique_size - 1) as NodeId, (base + clique_size) as NodeId, 1);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi style random graph with `n` vertices and approximately `m` undirected
+/// edges (duplicates are merged, so the final count can be slightly lower).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = CsrGraphBuilder::new(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u != v {
+            b.add_edge(u, v, 1);
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph on the unit square with expected average degree `avg_deg`.
+///
+/// Vertices are random points; two vertices are adjacent iff their Euclidean distance is
+/// at most the connection radius. The vertex IDs are assigned in row-major cell order,
+/// which gives the neighbour-ID locality real rgg2D instances have (and which interval
+/// encoding exploits). This is the `rgg2D` family of the paper (KaGen).
+pub fn rgg2d(n: usize, avg_deg: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Expected degree of a point is n * pi * r^2 (ignoring boundary effects).
+    let radius = ((avg_deg as f64) / (n as f64 * std::f64::consts::PI)).sqrt();
+    let cells = ((1.0 / radius).floor() as usize).clamp(1, 4096);
+    let cell_size = 1.0 / cells as f64;
+    // Generate points, then sort them into row-major cell order so that nearby points get
+    // nearby IDs.
+    let mut points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    points.sort_by(|a, b| {
+        let ca = ((a.1 / cell_size) as usize, (a.0 / cell_size) as usize);
+        let cb = ((b.1 / cell_size) as usize, (b.0 / cell_size) as usize);
+        ca.cmp(&cb)
+            .then(a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    // Bucket points by cell for neighbourhood queries.
+    let mut grid: Vec<Vec<NodeId>> = vec![Vec::new(); cells * cells];
+    let cell_of = |p: (f64, f64)| {
+        let cx = ((p.0 / cell_size) as usize).min(cells - 1);
+        let cy = ((p.1 / cell_size) as usize).min(cells - 1);
+        cy * cells + cx
+    };
+    for (i, &p) in points.iter().enumerate() {
+        grid[cell_of(p)].push(i as NodeId);
+    }
+    let mut b = CsrGraphBuilder::new(n);
+    let r2 = radius * radius;
+    for (i, &p) in points.iter().enumerate() {
+        let cx = ((p.0 / cell_size) as usize).min(cells - 1);
+        let cy = ((p.1 / cell_size) as usize).min(cells - 1);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells + nx as usize] {
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let q = points[j as usize];
+                    let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
+                    if d2 <= r2 {
+                        b.add_edge(i as NodeId, j, 1);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Power-law random graph standing in for the random hyperbolic (`rhg`) family.
+///
+/// Generates a degree sequence from a power law with exponent `gamma`, then pairs stubs
+/// uniformly at random (configuration-model style, dropping self-loops and merging
+/// multi-edges). Produces the skewed degree distribution with high-degree hubs that
+/// models real-world social networks, as the paper describes for rhg graphs.
+pub fn rhg_like(n: usize, avg_deg: usize, gamma: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    assert!(gamma > 2.0, "power-law exponent must exceed 2");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Sample degrees proportional to a Pareto distribution, clamp to [1, n/4], and scale
+    // to the requested average degree.
+    let alpha = gamma - 1.0;
+    let raw: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            u.powf(-1.0 / alpha)
+        })
+        .collect();
+    let raw_sum: f64 = raw.iter().sum();
+    let target_sum = (n * avg_deg) as f64;
+    let max_deg = (n / 4).max(2) as f64;
+    let mut degrees: Vec<usize> = raw
+        .iter()
+        .map(|&r| ((r / raw_sum * target_sum).round() as usize).clamp(1, max_deg as usize))
+        .collect();
+    // Make the stub count even.
+    let total: usize = degrees.iter().sum();
+    if total % 2 == 1 {
+        degrees[0] += 1;
+    }
+    let mut stubs: Vec<NodeId> = Vec::with_capacity(degrees.iter().sum());
+    for (u, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat(u as NodeId).take(d));
+    }
+    stubs.shuffle(&mut rng);
+    let mut b = CsrGraphBuilder::new(n);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            b.add_edge(pair[0], pair[1], 1);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT style "web-like" graph: recursive quadrant sampling with the classic
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)` parameters, which yields hubs, a heavy-tailed
+/// degree distribution and locality in the ID space — the structural properties of the
+/// paper's web crawl instances (Benchmark Set B).
+pub fn weblike(scale: u32, avg_deg: usize, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    let m = n * avg_deg / 2;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (a, b_, c) = (0.57, 0.19, 0.19);
+    let mut builder = CsrGraphBuilder::new(n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let bit = 1usize << level;
+            if r < a {
+                // upper-left quadrant: no bits set
+            } else if r < a + b_ {
+                v |= bit;
+            } else if r < a + b_ + c {
+                u |= bit;
+            } else {
+                u |= bit;
+                v |= bit;
+            }
+        }
+        if u != v {
+            builder.add_edge(u as NodeId, v as NodeId, 1);
+        }
+    }
+    builder.build()
+}
+
+/// Rebuilds `graph` with uniformly random edge weights in `1..=max_weight`.
+/// Used to model the weighted "text compression" instances of Benchmark Set A.
+pub fn with_random_edge_weights(graph: &CsrGraph, max_weight: EdgeWeight, seed: u64) -> CsrGraph {
+    use crate::traits::Graph;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = CsrGraphBuilder::new(graph.n());
+    for u in 0..graph.n() as NodeId {
+        graph.for_each_neighbor(u, &mut |v, _| {
+            if u < v {
+                b.add_edge(u, v, rng.gen_range(1..=max_weight));
+            }
+        });
+    }
+    b.build()
+}
+
+/// Rebuilds `graph` with uniformly random node weights in `1..=max_weight`.
+pub fn with_random_node_weights(graph: &CsrGraph, max_weight: u64, seed: u64) -> CsrGraph {
+    use crate::traits::Graph;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let weights: Vec<u64> = (0..graph.n()).map(|_| rng.gen_range(1..=max_weight)).collect();
+    let mut b = CsrGraphBuilder::with_node_weights(weights);
+    for u in 0..graph.n() as NodeId {
+        graph.for_each_neighbor(u, &mut |v, w| {
+            if u < v {
+                b.add_edge(u, v, w);
+            }
+        });
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Graph;
+
+    #[test]
+    fn grid_has_expected_shape() {
+        let g = grid2d(4, 5);
+        assert_eq!(g.n(), 20);
+        // Horizontal edges: 4 * 4, vertical edges: 3 * 5.
+        assert_eq!(g.m(), 16 + 15);
+        assert_eq!(g.max_degree(), 4);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn grid3d_has_expected_edges() {
+        let g = grid3d(3, 3, 3);
+        assert_eq!(g.n(), 27);
+        assert_eq!(g.m(), 3 * (2 * 3 * 3));
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(10);
+        assert_eq!(p.m(), 9);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(5), 2);
+        let c = cycle(10);
+        assert_eq!(c.m(), 10);
+        assert!((0..10).all(|u| c.degree(u) == 2));
+    }
+
+    #[test]
+    fn complete_and_star() {
+        let k = complete(6);
+        assert_eq!(k.m(), 15);
+        assert!((0..6).all(|u| k.degree(u) == 5));
+        let s = star(6);
+        assert_eq!(s.m(), 5);
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.degree(1), 1);
+    }
+
+    #[test]
+    fn clique_chain_structure() {
+        let g = clique_chain(3, 4);
+        assert_eq!(g.n(), 12);
+        // 3 cliques of 6 edges each plus 2 bridges.
+        assert_eq!(g.m(), 3 * 6 + 2);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic() {
+        let a = erdos_renyi(100, 300, 7);
+        let b = erdos_renyi(100, 300, 7);
+        assert_eq!(a, b);
+        let c = erdos_renyi(100, 300, 8);
+        assert!(a.m() > 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rgg2d_has_reasonable_degree_and_locality() {
+        let g = rgg2d(2000, 16, 3);
+        assert_eq!(g.n(), 2000);
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(avg > 4.0 && avg < 40.0, "average degree {} out of range", avg);
+        // No high-degree hubs in a geometric graph.
+        assert!(g.max_degree() < 100);
+    }
+
+    #[test]
+    fn rhg_like_has_skewed_degrees() {
+        let g = rhg_like(2000, 16, 3.0, 11);
+        assert_eq!(g.n(), 2000);
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(avg > 2.0, "average degree too small: {}", avg);
+        // Power-law graphs have hubs well above the average degree.
+        assert!(g.max_degree() > 4 * avg as usize, "max degree {} not skewed", g.max_degree());
+    }
+
+    #[test]
+    fn weblike_is_heavy_tailed_and_deterministic() {
+        let g = weblike(10, 8, 5);
+        assert_eq!(g.n(), 1024);
+        assert!(g.m() > 1000);
+        assert!(g.max_degree() > 20);
+        assert_eq!(g, weblike(10, 8, 5));
+    }
+
+    #[test]
+    fn random_weights_preserve_structure() {
+        let g = grid2d(6, 6);
+        let w = with_random_edge_weights(&g, 50, 1);
+        assert_eq!(g.n(), w.n());
+        assert_eq!(g.m(), w.m());
+        assert!(w.is_edge_weighted());
+        let nw = with_random_node_weights(&g, 9, 2);
+        assert_eq!(nw.n(), g.n());
+        assert!(nw.is_node_weighted());
+        assert!(nw.total_node_weight() >= g.total_node_weight());
+    }
+}

@@ -1,0 +1,561 @@
+//! Graph I/O: METIS text format, a simple binary format, and streaming compression.
+//!
+//! The paper stores its instances in an uncompressed binary format on disk and compresses
+//! them *during* the single streaming pass into memory (§III-B). [`read_metis_compressed`]
+//! and [`read_binary_compressed`] reproduce that flow: neighbourhoods are encoded as they
+//! are parsed, so the uncompressed graph never exists in memory.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::compressed::{encode_neighborhood, CompressedGraph, CompressionConfig};
+use crate::csr::{CsrGraph, CsrGraphBuilder};
+use crate::traits::Graph;
+use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+
+/// Magic bytes of the binary graph format.
+const BINARY_MAGIC: &[u8; 4] = b"TPGB";
+/// Version of the binary graph format.
+const BINARY_VERSION: u32 = 1;
+
+/// Errors produced by the I/O routines.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is syntactically or semantically malformed.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {}", e),
+            IoError::Format(msg) => write!(f, "format error: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes `graph` in the METIS text format.
+///
+/// The header is `n m [fmt]` where `fmt` is `1` for edge weights, `10` for node weights,
+/// `11` for both. Vertex lines list neighbours 1-indexed, each followed by its edge
+/// weight when edge weights are present.
+pub fn write_metis(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let fmt = match (graph.is_node_weighted(), graph.is_edge_weighted()) {
+        (false, false) => String::new(),
+        (false, true) => " 1".to_string(),
+        (true, false) => " 10".to_string(),
+        (true, true) => " 11".to_string(),
+    };
+    writeln!(w, "{} {}{}", graph.n(), graph.m(), fmt)?;
+    for u in 0..graph.n() as NodeId {
+        let mut line = String::new();
+        if graph.is_node_weighted() {
+            line.push_str(&format!("{} ", graph.node_weight(u)));
+        }
+        graph.for_each_neighbor(u, &mut |v, wt| {
+            line.push_str(&format!("{} ", v + 1));
+            if graph.is_edge_weighted() {
+                line.push_str(&format!("{} ", wt));
+            }
+        });
+        writeln!(w, "{}", line.trim_end())?;
+    }
+    Ok(())
+}
+
+/// Parsed METIS header.
+struct MetisHeader {
+    n: usize,
+    m: usize,
+    has_node_weights: bool,
+    has_edge_weights: bool,
+}
+
+fn parse_metis_header(line: &str) -> Result<MetisHeader, IoError> {
+    let mut it = line.split_whitespace();
+    let n: usize = it
+        .next()
+        .ok_or_else(|| IoError::Format("missing vertex count".into()))?
+        .parse()
+        .map_err(|_| IoError::Format("invalid vertex count".into()))?;
+    let m: usize = it
+        .next()
+        .ok_or_else(|| IoError::Format("missing edge count".into()))?
+        .parse()
+        .map_err(|_| IoError::Format("invalid edge count".into()))?;
+    let fmt = it.next().unwrap_or("0");
+    let (has_node_weights, has_edge_weights) = match fmt {
+        "0" | "00" | "" => (false, false),
+        "1" | "01" => (false, true),
+        "10" => (true, false),
+        "11" => (true, true),
+        other => return Err(IoError::Format(format!("unsupported fmt field '{}'", other))),
+    };
+    Ok(MetisHeader { n, m, has_node_weights, has_edge_weights })
+}
+
+/// Reads a graph in the METIS text format into a CSR graph.
+pub fn read_metis(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut lines = reader.lines().filter(|l| {
+        l.as_ref().map(|s| !s.trim_start().starts_with('%')).unwrap_or(true)
+    });
+    let header_line = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty file".into()))??;
+    let header = parse_metis_header(&header_line)?;
+    let mut builder = CsrGraphBuilder::new(header.n);
+    for u in 0..header.n {
+        let line = lines
+            .next()
+            .ok_or_else(|| IoError::Format(format!("missing line for vertex {}", u + 1)))??;
+        let mut tokens = line.split_whitespace();
+        if header.has_node_weights {
+            let w: NodeWeight = tokens
+                .next()
+                .ok_or_else(|| IoError::Format("missing node weight".into()))?
+                .parse()
+                .map_err(|_| IoError::Format("invalid node weight".into()))?;
+            builder.set_node_weight(u as NodeId, w);
+        }
+        loop {
+            let Some(tok) = tokens.next() else { break };
+            let v: usize = tok
+                .parse()
+                .map_err(|_| IoError::Format(format!("invalid neighbor '{}'", tok)))?;
+            if v == 0 || v > header.n {
+                return Err(IoError::Format(format!("neighbor {} out of range", v)));
+            }
+            let weight: EdgeWeight = if header.has_edge_weights {
+                tokens
+                    .next()
+                    .ok_or_else(|| IoError::Format("missing edge weight".into()))?
+                    .parse()
+                    .map_err(|_| IoError::Format("invalid edge weight".into()))?
+            } else {
+                1
+            };
+            // METIS files list every undirected edge in both endpoints' lines; add it
+            // only once so the builder does not merge the two copies into weight 2w.
+            if v - 1 > u {
+                builder.add_edge(u as NodeId, (v - 1) as NodeId, weight);
+            }
+        }
+    }
+    let graph = builder.build();
+    if graph.m() != header.m {
+        // METIS files may count each edge once; tolerate a mismatch but not silently.
+        if graph.m() * 2 != header.m {
+            return Err(IoError::Format(format!(
+                "edge count mismatch: header says {}, file contains {}",
+                header.m,
+                graph.m()
+            )));
+        }
+    }
+    Ok(graph)
+}
+
+/// Reads a METIS file and compresses it on the fly in a single pass: each vertex line is
+/// parsed and its neighbourhood immediately encoded, so no uncompressed adjacency array is
+/// ever materialised.
+pub fn read_metis_compressed(
+    path: impl AsRef<Path>,
+    config: &CompressionConfig,
+) -> Result<CompressedGraph, IoError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut lines = reader.lines().filter(|l| {
+        l.as_ref().map(|s| !s.trim_start().starts_with('%')).unwrap_or(true)
+    });
+    let header_line = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty file".into()))??;
+    let header = parse_metis_header(&header_line)?;
+
+    let mut offsets = Vec::with_capacity(header.n + 1);
+    let mut data = Vec::new();
+    let mut node_weights = if header.has_node_weights {
+        Vec::with_capacity(header.n)
+    } else {
+        Vec::new()
+    };
+    offsets.push(0u64);
+    let mut first_edge: EdgeId = 0;
+    let mut total_edge_weight: EdgeWeight = 0;
+    let mut max_degree = 0usize;
+    let mut half_edges = 0usize;
+    for u in 0..header.n {
+        let line = lines
+            .next()
+            .ok_or_else(|| IoError::Format(format!("missing line for vertex {}", u + 1)))??;
+        let mut tokens = line.split_whitespace();
+        if header.has_node_weights {
+            let w: NodeWeight = tokens
+                .next()
+                .ok_or_else(|| IoError::Format("missing node weight".into()))?
+                .parse()
+                .map_err(|_| IoError::Format("invalid node weight".into()))?;
+            node_weights.push(w);
+        }
+        let mut nbrs: Vec<(NodeId, EdgeWeight)> = Vec::new();
+        loop {
+            let Some(tok) = tokens.next() else { break };
+            let v: usize = tok
+                .parse()
+                .map_err(|_| IoError::Format(format!("invalid neighbor '{}'", tok)))?;
+            let weight: EdgeWeight = if header.has_edge_weights {
+                tokens
+                    .next()
+                    .ok_or_else(|| IoError::Format("missing edge weight".into()))?
+                    .parse()
+                    .map_err(|_| IoError::Format("invalid edge weight".into()))?
+            } else {
+                1
+            };
+            nbrs.push(((v - 1) as NodeId, weight));
+        }
+        nbrs.sort_unstable_by_key(|&(v, _)| v);
+        nbrs.dedup_by_key(|&mut (v, _)| v);
+        total_edge_weight += nbrs.iter().map(|&(_, w)| w).sum::<EdgeWeight>();
+        max_degree = max_degree.max(nbrs.len());
+        half_edges += nbrs.len();
+        encode_neighborhood(
+            u as NodeId,
+            first_edge,
+            &nbrs,
+            header.has_edge_weights && config.compress_edge_weights,
+            config,
+            &mut data,
+        );
+        first_edge += nbrs.len() as EdgeId;
+        offsets.push(data.len() as u64);
+    }
+    let total_node_weight = if header.has_node_weights {
+        node_weights.iter().sum()
+    } else {
+        header.n as NodeWeight
+    };
+    Ok(CompressedGraph::from_encoded_parts(
+        header.n,
+        half_edges / 2,
+        offsets,
+        data,
+        node_weights,
+        header.has_edge_weights,
+        total_node_weight,
+        total_edge_weight / 2,
+        max_degree,
+        config.clone(),
+    ))
+}
+
+/// Writes `graph` in the binary format (`TPGB` magic, little-endian arrays).
+pub fn write_binary(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&BINARY_VERSION.to_le_bytes())?;
+    w.write_all(&(graph.n() as u64).to_le_bytes())?;
+    w.write_all(&(graph.adjacency().len() as u64).to_le_bytes())?;
+    let flags: u32 = (graph.is_edge_weighted() as u32) | ((graph.is_node_weighted() as u32) << 1);
+    w.write_all(&flags.to_le_bytes())?;
+    for &offset in graph.xadj() {
+        w.write_all(&offset.to_le_bytes())?;
+    }
+    for &v in graph.adjacency() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    if graph.is_edge_weighted() {
+        for &ew in graph.raw_edge_weights() {
+            w.write_all(&ew.to_le_bytes())?;
+        }
+    }
+    if graph.is_node_weighted() {
+        for &nw in graph.raw_node_weights() {
+            w.write_all(&nw.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_exact_u64(r: &mut impl Read) -> Result<u64, IoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_exact_u32(r: &mut impl Read) -> Result<u32, IoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads a graph written by [`write_binary`].
+pub fn read_binary(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(IoError::Format("bad magic".into()));
+    }
+    let version = read_exact_u32(&mut r)?;
+    if version != BINARY_VERSION {
+        return Err(IoError::Format(format!("unsupported version {}", version)));
+    }
+    let n = read_exact_u64(&mut r)? as usize;
+    let half_edges = read_exact_u64(&mut r)? as usize;
+    let flags = read_exact_u32(&mut r)?;
+    let edge_weighted = flags & 1 != 0;
+    let node_weighted = flags & 2 != 0;
+    let mut xadj = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        xadj.push(read_exact_u64(&mut r)?);
+    }
+    let mut adjacency = Vec::with_capacity(half_edges);
+    for _ in 0..half_edges {
+        adjacency.push(read_exact_u32(&mut r)?);
+    }
+    let mut edge_weights = Vec::new();
+    if edge_weighted {
+        edge_weights.reserve(half_edges);
+        for _ in 0..half_edges {
+            edge_weights.push(read_exact_u64(&mut r)?);
+        }
+    }
+    let mut node_weights = Vec::new();
+    if node_weighted {
+        node_weights.reserve(n);
+        for _ in 0..n {
+            node_weights.push(read_exact_u64(&mut r)?);
+        }
+    }
+    Ok(CsrGraph::from_parts(xadj, adjacency, edge_weights, node_weights))
+}
+
+/// Reads a binary graph and compresses it on the fly, one neighbourhood at a time.
+/// This is the flow used for the huge-graph experiments: the CSR arrays of the whole graph
+/// never exist in memory simultaneously (only one neighbourhood at a time is buffered).
+pub fn read_binary_compressed(
+    path: impl AsRef<Path>,
+    config: &CompressionConfig,
+) -> Result<CompressedGraph, IoError> {
+    // The binary layout stores xadj before adjacency, so a strictly single-pass read is
+    // possible by keeping only the offset array (O(n)) plus one neighbourhood buffer.
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(IoError::Format("bad magic".into()));
+    }
+    let version = read_exact_u32(&mut r)?;
+    if version != BINARY_VERSION {
+        return Err(IoError::Format(format!("unsupported version {}", version)));
+    }
+    let n = read_exact_u64(&mut r)? as usize;
+    let half_edges = read_exact_u64(&mut r)? as usize;
+    let flags = read_exact_u32(&mut r)?;
+    let edge_weighted = flags & 1 != 0;
+    let node_weighted = flags & 2 != 0;
+    let mut xadj = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        xadj.push(read_exact_u64(&mut r)?);
+    }
+    // Adjacency: stream one neighbourhood at a time.
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u64);
+    let mut data = Vec::new();
+    let mut max_degree = 0usize;
+    // Edge weights are stored after the adjacency array in the file, so for weighted
+    // graphs we must buffer neighbour IDs for a second sub-pass; for unweighted graphs
+    // (the common huge-web-graph case) the compression is truly single-pass.
+    let mut buffered: Vec<Vec<NodeId>> = Vec::new();
+    for u in 0..n {
+        let degree = (xadj[u + 1] - xadj[u]) as usize;
+        max_degree = max_degree.max(degree);
+        let mut nbrs: Vec<NodeId> = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            nbrs.push(read_exact_u32(&mut r)?);
+        }
+        nbrs.sort_unstable();
+        if edge_weighted {
+            buffered.push(nbrs);
+        } else {
+            let pairs: Vec<(NodeId, EdgeWeight)> = nbrs.into_iter().map(|v| (v, 1)).collect();
+            encode_neighborhood(u as NodeId, xadj[u], &pairs, false, config, &mut data);
+            offsets.push(data.len() as u64);
+        }
+    }
+    let mut total_edge_weight: EdgeWeight = (half_edges / 2) as EdgeWeight;
+    if edge_weighted {
+        let mut weights = Vec::with_capacity(half_edges);
+        for _ in 0..half_edges {
+            weights.push(read_exact_u64(&mut r)?);
+        }
+        total_edge_weight = weights.iter().sum::<EdgeWeight>() / 2;
+        for (u, nbrs) in buffered.into_iter().enumerate() {
+            let begin = xadj[u] as usize;
+            let pairs: Vec<(NodeId, EdgeWeight)> = nbrs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, weights[begin + i]))
+                .collect();
+            encode_neighborhood(
+                u as NodeId,
+                xadj[u],
+                &pairs,
+                config.compress_edge_weights,
+                config,
+                &mut data,
+            );
+            offsets.push(data.len() as u64);
+        }
+    }
+    let mut node_weights = Vec::new();
+    let mut total_node_weight = n as NodeWeight;
+    if node_weighted {
+        node_weights.reserve(n);
+        for _ in 0..n {
+            node_weights.push(read_exact_u64(&mut r)?);
+        }
+        total_node_weight = node_weights.iter().sum();
+    }
+    Ok(CompressedGraph::from_encoded_parts(
+        n,
+        half_edges / 2,
+        offsets,
+        data,
+        node_weights,
+        edge_weighted,
+        total_node_weight,
+        total_edge_weight,
+        max_degree,
+        config.clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("terapart_io_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn assert_graph_eq_sorted(a: &CsrGraph, b: &CsrGraph) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        for u in 0..a.n() as NodeId {
+            let mut na = a.neighbors_vec(u);
+            let mut nb = b.neighbors_vec(u);
+            na.sort_unstable();
+            nb.sort_unstable();
+            assert_eq!(na, nb, "vertex {}", u);
+            assert_eq!(a.node_weight(u), b.node_weight(u));
+        }
+    }
+
+    #[test]
+    fn metis_round_trip_unweighted() {
+        let g = gen::grid2d(7, 5);
+        let path = tmp("metis_unweighted.graph");
+        write_metis(&g, &path).unwrap();
+        let h = read_metis(&path).unwrap();
+        assert_graph_eq_sorted(&g, &h);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metis_round_trip_weighted() {
+        let g = gen::with_random_edge_weights(&gen::erdos_renyi(50, 200, 1), 9, 2);
+        let g = gen::with_random_node_weights(&g, 4, 3);
+        let path = tmp("metis_weighted.graph");
+        write_metis(&g, &path).unwrap();
+        let h = read_metis(&path).unwrap();
+        assert!(h.is_edge_weighted());
+        assert!(h.is_node_weighted());
+        assert_graph_eq_sorted(&g, &h);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metis_streaming_compression_matches_two_pass() {
+        let g = gen::rhg_like(400, 8, 3.0, 4);
+        let path = tmp("metis_stream.graph");
+        write_metis(&g, &path).unwrap();
+        let config = CompressionConfig::default();
+        let streamed = read_metis_compressed(&path, &config).unwrap();
+        let csr = read_metis(&path).unwrap();
+        let reference = CompressedGraph::from_csr(&csr, &config);
+        assert_eq!(streamed.n(), reference.n());
+        assert_eq!(streamed.m(), reference.m());
+        assert_eq!(streamed.encoded_data_bytes(), reference.encoded_data_bytes());
+        for u in 0..csr.n() as NodeId {
+            assert_eq!(streamed.neighbors_vec(u), reference.neighbors_vec(u));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = gen::with_random_edge_weights(&gen::grid2d(10, 10), 7, 5);
+        let path = tmp("binary.bin");
+        write_binary(&g, &path).unwrap();
+        let h = read_binary(&path).unwrap();
+        assert_eq!(g, h);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn binary_streaming_compression_matches() {
+        let g = gen::weblike(9, 6, 8);
+        let path = tmp("binary_stream.bin");
+        write_binary(&g, &path).unwrap();
+        let config = CompressionConfig::default();
+        let streamed = read_binary_compressed(&path, &config).unwrap();
+        let reference = CompressedGraph::from_csr(&g, &config);
+        assert_eq!(streamed.m(), reference.m());
+        for u in 0..g.n() as NodeId {
+            assert_eq!(streamed.neighbors_vec(u), reference.neighbors_vec(u));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        let path = tmp("malformed.graph");
+        std::fs::write(&path, "not a graph\n").unwrap();
+        assert!(read_metis(&path).is_err());
+        std::fs::write(&path, "3 2\n2 3\n1\n").unwrap();
+        // Vertex 3's line is missing.
+        assert!(read_metis(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let path = tmp("bad_magic.bin");
+        std::fs::write(&path, b"XXXX0000000000000000").unwrap();
+        assert!(read_binary(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

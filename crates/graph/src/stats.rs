@@ -1,0 +1,162 @@
+//! Instance statistics (Table I / Figure 9 of the paper).
+
+use crate::traits::Graph;
+use crate::NodeId;
+
+/// Summary statistics of a graph instance, matching the columns of Table I:
+/// number of vertices `n`, number of undirected edges `m`, average degree and maximum
+/// degree, plus weightedness flags used by the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Average degree `2m / n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Number of isolated (degree-zero) vertices.
+    pub isolated: usize,
+    /// Whether the graph carries non-uniform edge weights.
+    pub edge_weighted: bool,
+    /// Whether the graph carries non-uniform node weights.
+    pub node_weighted: bool,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn of(graph: &impl Graph) -> Self {
+        let n = graph.n();
+        let m = graph.m();
+        let mut max_degree = 0;
+        let mut min_degree = usize::MAX;
+        let mut isolated = 0;
+        for u in 0..n as NodeId {
+            let d = graph.degree(u);
+            max_degree = max_degree.max(d);
+            min_degree = min_degree.min(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        if n == 0 {
+            min_degree = 0;
+        }
+        Self {
+            n,
+            m,
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            max_degree,
+            min_degree,
+            isolated,
+            edge_weighted: graph.is_edge_weighted(),
+            node_weighted: graph.is_node_weighted(),
+        }
+    }
+
+    /// Formats the statistics as one row of a Table-I-style report.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{:<20} {:>12} {:>14} {:>8.1} {:>10}",
+            name, self.n, self.m, self.avg_degree, self.max_degree
+        )
+    }
+}
+
+/// Computes the degree histogram of a graph as `(degree, count)` pairs sorted by degree.
+/// Used for the Figure 9 style instance overview.
+pub fn degree_histogram(graph: &impl Graph) -> Vec<(usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for u in 0..graph.n() as NodeId {
+        *counts.entry(graph.degree(u)).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Measures neighbour-ID locality: the average absolute gap between consecutive sorted
+/// neighbour IDs, normalised by `n`. Smaller values mean better locality and better
+/// compression.
+pub fn locality_score(graph: &impl Graph) -> f64 {
+    let n = graph.n();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total_gap = 0u64;
+    let mut total_edges = 0u64;
+    for u in 0..n as NodeId {
+        let mut nbrs: Vec<NodeId> = Vec::with_capacity(graph.degree(u));
+        graph.for_each_neighbor(u, &mut |v, _| nbrs.push(v));
+        nbrs.sort_unstable();
+        let mut prev = u;
+        for &v in &nbrs {
+            total_gap += u64::from(v.abs_diff(prev));
+            prev = v;
+            total_edges += 1;
+        }
+    }
+    if total_edges == 0 {
+        0.0
+    } else {
+        (total_gap as f64 / total_edges as f64) / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::permute;
+
+    #[test]
+    fn stats_of_grid() {
+        let g = gen::grid2d(4, 4);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 16);
+        assert_eq!(s.m, 24);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg_degree - 3.0).abs() < 1e-9);
+        assert!(!s.edge_weighted);
+        let row = s.table_row("grid4x4");
+        assert!(row.contains("grid4x4"));
+        assert!(row.contains("16"));
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = crate::csr::CsrGraphBuilder::new(0).build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = gen::rhg_like(500, 8, 3.0, 2);
+        let hist = degree_histogram(&g);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, g.n());
+        assert!(hist.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn locality_score_detects_shuffling() {
+        let g = gen::grid2d(30, 30);
+        let shuffled = permute::apply_permutation(&g, &permute::random_order(g.n(), 1));
+        assert!(locality_score(&g) < locality_score(&shuffled));
+    }
+
+    #[test]
+    fn star_has_isolated_free_skewed_stats() {
+        let g = gen::star(100);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.max_degree, 99);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.isolated, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-phase peak memory attribution (reproduces the Figure 2 breakdown).
+//!
+//! The multilevel partitioner runs a sequence of named phases per level (clustering,
+//! contraction, uncoarsening/refinement, ...). A [`PhaseTracker`] records, for each phase
+//! invocation, the global peak memory observed *during* that phase together with the
+//! memory held at phase entry. The resulting [`PhaseReport`]s form the stacked bars of
+//! Figure 2 in the paper.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::counter::global;
+
+/// Statistics captured for one phase invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Phase name, e.g. `"cluster"`, `"contract"`, `"refine"`.
+    pub name: String,
+    /// Hierarchy level the phase ran on (0 = input graph).
+    pub level: usize,
+    /// Bytes live when the phase started.
+    pub bytes_at_entry: usize,
+    /// Peak bytes observed while the phase ran.
+    pub peak_bytes: usize,
+    /// Bytes live when the phase finished.
+    pub bytes_at_exit: usize,
+    /// Wall-clock time spent in the phase.
+    pub elapsed: Duration,
+}
+
+impl PhaseReport {
+    /// Auxiliary memory attributable to the phase itself: peak minus what was already
+    /// live at entry (e.g. the input graph and the hierarchy built so far).
+    pub fn auxiliary_bytes(&self) -> usize {
+        self.peak_bytes.saturating_sub(self.bytes_at_entry)
+    }
+}
+
+/// Records per-phase peak memory and timing for a partitioner run.
+#[derive(Debug, Default)]
+pub struct PhaseTracker {
+    reports: Mutex<Vec<PhaseReport>>,
+}
+
+impl PhaseTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` as a named phase, capturing entry/peak/exit memory and elapsed time.
+    ///
+    /// Phases may nest; each invocation produces its own report. The global peak counter
+    /// is reset to the current value at phase entry so that the recorded peak belongs to
+    /// this phase (the overall run peak is the maximum over all reports).
+    pub fn run<T>(&self, name: &str, level: usize, f: impl FnOnce() -> T) -> T {
+        let entry = global().current();
+        global().reset_peak();
+        let start = Instant::now();
+        let result = f();
+        let elapsed = start.elapsed();
+        let peak = global().peak();
+        let exit = global().current();
+        self.reports.lock().push(PhaseReport {
+            name: name.to_string(),
+            level,
+            bytes_at_entry: entry,
+            peak_bytes: peak.max(entry),
+            bytes_at_exit: exit,
+            elapsed,
+        });
+        result
+    }
+
+    /// Records an externally measured phase (used by code that cannot wrap the phase in a
+    /// closure, e.g. across FFI-style boundaries or when replaying saved measurements).
+    pub fn record(&self, report: PhaseReport) {
+        self.reports.lock().push(report);
+    }
+
+    /// Returns all reports recorded so far, in execution order.
+    pub fn reports(&self) -> Vec<PhaseReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Returns the maximum phase peak, i.e. the overall peak memory of the tracked run.
+    pub fn overall_peak(&self) -> usize {
+        self.reports
+            .lock()
+            .iter()
+            .map(|r| r.peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns the total elapsed time across all recorded phases.
+    pub fn total_elapsed(&self) -> Duration {
+        self.reports.lock().iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Returns the peak memory of the phase with the given name (max over levels), if any
+    /// such phase was recorded.
+    pub fn peak_of(&self, name: &str) -> Option<usize> {
+        self.reports
+            .lock()
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.peak_bytes)
+            .max()
+    }
+
+    /// Removes all recorded reports.
+    pub fn clear(&self) {
+        self.reports.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::MemoryScope;
+
+    #[test]
+    fn phases_capture_peak_and_order() {
+        let tracker = PhaseTracker::new();
+        tracker.run("cluster", 0, || {
+            let _scope = MemoryScope::charge_global(10 * 1024 * 1024);
+        });
+        tracker.run("contract", 0, || {
+            let _scope = MemoryScope::charge_global(2 * 1024 * 1024);
+        });
+        let reports = tracker.reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].name, "cluster");
+        assert_eq!(reports[1].name, "contract");
+        assert!(reports[0].auxiliary_bytes() >= 10 * 1024 * 1024);
+        assert!(reports[1].auxiliary_bytes() >= 2 * 1024 * 1024);
+        assert!(tracker.overall_peak() >= 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn peak_of_selects_by_name() {
+        let tracker = PhaseTracker::new();
+        tracker.run("cluster", 0, || {
+            let _s = MemoryScope::charge_global(4096);
+        });
+        tracker.run("cluster", 1, || {
+            let _s = MemoryScope::charge_global(128);
+        });
+        assert!(tracker.peak_of("cluster").unwrap() >= 4096);
+        assert!(tracker.peak_of("refine").is_none());
+    }
+
+    #[test]
+    fn run_returns_closure_value() {
+        let tracker = PhaseTracker::new();
+        let value = tracker.run("compute", 3, || 42);
+        assert_eq!(value, 42);
+        assert_eq!(tracker.reports()[0].level, 3);
+    }
+
+    #[test]
+    fn clear_empties_reports() {
+        let tracker = PhaseTracker::new();
+        tracker.run("a", 0, || ());
+        tracker.clear();
+        assert!(tracker.reports().is_empty());
+        assert_eq!(tracker.overall_peak(), 0);
+    }
+
+    #[test]
+    fn record_external_report() {
+        let tracker = PhaseTracker::new();
+        tracker.record(PhaseReport {
+            name: "io".into(),
+            level: 0,
+            bytes_at_entry: 0,
+            peak_bytes: 777,
+            bytes_at_exit: 100,
+            elapsed: Duration::from_millis(5),
+        });
+        assert_eq!(tracker.peak_of("io"), Some(777));
+        assert!(tracker.total_elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,528 @@
+//! Cluster contraction: buffered (baseline) and one-pass (TeraPart) algorithms
+//! (paper §IV-B).
+//!
+//! Given a clustering, contraction builds the coarse graph whose vertices are the
+//! clusters and whose edge weights aggregate the fine edge weights between clusters.
+//!
+//! * [`ContractionAlgorithm::Buffered`] aggregates the coarse neighbourhoods into
+//!   per-cluster buffers, computes the degree prefix sum, and then copies the buffers
+//!   into the CSR arrays — the coarse graph is held in memory twice at the peak.
+//! * [`ContractionAlgorithm::OnePass`] appends each coarse neighbourhood directly to the
+//!   (over-reserved) coarse edge array as soon as it has been aggregated. The write
+//!   position and the new coarse vertex ID are obtained from a single atomic transaction
+//!   on the [`DualCounter`]; vertex IDs are assigned in commit order, so the
+//!   neighbourhoods of consecutive coarse IDs are consecutive in the edge array and no
+//!   shuffling is needed. Endpoints are remapped from old cluster labels to new coarse
+//!   IDs at the very end.
+//!
+//! Both algorithms use the two-phase aggregation idea: clusters whose coarse
+//! neighbourhood exceeds the bump threshold are deferred to a sequential second phase
+//! that may use an `O(n)` rating map.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use graph::csr::CsrGraph;
+use graph::traits::Graph;
+use graph::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+use memtrack::MemoryScope;
+use rayon::prelude::*;
+
+use crate::context::ContractionAlgorithm;
+use crate::dual_counter::DualCounter;
+use crate::ClusterId;
+
+use super::lp_clustering::Clustering;
+use super::rating_map::{FixedCapacityHashMap, SparseRatingMap};
+
+/// Result of contracting a clustering.
+#[derive(Debug, Clone)]
+pub struct ContractionResult {
+    /// The coarse graph. Coarse vertex weights are the summed weights of the cluster
+    /// members; coarse edge weights aggregate all fine edges between the two clusters.
+    pub coarse: CsrGraph,
+    /// `mapping[u]` is the coarse vertex that fine vertex `u` was contracted into.
+    pub mapping: Vec<NodeId>,
+}
+
+/// Number of fine half-edges batched per dual-counter transaction in one-pass
+/// contraction (reduces contention on the atomic counter, paper §IV-B2).
+const BATCH_EDGE_CAPACITY: usize = 4096;
+
+/// Contracts `clustering` on `graph` using the selected algorithm.
+pub fn contract(
+    graph: &impl Graph,
+    clustering: &Clustering,
+    algorithm: ContractionAlgorithm,
+    bump_threshold: usize,
+) -> ContractionResult {
+    match algorithm {
+        ContractionAlgorithm::Buffered => contract_buffered(graph, clustering),
+        ContractionAlgorithm::OnePass => contract_one_pass(graph, clustering, bump_threshold),
+    }
+}
+
+/// Groups the vertices of each cluster label: returns `(leaders, members)` where
+/// `members[i]` lists the fine vertices labelled `leaders[i]`.
+fn cluster_buckets(graph: &impl Graph, clustering: &Clustering) -> (Vec<ClusterId>, Vec<Vec<NodeId>>) {
+    let n = graph.n();
+    let mut bucket_of_label: Vec<u32> = vec![u32::MAX; n];
+    let mut leaders: Vec<ClusterId> = Vec::with_capacity(clustering.num_clusters);
+    let mut members: Vec<Vec<NodeId>> = Vec::with_capacity(clustering.num_clusters);
+    for u in 0..n as NodeId {
+        let label = clustering.label[u as usize];
+        let bucket = bucket_of_label[label as usize];
+        if bucket == u32::MAX {
+            bucket_of_label[label as usize] = leaders.len() as u32;
+            leaders.push(label);
+            members.push(vec![u]);
+        } else {
+            members[bucket as usize].push(u);
+        }
+    }
+    (leaders, members)
+}
+
+/// Baseline contraction: aggregate into per-cluster buffers, then copy into CSR arrays.
+fn contract_buffered(graph: &impl Graph, clustering: &Clustering) -> ContractionResult {
+    let n = graph.n();
+    if n == 0 {
+        return ContractionResult { coarse: graph::CsrGraphBuilder::new(0).build(), mapping: Vec::new() };
+    }
+    let (leaders, members) = cluster_buckets(graph, clustering);
+    let n_coarse = leaders.len();
+    // Old label -> coarse vertex ID (in bucket order).
+    let mut coarse_of_label: Vec<NodeId> = vec![NodeId::MAX; n];
+    for (coarse, &leader) in leaders.iter().enumerate() {
+        coarse_of_label[leader as usize] = coarse as NodeId;
+    }
+    let mapping: Vec<NodeId> = (0..n)
+        .map(|u| coarse_of_label[clustering.label[u] as usize])
+        .collect();
+
+    // Aggregate each coarse neighbourhood into its own buffer (this is the transient
+    // second copy of the coarse graph that one-pass contraction eliminates).
+    let buffers: Vec<(NodeWeight, Vec<(NodeId, EdgeWeight)>)> = members
+        .par_iter()
+        .enumerate()
+        .map(|(coarse, cluster)| {
+            let mut ratings: std::collections::HashMap<NodeId, EdgeWeight> =
+                std::collections::HashMap::new();
+            let mut weight: NodeWeight = 0;
+            for &u in cluster {
+                weight += graph.node_weight(u);
+                graph.for_each_neighbor(u, &mut |v, w| {
+                    let target = mapping[v as usize];
+                    if target != coarse as NodeId {
+                        *ratings.entry(target).or_insert(0) += w;
+                    }
+                });
+            }
+            let mut edges: Vec<(NodeId, EdgeWeight)> = ratings.into_iter().collect();
+            edges.sort_unstable_by_key(|&(v, _)| v);
+            (weight, edges)
+        })
+        .collect();
+
+    // Charge the transient buffers to the memory accounting: this is the extra copy of
+    // the coarse graph that the paper's Figure 2 attributes to "Contraction".
+    let buffer_bytes: usize = buffers
+        .iter()
+        .map(|(_, edges)| edges.len() * (std::mem::size_of::<NodeId>() + std::mem::size_of::<EdgeWeight>()))
+        .sum();
+    let _scope = MemoryScope::charge_global(buffer_bytes);
+
+    // Prefix sum over degrees, then copy the buffers into the CSR arrays.
+    let mut xadj: Vec<EdgeId> = Vec::with_capacity(n_coarse + 1);
+    xadj.push(0);
+    let mut acc: EdgeId = 0;
+    for (_, edges) in &buffers {
+        acc += edges.len() as EdgeId;
+        xadj.push(acc);
+    }
+    let mut adjacency: Vec<NodeId> = Vec::with_capacity(acc as usize);
+    let mut edge_weights: Vec<EdgeWeight> = Vec::with_capacity(acc as usize);
+    let mut node_weights: Vec<NodeWeight> = Vec::with_capacity(n_coarse);
+    for (weight, edges) in &buffers {
+        node_weights.push(*weight);
+        for &(v, w) in edges {
+            adjacency.push(v);
+            edge_weights.push(w);
+        }
+    }
+    let coarse = CsrGraph::from_parts(xadj, adjacency, edge_weights, node_weights);
+    ContractionResult { coarse, mapping }
+}
+
+/// One-pass contraction (paper §IV-B2).
+fn contract_one_pass(
+    graph: &impl Graph,
+    clustering: &Clustering,
+    bump_threshold: usize,
+) -> ContractionResult {
+    let n = graph.n();
+    if n == 0 {
+        return ContractionResult { coarse: graph::CsrGraphBuilder::new(0).build(), mapping: Vec::new() };
+    }
+    let (leaders, members) = cluster_buckets(graph, clustering);
+    let upper_bound_edges = 2 * graph.m();
+
+    // Over-reserved output arrays. Only the first 2m' entries will ever be written; the
+    // memory-accounting model charges committed bytes through the scope below.
+    let coarse_edges: Vec<AtomicU32> = {
+        let mut v = Vec::with_capacity(upper_bound_edges);
+        v.resize_with(upper_bound_edges, || AtomicU32::new(0));
+        v
+    };
+    let coarse_edge_weights: Vec<AtomicU64> = {
+        let mut v = Vec::with_capacity(upper_bound_edges);
+        v.resize_with(upper_bound_edges, || AtomicU64::new(0));
+        v
+    };
+    // Per coarse vertex (at most n of them): neighbourhood start, node weight.
+    let starts: Vec<AtomicU64> = {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        v
+    };
+    let degrees: Vec<AtomicU32> = {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU32::new(0));
+        v
+    };
+    let coarse_node_weights: Vec<AtomicU64> = {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        v
+    };
+    // Old cluster label -> new coarse vertex ID, filled as neighbourhoods are committed.
+    let remap: Vec<AtomicU32> = {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU32::new(NodeId::MAX));
+        v
+    };
+    let dual = DualCounter::new();
+
+    // A buffered batch of aggregated coarse neighbourhoods awaiting a dual-counter
+    // transaction.
+    struct Batch {
+        /// (old label, node weight, number of edges) per coarse vertex in the batch.
+        vertices: Vec<(ClusterId, NodeWeight, u32)>,
+        /// Concatenated (old target label, weight) pairs.
+        edges: Vec<(ClusterId, EdgeWeight)>,
+    }
+
+    impl Batch {
+        fn new() -> Self {
+            Self { vertices: Vec::new(), edges: Vec::with_capacity(BATCH_EDGE_CAPACITY) }
+        }
+        fn is_empty(&self) -> bool {
+            self.vertices.is_empty()
+        }
+    }
+
+    let flush_batch = |batch: &mut Batch| {
+        if batch.is_empty() {
+            return;
+        }
+        let (d_prev, s_prev) = dual.fetch_add(batch.edges.len() as u64, batch.vertices.len() as u64);
+        let mut edge_cursor = d_prev as usize;
+        let mut offset_in_edges = 0usize;
+        for (i, &(label, weight, len)) in batch.vertices.iter().enumerate() {
+            let coarse_id = s_prev as usize + i;
+            starts[coarse_id].store(edge_cursor as u64, Ordering::Relaxed);
+            degrees[coarse_id].store(len, Ordering::Relaxed);
+            coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
+            remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
+            for &(target, w) in &batch.edges[offset_in_edges..offset_in_edges + len as usize] {
+                coarse_edges[edge_cursor].store(target, Ordering::Relaxed);
+                coarse_edge_weights[edge_cursor].store(w, Ordering::Relaxed);
+                edge_cursor += 1;
+            }
+            offset_in_edges += len as usize;
+        }
+        batch.vertices.clear();
+        batch.edges.clear();
+    };
+
+    // ---- First phase: clusters in parallel, fixed-capacity hash tables, batching. ----
+    let cluster_indices: Vec<usize> = (0..leaders.len()).collect();
+    let bumped: Vec<usize> = cluster_indices
+        .par_chunks(64)
+        .map(|chunk| {
+            let mut table = FixedCapacityHashMap::new(bump_threshold);
+            let mut batch = Batch::new();
+            let mut bumped = Vec::new();
+            for &idx in chunk {
+                let label = leaders[idx];
+                table.clear();
+                let mut weight: NodeWeight = 0;
+                let mut overflow = false;
+                for &u in &members[idx] {
+                    weight += graph.node_weight(u);
+                    graph.for_each_neighbor(u, &mut |v, w| {
+                        let target_label = clustering.label[v as usize];
+                        if !overflow && target_label != label && !table.add(target_label, w) {
+                            overflow = true;
+                        }
+                    });
+                    if overflow {
+                        break;
+                    }
+                }
+                if overflow {
+                    bumped.push(idx);
+                    continue;
+                }
+                let len = table.len() as u32;
+                if batch.edges.len() + len as usize > BATCH_EDGE_CAPACITY && !batch.is_empty() {
+                    flush_batch(&mut batch);
+                }
+                batch.vertices.push((label, weight, len));
+                batch.edges.extend(table.iter());
+                if batch.edges.len() >= BATCH_EDGE_CAPACITY {
+                    flush_batch(&mut batch);
+                }
+            }
+            flush_batch(&mut batch);
+            bumped
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+
+    // ---- Second phase: bumped high-fanout clusters sequentially with a sparse map. ----
+    if !bumped.is_empty() {
+        let mut map = SparseRatingMap::new(n);
+        let _scope = MemoryScope::charge_global(map.memory_bytes());
+        for &idx in &bumped {
+            let label = leaders[idx];
+            map.clear();
+            let mut weight: NodeWeight = 0;
+            for &u in &members[idx] {
+                weight += graph.node_weight(u);
+                graph.for_each_neighbor(u, &mut |v, w| {
+                    let target_label = clustering.label[v as usize];
+                    if target_label != label {
+                        map.add(target_label, w);
+                    }
+                });
+            }
+            let len = map.len();
+            let (d_prev, s_prev) = dual.fetch_add(len as u64, 1);
+            let coarse_id = s_prev as usize;
+            starts[coarse_id].store(d_prev, Ordering::Relaxed);
+            degrees[coarse_id].store(len as u32, Ordering::Relaxed);
+            coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
+            remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
+            for (i, (target, w)) in map.iter().enumerate() {
+                coarse_edges[d_prev as usize + i].store(target, Ordering::Relaxed);
+                coarse_edge_weights[d_prev as usize + i].store(w, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let (total_edges, total_vertices) = dual.load();
+    let n_coarse = total_vertices as usize;
+    let m_half = total_edges as usize;
+    debug_assert_eq!(n_coarse, leaders.len());
+
+    // Charge the committed portion of the over-reserved arrays (the paper's point: only
+    // 2m' entries are physically backed).
+    let committed_bytes = m_half * (std::mem::size_of::<NodeId>() + std::mem::size_of::<EdgeWeight>())
+        + n_coarse * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + std::mem::size_of::<u64>());
+    let _scope = MemoryScope::charge_global(committed_bytes);
+
+    // ---- Assemble the CSR arrays, remapping old labels to coarse IDs. ----
+    let mut xadj: Vec<EdgeId> = Vec::with_capacity(n_coarse + 1);
+    for coarse_id in 0..n_coarse {
+        xadj.push(starts[coarse_id].load(Ordering::Relaxed));
+    }
+    xadj.push(m_half as EdgeId);
+    // The starts are monotone because coarse IDs are assigned in commit order.
+    debug_assert!(xadj.windows(2).all(|w| w[0] <= w[1]));
+
+    let adjacency: Vec<NodeId> = (0..m_half)
+        .into_par_iter()
+        .map(|e| {
+            let old_label = coarse_edges[e].load(Ordering::Relaxed);
+            remap[old_label as usize].load(Ordering::Relaxed)
+        })
+        .collect();
+    let edge_weights: Vec<EdgeWeight> = (0..m_half)
+        .map(|e| coarse_edge_weights[e].load(Ordering::Relaxed))
+        .collect();
+    let node_weights: Vec<NodeWeight> = (0..n_coarse)
+        .map(|c| coarse_node_weights[c].load(Ordering::Relaxed))
+        .collect();
+
+    // Sort each coarse neighbourhood by target ID for deterministic downstream behaviour.
+    let mut adjacency = adjacency;
+    let mut edge_weights = edge_weights;
+    for c in 0..n_coarse {
+        let begin = xadj[c] as usize;
+        let end = xadj[c + 1] as usize;
+        let mut pairs: Vec<(NodeId, EdgeWeight)> = adjacency[begin..end]
+            .iter()
+            .copied()
+            .zip(edge_weights[begin..end].iter().copied())
+            .collect();
+        pairs.sort_unstable_by_key(|&(v, _)| v);
+        for (i, (v, w)) in pairs.into_iter().enumerate() {
+            adjacency[begin + i] = v;
+            edge_weights[begin + i] = w;
+        }
+    }
+
+    let coarse = CsrGraph::from_parts(xadj, adjacency, edge_weights, node_weights);
+    let mapping: Vec<NodeId> = (0..n)
+        .map(|u| remap[clustering.label[u] as usize].load(Ordering::Relaxed))
+        .collect();
+    ContractionResult { coarse, mapping }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+    use crate::coarsening::lp_clustering;
+    use crate::context::CoarseningConfig;
+
+    /// Computes the total weight of fine edges whose endpoints lie in different clusters.
+    fn inter_cluster_weight(graph: &impl Graph, clustering: &Clustering) -> EdgeWeight {
+        let mut total = 0;
+        for u in 0..graph.n() as NodeId {
+            graph.for_each_neighbor(u, &mut |v, w| {
+                if u < v && clustering.label[u as usize] != clustering.label[v as usize] {
+                    total += w;
+                }
+            });
+        }
+        total
+    }
+
+    fn check_contraction(graph: &impl Graph, clustering: &Clustering, result: &ContractionResult) {
+        let coarse = &result.coarse;
+        assert_eq!(coarse.n(), clustering.num_clusters);
+        assert_eq!(result.mapping.len(), graph.n());
+        // Node weight is preserved exactly.
+        assert_eq!(coarse.total_node_weight(), graph.total_node_weight());
+        // Coarse edge weight equals the weight of inter-cluster fine edges.
+        assert_eq!(coarse.total_edge_weight(), inter_cluster_weight(graph, clustering));
+        // The mapping is consistent: two fine vertices share a coarse vertex iff they
+        // share a cluster label.
+        for u in 0..graph.n() {
+            for v in (u + 1)..graph.n().min(u + 50) {
+                let same_cluster = clustering.label[u] == clustering.label[v];
+                let same_coarse = result.mapping[u] == result.mapping[v];
+                assert_eq!(same_cluster, same_coarse, "vertices {} and {}", u, v);
+            }
+        }
+        // Coarse node weights equal the summed fine weights per coarse vertex.
+        let mut expected = vec![0u64; coarse.n()];
+        for u in 0..graph.n() {
+            expected[result.mapping[u] as usize] += graph.node_weight(u as NodeId);
+        }
+        for c in 0..coarse.n() as NodeId {
+            assert_eq!(coarse.node_weight(c), expected[c as usize]);
+        }
+        // The coarse graph must be symmetric.
+        assert!(coarse.is_symmetric());
+    }
+
+    fn lp_clustering_for(graph: &impl Graph, max_weight: NodeWeight) -> Clustering {
+        let config = CoarseningConfig { bump_threshold: 8, ..Default::default() };
+        lp_clustering::cluster(graph, &config, max_weight, 7)
+    }
+
+    #[test]
+    fn singleton_clustering_reproduces_the_graph() {
+        let g = gen::with_random_edge_weights(&gen::grid2d(8, 8), 5, 3);
+        let clustering = Clustering::singletons(g.n());
+        for algorithm in [ContractionAlgorithm::Buffered, ContractionAlgorithm::OnePass] {
+            let result = contract(&g, &clustering, algorithm, 16);
+            check_contraction(&g, &clustering, &result);
+            assert_eq!(result.coarse.n(), g.n());
+            assert_eq!(result.coarse.m(), g.m());
+            assert_eq!(result.coarse.total_edge_weight(), g.total_edge_weight());
+        }
+    }
+
+    #[test]
+    fn everything_in_one_cluster_gives_a_single_vertex() {
+        let g = gen::complete(10);
+        let clustering = Clustering::from_labels(vec![3; 10]);
+        for algorithm in [ContractionAlgorithm::Buffered, ContractionAlgorithm::OnePass] {
+            let result = contract(&g, &clustering, algorithm, 16);
+            assert_eq!(result.coarse.n(), 1);
+            assert_eq!(result.coarse.m(), 0);
+            assert_eq!(result.coarse.node_weight(0), 10);
+            assert!(result.mapping.iter().all(|&c| c == 0));
+        }
+    }
+
+    #[test]
+    fn both_algorithms_produce_equivalent_graphs() {
+        for (name, g) in [
+            ("grid", gen::grid2d(15, 15)),
+            ("powerlaw", gen::rhg_like(600, 8, 3.0, 5)),
+            ("weighted", gen::with_random_edge_weights(&gen::erdos_renyi(300, 1200, 2), 9, 4)),
+        ] {
+            let clustering = lp_clustering_for(&g, 8);
+            let buffered = contract(&g, &clustering, ContractionAlgorithm::Buffered, 16);
+            let one_pass = contract(&g, &clustering, ContractionAlgorithm::OnePass, 16);
+            check_contraction(&g, &clustering, &buffered);
+            check_contraction(&g, &clustering, &one_pass);
+            assert_eq!(buffered.coarse.n(), one_pass.coarse.n(), "{}", name);
+            assert_eq!(buffered.coarse.m(), one_pass.coarse.m(), "{}", name);
+            assert_eq!(
+                buffered.coarse.total_edge_weight(),
+                one_pass.coarse.total_edge_weight(),
+                "{}",
+                name
+            );
+            // Degree multisets must agree (the graphs are isomorphic up to relabelling).
+            let mut degrees_a: Vec<usize> =
+                (0..buffered.coarse.n() as NodeId).map(|u| buffered.coarse.degree(u)).collect();
+            let mut degrees_b: Vec<usize> =
+                (0..one_pass.coarse.n() as NodeId).map(|u| one_pass.coarse.degree(u)).collect();
+            degrees_a.sort_unstable();
+            degrees_b.sort_unstable();
+            assert_eq!(degrees_a, degrees_b, "{}", name);
+        }
+    }
+
+    #[test]
+    fn one_pass_handles_high_fanout_clusters_via_second_phase() {
+        // Clustering the star's leaves into many tiny clusters gives the hub cluster a
+        // huge coarse degree, forcing the bump path with a tiny threshold.
+        let g = gen::star(300);
+        let labels: Vec<ClusterId> = (0..300u32).map(|u| if u == 0 { 0 } else { u }).collect();
+        let clustering = Clustering::from_labels(labels);
+        let result = contract(&g, &clustering, ContractionAlgorithm::OnePass, 4);
+        check_contraction(&g, &clustering, &result);
+        assert_eq!(result.coarse.n(), 300);
+        assert_eq!(result.coarse.max_degree(), 299);
+    }
+
+    #[test]
+    fn contraction_after_real_clustering_shrinks_the_graph() {
+        let g = gen::rgg2d(1000, 10, 9);
+        let clustering = lp_clustering_for(&g, 8);
+        let result = contract(&g, &clustering, ContractionAlgorithm::OnePass, 32);
+        check_contraction(&g, &clustering, &result);
+        assert!(result.coarse.n() < g.n() / 2, "coarse graph too large: {}", result.coarse.n());
+        assert!(result.coarse.m() <= g.m());
+    }
+
+    #[test]
+    fn empty_graph_contracts_to_empty_graph() {
+        let g = graph::CsrGraphBuilder::new(0).build();
+        let clustering = Clustering::singletons(0);
+        for algorithm in [ContractionAlgorithm::Buffered, ContractionAlgorithm::OnePass] {
+            let result = contract(&g, &clustering, algorithm, 8);
+            assert_eq!(result.coarse.n(), 0);
+            assert_eq!(result.coarse.m(), 0);
+        }
+    }
+}

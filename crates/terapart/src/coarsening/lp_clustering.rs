@@ -1,0 +1,485 @@
+//! Label propagation clustering — original and two-phase variants (paper §IV-A).
+//!
+//! Starting from singleton clusters, vertices are visited in random order in parallel;
+//! a vertex joins the neighbouring cluster with the highest total connecting edge weight,
+//! subject to a maximum cluster weight (size-constrained clustering, as in KaMinPar).
+//!
+//! The two variants differ only in how the per-vertex rating aggregation is backed:
+//!
+//! * [`LabelPropagationMode::PerThreadRatingMaps`]: every worker thread owns an `O(n)`
+//!   sparse array (the original scheme, `O(n·p)` auxiliary memory in total).
+//! * [`LabelPropagationMode::TwoPhase`]: phase one processes all vertices with small
+//!   fixed-capacity hash tables and *bumps* vertices whose neighbourhood touches at least
+//!   `T_bump` distinct clusters; phase two processes the bumped vertices one at a time
+//!   with a single shared atomic sparse array and parallelism over their edges
+//!   (`O(n + p·T_bump)` auxiliary memory).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use graph::traits::Graph;
+use graph::{NodeId, NodeWeight};
+use memtrack::MemoryScope;
+use parking_lot::Mutex;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::context::{CoarseningConfig, LabelPropagationMode};
+use crate::ClusterId;
+
+use super::rating_map::{AtomicSparseArray, FixedCapacityHashMap, SparseRatingMap};
+
+/// A disjoint clustering of the vertices of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// `label[u]` is the cluster ID of vertex `u`. Cluster IDs are vertex IDs but are
+    /// otherwise opaque labels: they need not be consecutive.
+    pub label: Vec<ClusterId>,
+    /// Number of distinct cluster labels.
+    pub num_clusters: usize,
+}
+
+impl Clustering {
+    /// Computes the number of distinct labels and builds the `Clustering`.
+    pub fn from_labels(label: Vec<ClusterId>) -> Self {
+        let mut seen = vec![false; label.len()];
+        let mut num_clusters = 0;
+        for &c in &label {
+            if !seen[c as usize] {
+                seen[c as usize] = true;
+                num_clusters += 1;
+            }
+        }
+        Self { label, num_clusters }
+    }
+
+    /// Returns the singleton clustering (every vertex its own cluster).
+    pub fn singletons(n: usize) -> Self {
+        Self { label: (0..n as ClusterId).collect(), num_clusters: n }
+    }
+
+    /// Total weight of every cluster, indexed by cluster label.
+    pub fn cluster_weights(&self, graph: &impl Graph) -> Vec<NodeWeight> {
+        let mut weights = vec![0; self.label.len()];
+        for u in 0..self.label.len() {
+            weights[self.label[u] as usize] += graph.node_weight(u as NodeId);
+        }
+        weights
+    }
+}
+
+/// Shared mutable state of one clustering run.
+struct ClusteringState {
+    labels: Vec<AtomicU32>,
+    cluster_weights: Vec<AtomicU64>,
+    max_cluster_weight: NodeWeight,
+}
+
+impl ClusteringState {
+    fn new(graph: &impl Graph, max_cluster_weight: NodeWeight) -> Self {
+        let n = graph.n();
+        let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+        let cluster_weights: Vec<AtomicU64> =
+            (0..n as NodeId).map(|u| AtomicU64::new(graph.node_weight(u))).collect();
+        Self { labels, cluster_weights, max_cluster_weight }
+    }
+
+    #[inline]
+    fn label(&self, u: NodeId) -> ClusterId {
+        self.labels[u as usize].load(Ordering::Relaxed)
+    }
+
+    /// Tries to move `u` (weight `w`) from its current cluster to `target`; returns
+    /// `true` on success. The target cluster weight is checked and updated with a CAS
+    /// loop so the maximum cluster weight is never exceeded.
+    fn try_move(&self, u: NodeId, w: NodeWeight, target: ClusterId) -> bool {
+        let current = self.label(u);
+        if current == target {
+            return false;
+        }
+        let target_weight = &self.cluster_weights[target as usize];
+        let mut observed = target_weight.load(Ordering::Relaxed);
+        loop {
+            if observed + w > self.max_cluster_weight {
+                return false;
+            }
+            match target_weight.compare_exchange_weak(
+                observed,
+                observed + w,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => observed = actual,
+            }
+        }
+        self.cluster_weights[current as usize].fetch_sub(w, Ordering::Relaxed);
+        self.labels[u as usize].store(target, Ordering::Relaxed);
+        true
+    }
+
+    fn into_clustering(self) -> Clustering {
+        let label: Vec<ClusterId> =
+            self.labels.into_iter().map(|a| a.into_inner()).collect();
+        Clustering::from_labels(label)
+    }
+}
+
+/// Selects the best feasible target cluster among the rated candidates.
+///
+/// The best cluster is the one with the maximum rating whose weight constraint admits
+/// `u`; ties are broken in favour of the current cluster to avoid oscillation.
+fn select_target(
+    ratings: impl Iterator<Item = (ClusterId, u64)>,
+    current: ClusterId,
+    node_weight: NodeWeight,
+    state: &ClusteringState,
+) -> Option<ClusterId> {
+    let mut best: Option<(ClusterId, u64)> = None;
+    for (c, r) in ratings {
+        let feasible = c == current
+            || state.cluster_weights[c as usize].load(Ordering::Relaxed) + node_weight
+                <= state.max_cluster_weight;
+        if !feasible {
+            continue;
+        }
+        best = match best {
+            None => Some((c, r)),
+            Some((bc, br)) => {
+                if r > br || (r == br && c == current && bc != current) {
+                    Some((c, r))
+                } else {
+                    Some((bc, br))
+                }
+            }
+        };
+    }
+    match best {
+        Some((c, _)) if c != current => Some(c),
+        _ => None,
+    }
+}
+
+/// Runs label propagation clustering on `graph` and returns the resulting clustering.
+///
+/// `max_cluster_weight` is the size constraint; `seed` controls the random visit order.
+/// The function must be called from within the partitioner's rayon thread pool (or any
+/// pool); it uses `rayon::current_num_threads()` worker-local state.
+pub fn cluster(
+    graph: &impl Graph,
+    config: &CoarseningConfig,
+    max_cluster_weight: NodeWeight,
+    seed: u64,
+) -> Clustering {
+    let n = graph.n();
+    if n == 0 {
+        return Clustering { label: Vec::new(), num_clusters: 0 };
+    }
+    let state = ClusteringState::new(graph, max_cluster_weight);
+    let num_threads = rayon::current_num_threads().max(1);
+
+    match config.lp_mode {
+        LabelPropagationMode::PerThreadRatingMaps => {
+            // Auxiliary memory: one O(n) rating map per thread (the Figure 2 culprit).
+            let maps: Vec<Mutex<SparseRatingMap>> =
+                (0..num_threads).map(|_| Mutex::new(SparseRatingMap::new(n))).collect();
+            let aux_bytes: usize = maps.iter().map(|m| m.lock().memory_bytes()).sum();
+            let _scope = MemoryScope::charge_global(aux_bytes);
+            for round in 0..config.lp_rounds {
+                let moved = run_round_per_thread_maps(graph, &state, &maps, seed ^ round as u64);
+                if moved == 0 {
+                    break;
+                }
+            }
+        }
+        LabelPropagationMode::TwoPhase => {
+            // Auxiliary memory: p fixed-capacity hash tables plus one shared O(n) array.
+            let shared = AtomicSparseArray::new(n);
+            let _scope = MemoryScope::charge_global(
+                shared.memory_bytes()
+                    + num_threads * FixedCapacityHashMap::new(config.bump_threshold).memory_bytes(),
+            );
+            for round in 0..config.lp_rounds {
+                let moved = run_round_two_phase(graph, &state, config, &shared, seed ^ round as u64);
+                if moved == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    state.into_clustering()
+}
+
+/// Random vertex visit order for one round.
+fn visit_order(n: usize, seed: u64) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order
+}
+
+/// One round of the original algorithm: every thread owns a full sparse rating map.
+fn run_round_per_thread_maps(
+    graph: &impl Graph,
+    state: &ClusteringState,
+    maps: &[Mutex<SparseRatingMap>],
+    seed: u64,
+) -> usize {
+    let order = visit_order(graph.n(), seed);
+    let moved = AtomicUsize::new(0);
+    order.par_chunks(256).for_each(|chunk| {
+        let thread = rayon::current_thread_index().unwrap_or(0) % maps.len();
+        let mut map = maps[thread].lock();
+        for &u in chunk {
+            let node_weight = graph.node_weight(u);
+            map.clear();
+            graph.for_each_neighbor(u, &mut |v, w| {
+                map.add(state.label(v), w);
+            });
+            let current = state.label(u);
+            if let Some(target) = select_target(map.iter(), current, node_weight, state) {
+                if state.try_move(u, node_weight, target) {
+                    moved.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+    moved.load(Ordering::Relaxed)
+}
+
+/// One round of two-phase label propagation (paper Algorithm 2).
+fn run_round_two_phase(
+    graph: &impl Graph,
+    state: &ClusteringState,
+    config: &CoarseningConfig,
+    shared: &AtomicSparseArray,
+    seed: u64,
+) -> usize {
+    let order = visit_order(graph.n(), seed);
+    let moved = AtomicUsize::new(0);
+    // ---- First phase: small fixed-capacity hash tables, bump on overflow. ----
+    let bumped: Vec<NodeId> = order
+        .par_chunks(256)
+        .map(|chunk| {
+            let mut map = FixedCapacityHashMap::new(config.bump_threshold);
+            let mut bumped = Vec::new();
+            for &u in chunk {
+                let node_weight = graph.node_weight(u);
+                map.clear();
+                let mut overflow = false;
+                graph.for_each_neighbor(u, &mut |v, w| {
+                    if !overflow && !map.add(state.label(v), w) {
+                        overflow = true;
+                    }
+                });
+                if overflow {
+                    bumped.push(u);
+                    continue;
+                }
+                let current = state.label(u);
+                if let Some(target) = select_target(map.iter(), current, node_weight, state) {
+                    if state.try_move(u, node_weight, target) {
+                        moved.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            bumped
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+
+    // ---- Second phase: bumped vertices sequentially, parallelism over their edges. ----
+    for &u in &bumped {
+        let node_weight = graph.node_weight(u);
+        let neighbors = graph.neighbors_vec(u);
+        // Parallel aggregation into the shared array, buffered through per-chunk hash
+        // tables to reduce atomic contention (paper Algorithm 2, FlushRatingMap).
+        let touched: Vec<NodeId> = neighbors
+            .par_chunks(1024)
+            .map(|chunk| {
+                let mut buffer = FixedCapacityHashMap::new(config.bump_threshold);
+                let mut touched = Vec::new();
+                for &(v, w) in chunk {
+                    let c = state.label(v);
+                    if !buffer.add(c, w) {
+                        flush(&mut buffer, shared, &mut touched);
+                        buffer.add(c, w);
+                    }
+                }
+                flush(&mut buffer, shared, &mut touched);
+                touched
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        let current = state.label(u);
+        let target = select_target(
+            touched.iter().map(|&c| (c, shared.get(c))),
+            current,
+            node_weight,
+            state,
+        );
+        shared.reset(&touched);
+        if let Some(target) = target {
+            if state.try_move(u, node_weight, target) {
+                moved.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    moved.load(Ordering::Relaxed)
+}
+
+/// Applies the entries of `buffer` to the shared array and records newly touched keys.
+fn flush(buffer: &mut FixedCapacityHashMap, shared: &AtomicSparseArray, touched: &mut Vec<NodeId>) {
+    for (c, w) in buffer.iter() {
+        if shared.add(c, w) {
+            touched.push(c);
+        }
+    }
+    buffer.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    fn run(graph: &impl Graph, mode: LabelPropagationMode, max_weight: NodeWeight) -> Clustering {
+        let config = CoarseningConfig { lp_mode: mode, bump_threshold: 8, ..Default::default() };
+        cluster(graph, &config, max_weight, 42)
+    }
+
+    fn check_invariants(graph: &impl Graph, clustering: &Clustering, max_weight: NodeWeight) {
+        assert_eq!(clustering.label.len(), graph.n());
+        let weights = clustering.cluster_weights(graph);
+        for (c, &w) in weights.iter().enumerate() {
+            assert!(
+                w <= max_weight || {
+                    // A cluster may exceed the limit only if it consists of a single
+                    // vertex that is itself heavier than the limit.
+                    let members: Vec<_> = clustering
+                        .label
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &l)| l as usize == c)
+                        .collect();
+                    members.len() == 1
+                },
+                "cluster {} exceeds the weight limit: {} > {}",
+                c,
+                w,
+                max_weight
+            );
+        }
+        let total: NodeWeight = weights.iter().sum();
+        assert_eq!(total, graph.total_node_weight());
+    }
+
+    #[test]
+    fn clusters_shrink_a_grid() {
+        let g = gen::grid2d(20, 20);
+        for mode in [LabelPropagationMode::PerThreadRatingMaps, LabelPropagationMode::TwoPhase] {
+            let clustering = run(&g, mode, 8);
+            check_invariants(&g, &clustering, 8);
+            assert!(
+                clustering.num_clusters < g.n() / 2,
+                "{:?}: expected the grid to shrink, got {} clusters",
+                mode,
+                clustering.num_clusters
+            );
+        }
+    }
+
+    #[test]
+    fn cliques_collapse_into_single_clusters() {
+        // Three cliques of 8 vertices connected by bridges: LP should discover them.
+        let g = gen::clique_chain(3, 8);
+        let clustering = run(&g, LabelPropagationMode::TwoPhase, 8);
+        check_invariants(&g, &clustering, 8);
+        assert!(clustering.num_clusters <= 6, "got {} clusters", clustering.num_clusters);
+        // Vertices of the same clique should mostly share a label.
+        for clique in 0..3 {
+            let labels: std::collections::HashSet<_> =
+                (clique * 8..(clique + 1) * 8).map(|u| clustering.label[u]).collect();
+            assert!(labels.len() <= 2, "clique {} split into {} clusters", clique, labels.len());
+        }
+    }
+
+    #[test]
+    fn max_cluster_weight_is_respected() {
+        let g = gen::complete(32);
+        for mode in [LabelPropagationMode::PerThreadRatingMaps, LabelPropagationMode::TwoPhase] {
+            let clustering = run(&g, mode, 4);
+            check_invariants(&g, &clustering, 4);
+            assert!(clustering.num_clusters >= 8);
+        }
+    }
+
+    #[test]
+    fn two_phase_handles_high_degree_hubs() {
+        // Star graph: the hub has degree 400 but its neighbours form at most a handful of
+        // clusters; the leaves' neighbourhoods are tiny. Use a tiny bump threshold so the
+        // second phase actually runs.
+        let g = gen::star(401);
+        let config = CoarseningConfig {
+            lp_mode: LabelPropagationMode::TwoPhase,
+            bump_threshold: 4,
+            lp_rounds: 2,
+            ..Default::default()
+        };
+        let clustering = cluster(&g, &config, 64, 7);
+        check_invariants(&g, &clustering, 64);
+        assert!(clustering.num_clusters < g.n());
+    }
+
+    #[test]
+    fn both_modes_produce_comparable_quality() {
+        let g = gen::rgg2d(1200, 12, 3);
+        let a = run(&g, LabelPropagationMode::PerThreadRatingMaps, 16);
+        let b = run(&g, LabelPropagationMode::TwoPhase, 16);
+        check_invariants(&g, &a, 16);
+        check_invariants(&g, &b, 16);
+        let ratio = a.num_clusters as f64 / b.num_clusters as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "cluster counts diverge too much: {} vs {}",
+            a.num_clusters,
+            b.num_clusters
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = graph::CsrGraphBuilder::new(0).build();
+        let c = run(&empty, LabelPropagationMode::TwoPhase, 10);
+        assert_eq!(c.num_clusters, 0);
+
+        let single = graph::CsrGraphBuilder::new(1).build();
+        let c = run(&single, LabelPropagationMode::TwoPhase, 10);
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.label, vec![0]);
+    }
+
+    #[test]
+    fn singleton_clustering_helper() {
+        let c = Clustering::singletons(5);
+        assert_eq!(c.num_clusters, 5);
+        assert_eq!(c.label, vec![0, 1, 2, 3, 4]);
+        let g = gen::path(5);
+        assert_eq!(c.cluster_weights(&g), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_single_thread() {
+        let g = gen::erdos_renyi(300, 900, 5);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let config = CoarseningConfig::default();
+        let a = pool.install(|| cluster(&g, &config, 8, 123));
+        let b = pool.install(|| cluster(&g, &config, 8, 123));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,220 @@
+//! The coarsening stage of the multilevel framework.
+//!
+//! Coarsening repeatedly (1) computes a size-constrained label propagation clustering
+//! ([`lp_clustering`]), (2) optionally merges leftover singletons via two-hop clustering
+//! ([`two_hop`]) and (3) contracts the clustering ([`contract`]) until the graph is small
+//! enough for initial partitioning or stops shrinking. The resulting [`Hierarchy`]
+//! records every coarse graph together with the fine-to-coarse vertex mapping needed to
+//! project partitions back up during uncoarsening.
+
+pub mod contract;
+pub mod lp_clustering;
+pub mod rating_map;
+pub mod two_hop;
+
+pub use contract::{contract, ContractionResult};
+pub use lp_clustering::{cluster, Clustering};
+pub use two_hop::two_hop_clustering;
+
+use graph::csr::CsrGraph;
+use graph::traits::Graph;
+use graph::{NodeId, NodeWeight};
+use memtrack::{MemoryScope, PhaseTracker};
+
+use crate::context::PartitionerConfig;
+
+/// One level of the multilevel hierarchy.
+#[derive(Debug)]
+pub struct Level {
+    /// The coarse graph produced at this level.
+    pub coarse: CsrGraph,
+    /// Maps each vertex of the *finer* graph (the input graph for the first level) to
+    /// its coarse vertex in [`Level::coarse`].
+    pub mapping: Vec<NodeId>,
+}
+
+/// The full coarsening hierarchy, from the first coarse graph down to the coarsest one.
+#[derive(Debug, Default)]
+pub struct Hierarchy {
+    /// Levels in coarsening order: `levels[0]` was contracted from the input graph.
+    pub levels: Vec<Level>,
+    /// Memory charges for the stored coarse graphs (released when the hierarchy drops).
+    charges: Vec<MemoryScope<'static>>,
+}
+
+impl Hierarchy {
+    /// Returns the coarsest graph, or `None` if no coarsening step was performed.
+    pub fn coarsest(&self) -> Option<&CsrGraph> {
+        self.levels.last().map(|l| &l.coarse)
+    }
+
+    /// Number of coarsening levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+/// Maximum cluster weight used on a level, following the KaMinPar rule: clusters may not
+/// exceed a fraction of the average block weight of the final partition, so coarse
+/// vertices always fit into blocks.
+pub fn max_cluster_weight(
+    total_node_weight: NodeWeight,
+    k: usize,
+    contraction_limit: usize,
+    fraction: f64,
+) -> NodeWeight {
+    let denominator = (contraction_limit * k).max(1) as f64;
+    ((total_node_weight as f64 * fraction / denominator).ceil() as NodeWeight).max(1)
+}
+
+/// Runs the full coarsening stage on `graph`.
+///
+/// Phases are reported to `tracker` (clustering and contraction separately per level,
+/// mirroring the breakdown of Figure 2).
+pub fn coarsen(
+    graph: &impl Graph,
+    config: &PartitionerConfig,
+    tracker: &PhaseTracker,
+) -> Hierarchy {
+    let coarsening = &config.coarsening;
+    let stop_at = (coarsening.contraction_limit * config.k).max(1);
+    let mut hierarchy = Hierarchy::default();
+
+    // Level 0 runs on the (possibly compressed) input graph; subsequent levels always run
+    // on the uncompressed coarse CSR graphs.
+    let mut level = 0usize;
+    let mut current: Option<CsrGraph> = None;
+    loop {
+        let (n, total_weight) = match &current {
+            None => (graph.n(), graph.total_node_weight()),
+            Some(g) => (g.n(), g.total_node_weight()),
+        };
+        if n <= stop_at {
+            break;
+        }
+        let limit = max_cluster_weight(
+            total_weight,
+            config.k,
+            coarsening.contraction_limit,
+            coarsening.max_cluster_weight_fraction,
+        );
+        let seed = config.seed ^ ((level as u64 + 1) << 32);
+        let clustering = tracker.run("cluster", level, || match &current {
+            None => {
+                let mut c = lp_clustering::cluster(graph, coarsening, limit, seed);
+                if coarsening.two_hop_clustering
+                    && c.num_clusters as f64 > coarsening.min_shrink_factor * n as f64
+                {
+                    two_hop_clustering(graph, &mut c, limit);
+                }
+                c
+            }
+            Some(g) => {
+                let mut c = lp_clustering::cluster(g, coarsening, limit, seed);
+                if coarsening.two_hop_clustering
+                    && c.num_clusters as f64 > coarsening.min_shrink_factor * n as f64
+                {
+                    two_hop_clustering(g, &mut c, limit);
+                }
+                c
+            }
+        });
+        // Stop if the clustering no longer shrinks the graph.
+        if clustering.num_clusters as f64 > coarsening.min_shrink_factor * n as f64 {
+            break;
+        }
+        let result = tracker.run("contract", level, || match &current {
+            None => contract::contract(graph, &clustering, coarsening.contraction, coarsening.bump_threshold),
+            Some(g) => contract::contract(g, &clustering, coarsening.contraction, coarsening.bump_threshold),
+        });
+        hierarchy
+            .charges
+            .push(MemoryScope::charge_global(result.coarse.size_in_bytes()));
+        current = Some(result.coarse.clone());
+        hierarchy.levels.push(Level { coarse: result.coarse, mapping: result.mapping });
+        level += 1;
+        // Safety valve: the hierarchy can never be deeper than log2(n) levels on sane
+        // inputs; stop after a generous bound to guarantee termination.
+        if level > 64 {
+            break;
+        }
+    }
+    hierarchy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn max_cluster_weight_is_at_least_one() {
+        assert_eq!(max_cluster_weight(10, 1000, 40, 1.0), 1);
+        assert!(max_cluster_weight(1_000_000, 8, 40, 1.0) > 1);
+        assert_eq!(max_cluster_weight(0, 4, 40, 1.0), 1);
+    }
+
+    #[test]
+    fn coarsening_produces_a_shrinking_hierarchy() {
+        let g = gen::grid2d(40, 40);
+        let config = PartitionerConfig::terapart(4);
+        let tracker = PhaseTracker::new();
+        let hierarchy = coarsen(&g, &config, &tracker);
+        assert!(hierarchy.depth() >= 1, "expected at least one coarsening level");
+        // Graph sizes strictly decrease along the hierarchy.
+        let mut prev_n = g.n();
+        for level in &hierarchy.levels {
+            assert!(level.coarse.n() < prev_n);
+            assert_eq!(level.coarse.total_node_weight(), g.total_node_weight());
+            prev_n = level.coarse.n();
+        }
+        // The coarsest graph respects the contraction limit within a factor (coarsening
+        // stops once it cannot shrink below it).
+        let coarsest = hierarchy.coarsest().unwrap();
+        assert!(coarsest.n() <= g.n() / 2);
+        // Phases were recorded for clustering and contraction.
+        assert!(tracker.peak_of("cluster").is_some());
+        assert!(tracker.peak_of("contract").is_some());
+    }
+
+    #[test]
+    fn mappings_compose_and_cover_all_vertices() {
+        let g = gen::rgg2d(1500, 10, 2);
+        let config = PartitionerConfig::terapart(2);
+        let tracker = PhaseTracker::new();
+        let hierarchy = coarsen(&g, &config, &tracker);
+        assert!(hierarchy.depth() >= 1);
+        // First mapping covers the input graph.
+        assert_eq!(hierarchy.levels[0].mapping.len(), g.n());
+        for (i, level) in hierarchy.levels.iter().enumerate() {
+            let coarse_n = level.coarse.n();
+            assert!(level.mapping.iter().all(|&c| (c as usize) < coarse_n));
+            if i + 1 < hierarchy.levels.len() {
+                assert_eq!(hierarchy.levels[i + 1].mapping.len(), coarse_n);
+            }
+        }
+    }
+
+    #[test]
+    fn small_graphs_are_not_coarsened() {
+        let g = gen::grid2d(4, 4);
+        let config = PartitionerConfig::terapart(8);
+        let tracker = PhaseTracker::new();
+        let hierarchy = coarsen(&g, &config, &tracker);
+        assert_eq!(hierarchy.depth(), 0);
+        assert!(hierarchy.coarsest().is_none());
+    }
+
+    #[test]
+    fn kaminpar_and_terapart_configs_both_coarsen() {
+        let g = gen::rhg_like(2000, 8, 3.0, 11);
+        for config in [PartitionerConfig::kaminpar(4), PartitionerConfig::terapart(4)] {
+            let tracker = PhaseTracker::new();
+            let hierarchy = coarsen(&g, &config, &tracker);
+            assert!(hierarchy.depth() >= 1, "no coarsening for {:?}", config.coarsening.lp_mode);
+            let coarsest = hierarchy.coarsest().unwrap();
+            assert!(coarsest.n() < g.n());
+            assert_eq!(coarsest.total_node_weight(), g.total_node_weight());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Two-hop clustering for irregular graphs (paper §II-B, following LaSalle et al.).
+//!
+//! Label propagation can stall on graphs with many low-degree vertices whose neighbours
+//! all belong to full or unattractive clusters: most vertices stay singletons and the
+//! coarsening makes no progress. KaMinPar counters this with *two-hop matching*: two
+//! singleton clusters that share a preferred neighbouring cluster (i.e. are two hops
+//! apart) are merged with each other instead. This module implements that post-processing
+//! step on top of a [`Clustering`].
+
+use graph::traits::Graph;
+use graph::{NodeId, NodeWeight};
+
+use super::lp_clustering::Clustering;
+use crate::ClusterId;
+
+/// Merges singleton clusters that share their most strongly connected neighbouring
+/// cluster, as long as the merged weight respects `max_cluster_weight`.
+///
+/// Returns the number of merges performed. The clustering is modified in place.
+pub fn two_hop_clustering(
+    graph: &impl Graph,
+    clustering: &mut Clustering,
+    max_cluster_weight: NodeWeight,
+) -> usize {
+    let n = graph.n();
+    if n == 0 {
+        return 0;
+    }
+    let cluster_weights = clustering.cluster_weights(graph);
+    // A vertex is a singleton if it is the only member of its cluster, i.e. its label is
+    // itself and the cluster weight equals its own weight.
+    let singleton: Vec<bool> = (0..n as NodeId)
+        .map(|u| {
+            clustering.label[u as usize] == u
+                && cluster_weights[u as usize] == graph.node_weight(u)
+        })
+        .collect();
+
+    // favored[c] holds a pending singleton whose strongest neighbouring cluster is `c`.
+    let mut favored: std::collections::HashMap<ClusterId, NodeId> = std::collections::HashMap::new();
+    let mut merged = 0usize;
+    let mut merged_weight: Vec<NodeWeight> = cluster_weights.clone();
+    for u in 0..n as NodeId {
+        if !singleton[u as usize] {
+            continue;
+        }
+        // Find the neighbouring cluster with the strongest connection to u.
+        let mut best: Option<(ClusterId, u64)> = None;
+        graph.for_each_neighbor(u, &mut |v, w| {
+            let c = clustering.label[v as usize];
+            if c == u {
+                return;
+            }
+            best = match best {
+                None => Some((c, w)),
+                Some((_, bw)) if w > bw => Some((c, w)),
+                other => other,
+            };
+        });
+        let Some((target, _)) = best else { continue };
+        match favored.get(&target).copied() {
+            Some(partner) if partner != u => {
+                let partner_cluster = clustering.label[partner as usize];
+                if merged_weight[partner_cluster as usize] + graph.node_weight(u)
+                    <= max_cluster_weight
+                {
+                    merged_weight[partner_cluster as usize] += graph.node_weight(u);
+                    clustering.label[u as usize] = partner_cluster;
+                    merged += 1;
+                    // The partner slot stays occupied so further singletons favouring the
+                    // same cluster keep joining it until the weight limit is reached.
+                } else {
+                    favored.insert(target, u);
+                }
+            }
+            _ => {
+                favored.insert(target, u);
+            }
+        }
+    }
+    if merged > 0 {
+        *clustering = Clustering::from_labels(std::mem::take(&mut clustering.label));
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn merges_leaves_of_a_star() {
+        // In a star graph, LP with a tight weight limit leaves the leaves as singletons:
+        // their only neighbour is the hub, whose cluster fills up immediately. Two-hop
+        // clustering should merge leaves with each other.
+        let g = gen::star(101);
+        let mut clustering = Clustering::singletons(g.n());
+        let before = clustering.num_clusters;
+        let merged = two_hop_clustering(&g, &mut clustering, 10);
+        assert!(merged > 0, "expected some two-hop merges");
+        assert!(clustering.num_clusters < before);
+        // Cluster weights stay within the limit.
+        let weights = clustering.cluster_weights(&g);
+        assert!(weights.iter().all(|&w| w <= 10));
+    }
+
+    #[test]
+    fn respects_weight_limit() {
+        let g = gen::star(20);
+        let mut clustering = Clustering::singletons(g.n());
+        two_hop_clustering(&g, &mut clustering, 2);
+        let weights = clustering.cluster_weights(&g);
+        assert!(weights.iter().all(|&w| w <= 2));
+    }
+
+    #[test]
+    fn no_merges_when_no_singletons() {
+        let g = gen::path(6);
+        // All vertices already share one cluster: nothing to merge.
+        let mut clustering = Clustering::from_labels(vec![0, 0, 0, 0, 0, 0]);
+        let merged = two_hop_clustering(&g, &mut clustering, 100);
+        assert_eq!(merged, 0);
+        assert_eq!(clustering.num_clusters, 1);
+    }
+
+    #[test]
+    fn total_weight_is_preserved() {
+        let g = gen::rhg_like(400, 6, 3.0, 3);
+        let mut clustering = Clustering::singletons(g.n());
+        two_hop_clustering(&g, &mut clustering, 4);
+        let weights = clustering.cluster_weights(&g);
+        assert_eq!(weights.iter().sum::<NodeWeight>(), g.total_node_weight());
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = graph::CsrGraphBuilder::new(0).build();
+        let mut clustering = Clustering::singletons(0);
+        assert_eq!(two_hop_clustering(&g, &mut clustering, 1), 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Partitioner configuration ("context" in KaMinPar terminology).
+//!
+//! The experiments of the paper enable the TeraPart optimizations one after another on
+//! top of the KaMinPar baseline (Figures 1, 4 and 6). [`PartitionerConfig`] exposes each
+//! optimization as an independent switch plus named presets for the configurations the
+//! paper evaluates:
+//!
+//! * [`PartitionerConfig::kaminpar`] — the baseline: per-thread rating maps, buffered
+//!   contraction, uncompressed input, label propagation refinement.
+//! * [`PartitionerConfig::kaminpar_two_phase_lp`] — + two-phase label propagation.
+//! * [`PartitionerConfig::kaminpar_compressed`] — + graph compression.
+//! * [`PartitionerConfig::terapart`] — + one-pass contraction (the full TeraPart).
+//! * [`PartitionerConfig::terapart_fm`] — TeraPart with parallel FM refinement and the
+//!   space-efficient gain table (TeraPart-FM in the paper).
+
+/// How the label propagation clustering allocates its rating maps (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelPropagationMode {
+    /// One `O(n)` sparse-array rating map per thread — `O(n·p)` auxiliary memory.
+    /// This is the original KaMinPar scheme.
+    PerThreadRatingMaps,
+    /// Two-phase label propagation: fixed-capacity per-thread hash tables in phase one,
+    /// a single shared atomic sparse array for bumped vertices in phase two —
+    /// `O(n + p·T_bump)` auxiliary memory.
+    TwoPhase,
+}
+
+/// Which contraction algorithm builds the coarse graph (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractionAlgorithm {
+    /// Aggregate coarse edges into per-cluster buffers, then copy them into the CSR
+    /// arrays once all degrees are known (the original KaMinPar scheme; stores the
+    /// coarse graph twice at its peak).
+    Buffered,
+    /// One-pass contraction: append coarse neighbourhoods directly to an over-reserved
+    /// edge array using the atomic dual counter, then remap vertex IDs.
+    OnePass,
+}
+
+/// Gain-cache flavour used by FM refinement (paper §V / Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GainTableKind {
+    /// No gain table: gains are recomputed from scratch whenever they are needed.
+    None,
+    /// The standard dense table with `k` entries per vertex (`O(nk)` memory).
+    Dense,
+    /// The space-efficient table: dense rows only for vertices with `deg(v) > k`, tiny
+    /// linear-probing hash tables of capacity `Θ(deg(v))` otherwise (`O(m)` memory).
+    Sparse,
+}
+
+/// Refinement algorithm run on every level during uncoarsening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefinementAlgorithm {
+    /// Size-constrained label propagation refinement (KaMinPar default, TeraPart-LP).
+    LabelPropagation,
+    /// Label propagation followed by parallel k-way FM refinement (TeraPart-FM).
+    FmWithLabelPropagation,
+}
+
+/// Settings of the coarsening stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseningConfig {
+    /// Rating-map strategy for label propagation clustering.
+    pub lp_mode: LabelPropagationMode,
+    /// Contraction algorithm.
+    pub contraction: ContractionAlgorithm,
+    /// Number of label propagation rounds per level (the paper performs 5).
+    pub lp_rounds: usize,
+    /// Bump threshold `T_bump`: vertices whose neighbourhood touches at least this many
+    /// distinct clusters are deferred to the second phase. The paper uses 10 000; the
+    /// default here is lower so the second phase is exercised at laptop scale.
+    pub bump_threshold: usize,
+    /// Coarsening stops once the graph has at most `contraction_limit · k` vertices.
+    pub contraction_limit: usize,
+    /// Coarsening also stops when a level shrinks by less than this factor.
+    pub min_shrink_factor: f64,
+    /// Enable two-hop cluster matching for irregular graphs that barely shrink.
+    pub two_hop_clustering: bool,
+    /// Maximum cluster weight as a fraction of the average block weight. KaMinPar uses
+    /// `ε`-dependent limits; a constant fraction reproduces the behaviour at small scale.
+    pub max_cluster_weight_fraction: f64,
+}
+
+impl Default for CoarseningConfig {
+    fn default() -> Self {
+        Self {
+            lp_mode: LabelPropagationMode::TwoPhase,
+            contraction: ContractionAlgorithm::OnePass,
+            lp_rounds: 5,
+            bump_threshold: 256,
+            contraction_limit: 40,
+            min_shrink_factor: 0.95,
+            two_hop_clustering: true,
+            max_cluster_weight_fraction: 1.0,
+        }
+    }
+}
+
+/// Settings of the initial partitioning stage (run on the coarsest graph).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitialPartitioningConfig {
+    /// Number of independent attempts of the greedy-growing + FM portfolio per
+    /// bisection; the best result (by cut) is kept.
+    pub attempts: usize,
+    /// Number of 2-way FM passes applied to each bisection attempt.
+    pub fm_passes: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for InitialPartitioningConfig {
+    fn default() -> Self {
+        Self { attempts: 4, fm_passes: 3, seed: 1 }
+    }
+}
+
+/// Settings of the refinement stage (run on every level during uncoarsening).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementConfig {
+    /// Which refinement algorithm to run.
+    pub algorithm: RefinementAlgorithm,
+    /// Gain table used by FM refinement.
+    pub gain_table: GainTableKind,
+    /// Number of label propagation refinement rounds per level.
+    pub lp_rounds: usize,
+    /// Number of FM passes per level.
+    pub fm_passes: usize,
+    /// FM only inspects moves for boundary vertices; this caps the fraction of vertices
+    /// processed per pass as a safeguard on degenerate instances.
+    pub fm_fraction: f64,
+}
+
+impl Default for RefinementConfig {
+    fn default() -> Self {
+        Self {
+            algorithm: RefinementAlgorithm::LabelPropagation,
+            gain_table: GainTableKind::Sparse,
+            lp_rounds: 5,
+            fm_passes: 2,
+            fm_fraction: 1.0,
+        }
+    }
+}
+
+/// Complete configuration of a partitioning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionerConfig {
+    /// Number of blocks `k`.
+    pub k: usize,
+    /// Allowed imbalance ε (the paper uses 3%).
+    pub epsilon: f64,
+    /// Number of worker threads (`p`).
+    pub num_threads: usize,
+    /// Random seed controlling vertex visit orders and initial partitioning.
+    pub seed: u64,
+    /// Partition the compressed representation instead of the uncompressed CSR.
+    pub use_compression: bool,
+    /// Coarsening settings.
+    pub coarsening: CoarseningConfig,
+    /// Initial partitioning settings.
+    pub initial: InitialPartitioningConfig,
+    /// Refinement settings.
+    pub refinement: RefinementConfig,
+}
+
+impl PartitionerConfig {
+    /// The KaMinPar baseline configuration (no TeraPart optimizations).
+    pub fn kaminpar(k: usize) -> Self {
+        Self {
+            k,
+            epsilon: 0.03,
+            num_threads: default_threads(),
+            seed: 1,
+            use_compression: false,
+            coarsening: CoarseningConfig {
+                lp_mode: LabelPropagationMode::PerThreadRatingMaps,
+                contraction: ContractionAlgorithm::Buffered,
+                ..CoarseningConfig::default()
+            },
+            initial: InitialPartitioningConfig::default(),
+            refinement: RefinementConfig::default(),
+        }
+    }
+
+    /// KaMinPar + two-phase label propagation (first optimization step in Fig. 1/4/6).
+    pub fn kaminpar_two_phase_lp(k: usize) -> Self {
+        let mut config = Self::kaminpar(k);
+        config.coarsening.lp_mode = LabelPropagationMode::TwoPhase;
+        config
+    }
+
+    /// KaMinPar + two-phase LP + graph compression (second optimization step).
+    pub fn kaminpar_compressed(k: usize) -> Self {
+        let mut config = Self::kaminpar_two_phase_lp(k);
+        config.use_compression = true;
+        config
+    }
+
+    /// The full TeraPart configuration: two-phase LP, graph compression and one-pass
+    /// contraction, with label propagation refinement (TeraPart-LP in the paper).
+    pub fn terapart(k: usize) -> Self {
+        let mut config = Self::kaminpar_compressed(k);
+        config.coarsening.contraction = ContractionAlgorithm::OnePass;
+        config
+    }
+
+    /// TeraPart with parallel FM refinement and the space-efficient gain table
+    /// (TeraPart-FM in the paper).
+    pub fn terapart_fm(k: usize) -> Self {
+        let mut config = Self::terapart(k);
+        config.refinement.algorithm = RefinementAlgorithm::FmWithLabelPropagation;
+        config.refinement.gain_table = GainTableKind::Sparse;
+        config
+    }
+
+    /// Sets the number of threads, returning the modified configuration.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads.max(1);
+        self
+    }
+
+    /// Sets the random seed, returning the modified configuration.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the imbalance parameter, returning the modified configuration.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the gain-table kind used by FM refinement.
+    pub fn with_gain_table(mut self, kind: GainTableKind) -> Self {
+        self.refinement.gain_table = kind;
+        self
+    }
+}
+
+/// Default thread count: all available parallelism, matching the paper's "use all cores
+/// unless stated otherwise".
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_enable_optimizations_incrementally() {
+        let base = PartitionerConfig::kaminpar(16);
+        assert_eq!(base.coarsening.lp_mode, LabelPropagationMode::PerThreadRatingMaps);
+        assert_eq!(base.coarsening.contraction, ContractionAlgorithm::Buffered);
+        assert!(!base.use_compression);
+
+        let two_phase = PartitionerConfig::kaminpar_two_phase_lp(16);
+        assert_eq!(two_phase.coarsening.lp_mode, LabelPropagationMode::TwoPhase);
+        assert_eq!(two_phase.coarsening.contraction, ContractionAlgorithm::Buffered);
+
+        let compressed = PartitionerConfig::kaminpar_compressed(16);
+        assert!(compressed.use_compression);
+
+        let terapart = PartitionerConfig::terapart(16);
+        assert_eq!(terapart.coarsening.contraction, ContractionAlgorithm::OnePass);
+        assert_eq!(terapart.refinement.algorithm, RefinementAlgorithm::LabelPropagation);
+
+        let fm = PartitionerConfig::terapart_fm(16);
+        assert_eq!(fm.refinement.algorithm, RefinementAlgorithm::FmWithLabelPropagation);
+        assert_eq!(fm.refinement.gain_table, GainTableKind::Sparse);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let config = PartitionerConfig::terapart(4)
+            .with_threads(2)
+            .with_seed(99)
+            .with_epsilon(0.1)
+            .with_gain_table(GainTableKind::Dense);
+        assert_eq!(config.num_threads, 2);
+        assert_eq!(config.seed, 99);
+        assert!((config.epsilon - 0.1).abs() < 1e-12);
+        assert_eq!(config.refinement.gain_table, GainTableKind::Dense);
+    }
+
+    #[test]
+    fn threads_are_clamped_to_one() {
+        let config = PartitionerConfig::terapart(4).with_threads(0);
+        assert_eq!(config.num_threads, 1);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let config = PartitionerConfig::terapart(8);
+        assert!((config.epsilon - 0.03).abs() < 1e-12);
+        assert_eq!(config.coarsening.lp_rounds, 5);
+    }
+}

@@ -1,0 +1,158 @@
+//! The atomic dual counter used by one-pass contraction (paper §IV-B2).
+//!
+//! One-pass contraction maintains two counters that must be updated together in one
+//! transaction: `d`, the number of coarse half-edges already appended to the coarse edge
+//! array, and `s`, the number of coarse vertices already processed. The paper packs both
+//! into a 128-bit word and updates them with the double-width compare-and-swap
+//! instruction (CMPXCHG16B).
+//!
+//! Stable Rust has no portable 128-bit atomic, so this reproduction packs the pair into a
+//! single `AtomicU64`: `d` occupies the low [`EDGE_BITS`] bits and `s` the remaining high
+//! bits. At the scales this repository handles (`2m' < 2^40`, `n' < 2^24`) the packing is
+//! lossless; the packing limits are asserted at run time so a violation fails loudly
+//! rather than corrupting the contraction. The update protocol (CAS loop, capturing the
+//! *previous* values `d_prev`/`s_prev`, batching several neighbourhoods per transaction)
+//! is identical to the paper's.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of low bits reserved for the edge counter `d`.
+pub const EDGE_BITS: u32 = 40;
+
+/// Maximum representable edge count (exclusive).
+pub const MAX_EDGES: u64 = 1 << EDGE_BITS;
+
+/// Maximum representable vertex count (exclusive).
+pub const MAX_VERTICES: u64 = 1 << (64 - EDGE_BITS);
+
+/// A pair of counters `(d, s)` updated atomically in a single transaction.
+#[derive(Debug, Default)]
+pub struct DualCounter {
+    packed: AtomicU64,
+}
+
+impl DualCounter {
+    /// Creates a counter with `d = 0` and `s = 0`.
+    pub const fn new() -> Self {
+        Self { packed: AtomicU64::new(0) }
+    }
+
+    /// Atomically adds `edges` to `d` and `vertices` to `s`, returning the values of
+    /// `(d, s)` immediately *before* the transaction — the `d_prev`/`s_prev` of the
+    /// paper, which give the first edge position and first coarse vertex ID of the batch.
+    pub fn fetch_add(&self, edges: u64, vertices: u64) -> (u64, u64) {
+        assert!(edges < MAX_EDGES, "edge increment {} exceeds packing limit", edges);
+        assert!(vertices < MAX_VERTICES, "vertex increment {} exceeds packing limit", vertices);
+        let mut current = self.packed.load(Ordering::Relaxed);
+        loop {
+            let (d, s) = Self::unpack(current);
+            assert!(d + edges < MAX_EDGES, "edge counter overflow: {} + {}", d, edges);
+            assert!(s + vertices < MAX_VERTICES, "vertex counter overflow: {} + {}", s, vertices);
+            let next = Self::pack(d + edges, s + vertices);
+            match self.packed.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return (d, s),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Returns the current `(d, s)` values.
+    pub fn load(&self) -> (u64, u64) {
+        Self::unpack(self.packed.load(Ordering::Acquire))
+    }
+
+    /// Packs `(d, s)` into one 64-bit word.
+    #[inline]
+    pub fn pack(d: u64, s: u64) -> u64 {
+        debug_assert!(d < MAX_EDGES);
+        debug_assert!(s < MAX_VERTICES);
+        (s << EDGE_BITS) | d
+    }
+
+    /// Splits a packed word back into `(d, s)`.
+    #[inline]
+    pub fn unpack(packed: u64) -> (u64, u64) {
+        (packed & (MAX_EDGES - 1), packed >> EDGE_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for &(d, s) in &[(0u64, 0u64), (1, 1), (MAX_EDGES - 1, 0), (0, MAX_VERTICES - 1), (123_456_789, 54_321)] {
+            assert_eq!(DualCounter::unpack(DualCounter::pack(d, s)), (d, s));
+        }
+    }
+
+    #[test]
+    fn fetch_add_returns_previous_values() {
+        let counter = DualCounter::new();
+        assert_eq!(counter.fetch_add(10, 2), (0, 0));
+        assert_eq!(counter.fetch_add(5, 1), (10, 2));
+        assert_eq!(counter.load(), (15, 3));
+    }
+
+    #[test]
+    fn zero_increments_are_allowed() {
+        let counter = DualCounter::new();
+        counter.fetch_add(7, 0);
+        assert_eq!(counter.load(), (7, 0));
+        counter.fetch_add(0, 3);
+        assert_eq!(counter.load(), (7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "packing limit")]
+    fn oversized_increment_panics() {
+        let counter = DualCounter::new();
+        counter.fetch_add(MAX_EDGES, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact_and_disjoint() {
+        let counter = Arc::new(DualCounter::new());
+        let threads = 4;
+        let per_thread = 5_000;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                let mut ranges = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let edges = (i % 7 + 1) as u64;
+                    let (d_prev, s_prev) = counter.fetch_add(edges, 1);
+                    ranges.push((d_prev, edges, s_prev));
+                }
+                ranges
+            }));
+        }
+        let mut all: Vec<(u64, u64, u64)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        // Every vertex ID must be unique, and the edge ranges must tile [0, d_total).
+        let (d_total, s_total) = counter.load();
+        assert_eq!(s_total as usize, threads * per_thread);
+        let mut vertex_ids: Vec<u64> = all.iter().map(|&(_, _, s)| s).collect();
+        vertex_ids.sort_unstable();
+        vertex_ids.dedup();
+        assert_eq!(vertex_ids.len(), threads * per_thread);
+        all.sort_unstable_by_key(|&(d, _, _)| d);
+        let mut expected_start = 0;
+        for &(d_prev, edges, _) in &all {
+            assert_eq!(d_prev, expected_start, "edge ranges must tile without gaps");
+            expected_start += edges;
+        }
+        assert_eq!(expected_start, d_total);
+    }
+}

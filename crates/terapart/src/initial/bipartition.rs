@@ -1,0 +1,290 @@
+//! 2-way initial partitioning: greedy graph growing plus 2-way FM refinement.
+//!
+//! KaMinPar's initial bipartitioning uses a portfolio of randomized sequential greedy
+//! graph growing heuristics refined with 2-way FM (paper §II-B). These routines run on
+//! the coarsest graph only, so they are sequential; the multilevel driver invokes them
+//! repeatedly with different seeds and keeps the best result.
+
+use std::collections::BinaryHeap;
+
+use graph::traits::Graph;
+use graph::{EdgeWeight, NodeId, NodeWeight};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A bipartition represented as a boolean per vertex (`true` = block 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bipartition {
+    /// Side of each vertex.
+    pub side: Vec<bool>,
+    /// Total node weight on side 0.
+    pub weight0: NodeWeight,
+    /// Total node weight on side 1.
+    pub weight1: NodeWeight,
+}
+
+impl Bipartition {
+    /// Computes the edge cut of the bipartition on `graph`.
+    pub fn cut(&self, graph: &impl Graph) -> EdgeWeight {
+        let mut cut = 0;
+        for u in 0..graph.n() as NodeId {
+            graph.for_each_neighbor(u, &mut |v, w| {
+                if u < v && self.side[u as usize] != self.side[v as usize] {
+                    cut += w;
+                }
+            });
+        }
+        cut
+    }
+}
+
+/// Grows block 0 greedily from a random seed vertex until it reaches `target_weight0`;
+/// the remaining vertices form block 1.
+///
+/// Frontier vertices are picked by the strength of their connection to the growing block
+/// (greedy graph growing). Disconnected graphs are handled by restarting from a fresh
+/// random unassigned vertex whenever the frontier runs dry.
+pub fn greedy_graph_growing(
+    graph: &impl Graph,
+    target_weight0: NodeWeight,
+    seed: u64,
+) -> Bipartition {
+    let n = graph.n();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // true = assigned to block 0.
+    let mut in_block0 = vec![false; n];
+    let mut assigned = vec![false; n];
+    let mut weight0: NodeWeight = 0;
+    // Max-heap of (connection weight to block 0, vertex).
+    let mut frontier: BinaryHeap<(EdgeWeight, NodeId)> = BinaryHeap::new();
+
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(&mut rng);
+    let mut next_seed = 0usize;
+
+    while weight0 < target_weight0 {
+        let u = match frontier.pop() {
+            Some((_, u)) if !assigned[u as usize] => u,
+            Some(_) => continue, // stale heap entry
+            None => {
+                // Frontier exhausted: restart from an arbitrary unassigned vertex.
+                let mut restart = None;
+                while next_seed < order.len() {
+                    let candidate = order[next_seed];
+                    next_seed += 1;
+                    if !assigned[candidate as usize] {
+                        restart = Some(candidate);
+                        break;
+                    }
+                }
+                match restart {
+                    Some(u) => u,
+                    None => break, // every vertex assigned
+                }
+            }
+        };
+        assigned[u as usize] = true;
+        in_block0[u as usize] = true;
+        weight0 += graph.node_weight(u);
+        graph.for_each_neighbor(u, &mut |v, w| {
+            if !assigned[v as usize] {
+                frontier.push((w, v));
+            }
+        });
+    }
+
+    let side: Vec<bool> = in_block0.iter().map(|&b| !b).collect();
+    let total = graph.total_node_weight();
+    Bipartition { side, weight0, weight1: total - weight0 }
+}
+
+/// One pass of 2-way FM refinement with rollback to the best observed prefix.
+///
+/// Returns the cut improvement achieved by the pass (0 if no improvement was possible).
+pub fn fm_bipartition_pass(
+    graph: &impl Graph,
+    bipartition: &mut Bipartition,
+    max_weight: [NodeWeight; 2],
+) -> EdgeWeight {
+    let n = graph.n();
+    // gain(u) = weight towards the other side - weight towards the own side.
+    let gain_of = |u: NodeId, side: &[bool]| -> i64 {
+        let mut internal: i64 = 0;
+        let mut external: i64 = 0;
+        graph.for_each_neighbor(u, &mut |v, w| {
+            if side[v as usize] == side[u as usize] {
+                internal += w as i64;
+            } else {
+                external += w as i64;
+            }
+        });
+        external - internal
+    };
+
+    let mut side = bipartition.side.clone();
+    let mut weights = [bipartition.weight0, bipartition.weight1];
+    let mut locked = vec![false; n];
+    let mut heap: BinaryHeap<(i64, NodeId, u32)> = BinaryHeap::new();
+    let mut stamp = vec![0u32; n];
+    for u in 0..n as NodeId {
+        heap.push((gain_of(u, &side), u, 0));
+    }
+
+    let mut best_improvement: i64 = 0;
+    let mut current_improvement: i64 = 0;
+    let mut moves: Vec<NodeId> = Vec::new();
+    let mut best_prefix = 0usize;
+
+    while let Some((gain, u, s)) = heap.pop() {
+        if locked[u as usize] || s != stamp[u as usize] {
+            continue;
+        }
+        let from = side[u as usize] as usize;
+        let to = 1 - from;
+        let w = graph.node_weight(u);
+        if weights[to] + w > max_weight[to] {
+            continue;
+        }
+        // Apply the move tentatively.
+        locked[u as usize] = true;
+        side[u as usize] = !side[u as usize];
+        weights[from] -= w;
+        weights[to] += w;
+        current_improvement += gain;
+        moves.push(u);
+        if current_improvement > best_improvement {
+            best_improvement = current_improvement;
+            best_prefix = moves.len();
+        }
+        // Update the gains of unlocked neighbours.
+        graph.for_each_neighbor(u, &mut |v, _| {
+            if !locked[v as usize] {
+                stamp[v as usize] += 1;
+                heap.push((gain_of(v, &side), v, stamp[v as usize]));
+            }
+        });
+        // Heuristic stop: once the pass has moved every vertex there is nothing left.
+        if moves.len() >= n {
+            break;
+        }
+    }
+
+    if best_improvement <= 0 {
+        return 0;
+    }
+    // Roll back to the best prefix and commit it.
+    for &u in &moves[best_prefix..] {
+        let w = graph.node_weight(u);
+        let from = side[u as usize] as usize;
+        side[u as usize] = !side[u as usize];
+        weights[from] -= w;
+        weights[1 - from] += w;
+    }
+    bipartition.side = side;
+    bipartition.weight0 = weights[0];
+    bipartition.weight1 = weights[1];
+    best_improvement as EdgeWeight
+}
+
+/// Produces a refined bipartition: greedy growing followed by `fm_passes` FM passes.
+pub fn bipartition(
+    graph: &impl Graph,
+    target_weight0: NodeWeight,
+    max_weight: [NodeWeight; 2],
+    fm_passes: usize,
+    seed: u64,
+) -> Bipartition {
+    let mut result = greedy_graph_growing(graph, target_weight0, seed);
+    for _ in 0..fm_passes {
+        if fm_bipartition_pass(graph, &mut result, max_weight) == 0 {
+            break;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn growing_hits_the_target_weight() {
+        let g = gen::grid2d(10, 10);
+        let b = greedy_graph_growing(&g, 50, 3);
+        assert!(b.weight0 >= 50);
+        assert!(b.weight0 <= 55, "block 0 overshoots: {}", b.weight0);
+        assert_eq!(b.weight0 + b.weight1, 100);
+        assert_eq!(b.side.iter().filter(|&&s| !s).count() as u64, b.weight0);
+    }
+
+    #[test]
+    fn growing_handles_disconnected_graphs() {
+        // Two disjoint cliques: growing must restart to fill the target.
+        let g = gen::clique_chain(2, 10);
+        // Remove the bridge by building the graph manually.
+        let mut builder = graph::CsrGraphBuilder::new(20);
+        for c in 0..2 {
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    builder.add_edge((c * 10 + i) as NodeId, (c * 10 + j) as NodeId, 1);
+                }
+            }
+        }
+        let disconnected = builder.build();
+        let b = greedy_graph_growing(&disconnected, 15, 1);
+        assert!(b.weight0 >= 15);
+        assert!(g.n() == 20);
+    }
+
+    #[test]
+    fn fm_improves_a_bad_bipartition() {
+        // Two cliques joined by one bridge; the optimal bisection cuts only the bridge.
+        let g = gen::clique_chain(2, 8);
+        // Start from an interleaved (bad) assignment.
+        let side: Vec<bool> = (0..16).map(|u| u % 2 == 0).collect();
+        let weight1 = side.iter().filter(|&&s| s).count() as NodeWeight;
+        let mut b = Bipartition { side, weight0: 16 - weight1, weight1 };
+        let initial_cut = b.cut(&g);
+        let mut improved = 0;
+        for _ in 0..5 {
+            let delta = fm_bipartition_pass(&g, &mut b, [9, 9]);
+            improved += delta;
+            if delta == 0 {
+                break;
+            }
+        }
+        let final_cut = b.cut(&g);
+        assert_eq!(initial_cut - improved, final_cut);
+        assert_eq!(final_cut, 1, "FM should find the single-bridge cut, got {}", final_cut);
+        assert!(b.weight0 <= 9 && b.weight1 <= 9);
+    }
+
+    #[test]
+    fn fm_respects_balance_constraint() {
+        let g = gen::complete(10);
+        let side: Vec<bool> = (0..10).map(|u| u >= 5).collect();
+        let mut b = Bipartition { side, weight0: 5, weight1: 5 };
+        fm_bipartition_pass(&g, &mut b, [6, 6]);
+        assert!(b.weight0 <= 6 && b.weight1 <= 6);
+        assert_eq!(b.weight0 + b.weight1, 10);
+    }
+
+    #[test]
+    fn bipartition_end_to_end_is_balanced_and_low_cut() {
+        let g = gen::grid2d(12, 12);
+        let total = g.total_node_weight();
+        let b = bipartition(&g, total / 2, [80, 80], 3, 7);
+        assert!(b.weight0 <= 80 && b.weight1 <= 80);
+        // A 12x12 grid has a bisection of width 12; allow some slack.
+        assert!(b.cut(&g) <= 30, "cut too high: {}", b.cut(&g));
+    }
+
+    #[test]
+    fn zero_target_puts_everything_in_block_one() {
+        let g = gen::path(5);
+        let b = greedy_graph_growing(&g, 0, 1);
+        assert_eq!(b.weight0, 0);
+        assert!(b.side.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,210 @@
+//! Initial partitioning of the coarsest graph.
+//!
+//! KaMinPar partitions the coarsest graph with a portfolio of randomized greedy graph
+//! growing heuristics refined by 2-way FM (paper §II-B), recursing to obtain `k` blocks.
+//! The coarsest graph has `O(contraction_limit · k)` vertices, so this stage is cheap and
+//! runs sequentially per bisection; the portfolio attempts use different seeds and the
+//! best (lowest-cut, balanced) result is kept.
+
+pub mod bipartition;
+
+use graph::csr::{CsrGraph, CsrGraphBuilder};
+use graph::traits::Graph;
+use graph::{NodeId, NodeWeight};
+
+use crate::context::InitialPartitioningConfig;
+use crate::partition::{BlockId, Partition};
+
+use bipartition::{bipartition, Bipartition};
+
+/// Computes an initial `k`-way partition of `graph` via recursive bisection.
+pub fn initial_partition(
+    graph: &CsrGraph,
+    k: usize,
+    epsilon: f64,
+    config: &InitialPartitioningConfig,
+    seed: u64,
+) -> Partition {
+    assert!(k >= 1);
+    let n = graph.n();
+    let mut assignment: Vec<BlockId> = vec![0; n];
+    if k > 1 && n > 0 {
+        let vertices: Vec<NodeId> = (0..n as NodeId).collect();
+        recurse(graph, &vertices, 0, k, epsilon, config, seed, &mut assignment);
+    }
+    let mut partition = Partition::from_assignment(graph, k, epsilon, assignment);
+    let cut = partition.edge_cut_on(graph);
+    partition.set_cached_cut(cut);
+    partition
+}
+
+/// Recursively bisects the subgraph induced by `vertices` into blocks
+/// `[first_block, first_block + k)`.
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    graph: &CsrGraph,
+    vertices: &[NodeId],
+    first_block: usize,
+    k: usize,
+    epsilon: f64,
+    config: &InitialPartitioningConfig,
+    seed: u64,
+    assignment: &mut [BlockId],
+) {
+    if k == 1 || vertices.is_empty() {
+        for &u in vertices {
+            assignment[u as usize] = first_block as BlockId;
+        }
+        return;
+    }
+    let (sub, original) = induced_subgraph(graph, vertices);
+    let total = sub.total_node_weight();
+    let k0 = k.div_ceil(2);
+    let k1 = k - k0;
+    let target0 = (total as f64 * k0 as f64 / k as f64).round() as NodeWeight;
+    // Allow a relaxed imbalance during bisection so deeper levels can still balance out;
+    // the per-side limits are proportional to the number of final blocks on each side.
+    let slack = 1.0 + epsilon + 0.05;
+    let max0 = ((total as f64 * k0 as f64 / k as f64) * slack).ceil() as NodeWeight;
+    let max1 = ((total as f64 * k1 as f64 / k as f64) * slack).ceil() as NodeWeight;
+
+    let best = best_bipartition(&sub, target0, [max0.max(1), max1.max(1)], config, seed);
+
+    let mut left: Vec<NodeId> = Vec::new();
+    let mut right: Vec<NodeId> = Vec::new();
+    for (local, &orig) in original.iter().enumerate() {
+        if best.side[local] {
+            right.push(orig);
+        } else {
+            left.push(orig);
+        }
+    }
+    recurse(graph, &left, first_block, k0, epsilon, config, seed.wrapping_mul(31).wrapping_add(1), assignment);
+    recurse(graph, &right, first_block + k0, k1, epsilon, config, seed.wrapping_mul(31).wrapping_add(2), assignment);
+}
+
+/// Runs the bisection portfolio and returns the best balanced result (or, failing that,
+/// the result with the lowest cut).
+fn best_bipartition(
+    sub: &CsrGraph,
+    target0: NodeWeight,
+    max_weight: [NodeWeight; 2],
+    config: &InitialPartitioningConfig,
+    seed: u64,
+) -> Bipartition {
+    let mut best: Option<(bool, u64, Bipartition)> = None;
+    for attempt in 0..config.attempts.max(1) {
+        let attempt_seed = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9);
+        let candidate = bipartition(sub, target0, max_weight, config.fm_passes, attempt_seed);
+        let balanced = candidate.weight0 <= max_weight[0] && candidate.weight1 <= max_weight[1];
+        let cut = candidate.cut(sub);
+        let better = match &best {
+            None => true,
+            Some((best_balanced, best_cut, _)) => {
+                (balanced && !best_balanced) || (balanced == *best_balanced && cut < *best_cut)
+            }
+        };
+        if better {
+            best = Some((balanced, cut, candidate));
+        }
+    }
+    best.expect("at least one bisection attempt").2
+}
+
+/// Extracts the subgraph induced by `vertices`.
+///
+/// Returns the subgraph (with vertices renumbered to `0..vertices.len()`) and the list of
+/// original vertex IDs (`original[local] = global`).
+pub fn induced_subgraph(graph: &CsrGraph, vertices: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+    let mut local_of = vec![NodeId::MAX; graph.n()];
+    for (local, &u) in vertices.iter().enumerate() {
+        local_of[u as usize] = local as NodeId;
+    }
+    let node_weights: Vec<NodeWeight> = vertices.iter().map(|&u| graph.node_weight(u)).collect();
+    let mut builder = CsrGraphBuilder::with_node_weights(node_weights);
+    for (local, &u) in vertices.iter().enumerate() {
+        graph.for_each_neighbor(u, &mut |v, w| {
+            let lv = local_of[v as usize];
+            if lv != NodeId::MAX && (local as NodeId) < lv {
+                builder.add_edge(local as NodeId, lv, w);
+            }
+        });
+    }
+    (builder.build(), vertices.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = gen::grid2d(4, 4);
+        let vertices: Vec<NodeId> = vec![0, 1, 2, 3]; // the first row
+        let (sub, original) = induced_subgraph(&g, &vertices);
+        assert_eq!(sub.n(), 4);
+        assert_eq!(sub.m(), 3); // a path along the row
+        assert_eq!(original, vertices);
+        assert_eq!(sub.total_node_weight(), 4);
+    }
+
+    #[test]
+    fn initial_partition_is_complete_and_balanced() {
+        let g = gen::grid2d(12, 12);
+        for k in [2, 3, 4, 7, 8] {
+            let p = initial_partition(&g, k, 0.05, &InitialPartitioningConfig::default(), 1);
+            assert_eq!(p.k(), k);
+            assert!(p.is_complete());
+            assert_eq!(
+                p.block_weights().iter().sum::<NodeWeight>(),
+                g.total_node_weight()
+            );
+            assert!(
+                p.imbalance() < 0.35,
+                "k = {}: imbalance {} too high (block weights {:?})",
+                k,
+                p.imbalance(),
+                p.block_weights()
+            );
+            assert!(p.edge_cut_on(&g) > 0);
+        }
+    }
+
+    #[test]
+    fn k_equals_one_puts_everything_in_one_block() {
+        let g = gen::path(10);
+        let p = initial_partition(&g, 1, 0.03, &InitialPartitioningConfig::default(), 3);
+        assert!(p.assignment().iter().all(|&b| b == 0));
+        assert_eq!(p.edge_cut_on(&g), 0);
+    }
+
+    #[test]
+    fn clique_chain_is_cut_at_the_bridges() {
+        // Four cliques of 8 vertices, k = 4: the ideal partition cuts the 3 bridges.
+        let g = gen::clique_chain(4, 8);
+        let p = initial_partition(&g, 4, 0.10, &InitialPartitioningConfig { attempts: 8, fm_passes: 4, seed: 1 }, 5);
+        let cut = p.edge_cut_on(&g);
+        assert!(cut <= 12, "cut {} far from the optimum of 3", cut);
+        assert!(p.imbalance() < 0.2);
+    }
+
+    #[test]
+    fn weighted_graphs_are_balanced_by_weight() {
+        let g = gen::with_random_node_weights(&gen::grid2d(10, 10), 5, 9);
+        let p = initial_partition(&g, 4, 0.1, &InitialPartitioningConfig::default(), 2);
+        assert!(p.is_complete());
+        let max = p.block_weights().iter().max().copied().unwrap();
+        let avg = g.total_node_weight() / 4;
+        assert!(max as f64 <= 1.5 * avg as f64, "max block {} vs avg {}", max, avg);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = gen::erdos_renyi(200, 800, 3);
+        let config = InitialPartitioningConfig::default();
+        let a = initial_partition(&g, 6, 0.03, &config, 42);
+        let b = initial_partition(&g, 6, 0.03, &config, 42);
+        assert_eq!(a.assignment(), b.assignment());
+    }
+}

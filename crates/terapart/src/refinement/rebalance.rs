@@ -1,0 +1,170 @@
+//! Greedy rebalancing of overloaded blocks.
+//!
+//! The distributed version of KaMinPar repairs balance violations in a dedicated
+//! rebalancing step (paper §II-B); the shared-memory partitioner uses the same routine as
+//! a safety net after projection, since a coarse-level partition that was balanced with
+//! respect to coarse vertex weights can exceed the fine-level constraint slightly.
+//!
+//! Vertices are moved out of overloaded blocks in order of increasing *loss* (the cut
+//! increase caused by the move) into the lightest feasible block, until every block
+//! respects the constraint or no further move is possible.
+
+use graph::traits::Graph;
+use graph::{EdgeWeight, NodeId};
+
+use crate::partition::{BlockId, Partition};
+
+/// Rebalances `partition` in place. Returns the number of vertices moved.
+pub fn rebalance(graph: &impl Graph, partition: &mut Partition) -> usize {
+    let max_weight = partition.max_block_weight();
+    let k = partition.k();
+    if k <= 1 {
+        return 0;
+    }
+    let mut moved = 0usize;
+    // Iterate until balanced; bounded by n moves overall to guarantee termination.
+    let mut budget = graph.n();
+    while budget > 0 {
+        let (heaviest, weight) = partition.heaviest_block();
+        if weight <= max_weight {
+            break;
+        }
+        // Candidate vertices of the heaviest block, ordered by the loss of moving them to
+        // their best alternative block.
+        let mut best_candidate: Option<(i64, NodeId, BlockId)> = None;
+        for u in 0..graph.n() as NodeId {
+            if partition.block(u) != heaviest {
+                continue;
+            }
+            let node_weight = graph.node_weight(u);
+            // Affinity towards each block.
+            let mut internal: EdgeWeight = 0;
+            let mut per_block: Vec<(BlockId, EdgeWeight)> = Vec::new();
+            graph.for_each_neighbor(u, &mut |v, w| {
+                let b = partition.block(v);
+                if b == heaviest {
+                    internal += w;
+                } else if let Some(entry) = per_block.iter_mut().find(|(pb, _)| *pb == b) {
+                    entry.1 += w;
+                } else {
+                    per_block.push((b, w));
+                }
+            });
+            // Consider every other block as a target (vertices without external
+            // neighbours can still be moved, at a loss equal to their internal weight).
+            for target in 0..k as BlockId {
+                if target == heaviest {
+                    continue;
+                }
+                if partition.block_weight(target) + node_weight > max_weight {
+                    continue;
+                }
+                let external = per_block
+                    .iter()
+                    .find(|(b, _)| *b == target)
+                    .map(|&(_, w)| w)
+                    .unwrap_or(0);
+                let loss = internal as i64 - external as i64;
+                let better = match best_candidate {
+                    None => true,
+                    Some((best_loss, _, _)) => loss < best_loss,
+                };
+                if better {
+                    best_candidate = Some((loss, u, target));
+                }
+            }
+        }
+        match best_candidate {
+            Some((_, u, target)) => {
+                partition.move_vertex(u, target, graph.node_weight(u));
+                moved += 1;
+                budget -= 1;
+            }
+            None => break, // no feasible move exists
+        }
+    }
+    if moved > 0 {
+        let cut = partition.edge_cut_on(graph);
+        partition.set_cached_cut(cut);
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+    use graph::NodeWeight;
+
+    #[test]
+    fn rebalances_an_overloaded_block() {
+        let g = gen::grid2d(8, 8);
+        // Put 3/4 of the vertices into block 0.
+        let assignment: Vec<BlockId> = (0..64u32).map(|u| if u < 48 { 0 } else { 1 }).collect();
+        let mut p = Partition::from_assignment(&g, 2, 0.03, assignment);
+        assert!(!p.is_balanced());
+        let moved = rebalance(&g, &mut p);
+        assert!(moved > 0);
+        assert!(p.is_balanced(), "still imbalanced: {:?}", p.block_weights());
+        assert_eq!(p.block_weights().iter().sum::<NodeWeight>(), 64);
+    }
+
+    #[test]
+    fn balanced_partition_is_untouched() {
+        let g = gen::grid2d(4, 4);
+        let assignment: Vec<BlockId> = (0..16u32).map(|u| u % 2).collect();
+        let mut p = Partition::from_assignment(&g, 2, 0.1, assignment.clone());
+        assert!(p.is_balanced());
+        assert_eq!(rebalance(&g, &mut p), 0);
+        assert_eq!(p.assignment(), assignment.as_slice());
+    }
+
+    #[test]
+    fn prefers_low_loss_moves() {
+        // Two cliques; block 0 holds clique A plus two vertices of clique B. Rebalancing
+        // (with a tight constraint) should move the clique-B vertices back, not split
+        // clique A.
+        let g = gen::clique_chain(2, 6);
+        let mut assignment: Vec<BlockId> = (0..12u32).map(|u| if u < 6 { 0 } else { 1 }).collect();
+        assignment[6] = 0;
+        assignment[7] = 0;
+        let mut p = Partition::from_assignment(&g, 2, 0.0, assignment);
+        assert!(!p.is_balanced());
+        rebalance(&g, &mut p);
+        assert!(p.is_balanced());
+        // Clique A stays intact in block 0.
+        for u in 0..6 {
+            assert_eq!(p.block(u), 0);
+        }
+    }
+
+    #[test]
+    fn gives_up_when_no_move_is_feasible() {
+        // A single huge vertex cannot be balanced no matter what.
+        let base = gen::path(3);
+        let g = {
+            let mut b = graph::CsrGraphBuilder::with_node_weights(vec![100, 1, 1]);
+            use graph::traits::Graph as _;
+            for u in 0..base.n() as NodeId {
+                base.for_each_neighbor(u, &mut |v, w| {
+                    if u < v {
+                        b.add_edge(u, v, w);
+                    }
+                });
+            }
+            b.build()
+        };
+        let mut p = Partition::from_assignment(&g, 2, 0.03, vec![0, 1, 1]);
+        assert!(!p.is_balanced());
+        rebalance(&g, &mut p);
+        // The partition is still infeasible but the routine terminated.
+        assert!(!p.is_balanced());
+    }
+
+    #[test]
+    fn single_block_is_a_noop() {
+        let g = gen::path(4);
+        let mut p = Partition::from_assignment(&g, 1, 0.0, vec![0; 4]);
+        assert_eq!(rebalance(&g, &mut p), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Batch-synchronous distributed label propagation (paper §II-B).
+//!
+//! Both distributed coarsening (clustering) and distributed refinement in dKaMinPar are
+//! label propagation algorithms that process batches of vertices synchronously: every PE
+//! updates the labels of its owned vertices using the most recent labels it knows for its
+//! ghost vertices, then all PEs exchange the labels that changed so the ghost replicas are
+//! refreshed before the next round. Cluster/block weights are kept approximately
+//! consistent by exchanging per-label weight contributions every round.
+
+use std::collections::HashMap;
+
+use graph::{NodeId, NodeWeight};
+
+use crate::dist_graph::{DistGraph, Shard};
+use crate::mpi_sim::Communicator;
+
+/// Message type used by the distributed algorithms (encoded label updates).
+pub type Message = Vec<u64>;
+
+/// Runs distributed label propagation clustering on this PE's shard.
+///
+/// Returns the final labels of the owned vertices as `(global vertex, label)` pairs.
+/// Labels are global vertex IDs (a vertex starts in its own singleton cluster).
+pub fn distributed_lp_clustering(
+    comm: &Communicator<Message>,
+    dist: &DistGraph,
+    shard: &Shard,
+    max_cluster_weight: NodeWeight,
+    rounds: usize,
+) -> Vec<(NodeId, NodeId)> {
+    // Labels known to this PE: owned vertices plus ghost replicas.
+    let mut labels: HashMap<NodeId, NodeId> = HashMap::new();
+    for u in shard.begin..shard.end {
+        labels.insert(u, u);
+    }
+    for &g in &shard.ghosts {
+        labels.insert(g, g);
+    }
+    // Global cluster weights, refreshed every round from all PEs' contributions.
+    let mut cluster_weights: HashMap<NodeId, NodeWeight> = HashMap::new();
+    sync_cluster_weights(comm, shard, &labels, &mut cluster_weights);
+
+    for _ in 0..rounds {
+        let mut changed: Vec<u64> = Vec::new();
+        let mut moved = 0u64;
+        for u in shard.begin..shard.end {
+            let current = labels[&u];
+            // Rate the neighbouring clusters.
+            let mut ratings: HashMap<NodeId, u64> = HashMap::new();
+            shard.for_each_neighbor(u, &mut |v, w| {
+                let label = *labels.get(&v).unwrap_or(&v);
+                *ratings.entry(label).or_insert(0) += w;
+            });
+            let node_weight = shard.node_weight(u);
+            let mut best: Option<(NodeId, u64)> = None;
+            for (&label, &rating) in &ratings {
+                let weight = *cluster_weights.get(&label).unwrap_or(&0);
+                let feasible = label == current || weight + node_weight <= max_cluster_weight;
+                if !feasible {
+                    continue;
+                }
+                best = match best {
+                    None => Some((label, rating)),
+                    Some((bl, br)) => {
+                        if rating > br || (rating == br && label == current && bl != current) {
+                            Some((label, rating))
+                        } else {
+                            Some((bl, br))
+                        }
+                    }
+                };
+            }
+            if let Some((target, _)) = best {
+                if target != current {
+                    labels.insert(u, target);
+                    *cluster_weights.entry(current).or_insert(node_weight) -= node_weight.min(*cluster_weights.get(&current).unwrap_or(&0));
+                    *cluster_weights.entry(target).or_insert(0) += node_weight;
+                    changed.push(u64::from(u));
+                    changed.push(u64::from(target));
+                    moved += 1;
+                }
+            }
+        }
+        // Exchange the label updates: every PE learns the new labels and refreshes the
+        // replicas of its ghost vertices.
+        let gathered = comm.allgather_u64(&changed);
+        for part in &gathered {
+            for pair in part.chunks_exact(2) {
+                let vertex = pair[0] as NodeId;
+                let label = pair[1] as NodeId;
+                if labels.contains_key(&vertex) {
+                    labels.insert(vertex, label);
+                }
+            }
+        }
+        // Re-synchronise the global cluster weights.
+        sync_cluster_weights(comm, shard, &labels, &mut cluster_weights);
+        let total_moved = comm.allreduce_sum(moved);
+        if total_moved == 0 {
+            break;
+        }
+    }
+
+    // `dist` is accepted for symmetry with future owner-based point-to-point exchange;
+    // the current all-gather based exchange only needs the shard.
+    let _ = dist;
+    (shard.begin..shard.end).map(|u| (u, labels[&u])).collect()
+}
+
+/// Recomputes the global per-cluster weights: every PE contributes the weights of its
+/// owned vertices grouped by label; the contributions are all-gathered and summed.
+fn sync_cluster_weights(
+    comm: &Communicator<Message>,
+    shard: &Shard,
+    labels: &HashMap<NodeId, NodeId>,
+    cluster_weights: &mut HashMap<NodeId, NodeWeight>,
+) {
+    let mut local: HashMap<NodeId, NodeWeight> = HashMap::new();
+    for u in shard.begin..shard.end {
+        *local.entry(labels[&u]).or_insert(0) += shard.node_weight(u);
+    }
+    let mut payload: Vec<u64> = Vec::with_capacity(2 * local.len());
+    for (&label, &weight) in &local {
+        payload.push(u64::from(label));
+        payload.push(weight);
+    }
+    let gathered = comm.allgather_u64(&payload);
+    cluster_weights.clear();
+    for part in &gathered {
+        for pair in part.chunks_exact(2) {
+            *cluster_weights.entry(pair[0] as NodeId).or_insert(0) += pair[1];
+        }
+    }
+}
+
+/// Runs distributed size-constrained label propagation *refinement* on this PE's shard.
+///
+/// `assignment` maps every vertex this PE knows (owned + ghosts) to its block. Returns
+/// the refined blocks of the owned vertices.
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_lp_refinement(
+    comm: &Communicator<Message>,
+    shard: &Shard,
+    assignment: &mut HashMap<NodeId, u32>,
+    k: usize,
+    max_block_weight: NodeWeight,
+    rounds: usize,
+) -> Vec<(NodeId, u32)> {
+    // Global block weights via all-reduce (one entry per block).
+    let mut block_weights = vec![0u64; k];
+    let sync_block_weights =
+        |assignment: &HashMap<NodeId, u32>, block_weights: &mut Vec<u64>| {
+            let mut local = vec![0u64; k];
+            for u in shard.begin..shard.end {
+                local[assignment[&u] as usize] += shard.node_weight(u);
+            }
+            let gathered = comm.allgather_u64(&local);
+            for w in block_weights.iter_mut() {
+                *w = 0;
+            }
+            for part in &gathered {
+                for (b, &w) in part.iter().enumerate() {
+                    block_weights[b] += w;
+                }
+            }
+        };
+    sync_block_weights(assignment, &mut block_weights);
+
+    for _ in 0..rounds {
+        let mut changed: Vec<u64> = Vec::new();
+        let mut moved = 0u64;
+        for u in shard.begin..shard.end {
+            let current = assignment[&u];
+            let mut ratings: HashMap<u32, u64> = HashMap::new();
+            shard.for_each_neighbor(u, &mut |v, w| {
+                let block = *assignment.get(&v).unwrap_or(&current);
+                *ratings.entry(block).or_insert(0) += w;
+            });
+            let current_affinity = *ratings.get(&current).unwrap_or(&0);
+            let node_weight = shard.node_weight(u);
+            let mut best: Option<(u32, u64)> = None;
+            for (&block, &affinity) in &ratings {
+                if block == current || affinity <= current_affinity {
+                    continue;
+                }
+                if block_weights[block as usize] + node_weight > max_block_weight {
+                    continue;
+                }
+                best = match best {
+                    None => Some((block, affinity)),
+                    Some((_, bw)) if affinity > bw => Some((block, affinity)),
+                    other => other,
+                };
+            }
+            if let Some((target, _)) = best {
+                assignment.insert(u, target);
+                block_weights[current as usize] =
+                    block_weights[current as usize].saturating_sub(node_weight);
+                block_weights[target as usize] += node_weight;
+                changed.push(u64::from(u));
+                changed.push(u64::from(target));
+                moved += 1;
+            }
+        }
+        let gathered = comm.allgather_u64(&changed);
+        for part in &gathered {
+            for pair in part.chunks_exact(2) {
+                let vertex = pair[0] as NodeId;
+                if assignment.contains_key(&vertex) {
+                    assignment.insert(vertex, pair[1] as u32);
+                }
+            }
+        }
+        sync_block_weights(assignment, &mut block_weights);
+        if comm.allreduce_sum(moved) == 0 {
+            break;
+        }
+    }
+
+    (shard.begin..shard.end).map(|u| (u, assignment[&u])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpi_sim::run_on_pes;
+    use graph::gen;
+    use graph::traits::Graph;
+    use std::sync::Arc;
+
+    #[test]
+    fn distributed_clustering_shrinks_and_respects_weights() {
+        let g = gen::rgg2d(600, 10, 3);
+        let dist = Arc::new(DistGraph::shard(&g, 3, false));
+        let max_weight = 8;
+        let results = run_on_pes::<Message, _, _>(3, |comm| {
+            let dist = Arc::clone(&dist);
+            let shard = dist.shards[comm.rank()].clone();
+            distributed_lp_clustering(&comm, &dist, &shard, max_weight, 4)
+        });
+        let mut labels = vec![NodeId::MAX; g.n()];
+        for part in &results {
+            for &(u, label) in part {
+                labels[u as usize] = label;
+            }
+        }
+        assert!(labels.iter().all(|&l| l != NodeId::MAX));
+        // Cluster weights respect the limit.
+        let mut weights: HashMap<NodeId, u64> = HashMap::new();
+        for (u, &label) in labels.iter().enumerate() {
+            *weights.entry(label).or_insert(0) += g.node_weight(u as NodeId);
+        }
+        // Weights are only synchronised between rounds, so concurrent moves on different
+        // PEs may overshoot slightly within a round (the paper repairs this in a separate
+        // rebalancing step); allow a modest overshoot here.
+        assert!(
+            weights.values().all(|&w| w <= 2 * max_weight),
+            "cluster weight overshoot too large: {:?}",
+            weights.values().max()
+        );
+        // The clustering shrinks the graph substantially.
+        assert!(weights.len() < g.n() / 2, "only {} clusters formed", g.n() - weights.len());
+    }
+
+    #[test]
+    fn distributed_refinement_improves_a_scrambled_partition() {
+        let g = gen::grid2d(20, 20);
+        let k = 4;
+        let dist = Arc::new(DistGraph::shard(&g, 4, true)); // compressed shards
+        let initial: Vec<u32> = (0..g.n() as u32)
+            .map(|u| (u.wrapping_mul(2_654_435_761) >> 8) % k as u32)
+            .collect();
+        let initial = Arc::new(initial);
+        let max_block_weight = ((g.n() as f64 / k as f64) * 1.1).ceil() as u64;
+        let results = run_on_pes::<Message, _, _>(4, |comm| {
+            let dist = Arc::clone(&dist);
+            let shard = dist.shards[comm.rank()].clone();
+            let mut assignment: HashMap<NodeId, u32> = HashMap::new();
+            for u in shard.begin..shard.end {
+                assignment.insert(u, initial[u as usize]);
+            }
+            for &ghost in &shard.ghosts {
+                assignment.insert(ghost, initial[ghost as usize]);
+            }
+            distributed_lp_refinement(&comm, &shard, &mut assignment, k, max_block_weight, 4)
+        });
+        let mut refined = initial.as_ref().clone();
+        for part in &results {
+            for &(u, b) in part {
+                refined[u as usize] = b;
+            }
+        }
+        let cut = |assignment: &[u32]| -> u64 {
+            let mut cut = 0;
+            for u in 0..g.n() as NodeId {
+                g.for_each_neighbor(u, &mut |v, w| {
+                    if u < v && assignment[u as usize] != assignment[v as usize] {
+                        cut += w;
+                    }
+                });
+            }
+            cut
+        };
+        assert!(cut(&refined) < cut(&initial), "{} !< {}", cut(&refined), cut(&initial));
+        // Block weights respect the constraint.
+        let mut weights = vec![0u64; k];
+        for (u, &b) in refined.iter().enumerate() {
+            weights[b as usize] += g.node_weight(u as NodeId);
+        }
+        // As above, allow the small per-round overshoot inherent to batch-synchronous
+        // weight tracking; the driver repairs residual violations by rebalancing.
+        let tolerance = (max_block_weight as f64 * 1.10).ceil() as u64;
+        assert!(weights.iter().all(|&w| w <= tolerance), "{:?} > {}", weights, tolerance);
+    }
+}

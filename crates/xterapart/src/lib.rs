@@ -1,0 +1,32 @@
+//! XTeraPart: distributed-memory multilevel partitioning on a simulated message-passing
+//! substrate.
+//!
+//! The paper's distributed experiments (Figure 8, Table III) run the distributed version
+//! of KaMinPar (dKaMinPar) equipped with TeraPart's graph compression on an MPI cluster.
+//! No cluster is available to this reproduction, so the *algorithmic structure* is
+//! reproduced on a single machine:
+//!
+//! * [`mpi_sim`] — a message-passing substrate where every "processing element" (PE) is a
+//!   thread with point-to-point channels and the collectives dKaMinPar uses (barrier,
+//!   all-reduce, all-gather).
+//! * [`dist_graph`] — edge-balanced sharding of a graph across PEs with ghost-vertex
+//!   replication (paper §II-B), optionally storing each shard in the compressed
+//!   representation (the XTeraPart configuration).
+//! * [`dist_lp`] — batch-synchronous distributed label propagation used for both
+//!   clustering and refinement, exchanging interface labels after every batch.
+//! * [`partitioner`] — the distributed multilevel driver: distributed coarsening, initial
+//!   partitioning of the (replicated) coarsest graph with shared-memory TeraPart, and
+//!   distributed refinement during uncoarsening, with per-PE memory accounting.
+//!
+//! The quantities the experiments report — edge cut, wall-clock time, maximum per-PE
+//! memory, throughput (edges/second) — are exposed in
+//! [`partitioner::DistPartitionResult`].
+
+pub mod dist_graph;
+pub mod dist_lp;
+pub mod mpi_sim;
+pub mod partitioner;
+
+pub use dist_graph::DistGraph;
+pub use mpi_sim::Communicator;
+pub use partitioner::{dist_partition, DistPartitionConfig, DistPartitionResult};

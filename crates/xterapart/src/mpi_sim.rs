@@ -1,0 +1,250 @@
+//! A minimal message-passing substrate standing in for MPI.
+//!
+//! Each processing element (PE) is a thread. PEs communicate through typed point-to-point
+//! channels and a small set of collectives (barrier, all-gather, all-reduce) — the
+//! operations dKaMinPar's batch-synchronous label propagation and its initial-partitioning
+//! broadcast rely on. The substrate is deliberately synchronous and simple: the goal is to
+//! reproduce the *communication structure* (who sends what to whom, and when processes
+//! wait), not network performance.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// The communication handle owned by one PE.
+pub struct Communicator<M: Send> {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<(usize, M)>>,
+    receiver: Receiver<(usize, M)>,
+    barrier: Arc<Barrier>,
+    gather_slots: Arc<Mutex<Vec<Option<Vec<u8>>>>>,
+    reduce_slots: Arc<Mutex<Vec<u64>>>,
+}
+
+impl<M: Send> Communicator<M> {
+    /// Creates communicators for `size` PEs.
+    pub fn create(size: usize) -> Vec<Communicator<M>> {
+        assert!(size >= 1);
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(size));
+        let gather_slots = Arc::new(Mutex::new(vec![None; size]));
+        let reduce_slots = Arc::new(Mutex::new(vec![0u64; size]));
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Communicator {
+                rank,
+                size,
+                senders: senders.clone(),
+                receiver,
+                barrier: Arc::clone(&barrier),
+                gather_slots: Arc::clone(&gather_slots),
+                reduce_slots: Arc::clone(&reduce_slots),
+            })
+            .collect()
+    }
+
+    /// This PE's rank in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of PEs.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Sends a message to PE `to` (non-blocking).
+    pub fn send(&self, to: usize, message: M) {
+        self.senders[to]
+            .send((self.rank, message))
+            .expect("PE channel closed unexpectedly");
+    }
+
+    /// Receives all messages currently queued for this PE.
+    pub fn drain(&self) -> Vec<(usize, M)> {
+        let mut out = Vec::new();
+        while let Ok(msg) = self.receiver.try_recv() {
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Synchronises all PEs.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-reduce with addition over `u64`.
+    pub fn allreduce_sum(&self, value: u64) -> u64 {
+        {
+            let mut slots = self.reduce_slots.lock().unwrap();
+            slots[self.rank] = value;
+        }
+        self.barrier();
+        let sum = {
+            let slots = self.reduce_slots.lock().unwrap();
+            slots.iter().sum()
+        };
+        self.barrier();
+        sum
+    }
+
+    /// All-reduce with maximum over `u64`.
+    pub fn allreduce_max(&self, value: u64) -> u64 {
+        {
+            let mut slots = self.reduce_slots.lock().unwrap();
+            slots[self.rank] = value;
+        }
+        self.barrier();
+        let max = {
+            let slots = self.reduce_slots.lock().unwrap();
+            slots.iter().copied().max().unwrap_or(0)
+        };
+        self.barrier();
+        max
+    }
+
+    /// All-gather of raw byte payloads: every PE contributes `payload` and receives the
+    /// payloads of all PEs in rank order. Used to replicate the coarsest graph and to
+    /// gather clusterings.
+    pub fn allgather_bytes(&self, payload: Vec<u8>) -> Vec<Vec<u8>> {
+        {
+            let mut slots = self.gather_slots.lock().unwrap();
+            slots[self.rank] = Some(payload);
+        }
+        self.barrier();
+        let gathered: Vec<Vec<u8>> = {
+            let slots = self.gather_slots.lock().unwrap();
+            slots.iter().map(|s| s.clone().expect("missing allgather contribution")).collect()
+        };
+        self.barrier();
+        {
+            let mut slots = self.gather_slots.lock().unwrap();
+            slots[self.rank] = None;
+        }
+        self.barrier();
+        gathered
+    }
+
+    /// All-gather of `u64` vectors (convenience wrapper over [`Self::allgather_bytes`]).
+    pub fn allgather_u64(&self, values: &[u64]) -> Vec<Vec<u64>> {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.allgather_bytes(bytes)
+            .into_iter()
+            .map(|b| {
+                b.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Runs `f` on `size` PEs (threads), passing each its communicator, and returns the
+/// per-rank results in rank order.
+pub fn run_on_pes<M, R, F>(size: usize, f: F) -> Vec<R>
+where
+    M: Send + 'static,
+    R: Send,
+    F: Fn(Communicator<M>) -> R + Sync,
+{
+    let comms = Communicator::<M>::create(size);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(size);
+    results.resize_with(size, || None);
+    let results_mutex = Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for comm in comms {
+            let f = &f;
+            let results_mutex = &results_mutex;
+            scope.spawn(move || {
+                let rank = comm.rank();
+                let result = f(comm);
+                results_mutex.lock().unwrap()[rank] = Some(result);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("PE did not produce a result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_messages_arrive() {
+        let results = run_on_pes::<u64, _, _>(4, |comm| {
+            // Every PE sends its rank to every other PE.
+            for to in 0..comm.size() {
+                if to != comm.rank() {
+                    comm.send(to, comm.rank() as u64);
+                }
+            }
+            comm.barrier();
+            let mut received: Vec<(usize, u64)> = comm.drain();
+            received.sort_unstable();
+            received
+        });
+        for (rank, received) in results.iter().enumerate() {
+            assert_eq!(received.len(), 3);
+            for &(from, value) in received {
+                assert_eq!(from as u64, value);
+                assert_ne!(from, rank);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let results = run_on_pes::<(), _, _>(3, |comm| {
+            let sum = comm.allreduce_sum((comm.rank() + 1) as u64);
+            let max = comm.allreduce_max((comm.rank() * 10) as u64);
+            (sum, max)
+        });
+        for &(sum, max) in &results {
+            assert_eq!(sum, 6);
+            assert_eq!(max, 20);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let results = run_on_pes::<(), _, _>(4, |comm| {
+            comm.allgather_u64(&[comm.rank() as u64, 100 + comm.rank() as u64])
+        });
+        for gathered in results {
+            assert_eq!(gathered.len(), 4);
+            for (rank, part) in gathered.iter().enumerate() {
+                assert_eq!(part, &vec![rank as u64, 100 + rank as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_pe_works() {
+        let results = run_on_pes::<(), _, _>(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.allreduce_sum(5)
+        });
+        assert_eq!(results, vec![5]);
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock() {
+        let results = run_on_pes::<(), _, _>(3, |comm| {
+            let mut total = 0;
+            for i in 0..20u64 {
+                total += comm.allreduce_sum(i);
+            }
+            total
+        });
+        assert!(results.iter().all(|&r| r == results[0]));
+    }
+}

@@ -1,0 +1,36 @@
+//! Distributed partitioning with XTeraPart on the simulated message-passing substrate:
+//! shards a graph across several PEs (with and without shard compression) and compares
+//! per-PE memory and cut quality against the single-level XtraPuLP-like baseline.
+//!
+//! Run with: `cargo run --release --example distributed_partitioning`
+use baselines::xtrapulp_partition;
+use graph::gen;
+use graph::traits::Graph;
+use xterapart::{dist_partition, DistPartitionConfig};
+
+fn main() {
+    let graph = gen::rhg_like(40_000, 16, 2.9, 7);
+    println!("power-law graph: n = {}, m = {}", graph.n(), graph.m());
+    let k = 32;
+
+    for (name, config) in [
+        ("DKaMinPar (uncompressed shards)", DistPartitionConfig::dkaminpar(k, 4)),
+        ("XTeraPart (compressed shards)", DistPartitionConfig::xterapart(k, 4)),
+    ] {
+        let result = dist_partition(&graph, &config);
+        println!(
+            "{:<34} cut = {:>8}  max PE memory = {:>12}  time = {:>6.2?}  balanced = {}",
+            name,
+            result.edge_cut,
+            memtrack::format_bytes(result.max_pe_memory_bytes),
+            result.total_time,
+            result.balanced
+        );
+    }
+
+    let single_level = xtrapulp_partition(&graph, k, 0.03, 1);
+    println!(
+        "{:<34} cut = {:>8}  (single-level label propagation, no multilevel)",
+        "XtraPuLP-like", single_level.edge_cut
+    );
+}

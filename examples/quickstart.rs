@@ -1,0 +1,25 @@
+//! Quickstart: generate a graph, partition it with TeraPart, inspect the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+use graph::gen;
+use graph::traits::Graph;
+use terapart::{partition, PartitionerConfig};
+
+fn main() {
+    // A mesh-like graph with ~65k vertices.
+    let graph = gen::grid2d(256, 256);
+    println!("graph: n = {}, m = {}", graph.n(), graph.m());
+
+    // Partition into 16 blocks with the full TeraPart configuration (two-phase label
+    // propagation, graph compression, one-pass contraction, LP refinement).
+    let config = PartitionerConfig::terapart(16);
+    let result = partition(&graph, &config);
+
+    println!("edge cut      : {}", result.edge_cut);
+    println!("imbalance     : {:.3}%", result.imbalance * 100.0);
+    println!("balanced      : {}", result.partition.is_balanced());
+    println!("levels        : {}", result.hierarchy_depth);
+    println!("time          : {:.2?}", result.total_time);
+    println!("peak memory   : {}", memtrack::format_bytes(result.peak_memory_bytes));
+    println!("block weights : {:?}", result.partition.block_weights());
+}

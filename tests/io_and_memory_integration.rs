@@ -1,0 +1,52 @@
+//! Integration tests of graph I/O, streaming compression and the memory accounting
+//! working together across crates.
+use graph::traits::Graph;
+use graph::{gen, io, CompressionConfig};
+use terapart::{partition, PartitionerConfig};
+
+/// Write a graph in METIS format, stream-compress it back in, and partition the result.
+#[test]
+fn metis_roundtrip_then_partition() {
+    let graph = gen::rhg_like(1_500, 10, 3.0, 8);
+    let mut path = std::env::temp_dir();
+    path.push(format!("terapart_integration_{}.graph", std::process::id()));
+    io::write_metis(&graph, &path).unwrap();
+    let compressed = io::read_metis_compressed(&path, &CompressionConfig::default()).unwrap();
+    assert_eq!(compressed.n(), graph.n());
+    assert_eq!(compressed.m(), graph.m());
+    let result = partition(&compressed, &PartitionerConfig::terapart(4).with_threads(2));
+    assert!(result.partition.is_balanced());
+    assert!(result.edge_cut > 0);
+    std::fs::remove_file(path).ok();
+}
+
+/// The phase tracker attributes memory to every pipeline stage and its overall peak
+/// bounds each individual phase peak.
+#[test]
+fn phase_tracking_covers_the_whole_pipeline() {
+    let graph = gen::grid2d(60, 60);
+    let tracker = memtrack::PhaseTracker::new();
+    let config = PartitionerConfig::terapart(8).with_threads(2);
+    let _ = terapart::partition_csr_with_tracker(&graph, &config, &tracker);
+    let reports = tracker.reports();
+    assert!(reports.len() >= 4);
+    let overall = tracker.overall_peak();
+    for report in &reports {
+        assert!(report.peak_bytes <= overall);
+        assert!(report.peak_bytes >= report.bytes_at_entry);
+    }
+}
+
+/// ReservedVec's commit accounting feeds the same global counter the partitioner uses.
+#[test]
+fn reserve_commit_accounting_is_visible_globally() {
+    let before = memtrack::global().current();
+    let mut reserved: memtrack::ReservedVec<u64> = memtrack::ReservedVec::with_reservation(1 << 20);
+    for i in 0..10_000u64 {
+        reserved.push(i);
+    }
+    assert!(memtrack::global().current() >= before + 10_000 * 8 / 4096 * 4096);
+    assert!(reserved.committed_bytes() < reserved.reserved_bytes());
+    drop(reserved);
+    assert!(memtrack::global().current() <= before + 4096);
+}

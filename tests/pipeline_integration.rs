@@ -1,0 +1,94 @@
+//! Cross-crate integration tests: the full partitioning pipeline exercised through the
+//! public APIs of the graph, terapart and memtrack crates together.
+use graph::traits::Graph;
+use graph::{gen, CompressedGraph, CompressionConfig};
+use terapart::{partition, partition_csr, PartitionerConfig};
+
+/// Every configuration preset produces a complete, balanced partition whose cut is far
+/// below the expected cut of a random partition.
+#[test]
+fn configuration_ladder_end_to_end() {
+    let graph = gen::rgg2d(3_000, 12, 21);
+    let k = 8;
+    let random_cut = graph.m() as f64 * (k as f64 - 1.0) / k as f64;
+    for config in [
+        PartitionerConfig::kaminpar(k),
+        PartitionerConfig::kaminpar_two_phase_lp(k),
+        PartitionerConfig::kaminpar_compressed(k),
+        PartitionerConfig::terapart(k),
+        PartitionerConfig::terapart_fm(k),
+    ] {
+        let result = partition_csr(&graph, &config.with_threads(2));
+        assert!(result.partition.is_complete());
+        assert!(result.partition.is_balanced(), "imbalance {}", result.imbalance);
+        assert!(
+            (result.edge_cut as f64) < 0.5 * random_cut,
+            "cut {} not much better than random {}",
+            result.edge_cut,
+            random_cut
+        );
+    }
+}
+
+/// The headline memory claim, at laptop scale: the full TeraPart configuration never
+/// uses more accounted memory than the KaMinPar baseline on a memory-relevant instance.
+#[test]
+fn terapart_peak_memory_is_not_worse_than_kaminpar() {
+    let graph = gen::weblike(13, 12, 5);
+    let k = 64;
+    let kaminpar = partition_csr(&graph, &PartitionerConfig::kaminpar(k).with_threads(2));
+    let terapart_run = partition_csr(&graph, &PartitionerConfig::terapart(k).with_threads(2));
+    assert!(
+        terapart_run.peak_memory_bytes <= kaminpar.peak_memory_bytes,
+        "TeraPart peak {} exceeds KaMinPar peak {}",
+        terapart_run.peak_memory_bytes,
+        kaminpar.peak_memory_bytes
+    );
+    // Quality is preserved (the paper reports cuts within 0.03% on average; allow slack
+    // at this scale).
+    let ratio = terapart_run.edge_cut.max(1) as f64 / kaminpar.edge_cut.max(1) as f64;
+    assert!((0.8..1.25).contains(&ratio), "cut ratio {} too far from 1", ratio);
+}
+
+/// Partitioning the compressed representation gives the same quality class as CSR.
+#[test]
+fn compressed_representation_is_equivalent_for_partitioning() {
+    let csr = gen::rgg2d(2_500, 14, 33);
+    let compressed = CompressedGraph::from_csr(&csr, &CompressionConfig::default());
+    let config = PartitionerConfig::kaminpar_two_phase_lp(8).with_threads(2).with_seed(11);
+    let a = partition(&csr, &config);
+    let b = partition(&compressed, &config);
+    assert!(a.partition.is_balanced() && b.partition.is_balanced());
+    let ratio = a.edge_cut.max(1) as f64 / b.edge_cut.max(1) as f64;
+    assert!((0.75..1.35).contains(&ratio), "cut ratio {}", ratio);
+}
+
+/// Multilevel partitioning beats the single-level and streaming baselines on structured
+/// graphs — the central claim of the paper's comparisons.
+#[test]
+fn multilevel_beats_single_level_and_streaming() {
+    let graph = gen::rgg2d(2_500, 16, 44);
+    let k = 8;
+    let multilevel = partition(&graph, &PartitionerConfig::terapart(k).with_threads(2));
+    let single = baselines::xtrapulp_partition(&graph, k, 0.03, 1);
+    let streaming = baselines::heistream_partition(&graph, k, 0.03, 256, 1);
+    assert!(multilevel.edge_cut < single.edge_cut);
+    assert!(multilevel.edge_cut <= streaming.edge_cut);
+}
+
+/// The distributed (simulated) partitioner agrees with the shared-memory one on quality
+/// class and produces less per-PE memory with compressed shards.
+#[test]
+fn distributed_partitioner_matches_shared_memory_quality_class() {
+    let graph = gen::rgg2d(2_000, 12, 55);
+    let k = 8;
+    let shared = partition(&graph, &PartitionerConfig::terapart(k).with_threads(2));
+    let dist = xterapart::dist_partition(&graph, &xterapart::DistPartitionConfig::xterapart(k, 3));
+    assert!(dist.balanced);
+    assert!(
+        (dist.edge_cut as f64) < 3.0 * shared.edge_cut.max(1) as f64,
+        "distributed cut {} far worse than shared-memory {}",
+        dist.edge_cut,
+        shared.edge_cut
+    );
+}
