@@ -97,7 +97,13 @@ pub fn heistream_partition(
                     connectivity[b as usize] += w as f64;
                 }
             });
-            let mut best = (score(connectivity[current as usize], block_weights[current as usize] - node_weight), current);
+            let mut best = (
+                score(
+                    connectivity[current as usize],
+                    block_weights[current as usize] - node_weight,
+                ),
+                current,
+            );
             for b in 0..k as BlockId {
                 if b == current || block_weights[b as usize] + node_weight > max_block_weight {
                     continue;
@@ -139,8 +145,10 @@ mod tests {
     fn streaming_is_worse_than_multilevel_but_better_than_random() {
         let g = gen::rgg2d(2000, 16, 11);
         let streaming = heistream_partition(&g, 8, 0.03, 512, 1);
-        let multilevel =
-            terapart::partition(&g, &terapart::PartitionerConfig::terapart(8).with_threads(2));
+        let multilevel = terapart::partition(
+            &g,
+            &terapart::PartitionerConfig::terapart(8).with_threads(2),
+        );
         let random_cut = g.m() as f64 * 7.0 / 8.0;
         assert!(
             streaming.edge_cut >= multilevel.edge_cut,
@@ -148,7 +156,10 @@ mod tests {
             streaming.edge_cut,
             multilevel.edge_cut
         );
-        assert!((streaming.edge_cut as f64) < random_cut, "no better than random");
+        assert!(
+            (streaming.edge_cut as f64) < random_cut,
+            "no better than random"
+        );
     }
 
     #[test]

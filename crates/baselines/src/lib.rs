@@ -81,8 +81,10 @@ mod tests {
         let g = gen::rgg2d(1500, 12, 3);
         let k = 8;
         let epsilon = 0.03;
-        let terapart_result =
-            terapart::partition(&g, &terapart::PartitionerConfig::terapart(k).with_threads(2));
+        let terapart_result = terapart::partition(
+            &g,
+            &terapart::PartitionerConfig::terapart(k).with_threads(2),
+        );
         let mtmetis = mtmetis_partition(&g, k, epsilon, 1);
         let xtrapulp = xtrapulp_partition(&g, k, epsilon, 1);
         let heistream = heistream_partition(&g, k, epsilon, 512, 1);

@@ -68,12 +68,7 @@ pub fn heavy_edge_matching(
 }
 
 /// Partitions `graph` into `k` blocks with the matching-based multilevel scheme.
-pub fn mtmetis_partition(
-    graph: &CsrGraph,
-    k: usize,
-    epsilon: f64,
-    seed: u64,
-) -> BaselineResult {
+pub fn mtmetis_partition(graph: &CsrGraph, k: usize, epsilon: f64, seed: u64) -> BaselineResult {
     let start = Instant::now();
     let mut aux_bytes = 0usize;
 
@@ -102,7 +97,11 @@ pub fn mtmetis_partition(
     }
 
     // ---- Initial partitioning by recursive bisection. ----
-    let config = InitialPartitioningConfig { attempts: 3, fm_passes: 3, seed };
+    let config = InitialPartitioningConfig {
+        attempts: 3,
+        fm_passes: 3,
+        seed,
+    };
     let mut partition = initial_partition(&current, k, epsilon, &config, seed);
 
     // ---- Uncoarsening with greedy boundary refinement (no strict balance enforcement). --
@@ -112,7 +111,10 @@ pub fn mtmetis_partition(
         } else {
             // The graph one level finer than `level.coarse` is the coarse graph of the
             // previous hierarchy entry; find it by position.
-            let idx = hierarchy.iter().position(|l| std::ptr::eq(l, level)).unwrap();
+            let idx = hierarchy
+                .iter()
+                .position(|l| std::ptr::eq(l, level))
+                .unwrap();
             &hierarchy[idx - 1].coarse
         };
         partition = partition.project(finer, &level.mapping);
@@ -123,7 +125,14 @@ pub fn mtmetis_partition(
     }
     drop(charges);
 
-    crate::finish(graph, k, epsilon, partition.assignment().to_vec(), start, aux_bytes)
+    crate::finish(
+        graph,
+        k,
+        epsilon,
+        partition.assignment().to_vec(),
+        start,
+        aux_bytes,
+    )
 }
 
 /// Greedy boundary refinement that allows up to 10% overload per block — modelling
@@ -143,8 +152,11 @@ fn greedy_refine(graph: &impl Graph, partition: &mut Partition, rounds: usize) {
                     per_block.push((b, w));
                 }
             });
-            let current_affinity =
-                per_block.iter().find(|(b, _)| *b == from).map(|&(_, w)| w).unwrap_or(0);
+            let current_affinity = per_block
+                .iter()
+                .find(|(b, _)| *b == from)
+                .map(|&(_, w)| w)
+                .unwrap_or(0);
             let node_weight = graph.node_weight(u);
             if let Some(&(target, _)) = per_block
                 .iter()
@@ -196,7 +208,10 @@ mod tests {
     fn uses_more_auxiliary_memory_than_terapart() {
         let g = gen::rgg2d(2000, 12, 2);
         let mtmetis = mtmetis_partition(&g, 8, 0.03, 1);
-        let tp = terapart::partition(&g, &terapart::PartitionerConfig::terapart(8).with_threads(1));
+        let tp = terapart::partition(
+            &g,
+            &terapart::PartitionerConfig::terapart(8).with_threads(1),
+        );
         // The matching arrays + double-stored coarse graphs exceed TeraPart's auxiliary
         // footprint (which excludes the input graph itself here).
         assert!(
@@ -211,6 +226,10 @@ mod tests {
         let result = mtmetis_partition(&g, 4, 0.03, 2);
         // The relaxed refinement keeps imbalance under ~10% even when the strict 3%
         // constraint is violated.
-        assert!(result.imbalance < 0.35, "imbalance {} too extreme", result.imbalance);
+        assert!(
+            result.imbalance < 0.35,
+            "imbalance {} too extreme",
+            result.imbalance
+        );
     }
 }

@@ -80,7 +80,13 @@ impl StreamedGraph {
         } else {
             Vec::new()
         };
-        Ok(Self { path, xadj, node_weights, edge_weighted, adjacency_offset })
+        Ok(Self {
+            path,
+            xadj,
+            node_weights,
+            edge_weighted,
+            adjacency_offset,
+        })
     }
 
     /// Number of vertices.
@@ -112,7 +118,9 @@ impl StreamedGraph {
         // cursor so both can be streamed in lockstep without loading either.
         let mut weight_reader = if self.edge_weighted {
             let mut r = BufReader::new(File::open(&self.path)?);
-            r.seek(SeekFrom::Start(self.adjacency_offset + half_edges as u64 * 4))?;
+            r.seek(SeekFrom::Start(
+                self.adjacency_offset + half_edges as u64 * 4,
+            ))?;
             Some(r)
         } else {
             None
@@ -155,8 +163,7 @@ pub fn sem_partition(graph: &CsrGraph, k: usize, epsilon: f64, seed: u64) -> Bas
     let n = streamed.n();
 
     // ---- Semi-external label propagation clustering: multiple passes over the file. ----
-    let max_cluster_weight =
-        (graph.total_node_weight() / (20 * k as u64).max(1)).max(2);
+    let max_cluster_weight = (graph.total_node_weight() / (20 * k as u64).max(1)).max(2);
     let mut labels: Vec<NodeId> = (0..n as NodeId).collect();
     let mut cluster_weights: Vec<NodeWeight> =
         (0..n as NodeId).map(|u| streamed.node_weight(u)).collect();
@@ -203,12 +210,18 @@ pub fn sem_partition(graph: &CsrGraph, k: usize, epsilon: f64, seed: u64) -> Bas
     // ---- The coarse graph fits in memory: finish with the in-memory multilevel. ----
     let ContractionResult { coarse, mapping } =
         contract(graph, &clustering, ContractionAlgorithm::Buffered, 4096);
-    let config = InitialPartitioningConfig { attempts: 3, fm_passes: 3, seed };
+    let config = InitialPartitioningConfig {
+        attempts: 3,
+        fm_passes: 3,
+        seed,
+    };
     let coarse_partition = if coarse.n() > 30 * k {
         // Recurse through the in-memory partitioner for deep hierarchies.
         let result = terapart::partition(
             &coarse,
-            &terapart::PartitionerConfig::terapart(k).with_threads(1).with_seed(seed),
+            &terapart::PartitionerConfig::terapart(k)
+                .with_threads(1)
+                .with_seed(seed),
         );
         result.partition
     } else {
@@ -225,7 +238,14 @@ pub fn sem_partition(graph: &CsrGraph, k: usize, epsilon: f64, seed: u64) -> Bas
     // O(n) in-memory state + the coarse graph.
     let aux = n * (8 + 8 + 4) + coarse.size_in_bytes();
     std::fs::remove_file(path).ok();
-    crate::finish(graph, k, epsilon, partition.assignment().to_vec(), start, aux)
+    crate::finish(
+        graph,
+        k,
+        epsilon,
+        partition.assignment().to_vec(),
+        start,
+        aux,
+    )
 }
 
 #[cfg(test)]

@@ -20,12 +20,7 @@ use terapart::refinement::{lp_refine, rebalance};
 use crate::BaselineResult;
 
 /// Partitions `graph` into `k` blocks with single-level label propagation.
-pub fn xtrapulp_partition(
-    graph: &impl Graph,
-    k: usize,
-    epsilon: f64,
-    seed: u64,
-) -> BaselineResult {
+pub fn xtrapulp_partition(graph: &impl Graph, k: usize, epsilon: f64, seed: u64) -> BaselineResult {
     let start = Instant::now();
     let n = graph.n();
     // Balanced random initial assignment (block i gets every k-th vertex of a random
@@ -48,7 +43,14 @@ pub fn xtrapulp_partition(
 
     // Auxiliary memory: one label per vertex plus the block weights — O(n + k).
     let aux = n * std::mem::size_of::<BlockId>() + k * 8;
-    crate::finish(graph, k, epsilon, partition.assignment().to_vec(), start, aux)
+    crate::finish(
+        graph,
+        k,
+        epsilon,
+        partition.assignment().to_vec(),
+        start,
+        aux,
+    )
 }
 
 #[cfg(test)]
@@ -71,8 +73,10 @@ mod tests {
         // edges than the multilevel method on rgg2D-style graphs.
         let g = gen::rgg2d(2000, 16, 9);
         let single_level = xtrapulp_partition(&g, 8, 0.03, 3);
-        let multilevel =
-            terapart::partition(&g, &terapart::PartitionerConfig::terapart(8).with_threads(2));
+        let multilevel = terapart::partition(
+            &g,
+            &terapart::PartitionerConfig::terapart(8).with_threads(2),
+        );
         assert!(
             single_level.edge_cut as f64 > 1.5 * multilevel.edge_cut as f64,
             "single-level {} vs multilevel {}",

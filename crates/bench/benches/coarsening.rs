@@ -13,7 +13,11 @@ fn bench_clustering(c: &mut Criterion) {
         ("per_thread_maps", LabelPropagationMode::PerThreadRatingMaps),
         ("two_phase", LabelPropagationMode::TwoPhase),
     ] {
-        let config = CoarseningConfig { lp_mode: mode, lp_rounds: 2, ..Default::default() };
+        let config = CoarseningConfig {
+            lp_mode: mode,
+            lp_rounds: 2,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
             b.iter(|| cluster(&graph, config, 32, 7));
         });
@@ -22,18 +26,50 @@ fn bench_clustering(c: &mut Criterion) {
 }
 
 fn bench_contraction(c: &mut Criterion) {
-    let graph = gen::rgg2d(20_000, 16, 2);
+    // The bench RMAT instance (same as bench_pipeline / BENCH_pipeline.json): skewed
+    // degrees exercise both aggregation phases and the chunked neighbourhood sort.
+    let graph = gen::weblike(14, 12, 9);
     let config = CoarseningConfig::default();
     let clustering = cluster(&graph, &config, 32, 3);
     let mut group = c.benchmark_group("contraction");
+    // Pre-change baseline: the seed's one-pass contraction with `Vec<Vec<_>>` buckets
+    // and freshly allocated atomic arrays per call.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("seed_one_pass"),
+        &(),
+        |b, ()| {
+            b.iter(|| bench::seed_baseline::seed_contract_one_pass(&graph, &clustering, 256));
+        },
+    );
     for (name, algorithm) in [
         ("buffered", ContractionAlgorithm::Buffered),
         ("one_pass", ContractionAlgorithm::OnePass),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &algorithm, |b, &algorithm| {
-            b.iter(|| contract(&graph, &clustering, algorithm, 256));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &algorithm,
+            |b, &algorithm| {
+                b.iter(|| contract(&graph, &clustering, algorithm, 256));
+            },
+        );
     }
+    // The pipeline configuration: one-pass contraction through a reused scratch arena.
+    let mut scratch = terapart::HierarchyScratch::new();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("one_pass_scratch"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                terapart::coarsening::contract_with_scratch(
+                    &graph,
+                    &clustering,
+                    ContractionAlgorithm::OnePass,
+                    256,
+                    &mut scratch,
+                )
+            });
+        },
+    );
     group.finish();
 }
 

@@ -5,14 +5,18 @@ use graph::{CompressedGraph, CompressionConfig};
 
 fn main() {
     println!("Figure 10: compression ratios per instance");
-    println!("{:<20} {:<18} {:>10} {:>14} {:>12}", "graph", "class", "gap only", "gap+interval", "bytes/edge");
+    println!(
+        "{:<20} {:<18} {:>10} {:>14} {:>12}",
+        "graph", "class", "gap only", "gap+interval", "bytes/edge"
+    );
     for set in [benchmark_set_a(), benchmark_set_b()] {
         for instance in set {
             let gap = CompressedGraph::from_csr(&instance.graph, &CompressionConfig::gap_only());
             let full = CompressedGraph::from_csr(&instance.graph, &CompressionConfig::default());
             println!(
                 "{:<20} {:<18} {:>10.2} {:>14.2} {:>12.2}",
-                instance.name, instance.class,
+                instance.name,
+                instance.class,
                 gap.compression_ratio(&instance.graph),
                 full.compression_ratio(&instance.graph),
                 full.bytes_per_edge()

@@ -3,15 +3,23 @@
 //! Paper setting: eu-2015, p = 96 cores, k = 30 000. Here: a web-like synthetic graph
 //! and k = 128 (scaled down); the expected shape is a monotone decrease from the
 //! KaMinPar baseline to the full TeraPart configuration.
-use graph::traits::Graph;
 use bench::{config_ladder, measure_run};
 use graph::gen;
+use graph::traits::Graph;
 
 fn main() {
     let graph = gen::weblike(15, 12, 7);
     let k = 128;
-    println!("Figure 1: peak memory ladder (web-like graph, n={}, m={}, k={})", graph.xadj().len() - 1, graph.m(), k);
-    println!("{:<36} {:>14} {:>10}", "configuration", "peak memory", "time [s]");
+    println!(
+        "Figure 1: peak memory ladder (web-like graph, n={}, m={}, k={})",
+        graph.xadj().len() - 1,
+        graph.m(),
+        k
+    );
+    println!(
+        "{:<36} {:>14} {:>10}",
+        "configuration", "peak memory", "time [s]"
+    );
     let mut previous = None;
     for (name, config) in config_ladder(k) {
         let m = measure_run("weblike-2^15", name, &graph, &config.with_threads(2));

@@ -13,8 +13,14 @@ fn main() {
     let tracker = PhaseTracker::new();
     let config = PartitionerConfig::kaminpar(k).with_threads(2);
     let result = partition_csr_with_tracker(&graph, &config, &tracker);
-    println!("Figure 2: per-phase peak memory (KaMinPar baseline, k={})", k);
-    println!("{:<20} {:>6} {:>14} {:>14} {:>10}", "phase", "level", "peak", "auxiliary", "time [s]");
+    println!(
+        "Figure 2: per-phase peak memory (KaMinPar baseline, k={})",
+        k
+    );
+    println!(
+        "{:<20} {:>6} {:>14} {:>14} {:>10}",
+        "phase", "level", "peak", "auxiliary", "time [s]"
+    );
     for report in tracker.reports() {
         println!(
             "{:<20} {:>6} {:>14} {:>14} {:>10.3}",
@@ -25,5 +31,9 @@ fn main() {
             report.elapsed.as_secs_f64()
         );
     }
-    println!("edge cut = {}, overall peak = {}", result.edge_cut, memtrack::format_bytes(tracker.overall_peak()));
+    println!(
+        "edge cut = {}, overall peak = {}",
+        result.edge_cut,
+        memtrack::format_bytes(tracker.overall_peak())
+    );
 }

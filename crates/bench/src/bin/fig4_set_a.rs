@@ -19,7 +19,12 @@ fn main() {
         let mut baseline_time = 1.0;
         let mut baseline_mem = 1.0;
         for (i, (name, config)) in ladder.iter().enumerate() {
-            let m = measure_run(instance.name, name, &instance.graph, &config.clone().with_threads(2));
+            let m = measure_run(
+                instance.name,
+                name,
+                &instance.graph,
+                &config.clone().with_threads(2),
+            );
             if i == 0 {
                 baseline_time = m.time.as_secs_f64().max(1e-9);
                 baseline_mem = m.peak_memory_bytes.max(1) as f64;
@@ -35,23 +40,44 @@ fn main() {
         }
         cuts[ladder.len()].push(mt.edge_cut);
     }
-    println!("{:<36} {:>16} {:>16}", "configuration", "rel. time (gm)", "rel. memory (gm)");
+    println!(
+        "{:<36} {:>16} {:>16}",
+        "configuration", "rel. time (gm)", "rel. memory (gm)"
+    );
     for (i, (name, _)) in ladder.iter().enumerate() {
-        println!("{:<36} {:>16.3} {:>16.3}", name, geometric_mean(&rel_time[i]), geometric_mean(&rel_mem[i]));
+        println!(
+            "{:<36} {:>16.3} {:>16.3}",
+            name,
+            geometric_mean(&rel_time[i]),
+            geometric_mean(&rel_mem[i])
+        );
     }
-    println!("{:<36} {:>16.3} {:>16}", "Mt-METIS-like", geometric_mean(&mtmetis_slowdown), "-");
-    println!("Mt-METIS-like imbalanced instances: {}/{}", mtmetis_imbalanced, set.len());
+    println!(
+        "{:<36} {:>16.3} {:>16}",
+        "Mt-METIS-like",
+        geometric_mean(&mtmetis_slowdown),
+        "-"
+    );
+    println!(
+        "Mt-METIS-like imbalanced instances: {}/{}",
+        mtmetis_imbalanced,
+        set.len()
+    );
     let taus = [1.0, 1.05, 1.1, 1.5, 2.0];
     let profile = performance_profile(&cuts, &taus);
     println!("\nPerformance profile (fraction of instances within tau of the best cut):");
     print!("{:<36}", "algorithm");
-    for t in taus { print!(" tau={:<5}", t); }
+    for t in taus {
+        print!(" tau={:<5}", t);
+    }
     println!();
     let mut names: Vec<&str> = ladder.iter().map(|(n, _)| *n).collect();
     names.push("Mt-METIS-like");
     for (name, row) in names.iter().zip(&profile) {
         print!("{:<36}", name);
-        for v in row { print!(" {:<9.2}", v); }
+        for v in row {
+            print!(" {:<9.2}", v);
+        }
         println!();
     }
 }

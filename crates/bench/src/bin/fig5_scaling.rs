@@ -2,8 +2,8 @@
 //!
 //! Paper setting: p in {12, 24, 48, 96} on a 96-core machine. Here: p in {1, 2, 4} on the
 //! available cores; the expected shape is monotone (if modest) speedup with more threads.
-use graph::traits::Graph;
 use bench::{benchmark_set_a, harmonic_mean, measure_run};
+use graph::traits::Graph;
 use terapart::PartitionerConfig;
 
 fn main() {
@@ -12,10 +12,20 @@ fn main() {
     let threads = [1usize, 2, 4];
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); threads.len()];
     for instance in set.iter().filter(|i| i.graph.m() > 20_000) {
-        let sequential = measure_run(instance.name, "p=1", &instance.graph, &PartitionerConfig::terapart(k).with_threads(1));
+        let sequential = measure_run(
+            instance.name,
+            "p=1",
+            &instance.graph,
+            &PartitionerConfig::terapart(k).with_threads(1),
+        );
         let t1 = sequential.time.as_secs_f64();
         for (i, &p) in threads.iter().enumerate() {
-            let m = measure_run(instance.name, "terapart", &instance.graph, &PartitionerConfig::terapart(k).with_threads(p));
+            let m = measure_run(
+                instance.name,
+                "terapart",
+                &instance.graph,
+                &PartitionerConfig::terapart(k).with_threads(p),
+            );
             speedups[i].push(t1 / m.time.as_secs_f64().max(1e-9));
         }
     }

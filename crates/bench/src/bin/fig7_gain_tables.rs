@@ -2,8 +2,8 @@
 //! space-efficient O(m) table — relative time, peak memory and quality.
 //! Expected shape: sparse table ~= dense table in time and quality but much less memory;
 //! no table is substantially slower.
-use graph::traits::Graph;
 use bench::{benchmark_set_a, geometric_mean, measure_run, performance_profile};
+use graph::traits::Graph;
 use terapart::{GainTableKind, PartitionerConfig};
 
 fn main() {
@@ -24,21 +24,40 @@ fn main() {
                 None => PartitionerConfig::terapart(k),
                 Some(kind) => PartitionerConfig::terapart_fm(k).with_gain_table(*kind),
             };
-            let m = measure_run(instance.name, name, &instance.graph, &config.with_threads(2));
+            let m = measure_run(
+                instance.name,
+                name,
+                &instance.graph,
+                &config.with_threads(2),
+            );
             times[i].push(m.time.as_secs_f64());
             mems[i].push(m.peak_memory_bytes as f64);
             cuts[i].push(m.edge_cut);
         }
     }
     println!("Figure 7: FM gain table variants (k = {})", k);
-    println!("{:<30} {:>12} {:>14} ", "variant", "time (gm) s", "memory (gm)");
+    println!(
+        "{:<30} {:>12} {:>14} ",
+        "variant", "time (gm) s", "memory (gm)"
+    );
     for (i, (name, _)) in variants.iter().enumerate() {
-        println!("{:<30} {:>12.3} {:>14}", name, geometric_mean(&times[i]), memtrack::format_bytes(geometric_mean(&mems[i]) as usize));
+        println!(
+            "{:<30} {:>12.3} {:>14}",
+            name,
+            geometric_mean(&times[i]),
+            memtrack::format_bytes(geometric_mean(&mems[i]) as usize)
+        );
     }
     let taus = [1.0, 1.05, 1.1, 1.5, 2.0];
     let profile = performance_profile(&cuts, &taus);
     println!("\nPerformance profile:");
     for ((name, _), row) in variants.iter().zip(&profile) {
-        println!("{:<30} {:?}", name, row.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+        println!(
+            "{:<30} {:?}",
+            name,
+            row.iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
     }
 }

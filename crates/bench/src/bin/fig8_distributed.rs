@@ -2,15 +2,21 @@
 //! weak scaling. Expected shape: XTeraPart (compressed shards) uses less per-PE memory
 //! than DKaMinPar (uncompressed shards) at similar quality; the single-level baseline has
 //! far worse cuts; throughput stays roughly flat under weak scaling.
-use graph::traits::Graph;
 use baselines::xtrapulp_partition;
 use graph::gen;
+use graph::traits::Graph;
 use xterapart::{dist_partition, DistPartitionConfig};
 
 fn main() {
     let k = 16;
-    println!("Figure 8 (left/middle): growing rgg2D/rhg graphs on 4 PEs, k = {}", k);
-    println!("{:<10} {:>10} {:<14} {:>10} {:>14} {:>12}", "family", "edges", "algorithm", "cut", "max PE mem", "time [s]");
+    println!(
+        "Figure 8 (left/middle): growing rgg2D/rhg graphs on 4 PEs, k = {}",
+        k
+    );
+    println!(
+        "{:<10} {:>10} {:<14} {:>10} {:>14} {:>12}",
+        "family", "edges", "algorithm", "cut", "max PE mem", "time [s]"
+    );
     for exponent in [14u32, 15, 16] {
         let n = 1usize << exponent;
         for (family, graph) in [
@@ -18,17 +24,35 @@ fn main() {
             ("rhg", gen::rhg_like(n, 16, 3.0, exponent as u64)),
         ] {
             for (name, result) in [
-                ("XTeraPart", dist_partition(&graph, &DistPartitionConfig::xterapart(k, 4))),
-                ("DKaMinPar", dist_partition(&graph, &DistPartitionConfig::dkaminpar(k, 4))),
+                (
+                    "XTeraPart",
+                    dist_partition(&graph, &DistPartitionConfig::xterapart(k, 4)),
+                ),
+                (
+                    "DKaMinPar",
+                    dist_partition(&graph, &DistPartitionConfig::dkaminpar(k, 4)),
+                ),
             ] {
                 println!(
                     "{:<10} {:>10} {:<14} {:>10} {:>14} {:>12.2}",
-                    family, graph.m(), name, result.edge_cut,
-                    memtrack::format_bytes(result.max_pe_memory_bytes), result.total_time.as_secs_f64()
+                    family,
+                    graph.m(),
+                    name,
+                    result.edge_cut,
+                    memtrack::format_bytes(result.max_pe_memory_bytes),
+                    result.total_time.as_secs_f64()
                 );
             }
             let xp = xtrapulp_partition(&graph, k, 0.03, 1);
-            println!("{:<10} {:>10} {:<14} {:>10} {:>14} {:>12.2}", family, graph.m(), "XtraPuLP-like", xp.edge_cut, memtrack::format_bytes(xp.peak_memory_bytes), xp.total_time.as_secs_f64());
+            println!(
+                "{:<10} {:>10} {:<14} {:>10} {:>14} {:>12.2}",
+                family,
+                graph.m(),
+                "XtraPuLP-like",
+                xp.edge_cut,
+                memtrack::format_bytes(xp.peak_memory_bytes),
+                xp.total_time.as_secs_f64()
+            );
         }
     }
     println!("\nFigure 8 (right): weak scaling (work per PE kept constant)");
@@ -36,6 +60,11 @@ fn main() {
     for pes in [1usize, 2, 4] {
         let graph = gen::rgg2d(8_000 * pes, 16, 77 + pes as u64);
         let result = dist_partition(&graph, &DistPartitionConfig::xterapart(k, pes));
-        println!("{:<8} {:>10} {:>18.0}", pes, graph.m(), result.throughput_edges_per_sec);
+        println!(
+            "{:<8} {:>10} {:>18.0}",
+            pes,
+            graph.m(),
+            result.throughput_edges_per_sec
+        );
     }
 }

@@ -5,10 +5,16 @@ use graph::stats::GraphStats;
 
 fn main() {
     println!("Table I / Figure 9: benchmark instance properties");
-    println!("{:<20} {:>12} {:>14} {:>8} {:>10}", "graph", "n", "m", "d(G)", "max deg");
+    println!(
+        "{:<20} {:>12} {:>14} {:>8} {:>10}",
+        "graph", "n", "m", "d(G)", "max deg"
+    );
     for set in [benchmark_set_a(), benchmark_set_b()] {
         for instance in set {
-            println!("{}", GraphStats::of(&instance.graph).table_row(instance.name));
+            println!(
+                "{}",
+                GraphStats::of(&instance.graph).table_row(instance.name)
+            );
         }
         println!("---");
     }

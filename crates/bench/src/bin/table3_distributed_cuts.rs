@@ -2,15 +2,18 @@
 //! growing rgg2D and rhg graphs (k = 64 in the paper; k = 16 here). Expected shape: the
 //! single-level partitioner cuts several times more edges, the multilevel baselines are
 //! within a small factor of XTeraPart.
-use graph::traits::Graph;
 use baselines::{mtmetis_partition, xtrapulp_partition};
 use graph::gen;
+use graph::traits::Graph;
 use xterapart::{dist_partition, DistPartitionConfig};
 
 fn main() {
     let k = 16;
     println!("Table III: cuts relative to XTeraPart (k = {})", k);
-    println!("{:<8} {:>10} {:>16} {:>16} {:>16}", "family", "edges", "XTeraPart cut%", "ParMETIS-like", "XtraPuLP-like");
+    println!(
+        "{:<8} {:>10} {:>16} {:>16} {:>16}",
+        "family", "edges", "XTeraPart cut%", "ParMETIS-like", "XtraPuLP-like"
+    );
     for exponent in [14u32, 15, 16] {
         let n = 1usize << exponent;
         for (family, graph) in [
@@ -22,7 +25,8 @@ fn main() {
             let xp = xtrapulp_partition(&graph, k, 0.03, 1);
             println!(
                 "{:<8} {:>10} {:>15.2}% {:>15.2}x {:>15.2}x{}",
-                family, graph.m(),
+                family,
+                graph.m(),
                 100.0 * xt.edge_cut as f64 / graph.m() as f64,
                 pm.edge_cut as f64 / xt.edge_cut.max(1) as f64,
                 xp.edge_cut as f64 / xt.edge_cut.max(1) as f64,

@@ -1,21 +1,31 @@
 //! §VII: HeiStream-like buffered streaming vs TeraPart on rgg2D/rhg graphs. Expected
 //! shape: the streaming partitioner cuts several times more edges (3.1x–14.8x in the
 //! paper at tera-scale).
-use graph::traits::Graph;
 use baselines::heistream_partition;
 use graph::gen;
+use graph::traits::Graph;
 use terapart::{partition, PartitionerConfig};
 
 fn main() {
     let k = 128;
     println!("Section VII: streaming vs multilevel (k = {})", k);
-    println!("{:<8} {:>10} {:>14} {:>14} {:>8}", "family", "edges", "TeraPart cut", "HeiStream cut", "ratio");
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>8}",
+        "family", "edges", "TeraPart cut", "HeiStream cut", "ratio"
+    );
     for (family, graph) in [
         ("rgg2d", gen::rgg2d(16_000, 16, 3)),
         ("rhg", gen::rhg_like(16_000, 16, 3.0, 4)),
     ] {
         let tp = partition(&graph, &PartitionerConfig::terapart(k).with_threads(2));
         let hs = heistream_partition(&graph, k, 0.03, 1024, 1);
-        println!("{:<8} {:>10} {:>14} {:>14} {:>8.2}", family, graph.m(), tp.edge_cut, hs.edge_cut, hs.edge_cut as f64 / tp.edge_cut.max(1) as f64);
+        println!(
+            "{:<8} {:>10} {:>14} {:>14} {:>8.2}",
+            family,
+            graph.m(),
+            tp.edge_cut,
+            hs.edge_cut,
+            hs.edge_cut as f64 / tp.edge_cut.max(1) as f64
+        );
     }
 }

@@ -3,11 +3,16 @@
 //! The paper aggregates running times and memory with geometric means, relative speedups
 //! with harmonic means, and compares solution quality with performance profiles
 //! (Dolan–Moré). The same aggregations are provided here so the regenerated tables use
-//! the paper's methodology.
+//! the paper's methodology. [`write_pipeline_json`] additionally persists one pipeline
+//! run (phase timings, cut, peak memory, micro-benchmark speedups) as
+//! `BENCH_pipeline.json`, so the perf trajectory is tracked across PRs.
 
+use std::io::Write;
+use std::path::Path;
 use std::time::Duration;
 
 use graph::csr::CsrGraph;
+use graph::traits::Graph;
 use memtrack::PhaseTracker;
 use terapart::{partition_csr_with_tracker, PartitionerConfig};
 
@@ -67,6 +72,107 @@ pub fn measure_run(
     }
 }
 
+/// One micro-benchmark comparison against the frozen seed baseline.
+#[derive(Debug, Clone)]
+pub struct MicroComparison {
+    /// Benchmark name, e.g. `"contraction_one_pass"`.
+    pub name: String,
+    /// Seconds of the pre-change (seed) implementation.
+    pub baseline_seconds: f64,
+    /// Seconds of the live implementation.
+    pub optimized_seconds: f64,
+}
+
+impl MicroComparison {
+    /// Baseline time over optimized time; > 1 means the live implementation is faster.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_seconds / self.optimized_seconds.max(1e-12)
+    }
+}
+
+/// Times `runs` executions of `routine` on fresh `setup()` inputs and returns the
+/// fastest observed seconds (setup time excluded). Scheduler and allocator noise is
+/// strictly additive, so the minimum is the standard noise-floor estimator for
+/// micro-benchmarks on shared machines.
+pub fn best_seconds<I, R>(
+    runs: usize,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> R,
+) -> f64 {
+    // Warmup run outside the samples.
+    std::hint::black_box(routine(setup()));
+    (0..runs.max(1))
+        .map(|_| {
+            let input = setup();
+            let start = std::time::Instant::now();
+            std::hint::black_box(routine(input));
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes `BENCH_pipeline.json`: the phase timing/memory breakdown and headline numbers
+/// of one pipeline run plus the micro-benchmark speedups over the seed baseline.
+pub fn write_pipeline_json(
+    path: &Path,
+    instance: &str,
+    graph: &CsrGraph,
+    config: &PartitionerConfig,
+    tracker: &PhaseTracker,
+    measurement: &Measurement,
+    micro: &[MicroComparison],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"instance\": \"{}\",\n", json_escape(instance)));
+    out.push_str(&format!("  \"n\": {},\n", graph.n()));
+    out.push_str(&format!("  \"m\": {},\n", graph.m()));
+    out.push_str(&format!("  \"k\": {},\n", config.k));
+    out.push_str(&format!("  \"threads\": {},\n", config.num_threads));
+    out.push_str(&format!("  \"edge_cut\": {},\n", measurement.edge_cut));
+    out.push_str(&format!("  \"balanced\": {},\n", measurement.balanced));
+    out.push_str(&format!(
+        "  \"total_time_seconds\": {:.6},\n",
+        measurement.time.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"peak_memory_bytes\": {},\n",
+        measurement.peak_memory_bytes
+    ));
+    out.push_str("  \"phases\": [\n");
+    let reports = tracker.reports();
+    for (i, report) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"level\": {}, \"seconds\": {:.6}, \"peak_bytes\": {}, \"aux_bytes\": {}}}{}\n",
+            json_escape(&report.name),
+            report.level,
+            report.elapsed.as_secs_f64(),
+            report.peak_bytes,
+            report.auxiliary_bytes(),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"micro_vs_seed_baseline\": [\n");
+    for (i, comparison) in micro.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_seconds\": {:.6}, \"optimized_seconds\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            json_escape(&comparison.name),
+            comparison.baseline_seconds,
+            comparison.optimized_seconds,
+            comparison.speedup(),
+            if i + 1 < micro.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
 /// Geometric mean of a slice of positive values.
 pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -89,10 +195,7 @@ pub fn harmonic_mean(values: &[f64]) -> f64 {
 /// `cuts_per_algorithm[i]` holds algorithm `i`'s edge cut on every instance (same
 /// instance order for all algorithms). Returns, for each algorithm and each τ in `taus`,
 /// the fraction of instances where that algorithm's cut is within a factor τ of the best.
-pub fn performance_profile(
-    cuts_per_algorithm: &[Vec<u64>],
-    taus: &[f64],
-) -> Vec<Vec<f64>> {
+pub fn performance_profile(cuts_per_algorithm: &[Vec<u64>], taus: &[f64]) -> Vec<Vec<f64>> {
     if cuts_per_algorithm.is_empty() {
         return Vec::new();
     }
@@ -151,7 +254,12 @@ mod tests {
     #[test]
     fn measure_run_produces_sane_numbers() {
         let g = gen::grid2d(24, 24);
-        let m = measure_run("grid", "terapart", &g, &terapart::PartitionerConfig::terapart(4).with_threads(1));
+        let m = measure_run(
+            "grid",
+            "terapart",
+            &g,
+            &terapart::PartitionerConfig::terapart(4).with_threads(1),
+        );
         assert!(m.edge_cut > 0);
         assert!(m.balanced);
         assert!(m.peak_memory_bytes > 0);

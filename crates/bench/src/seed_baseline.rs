@@ -1,0 +1,484 @@
+//! Frozen snapshot of the seed's contraction hot path, kept for benchmarking only.
+//!
+//! The PR that introduced the flat counting-sort cluster buckets and the reusable
+//! `HierarchyScratch` arena replaced this implementation in `terapart`. The benches and
+//! `BENCH_pipeline.json` compare the live implementation against this snapshot so the
+//! speedup over the pre-change baseline stays measurable across future PRs. Do not
+//! "optimise" this module — its allocation behaviour (a fresh `Vec<Vec<NodeId>>` bucket
+//! structure and freshly zeroed atomic arrays per call) *is* the baseline.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use graph::csr::CsrGraph;
+use graph::traits::Graph;
+use graph::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use terapart::coarsening::lp_clustering::Clustering;
+use terapart::coarsening::rating_map::SparseRatingMap;
+use terapart::dual_counter::DualCounter;
+use terapart::partition::{BlockId, Partition};
+use terapart::ClusterId;
+
+use rayon::prelude::*;
+
+const BATCH_EDGE_CAPACITY: usize = 4096;
+
+/// Sentinel marking an empty slot.
+const EMPTY_KEY: NodeId = NodeId::MAX;
+
+/// Seed version of the fixed-capacity rating map: `clear` memsets the whole capacity
+/// and `iter` scans the whole capacity, regardless of how many slots are live. The live
+/// implementation replaced both with `O(distinct keys)` touched-slot tracking.
+pub struct SeedFixedCapacityHashMap {
+    keys: Vec<NodeId>,
+    values: Vec<EdgeWeight>,
+    len: usize,
+    limit: usize,
+    mask: usize,
+}
+
+impl SeedFixedCapacityHashMap {
+    pub fn new(limit: usize) -> Self {
+        let capacity = (2 * limit.max(1)).next_power_of_two();
+        Self {
+            keys: vec![EMPTY_KEY; capacity],
+            values: vec![0; capacity],
+            len: 0,
+            limit: limit.max(1),
+            mask: capacity - 1,
+        }
+    }
+
+    fn slot_of(&self, key: NodeId) -> usize {
+        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn add(&mut self, key: NodeId, weight: EdgeWeight) -> bool {
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.keys[slot] == key {
+                self.values[slot] += weight;
+                return true;
+            }
+            if self.keys[slot] == EMPTY_KEY {
+                if self.len >= self.limit {
+                    return false;
+                }
+                self.keys[slot] = key;
+                self.values[slot] = weight;
+                self.len += 1;
+                return true;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    pub fn get(&self, key: NodeId) -> EdgeWeight {
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.keys[slot] == key {
+                return self.values[slot];
+            }
+            if self.keys[slot] == EMPTY_KEY {
+                return 0;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, EdgeWeight)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.values.iter())
+            .filter(|&(&k, _)| k != EMPTY_KEY)
+            .map(|(&k, &v)| (k, v))
+    }
+
+    pub fn clear(&mut self) {
+        if self.len > 0 {
+            self.keys.fill(EMPTY_KEY);
+            self.values.fill(0);
+            self.len = 0;
+        }
+    }
+}
+
+/// Seed version of `cluster_buckets`: one heap allocation per coarse vertex.
+fn cluster_buckets_seed(
+    graph: &impl Graph,
+    clustering: &Clustering,
+) -> (Vec<ClusterId>, Vec<Vec<NodeId>>) {
+    let n = graph.n();
+    let mut bucket_of_label: Vec<u32> = vec![u32::MAX; n];
+    let mut leaders: Vec<ClusterId> = Vec::with_capacity(clustering.num_clusters);
+    let mut members: Vec<Vec<NodeId>> = Vec::with_capacity(clustering.num_clusters);
+    for u in 0..n as NodeId {
+        let label = clustering.label[u as usize];
+        let bucket = bucket_of_label[label as usize];
+        if bucket == u32::MAX {
+            bucket_of_label[label as usize] = leaders.len() as u32;
+            leaders.push(label);
+            members.push(vec![u]);
+        } else {
+            members[bucket as usize].push(u);
+        }
+    }
+    (leaders, members)
+}
+
+/// Seed version of one-pass contraction: freshly allocated and zeroed atomic arrays on
+/// every call, sequential assembly loops, per-vertex sort with a fresh pair buffer.
+pub fn seed_contract_one_pass(
+    graph: &impl Graph,
+    clustering: &Clustering,
+    bump_threshold: usize,
+) -> (CsrGraph, Vec<NodeId>) {
+    let n = graph.n();
+    if n == 0 {
+        return (graph::CsrGraphBuilder::new(0).build(), Vec::new());
+    }
+    let (leaders, members) = cluster_buckets_seed(graph, clustering);
+    let upper_bound_edges = 2 * graph.m();
+
+    let coarse_edges: Vec<AtomicU32> = {
+        let mut v = Vec::with_capacity(upper_bound_edges);
+        v.resize_with(upper_bound_edges, || AtomicU32::new(0));
+        v
+    };
+    let coarse_edge_weights: Vec<AtomicU64> = {
+        let mut v = Vec::with_capacity(upper_bound_edges);
+        v.resize_with(upper_bound_edges, || AtomicU64::new(0));
+        v
+    };
+    let starts: Vec<AtomicU64> = {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        v
+    };
+    let degrees: Vec<AtomicU32> = {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU32::new(0));
+        v
+    };
+    let coarse_node_weights: Vec<AtomicU64> = {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        v
+    };
+    let remap: Vec<AtomicU32> = {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU32::new(NodeId::MAX));
+        v
+    };
+    let dual = DualCounter::new();
+
+    struct Batch {
+        vertices: Vec<(ClusterId, NodeWeight, u32)>,
+        edges: Vec<(ClusterId, EdgeWeight)>,
+    }
+
+    impl Batch {
+        fn new() -> Self {
+            Self {
+                vertices: Vec::new(),
+                edges: Vec::with_capacity(BATCH_EDGE_CAPACITY),
+            }
+        }
+        fn is_empty(&self) -> bool {
+            self.vertices.is_empty()
+        }
+    }
+
+    let flush_batch = |batch: &mut Batch| {
+        if batch.is_empty() {
+            return;
+        }
+        let (d_prev, s_prev) =
+            dual.fetch_add(batch.edges.len() as u64, batch.vertices.len() as u64);
+        let mut edge_cursor = d_prev as usize;
+        let mut offset_in_edges = 0usize;
+        for (i, &(label, weight, len)) in batch.vertices.iter().enumerate() {
+            let coarse_id = s_prev as usize + i;
+            starts[coarse_id].store(edge_cursor as u64, Ordering::Relaxed);
+            degrees[coarse_id].store(len, Ordering::Relaxed);
+            coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
+            remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
+            for &(target, w) in &batch.edges[offset_in_edges..offset_in_edges + len as usize] {
+                coarse_edges[edge_cursor].store(target, Ordering::Relaxed);
+                coarse_edge_weights[edge_cursor].store(w, Ordering::Relaxed);
+                edge_cursor += 1;
+            }
+            offset_in_edges += len as usize;
+        }
+        batch.vertices.clear();
+        batch.edges.clear();
+    };
+
+    let cluster_indices: Vec<usize> = (0..leaders.len()).collect();
+    let bumped: Vec<usize> = cluster_indices
+        .par_chunks(64)
+        .map(|chunk| {
+            let mut table = SeedFixedCapacityHashMap::new(bump_threshold);
+            let mut batch = Batch::new();
+            let mut bumped = Vec::new();
+            for &idx in chunk {
+                let label = leaders[idx];
+                table.clear();
+                let mut weight: NodeWeight = 0;
+                let mut overflow = false;
+                for &u in &members[idx] {
+                    weight += graph.node_weight(u);
+                    graph.for_each_neighbor(u, &mut |v, w| {
+                        let target_label = clustering.label[v as usize];
+                        if !overflow && target_label != label && !table.add(target_label, w) {
+                            overflow = true;
+                        }
+                    });
+                    if overflow {
+                        break;
+                    }
+                }
+                if overflow {
+                    bumped.push(idx);
+                    continue;
+                }
+                let len = table.len() as u32;
+                if batch.edges.len() + len as usize > BATCH_EDGE_CAPACITY && !batch.is_empty() {
+                    flush_batch(&mut batch);
+                }
+                batch.vertices.push((label, weight, len));
+                batch.edges.extend(table.iter());
+                if batch.edges.len() >= BATCH_EDGE_CAPACITY {
+                    flush_batch(&mut batch);
+                }
+            }
+            flush_batch(&mut batch);
+            bumped
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+
+    if !bumped.is_empty() {
+        let mut map = SparseRatingMap::new(n);
+        for &idx in &bumped {
+            let label = leaders[idx];
+            map.clear();
+            let mut weight: NodeWeight = 0;
+            for &u in &members[idx] {
+                weight += graph.node_weight(u);
+                graph.for_each_neighbor(u, &mut |v, w| {
+                    let target_label = clustering.label[v as usize];
+                    if target_label != label {
+                        map.add(target_label, w);
+                    }
+                });
+            }
+            let len = map.len();
+            let (d_prev, s_prev) = dual.fetch_add(len as u64, 1);
+            let coarse_id = s_prev as usize;
+            starts[coarse_id].store(d_prev, Ordering::Relaxed);
+            degrees[coarse_id].store(len as u32, Ordering::Relaxed);
+            coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
+            remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
+            for (i, (target, w)) in map.iter().enumerate() {
+                coarse_edges[d_prev as usize + i].store(target, Ordering::Relaxed);
+                coarse_edge_weights[d_prev as usize + i].store(w, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let (total_edges, total_vertices) = dual.load();
+    let n_coarse = total_vertices as usize;
+    let m_half = total_edges as usize;
+
+    let mut xadj: Vec<EdgeId> = Vec::with_capacity(n_coarse + 1);
+    for start in starts.iter().take(n_coarse) {
+        xadj.push(start.load(Ordering::Relaxed));
+    }
+    xadj.push(m_half as EdgeId);
+
+    let adjacency: Vec<NodeId> = (0..m_half)
+        .into_par_iter()
+        .map(|e| {
+            let old_label = coarse_edges[e].load(Ordering::Relaxed);
+            remap[old_label as usize].load(Ordering::Relaxed)
+        })
+        .collect();
+    let edge_weights: Vec<EdgeWeight> = (0..m_half)
+        .map(|e| coarse_edge_weights[e].load(Ordering::Relaxed))
+        .collect();
+    let node_weights: Vec<NodeWeight> = (0..n_coarse)
+        .map(|c| coarse_node_weights[c].load(Ordering::Relaxed))
+        .collect();
+
+    let mut adjacency = adjacency;
+    let mut edge_weights = edge_weights;
+    for c in 0..n_coarse {
+        let begin = xadj[c] as usize;
+        let end = xadj[c + 1] as usize;
+        let mut pairs: Vec<(NodeId, EdgeWeight)> = adjacency[begin..end]
+            .iter()
+            .copied()
+            .zip(edge_weights[begin..end].iter().copied())
+            .collect();
+        pairs.sort_unstable_by_key(|&(v, _)| v);
+        for (i, (v, w)) in pairs.into_iter().enumerate() {
+            adjacency[begin + i] = v;
+            edge_weights[begin + i] = w;
+        }
+    }
+
+    let coarse = CsrGraph::from_parts(xadj, adjacency, edge_weights, node_weights);
+    let mapping: Vec<NodeId> = (0..n)
+        .map(|u| remap[clustering.label[u] as usize].load(Ordering::Relaxed))
+        .collect();
+    (coarse, mapping)
+}
+
+/// Seed version of size-constrained label propagation refinement: every round shuffles
+/// and sweeps **all** vertices (no frontier), allocates a fresh visit-order vector per
+/// round and a fresh full-capacity-clearing rating map per chunk. Returns the number of
+/// moves performed.
+pub fn seed_lp_refine(
+    graph: &impl Graph,
+    partition: &mut Partition,
+    rounds: usize,
+    seed: u64,
+) -> usize {
+    let n = graph.n();
+    if n == 0 || partition.k() <= 1 {
+        return 0;
+    }
+    let epsilon = partition.epsilon();
+    let k = partition.k();
+    let max_block_weight = partition.max_block_weight();
+    let assignment: Vec<AtomicU32> = partition
+        .assignment()
+        .iter()
+        .map(|&b| AtomicU32::new(b))
+        .collect();
+    let block_weights: Vec<AtomicU64> = partition
+        .block_weights()
+        .iter()
+        .map(|&w| AtomicU64::new(w))
+        .collect();
+
+    let try_move = |u: NodeId, node_weight: NodeWeight, target: BlockId| -> bool {
+        let source = assignment[u as usize].load(Ordering::Relaxed);
+        if source == target {
+            return false;
+        }
+        let target_weight = &block_weights[target as usize];
+        let mut observed = target_weight.load(Ordering::Relaxed);
+        loop {
+            if observed + node_weight > max_block_weight {
+                return false;
+            }
+            match target_weight.compare_exchange_weak(
+                observed,
+                observed + node_weight,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => observed = actual,
+            }
+        }
+        block_weights[source as usize].fetch_sub(node_weight, Ordering::Relaxed);
+        assignment[u as usize].store(target, Ordering::Relaxed);
+        true
+    };
+
+    let mut total_moves = 0usize;
+    for round in 0..rounds {
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (round as u64) << 17);
+        order.shuffle(&mut rng);
+        let moves = AtomicUsize::new(0);
+        order.par_chunks(256).for_each(|chunk| {
+            let mut ratings = SeedFixedCapacityHashMap::new(k.min(1 + graph.max_degree()));
+            for &u in chunk {
+                let current = assignment[u as usize].load(Ordering::Relaxed);
+                ratings.clear();
+                let mut has_external = false;
+                graph.for_each_neighbor(u, &mut |v, w| {
+                    let block = assignment[v as usize].load(Ordering::Relaxed);
+                    ratings.add(block, w);
+                    has_external |= block != current;
+                });
+                if !has_external {
+                    continue;
+                }
+                let node_weight = graph.node_weight(u);
+                let current_affinity = ratings.get(current);
+                let mut best: Option<(BlockId, u64)> = None;
+                for (block, affinity) in ratings.iter() {
+                    if block == current || affinity <= current_affinity {
+                        continue;
+                    }
+                    let feasible = block_weights[block as usize].load(Ordering::Relaxed)
+                        + node_weight
+                        <= max_block_weight;
+                    if !feasible {
+                        continue;
+                    }
+                    best = match best {
+                        None => Some((block, affinity)),
+                        Some((_, bw)) if affinity > bw => Some((block, affinity)),
+                        other => other,
+                    };
+                }
+                if let Some((target, _)) = best {
+                    if try_move(u, node_weight, target) {
+                        moves.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        let round_moves = moves.load(Ordering::Relaxed);
+        total_moves += round_moves;
+        if round_moves == 0 {
+            break;
+        }
+    }
+
+    let final_assignment: Vec<BlockId> = assignment.into_iter().map(|a| a.into_inner()).collect();
+    *partition = Partition::from_assignment(graph, k, epsilon, final_assignment);
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+    use terapart::context::{CoarseningConfig, ContractionAlgorithm};
+
+    #[test]
+    fn seed_baseline_matches_live_contraction() {
+        let g = gen::rgg2d(2_000, 10, 3);
+        let config = CoarseningConfig::default();
+        let clustering = terapart::coarsening::cluster(&g, &config, 16, 5);
+        let (seed_coarse, seed_mapping) = seed_contract_one_pass(&g, &clustering, 256);
+        let live =
+            terapart::coarsening::contract(&g, &clustering, ContractionAlgorithm::OnePass, 256);
+        assert_eq!(seed_coarse.n(), live.coarse.n());
+        assert_eq!(seed_coarse.m(), live.coarse.m());
+        assert_eq!(
+            seed_coarse.total_edge_weight(),
+            live.coarse.total_edge_weight()
+        );
+        assert_eq!(seed_mapping.len(), live.mapping.len());
+    }
+}

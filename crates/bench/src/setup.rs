@@ -23,15 +23,51 @@ pub struct Instance {
 /// The scaled-down Benchmark Set A: diverse medium-sized instances.
 pub fn benchmark_set_a() -> Vec<Instance> {
     vec![
-        Instance { name: "grid-64x64", class: "finite-element", graph: gen::grid2d(64, 64) },
-        Instance { name: "grid3d-12", class: "finite-element", graph: gen::grid3d(12, 12, 12) },
-        Instance { name: "rgg2d-4k", class: "geometric", graph: gen::rgg2d(4_000, 12, 11) },
-        Instance { name: "rgg2d-8k", class: "geometric", graph: gen::rgg2d(8_000, 16, 12) },
-        Instance { name: "rhg-4k", class: "social", graph: gen::rhg_like(4_000, 10, 3.0, 13) },
-        Instance { name: "rhg-8k", class: "social", graph: gen::rhg_like(8_000, 12, 2.6, 14) },
-        Instance { name: "er-4k", class: "random", graph: gen::erdos_renyi(4_000, 24_000, 15) },
-        Instance { name: "rmat-12", class: "web", graph: gen::weblike(12, 10, 16) },
-        Instance { name: "rmat-13", class: "web", graph: gen::weblike(13, 8, 17) },
+        Instance {
+            name: "grid-64x64",
+            class: "finite-element",
+            graph: gen::grid2d(64, 64),
+        },
+        Instance {
+            name: "grid3d-12",
+            class: "finite-element",
+            graph: gen::grid3d(12, 12, 12),
+        },
+        Instance {
+            name: "rgg2d-4k",
+            class: "geometric",
+            graph: gen::rgg2d(4_000, 12, 11),
+        },
+        Instance {
+            name: "rgg2d-8k",
+            class: "geometric",
+            graph: gen::rgg2d(8_000, 16, 12),
+        },
+        Instance {
+            name: "rhg-4k",
+            class: "social",
+            graph: gen::rhg_like(4_000, 10, 3.0, 13),
+        },
+        Instance {
+            name: "rhg-8k",
+            class: "social",
+            graph: gen::rhg_like(8_000, 12, 2.6, 14),
+        },
+        Instance {
+            name: "er-4k",
+            class: "random",
+            graph: gen::erdos_renyi(4_000, 24_000, 15),
+        },
+        Instance {
+            name: "rmat-12",
+            class: "web",
+            graph: gen::weblike(12, 10, 16),
+        },
+        Instance {
+            name: "rmat-13",
+            class: "web",
+            graph: gen::weblike(13, 8, 17),
+        },
         Instance {
             name: "weighted-grid",
             class: "text-compression",
@@ -42,18 +78,42 @@ pub fn benchmark_set_a() -> Vec<Instance> {
             class: "text-compression",
             graph: gen::with_random_edge_weights(&gen::rhg_like(3_000, 10, 3.0, 19), 20, 20),
         },
-        Instance { name: "star-5k", class: "irregular", graph: gen::star(5_000) },
+        Instance {
+            name: "star-5k",
+            class: "irregular",
+            graph: gen::star(5_000),
+        },
     ]
 }
 
 /// The scaled-down Benchmark Set B: "huge" web-like instances (relative to Set A).
 pub fn benchmark_set_b() -> Vec<Instance> {
     vec![
-        Instance { name: "gsh-like", class: "web-huge", graph: gen::weblike(14, 12, 31) },
-        Instance { name: "clueweb-like", class: "web-huge", graph: gen::weblike(14, 16, 32) },
-        Instance { name: "uk-like", class: "web-huge", graph: gen::rgg2d(20_000, 24, 33) },
-        Instance { name: "eu-like", class: "web-huge", graph: gen::weblike(15, 12, 34) },
-        Instance { name: "hyperlink-like", class: "web-huge", graph: gen::rhg_like(24_000, 20, 2.8, 35) },
+        Instance {
+            name: "gsh-like",
+            class: "web-huge",
+            graph: gen::weblike(14, 12, 31),
+        },
+        Instance {
+            name: "clueweb-like",
+            class: "web-huge",
+            graph: gen::weblike(14, 16, 32),
+        },
+        Instance {
+            name: "uk-like",
+            class: "web-huge",
+            graph: gen::rgg2d(20_000, 24, 33),
+        },
+        Instance {
+            name: "eu-like",
+            class: "web-huge",
+            graph: gen::weblike(15, 12, 34),
+        },
+        Instance {
+            name: "hyperlink-like",
+            class: "web-huge",
+            graph: gen::rhg_like(24_000, 20, 2.8, 35),
+        },
     ]
 }
 
@@ -63,8 +123,14 @@ pub fn config_ladder(k: usize) -> Vec<(&'static str, PartitionerConfig)> {
     vec![
         ("KaMinPar", PartitionerConfig::kaminpar(k)),
         ("Two-Phase LP", PartitionerConfig::kaminpar_two_phase_lp(k)),
-        ("Graph Compression", PartitionerConfig::kaminpar_compressed(k)),
-        ("One-Pass Contraction (TeraPart)", PartitionerConfig::terapart(k)),
+        (
+            "Graph Compression",
+            PartitionerConfig::kaminpar_compressed(k),
+        ),
+        (
+            "One-Pass Contraction (TeraPart)",
+            PartitionerConfig::terapart(k),
+        ),
     ]
 }
 
@@ -93,7 +159,11 @@ mod tests {
         a_sizes.sort_unstable();
         let median_a = a_sizes[a_sizes.len() / 2];
         for instance in &b {
-            assert!(instance.graph.m() > median_a, "{} not huge enough", instance.name);
+            assert!(
+                instance.graph.m() > median_a,
+                "{} not huge enough",
+                instance.name
+            );
         }
     }
 

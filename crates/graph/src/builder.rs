@@ -138,7 +138,11 @@ pub fn compress_csr_parallel(
                         );
                         vertex_sizes.push((bytes.len() - before) as u32);
                     }
-                    let encoded = EncodedPacket { index: packet_idx, bytes, vertex_sizes };
+                    let encoded = EncodedPacket {
+                        index: packet_idx,
+                        bytes,
+                        vertex_sizes,
+                    };
                     // Wait until all preceding packets have committed, then append.
                     while next_commit.load(Ordering::Acquire) != encoded.index {
                         std::hint::spin_loop();
@@ -147,11 +151,9 @@ pub fn compress_csr_parallel(
                     {
                         let mut out = output.lock();
                         let mut pos = out.data.len() as u64;
-                        let mut u = packet.begin as usize;
-                        for &size in &encoded.vertex_sizes {
+                        for (u, &size) in (packet.begin as usize..).zip(&encoded.vertex_sizes) {
                             out.offsets[u] = pos;
                             pos += u64::from(size);
-                            u += 1;
                         }
                         out.data.extend_from_slice(&encoded.bytes);
                         if packet.end as usize == n {
@@ -198,7 +200,10 @@ mod tests {
     fn assert_equal_compression(csr: &CsrGraph, config: &CompressionConfig, threads: usize) {
         let sequential = CompressedGraph::from_csr(csr, config);
         let parallel = compress_csr_parallel(csr, config, threads);
-        assert_eq!(sequential.encoded_data_bytes(), parallel.encoded_data_bytes());
+        assert_eq!(
+            sequential.encoded_data_bytes(),
+            parallel.encoded_data_bytes()
+        );
         assert_eq!(sequential.n(), parallel.n());
         assert_eq!(sequential.m(), parallel.m());
         for u in 0..csr.n() as NodeId {

@@ -16,9 +16,7 @@
 
 use crate::csr::CsrGraph;
 use crate::traits::Graph;
-use crate::varint::{
-    decode_signed_varint, decode_varint, encode_signed_varint, encode_varint,
-};
+use crate::varint::{decode_signed_varint, decode_varint, encode_signed_varint, encode_varint};
 use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 
 /// Tuning knobs of the compression scheme.
@@ -92,7 +90,10 @@ pub fn encode_neighborhood(
     config: &CompressionConfig,
     out: &mut Vec<u8>,
 ) {
-    debug_assert!(neighbors.windows(2).all(|w| w[0].0 < w[1].0), "neighbors must be sorted");
+    debug_assert!(
+        neighbors.windows(2).all(|w| w[0].0 < w[1].0),
+        "neighbors must be sorted"
+    );
     encode_varint(first_edge, out);
     encode_varint(neighbors.len() as u64, out);
     if neighbors.is_empty() {
@@ -467,7 +468,12 @@ mod tests {
         assert_eq!(csr.total_node_weight(), compressed.total_node_weight());
         assert_eq!(csr.max_degree(), compressed.max_degree());
         for u in 0..csr.n() as NodeId {
-            assert_eq!(csr.degree(u), compressed.degree(u), "degree mismatch at {}", u);
+            assert_eq!(
+                csr.degree(u),
+                compressed.degree(u),
+                "degree mismatch at {}",
+                u
+            );
             assert_eq!(csr.node_weight(u), compressed.node_weight(u));
             let mut a = csr.neighbors_vec(u);
             let mut b = compressed.neighbors_vec(u);
@@ -579,6 +585,39 @@ mod tests {
         let compressed = CompressedGraph::from_csr(&csr, &CompressionConfig::default());
         assert_eq!(compressed.degree(2), 0);
         assert_eq!(compressed.neighbors_vec(2), vec![]);
+    }
+
+    #[test]
+    fn chunked_high_degree_weighted_round_trip() {
+        // A weighted hub graph whose hub degree far exceeds `high_degree_threshold`, so
+        // the hub neighbourhood is split into independently decodable chunks; edge
+        // weights must survive the chunked encode/decode path exactly.
+        let star = gen::star(600);
+        let csr = gen::with_random_edge_weights(&star, 1_000, 7);
+        let config = CompressionConfig {
+            high_degree_threshold: 128,
+            chunk_len: 50,
+            ..CompressionConfig::default()
+        };
+        assert!(
+            csr.max_degree() > config.high_degree_threshold,
+            "hub degree {} does not cross the threshold",
+            csr.max_degree()
+        );
+        let compressed = CompressedGraph::from_csr(&csr, &config);
+        assert_same_graph(&csr, &compressed);
+
+        // Same but with interval encoding off (gap-only) and node weights on top: the
+        // chunk framing must be independent of the inner encoding.
+        let weighted = gen::with_random_node_weights(&csr, 9, 11);
+        let gap_only = CompressionConfig {
+            enable_intervals: false,
+            high_degree_threshold: 100,
+            chunk_len: 33,
+            ..CompressionConfig::default()
+        };
+        let compressed = CompressedGraph::from_csr(&weighted, &gap_only);
+        assert_same_graph(&weighted, &compressed);
     }
 
     proptest! {

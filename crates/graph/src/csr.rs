@@ -59,8 +59,7 @@ impl CsrGraph {
             assert!(xadj[u] <= xadj[u + 1], "offsets must be non-decreasing");
             let deg = (xadj[u + 1] - xadj[u]) as usize;
             max_degree = max_degree.max(deg);
-            for e in xadj[u] as usize..xadj[u + 1] as usize {
-                let v = adjacency[e];
+            for &v in &adjacency[xadj[u] as usize..xadj[u + 1] as usize] {
                 assert!((v as usize) < n, "neighbor id {} out of range", v);
                 assert_ne!(v as usize, u, "self-loop at vertex {}", u);
             }
@@ -280,7 +279,10 @@ impl CsrGraphBuilder {
 
     /// Adds an undirected edge `{u, v}` with the given weight. Self-loops are ignored.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: EdgeWeight) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
         if u == v {
             return;
         }

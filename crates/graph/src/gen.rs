@@ -112,7 +112,11 @@ pub fn clique_chain(k: usize, clique_size: usize) -> CsrGraph {
             }
         }
         if c + 1 < k {
-            b.add_edge((base + clique_size - 1) as NodeId, (base + clique_size) as NodeId, 1);
+            b.add_edge(
+                (base + clique_size - 1) as NodeId,
+                (base + clique_size) as NodeId,
+                1,
+            );
         }
     }
     b.build()
@@ -229,7 +233,7 @@ pub fn rhg_like(n: usize, avg_deg: usize, gamma: f64, seed: u64) -> CsrGraph {
     }
     let mut stubs: Vec<NodeId> = Vec::with_capacity(degrees.iter().sum());
     for (u, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(u as NodeId).take(d));
+        stubs.extend(std::iter::repeat_n(u as NodeId, d));
     }
     stubs.shuffle(&mut rng);
     let mut b = CsrGraphBuilder::new(n);
@@ -294,7 +298,9 @@ pub fn with_random_edge_weights(graph: &CsrGraph, max_weight: EdgeWeight, seed: 
 pub fn with_random_node_weights(graph: &CsrGraph, max_weight: u64, seed: u64) -> CsrGraph {
     use crate::traits::Graph;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let weights: Vec<u64> = (0..graph.n()).map(|_| rng.gen_range(1..=max_weight)).collect();
+    let weights: Vec<u64> = (0..graph.n())
+        .map(|_| rng.gen_range(1..=max_weight))
+        .collect();
     let mut b = CsrGraphBuilder::with_node_weights(weights);
     for u in 0..graph.n() as NodeId {
         graph.for_each_neighbor(u, &mut |v, w| {
@@ -374,7 +380,11 @@ mod tests {
         let g = rgg2d(2000, 16, 3);
         assert_eq!(g.n(), 2000);
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
-        assert!(avg > 4.0 && avg < 40.0, "average degree {} out of range", avg);
+        assert!(
+            avg > 4.0 && avg < 40.0,
+            "average degree {} out of range",
+            avg
+        );
         // No high-degree hubs in a geometric graph.
         assert!(g.max_degree() < 100);
     }
@@ -386,7 +396,11 @@ mod tests {
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
         assert!(avg > 2.0, "average degree too small: {}", avg);
         // Power-law graphs have hubs well above the average degree.
-        assert!(g.max_degree() > 4 * avg as usize, "max degree {} not skewed", g.max_degree());
+        assert!(
+            g.max_degree() > 4 * avg as usize,
+            "max degree {} not skewed",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -102,9 +102,19 @@ fn parse_metis_header(line: &str) -> Result<MetisHeader, IoError> {
         "1" | "01" => (false, true),
         "10" => (true, false),
         "11" => (true, true),
-        other => return Err(IoError::Format(format!("unsupported fmt field '{}'", other))),
+        other => {
+            return Err(IoError::Format(format!(
+                "unsupported fmt field '{}'",
+                other
+            )))
+        }
     };
-    Ok(MetisHeader { n, m, has_node_weights, has_edge_weights })
+    Ok(MetisHeader {
+        n,
+        m,
+        has_node_weights,
+        has_edge_weights,
+    })
 }
 
 /// Reads a graph in the METIS text format into a CSR graph.
@@ -112,7 +122,9 @@ pub fn read_metis(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
     let mut lines = reader.lines().filter(|l| {
-        l.as_ref().map(|s| !s.trim_start().starts_with('%')).unwrap_or(true)
+        l.as_ref()
+            .map(|s| !s.trim_start().starts_with('%'))
+            .unwrap_or(true)
     });
     let header_line = lines
         .next()
@@ -132,8 +144,7 @@ pub fn read_metis(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
                 .map_err(|_| IoError::Format("invalid node weight".into()))?;
             builder.set_node_weight(u as NodeId, w);
         }
-        loop {
-            let Some(tok) = tokens.next() else { break };
+        while let Some(tok) = tokens.next() {
             let v: usize = tok
                 .parse()
                 .map_err(|_| IoError::Format(format!("invalid neighbor '{}'", tok)))?;
@@ -180,7 +191,9 @@ pub fn read_metis_compressed(
     let file = File::open(path)?;
     let reader = BufReader::new(file);
     let mut lines = reader.lines().filter(|l| {
-        l.as_ref().map(|s| !s.trim_start().starts_with('%')).unwrap_or(true)
+        l.as_ref()
+            .map(|s| !s.trim_start().starts_with('%'))
+            .unwrap_or(true)
     });
     let header_line = lines
         .next()
@@ -213,8 +226,7 @@ pub fn read_metis_compressed(
             node_weights.push(w);
         }
         let mut nbrs: Vec<(NodeId, EdgeWeight)> = Vec::new();
-        loop {
-            let Some(tok) = tokens.next() else { break };
+        while let Some(tok) = tokens.next() {
             let v: usize = tok
                 .parse()
                 .map_err(|_| IoError::Format(format!("invalid neighbor '{}'", tok)))?;
@@ -345,7 +357,12 @@ pub fn read_binary(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
             node_weights.push(read_exact_u64(&mut r)?);
         }
     }
-    Ok(CsrGraph::from_parts(xadj, adjacency, edge_weights, node_weights))
+    Ok(CsrGraph::from_parts(
+        xadj,
+        adjacency,
+        edge_weights,
+        node_weights,
+    ))
 }
 
 /// Reads a binary graph and compresses it on the fly, one neighbourhood at a time.
@@ -508,7 +525,10 @@ mod tests {
         let reference = CompressedGraph::from_csr(&csr, &config);
         assert_eq!(streamed.n(), reference.n());
         assert_eq!(streamed.m(), reference.m());
-        assert_eq!(streamed.encoded_data_bytes(), reference.encoded_data_bytes());
+        assert_eq!(
+            streamed.encoded_data_bytes(),
+            reference.encoded_data_bytes()
+        );
         for u in 0..csr.n() as NodeId {
             assert_eq!(streamed.neighbors_vec(u), reference.neighbors_vec(u));
         }

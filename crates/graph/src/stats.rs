@@ -48,7 +48,11 @@ impl GraphStats {
         Self {
             n,
             m,
-            avg_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             max_degree,
             min_degree,
             isolated,

@@ -111,7 +111,9 @@ mod tests {
         unsafe {
             let ptr = alloc.alloc_zeroed(layout);
             assert!(!ptr.is_null());
-            assert!(std::slice::from_raw_parts(ptr, 1024).iter().all(|&b| b == 0));
+            assert!(std::slice::from_raw_parts(ptr, 1024)
+                .iter()
+                .all(|&b| b == 0));
             alloc.dealloc(ptr, layout);
         }
         assert!(global().peak() >= before);

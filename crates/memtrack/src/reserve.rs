@@ -100,8 +100,11 @@ impl<T> ReservedVec<T> {
     where
         T: Clone,
     {
-        assert!(self.data.len() + count <= self.reserved, "ReservedVec overflow");
-        self.data.extend(std::iter::repeat(value).take(count));
+        assert!(
+            self.data.len() + count <= self.reserved,
+            "ReservedVec overflow"
+        );
+        self.data.extend(std::iter::repeat_n(value, count));
         self.recommit();
     }
 

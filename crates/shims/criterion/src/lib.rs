@@ -1,0 +1,272 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `criterion_group!`/
+//! `criterion_main!`, `Criterion::{benchmark_group, bench_function}`, `BenchmarkId`,
+//! `Bencher::{iter, iter_batched}` and `BatchSize` — with a simple warmup + timed-samples
+//! measurement loop. Each benchmark prints its median, mean and fastest sample so
+//! `cargo bench` produces comparable wall-clock numbers without the statistical
+//! machinery of real criterion.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; the shim treats all variants identically
+/// (setup runs outside the timed section either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Result of one measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    pub name: String,
+    pub median: Duration,
+    pub mean: Duration,
+    pub fastest: Duration,
+    pub samples: usize,
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Sampled>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            result: None,
+        }
+    }
+
+    fn record(&mut self, mut samples: Vec<Duration>) {
+        samples.sort_unstable();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        self.result = Some(Sampled {
+            name: String::new(),
+            median: samples[samples.len() / 2],
+            mean,
+            fastest: samples[0],
+            samples: samples.len(),
+        });
+    }
+
+    /// Times `routine` directly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup: one untimed call (also triggers lazy initialisation in the routine).
+        black_box(routine());
+        let samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+        self.record(samples);
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup` outside the timed section.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        self.record(samples);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> Sampled {
+    let mut bencher = Bencher::new(sample_size);
+    f(&mut bencher);
+    let mut sampled = bencher.result.unwrap_or(Sampled {
+        name: String::new(),
+        median: Duration::ZERO,
+        mean: Duration::ZERO,
+        fastest: Duration::ZERO,
+        samples: 0,
+    });
+    sampled.name = name.to_string();
+    println!(
+        "{:<50} median {:>12}   mean {:>12}   fastest {:>12}   ({} samples)",
+        sampled.name,
+        format_duration(sampled.median),
+        format_duration(sampled.mean),
+        format_duration(sampled.fastest),
+        sampled.samples
+    );
+    sampled
+}
+
+/// Top-level benchmark context, one per `criterion_group!` run.
+pub struct Criterion {
+    default_sample_size: usize,
+    results: Vec<Sampled>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Far fewer samples than real criterion's 100: these benches run in CI.
+        Self {
+            default_sample_size: 12,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sampled = run_one(name, self.default_sample_size, &mut f);
+        self.results.push(sampled);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// All results measured so far (used by wrapper binaries that post-process timings).
+    pub fn results(&self) -> &[Sampled] {
+        &self.results
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size
+            .unwrap_or(self.criterion.default_sample_size)
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let sampled = run_one(&full, self.effective_sample_size(), &mut f);
+        self.criterion.results.push(sampled);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let sampled = run_one(&full, self.effective_sample_size(), &mut |b| f(b, input));
+        self.criterion.results.push(sampled);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].samples, 12);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_override_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &7, |b, &v| {
+            b.iter_batched(|| v, |v| v * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert_eq!(c.results()[0].name, "g/x");
+        assert_eq!(c.results()[0].samples, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Minimal, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! Only the unbounded channel is used by this workspace (point-to-point queues in the
+//! MPI simulator), so std's mpsc channel covers it: each receiver has a single owner
+//! thread, and `Sender` is `Clone` in both implementations.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's tests use: the `proptest!` macro over
+//! functions whose arguments are drawn from strategies, integer-range / `any` /
+//! tuple / `collection::vec` / `bool::ANY` strategies, `ProptestConfig::with_cases`,
+//! and `prop_assert_eq!`. Inputs are drawn from a fixed-seed RNG, so runs are
+//! deterministic; there is no shrinking — a failing case panics with the ordinary
+//! `assert_eq!` message.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Number of cases to run per property (overridable per test block).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// The RNG handed to strategies; deterministic per (test, case index).
+pub type TestRng = ChaCha8Rng;
+
+/// Creates the RNG for one case of one property test.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(u32, u64, usize, i32, i64);
+
+/// Full-domain strategy, `any::<T>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        // Mix magnitudes: uniform u64s almost never exercise short varint encodings.
+        match rng.gen_range(0..4u32) {
+            0 => rng.gen_range(0..256u64),
+            1 => rng.gen_range(0..65_536u64),
+            2 => rng.gen_range(0..(1u64 << 32)),
+            _ => rng.next_u64(),
+        }
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        let magnitude = Any::<u64>(std::marker::PhantomData).generate(rng) as i64;
+        if rng.gen_bool(0.5) {
+            magnitude
+        } else {
+            magnitude.wrapping_neg()
+        }
+    }
+}
+
+pub mod bool {
+    /// Strategy for both boolean values.
+    pub struct AnyBool;
+
+    impl super::Strategy for AnyBool {
+        type Value = core::primitive::bool;
+
+        fn generate(&self, rng: &mut super::TestRng) -> core::primitive::bool {
+            use rand::Rng;
+            rng.gen_bool(0.5)
+        }
+    }
+
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Strategy for vectors whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() {
+                0
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(#[test] fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut prop_rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut prop_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_vecs_stay_in_bounds(
+            n in 1usize..10,
+            v in crate::collection::vec((0u32..5, 1u64..3), 0..8),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(v.len() < 8);
+            for (a, b) in v {
+                prop_assert!(a < 5);
+                prop_assert!((1..3).contains(&b));
+            }
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn any_mixes_magnitudes(x in any::<u64>(), y in any::<i64>()) {
+            let _ = (x, y);
+        }
+    }
+}

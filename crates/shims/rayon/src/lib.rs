@@ -1,0 +1,786 @@
+//! Minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to a cargo registry, so this shim implements
+//! exactly the API subset the workspace uses, backed by `std::thread::scope` with
+//! static chunking. The semantics match rayon where they matter for this workspace:
+//!
+//! * `collect` into a `Vec` is order-preserving;
+//! * with a single-thread pool installed, everything runs sequentially on the calling
+//!   thread (so single-thread determinism tests hold);
+//! * `current_thread_index()` returns distinct indices for concurrently running workers
+//!   of one parallel call, all smaller than `current_num_threads()`.
+//!
+//! Work is split into one contiguous range per worker. That is cruder than rayon's
+//! work-stealing but sufficient for the data-parallel loops of this workspace, whose
+//! iterations have near-uniform cost. Nested parallel calls inside a worker run
+//! sequentially instead of oversubscribing.
+
+use std::cell::Cell;
+
+/// Inputs shorter than this run sequentially: thread spawn overhead (~tens of
+/// microseconds) dwarfs the work of small loops.
+const MIN_PARALLEL_LEN: usize = 4096;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; 0 = uninitialised.
+    static NUM_THREADS: Cell<usize> = const { Cell::new(0) };
+    static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let configured = NUM_THREADS.with(|c| c.get());
+    if configured == 0 {
+        available_threads()
+    } else {
+        configured
+    }
+}
+
+/// Index of the current worker within its parallel call, if inside one.
+pub fn current_thread_index() -> Option<usize> {
+    THREAD_INDEX.with(|c| c.get())
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (the shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" is just a configured thread count; workers are spawned per parallel call.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                available_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing parallel operations inside.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = NUM_THREADS.with(|c| c.replace(self.num_threads));
+        let result = f();
+        NUM_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// A raw pointer that may cross thread boundaries. Safety rests on the drivers below
+/// handing each worker a disjoint index range.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SharedPtr<T> {}
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
+
+/// Splits `0..len` into `workers` near-equal contiguous ranges; returns range `w`.
+fn split_range(len: usize, workers: usize, w: usize) -> (usize, usize) {
+    let base = len / workers;
+    let extra = len % workers;
+    let start = w * base + w.min(extra);
+    let end = start + base + usize::from(w < extra);
+    (start, end)
+}
+
+/// Core driver: runs `body(worker, start, end)` over `0..len` on up to
+/// `current_num_threads()` workers. `weight` scales the sequential-fallback threshold:
+/// pass the underlying element count when `len` counts coarser tasks (e.g. chunks).
+fn drive<F>(len: usize, weight: usize, body: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 || weight < MIN_PARALLEL_LEN {
+        body(0, 0, len);
+        return;
+    }
+    let workers = threads.min(len);
+    std::thread::scope(|scope| {
+        let body = &body;
+        for w in 1..workers {
+            let (start, end) = split_range(len, workers, w);
+            scope.spawn(move || {
+                // Workers advertise a single thread so nested parallel calls run
+                // sequentially instead of oversubscribing the machine.
+                NUM_THREADS.with(|c| c.set(1));
+                THREAD_INDEX.with(|c| c.set(Some(w)));
+                body(w, start, end);
+            });
+        }
+        let (start, end) = split_range(len, workers, 0);
+        let prev_threads = NUM_THREADS.with(|c| c.replace(1));
+        let prev_index = THREAD_INDEX.with(|c| c.replace(Some(0)));
+        body(0, start, end);
+        NUM_THREADS.with(|c| c.set(prev_threads));
+        THREAD_INDEX.with(|c| c.set(prev_index));
+    });
+}
+
+/// Parallel map over `0..len` writing `f(i)` to slot `i` of a fresh `Vec`.
+fn map_collect_indexed<R, F>(len: usize, weight: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<R> = Vec::with_capacity(len);
+    let ptr = SharedPtr(out.as_mut_ptr());
+    drive(len, weight, |_, start, end| {
+        let ptr = &ptr;
+        for i in start..end {
+            // SAFETY: each index is written exactly once, by exactly one worker, into
+            // capacity reserved above; set_len happens only after all workers joined.
+            unsafe { ptr.0.add(i).write(f(i)) };
+        }
+    });
+    // SAFETY: all len slots were initialised by the loop above.
+    unsafe { out.set_len(len) };
+    out
+}
+
+/// Parallel fold: each worker produces an ordered Vec of per-task results; the worker
+/// vectors are concatenated in worker order (preserving task order overall).
+fn fold_collect_vecs<R, F>(len: usize, weight: usize, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, &mut Vec<R>) + Sync,
+{
+    let threads = current_num_threads().max(1);
+    let workers = threads.min(len.max(1));
+    let mut parts: Vec<Vec<R>> = Vec::new();
+    parts.resize_with(workers, Vec::new);
+    let ptr = SharedPtr(parts.as_mut_ptr());
+    drive(len, weight, |w, start, end| {
+        let ptr = &ptr;
+        // SAFETY: each worker index addresses its own pre-allocated slot.
+        let acc = unsafe { &mut *ptr.0.add(w) };
+        for i in start..end {
+            f(i, acc);
+        }
+    });
+    parts
+}
+
+// ---------------------------------------------------------------------------
+// Slice adapters
+// ---------------------------------------------------------------------------
+
+pub struct ParIter<'a, T> {
+    data: &'a [T],
+}
+
+pub struct ParIterEnumerate<'a, T> {
+    data: &'a [T],
+}
+
+pub struct ParIterMap<'a, T, F> {
+    data: &'a [T],
+    f: F,
+}
+
+pub struct ParIterEnumerateMap<'a, T, F> {
+    data: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn enumerate(self) -> ParIterEnumerate<'a, T> {
+        ParIterEnumerate { data: self.data }
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParIterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParIterMap { data: self.data, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let data = self.data;
+        drive(data.len(), data.len(), |_, start, end| {
+            for item in &data[start..end] {
+                f(item);
+            }
+        });
+    }
+}
+
+impl<'a, T: Sync> ParIterEnumerate<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParIterEnumerateMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        ParIterEnumerateMap { data: self.data, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a T)) + Sync,
+    {
+        let data = self.data;
+        drive(data.len(), data.len(), |_, start, end| {
+            for (i, item) in (start..end).zip(&data[start..end]) {
+                f((i, item));
+            }
+        });
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParIterMap<'a, T, F> {
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let data = self.data;
+        let f = &self.f;
+        C::from_vec(map_collect_indexed(data.len(), data.len(), |i| f(&data[i])))
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn((usize, &'a T)) -> R + Sync> ParIterEnumerateMap<'a, T, F> {
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let data = self.data;
+        let f = &self.f;
+        C::from_vec(map_collect_indexed(data.len(), data.len(), |i| {
+            f((i, &data[i]))
+        }))
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    data: &'a [T],
+    size: usize,
+}
+
+pub struct ParChunksMap<'a, T, F> {
+    data: &'a [T],
+    size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    fn num_chunks(&self) -> usize {
+        self.data.len().div_ceil(self.size.max(1))
+    }
+
+    fn chunk(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.data.len());
+        &self.data[start..end]
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a [T]) + Sync,
+    {
+        let chunks = self.num_chunks();
+        drive(chunks, self.data.len(), |_, start, end| {
+            for i in start..end {
+                f(self.chunk(i));
+            }
+        });
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        ParChunksMap {
+            data: self.data,
+            size: self.size,
+            f,
+        }
+    }
+
+    pub fn enumerate(self) -> ParChunksEnumerate<'a, T> {
+        ParChunksEnumerate {
+            data: self.data,
+            size: self.size,
+        }
+    }
+}
+
+pub struct ParChunksEnumerate<'a, T> {
+    data: &'a [T],
+    size: usize,
+}
+
+pub struct ParChunksEnumerateMap<'a, T, F> {
+    data: &'a [T],
+    size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync> ParChunksEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a [T])) + Sync,
+    {
+        let chunks = ParChunks {
+            data: self.data,
+            size: self.size,
+        };
+        let n = chunks.num_chunks();
+        drive(n, self.data.len(), |_, start, end| {
+            for i in start..end {
+                f((i, chunks.chunk(i)));
+            }
+        });
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParChunksEnumerateMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a [T])) -> R + Sync,
+    {
+        ParChunksEnumerateMap {
+            data: self.data,
+            size: self.size,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn((usize, &'a [T])) -> R + Sync> ParChunksEnumerateMap<'a, T, F> {
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let chunks = ParChunks {
+            data: self.data,
+            size: self.size,
+        };
+        let n = chunks.num_chunks();
+        let f = &self.f;
+        let parts = fold_collect_vecs(n, self.data.len(), |i, acc| {
+            acc.push(f((i, chunks.chunk(i))))
+        });
+        parts.into_iter().flatten().fold(identity(), op)
+    }
+
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let chunks = ParChunks {
+            data: self.data,
+            size: self.size,
+        };
+        let n = chunks.num_chunks();
+        let f = &self.f;
+        C::from_vec(map_collect_indexed(n, self.data.len(), |i| {
+            f((i, chunks.chunk(i)))
+        }))
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a [T]) -> R + Sync> ParChunksMap<'a, T, F> {
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let chunks = ParChunks {
+            data: self.data,
+            size: self.size,
+        };
+        let n = chunks.num_chunks();
+        let f = &self.f;
+        let parts = fold_collect_vecs(n, self.data.len(), |i, acc| acc.push(f(chunks.chunk(i))));
+        parts.into_iter().flatten().fold(identity(), op)
+    }
+
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let chunks = ParChunks {
+            data: self.data,
+            size: self.size,
+        };
+        let n = chunks.num_chunks();
+        let f = &self.f;
+        C::from_vec(map_collect_indexed(n, self.data.len(), |i| {
+            f(chunks.chunk(i))
+        }))
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let len = self.data.len();
+        let size = self.size.max(1);
+        let chunks = len.div_ceil(size);
+        let ptr = SharedPtr(self.data.as_mut_ptr());
+        drive(chunks, len, |_, start, end| {
+            let ptr = &ptr;
+            for i in start..end {
+                let lo = i * size;
+                let hi = (lo + size).min(len);
+                // SAFETY: chunk index ranges are disjoint across workers.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(lo), hi - lo) };
+                f(chunk);
+            }
+        });
+    }
+
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let len = self.inner.data.len();
+        let size = self.inner.size.max(1);
+        let chunks = len.div_ceil(size);
+        let ptr = SharedPtr(self.inner.data.as_mut_ptr());
+        drive(chunks, len, |_, start, end| {
+            let ptr = &ptr;
+            for i in start..end {
+                let lo = i * size;
+                let hi = (lo + size).min(len);
+                // SAFETY: chunk index ranges are disjoint across workers.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(lo), hi - lo) };
+                f((i, chunk));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range adapters
+// ---------------------------------------------------------------------------
+
+/// Index types over which `(a..b).into_par_iter()` is supported.
+pub trait ParIndex: Copy + Send + Sync {
+    fn to_usize(self) -> usize;
+    fn from_usize(i: usize) -> Self;
+}
+
+macro_rules! par_index {
+    ($($t:ty),*) => {$(
+        impl ParIndex for $t {
+            #[inline]
+            fn to_usize(self) -> usize {
+                self as usize
+            }
+            #[inline]
+            fn from_usize(i: usize) -> Self {
+                i as $t
+            }
+        }
+    )*};
+}
+
+par_index!(u32, u64, usize);
+
+pub struct ParRange<I> {
+    start: usize,
+    len: usize,
+    _marker: std::marker::PhantomData<I>,
+}
+
+pub struct ParRangeMap<I, F> {
+    range: ParRange<I>,
+    f: F,
+}
+
+pub struct ParRangeFilterMap<I, F> {
+    range: ParRange<I>,
+    f: F,
+}
+
+impl<I: ParIndex> ParRange<I> {
+    #[inline]
+    fn item(&self, i: usize) -> I {
+        I::from_usize(self.start + i)
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParRangeMap { range: self, f }
+    }
+
+    pub fn filter_map<R, F>(self, f: F) -> ParRangeFilterMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> Option<R> + Sync,
+    {
+        ParRangeFilterMap { range: self, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        drive(self.len, self.len, |_, start, end| {
+            for i in start..end {
+                f(self.item(i));
+            }
+        });
+    }
+}
+
+impl<I: ParIndex, R: Send, F: Fn(I) -> R + Sync> ParRangeMap<I, F> {
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let range = &self.range;
+        let f = &self.f;
+        C::from_vec(map_collect_indexed(range.len, range.len, |i| {
+            f(range.item(i))
+        }))
+    }
+
+    pub fn sum<S: std::iter::Sum<R> + Send>(self) -> S
+    where
+        R: Copy,
+    {
+        let range = &self.range;
+        let f = &self.f;
+        let parts = fold_collect_vecs(range.len, range.len, |i, acc| acc.push(f(range.item(i))));
+        parts.into_iter().flatten().sum()
+    }
+}
+
+impl<I: ParIndex, R: Send, F: Fn(I) -> Option<R> + Sync> ParRangeFilterMap<I, F> {
+    pub fn collect<C: FromParallelVec<R>>(self) -> C {
+        let range = &self.range;
+        let f = &self.f;
+        let parts = fold_collect_vecs(range.len, range.len, |i, acc| {
+            if let Some(r) = f(range.item(i)) {
+                acc.push(r);
+            }
+        });
+        C::from_vec(parts.into_iter().flatten().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection + conversion traits
+// ---------------------------------------------------------------------------
+
+/// Targets of `collect()`. Only `Vec<R>` is needed by this workspace.
+pub trait FromParallelVec<R> {
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelVec<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: ParIndex> IntoParallelIterator for std::ops::Range<I> {
+    type Iter = ParRange<I>;
+
+    fn into_par_iter(self) -> ParRange<I> {
+        let start = self.start.to_usize();
+        let end = self.end.to_usize();
+        ParRange {
+            start,
+            len: end.saturating_sub(start),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { data: self }
+    }
+
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        ParChunks {
+            data: self,
+            size: size.max(1),
+        }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            data: self,
+            size: size.max(1),
+        }
+    }
+
+    /// Sequential under the hood: sorting is never a hot path in this workspace.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(f);
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let n = 100_000usize;
+        let v: Vec<usize> = (0..n).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), n);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn u32_ranges_work() {
+        let v: Vec<u64> = (0..50_000u32)
+            .into_par_iter()
+            .map(|i| u64::from(i) + 1)
+            .collect();
+        assert_eq!(v[49_999], 50_000);
+    }
+
+    #[test]
+    fn filter_map_keeps_order() {
+        let v: Vec<usize> = (0..100_000usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i))
+            .collect();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v.len(), 33_334);
+    }
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let data: Vec<usize> = (0..10_000).collect();
+        let total = AtomicUsize::new(0);
+        data.par_chunks(37).for_each(|chunk| {
+            total.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn chunk_map_reduce_concatenates() {
+        let data: Vec<u32> = (0..20_000).collect();
+        let doubled: Vec<u32> = data
+            .par_chunks(256)
+            .map(|chunk| chunk.iter().map(|&x| x * 2).collect::<Vec<_>>())
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(doubled.len(), data.len());
+        assert!(doubled.iter().zip(&data).all(|(&d, &x)| d == x * 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let mut data = vec![0usize; 30_000];
+        data.par_chunks_mut(1_000)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = i;
+                }
+            });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[29_999], 29);
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential_and_indexed() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i).collect();
+            assert_eq!(v[9_999], 9_999);
+        });
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn worker_indices_stay_below_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            let data: Vec<usize> = (0..100_000).collect();
+            data.par_chunks(64).for_each(|_| {
+                let idx = current_thread_index().unwrap_or(0);
+                assert!(idx < 3);
+            });
+        });
+    }
+}

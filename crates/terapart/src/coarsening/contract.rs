@@ -18,8 +18,15 @@
 //! Both algorithms use the two-phase aggregation idea: clusters whose coarse
 //! neighbourhood exceeds the bump threshold are deferred to a sequential second phase
 //! that may use an `O(n)` rating map.
+//!
+//! The per-level auxiliary state lives in a [`HierarchyScratch`] arena that is reused
+//! across all hierarchy levels. In particular, the vertices of each cluster are grouped
+//! with a flat two-pass counting sort (parallel count → blocked prefix sum → parallel
+//! scatter) into a CSR-style `(offsets, members)` layout, replacing the seed's
+//! `Vec<Vec<NodeId>>` bucket structure and its one-allocation-per-coarse-vertex cost.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
 
 use graph::csr::CsrGraph;
 use graph::traits::Graph;
@@ -29,6 +36,7 @@ use rayon::prelude::*;
 
 use crate::context::ContractionAlgorithm;
 use crate::dual_counter::DualCounter;
+use crate::scratch::{HierarchyScratch, SharedSlice};
 use crate::ClusterId;
 
 use super::lp_clustering::Clustering;
@@ -48,63 +56,177 @@ pub struct ContractionResult {
 /// contraction (reduces contention on the atomic counter, paper §IV-B2).
 const BATCH_EDGE_CAPACITY: usize = 4096;
 
-/// Contracts `clustering` on `graph` using the selected algorithm.
+/// Label-space block size of the parallel prefix sum in the bucket construction.
+const LABEL_BLOCK: usize = 8192;
+
+/// Contracts `clustering` on `graph` using the selected algorithm, with freshly
+/// allocated scratch memory. Prefer [`contract_with_scratch`] inside the multilevel
+/// pipeline, where one arena serves every level.
 pub fn contract(
     graph: &impl Graph,
     clustering: &Clustering,
     algorithm: ContractionAlgorithm,
     bump_threshold: usize,
 ) -> ContractionResult {
+    let mut scratch = HierarchyScratch::new();
+    contract_with_scratch(graph, clustering, algorithm, bump_threshold, &mut scratch)
+}
+
+/// Contracts `clustering` on `graph`, reusing the buffers of `scratch`.
+pub fn contract_with_scratch(
+    graph: &impl Graph,
+    clustering: &Clustering,
+    algorithm: ContractionAlgorithm,
+    bump_threshold: usize,
+    scratch: &mut HierarchyScratch,
+) -> ContractionResult {
     match algorithm {
-        ContractionAlgorithm::Buffered => contract_buffered(graph, clustering),
-        ContractionAlgorithm::OnePass => contract_one_pass(graph, clustering, bump_threshold),
+        ContractionAlgorithm::Buffered => contract_buffered(graph, clustering, scratch),
+        ContractionAlgorithm::OnePass => {
+            contract_one_pass(graph, clustering, bump_threshold, scratch)
+        }
     }
 }
 
-/// Groups the vertices of each cluster label: returns `(leaders, members)` where
-/// `members[i]` lists the fine vertices labelled `leaders[i]`.
-fn cluster_buckets(graph: &impl Graph, clustering: &Clustering) -> (Vec<ClusterId>, Vec<Vec<NodeId>>) {
-    let n = graph.n();
-    let mut bucket_of_label: Vec<u32> = vec![u32::MAX; n];
-    let mut leaders: Vec<ClusterId> = Vec::with_capacity(clustering.num_clusters);
-    let mut members: Vec<Vec<NodeId>> = Vec::with_capacity(clustering.num_clusters);
-    for u in 0..n as NodeId {
-        let label = clustering.label[u as usize];
-        let bucket = bucket_of_label[label as usize];
-        if bucket == u32::MAX {
-            bucket_of_label[label as usize] = leaders.len() as u32;
-            leaders.push(label);
-            members.push(vec![u]);
-        } else {
-            members[bucket as usize].push(u);
+/// Groups the vertices of each cluster label into the scratch arena's flat CSR-style
+/// bucket layout and returns the number of coarse vertices.
+///
+/// Two-pass counting sort: a parallel count over the labels, a blocked parallel prefix
+/// sum over the label space (which also assigns dense coarse IDs in label order and
+/// records them in `scratch.remap`), and a parallel scatter of the vertices through
+/// per-label atomic cursors. After the call:
+///
+/// * `scratch.leaders[b]` is the cluster label of coarse vertex `b`;
+/// * `scratch.bucket_members[scratch.bucket_offsets[b] as usize..scratch.bucket_offsets[b + 1] as usize]`
+///   are the fine vertices of coarse vertex `b`;
+/// * `scratch.remap[label]` is the coarse vertex of every populated `label`
+///   (`NodeId::MAX` otherwise).
+fn build_cluster_buckets(clustering: &Clustering, scratch: &mut HierarchyScratch) -> usize {
+    let n = clustering.label.len();
+    scratch.ensure_buckets(n);
+    let heads = &scratch.bucket_heads[..n];
+    let labels = &clustering.label[..n];
+
+    // ---- Pass 1: count members per label (heads[l] = |cluster l|). ----
+    heads.par_chunks(LABEL_BLOCK).for_each(|chunk| {
+        for head in chunk {
+            head.store(0, Ordering::Relaxed);
         }
+    });
+    labels.par_chunks(LABEL_BLOCK).for_each(|chunk| {
+        for &l in chunk {
+            heads[l as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+
+    // ---- Pass 2: blocked prefix sum over the label space. ----
+    let num_blocks = n.div_ceil(LABEL_BLOCK);
+    let block_totals: Vec<(u32, u32)> = heads
+        .par_chunks(LABEL_BLOCK)
+        .map(|chunk| {
+            let mut buckets = 0u32;
+            let mut members = 0u32;
+            for head in chunk {
+                let count = head.load(Ordering::Relaxed);
+                if count > 0 {
+                    buckets += 1;
+                    members += count;
+                }
+            }
+            (buckets, members)
+        })
+        .collect();
+    let mut block_bases = Vec::with_capacity(num_blocks);
+    let (mut bucket_base, mut offset_base) = (0u32, 0u32);
+    for &(buckets, members) in &block_totals {
+        block_bases.push((bucket_base, offset_base));
+        bucket_base += buckets;
+        offset_base += members;
     }
-    (leaders, members)
+    let n_coarse = bucket_base as usize;
+    debug_assert_eq!(offset_base as usize, n);
+
+    // Per block: assign dense coarse IDs in label order, record bucket boundaries and
+    // leaders, publish label -> coarse ID in remap, and turn heads[l] into the bucket's
+    // write cursor for the scatter pass. Writes to disjoint index ranges per block.
+    {
+        let offsets = SharedSlice::new(&mut scratch.bucket_offsets[..n_coarse + 1]);
+        let leaders = SharedSlice::new(&mut scratch.leaders[..n_coarse]);
+        let remap = &scratch.remap[..n];
+        heads
+            .par_chunks(LABEL_BLOCK)
+            .enumerate()
+            .for_each(|(block, chunk)| {
+                let (mut bucket, mut offset) = block_bases[block];
+                for (i, head) in chunk.iter().enumerate() {
+                    let label = (block * LABEL_BLOCK + i) as ClusterId;
+                    let count = head.load(Ordering::Relaxed);
+                    if count > 0 {
+                        // SAFETY: bucket indices are disjoint across blocks by construction
+                        // of the prefix sums.
+                        unsafe {
+                            leaders.write(bucket as usize, label);
+                            offsets.write(bucket as usize, offset);
+                        }
+                        remap[label as usize].store(bucket, Ordering::Relaxed);
+                        head.store(offset, Ordering::Relaxed);
+                        bucket += 1;
+                        offset += count;
+                    } else {
+                        remap[label as usize].store(NodeId::MAX, Ordering::Relaxed);
+                    }
+                }
+            });
+        // SAFETY: index n_coarse is written exactly once, here.
+        unsafe { offsets.write(n_coarse, n as u32) };
+    }
+
+    // ---- Pass 3: scatter the vertices through the per-label cursors. ----
+    {
+        let members = SharedSlice::new(&mut scratch.bucket_members[..n]);
+        labels
+            .par_chunks(LABEL_BLOCK)
+            .enumerate()
+            .for_each(|(block, chunk)| {
+                let base = (block * LABEL_BLOCK) as NodeId;
+                for (i, &l) in chunk.iter().enumerate() {
+                    let position = heads[l as usize].fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: the atomic cursor hands out each position exactly once.
+                    unsafe { members.write(position as usize, base + i as NodeId) };
+                }
+            });
+    }
+    n_coarse
 }
 
 /// Baseline contraction: aggregate into per-cluster buffers, then copy into CSR arrays.
-fn contract_buffered(graph: &impl Graph, clustering: &Clustering) -> ContractionResult {
+fn contract_buffered(
+    graph: &impl Graph,
+    clustering: &Clustering,
+    scratch: &mut HierarchyScratch,
+) -> ContractionResult {
     let n = graph.n();
     if n == 0 {
-        return ContractionResult { coarse: graph::CsrGraphBuilder::new(0).build(), mapping: Vec::new() };
+        return ContractionResult {
+            coarse: graph::CsrGraphBuilder::new(0).build(),
+            mapping: Vec::new(),
+        };
     }
-    let (leaders, members) = cluster_buckets(graph, clustering);
-    let n_coarse = leaders.len();
-    // Old label -> coarse vertex ID (in bucket order).
-    let mut coarse_of_label: Vec<NodeId> = vec![NodeId::MAX; n];
-    for (coarse, &leader) in leaders.iter().enumerate() {
-        coarse_of_label[leader as usize] = coarse as NodeId;
-    }
+    let n_coarse = build_cluster_buckets(clustering, scratch);
+    let offsets = &scratch.bucket_offsets[..n_coarse + 1];
+    let members = &scratch.bucket_members[..n];
+    let remap = &scratch.remap[..n];
     let mapping: Vec<NodeId> = (0..n)
-        .map(|u| coarse_of_label[clustering.label[u] as usize])
+        .into_par_iter()
+        .map(|u| remap[clustering.label[u] as usize].load(Ordering::Relaxed))
         .collect();
 
     // Aggregate each coarse neighbourhood into its own buffer (this is the transient
     // second copy of the coarse graph that one-pass contraction eliminates).
-    let buffers: Vec<(NodeWeight, Vec<(NodeId, EdgeWeight)>)> = members
-        .par_iter()
-        .enumerate()
-        .map(|(coarse, cluster)| {
+    let buffers: Vec<(NodeWeight, Vec<(NodeId, EdgeWeight)>)> = (0..n_coarse)
+        .into_par_iter()
+        .map(|coarse| {
+            let cluster = &members[offsets[coarse] as usize..offsets[coarse + 1] as usize];
             let mut ratings: std::collections::HashMap<NodeId, EdgeWeight> =
                 std::collections::HashMap::new();
             let mut weight: NodeWeight = 0;
@@ -127,7 +249,9 @@ fn contract_buffered(graph: &impl Graph, clustering: &Clustering) -> Contraction
     // the coarse graph that the paper's Figure 2 attributes to "Contraction".
     let buffer_bytes: usize = buffers
         .iter()
-        .map(|(_, edges)| edges.len() * (std::mem::size_of::<NodeId>() + std::mem::size_of::<EdgeWeight>()))
+        .map(|(_, edges)| {
+            edges.len() * (std::mem::size_of::<NodeId>() + std::mem::size_of::<EdgeWeight>())
+        })
         .sum();
     let _scope = MemoryScope::charge_global(buffer_bytes);
 
@@ -153,84 +277,78 @@ fn contract_buffered(graph: &impl Graph, clustering: &Clustering) -> Contraction
     ContractionResult { coarse, mapping }
 }
 
-/// One-pass contraction (paper §IV-B2).
+thread_local! {
+    /// Reusable buffers of the parallel per-coarse-vertex neighbourhood sort: packed
+    /// `(target << 32) | position` keys and a weight copy for the permutation gather.
+    static SORT_KEYS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static SORT_WTS: RefCell<Vec<EdgeWeight>> = const { RefCell::new(Vec::new()) };
+    /// Reusable phase-1 aggregation state (rating table + dual-counter batch), so the
+    /// per-chunk table/batch allocations of the seed implementation disappear.
+    static AGG_STATE: RefCell<Option<(FixedCapacityHashMap, Batch)>> = const { RefCell::new(None) };
+}
+
+/// A buffered batch of aggregated coarse neighbourhoods awaiting a dual-counter
+/// transaction.
+struct Batch {
+    /// (old label, node weight, number of edges) per coarse vertex in the batch.
+    vertices: Vec<(ClusterId, NodeWeight, u32)>,
+    /// Concatenated (old target label, weight) pairs.
+    edges: Vec<(ClusterId, EdgeWeight)>,
+}
+
+impl Batch {
+    fn new() -> Self {
+        Self {
+            vertices: Vec::new(),
+            edges: Vec::with_capacity(BATCH_EDGE_CAPACITY),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// One-pass contraction (paper §IV-B2), writing through the scratch arena.
 fn contract_one_pass(
     graph: &impl Graph,
     clustering: &Clustering,
     bump_threshold: usize,
+    scratch: &mut HierarchyScratch,
 ) -> ContractionResult {
     let n = graph.n();
     if n == 0 {
-        return ContractionResult { coarse: graph::CsrGraphBuilder::new(0).build(), mapping: Vec::new() };
+        return ContractionResult {
+            coarse: graph::CsrGraphBuilder::new(0).build(),
+            mapping: Vec::new(),
+        };
     }
-    let (leaders, members) = cluster_buckets(graph, clustering);
+    let n_coarse = build_cluster_buckets(clustering, scratch);
     let upper_bound_edges = 2 * graph.m();
+    scratch.ensure_contraction(n);
+    scratch.ensure_edges(upper_bound_edges);
 
-    // Over-reserved output arrays. Only the first 2m' entries will ever be written; the
-    // memory-accounting model charges committed bytes through the scope below.
-    let coarse_edges: Vec<AtomicU32> = {
-        let mut v = Vec::with_capacity(upper_bound_edges);
-        v.resize_with(upper_bound_edges, || AtomicU32::new(0));
-        v
-    };
-    let coarse_edge_weights: Vec<AtomicU64> = {
-        let mut v = Vec::with_capacity(upper_bound_edges);
-        v.resize_with(upper_bound_edges, || AtomicU64::new(0));
-        v
-    };
-    // Per coarse vertex (at most n of them): neighbourhood start, node weight.
-    let starts: Vec<AtomicU64> = {
-        let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || AtomicU64::new(0));
-        v
-    };
-    let degrees: Vec<AtomicU32> = {
-        let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || AtomicU32::new(0));
-        v
-    };
-    let coarse_node_weights: Vec<AtomicU64> = {
-        let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || AtomicU64::new(0));
-        v
-    };
-    // Old cluster label -> new coarse vertex ID, filled as neighbourhoods are committed.
-    let remap: Vec<AtomicU32> = {
-        let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || AtomicU32::new(NodeId::MAX));
-        v
-    };
+    let offsets = &scratch.bucket_offsets[..n_coarse + 1];
+    let members = &scratch.bucket_members[..n];
+    let leaders = &scratch.leaders[..n_coarse];
+    let remap = &scratch.remap[..n];
+    let starts = &scratch.starts[..n];
+    let coarse_node_weights = &scratch.coarse_node_weights[..n];
+    let coarse_edges = &scratch.edge_targets[..upper_bound_edges];
+    let coarse_edge_weights = &scratch.edge_weights[..upper_bound_edges];
     let dual = DualCounter::new();
-
-    // A buffered batch of aggregated coarse neighbourhoods awaiting a dual-counter
-    // transaction.
-    struct Batch {
-        /// (old label, node weight, number of edges) per coarse vertex in the batch.
-        vertices: Vec<(ClusterId, NodeWeight, u32)>,
-        /// Concatenated (old target label, weight) pairs.
-        edges: Vec<(ClusterId, EdgeWeight)>,
-    }
-
-    impl Batch {
-        fn new() -> Self {
-            Self { vertices: Vec::new(), edges: Vec::with_capacity(BATCH_EDGE_CAPACITY) }
-        }
-        fn is_empty(&self) -> bool {
-            self.vertices.is_empty()
-        }
-    }
 
     let flush_batch = |batch: &mut Batch| {
         if batch.is_empty() {
             return;
         }
-        let (d_prev, s_prev) = dual.fetch_add(batch.edges.len() as u64, batch.vertices.len() as u64);
+        let (d_prev, s_prev) =
+            dual.fetch_add(batch.edges.len() as u64, batch.vertices.len() as u64);
         let mut edge_cursor = d_prev as usize;
         let mut offset_in_edges = 0usize;
         for (i, &(label, weight, len)) in batch.vertices.iter().enumerate() {
             let coarse_id = s_prev as usize + i;
             starts[coarse_id].store(edge_cursor as u64, Ordering::Relaxed);
-            degrees[coarse_id].store(len, Ordering::Relaxed);
             coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
             remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
             for &(target, w) in &batch.edges[offset_in_edges..offset_in_edges + len as usize] {
@@ -245,19 +363,35 @@ fn contract_one_pass(
     };
 
     // ---- First phase: clusters in parallel, fixed-capacity hash tables, batching. ----
-    let cluster_indices: Vec<usize> = (0..leaders.len()).collect();
-    let bumped: Vec<usize> = cluster_indices
+    // Account the per-worker aggregation state (rating table + dual-counter batch,
+    // reused via AGG_STATE) for the duration of the phase.
+    let _agg_scope = MemoryScope::charge_global(
+        rayon::current_num_threads().max(1)
+            * (FixedCapacityHashMap::new(bump_threshold).memory_bytes()
+                + BATCH_EDGE_CAPACITY * std::mem::size_of::<(ClusterId, EdgeWeight)>()),
+    );
+    let bumped: Vec<usize> = leaders
         .par_chunks(64)
-        .map(|chunk| {
-            let mut table = FixedCapacityHashMap::new(bump_threshold);
-            let mut batch = Batch::new();
+        .enumerate()
+        .map(|(chunk_index, chunk)| {
+            // Reuse the worker's table and batch across chunks (and across calls).
+            let mut state = AGG_STATE.with(|cell| cell.borrow_mut().take());
+            let needs_new = match &state {
+                Some((table, _)) => table.limit() != bump_threshold,
+                None => true,
+            };
+            if needs_new {
+                state = Some((FixedCapacityHashMap::new(bump_threshold), Batch::new()));
+            }
+            let (mut table, mut batch) = state.unwrap();
+            table.clear();
             let mut bumped = Vec::new();
-            for &idx in chunk {
-                let label = leaders[idx];
+            for (i, &label) in chunk.iter().enumerate() {
+                let idx = chunk_index * 64 + i;
                 table.clear();
                 let mut weight: NodeWeight = 0;
                 let mut overflow = false;
-                for &u in &members[idx] {
+                for &u in &members[offsets[idx] as usize..offsets[idx + 1] as usize] {
                     weight += graph.node_weight(u);
                     graph.for_each_neighbor(u, &mut |v, w| {
                         let target_label = clustering.label[v as usize];
@@ -284,13 +418,13 @@ fn contract_one_pass(
                 }
             }
             flush_batch(&mut batch);
+            AGG_STATE.with(|cell| *cell.borrow_mut() = Some((table, batch)));
             bumped
         })
         .reduce(Vec::new, |mut a, mut b| {
             a.append(&mut b);
             a
         });
-
     // ---- Second phase: bumped high-fanout clusters sequentially with a sparse map. ----
     if !bumped.is_empty() {
         let mut map = SparseRatingMap::new(n);
@@ -299,7 +433,7 @@ fn contract_one_pass(
             let label = leaders[idx];
             map.clear();
             let mut weight: NodeWeight = 0;
-            for &u in &members[idx] {
+            for &u in &members[offsets[idx] as usize..offsets[idx + 1] as usize] {
                 weight += graph.node_weight(u);
                 graph.for_each_neighbor(u, &mut |v, w| {
                     let target_label = clustering.label[v as usize];
@@ -312,7 +446,6 @@ fn contract_one_pass(
             let (d_prev, s_prev) = dual.fetch_add(len as u64, 1);
             let coarse_id = s_prev as usize;
             starts[coarse_id].store(d_prev, Ordering::Relaxed);
-            degrees[coarse_id].store(len as u32, Ordering::Relaxed);
             coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
             remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
             for (i, (target, w)) in map.iter().enumerate() {
@@ -321,61 +454,101 @@ fn contract_one_pass(
             }
         }
     }
-
     let (total_edges, total_vertices) = dual.load();
-    let n_coarse = total_vertices as usize;
     let m_half = total_edges as usize;
-    debug_assert_eq!(n_coarse, leaders.len());
+    debug_assert_eq!(total_vertices as usize, n_coarse);
 
-    // Charge the committed portion of the over-reserved arrays (the paper's point: only
-    // 2m' entries are physically backed).
-    let committed_bytes = m_half * (std::mem::size_of::<NodeId>() + std::mem::size_of::<EdgeWeight>())
-        + n_coarse * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>() + std::mem::size_of::<u64>());
+    // Charge the committed portion of the over-reserved edge arrays for the remainder of
+    // this contraction (the paper's point: only 2m' entries are physically backed).
+    let committed_bytes = m_half
+        * (std::mem::size_of::<std::sync::atomic::AtomicU32>()
+            + std::mem::size_of::<std::sync::atomic::AtomicU64>());
     let _scope = MemoryScope::charge_global(committed_bytes);
 
     // ---- Assemble the CSR arrays, remapping old labels to coarse IDs. ----
-    let mut xadj: Vec<EdgeId> = Vec::with_capacity(n_coarse + 1);
-    for coarse_id in 0..n_coarse {
-        xadj.push(starts[coarse_id].load(Ordering::Relaxed));
-    }
+    let mut xadj: Vec<EdgeId> = (0..n_coarse)
+        .into_par_iter()
+        .map(|c| starts[c].load(Ordering::Relaxed))
+        .collect();
     xadj.push(m_half as EdgeId);
     // The starts are monotone because coarse IDs are assigned in commit order.
     debug_assert!(xadj.windows(2).all(|w| w[0] <= w[1]));
 
-    let adjacency: Vec<NodeId> = (0..m_half)
+    let mut adjacency: Vec<NodeId> = (0..m_half)
         .into_par_iter()
         .map(|e| {
             let old_label = coarse_edges[e].load(Ordering::Relaxed);
             remap[old_label as usize].load(Ordering::Relaxed)
         })
         .collect();
-    let edge_weights: Vec<EdgeWeight> = (0..m_half)
+    let mut edge_weights: Vec<EdgeWeight> = (0..m_half)
+        .into_par_iter()
         .map(|e| coarse_edge_weights[e].load(Ordering::Relaxed))
         .collect();
     let node_weights: Vec<NodeWeight> = (0..n_coarse)
+        .into_par_iter()
         .map(|c| coarse_node_weights[c].load(Ordering::Relaxed))
         .collect();
 
-    // Sort each coarse neighbourhood by target ID for deterministic downstream behaviour.
-    let mut adjacency = adjacency;
-    let mut edge_weights = edge_weights;
-    for c in 0..n_coarse {
-        let begin = xadj[c] as usize;
-        let end = xadj[c + 1] as usize;
-        let mut pairs: Vec<(NodeId, EdgeWeight)> = adjacency[begin..end]
-            .iter()
-            .copied()
-            .zip(edge_weights[begin..end].iter().copied())
-            .collect();
-        pairs.sort_unstable_by_key(|&(v, _)| v);
-        for (i, (v, w)) in pairs.into_iter().enumerate() {
-            adjacency[begin + i] = v;
-            edge_weights[begin + i] = w;
-        }
+    // Sort each coarse neighbourhood by target ID for deterministic downstream
+    // behaviour, in parallel over the (disjoint) CSR segments. Coarse degrees are
+    // mostly tiny, so short segments use an in-place dual-array insertion sort; only
+    // long segments go through the (thread-local, reused) pair buffer.
+    {
+        let adj_shared = SharedSlice::new(&mut adjacency);
+        let wts_shared = SharedSlice::new(&mut edge_weights);
+        (0..n_coarse).into_par_iter().for_each(|c| {
+            let begin = xadj[c] as usize;
+            let end = xadj[c + 1] as usize;
+            let len = end - begin;
+            if len <= 1 {
+                return;
+            }
+            // SAFETY: CSR segments of distinct coarse vertices never overlap.
+            let adj = unsafe { adj_shared.slice_mut(begin, end) };
+            let wts = unsafe { wts_shared.slice_mut(begin, end) };
+            if len <= 32 {
+                for i in 1..len {
+                    let (v, w) = (adj[i], wts[i]);
+                    let mut j = i;
+                    while j > 0 && adj[j - 1] > v {
+                        adj[j] = adj[j - 1];
+                        wts[j] = wts[j - 1];
+                        j -= 1;
+                    }
+                    adj[j] = v;
+                    wts[j] = w;
+                }
+            } else {
+                // Sort packed 64-bit (target, position) keys — branchless integer
+                // comparisons, no 16-byte pair shuffling — then gather the weights
+                // through the recorded positions.
+                SORT_KEYS.with(|keys_cell| {
+                    SORT_WTS.with(|wts_cell| {
+                        let mut keys = keys_cell.borrow_mut();
+                        let mut wts_copy = wts_cell.borrow_mut();
+                        keys.clear();
+                        keys.extend(
+                            adj.iter()
+                                .enumerate()
+                                .map(|(i, &v)| (u64::from(v) << 32) | i as u64),
+                        );
+                        keys.sort_unstable();
+                        wts_copy.clear();
+                        wts_copy.extend_from_slice(wts);
+                        for (i, &packed) in keys.iter().enumerate() {
+                            adj[i] = (packed >> 32) as NodeId;
+                            wts[i] = wts_copy[(packed & u64::from(u32::MAX)) as usize];
+                        }
+                    });
+                });
+            }
+        });
     }
 
     let coarse = CsrGraph::from_parts(xadj, adjacency, edge_weights, node_weights);
     let mapping: Vec<NodeId> = (0..n)
+        .into_par_iter()
         .map(|u| remap[clustering.label[u] as usize].load(Ordering::Relaxed))
         .collect();
     ContractionResult { coarse, mapping }
@@ -384,9 +557,9 @@ fn contract_one_pass(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graph::gen;
     use crate::coarsening::lp_clustering;
     use crate::context::CoarseningConfig;
+    use graph::gen;
 
     /// Computes the total weight of fine edges whose endpoints lie in different clusters.
     fn inter_cluster_weight(graph: &impl Graph, clustering: &Clustering) -> EdgeWeight {
@@ -408,7 +581,10 @@ mod tests {
         // Node weight is preserved exactly.
         assert_eq!(coarse.total_node_weight(), graph.total_node_weight());
         // Coarse edge weight equals the weight of inter-cluster fine edges.
-        assert_eq!(coarse.total_edge_weight(), inter_cluster_weight(graph, clustering));
+        assert_eq!(
+            coarse.total_edge_weight(),
+            inter_cluster_weight(graph, clustering)
+        );
         // The mapping is consistent: two fine vertices share a coarse vertex iff they
         // share a cluster label.
         for u in 0..graph.n() {
@@ -431,7 +607,10 @@ mod tests {
     }
 
     fn lp_clustering_for(graph: &impl Graph, max_weight: NodeWeight) -> Clustering {
-        let config = CoarseningConfig { bump_threshold: 8, ..Default::default() };
+        let config = CoarseningConfig {
+            bump_threshold: 8,
+            ..Default::default()
+        };
         lp_clustering::cluster(graph, &config, max_weight, 7)
     }
 
@@ -439,7 +618,10 @@ mod tests {
     fn singleton_clustering_reproduces_the_graph() {
         let g = gen::with_random_edge_weights(&gen::grid2d(8, 8), 5, 3);
         let clustering = Clustering::singletons(g.n());
-        for algorithm in [ContractionAlgorithm::Buffered, ContractionAlgorithm::OnePass] {
+        for algorithm in [
+            ContractionAlgorithm::Buffered,
+            ContractionAlgorithm::OnePass,
+        ] {
             let result = contract(&g, &clustering, algorithm, 16);
             check_contraction(&g, &clustering, &result);
             assert_eq!(result.coarse.n(), g.n());
@@ -452,7 +634,10 @@ mod tests {
     fn everything_in_one_cluster_gives_a_single_vertex() {
         let g = gen::complete(10);
         let clustering = Clustering::from_labels(vec![3; 10]);
-        for algorithm in [ContractionAlgorithm::Buffered, ContractionAlgorithm::OnePass] {
+        for algorithm in [
+            ContractionAlgorithm::Buffered,
+            ContractionAlgorithm::OnePass,
+        ] {
             let result = contract(&g, &clustering, algorithm, 16);
             assert_eq!(result.coarse.n(), 1);
             assert_eq!(result.coarse.m(), 0);
@@ -466,7 +651,10 @@ mod tests {
         for (name, g) in [
             ("grid", gen::grid2d(15, 15)),
             ("powerlaw", gen::rhg_like(600, 8, 3.0, 5)),
-            ("weighted", gen::with_random_edge_weights(&gen::erdos_renyi(300, 1200, 2), 9, 4)),
+            (
+                "weighted",
+                gen::with_random_edge_weights(&gen::erdos_renyi(300, 1200, 2), 9, 4),
+            ),
         ] {
             let clustering = lp_clustering_for(&g, 8);
             let buffered = contract(&g, &clustering, ContractionAlgorithm::Buffered, 16);
@@ -482,10 +670,12 @@ mod tests {
                 name
             );
             // Degree multisets must agree (the graphs are isomorphic up to relabelling).
-            let mut degrees_a: Vec<usize> =
-                (0..buffered.coarse.n() as NodeId).map(|u| buffered.coarse.degree(u)).collect();
-            let mut degrees_b: Vec<usize> =
-                (0..one_pass.coarse.n() as NodeId).map(|u| one_pass.coarse.degree(u)).collect();
+            let mut degrees_a: Vec<usize> = (0..buffered.coarse.n() as NodeId)
+                .map(|u| buffered.coarse.degree(u))
+                .collect();
+            let mut degrees_b: Vec<usize> = (0..one_pass.coarse.n() as NodeId)
+                .map(|u| one_pass.coarse.degree(u))
+                .collect();
             degrees_a.sort_unstable();
             degrees_b.sort_unstable();
             assert_eq!(degrees_a, degrees_b, "{}", name);
@@ -511,7 +701,11 @@ mod tests {
         let clustering = lp_clustering_for(&g, 8);
         let result = contract(&g, &clustering, ContractionAlgorithm::OnePass, 32);
         check_contraction(&g, &clustering, &result);
-        assert!(result.coarse.n() < g.n() / 2, "coarse graph too large: {}", result.coarse.n());
+        assert!(
+            result.coarse.n() < g.n() / 2,
+            "coarse graph too large: {}",
+            result.coarse.n()
+        );
         assert!(result.coarse.m() <= g.m());
     }
 
@@ -519,10 +713,79 @@ mod tests {
     fn empty_graph_contracts_to_empty_graph() {
         let g = graph::CsrGraphBuilder::new(0).build();
         let clustering = Clustering::singletons(0);
-        for algorithm in [ContractionAlgorithm::Buffered, ContractionAlgorithm::OnePass] {
+        for algorithm in [
+            ContractionAlgorithm::Buffered,
+            ContractionAlgorithm::OnePass,
+        ] {
             let result = contract(&g, &clustering, algorithm, 8);
             assert_eq!(result.coarse.n(), 0);
             assert_eq!(result.coarse.m(), 0);
         }
+    }
+
+    #[test]
+    fn flat_buckets_partition_the_vertex_set() {
+        let g = gen::rgg2d(800, 9, 4);
+        let clustering = lp_clustering_for(&g, 8);
+        let mut scratch = HierarchyScratch::new();
+        let n_coarse = build_cluster_buckets(&clustering, &mut scratch);
+        assert_eq!(n_coarse, clustering.num_clusters);
+        assert_eq!(scratch.bucket_offsets[0], 0);
+        assert_eq!(scratch.bucket_offsets[n_coarse] as usize, g.n());
+        let mut seen = vec![false; g.n()];
+        for b in 0..n_coarse {
+            let begin = scratch.bucket_offsets[b] as usize;
+            let end = scratch.bucket_offsets[b + 1] as usize;
+            assert!(begin < end, "bucket {} is empty", b);
+            let leader = scratch.leaders[b];
+            for &u in &scratch.bucket_members[begin..end] {
+                assert!(!seen[u as usize], "vertex {} scattered twice", u);
+                seen[u as usize] = true;
+                assert_eq!(clustering.label[u as usize], leader);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Leaders are the distinct labels in increasing order.
+        assert!(scratch.leaders[..n_coarse].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn scratch_reuse_across_levels_stays_correct_and_allocation_free() {
+        // Contract three shrinking levels through one arena; the arena must not grow
+        // after the first (largest) level, and every level must stay valid.
+        let g = gen::rgg2d(1500, 12, 6);
+        let mut scratch = HierarchyScratch::new();
+        let mut current = g.clone();
+        let mut bytes_after_first = None;
+        for level in 0..3 {
+            let clustering = lp_clustering_for(&current, 8);
+            if clustering.num_clusters == current.n() {
+                break;
+            }
+            let result = contract_with_scratch(
+                &current,
+                &clustering,
+                ContractionAlgorithm::OnePass,
+                16,
+                &mut scratch,
+            );
+            check_contraction(&current, &clustering, &result);
+            match bytes_after_first {
+                None => bytes_after_first = Some(scratch.memory_bytes()),
+                Some(first) => {
+                    assert_eq!(
+                        scratch.memory_bytes(),
+                        first,
+                        "scratch grew at level {} despite shrinking graphs",
+                        level
+                    );
+                }
+            }
+            current = result.coarse;
+        }
+        assert!(
+            bytes_after_first.is_some(),
+            "no contraction level was executed"
+        );
     }
 }

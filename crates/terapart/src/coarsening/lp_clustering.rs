@@ -13,6 +13,17 @@
 //!   `T_bump` distinct clusters; phase two processes the bumped vertices one at a time
 //!   with a single shared atomic sparse array and parallelism over their edges
 //!   (`O(n + p·T_bump)` auxiliary memory).
+//!
+//! Rounds after the first are frontier-driven (active-set scheduling, in the spirit of
+//! Sanders & Schulz's active-set local search): a vertex is revisited if its
+//! neighbourhood changed in the previous round — a moved vertex and its neighbours — or
+//! if its move lost a race. Vertices whose best move was rejected by the cluster weight
+//! constraint are deliberately *not* retained: tracking per-cluster capacity changes
+//! would cost `O(n)` per round (the label space is the vertex set), and full clusters
+//! rarely shrink during clustering, so the retry value a full sweep would provide is
+//! negligible here — unlike in LP *refinement*, where the analogous waiters are tracked
+//! per block. Converged regions are never rescanned. The frontier bitsets and the
+//! visit-order buffer live in the reusable [`HierarchyScratch`] arena.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
@@ -25,6 +36,7 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 use crate::context::{CoarseningConfig, LabelPropagationMode};
+use crate::scratch::{AtomicBitset, HierarchyScratch};
 use crate::ClusterId;
 
 use super::rating_map::{AtomicSparseArray, FixedCapacityHashMap, SparseRatingMap};
@@ -39,32 +51,84 @@ pub struct Clustering {
     pub num_clusters: usize,
 }
 
+/// Bit used to mark visited labels during the in-place distinct count.
+const LABEL_MARK: ClusterId = 1 << 31;
+
 impl Clustering {
     /// Computes the number of distinct labels and builds the `Clustering`.
-    pub fn from_labels(label: Vec<ClusterId>) -> Self {
-        let mut seen = vec![false; label.len()];
+    ///
+    /// Labels must be vertex IDs of the clustered graph, i.e. `label[u] < label.len()`
+    /// (and below 2^31). Distinct labels are counted allocation-free by temporarily
+    /// marking the high bit of `label[c]` for every label `c` seen — the label vector
+    /// itself serves as the "seen" set — and clearing the marks afterwards.
+    pub fn from_labels(mut label: Vec<ClusterId>) -> Self {
+        let n = label.len();
+        // The marking scheme owns bit 31, so the label space must stay below it; with
+        // 32-bit `NodeId`s this only excludes graphs of more than 2^31 vertices.
+        assert!(
+            n < (1 << 31) as usize,
+            "label space {} exceeds the 2^31 marking limit",
+            n
+        );
         let mut num_clusters = 0;
-        for &c in &label {
-            if !seen[c as usize] {
-                seen[c as usize] = true;
+        for u in 0..n {
+            let c = (label[u] & !LABEL_MARK) as usize;
+            assert!(c < n, "label {} out of range for {} vertices", c, n);
+            if label[c] & LABEL_MARK == 0 {
+                label[c] |= LABEL_MARK;
                 num_clusters += 1;
             }
         }
-        Self { label, num_clusters }
+        label.par_chunks_mut(1 << 14).for_each(|chunk| {
+            for l in chunk {
+                *l &= !LABEL_MARK;
+            }
+        });
+        Self {
+            label,
+            num_clusters,
+        }
     }
 
     /// Returns the singleton clustering (every vertex its own cluster).
     pub fn singletons(n: usize) -> Self {
-        Self { label: (0..n as ClusterId).collect(), num_clusters: n }
+        Self {
+            label: (0..n as ClusterId).collect(),
+            num_clusters: n,
+        }
     }
 
     /// Total weight of every cluster, indexed by cluster label.
     pub fn cluster_weights(&self, graph: &impl Graph) -> Vec<NodeWeight> {
-        let mut weights = vec![0; self.label.len()];
-        for u in 0..self.label.len() {
-            weights[self.label[u] as usize] += graph.node_weight(u as NodeId);
+        let n = self.label.len();
+        // Below this size the atomic fan-in setup costs more than the sequential scan.
+        const PARALLEL_THRESHOLD: usize = 1 << 15;
+        if n < PARALLEL_THRESHOLD {
+            let mut weights = vec![0; n];
+            for u in 0..n {
+                weights[self.label[u] as usize] += graph.node_weight(u as NodeId);
+            }
+            return weights;
         }
-        weights
+        let weights: Vec<AtomicU64> = {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, || AtomicU64::new(0));
+            v
+        };
+        self.label
+            .par_chunks(1 << 13)
+            .enumerate()
+            .for_each(|(chunk_index, chunk)| {
+                let base = (chunk_index << 13) as NodeId;
+                for (i, &l) in chunk.iter().enumerate() {
+                    weights[l as usize]
+                        .fetch_add(graph.node_weight(base + i as NodeId), Ordering::Relaxed);
+                }
+            });
+        (0..n)
+            .into_par_iter()
+            .map(|c| weights[c].load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -79,9 +143,14 @@ impl ClusteringState {
     fn new(graph: &impl Graph, max_cluster_weight: NodeWeight) -> Self {
         let n = graph.n();
         let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-        let cluster_weights: Vec<AtomicU64> =
-            (0..n as NodeId).map(|u| AtomicU64::new(graph.node_weight(u))).collect();
-        Self { labels, cluster_weights, max_cluster_weight }
+        let cluster_weights: Vec<AtomicU64> = (0..n as NodeId)
+            .map(|u| AtomicU64::new(graph.node_weight(u)))
+            .collect();
+        Self {
+            labels,
+            cluster_weights,
+            max_cluster_weight,
+        }
     }
 
     #[inline]
@@ -119,8 +188,7 @@ impl ClusteringState {
     }
 
     fn into_clustering(self) -> Clustering {
-        let label: Vec<ClusterId> =
-            self.labels.into_iter().map(|a| a.into_inner()).collect();
+        let label: Vec<ClusterId> = self.labels.into_iter().map(|a| a.into_inner()).collect();
         Clustering::from_labels(label)
     }
 }
@@ -160,37 +228,120 @@ fn select_target(
     }
 }
 
-/// Runs label propagation clustering on `graph` and returns the resulting clustering.
-///
-/// `max_cluster_weight` is the size constraint; `seed` controls the random visit order.
-/// The function must be called from within the partitioner's rayon thread pool (or any
-/// pool); it uses `rayon::current_num_threads()` worker-local state.
+/// Marks a moved vertex and its neighbourhood as active for the next round.
+#[inline]
+fn mark_moved(graph: &impl Graph, frontier: Option<&AtomicBitset>, u: NodeId) {
+    if let Some(bits) = frontier {
+        bits.set(u as usize);
+        graph.for_each_neighbor(u, &mut |v, _| bits.set(v as usize));
+    }
+}
+
+/// Applies the outcome of [`select_target`] for `u`: performs the move (marking the
+/// neighbourhood active) or, when the move lost a race against a concurrent one, keeps
+/// `u` alone in the frontier so the next round retries it.
+#[inline]
+fn apply_selection(
+    graph: &impl Graph,
+    state: &ClusteringState,
+    frontier: Option<&AtomicBitset>,
+    moved: &AtomicUsize,
+    u: NodeId,
+    node_weight: NodeWeight,
+    target: Option<ClusterId>,
+) {
+    if let Some(target) = target {
+        if state.try_move(u, node_weight, target) {
+            moved.fetch_add(1, Ordering::Relaxed);
+            mark_moved(graph, frontier, u);
+        } else if let Some(bits) = frontier {
+            bits.set(u as usize);
+        }
+    }
+}
+
+/// Runs label propagation clustering on `graph` with freshly allocated scratch memory.
+/// Prefer [`cluster_with_scratch`] inside the multilevel pipeline.
 pub fn cluster(
     graph: &impl Graph,
     config: &CoarseningConfig,
     max_cluster_weight: NodeWeight,
     seed: u64,
 ) -> Clustering {
+    let mut scratch = HierarchyScratch::new();
+    cluster_with_scratch(graph, config, max_cluster_weight, seed, &mut scratch)
+}
+
+/// Runs label propagation clustering on `graph` and returns the resulting clustering.
+///
+/// `max_cluster_weight` is the size constraint; `seed` controls the random visit order.
+/// The function must be called from within the partitioner's rayon thread pool (or any
+/// pool); it uses `rayon::current_num_threads()` worker-local state. The visit-order
+/// buffer and the frontier bitsets are reused from `scratch`.
+pub fn cluster_with_scratch(
+    graph: &impl Graph,
+    config: &CoarseningConfig,
+    max_cluster_weight: NodeWeight,
+    seed: u64,
+    scratch: &mut HierarchyScratch,
+) -> Clustering {
     let n = graph.n();
     if n == 0 {
-        return Clustering { label: Vec::new(), num_clusters: 0 };
+        return Clustering {
+            label: Vec::new(),
+            num_clusters: 0,
+        };
     }
     let state = ClusteringState::new(graph, max_cluster_weight);
     let num_threads = rayon::current_num_threads().max(1);
+    scratch.ensure_worklists(n);
+    let use_frontier = config.lp_frontier;
+    let mut order = std::mem::take(&mut scratch.order);
+
+    let mut run_rounds = |run_round: &mut dyn FnMut(&[NodeId], Option<&AtomicBitset>) -> usize,
+                          scratch: &mut HierarchyScratch| {
+        for round in 0..config.lp_rounds {
+            order.clear();
+            if round == 0 || !use_frontier {
+                order.extend(0..n as NodeId);
+            } else {
+                scratch.active.collect_into(n, &mut order);
+                if order.is_empty() {
+                    break;
+                }
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ round as u64);
+            order.shuffle(&mut rng);
+            let frontier = if use_frontier {
+                scratch.next_active.clear_range(n);
+                Some(&scratch.next_active)
+            } else {
+                None
+            };
+            let moved = run_round(&order, frontier);
+            if use_frontier {
+                scratch.swap_active();
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+    };
 
     match config.lp_mode {
         LabelPropagationMode::PerThreadRatingMaps => {
             // Auxiliary memory: one O(n) rating map per thread (the Figure 2 culprit).
-            let maps: Vec<Mutex<SparseRatingMap>> =
-                (0..num_threads).map(|_| Mutex::new(SparseRatingMap::new(n))).collect();
+            let maps: Vec<Mutex<SparseRatingMap>> = (0..num_threads)
+                .map(|_| Mutex::new(SparseRatingMap::new(n)))
+                .collect();
             let aux_bytes: usize = maps.iter().map(|m| m.lock().memory_bytes()).sum();
             let _scope = MemoryScope::charge_global(aux_bytes);
-            for round in 0..config.lp_rounds {
-                let moved = run_round_per_thread_maps(graph, &state, &maps, seed ^ round as u64);
-                if moved == 0 {
-                    break;
-                }
-            }
+            run_rounds(
+                &mut |order, frontier| {
+                    run_round_per_thread_maps(graph, &state, &maps, order, frontier)
+                },
+                scratch,
+            );
         }
         LabelPropagationMode::TwoPhase => {
             // Auxiliary memory: p fixed-capacity hash tables plus one shared O(n) array.
@@ -199,24 +350,17 @@ pub fn cluster(
                 shared.memory_bytes()
                     + num_threads * FixedCapacityHashMap::new(config.bump_threshold).memory_bytes(),
             );
-            for round in 0..config.lp_rounds {
-                let moved = run_round_two_phase(graph, &state, config, &shared, seed ^ round as u64);
-                if moved == 0 {
-                    break;
-                }
-            }
+            run_rounds(
+                &mut |order, frontier| {
+                    run_round_two_phase(graph, &state, config, &shared, order, frontier)
+                },
+                scratch,
+            );
         }
     }
 
+    scratch.order = order;
     state.into_clustering()
-}
-
-/// Random vertex visit order for one round.
-fn visit_order(n: usize, seed: u64) -> Vec<NodeId> {
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
-    order
 }
 
 /// One round of the original algorithm: every thread owns a full sparse rating map.
@@ -224,9 +368,9 @@ fn run_round_per_thread_maps(
     graph: &impl Graph,
     state: &ClusteringState,
     maps: &[Mutex<SparseRatingMap>],
-    seed: u64,
+    order: &[NodeId],
+    frontier: Option<&AtomicBitset>,
 ) -> usize {
-    let order = visit_order(graph.n(), seed);
     let moved = AtomicUsize::new(0);
     order.par_chunks(256).for_each(|chunk| {
         let thread = rayon::current_thread_index().unwrap_or(0) % maps.len();
@@ -238,11 +382,8 @@ fn run_round_per_thread_maps(
                 map.add(state.label(v), w);
             });
             let current = state.label(u);
-            if let Some(target) = select_target(map.iter(), current, node_weight, state) {
-                if state.try_move(u, node_weight, target) {
-                    moved.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            let target = select_target(map.iter(), current, node_weight, state);
+            apply_selection(graph, state, frontier, &moved, u, node_weight, target);
         }
     });
     moved.load(Ordering::Relaxed)
@@ -254,9 +395,9 @@ fn run_round_two_phase(
     state: &ClusteringState,
     config: &CoarseningConfig,
     shared: &AtomicSparseArray,
-    seed: u64,
+    order: &[NodeId],
+    frontier: Option<&AtomicBitset>,
 ) -> usize {
-    let order = visit_order(graph.n(), seed);
     let moved = AtomicUsize::new(0);
     // ---- First phase: small fixed-capacity hash tables, bump on overflow. ----
     let bumped: Vec<NodeId> = order
@@ -278,11 +419,8 @@ fn run_round_two_phase(
                     continue;
                 }
                 let current = state.label(u);
-                if let Some(target) = select_target(map.iter(), current, node_weight, state) {
-                    if state.try_move(u, node_weight, target) {
-                        moved.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+                let target = select_target(map.iter(), current, node_weight, state);
+                apply_selection(graph, state, frontier, &moved, u, node_weight, target);
             }
             bumped
         })
@@ -324,11 +462,7 @@ fn run_round_two_phase(
             state,
         );
         shared.reset(&touched);
-        if let Some(target) = target {
-            if state.try_move(u, node_weight, target) {
-                moved.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        apply_selection(graph, state, frontier, &moved, u, node_weight, target);
     }
     moved.load(Ordering::Relaxed)
 }
@@ -349,7 +483,11 @@ mod tests {
     use graph::gen;
 
     fn run(graph: &impl Graph, mode: LabelPropagationMode, max_weight: NodeWeight) -> Clustering {
-        let config = CoarseningConfig { lp_mode: mode, bump_threshold: 8, ..Default::default() };
+        let config = CoarseningConfig {
+            lp_mode: mode,
+            bump_threshold: 8,
+            ..Default::default()
+        };
         cluster(graph, &config, max_weight, 42)
     }
 
@@ -382,7 +520,10 @@ mod tests {
     #[test]
     fn clusters_shrink_a_grid() {
         let g = gen::grid2d(20, 20);
-        for mode in [LabelPropagationMode::PerThreadRatingMaps, LabelPropagationMode::TwoPhase] {
+        for mode in [
+            LabelPropagationMode::PerThreadRatingMaps,
+            LabelPropagationMode::TwoPhase,
+        ] {
             let clustering = run(&g, mode, 8);
             check_invariants(&g, &clustering, 8);
             assert!(
@@ -400,19 +541,32 @@ mod tests {
         let g = gen::clique_chain(3, 8);
         let clustering = run(&g, LabelPropagationMode::TwoPhase, 8);
         check_invariants(&g, &clustering, 8);
-        assert!(clustering.num_clusters <= 6, "got {} clusters", clustering.num_clusters);
+        assert!(
+            clustering.num_clusters <= 6,
+            "got {} clusters",
+            clustering.num_clusters
+        );
         // Vertices of the same clique should mostly share a label.
         for clique in 0..3 {
-            let labels: std::collections::HashSet<_> =
-                (clique * 8..(clique + 1) * 8).map(|u| clustering.label[u]).collect();
-            assert!(labels.len() <= 2, "clique {} split into {} clusters", clique, labels.len());
+            let labels: std::collections::HashSet<_> = (clique * 8..(clique + 1) * 8)
+                .map(|u| clustering.label[u])
+                .collect();
+            assert!(
+                labels.len() <= 2,
+                "clique {} split into {} clusters",
+                clique,
+                labels.len()
+            );
         }
     }
 
     #[test]
     fn max_cluster_weight_is_respected() {
         let g = gen::complete(32);
-        for mode in [LabelPropagationMode::PerThreadRatingMaps, LabelPropagationMode::TwoPhase] {
+        for mode in [
+            LabelPropagationMode::PerThreadRatingMaps,
+            LabelPropagationMode::TwoPhase,
+        ] {
             let clustering = run(&g, mode, 4);
             check_invariants(&g, &clustering, 4);
             assert!(clustering.num_clusters >= 8);
@@ -453,6 +607,30 @@ mod tests {
     }
 
     #[test]
+    fn frontier_and_full_sweep_agree_on_quality() {
+        let g = gen::rgg2d(1500, 10, 9);
+        let frontier_config = CoarseningConfig {
+            lp_frontier: true,
+            ..Default::default()
+        };
+        let sweep_config = CoarseningConfig {
+            lp_frontier: false,
+            ..Default::default()
+        };
+        let a = cluster(&g, &frontier_config, 16, 3);
+        let b = cluster(&g, &sweep_config, 16, 3);
+        check_invariants(&g, &a, 16);
+        check_invariants(&g, &b, 16);
+        let ratio = a.num_clusters as f64 / b.num_clusters as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "frontier clustering quality diverges: {} vs {} clusters",
+            a.num_clusters,
+            b.num_clusters
+        );
+    }
+
+    #[test]
     fn empty_and_singleton_graphs() {
         let empty = graph::CsrGraphBuilder::new(0).build();
         let c = run(&empty, LabelPropagationMode::TwoPhase, 10);
@@ -474,9 +652,43 @@ mod tests {
     }
 
     #[test]
+    fn from_labels_counts_non_consecutive_labels() {
+        // Labels need not be consecutive; a label's vertex need not carry its own label
+        // (vertex 6 has label 1, yet label 6 names another cluster).
+        let c = Clustering::from_labels(vec![3, 3, 6, 6, 1, 3, 1]);
+        assert_eq!(c.num_clusters, 3);
+        // The marking pass must leave the labels untouched.
+        assert_eq!(c.label, vec![3, 3, 6, 6, 1, 3, 1]);
+
+        let c = Clustering::from_labels(vec![0; 6]);
+        assert_eq!(c.num_clusters, 1);
+
+        let c = Clustering::from_labels(Vec::new());
+        assert_eq!(c.num_clusters, 0);
+    }
+
+    #[test]
+    fn cluster_weights_parallel_and_sequential_agree() {
+        // Large enough to cross the parallel threshold inside cluster_weights.
+        let n = (1 << 15) + 17;
+        let g = gen::path(n);
+        let label: Vec<ClusterId> = (0..n as u32).map(|u| u % 1000).collect();
+        let clustering = Clustering::from_labels(label);
+        let weights = clustering.cluster_weights(&g);
+        let mut expected = vec![0u64; n];
+        for u in 0..n {
+            expected[clustering.label[u] as usize] += 1;
+        }
+        assert_eq!(weights, expected);
+    }
+
+    #[test]
     fn deterministic_for_fixed_seed_single_thread() {
         let g = gen::erdos_renyi(300, 900, 5);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let config = CoarseningConfig::default();
         let a = pool.install(|| cluster(&g, &config, 8, 123));
         let b = pool.install(|| cluster(&g, &config, 8, 123));

@@ -12,8 +12,8 @@ pub mod lp_clustering;
 pub mod rating_map;
 pub mod two_hop;
 
-pub use contract::{contract, ContractionResult};
-pub use lp_clustering::{cluster, Clustering};
+pub use contract::{contract, contract_with_scratch, ContractionResult};
+pub use lp_clustering::{cluster, cluster_with_scratch, Clustering};
 pub use two_hop::two_hop_clustering;
 
 use graph::csr::CsrGraph;
@@ -22,6 +22,7 @@ use graph::{NodeId, NodeWeight};
 use memtrack::{MemoryScope, PhaseTracker};
 
 use crate::context::PartitionerConfig;
+use crate::scratch::HierarchyScratch;
 
 /// One level of the multilevel hierarchy.
 #[derive(Debug)]
@@ -67,14 +68,28 @@ pub fn max_cluster_weight(
     ((total_node_weight as f64 * fraction / denominator).ceil() as NodeWeight).max(1)
 }
 
-/// Runs the full coarsening stage on `graph`.
-///
-/// Phases are reported to `tracker` (clustering and contraction separately per level,
-/// mirroring the breakdown of Figure 2).
+/// Runs the full coarsening stage on `graph` with freshly allocated scratch memory.
+/// Prefer [`coarsen_with_scratch`] when the caller owns an arena for the whole run.
 pub fn coarsen(
     graph: &impl Graph,
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
+) -> Hierarchy {
+    let mut scratch = HierarchyScratch::new();
+    coarsen_with_scratch(graph, config, tracker, &mut scratch)
+}
+
+/// Runs the full coarsening stage on `graph`, reusing the buffers of `scratch` across
+/// every hierarchy level (the first, largest level sizes them; later levels are
+/// allocation-free).
+///
+/// Phases are reported to `tracker` (clustering and contraction separately per level,
+/// mirroring the breakdown of Figure 2).
+pub fn coarsen_with_scratch(
+    graph: &impl Graph,
+    config: &PartitionerConfig,
+    tracker: &PhaseTracker,
+    scratch: &mut HierarchyScratch,
 ) -> Hierarchy {
     let coarsening = &config.coarsening;
     let stop_at = (coarsening.contraction_limit * config.k).max(1);
@@ -101,7 +116,8 @@ pub fn coarsen(
         let seed = config.seed ^ ((level as u64 + 1) << 32);
         let clustering = tracker.run("cluster", level, || match &current {
             None => {
-                let mut c = lp_clustering::cluster(graph, coarsening, limit, seed);
+                let mut c =
+                    lp_clustering::cluster_with_scratch(graph, coarsening, limit, seed, scratch);
                 if coarsening.two_hop_clustering
                     && c.num_clusters as f64 > coarsening.min_shrink_factor * n as f64
                 {
@@ -110,7 +126,8 @@ pub fn coarsen(
                 c
             }
             Some(g) => {
-                let mut c = lp_clustering::cluster(g, coarsening, limit, seed);
+                let mut c =
+                    lp_clustering::cluster_with_scratch(g, coarsening, limit, seed, scratch);
                 if coarsening.two_hop_clustering
                     && c.num_clusters as f64 > coarsening.min_shrink_factor * n as f64
                 {
@@ -124,14 +141,29 @@ pub fn coarsen(
             break;
         }
         let result = tracker.run("contract", level, || match &current {
-            None => contract::contract(graph, &clustering, coarsening.contraction, coarsening.bump_threshold),
-            Some(g) => contract::contract(g, &clustering, coarsening.contraction, coarsening.bump_threshold),
+            None => contract::contract_with_scratch(
+                graph,
+                &clustering,
+                coarsening.contraction,
+                coarsening.bump_threshold,
+                scratch,
+            ),
+            Some(g) => contract::contract_with_scratch(
+                g,
+                &clustering,
+                coarsening.contraction,
+                coarsening.bump_threshold,
+                scratch,
+            ),
         });
         hierarchy
             .charges
             .push(MemoryScope::charge_global(result.coarse.size_in_bytes()));
         current = Some(result.coarse.clone());
-        hierarchy.levels.push(Level { coarse: result.coarse, mapping: result.mapping });
+        hierarchy.levels.push(Level {
+            coarse: result.coarse,
+            mapping: result.mapping,
+        });
         level += 1;
         // Safety valve: the hierarchy can never be deeper than log2(n) levels on sane
         // inputs; stop after a generous bound to guarantee termination.
@@ -139,6 +171,9 @@ pub fn coarsen(
             break;
         }
     }
+    // Contraction was the only user of the over-reserved edge buffers; free them so the
+    // remaining pipeline stages don't carry 2m of physically backed scratch.
+    scratch.release_edges();
     hierarchy
 }
 
@@ -160,7 +195,10 @@ mod tests {
         let config = PartitionerConfig::terapart(4);
         let tracker = PhaseTracker::new();
         let hierarchy = coarsen(&g, &config, &tracker);
-        assert!(hierarchy.depth() >= 1, "expected at least one coarsening level");
+        assert!(
+            hierarchy.depth() >= 1,
+            "expected at least one coarsening level"
+        );
         // Graph sizes strictly decrease along the hierarchy.
         let mut prev_n = g.n();
         for level in &hierarchy.levels {
@@ -208,10 +246,17 @@ mod tests {
     #[test]
     fn kaminpar_and_terapart_configs_both_coarsen() {
         let g = gen::rhg_like(2000, 8, 3.0, 11);
-        for config in [PartitionerConfig::kaminpar(4), PartitionerConfig::terapart(4)] {
+        for config in [
+            PartitionerConfig::kaminpar(4),
+            PartitionerConfig::terapart(4),
+        ] {
             let tracker = PhaseTracker::new();
             let hierarchy = coarsen(&g, &config, &tracker);
-            assert!(hierarchy.depth() >= 1, "no coarsening for {:?}", config.coarsening.lp_mode);
+            assert!(
+                hierarchy.depth() >= 1,
+                "no coarsening for {:?}",
+                config.coarsening.lp_mode
+            );
             let coarsest = hierarchy.coarsest().unwrap();
             assert!(coarsest.n() < g.n());
             assert_eq!(coarsest.total_node_weight(), g.total_node_weight());

@@ -24,12 +24,18 @@ use graph::{EdgeWeight, NodeId};
 /// The capacity is fixed at construction; the map never grows. [`FixedCapacityHashMap::add`]
 /// returns `false` once the number of distinct keys would exceed the configured limit,
 /// signalling that the vertex must be bumped to the second phase.
+///
+/// Occupied slots are tracked in a touched list so that [`FixedCapacityHashMap::clear`]
+/// and [`FixedCapacityHashMap::iter`] cost `O(distinct keys)` instead of `O(capacity)`.
+/// The map is cleared once per visited vertex (label propagation) or cluster
+/// (contraction), so with the paper's large bump thresholds the full-capacity reset of
+/// the original implementation dominated the entire hot loop.
 #[derive(Debug, Clone)]
 pub struct FixedCapacityHashMap {
     keys: Vec<NodeId>,
     values: Vec<EdgeWeight>,
-    /// Number of distinct keys currently stored.
-    len: usize,
+    /// Slots currently occupied, in insertion order (`len()` == `touched.len()`).
+    touched: Vec<u32>,
     /// Maximum number of distinct keys before `add` reports an overflow.
     limit: usize,
     mask: usize,
@@ -46,7 +52,7 @@ impl FixedCapacityHashMap {
         Self {
             keys: vec![EMPTY_KEY; capacity],
             values: vec![0; capacity],
-            len: 0,
+            touched: Vec::with_capacity(limit.max(1)),
             limit: limit.max(1),
             mask: capacity - 1,
         }
@@ -54,18 +60,24 @@ impl FixedCapacityHashMap {
 
     /// Number of distinct keys stored.
     pub fn len(&self) -> usize {
-        self.len
+        self.touched.len()
+    }
+
+    /// The distinct-key limit this map was constructed with.
+    pub fn limit(&self) -> usize {
+        self.limit
     }
 
     /// Returns `true` if no keys are stored.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.touched.is_empty()
     }
 
     /// Number of bytes of heap memory the table occupies (for memory accounting).
     pub fn memory_bytes(&self) -> usize {
         self.keys.len() * std::mem::size_of::<NodeId>()
             + self.values.len() * std::mem::size_of::<EdgeWeight>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
     }
 
     #[inline]
@@ -84,12 +96,12 @@ impl FixedCapacityHashMap {
                 return true;
             }
             if self.keys[slot] == EMPTY_KEY {
-                if self.len >= self.limit {
+                if self.touched.len() >= self.limit {
                     return false;
                 }
                 self.keys[slot] = key;
                 self.values[slot] = weight;
-                self.len += 1;
+                self.touched.push(slot as u32);
                 return true;
             }
             slot = (slot + 1) & self.mask;
@@ -110,13 +122,11 @@ impl FixedCapacityHashMap {
         }
     }
 
-    /// Iterates over all `(key, rating)` entries.
+    /// Iterates over all `(key, rating)` entries in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, EdgeWeight)> + '_ {
-        self.keys
+        self.touched
             .iter()
-            .zip(self.values.iter())
-            .filter(|&(&k, _)| k != EMPTY_KEY)
-            .map(|(&k, &v)| (k, v))
+            .map(|&slot| (self.keys[slot as usize], self.values[slot as usize]))
     }
 
     /// Returns the key with the maximum rating, breaking ties towards the key for which
@@ -138,13 +148,13 @@ impl FixedCapacityHashMap {
         best
     }
 
-    /// Removes all entries, keeping the allocated capacity.
+    /// Removes all entries in `O(distinct keys)`, keeping the allocated capacity.
     pub fn clear(&mut self) {
-        if self.len > 0 {
-            self.keys.fill(EMPTY_KEY);
-            self.values.fill(0);
-            self.len = 0;
+        for &slot in &self.touched {
+            self.keys[slot as usize] = EMPTY_KEY;
+            self.values[slot as usize] = 0;
         }
+        self.touched.clear();
     }
 }
 
@@ -159,7 +169,10 @@ pub struct SparseRatingMap {
 impl SparseRatingMap {
     /// Creates a rating map for cluster IDs in `0..n`.
     pub fn new(n: usize) -> Self {
-        Self { ratings: vec![0; n], touched: Vec::new() }
+        Self {
+            ratings: vec![0; n],
+            touched: Vec::new(),
+        }
     }
 
     /// Number of bytes of heap memory the map occupies (for memory accounting).
@@ -269,7 +282,11 @@ impl AtomicSparseArray {
 
     /// Returns the key with the maximum rating among `keys` (ties broken towards
     /// `prefer`).
-    pub fn argmax(&self, keys: &[NodeId], prefer: impl Fn(NodeId) -> bool) -> Option<(NodeId, EdgeWeight)> {
+    pub fn argmax(
+        &self,
+        keys: &[NodeId],
+        prefer: impl Fn(NodeId) -> bool,
+    ) -> Option<(NodeId, EdgeWeight)> {
         let mut best: Option<(NodeId, EdgeWeight)> = None;
         for &k in keys {
             let v = self.get(k);
@@ -401,7 +418,10 @@ mod tests {
             }));
         }
         let total_first: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        assert_eq!(total_first, 1, "exactly one thread observes the zero-to-nonzero transition");
+        assert_eq!(
+            total_first, 1,
+            "exactly one thread observes the zero-to-nonzero transition"
+        );
         assert_eq!(array.get(2), 4000);
     }
 }

@@ -31,13 +31,13 @@ pub fn two_hop_clustering(
     // itself and the cluster weight equals its own weight.
     let singleton: Vec<bool> = (0..n as NodeId)
         .map(|u| {
-            clustering.label[u as usize] == u
-                && cluster_weights[u as usize] == graph.node_weight(u)
+            clustering.label[u as usize] == u && cluster_weights[u as usize] == graph.node_weight(u)
         })
         .collect();
 
     // favored[c] holds a pending singleton whose strongest neighbouring cluster is `c`.
-    let mut favored: std::collections::HashMap<ClusterId, NodeId> = std::collections::HashMap::new();
+    let mut favored: std::collections::HashMap<ClusterId, NodeId> =
+        std::collections::HashMap::new();
     let mut merged = 0usize;
     let mut merged_weight: Vec<NodeWeight> = cluster_weights.clone();
     for u in 0..n as NodeId {
@@ -138,5 +138,77 @@ mod tests {
         let g = graph::CsrGraphBuilder::new(0).build();
         let mut clustering = Clustering::singletons(0);
         assert_eq!(two_hop_clustering(&g, &mut clustering, 1), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_stay_singletons() {
+        // A path 0-1-2 plus three isolated vertices 3, 4, 5: the isolated vertices have
+        // no neighbouring cluster to favour, so two-hop matching must leave them alone.
+        let mut builder = graph::CsrGraphBuilder::new(6);
+        builder.add_edge(0, 1, 1);
+        builder.add_edge(1, 2, 1);
+        let g = builder.build();
+        let mut clustering = Clustering::singletons(6);
+        two_hop_clustering(&g, &mut clustering, 100);
+        for isolated in 3..6 {
+            assert_eq!(
+                clustering.label[isolated], isolated as ClusterId,
+                "isolated vertex {} was merged",
+                isolated
+            );
+        }
+        let weights = clustering.cluster_weights(&g);
+        assert_eq!(weights.iter().sum::<NodeWeight>(), g.total_node_weight());
+    }
+
+    #[test]
+    fn low_degree_vertices_merge_only_with_same_favored_cluster() {
+        // Two stars whose hubs are connected: 0-(1,2) and 3-(4,5). The leaves of hub 0
+        // favour cluster 0, the leaves of hub 3 favour cluster 3; two-hop matching may
+        // merge leaves within a star but never across the two stars.
+        let mut builder = graph::CsrGraphBuilder::new(6);
+        builder.add_edge(0, 1, 2);
+        builder.add_edge(0, 2, 2);
+        builder.add_edge(3, 4, 2);
+        builder.add_edge(3, 5, 2);
+        builder.add_edge(0, 3, 1);
+        let g = builder.build();
+        let mut clustering = Clustering::singletons(6);
+        let merged = two_hop_clustering(&g, &mut clustering, 2);
+        assert!(
+            merged >= 2,
+            "expected both leaf pairs to merge, got {}",
+            merged
+        );
+        assert_eq!(
+            clustering.label[1], clustering.label[2],
+            "star-0 leaves should merge"
+        );
+        assert_eq!(
+            clustering.label[4], clustering.label[5],
+            "star-3 leaves should merge"
+        );
+        assert_ne!(
+            clustering.label[1], clustering.label[4],
+            "leaves of different stars favour different clusters and must not merge"
+        );
+        let weights = clustering.cluster_weights(&g);
+        assert!(weights.iter().all(|&w| w <= 2));
+    }
+
+    #[test]
+    fn merging_reduces_singletons_enough_for_coarsening_to_progress() {
+        // The coarsening driver invokes two-hop matching exactly when LP leaves too many
+        // singletons; on a star the post-merge cluster count must fall below the shrink
+        // threshold that triggered it.
+        let g = gen::star(1_001);
+        let mut clustering = Clustering::singletons(g.n());
+        two_hop_clustering(&g, &mut clustering, 8);
+        assert!(
+            (clustering.num_clusters as f64) < 0.6 * g.n() as f64,
+            "two-hop left {} of {} clusters",
+            clustering.num_clusters,
+            g.n()
+        );
     }
 }

@@ -80,6 +80,10 @@ pub struct CoarseningConfig {
     /// Maximum cluster weight as a fraction of the average block weight. KaMinPar uses
     /// `ε`-dependent limits; a constant fraction reproduces the behaviour at small scale.
     pub max_cluster_weight_fraction: f64,
+    /// Frontier-driven rounds: after the full first round, only vertices whose
+    /// neighbourhood changed in the previous round are revisited (active-set
+    /// scheduling). Disable to reproduce the original full-sweep rounds.
+    pub lp_frontier: bool,
 }
 
 impl Default for CoarseningConfig {
@@ -93,6 +97,7 @@ impl Default for CoarseningConfig {
             min_shrink_factor: 0.95,
             two_hop_clustering: true,
             max_cluster_weight_fraction: 1.0,
+            lp_frontier: true,
         }
     }
 }
@@ -111,7 +116,11 @@ pub struct InitialPartitioningConfig {
 
 impl Default for InitialPartitioningConfig {
     fn default() -> Self {
-        Self { attempts: 4, fm_passes: 3, seed: 1 }
+        Self {
+            attempts: 4,
+            fm_passes: 3,
+            seed: 1,
+        }
     }
 }
 
@@ -129,6 +138,9 @@ pub struct RefinementConfig {
     /// FM only inspects moves for boundary vertices; this caps the fraction of vertices
     /// processed per pass as a safeguard on degenerate instances.
     pub fm_fraction: f64,
+    /// Frontier-driven LP refinement rounds: after the full first round, only vertices
+    /// whose neighbourhood changed are revisited. Disable for full-sweep rounds.
+    pub lp_frontier: bool,
 }
 
 impl Default for RefinementConfig {
@@ -139,6 +151,7 @@ impl Default for RefinementConfig {
             lp_rounds: 5,
             fm_passes: 2,
             fm_fraction: 1.0,
+            lp_frontier: true,
         }
     }
 }
@@ -165,7 +178,9 @@ pub struct PartitionerConfig {
 }
 
 impl PartitionerConfig {
-    /// The KaMinPar baseline configuration (no TeraPart optimizations).
+    /// The KaMinPar baseline configuration (no TeraPart optimizations). Frontier-driven
+    /// LP rounds are disabled too: the baseline models the original full-sweep
+    /// behaviour, so the experiment ladder isolates each optimization's contribution.
     pub fn kaminpar(k: usize) -> Self {
         Self {
             k,
@@ -176,10 +191,14 @@ impl PartitionerConfig {
             coarsening: CoarseningConfig {
                 lp_mode: LabelPropagationMode::PerThreadRatingMaps,
                 contraction: ContractionAlgorithm::Buffered,
+                lp_frontier: false,
                 ..CoarseningConfig::default()
             },
             initial: InitialPartitioningConfig::default(),
-            refinement: RefinementConfig::default(),
+            refinement: RefinementConfig {
+                lp_frontier: false,
+                ..RefinementConfig::default()
+            },
         }
     }
 
@@ -197,11 +216,14 @@ impl PartitionerConfig {
         config
     }
 
-    /// The full TeraPart configuration: two-phase LP, graph compression and one-pass
-    /// contraction, with label propagation refinement (TeraPart-LP in the paper).
+    /// The full TeraPart configuration: two-phase LP, graph compression, one-pass
+    /// contraction and frontier-driven LP rounds, with label propagation refinement
+    /// (TeraPart-LP in the paper).
     pub fn terapart(k: usize) -> Self {
         let mut config = Self::kaminpar_compressed(k);
         config.coarsening.contraction = ContractionAlgorithm::OnePass;
+        config.coarsening.lp_frontier = true;
+        config.refinement.lp_frontier = true;
         config
     }
 
@@ -242,7 +264,9 @@ impl PartitionerConfig {
 /// Default thread count: all available parallelism, matching the paper's "use all cores
 /// unless stated otherwise".
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -252,23 +276,40 @@ mod tests {
     #[test]
     fn presets_enable_optimizations_incrementally() {
         let base = PartitionerConfig::kaminpar(16);
-        assert_eq!(base.coarsening.lp_mode, LabelPropagationMode::PerThreadRatingMaps);
+        assert_eq!(
+            base.coarsening.lp_mode,
+            LabelPropagationMode::PerThreadRatingMaps
+        );
         assert_eq!(base.coarsening.contraction, ContractionAlgorithm::Buffered);
         assert!(!base.use_compression);
+        assert!(!base.coarsening.lp_frontier && !base.refinement.lp_frontier);
 
         let two_phase = PartitionerConfig::kaminpar_two_phase_lp(16);
         assert_eq!(two_phase.coarsening.lp_mode, LabelPropagationMode::TwoPhase);
-        assert_eq!(two_phase.coarsening.contraction, ContractionAlgorithm::Buffered);
+        assert_eq!(
+            two_phase.coarsening.contraction,
+            ContractionAlgorithm::Buffered
+        );
 
         let compressed = PartitionerConfig::kaminpar_compressed(16);
         assert!(compressed.use_compression);
 
         let terapart = PartitionerConfig::terapart(16);
-        assert_eq!(terapart.coarsening.contraction, ContractionAlgorithm::OnePass);
-        assert_eq!(terapart.refinement.algorithm, RefinementAlgorithm::LabelPropagation);
+        assert_eq!(
+            terapart.coarsening.contraction,
+            ContractionAlgorithm::OnePass
+        );
+        assert!(terapart.coarsening.lp_frontier && terapart.refinement.lp_frontier);
+        assert_eq!(
+            terapart.refinement.algorithm,
+            RefinementAlgorithm::LabelPropagation
+        );
 
         let fm = PartitionerConfig::terapart_fm(16);
-        assert_eq!(fm.refinement.algorithm, RefinementAlgorithm::FmWithLabelPropagation);
+        assert_eq!(
+            fm.refinement.algorithm,
+            RefinementAlgorithm::FmWithLabelPropagation
+        );
         assert_eq!(fm.refinement.gain_table, GainTableKind::Sparse);
     }
 

@@ -34,20 +34,40 @@ pub struct DualCounter {
 impl DualCounter {
     /// Creates a counter with `d = 0` and `s = 0`.
     pub const fn new() -> Self {
-        Self { packed: AtomicU64::new(0) }
+        Self {
+            packed: AtomicU64::new(0),
+        }
     }
 
     /// Atomically adds `edges` to `d` and `vertices` to `s`, returning the values of
     /// `(d, s)` immediately *before* the transaction — the `d_prev`/`s_prev` of the
     /// paper, which give the first edge position and first coarse vertex ID of the batch.
     pub fn fetch_add(&self, edges: u64, vertices: u64) -> (u64, u64) {
-        assert!(edges < MAX_EDGES, "edge increment {} exceeds packing limit", edges);
-        assert!(vertices < MAX_VERTICES, "vertex increment {} exceeds packing limit", vertices);
+        assert!(
+            edges < MAX_EDGES,
+            "edge increment {} exceeds packing limit",
+            edges
+        );
+        assert!(
+            vertices < MAX_VERTICES,
+            "vertex increment {} exceeds packing limit",
+            vertices
+        );
         let mut current = self.packed.load(Ordering::Relaxed);
         loop {
             let (d, s) = Self::unpack(current);
-            assert!(d + edges < MAX_EDGES, "edge counter overflow: {} + {}", d, edges);
-            assert!(s + vertices < MAX_VERTICES, "vertex counter overflow: {} + {}", s, vertices);
+            assert!(
+                d + edges < MAX_EDGES,
+                "edge counter overflow: {} + {}",
+                d,
+                edges
+            );
+            assert!(
+                s + vertices < MAX_VERTICES,
+                "vertex counter overflow: {} + {}",
+                s,
+                vertices
+            );
             let next = Self::pack(d + edges, s + vertices);
             match self.packed.compare_exchange_weak(
                 current,
@@ -89,7 +109,13 @@ mod tests {
 
     #[test]
     fn pack_unpack_round_trip() {
-        for &(d, s) in &[(0u64, 0u64), (1, 1), (MAX_EDGES - 1, 0), (0, MAX_VERTICES - 1), (123_456_789, 54_321)] {
+        for &(d, s) in &[
+            (0u64, 0u64),
+            (1, 1),
+            (MAX_EDGES - 1, 0),
+            (0, MAX_VERTICES - 1),
+            (123_456_789, 54_321),
+        ] {
             assert_eq!(DualCounter::unpack(DualCounter::pack(d, s)), (d, s));
         }
     }

@@ -95,7 +95,11 @@ pub fn greedy_graph_growing(
 
     let side: Vec<bool> = in_block0.iter().map(|&b| !b).collect();
     let total = graph.total_node_weight();
-    Bipartition { side, weight0, weight1: total - weight0 }
+    Bipartition {
+        side,
+        weight0,
+        weight1: total - weight0,
+    }
 }
 
 /// One pass of 2-way FM refinement with rollback to the best observed prefix.
@@ -244,7 +248,11 @@ mod tests {
         // Start from an interleaved (bad) assignment.
         let side: Vec<bool> = (0..16).map(|u| u % 2 == 0).collect();
         let weight1 = side.iter().filter(|&&s| s).count() as NodeWeight;
-        let mut b = Bipartition { side, weight0: 16 - weight1, weight1 };
+        let mut b = Bipartition {
+            side,
+            weight0: 16 - weight1,
+            weight1,
+        };
         let initial_cut = b.cut(&g);
         let mut improved = 0;
         for _ in 0..5 {
@@ -256,7 +264,11 @@ mod tests {
         }
         let final_cut = b.cut(&g);
         assert_eq!(initial_cut - improved, final_cut);
-        assert_eq!(final_cut, 1, "FM should find the single-bridge cut, got {}", final_cut);
+        assert_eq!(
+            final_cut, 1,
+            "FM should find the single-bridge cut, got {}",
+            final_cut
+        );
         assert!(b.weight0 <= 9 && b.weight1 <= 9);
     }
 
@@ -264,7 +276,11 @@ mod tests {
     fn fm_respects_balance_constraint() {
         let g = gen::complete(10);
         let side: Vec<bool> = (0..10).map(|u| u >= 5).collect();
-        let mut b = Bipartition { side, weight0: 5, weight1: 5 };
+        let mut b = Bipartition {
+            side,
+            weight0: 5,
+            weight1: 5,
+        };
         fm_bipartition_pass(&g, &mut b, [6, 6]);
         assert!(b.weight0 <= 6 && b.weight1 <= 6);
         assert_eq!(b.weight0 + b.weight1, 10);

@@ -30,7 +30,16 @@ pub fn initial_partition(
     let mut assignment: Vec<BlockId> = vec![0; n];
     if k > 1 && n > 0 {
         let vertices: Vec<NodeId> = (0..n as NodeId).collect();
-        recurse(graph, &vertices, 0, k, epsilon, config, seed, &mut assignment);
+        recurse(
+            graph,
+            &vertices,
+            0,
+            k,
+            epsilon,
+            config,
+            seed,
+            &mut assignment,
+        );
     }
     let mut partition = Partition::from_assignment(graph, k, epsilon, assignment);
     let cut = partition.edge_cut_on(graph);
@@ -79,8 +88,26 @@ fn recurse(
             left.push(orig);
         }
     }
-    recurse(graph, &left, first_block, k0, epsilon, config, seed.wrapping_mul(31).wrapping_add(1), assignment);
-    recurse(graph, &right, first_block + k0, k1, epsilon, config, seed.wrapping_mul(31).wrapping_add(2), assignment);
+    recurse(
+        graph,
+        &left,
+        first_block,
+        k0,
+        epsilon,
+        config,
+        seed.wrapping_mul(31).wrapping_add(1),
+        assignment,
+    );
+    recurse(
+        graph,
+        &right,
+        first_block + k0,
+        k1,
+        epsilon,
+        config,
+        seed.wrapping_mul(31).wrapping_add(2),
+        assignment,
+    );
 }
 
 /// Runs the bisection portfolio and returns the best balanced result (or, failing that,
@@ -183,7 +210,17 @@ mod tests {
     fn clique_chain_is_cut_at_the_bridges() {
         // Four cliques of 8 vertices, k = 4: the ideal partition cuts the 3 bridges.
         let g = gen::clique_chain(4, 8);
-        let p = initial_partition(&g, 4, 0.10, &InitialPartitioningConfig { attempts: 8, fm_passes: 4, seed: 1 }, 5);
+        let p = initial_partition(
+            &g,
+            4,
+            0.10,
+            &InitialPartitioningConfig {
+                attempts: 8,
+                fm_passes: 4,
+                seed: 1,
+            },
+            5,
+        );
         let cut = p.edge_cut_on(&g);
         assert!(cut <= 12, "cut {} far from the optimum of 3", cut);
         assert!(p.imbalance() < 0.2);
@@ -196,7 +233,12 @@ mod tests {
         assert!(p.is_complete());
         let max = p.block_weights().iter().max().copied().unwrap();
         let avg = g.total_node_weight() / 4;
-        assert!(max as f64 <= 1.5 * avg as f64, "max block {} vs avg {}", max, avg);
+        assert!(
+            max as f64 <= 1.5 * avg as f64,
+            "max block {} vs avg {}",
+            max,
+            avg
+        );
     }
 
     #[test]

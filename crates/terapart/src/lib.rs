@@ -39,13 +39,17 @@ pub mod initial;
 pub mod partition;
 pub mod partitioner;
 pub mod refinement;
+pub mod scratch;
 
 pub use context::{
     CoarseningConfig, ContractionAlgorithm, GainTableKind, InitialPartitioningConfig,
     LabelPropagationMode, PartitionerConfig, RefinementAlgorithm, RefinementConfig,
 };
 pub use partition::{BlockId, Partition};
-pub use partitioner::{partition, partition_csr, partition_csr_with_tracker, partition_with_tracker, PartitionResult};
+pub use partitioner::{
+    partition, partition_csr, partition_csr_with_tracker, partition_with_tracker, PartitionResult,
+};
+pub use scratch::{AtomicBitset, HierarchyScratch};
 
 /// Identifier of a cluster during coarsening (clusters become coarse vertices).
 pub type ClusterId = graph::NodeId;

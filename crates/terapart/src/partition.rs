@@ -125,7 +125,10 @@ impl Partition {
 
     /// Assigns vertex `u` (previously unassigned) to block `b`.
     pub fn assign(&mut self, u: NodeId, b: BlockId, node_weight: NodeWeight) {
-        debug_assert_eq!(self.assignment[u as usize], INVALID_BLOCK, "vertex already assigned");
+        debug_assert_eq!(
+            self.assignment[u as usize], INVALID_BLOCK,
+            "vertex already assigned"
+        );
         debug_assert!((b as usize) < self.k);
         self.assignment[u as usize] = b;
         self.block_weights[b as usize] += node_weight;
@@ -169,7 +172,9 @@ impl Partition {
 
     /// Returns `true` if every block respects the balance constraint.
     pub fn is_balanced(&self) -> bool {
-        self.block_weights.iter().all(|&w| w <= self.max_block_weight)
+        self.block_weights
+            .iter()
+            .all(|&w| w <= self.max_block_weight)
     }
 
     /// Returns the heaviest block and its weight.

@@ -17,7 +17,8 @@ use crate::coarsening::{self, Hierarchy};
 use crate::context::PartitionerConfig;
 use crate::initial::initial_partition;
 use crate::partition::Partition;
-use crate::refinement::{refine, RefinementStats};
+use crate::refinement::{refine_with_scratch, RefinementStats};
+use crate::scratch::HierarchyScratch;
 
 /// The outcome of a partitioning run, with the quality/time/memory numbers the paper's
 /// experiments report.
@@ -46,7 +47,9 @@ pub struct PartitionResult {
 /// step took place.
 fn to_csr(graph: &impl Graph) -> CsrGraph {
     let mut builder = if graph.is_node_weighted() {
-        let weights = (0..graph.n() as NodeId).map(|u| graph.node_weight(u)).collect();
+        let weights = (0..graph.n() as NodeId)
+            .map(|u| graph.node_weight(u))
+            .collect();
         CsrGraphBuilder::with_node_weights(weights)
     } else {
         CsrGraphBuilder::new(graph.n())
@@ -77,8 +80,13 @@ pub fn partition_with_tracker(
         .expect("failed to build the partitioning thread pool");
 
     let (partition, hierarchy_depth, refinement) = pool.install(|| {
+        // One scratch arena serves the whole run: the input level sizes it, every
+        // later coarsening level and every refinement level reuses it.
+        let mut scratch = HierarchyScratch::new();
+
         // ---- Coarsening ----
-        let hierarchy: Hierarchy = coarsening::coarsen(graph, config, tracker);
+        let hierarchy: Hierarchy =
+            coarsening::coarsen_with_scratch(graph, config, tracker, &mut scratch);
         let depth = hierarchy.depth();
 
         // ---- Initial partitioning on the coarsest graph ----
@@ -91,7 +99,13 @@ pub fn partition_with_tracker(
             }
         };
         let mut current = tracker.run("initial_partition", depth, || {
-            initial_partition(coarsest, config.k, config.epsilon, &config.initial, config.seed)
+            initial_partition(
+                coarsest,
+                config.k,
+                config.epsilon,
+                &config.initial,
+                config.seed,
+            )
         });
 
         // ---- Uncoarsening: refine, then project to the next finer level ----
@@ -106,15 +120,21 @@ pub fn partition_with_tracker(
         if depth > 0 {
             // Refine on the coarsest graph first.
             let stats = tracker.run("refine", depth, || {
-                refine(coarsest, &mut current, &config.refinement, config.seed ^ 0xC0A53)
+                refine_with_scratch(
+                    coarsest,
+                    &mut current,
+                    &config.refinement,
+                    config.seed ^ 0xC0A53,
+                    &mut scratch,
+                )
             });
             accumulate(stats, &mut total_refinement);
             // Walk the hierarchy back up: project from level i+1 onto level i's graph.
             for i in (0..depth).rev() {
-                let (finer_is_input, level_graph) = if i == 0 {
-                    (true, None)
+                let level_graph = if i == 0 {
+                    None
                 } else {
-                    (false, Some(&hierarchy.levels[i - 1].coarse))
+                    Some(&hierarchy.levels[i - 1].coarse)
                 };
                 let mapping = &hierarchy.levels[i].mapping;
                 current = tracker.run("uncoarsen", i, || match level_graph {
@@ -122,20 +142,33 @@ pub fn partition_with_tracker(
                     None => current.project(graph, mapping),
                 });
                 let stats = tracker.run("refine", i, || match level_graph {
-                    Some(g) => {
-                        refine(g, &mut current, &config.refinement, config.seed ^ (i as u64))
-                    }
-                    None => {
-                        refine(graph, &mut current, &config.refinement, config.seed ^ (i as u64))
-                    }
+                    Some(g) => refine_with_scratch(
+                        g,
+                        &mut current,
+                        &config.refinement,
+                        config.seed ^ (i as u64),
+                        &mut scratch,
+                    ),
+                    None => refine_with_scratch(
+                        graph,
+                        &mut current,
+                        &config.refinement,
+                        config.seed ^ (i as u64),
+                        &mut scratch,
+                    ),
                 });
                 accumulate(stats, &mut total_refinement);
-                let _ = finer_is_input;
             }
         } else {
             // No coarsening took place: refine directly on the input graph.
             let stats = tracker.run("refine", 0, || {
-                refine(graph, &mut current, &config.refinement, config.seed ^ 0xC0A53)
+                refine_with_scratch(
+                    graph,
+                    &mut current,
+                    &config.refinement,
+                    config.seed ^ 0xC0A53,
+                    &mut scratch,
+                )
             });
             accumulate(stats, &mut total_refinement);
         }
@@ -281,14 +314,22 @@ mod tests {
     #[test]
     fn compressed_and_uncompressed_inputs_give_similar_quality() {
         let g = gen::weblike(11, 8, 3);
-        let base = PartitionerConfig::kaminpar_two_phase_lp(4).with_threads(2).with_seed(5);
-        let compressed_config = PartitionerConfig::kaminpar_compressed(4).with_threads(2).with_seed(5);
+        let base = PartitionerConfig::kaminpar_two_phase_lp(4)
+            .with_threads(2)
+            .with_seed(5);
+        let compressed_config = PartitionerConfig::kaminpar_compressed(4)
+            .with_threads(2)
+            .with_seed(5);
         let a = partition_csr(&g, &base);
         let b = partition_csr(&g, &compressed_config);
         check_result(&g, &a, 4);
         check_result(&g, &b, 4);
         let ratio = a.edge_cut.max(1) as f64 / b.edge_cut.max(1) as f64;
-        assert!((0.7..1.4).contains(&ratio), "cut ratio {} too far from 1", ratio);
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "cut ratio {} too far from 1",
+            ratio
+        );
     }
 
     #[test]
@@ -297,7 +338,10 @@ mod tests {
         let config = PartitionerConfig::terapart(16).with_threads(1);
         let result = partition(&g, &config);
         check_result(&g, &result, 16);
-        assert_eq!(result.hierarchy_depth, 0, "64 vertices should not be coarsened for k=16");
+        assert_eq!(
+            result.hierarchy_depth, 0,
+            "64 vertices should not be coarsened for k=16"
+        );
     }
 
     #[test]
@@ -325,10 +369,24 @@ mod tests {
         let config = PartitionerConfig::terapart(4).with_threads(2);
         let result = partition_csr_with_tracker(&g, &config, &tracker);
         check_result(&g, &result, 4);
-        let names: std::collections::HashSet<String> =
-            result.phase_reports.iter().map(|r| r.name.clone()).collect();
-        for expected in ["compress_input", "cluster", "contract", "initial_partition", "refine"] {
-            assert!(names.contains(expected), "missing phase {} in {:?}", expected, names);
+        let names: std::collections::HashSet<String> = result
+            .phase_reports
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        for expected in [
+            "compress_input",
+            "cluster",
+            "contract",
+            "initial_partition",
+            "refine",
+        ] {
+            assert!(
+                names.contains(expected),
+                "missing phase {} in {:?}",
+                expected,
+                names
+            );
         }
         assert!(result.peak_memory_bytes > 0);
     }

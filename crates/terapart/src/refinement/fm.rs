@@ -46,7 +46,11 @@ pub fn fm_refine(
 ) -> FmStats {
     let n = graph.n();
     if n == 0 || partition.k() <= 1 {
-        return FmStats { moves: 0, gain_table_bytes: 0, passes: 0 };
+        return FmStats {
+            moves: 0,
+            gain_table_bytes: 0,
+            passes: 0,
+        };
     }
     let epsilon = partition.epsilon();
     let k = partition.k();
@@ -133,17 +137,16 @@ pub fn fm_refine(
     *partition = state.into_partition(graph, epsilon);
     let cut = partition.edge_cut_on(graph);
     partition.set_cached_cut(cut);
-    FmStats { moves: total_moves, gain_table_bytes, passes }
+    FmStats {
+        moves: total_moves,
+        gain_table_bytes,
+        passes,
+    }
 }
 
 /// Recomputes the edge cut improvement achievable by a single vertex move; used by tests
 /// to validate the gain definition.
-pub fn move_gain(
-    graph: &impl Graph,
-    partition: &Partition,
-    u: NodeId,
-    to: BlockId,
-) -> i64 {
+pub fn move_gain(graph: &impl Graph, partition: &Partition, u: NodeId, to: BlockId) -> i64 {
     let from = partition.block(u);
     let mut to_affinity: EdgeWeight = 0;
     let mut from_affinity: EdgeWeight = 0;
@@ -175,7 +178,11 @@ mod tests {
     #[test]
     fn fm_improves_cut_with_every_gain_table_kind() {
         let g = gen::grid2d(16, 16);
-        for kind in [GainTableKind::None, GainTableKind::Dense, GainTableKind::Sparse] {
+        for kind in [
+            GainTableKind::None,
+            GainTableKind::Dense,
+            GainTableKind::Sparse,
+        ] {
             let mut p = scrambled_partition(&g, 4, 0.25);
             let before = p.edge_cut_on(&g);
             let stats = fm_refine(&g, &mut p, kind, 8, 1.0);
@@ -190,14 +197,22 @@ mod tests {
     fn all_gain_tables_reach_similar_quality() {
         let g = gen::rgg2d(800, 10, 5);
         let mut cuts = Vec::new();
-        for kind in [GainTableKind::None, GainTableKind::Dense, GainTableKind::Sparse] {
+        for kind in [
+            GainTableKind::None,
+            GainTableKind::Dense,
+            GainTableKind::Sparse,
+        ] {
             let mut p = scrambled_partition(&g, 8, 0.25);
             fm_refine(&g, &mut p, kind, 6, 1.0);
             cuts.push(p.edge_cut_on(&g) as f64);
         }
         let min = cuts.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = cuts.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min < 1.3, "gain table kinds diverge in quality: {:?}", cuts);
+        assert!(
+            max / min < 1.3,
+            "gain table kinds diverge in quality: {:?}",
+            cuts
+        );
     }
 
     #[test]
@@ -205,7 +220,11 @@ mod tests {
         let g = gen::grid2d(24, 24);
         let k = 64;
         let mut sizes = std::collections::HashMap::new();
-        for kind in [GainTableKind::None, GainTableKind::Dense, GainTableKind::Sparse] {
+        for kind in [
+            GainTableKind::None,
+            GainTableKind::Dense,
+            GainTableKind::Sparse,
+        ] {
             let mut p = scrambled_partition(&g, k, 0.5);
             let stats = fm_refine(&g, &mut p, kind, 1, 1.0);
             sizes.insert(format!("{:?}", kind), stats.gain_table_bytes);

@@ -166,7 +166,11 @@ const EMPTY_BLOCK: BlockId = BlockId::MAX;
 impl SmallAffinityMap {
     fn new(capacity: usize) -> Self {
         let capacity = capacity.next_power_of_two().max(4);
-        Self { keys: vec![EMPTY_BLOCK; capacity], values: vec![0; capacity], len: 0 }
+        Self {
+            keys: vec![EMPTY_BLOCK; capacity],
+            values: vec![0; capacity],
+            len: 0,
+        }
     }
 
     fn mask(&self) -> usize {
@@ -276,7 +280,9 @@ impl SparseGainTable {
                 rows.push(SparseRow::Dense(row));
             } else {
                 // Capacity Θ(deg(v)): the vertex can be adjacent to at most deg(v) blocks.
-                rows.push(SparseRow::Small(Mutex::new(SmallAffinityMap::new(2 * degree.max(1)))));
+                rows.push(SparseRow::Small(Mutex::new(SmallAffinityMap::new(
+                    2 * degree.max(1),
+                ))));
             }
         }
         let table = Self { rows, k };
@@ -381,7 +387,11 @@ mod tests {
         let k = 4;
         let assignment: Vec<BlockId> = (0..g.n() as u32).map(|u| u % k as u32).collect();
         let atomics = atomic_assignment(&assignment);
-        for kind in [GainTableKind::None, GainTableKind::Dense, GainTableKind::Sparse] {
+        for kind in [
+            GainTableKind::None,
+            GainTableKind::Dense,
+            GainTableKind::Sparse,
+        ] {
             let cache = GainCache::new(kind, &g, &atomics, k);
             check_all_affinities(&g, &atomics, &cache, k);
         }
@@ -426,7 +436,10 @@ mod tests {
             sparse.memory_bytes(),
             dense.memory_bytes()
         );
-        assert_eq!(GainCache::new(GainTableKind::None, &g, &atomics, k).memory_bytes(), 0);
+        assert_eq!(
+            GainCache::new(GainTableKind::None, &g, &atomics, k).memory_bytes(),
+            0
+        );
     }
 
     #[test]

@@ -6,17 +6,34 @@
 //! strictly improves the connection weight and the target block stays within the balance
 //! constraint. Its auxiliary memory is proportional to `k` (per-thread block-rating
 //! maps), which the paper notes is negligible compared to the clustering stage.
+//!
+//! Rounds after the first are frontier-driven: a vertex is revisited if it was adjacent
+//! to a move of the previous round (its affinities changed), if its move lost a race, or
+//! if its balance-blocked move became feasible — feasibility depends on global block
+//! weights, so a vertex whose best improving block was full is kept as a waiter (with
+//! its weight and target) across rounds and reactivated in whichever round the move
+//! first fits again. On a converging instance the active set shrinks every round and
+//! the refinement cost drops from `O(rounds · m)` to `O(m + moved-region work)`.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use graph::traits::Graph;
 use graph::{NodeId, NodeWeight};
+use memtrack::MemoryScope;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 use crate::coarsening::rating_map::FixedCapacityHashMap;
 use crate::partition::{BlockId, Partition};
+use crate::scratch::{AtomicBitset, HierarchyScratch};
+
+thread_local! {
+    /// Reusable per-worker block-rating map: sized once per (k, max-degree) regime and
+    /// reused across chunks, rounds and levels instead of being allocated per chunk.
+    static RATINGS: RefCell<Option<FixedCapacityHashMap>> = const { RefCell::new(None) };
+}
 
 /// Shared atomic view of a partition used by the parallel refinement algorithms.
 pub(crate) struct AtomicPartition {
@@ -29,8 +46,16 @@ pub(crate) struct AtomicPartition {
 impl AtomicPartition {
     pub fn from_partition(partition: &Partition) -> Self {
         Self {
-            assignment: partition.assignment().iter().map(|&b| AtomicU32::new(b)).collect(),
-            block_weights: partition.block_weights().iter().map(|&w| AtomicU64::new(w)).collect(),
+            assignment: partition
+                .assignment()
+                .iter()
+                .map(|&b| AtomicU32::new(b))
+                .collect(),
+            block_weights: partition
+                .block_weights()
+                .iter()
+                .map(|&w| AtomicU64::new(w))
+                .collect(),
             max_block_weight: partition.max_block_weight(),
             k: partition.k(),
         }
@@ -70,37 +95,150 @@ impl AtomicPartition {
 
     /// Writes the atomic state back into a `Partition`.
     pub fn into_partition(self, graph: &impl Graph, epsilon: f64) -> Partition {
-        let assignment: Vec<BlockId> =
-            self.assignment.into_iter().map(|a| a.into_inner()).collect();
+        let assignment: Vec<BlockId> = self
+            .assignment
+            .into_iter()
+            .map(|a| a.into_inner())
+            .collect();
         Partition::from_assignment(graph, self.k, epsilon, assignment)
     }
 }
 
-/// Runs `rounds` rounds of size-constrained label propagation refinement on `partition`.
+/// Statistics of one label propagation refinement invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LpRefineStats {
+    /// Total vertex moves performed.
+    pub moves: usize,
+    /// Rounds actually executed (may be fewer than requested on convergence).
+    pub rounds: usize,
+    /// Number of vertices visited in each executed round. With the frontier enabled,
+    /// entry 0 is the full vertex count and later entries are the active-set sizes.
+    pub visited_per_round: Vec<usize>,
+}
+
+/// Runs `rounds` rounds of size-constrained label propagation refinement on `partition`
+/// with freshly allocated scratch memory and the classic full-sweep rounds. Returns the
+/// number of vertex moves performed.
 ///
-/// Returns the number of vertex moves performed.
-pub fn lp_refine(
+/// This wrapper keeps the original algorithm's semantics — the single-level baselines
+/// model sweep-based systems through it. The multilevel pipeline opts into
+/// frontier-driven rounds via `RefinementConfig::lp_frontier` and
+/// [`lp_refine_with_scratch`].
+pub fn lp_refine(graph: &impl Graph, partition: &mut Partition, rounds: usize, seed: u64) -> usize {
+    let mut scratch = HierarchyScratch::new();
+    lp_refine_with_scratch(graph, partition, rounds, seed, false, &mut scratch).moves
+}
+
+/// Runs label propagation refinement, reusing the visit-order buffer and frontier
+/// bitsets of `scratch`. With `use_frontier`, rounds after the first visit only the
+/// vertices whose neighbourhood changed in the previous round; otherwise every round
+/// sweeps all vertices (the original behaviour).
+pub fn lp_refine_with_scratch(
     graph: &impl Graph,
     partition: &mut Partition,
     rounds: usize,
     seed: u64,
-) -> usize {
+    use_frontier: bool,
+    scratch: &mut HierarchyScratch,
+) -> LpRefineStats {
     let n = graph.n();
+    let mut stats = LpRefineStats::default();
     if n == 0 || partition.k() <= 1 {
-        return 0;
+        return stats;
     }
     let epsilon = partition.epsilon();
     let state = AtomicPartition::from_partition(partition);
     let k = state.k;
-    let mut total_moves = 0usize;
+    scratch.ensure_worklists(n);
+    let mut order = std::mem::take(&mut scratch.order);
+    // Account the per-worker rating maps (one per thread, reused via RATINGS) for the
+    // duration of the refinement, mirroring the clustering stage's accounting.
+    let table_limit = k.min(1 + graph.max_degree());
+    let _ratings_scope = MemoryScope::charge_global(
+        rayon::current_num_threads().max(1) * FixedCapacityHashMap::new(table_limit).memory_bytes(),
+    );
 
+    // Vertices whose best improving move was rejected by the balance constraint,
+    // carried across rounds: `(vertex, blocked target block, vertex weight)`.
+    let mut waiters: Vec<(NodeId, BlockId, NodeWeight)> = Vec::new();
     for round in 0..rounds {
-        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.clear();
+        if round == 0 || !use_frontier {
+            order.extend(0..n as NodeId);
+        } else {
+            scratch.active.collect_into(n, &mut order);
+            if order.is_empty() && waiters.is_empty() {
+                break;
+            }
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (round as u64) << 17);
         order.shuffle(&mut rng);
-        let moves = AtomicUsize::new(0);
-        order.par_chunks(256).for_each(|chunk| {
-            let mut ratings = FixedCapacityHashMap::new(k.min(1 + graph.max_degree()));
+        let frontier = if use_frontier {
+            scratch.next_active.clear_range(n);
+            Some(&scratch.next_active)
+        } else {
+            None
+        };
+        let (round_moves, mut newly_blocked) = run_round(graph, &state, k, &order, frontier);
+        // Feasibility depends on global block weights, not the neighbourhood: a waiter
+        // is reactivated in whichever round its recorded move first fits again (and
+        // then leaves the list — if still unlucky, the revisit re-registers it).
+        if let Some(bits) = frontier {
+            waiters.append(&mut newly_blocked);
+            waiters.retain(|&(u, block, weight)| {
+                let fits = state.block_weights[block as usize].load(Ordering::Relaxed) + weight
+                    <= state.max_block_weight;
+                if fits {
+                    bits.set(u as usize);
+                }
+                !fits
+            });
+        }
+        stats.rounds += 1;
+        stats.visited_per_round.push(order.len());
+        stats.moves += round_moves;
+        if use_frontier {
+            scratch.swap_active();
+        }
+        // Stop on a move-free round — unless a reactivated waiter is queued for the
+        // next round (frontier mode only; the sweep keeps the original criterion).
+        if round_moves == 0 && (!use_frontier || scratch.active.count(n) == 0) {
+            break;
+        }
+    }
+
+    scratch.order = order;
+    *partition = state.into_partition(graph, epsilon);
+    let cut = partition.edge_cut_on(graph);
+    partition.set_cached_cut(cut);
+    stats
+}
+
+/// One parallel round over `order`; returns the number of moves and, when the frontier
+/// is active, the balance-blocked waiters: `(vertex, blocked target block, weight)` of
+/// every vertex whose improving move was rejected only because the target block was
+/// full. Only the highest-affinity blocked block is recorded per vertex — tracking all
+/// of them would grow the list without changing behaviour materially, since a revisit
+/// recomputes the full candidate set anyway.
+fn run_round(
+    graph: &impl Graph,
+    state: &AtomicPartition,
+    k: usize,
+    order: &[NodeId],
+    frontier: Option<&AtomicBitset>,
+) -> (usize, Vec<(NodeId, BlockId, NodeWeight)>) {
+    let moves = AtomicUsize::new(0);
+    let table_limit = k.min(1 + graph.max_degree());
+    let waiters: Vec<(NodeId, BlockId, NodeWeight)> = order
+        .par_chunks(256)
+        .map(|chunk| {
+            // Reuse the worker's rating map across chunks (and across calls).
+            let mut ratings = RATINGS
+                .with(|cell| cell.borrow_mut().take())
+                .filter(|table| table.limit() == table_limit)
+                .unwrap_or_else(|| FixedCapacityHashMap::new(table_limit));
+            ratings.clear();
+            let mut blocked = Vec::new();
             for &u in chunk {
                 let current = state.block(u);
                 ratings.clear();
@@ -118,6 +256,7 @@ pub fn lp_refine(
                 // Choose the feasible block with the highest affinity; move only on a
                 // strict improvement to avoid oscillation.
                 let mut best: Option<(BlockId, u64)> = None;
+                let mut blocked_best: Option<(BlockId, u64)> = None;
                 for (block, affinity) in ratings.iter() {
                     if block == current || affinity <= current_affinity {
                         continue;
@@ -125,33 +264,51 @@ pub fn lp_refine(
                     let feasible = state.block_weights[block as usize].load(Ordering::Relaxed)
                         + node_weight
                         <= state.max_block_weight;
-                    if !feasible {
-                        continue;
-                    }
-                    best = match best {
+                    let slot = if feasible {
+                        &mut best
+                    } else {
+                        &mut blocked_best
+                    };
+                    *slot = match *slot {
                         None => Some((block, affinity)),
                         Some((_, bw)) if affinity > bw => Some((block, affinity)),
                         other => other,
                     };
                 }
-                if let Some((target, _)) = best {
-                    if state.try_move(u, node_weight, target) {
-                        moves.fetch_add(1, Ordering::Relaxed);
+                match best {
+                    Some((target, _)) => {
+                        if state.try_move(u, node_weight, target) {
+                            moves.fetch_add(1, Ordering::Relaxed);
+                            if let Some(bits) = frontier {
+                                bits.set(u as usize);
+                                graph.for_each_neighbor(u, &mut |v, _| bits.set(v as usize));
+                            }
+                        } else if let Some(bits) = frontier {
+                            // The move raced against a concurrent one filling the
+                            // target: keep u active so the next round retries it.
+                            bits.set(u as usize);
+                        }
+                    }
+                    None => {
+                        // An improving move may exist behind the balance constraint;
+                        // record the waiter so the caller reactivates u if that block
+                        // frees capacity (feasibility is global, not neighbourhood-local).
+                        if frontier.is_some() {
+                            if let Some((block, _)) = blocked_best {
+                                blocked.push((u, block, node_weight));
+                            }
+                        }
                     }
                 }
             }
+            RATINGS.with(|cell| *cell.borrow_mut() = Some(ratings));
+            blocked
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
         });
-        let round_moves = moves.load(Ordering::Relaxed);
-        total_moves += round_moves;
-        if round_moves == 0 {
-            break;
-        }
-    }
-
-    *partition = state.into_partition(graph, epsilon);
-    let cut = partition.edge_cut_on(graph);
-    partition.set_cached_cut(cut);
-    total_moves
+    (moves.load(Ordering::Relaxed), waiters)
 }
 
 #[cfg(test)]
@@ -163,14 +320,20 @@ mod tests {
     fn refinement_never_worsens_the_cut() {
         let g = gen::grid2d(16, 16);
         // A poor (pseudo-random but balanced) initial partition.
-        let assignment: Vec<BlockId> =
-            (0..g.n() as u32).map(|u| (u.wrapping_mul(2_654_435_761) >> 8) % 4).collect();
+        let assignment: Vec<BlockId> = (0..g.n() as u32)
+            .map(|u| (u.wrapping_mul(2_654_435_761) >> 8) % 4)
+            .collect();
         let mut p = Partition::from_assignment(&g, 4, 0.1, assignment);
         let before = p.edge_cut_on(&g);
         let moves = lp_refine(&g, &mut p, 5, 1);
         let after = p.edge_cut_on(&g);
         assert!(moves > 0, "expected some improving moves");
-        assert!(after < before, "cut did not improve: {} -> {}", before, after);
+        assert!(
+            after < before,
+            "cut did not improve: {} -> {}",
+            before,
+            after
+        );
         assert!(p.is_balanced() || p.imbalance() <= 0.1 + 1e-9);
     }
 
@@ -217,5 +380,79 @@ mod tests {
         // Both representations should allow substantial improvement over the stripes.
         assert!(p_csr.edge_cut_on(&csr) < 100);
         assert!(p_comp.edge_cut_on(&compressed) < 100);
+    }
+
+    /// The acceptance property of the frontier rewrite: after the full first round, no
+    /// further full-vertex sweep happens, and on a converging instance the active set
+    /// shrinks monotonically.
+    #[test]
+    fn frontier_never_rescans_converged_regions() {
+        // Four vertical stripes on a grid are locally optimal almost everywhere; flip a
+        // thin column of vertices into the wrong block. Strict-improvement LP unzips the
+        // protrusion from its ends over several rounds, so only that region has work.
+        let g = gen::grid2d(32, 32);
+        let n = g.n();
+        let mut assignment: Vec<BlockId> = (0..n as u32).map(|u| (u % 32) / 8).collect();
+        for row in 0..6 {
+            assignment[row * 32] = 1; // column 0 belongs to stripe 0
+        }
+        let mut p = Partition::from_assignment(&g, 4, 0.1, assignment);
+        // Single-thread pool for a deterministic move schedule.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let mut scratch = HierarchyScratch::new();
+        let stats = pool.install(|| lp_refine_with_scratch(&g, &mut p, 8, 1, true, &mut scratch));
+        assert!(
+            stats.rounds >= 2,
+            "expected several rounds, got {:?}",
+            stats
+        );
+        assert_eq!(
+            stats.visited_per_round[0], n,
+            "round 0 must sweep all vertices"
+        );
+        // No full-vertex sweep after the first round: only the perturbed region and the
+        // stripe boundaries it touches stay active.
+        for (round, &visited) in stats.visited_per_round.iter().enumerate().skip(1) {
+            assert!(
+                visited < n / 4,
+                "round {} visited {} of {} vertices — the converged stripes were rescanned",
+                round,
+                visited,
+                n
+            );
+        }
+        // Monotonically shrinking active set on this converging instance.
+        for w in stats.visited_per_round.windows(2) {
+            assert!(
+                w[1] <= w[0],
+                "active set grew: {:?}",
+                stats.visited_per_round
+            );
+        }
+        assert!(p.is_balanced() || p.imbalance() <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn frontier_matches_full_sweep_quality() {
+        let g = gen::rgg2d(2000, 10, 4);
+        let assignment: Vec<BlockId> = (0..g.n() as u32)
+            .map(|u| (u.wrapping_mul(2_654_435_761) >> 8) % 8)
+            .collect();
+        let mut p_frontier = Partition::from_assignment(&g, 8, 0.1, assignment.clone());
+        let mut p_sweep = Partition::from_assignment(&g, 8, 0.1, assignment);
+        let mut scratch = HierarchyScratch::new();
+        lp_refine_with_scratch(&g, &mut p_frontier, 5, 7, true, &mut scratch);
+        lp_refine_with_scratch(&g, &mut p_sweep, 5, 7, false, &mut scratch);
+        let frontier_cut = p_frontier.edge_cut_on(&g) as f64;
+        let sweep_cut = p_sweep.edge_cut_on(&g) as f64;
+        assert!(
+            frontier_cut <= sweep_cut * 1.25 + 16.0,
+            "frontier refinement much worse than full sweep: {} vs {}",
+            frontier_cut,
+            sweep_cut
+        );
     }
 }

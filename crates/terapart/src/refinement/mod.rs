@@ -13,13 +13,14 @@ pub mod rebalance;
 
 pub use fm::{fm_refine, FmStats};
 pub use gain_table::GainCache;
-pub use lp_refine::lp_refine;
+pub use lp_refine::{lp_refine, lp_refine_with_scratch, LpRefineStats};
 pub use rebalance::rebalance;
 
 use graph::traits::Graph;
 
 use crate::context::{RefinementAlgorithm, RefinementConfig};
 use crate::partition::Partition;
+use crate::scratch::HierarchyScratch;
 
 /// Statistics of one refinement invocation (one level of uncoarsening).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -34,18 +35,47 @@ pub struct RefinementStats {
     pub gain_table_bytes: usize,
 }
 
-/// Refines `partition` on `graph` according to `config`. Returns per-algorithm move
-/// counts and the gain-table footprint.
+/// Refines `partition` on `graph` according to `config` with freshly allocated scratch
+/// memory. Prefer [`refine_with_scratch`] inside the multilevel pipeline.
 pub fn refine(
     graph: &impl Graph,
     partition: &mut Partition,
     config: &RefinementConfig,
     seed: u64,
 ) -> RefinementStats {
-    let mut stats = RefinementStats::default();
-    stats.lp_moves = lp_refine(graph, partition, config.lp_rounds, seed);
+    let mut scratch = HierarchyScratch::new();
+    refine_with_scratch(graph, partition, config, seed, &mut scratch)
+}
+
+/// Refines `partition` on `graph` according to `config`, reusing `scratch` buffers.
+/// Returns per-algorithm move counts and the gain-table footprint.
+pub fn refine_with_scratch(
+    graph: &impl Graph,
+    partition: &mut Partition,
+    config: &RefinementConfig,
+    seed: u64,
+    scratch: &mut HierarchyScratch,
+) -> RefinementStats {
+    let lp_stats = lp_refine_with_scratch(
+        graph,
+        partition,
+        config.lp_rounds,
+        seed,
+        config.lp_frontier,
+        scratch,
+    );
+    let mut stats = RefinementStats {
+        lp_moves: lp_stats.moves,
+        ..Default::default()
+    };
     if config.algorithm == RefinementAlgorithm::FmWithLabelPropagation {
-        let fm_stats = fm_refine(graph, partition, config.gain_table, config.fm_passes, config.fm_fraction);
+        let fm_stats = fm_refine(
+            graph,
+            partition,
+            config.gain_table,
+            config.fm_passes,
+            config.fm_fraction,
+        );
         stats.fm_moves = fm_stats.moves;
         stats.gain_table_bytes = fm_stats.gain_table_bytes;
     }

@@ -1,0 +1,383 @@
+//! Reusable hot-path scratch memory for the multilevel pipeline.
+//!
+//! Every hierarchy level of the seed implementation allocated its auxiliary state from
+//! scratch: a fresh `Vec<Vec<NodeId>>` cluster-bucket structure and freshly zeroed atomic
+//! output arrays in contraction, a fresh visit-order vector per label-propagation round.
+//! Because level sizes shrink geometrically, the *first* level's requirement dominates;
+//! a single arena sized for the input graph can serve the whole hierarchy without ever
+//! allocating again. [`HierarchyScratch`] is that arena. It is created once per
+//! partitioning run, threaded through coarsening (clustering + contraction) and
+//! refinement, and reports its footprint to `memtrack` so the memory ladder experiments
+//! see it.
+//!
+//! The arena also owns the [`AtomicBitset`] pair backing the frontier/active-set
+//! worklists of label propagation (clustering and refinement): vertices whose
+//! neighbourhood changed in the previous round. Converged regions are never rescanned.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use graph::NodeId;
+use memtrack::MemoryScope;
+
+use crate::ClusterId;
+
+/// A fixed-capacity concurrent bitset with relaxed atomics.
+///
+/// Used as the label-propagation frontier: `set` is called concurrently by worker
+/// threads marking vertices whose neighbourhood changed; collection and clearing happen
+/// between rounds, outside the parallel section.
+#[derive(Debug, Default)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitset {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the bitset to hold at least `bits` bits. Does not shrink.
+    pub fn ensure_len(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize_with(words, || AtomicU64::new(0));
+        }
+    }
+
+    /// Sets bit `i`. Callable concurrently.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        self.words[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1
+    }
+
+    /// Clears the first `bits` bits.
+    pub fn clear_range(&self, bits: usize) {
+        for word in &self.words[..bits.div_ceil(64).min(self.words.len())] {
+            word.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits among the first `bits` bits.
+    pub fn count(&self, bits: usize) -> usize {
+        self.words[..bits.div_ceil(64).min(self.words.len())]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Appends the indices of all set bits below `bits` to `out`, in increasing order.
+    pub fn collect_into(&self, bits: usize, out: &mut Vec<NodeId>) {
+        for (wi, word) in self.words[..bits.div_ceil(64).min(self.words.len())]
+            .iter()
+            .enumerate()
+        {
+            let mut w = word.load(Ordering::Relaxed);
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                let i = wi * 64 + bit;
+                if i >= bits {
+                    break;
+                }
+                out.push(i as NodeId);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Heap bytes held by the bitset.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+/// The reusable per-run scratch arena (see the module docs).
+///
+/// Buffers only ever grow; within one multilevel run the first (largest) level sizes
+/// them and every later level reuses them allocation-free. The arena's footprint is
+/// charged to the global memory accounting for its lifetime, so phase reports attribute
+/// the auxiliary memory to the level that actually caused the growth.
+#[derive(Debug)]
+pub struct HierarchyScratch {
+    /// Per cluster label: member count during the counting phase, then the write cursor
+    /// during the scatter phase of the bucket construction.
+    pub(crate) bucket_heads: Vec<AtomicU32>,
+    /// CSR-style bucket boundaries: members of coarse vertex `b` occupy
+    /// `bucket_members[bucket_offsets[b]..bucket_offsets[b + 1]]`.
+    pub(crate) bucket_offsets: Vec<u32>,
+    /// Flat member array, grouped by bucket.
+    pub(crate) bucket_members: Vec<NodeId>,
+    /// `leaders[b]` is the cluster label contracted into coarse vertex `b`.
+    pub(crate) leaders: Vec<ClusterId>,
+    /// Old cluster label -> coarse vertex ID.
+    pub(crate) remap: Vec<AtomicU32>,
+    /// Per coarse vertex: neighbourhood start in the edge arrays.
+    pub(crate) starts: Vec<AtomicU64>,
+    /// Per coarse vertex: aggregated node weight.
+    pub(crate) coarse_node_weights: Vec<AtomicU64>,
+    /// Over-reserved coarse edge targets (old cluster labels until the final remap).
+    pub(crate) edge_targets: Vec<AtomicU32>,
+    /// Over-reserved coarse edge weights, parallel to `edge_targets`.
+    pub(crate) edge_weights: Vec<AtomicU64>,
+    /// Visit-order buffer for label propagation rounds.
+    pub(crate) order: Vec<NodeId>,
+    /// Active set of the current LP round (vertices to visit).
+    pub(crate) active: AtomicBitset,
+    /// Active set being built for the next LP round.
+    pub(crate) next_active: AtomicBitset,
+    /// Charge of all node-indexed buffers against the global memory accounting. The
+    /// over-reserved edge buffers are *not* part of this charge: following the paper's
+    /// virtual-memory overcommit model (as in `memtrack::ReservedVec`), contraction
+    /// charges their committed portion transiently per level.
+    charge: MemoryScope<'static>,
+}
+
+impl Default for HierarchyScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HierarchyScratch {
+    pub fn new() -> Self {
+        Self {
+            bucket_heads: Vec::new(),
+            bucket_offsets: Vec::new(),
+            bucket_members: Vec::new(),
+            leaders: Vec::new(),
+            remap: Vec::new(),
+            starts: Vec::new(),
+            coarse_node_weights: Vec::new(),
+            edge_targets: Vec::new(),
+            edge_weights: Vec::new(),
+            order: Vec::new(),
+            active: AtomicBitset::new(),
+            next_active: AtomicBitset::new(),
+            charge: MemoryScope::charge_global(0),
+        }
+    }
+
+    /// Grows the LP worklist buffers (visit order, frontier bitsets) to `n` vertices.
+    /// The order buffer's previous contents are discarded (every round rebuilds it).
+    pub fn ensure_worklists(&mut self, n: usize) {
+        if self.order.capacity() < n {
+            // `reserve` is relative to the current length; clear first so the resulting
+            // capacity is at least `n` regardless of what the buffer still holds.
+            self.order.clear();
+            self.order.reserve(n);
+        }
+        self.active.ensure_len(n);
+        self.next_active.ensure_len(n);
+        self.recharge();
+    }
+
+    /// Grows the cluster-bucket buffers (counting-sort layout + label remap) to `n`.
+    pub fn ensure_buckets(&mut self, n: usize) {
+        if self.bucket_heads.len() < n {
+            self.bucket_heads.resize_with(n, || AtomicU32::new(0));
+            self.remap.resize_with(n, || AtomicU32::new(NodeId::MAX));
+        }
+        if self.bucket_offsets.len() < n + 1 {
+            self.bucket_offsets.resize(n + 1, 0);
+            self.bucket_members.resize(n, 0);
+            self.leaders.resize(n, 0);
+        }
+        self.recharge();
+    }
+
+    /// Grows the one-pass contraction's per-coarse-vertex buffers to `n`.
+    pub fn ensure_contraction(&mut self, n: usize) {
+        if self.starts.len() < n {
+            self.starts.resize_with(n, || AtomicU64::new(0));
+            self.coarse_node_weights
+                .resize_with(n, || AtomicU64::new(0));
+        }
+        self.recharge();
+    }
+
+    /// Grows the edge buffers to hold `half_edges` entries (no-op once sized). The
+    /// reservation is not charged to the accounting — only the committed portion is,
+    /// transiently, by the contraction that writes it (the overcommit model).
+    pub fn ensure_edges(&mut self, half_edges: usize) {
+        if self.edge_targets.len() < half_edges {
+            self.edge_targets
+                .resize_with(half_edges, || AtomicU32::new(0));
+            self.edge_weights
+                .resize_with(half_edges, || AtomicU64::new(0));
+        }
+    }
+
+    /// Frees the over-reserved edge buffers. Called when coarsening ends: contraction is
+    /// their only user, and unlike true virtual-memory overcommit the buffers are
+    /// physically backed (zero-initialised), so holding them through initial
+    /// partitioning and refinement would silently inflate the real resident footprint
+    /// relative to what the accounting reports. Cross-level reuse is unaffected — the
+    /// release happens after the last level.
+    pub fn release_edges(&mut self) {
+        self.edge_targets = Vec::new();
+        self.edge_weights = Vec::new();
+    }
+
+    /// Swaps the current and next active sets between LP rounds.
+    pub(crate) fn swap_active(&mut self) {
+        std::mem::swap(&mut self.active, &mut self.next_active);
+    }
+
+    /// Bytes the arena charges to the memory accounting: all node-indexed buffers. The
+    /// over-reserved edge buffers are excluded (charged transiently at their committed
+    /// size by the contraction that writes them).
+    pub fn memory_bytes(&self) -> usize {
+        self.bucket_heads.len() * 4
+            + self.bucket_offsets.len() * 4
+            + self.bucket_members.len() * 4
+            + self.leaders.len() * 4
+            + self.remap.len() * 4
+            + self.starts.len() * 8
+            + self.coarse_node_weights.len() * 8
+            + self.order.capacity() * std::mem::size_of::<NodeId>()
+            + self.active.memory_bytes()
+            + self.next_active.memory_bytes()
+    }
+
+    /// Brings the memtrack charge in line with the current footprint.
+    fn recharge(&mut self) {
+        let bytes = self.memory_bytes();
+        let charged = self.charge.bytes();
+        if bytes > charged {
+            self.charge.grow(bytes - charged);
+        }
+    }
+}
+
+/// A raw mutable slice shareable across the workers of one parallel loop.
+///
+/// # Safety contract
+/// Callers must guarantee that concurrent writes target disjoint indices (e.g. positions
+/// handed out by an atomic cursor, or per-vertex CSR segments, which never overlap).
+pub(crate) struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Writes `value` to index `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and not written concurrently by another worker.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).write(value) };
+    }
+
+    /// Reborrows the subrange `[start, end)` as a mutable slice.
+    ///
+    /// # Safety
+    /// The range must be in bounds and disjoint from every range accessed concurrently
+    /// (which also justifies handing out `&mut` through `&self`: disjointness makes the
+    /// aliasing impossible that the lint guards against).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, end: usize) -> &mut [T] {
+        debug_assert!(start <= end && end <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_get_collect() {
+        let mut bs = AtomicBitset::new();
+        bs.ensure_len(200);
+        bs.set(0);
+        bs.set(63);
+        bs.set(64);
+        bs.set(199);
+        assert!(bs.get(63) && bs.get(64) && !bs.get(65));
+        assert_eq!(bs.count(200), 4);
+        let mut out = Vec::new();
+        bs.collect_into(200, &mut out);
+        assert_eq!(out, vec![0, 63, 64, 199]);
+        bs.clear_range(200);
+        assert_eq!(bs.count(200), 0);
+    }
+
+    #[test]
+    fn bitset_collect_respects_bit_limit() {
+        let mut bs = AtomicBitset::new();
+        bs.ensure_len(128);
+        bs.set(10);
+        bs.set(100);
+        let mut out = Vec::new();
+        bs.collect_into(64, &mut out);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn scratch_grows_monotonically_and_charges_memtrack() {
+        let mut scratch = HierarchyScratch::new();
+        assert_eq!(scratch.memory_bytes(), 0);
+        scratch.ensure_worklists(10_000);
+        scratch.ensure_buckets(10_000);
+        scratch.ensure_contraction(10_000);
+        scratch.ensure_edges(50_000);
+        let after_first = scratch.memory_bytes();
+        assert!(after_first > 0);
+        // Smaller levels reuse the buffers: no growth.
+        scratch.ensure_worklists(1_000);
+        scratch.ensure_buckets(1_000);
+        scratch.ensure_contraction(1_000);
+        scratch.ensure_edges(5_000);
+        assert_eq!(scratch.memory_bytes(), after_first);
+        // Larger requests grow.
+        scratch.ensure_buckets(20_000);
+        assert!(scratch.memory_bytes() > after_first);
+    }
+
+    #[test]
+    fn scratch_charge_is_released_on_drop() {
+        let before = memtrack::global().current();
+        {
+            let mut scratch = HierarchyScratch::new();
+            scratch.ensure_buckets(4_096);
+            scratch.ensure_worklists(4_096);
+            assert!(memtrack::global().current() >= before + scratch.memory_bytes());
+        }
+        assert!(memtrack::global().current() <= before + 64);
+    }
+
+    #[test]
+    fn shared_slice_writes_land() {
+        let mut data = vec![0u32; 8];
+        {
+            let shared = SharedSlice::new(&mut data);
+            unsafe {
+                shared.write(3, 7);
+                let sub = shared.slice_mut(5, 8);
+                sub[0] = 9;
+            }
+        }
+        assert_eq!(data[3], 7);
+        assert_eq!(data[5], 9);
+    }
+}

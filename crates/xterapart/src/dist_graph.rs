@@ -86,13 +86,22 @@ impl Shard {
     pub fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, EdgeWeight)) {
         let local = (u - self.begin) as usize;
         match &self.storage {
-            ShardStorage::Uncompressed { xadj, adjacency, weights } => {
+            ShardStorage::Uncompressed {
+                xadj,
+                adjacency,
+                weights,
+            } => {
                 for e in xadj[local] as usize..xadj[local + 1] as usize {
                     let w = if weights.is_empty() { 1 } else { weights[e] };
                     f(adjacency[e], w);
                 }
             }
-            ShardStorage::Compressed { offsets, data, degrees, weighted } => {
+            ShardStorage::Compressed {
+                offsets,
+                data,
+                degrees,
+                weighted,
+            } => {
                 let mut pos = offsets[local] as usize;
                 let degree = degrees[local] as usize;
                 let mut prev = i64::from(u);
@@ -131,12 +140,17 @@ impl Shard {
     /// table) — the per-PE memory the distributed experiments report.
     pub fn memory_bytes(&self) -> usize {
         let storage = match &self.storage {
-            ShardStorage::Uncompressed { xadj, adjacency, weights } => {
-                xadj.len() * 8 + adjacency.len() * 4 + weights.len() * 8
-            }
-            ShardStorage::Compressed { offsets, data, degrees, .. } => {
-                offsets.len() * 8 + data.len() + degrees.len() * 4
-            }
+            ShardStorage::Uncompressed {
+                xadj,
+                adjacency,
+                weights,
+            } => xadj.len() * 8 + adjacency.len() * 4 + weights.len() * 8,
+            ShardStorage::Compressed {
+                offsets,
+                data,
+                degrees,
+                ..
+            } => offsets.len() * 8 + data.len() + degrees.len() * 4,
         };
         storage + self.node_weights.len() * 8 + self.ghosts.len() * 4
     }
@@ -218,7 +232,12 @@ impl DistGraph {
                             }
                         }
                     }
-                    ShardStorage::Compressed { offsets, data, degrees, weighted }
+                    ShardStorage::Compressed {
+                        offsets,
+                        data,
+                        degrees,
+                        weighted,
+                    }
                 } else {
                     let mut xadj = vec![0u64];
                     let mut adjacency = Vec::new();
@@ -235,11 +254,22 @@ impl DistGraph {
                         });
                         xadj.push(adjacency.len() as u64);
                     }
-                    ShardStorage::Uncompressed { xadj, adjacency, weights }
+                    ShardStorage::Uncompressed {
+                        xadj,
+                        adjacency,
+                        weights,
+                    }
                 };
                 ghosts.sort_unstable();
                 ghosts.dedup();
-                Shard { pe, begin, end, storage, node_weights, ghosts }
+                Shard {
+                    pe,
+                    begin,
+                    end,
+                    storage,
+                    node_weights,
+                    ghosts,
+                }
             })
             .collect();
 
@@ -263,7 +293,11 @@ impl DistGraph {
 
     /// Maximum per-PE memory in bytes (the quantity limiting scalability in Figure 8).
     pub fn max_pe_memory(&self) -> usize {
-        self.shards.iter().map(|s| s.memory_bytes()).max().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| s.memory_bytes())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total memory across PEs.
@@ -345,7 +379,11 @@ mod tests {
             .collect();
         let max = *edges_per_pe.iter().max().unwrap();
         let avg = edges_per_pe.iter().sum::<usize>() / edges_per_pe.len();
-        assert!(max <= 2 * avg + g.max_degree(), "imbalanced shards: {:?}", edges_per_pe);
+        assert!(
+            max <= 2 * avg + g.max_degree(),
+            "imbalanced shards: {:?}",
+            edges_per_pe
+        );
     }
 
     #[test]

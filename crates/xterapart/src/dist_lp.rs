@@ -73,7 +73,8 @@ pub fn distributed_lp_clustering(
             if let Some((target, _)) = best {
                 if target != current {
                     labels.insert(u, target);
-                    *cluster_weights.entry(current).or_insert(node_weight) -= node_weight.min(*cluster_weights.get(&current).unwrap_or(&0));
+                    *cluster_weights.entry(current).or_insert(node_weight) -=
+                        node_weight.min(*cluster_weights.get(&current).unwrap_or(&0));
                     *cluster_weights.entry(target).or_insert(0) += node_weight;
                     changed.push(u64::from(u));
                     changed.push(u64::from(target));
@@ -148,22 +149,21 @@ pub fn distributed_lp_refinement(
 ) -> Vec<(NodeId, u32)> {
     // Global block weights via all-reduce (one entry per block).
     let mut block_weights = vec![0u64; k];
-    let sync_block_weights =
-        |assignment: &HashMap<NodeId, u32>, block_weights: &mut Vec<u64>| {
-            let mut local = vec![0u64; k];
-            for u in shard.begin..shard.end {
-                local[assignment[&u] as usize] += shard.node_weight(u);
+    let sync_block_weights = |assignment: &HashMap<NodeId, u32>, block_weights: &mut Vec<u64>| {
+        let mut local = vec![0u64; k];
+        for u in shard.begin..shard.end {
+            local[assignment[&u] as usize] += shard.node_weight(u);
+        }
+        let gathered = comm.allgather_u64(&local);
+        for w in block_weights.iter_mut() {
+            *w = 0;
+        }
+        for part in &gathered {
+            for (b, &w) in part.iter().enumerate() {
+                block_weights[b] += w;
             }
-            let gathered = comm.allgather_u64(&local);
-            for w in block_weights.iter_mut() {
-                *w = 0;
-            }
-            for part in &gathered {
-                for (b, &w) in part.iter().enumerate() {
-                    block_weights[b] += w;
-                }
-            }
-        };
+        }
+    };
     sync_block_weights(assignment, &mut block_weights);
 
     for _ in 0..rounds {
@@ -217,7 +217,9 @@ pub fn distributed_lp_refinement(
         }
     }
 
-    (shard.begin..shard.end).map(|u| (u, assignment[&u])).collect()
+    (shard.begin..shard.end)
+        .map(|u| (u, assignment[&u]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -259,7 +261,11 @@ mod tests {
             weights.values().max()
         );
         // The clustering shrinks the graph substantially.
-        assert!(weights.len() < g.n() / 2, "only {} clusters formed", g.n() - weights.len());
+        assert!(
+            weights.len() < g.n() / 2,
+            "only {} clusters formed",
+            g.n() - weights.len()
+        );
     }
 
     #[test]
@@ -301,7 +307,12 @@ mod tests {
             }
             cut
         };
-        assert!(cut(&refined) < cut(&initial), "{} !< {}", cut(&refined), cut(&initial));
+        assert!(
+            cut(&refined) < cut(&initial),
+            "{} !< {}",
+            cut(&refined),
+            cut(&initial)
+        );
         // Block weights respect the constraint.
         let mut weights = vec![0u64; k];
         for (u, &b) in refined.iter().enumerate() {
@@ -310,6 +321,11 @@ mod tests {
         // As above, allow the small per-round overshoot inherent to batch-synchronous
         // weight tracking; the driver repairs residual violations by rebalancing.
         let tolerance = (max_block_weight as f64 * 1.10).ceil() as u64;
-        assert!(weights.iter().all(|&w| w <= tolerance), "{:?} > {}", weights, tolerance);
+        assert!(
+            weights.iter().all(|&w| w <= tolerance),
+            "{:?} > {}",
+            weights,
+            tolerance
+        );
     }
 }

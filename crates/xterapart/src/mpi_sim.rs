@@ -123,7 +123,10 @@ impl<M: Send> Communicator<M> {
         self.barrier();
         let gathered: Vec<Vec<u8>> = {
             let slots = self.gather_slots.lock().unwrap();
-            slots.iter().map(|s| s.clone().expect("missing allgather contribution")).collect()
+            slots
+                .iter()
+                .map(|s| s.clone().expect("missing allgather contribution"))
+                .collect()
         };
         self.barrier();
         {
@@ -171,7 +174,10 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("PE did not produce a result")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("PE did not produce a result"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -41,12 +41,22 @@ pub struct DistPartitionConfig {
 impl DistPartitionConfig {
     /// The XTeraPart configuration: compressed shards.
     pub fn xterapart(k: usize, num_pes: usize) -> Self {
-        Self { k, epsilon: 0.03, num_pes, compressed_shards: true, lp_rounds: 3, seed: 1 }
+        Self {
+            k,
+            epsilon: 0.03,
+            num_pes,
+            compressed_shards: true,
+            lp_rounds: 3,
+            seed: 1,
+        }
     }
 
     /// The DKaMinPar baseline configuration: uncompressed shards.
     pub fn dkaminpar(k: usize, num_pes: usize) -> Self {
-        Self { compressed_shards: false, ..Self::xterapart(k, num_pes) }
+        Self {
+            compressed_shards: false,
+            ..Self::xterapart(k, num_pes)
+        }
     }
 }
 
@@ -73,7 +83,11 @@ pub struct DistPartitionResult {
 pub fn dist_partition(graph: &CsrGraph, config: &DistPartitionConfig) -> DistPartitionResult {
     let start = Instant::now();
     let k = config.k;
-    let dist = Arc::new(DistGraph::shard(graph, config.num_pes, config.compressed_shards));
+    let dist = Arc::new(DistGraph::shard(
+        graph,
+        config.num_pes,
+        config.compressed_shards,
+    ));
     let max_block_weight =
         terapart::Partition::compute_max_block_weight(graph.total_node_weight(), k, config.epsilon);
     let max_cluster_weight =
@@ -155,8 +169,7 @@ pub fn dist_partition(graph: &CsrGraph, config: &DistPartitionConfig) -> DistPar
                 .enumerate()
                 .map(|(i, &l)| (l, i as NodeId))
                 .collect();
-            let node_weights: Vec<NodeWeight> =
-                leaders.iter().map(|l| coarse_weights[l]).collect();
+            let node_weights: Vec<NodeWeight> = leaders.iter().map(|l| coarse_weights[l]).collect();
             let mut builder = CsrGraphBuilder::with_node_weights(node_weights);
             for (&(a, b), &w) in &coarse_edges {
                 builder.add_edge(coarse_of[&a], coarse_of[&b], w);
@@ -177,17 +190,21 @@ pub fn dist_partition(graph: &CsrGraph, config: &DistPartitionConfig) -> DistPar
             };
             let payload: Vec<u64> = coarse_assignment.iter().map(|&b| u64::from(b)).collect();
             let gathered = comm.allgather_u64(&payload);
-            let coarse_assignment: Vec<u32> =
-                gathered[0].iter().map(|&b| b as u32).collect();
+            let coarse_assignment: Vec<u32> = gathered[0].iter().map(|&b| b as u32).collect();
 
             // ---- Projection + distributed refinement. ----
             let mut assignment: HashMap<NodeId, u32> = HashMap::new();
             for u in shard.begin..shard.end {
-                assignment.insert(u, coarse_assignment[coarse_of[&labels[u as usize]] as usize]);
+                assignment.insert(
+                    u,
+                    coarse_assignment[coarse_of[&labels[u as usize]] as usize],
+                );
             }
             for &ghost in &shard.ghosts {
-                assignment
-                    .insert(ghost, coarse_assignment[coarse_of[&labels[ghost as usize]] as usize]);
+                assignment.insert(
+                    ghost,
+                    coarse_assignment[coarse_of[&labels[ghost as usize]] as usize],
+                );
             }
             pe_memory += assignment.len() * 12 + shard.ghosts.len() * 8;
             let refined = distributed_lp_refinement(

@@ -14,8 +14,14 @@ fn main() {
     let k = 32;
 
     for (name, config) in [
-        ("DKaMinPar (uncompressed shards)", DistPartitionConfig::dkaminpar(k, 4)),
-        ("XTeraPart (compressed shards)", DistPartitionConfig::xterapart(k, 4)),
+        (
+            "DKaMinPar (uncompressed shards)",
+            DistPartitionConfig::dkaminpar(k, 4),
+        ),
+        (
+            "XTeraPart (compressed shards)",
+            DistPartitionConfig::xterapart(k, 4),
+        ),
     ] {
         let result = dist_partition(&graph, &config);
         println!(

@@ -15,8 +15,16 @@ fn main() {
     ] {
         let tracker = PhaseTracker::new();
         let result = partition_csr_with_tracker(&graph, &config, &tracker);
-        println!("== {} (cut = {}, peak = {}) ==", name, result.edge_cut, memtrack::format_bytes(tracker.overall_peak()));
-        println!("{:<20} {:>6} {:>14} {:>14}", "phase", "level", "peak", "auxiliary");
+        println!(
+            "== {} (cut = {}, peak = {}) ==",
+            name,
+            result.edge_cut,
+            memtrack::format_bytes(tracker.overall_peak())
+        );
+        println!(
+            "{:<20} {:>6} {:>14} {:>14}",
+            "phase", "level", "peak", "auxiliary"
+        );
         for report in tracker.reports() {
             println!(
                 "{:<20} {:>6} {:>14} {:>14}",

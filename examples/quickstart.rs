@@ -20,6 +20,9 @@ fn main() {
     println!("balanced      : {}", result.partition.is_balanced());
     println!("levels        : {}", result.hierarchy_depth);
     println!("time          : {:.2?}", result.total_time);
-    println!("peak memory   : {}", memtrack::format_bytes(result.peak_memory_bytes));
+    println!(
+        "peak memory   : {}",
+        memtrack::format_bytes(result.peak_memory_bytes)
+    );
     println!("block weights : {:?}", result.partition.block_weights());
 }

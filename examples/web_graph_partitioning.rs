@@ -9,7 +9,12 @@ use terapart::{partition_csr, PartitionerConfig};
 
 fn main() {
     let graph = gen::weblike(15, 14, 2024);
-    println!("web-like graph: n = {}, m = {}, max degree = {}", graph.n(), graph.m(), graph.max_degree());
+    println!(
+        "web-like graph: n = {}, m = {}, max degree = {}",
+        graph.n(),
+        graph.m(),
+        graph.max_degree()
+    );
 
     let compressed = CompressedGraph::from_csr(&graph, &CompressionConfig::default());
     println!(

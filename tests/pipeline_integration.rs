@@ -20,7 +20,11 @@ fn configuration_ladder_end_to_end() {
     ] {
         let result = partition_csr(&graph, &config.with_threads(2));
         assert!(result.partition.is_complete());
-        assert!(result.partition.is_balanced(), "imbalance {}", result.imbalance);
+        assert!(
+            result.partition.is_balanced(),
+            "imbalance {}",
+            result.imbalance
+        );
         assert!(
             (result.edge_cut as f64) < 0.5 * random_cut,
             "cut {} not much better than random {}",
@@ -47,7 +51,11 @@ fn terapart_peak_memory_is_not_worse_than_kaminpar() {
     // Quality is preserved (the paper reports cuts within 0.03% on average; allow slack
     // at this scale).
     let ratio = terapart_run.edge_cut.max(1) as f64 / kaminpar.edge_cut.max(1) as f64;
-    assert!((0.8..1.25).contains(&ratio), "cut ratio {} too far from 1", ratio);
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "cut ratio {} too far from 1",
+        ratio
+    );
 }
 
 /// Partitioning the compressed representation gives the same quality class as CSR.
@@ -55,7 +63,9 @@ fn terapart_peak_memory_is_not_worse_than_kaminpar() {
 fn compressed_representation_is_equivalent_for_partitioning() {
     let csr = gen::rgg2d(2_500, 14, 33);
     let compressed = CompressedGraph::from_csr(&csr, &CompressionConfig::default());
-    let config = PartitionerConfig::kaminpar_two_phase_lp(8).with_threads(2).with_seed(11);
+    let config = PartitionerConfig::kaminpar_two_phase_lp(8)
+        .with_threads(2)
+        .with_seed(11);
     let a = partition(&csr, &config);
     let b = partition(&compressed, &config);
     assert!(a.partition.is_balanced() && b.partition.is_balanced());
@@ -74,6 +84,71 @@ fn multilevel_beats_single_level_and_streaming() {
     let streaming = baselines::heistream_partition(&graph, k, 0.03, 256, 1);
     assert!(multilevel.edge_cut < single.edge_cut);
     assert!(multilevel.edge_cut <= streaming.edge_cut);
+}
+
+/// The `HierarchyScratch` arena makes the per-level hot paths allocation-free: across a
+/// deep hierarchy its footprint is no larger than what the single largest (first) level
+/// requires on its own, because every later level reuses the same buffers.
+#[test]
+fn hierarchy_scratch_peak_is_bounded_by_largest_level() {
+    use terapart::coarsening::{
+        cluster_with_scratch, coarsen_with_scratch, contract_with_scratch, max_cluster_weight,
+        two_hop_clustering,
+    };
+    use terapart::HierarchyScratch;
+
+    let graph = gen::rgg2d(20_000, 10, 9);
+    // Single thread so both runs compute the identical level-0 clustering.
+    let config = PartitionerConfig::terapart(4).with_threads(1);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+
+    // Full multilevel coarsening through one arena.
+    let tracker = memtrack::PhaseTracker::new();
+    let mut full = HierarchyScratch::new();
+    let hierarchy = pool.install(|| coarsen_with_scratch(&graph, &config, &tracker, &mut full));
+    assert!(
+        hierarchy.depth() >= 3,
+        "need a deep hierarchy, got {}",
+        hierarchy.depth()
+    );
+    let full_run_bytes = full.memory_bytes();
+    assert!(full_run_bytes > 0);
+
+    // Only the first (largest) level, with a fresh arena, mirroring coarsen's level 0.
+    let coarsening = &config.coarsening;
+    let limit = max_cluster_weight(
+        graph.total_node_weight(),
+        config.k,
+        coarsening.contraction_limit,
+        coarsening.max_cluster_weight_fraction,
+    );
+    let seed = config.seed ^ (1u64 << 32);
+    let mut single = HierarchyScratch::new();
+    pool.install(|| {
+        let mut clustering = cluster_with_scratch(&graph, coarsening, limit, seed, &mut single);
+        if coarsening.two_hop_clustering
+            && clustering.num_clusters as f64 > coarsening.min_shrink_factor * graph.n() as f64
+        {
+            two_hop_clustering(&graph, &mut clustering, limit);
+        }
+        contract_with_scratch(
+            &graph,
+            &clustering,
+            coarsening.contraction,
+            coarsening.bump_threshold,
+            &mut single,
+        )
+    });
+    assert!(
+        full_run_bytes <= single.memory_bytes(),
+        "scratch grew beyond the largest level: {} > {} bytes across {} levels",
+        full_run_bytes,
+        single.memory_bytes(),
+        hierarchy.depth()
+    );
 }
 
 /// The distributed (simulated) partitioner agrees with the shared-memory one on quality
