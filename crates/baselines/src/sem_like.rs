@@ -214,6 +214,7 @@ pub fn sem_partition(graph: &CsrGraph, k: usize, epsilon: f64, seed: u64) -> Bas
         attempts: 3,
         fm_passes: 3,
         seed,
+        ..InitialPartitioningConfig::default()
     };
     let coarse_partition = if coarse.n() > 30 * k {
         // Recurse through the in-memory partitioner for deep hierarchies.

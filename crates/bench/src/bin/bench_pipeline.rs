@@ -12,18 +12,22 @@
 use std::path::PathBuf;
 
 use bench::harness::{best_seconds, write_pipeline_json, MicroComparison};
-use bench::seed_baseline::{seed_contract_one_pass, seed_lp_refine};
+use bench::seed_baseline::{seed_contract_one_pass, seed_initial_partition, seed_lp_refine};
 use graph::gen;
 use graph::traits::Graph;
 use memtrack::PhaseTracker;
-use terapart::coarsening::{cluster, contract_with_scratch};
+use terapart::coarsening::{self, cluster, contract_with_scratch};
 use terapart::context::{CoarseningConfig, ContractionAlgorithm};
 use terapart::partition::{BlockId, Partition};
 use terapart::refinement::lp_refine_with_scratch;
-use terapart::{HierarchyScratch, PartitionerConfig};
+use terapart::{initial_partition_with_scratch, HierarchyScratch, PartitionerConfig};
 
 /// Samples per micro-benchmark (the fastest sample is reported).
 const RUNS: usize = 25;
+
+/// Samples for the initial-partitioning micro (its seed baseline runs for hundreds of
+/// milliseconds per sample, so fewer samples keep the harness fast).
+const INITIAL_RUNS: usize = 5;
 
 fn scrambled(graph: &impl Graph, k: usize) -> Partition {
     let assignment: Vec<BlockId> = (0..graph.n() as u32)
@@ -107,8 +111,66 @@ fn main() {
         refinement.speedup()
     );
 
-    // ---- Full pipeline with phase breakdown. ----
+    // ---- Micro: initial partitioning on the real coarsest graph of the pipeline,
+    // seed baseline (sequential, builder-based, full FM gain recomputation) vs the live
+    // parallel scratch-backed engine. ----
     let config = PartitionerConfig::terapart(16);
+    let coarsest = {
+        let tracker = PhaseTracker::new();
+        let mut scratch = HierarchyScratch::new();
+        let hierarchy = coarsening::coarsen_with_scratch(&graph, &config, &tracker, &mut scratch);
+        hierarchy
+            .coarsest()
+            .cloned()
+            .unwrap_or_else(|| graph.clone())
+    };
+    println!(
+        "coarsest graph for initial partitioning: n={}, m={}",
+        coarsest.n(),
+        coarsest.m()
+    );
+    let baseline_initial = best_seconds(
+        INITIAL_RUNS,
+        || (),
+        |()| {
+            seed_initial_partition(
+                &coarsest,
+                config.k,
+                config.epsilon,
+                config.initial.attempts,
+                config.initial.fm_passes,
+                config.seed,
+            )
+        },
+    );
+    let mut initial_scratch = HierarchyScratch::new();
+    let optimized_initial = best_seconds(
+        INITIAL_RUNS,
+        || (),
+        |()| {
+            initial_partition_with_scratch(
+                &coarsest,
+                config.k,
+                config.epsilon,
+                &config.initial,
+                config.seed,
+                &mut initial_scratch,
+            )
+        },
+    );
+    let initial = MicroComparison {
+        name: "initial_partition".into(),
+        baseline_seconds: baseline_initial,
+        optimized_seconds: optimized_initial,
+    };
+    println!(
+        "initial_partition: seed {:.3} ms -> live {:.3} ms ({:.2}x)",
+        initial.baseline_seconds * 1e3,
+        initial.optimized_seconds * 1e3,
+        initial.speedup()
+    );
+
+    // ---- Full pipeline with phase breakdown. ----
     let tracker = PhaseTracker::new();
     memtrack::global().reset_peak();
     let measurement = {
@@ -132,7 +194,7 @@ fn main() {
         &config,
         &tracker,
         &measurement,
-        &[contraction, refinement],
+        &[contraction, refinement, initial],
     )
     .expect("failed to write BENCH_pipeline.json");
     println!("wrote {}", path.display());

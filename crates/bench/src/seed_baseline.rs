@@ -1,15 +1,18 @@
-//! Frozen snapshot of the seed's contraction hot path, kept for benchmarking only.
+//! Frozen snapshots of the seed's hot paths, kept for benchmarking only.
 //!
-//! The PR that introduced the flat counting-sort cluster buckets and the reusable
-//! `HierarchyScratch` arena replaced this implementation in `terapart`. The benches and
-//! `BENCH_pipeline.json` compare the live implementation against this snapshot so the
-//! speedup over the pre-change baseline stays measurable across future PRs. Do not
-//! "optimise" this module — its allocation behaviour (a fresh `Vec<Vec<NodeId>>` bucket
-//! structure and freshly zeroed atomic arrays per call) *is* the baseline.
+//! The PRs that introduced the flat counting-sort cluster buckets, the reusable
+//! `HierarchyScratch` arena, and the parallel scratch-backed initial partitioning
+//! replaced these implementations in `terapart`. The benches and `BENCH_pipeline.json`
+//! compare the live implementations against these snapshots so the speedup over the
+//! pre-change baselines stays measurable across future PRs. Do not "optimise" this
+//! module — the allocation behaviour (fresh `Vec<Vec<NodeId>>` buckets, freshly zeroed
+//! atomic arrays, a builder-and-hashmap induced subgraph plus full gain recomputation
+//! per FM heap push at every bisection node) *is* the baseline.
 
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
-use graph::csr::CsrGraph;
+use graph::csr::{CsrGraph, CsrGraphBuilder};
 use graph::traits::Graph;
 use graph::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 
@@ -459,11 +462,359 @@ pub fn seed_lp_refine(
     total_moves
 }
 
+/// Seed version of a 2-way bipartition (`true` = block 1).
+struct SeedBipartition {
+    side: Vec<bool>,
+    weight0: NodeWeight,
+    weight1: NodeWeight,
+}
+
+impl SeedBipartition {
+    fn cut(&self, graph: &impl Graph) -> EdgeWeight {
+        let mut cut = 0;
+        for u in 0..graph.n() as NodeId {
+            graph.for_each_neighbor(u, &mut |v, w| {
+                if u < v && self.side[u as usize] != self.side[v as usize] {
+                    cut += w;
+                }
+            });
+        }
+        cut
+    }
+}
+
+/// Seed version of greedy graph growing: fresh flag/order vectors and a fresh frontier
+/// heap per attempt.
+fn seed_greedy_graph_growing(
+    graph: &impl Graph,
+    target_weight0: NodeWeight,
+    seed: u64,
+) -> SeedBipartition {
+    let n = graph.n();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut in_block0 = vec![false; n];
+    let mut assigned = vec![false; n];
+    let mut weight0: NodeWeight = 0;
+    let mut frontier: BinaryHeap<(EdgeWeight, NodeId)> = BinaryHeap::new();
+
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(&mut rng);
+    let mut next_seed = 0usize;
+
+    while weight0 < target_weight0 {
+        let u = match frontier.pop() {
+            Some((_, u)) if !assigned[u as usize] => u,
+            Some(_) => continue,
+            None => {
+                let mut restart = None;
+                while next_seed < order.len() {
+                    let candidate = order[next_seed];
+                    next_seed += 1;
+                    if !assigned[candidate as usize] {
+                        restart = Some(candidate);
+                        break;
+                    }
+                }
+                match restart {
+                    Some(u) => u,
+                    None => break,
+                }
+            }
+        };
+        assigned[u as usize] = true;
+        in_block0[u as usize] = true;
+        weight0 += graph.node_weight(u);
+        graph.for_each_neighbor(u, &mut |v, w| {
+            if !assigned[v as usize] {
+                frontier.push((w, v));
+            }
+        });
+    }
+
+    let side: Vec<bool> = in_block0.iter().map(|&b| !b).collect();
+    let total = graph.total_node_weight();
+    SeedBipartition {
+        side,
+        weight0,
+        weight1: total - weight0,
+    }
+}
+
+/// Seed version of one 2-way FM pass: a cloned side vector, fresh lock/stamp vectors,
+/// and a **full gain recomputation** (`O(deg)`) for every neighbour pushed to the heap —
+/// `O(deg(u) · deg(v))` work per move, the dominant cost on skewed coarsest graphs.
+fn seed_fm_bipartition_pass(
+    graph: &impl Graph,
+    bipartition: &mut SeedBipartition,
+    max_weight: [NodeWeight; 2],
+) -> EdgeWeight {
+    let n = graph.n();
+    let gain_of = |u: NodeId, side: &[bool]| -> i64 {
+        let mut internal: i64 = 0;
+        let mut external: i64 = 0;
+        graph.for_each_neighbor(u, &mut |v, w| {
+            if side[v as usize] == side[u as usize] {
+                internal += w as i64;
+            } else {
+                external += w as i64;
+            }
+        });
+        external - internal
+    };
+
+    let mut side = bipartition.side.clone();
+    let mut weights = [bipartition.weight0, bipartition.weight1];
+    let mut locked = vec![false; n];
+    let mut heap: BinaryHeap<(i64, NodeId, u32)> = BinaryHeap::new();
+    let mut stamp = vec![0u32; n];
+    for u in 0..n as NodeId {
+        heap.push((gain_of(u, &side), u, 0));
+    }
+
+    let mut best_improvement: i64 = 0;
+    let mut current_improvement: i64 = 0;
+    let mut moves: Vec<NodeId> = Vec::new();
+    let mut best_prefix = 0usize;
+
+    while let Some((gain, u, s)) = heap.pop() {
+        if locked[u as usize] || s != stamp[u as usize] {
+            continue;
+        }
+        let from = side[u as usize] as usize;
+        let to = 1 - from;
+        let w = graph.node_weight(u);
+        if weights[to] + w > max_weight[to] {
+            continue;
+        }
+        locked[u as usize] = true;
+        side[u as usize] = !side[u as usize];
+        weights[from] -= w;
+        weights[to] += w;
+        current_improvement += gain;
+        moves.push(u);
+        if current_improvement > best_improvement {
+            best_improvement = current_improvement;
+            best_prefix = moves.len();
+        }
+        graph.for_each_neighbor(u, &mut |v, _| {
+            if !locked[v as usize] {
+                stamp[v as usize] += 1;
+                heap.push((gain_of(v, &side), v, stamp[v as usize]));
+            }
+        });
+        if moves.len() >= n {
+            break;
+        }
+    }
+
+    if best_improvement <= 0 {
+        return 0;
+    }
+    for &u in &moves[best_prefix..] {
+        let w = graph.node_weight(u);
+        let from = side[u as usize] as usize;
+        side[u as usize] = !side[u as usize];
+        weights[from] -= w;
+        weights[1 - from] += w;
+    }
+    bipartition.side = side;
+    bipartition.weight0 = weights[0];
+    bipartition.weight1 = weights[1];
+    best_improvement as EdgeWeight
+}
+
+fn seed_bipartition(
+    graph: &impl Graph,
+    target_weight0: NodeWeight,
+    max_weight: [NodeWeight; 2],
+    fm_passes: usize,
+    seed: u64,
+) -> SeedBipartition {
+    let mut result = seed_greedy_graph_growing(graph, target_weight0, seed);
+    for _ in 0..fm_passes {
+        if seed_fm_bipartition_pass(graph, &mut result, max_weight) == 0 {
+            break;
+        }
+    }
+    result
+}
+
+fn seed_best_bipartition(
+    sub: &CsrGraph,
+    target0: NodeWeight,
+    max_weight: [NodeWeight; 2],
+    attempts: usize,
+    fm_passes: usize,
+    seed: u64,
+) -> SeedBipartition {
+    let mut best: Option<(bool, u64, SeedBipartition)> = None;
+    for attempt in 0..attempts.max(1) {
+        let attempt_seed = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9);
+        let candidate = seed_bipartition(sub, target0, max_weight, fm_passes, attempt_seed);
+        let balanced = candidate.weight0 <= max_weight[0] && candidate.weight1 <= max_weight[1];
+        let cut = candidate.cut(sub);
+        let better = match &best {
+            None => true,
+            Some((best_balanced, best_cut, _)) => {
+                (balanced && !best_balanced) || (balanced == *best_balanced && cut < *best_cut)
+            }
+        };
+        if better {
+            best = Some((balanced, cut, candidate));
+        }
+    }
+    best.expect("at least one bisection attempt").2
+}
+
+/// Seed version of induced-subgraph extraction: a fresh `O(n)` global-to-local map per
+/// bisection node, and the validating `CsrGraphBuilder` path (hash-map edge dedup plus a
+/// full sorted rebuild) instead of direct CSR extraction.
+fn seed_induced_subgraph(graph: &CsrGraph, vertices: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+    let mut local_of = vec![NodeId::MAX; graph.n()];
+    for (local, &u) in vertices.iter().enumerate() {
+        local_of[u as usize] = local as NodeId;
+    }
+    let node_weights: Vec<NodeWeight> = vertices.iter().map(|&u| graph.node_weight(u)).collect();
+    let mut builder = CsrGraphBuilder::with_node_weights(node_weights);
+    for (local, &u) in vertices.iter().enumerate() {
+        graph.for_each_neighbor(u, &mut |v, w| {
+            let lv = local_of[v as usize];
+            if lv != NodeId::MAX && (local as NodeId) < lv {
+                builder.add_edge(local as NodeId, lv, w);
+            }
+        });
+    }
+    (builder.build(), vertices.to_vec())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn seed_recurse(
+    graph: &CsrGraph,
+    vertices: &[NodeId],
+    first_block: usize,
+    k: usize,
+    epsilon: f64,
+    attempts: usize,
+    fm_passes: usize,
+    seed: u64,
+    assignment: &mut [BlockId],
+) {
+    if k == 1 || vertices.is_empty() {
+        for &u in vertices {
+            assignment[u as usize] = first_block as BlockId;
+        }
+        return;
+    }
+    let (sub, original) = seed_induced_subgraph(graph, vertices);
+    let total = sub.total_node_weight();
+    let k0 = k.div_ceil(2);
+    let k1 = k - k0;
+    let target0 = (total as f64 * k0 as f64 / k as f64).round() as NodeWeight;
+    let slack = 1.0 + epsilon + 0.05;
+    let max0 = ((total as f64 * k0 as f64 / k as f64) * slack).ceil() as NodeWeight;
+    let max1 = ((total as f64 * k1 as f64 / k as f64) * slack).ceil() as NodeWeight;
+
+    let best = seed_best_bipartition(
+        &sub,
+        target0,
+        [max0.max(1), max1.max(1)],
+        attempts,
+        fm_passes,
+        seed,
+    );
+
+    let mut left: Vec<NodeId> = Vec::new();
+    let mut right: Vec<NodeId> = Vec::new();
+    for (local, &orig) in original.iter().enumerate() {
+        if best.side[local] {
+            right.push(orig);
+        } else {
+            left.push(orig);
+        }
+    }
+    seed_recurse(
+        graph,
+        &left,
+        first_block,
+        k0,
+        epsilon,
+        attempts,
+        fm_passes,
+        seed.wrapping_mul(31).wrapping_add(1),
+        assignment,
+    );
+    seed_recurse(
+        graph,
+        &right,
+        first_block + k0,
+        k1,
+        epsilon,
+        attempts,
+        fm_passes,
+        seed.wrapping_mul(31).wrapping_add(2),
+        assignment,
+    );
+}
+
+/// Seed version of initial partitioning: **sequential** recursive bisection allocating a
+/// fresh induced subgraph (via the builder), a fresh `O(n)` local map, fresh left/right
+/// vertex lists and fresh per-attempt buffers at every node of the bisection tree. The
+/// live implementation replaced all of this with the task-parallel, scratch-backed
+/// engine in `terapart::initial`.
+pub fn seed_initial_partition(
+    graph: &CsrGraph,
+    k: usize,
+    epsilon: f64,
+    attempts: usize,
+    fm_passes: usize,
+    seed: u64,
+) -> Partition {
+    assert!(k >= 1);
+    let n = graph.n();
+    let mut assignment: Vec<BlockId> = vec![0; n];
+    if k > 1 && n > 0 {
+        let vertices: Vec<NodeId> = (0..n as NodeId).collect();
+        seed_recurse(
+            graph,
+            &vertices,
+            0,
+            k,
+            epsilon,
+            attempts,
+            fm_passes,
+            seed,
+            &mut assignment,
+        );
+    }
+    let mut partition = Partition::from_assignment(graph, k, epsilon, assignment);
+    let cut = partition.edge_cut_on(graph);
+    partition.set_cached_cut(cut);
+    partition
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use graph::gen;
     use terapart::context::{CoarseningConfig, ContractionAlgorithm};
+
+    #[test]
+    fn seed_baseline_initial_partition_is_in_the_live_quality_class() {
+        let g = gen::rgg2d(1_500, 10, 9);
+        let (k, epsilon) = (8, 0.05);
+        let config = terapart::InitialPartitioningConfig::default();
+        let seed_result =
+            seed_initial_partition(&g, k, epsilon, config.attempts, config.fm_passes, 3);
+        let live = terapart::initial_partition(&g, k, epsilon, &config, 3);
+        assert!(seed_result.is_complete() && live.is_complete());
+        let ratio = live.edge_cut_on(&g).max(1) as f64 / seed_result.edge_cut_on(&g).max(1) as f64;
+        assert!(
+            (0.6..1.4).contains(&ratio),
+            "live cut {} too far from seed cut {}",
+            live.edge_cut_on(&g),
+            seed_result.edge_cut_on(&g)
+        );
+    }
 
     #[test]
     fn seed_baseline_matches_live_contraction() {

@@ -8,7 +8,7 @@
 //! buffers to the shared output array in packet order, so the data is compressed exactly
 //! once and written exactly once. The output array is over-reserved with a worst-case
 //! bound and only committed bytes are charged to the memory accounting
-//! ([`ReservedVec`](memtrack::ReservedVec)), mirroring the paper's use of virtual-memory
+//! ([`memtrack::ReservedVec`]), mirroring the paper's use of virtual-memory
 //! overcommitment.
 
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -7,15 +7,30 @@
 //! * `collect` into a `Vec` is order-preserving;
 //! * with a single-thread pool installed, everything runs sequentially on the calling
 //!   thread (so single-thread determinism tests hold);
-//! * `current_thread_index()` returns distinct indices for concurrently running workers
-//!   of one parallel call, all smaller than `current_num_threads()`.
+//! * `current_thread_index()` returns pairwise distinct indices for all concurrently
+//!   running workers — including workers of data-parallel calls issued from different
+//!   branches of a [`join`], which receive disjoint index ranges. Indices are bounded
+//!   by the thread budget of the outermost parallel context (the installed pool size),
+//!   not necessarily by the *current* branch's `current_num_threads()`.
 //!
 //! Work is split into one contiguous range per worker. That is cruder than rayon's
 //! work-stealing but sufficient for the data-parallel loops of this workspace, whose
 //! iterations have near-uniform cost. Nested parallel calls inside a worker run
 //! sequentially instead of oversubscribing.
+//!
+//! Two task-parallel primitives complement the data-parallel adapters where static
+//! splitting falls short (irregular recursion like the initial-partitioning bisection
+//! tree):
+//!
+//! * [`join`] runs two closures, splitting the current thread budget between them so
+//!   nested joins fan out until the budget is exhausted and run sequentially below it;
+//! * [`scope`] runs dynamically spawned tasks from a shared work queue drained by up to
+//!   `current_num_threads()` workers — tasks may spawn further tasks, and idle workers
+//!   pick up whatever is queued instead of being bound to a precomputed range.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Inputs shorter than this run sequentially: thread spawn overhead (~tens of
 /// microseconds) dwarfs the work of small loops.
@@ -25,6 +40,12 @@ thread_local! {
     /// Thread-count override installed by [`ThreadPool::install`]; 0 = uninitialised.
     static NUM_THREADS: Cell<usize> = const { Cell::new(0) };
     static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// First worker index this thread's parallel calls may hand out. [`join`] gives
+    /// its two branches disjoint `[base, base + budget)` index ranges, so workers of
+    /// data-parallel calls running concurrently in different branches — and the branch
+    /// threads themselves — still observe pairwise distinct `current_thread_index()`
+    /// values, preserving the invariant per-thread state relies on.
+    static INDEX_BASE: Cell<usize> = const { Cell::new(0) };
 }
 
 fn available_threads() -> usize {
@@ -105,6 +126,167 @@ impl ThreadPool {
     }
 }
 
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// The current thread budget (`current_num_threads()`) is split between the two
+/// branches: `a` keeps the larger half on the calling thread, `b` runs on a freshly
+/// spawned scoped thread with the remainder. Nested joins therefore fan out until the
+/// budget reaches one thread, below which everything runs sequentially on the caller —
+/// so with a single-thread pool installed, `join(a, b)` is exactly `(a(), b())`.
+///
+/// A panic in either closure propagates to the caller after both branches finished.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let budget_b = threads / 2;
+    let budget_a = threads - budget_b;
+    // Branch `a` keeps the caller's worker-index range; branch `b` gets the disjoint
+    // range starting after `a`'s budget, so workers (and per-thread state keyed on
+    // `current_thread_index()`) of concurrently running branches never collide.
+    let base = INDEX_BASE.with(|c| c.get());
+    let base_b = base + budget_a;
+    let mut rb_slot: Option<RB> = None;
+    let ra = std::thread::scope(|scope| {
+        let rb_slot = &mut rb_slot;
+        let handle = scope.spawn(move || {
+            NUM_THREADS.with(|c| c.set(budget_b));
+            INDEX_BASE.with(|c| c.set(base_b));
+            THREAD_INDEX.with(|c| c.set(Some(base_b)));
+            *rb_slot = Some(b());
+        });
+        let prev = NUM_THREADS.with(|c| c.replace(budget_a));
+        // Restore the caller's budget even if `a` unwinds (e.g. a failing assertion
+        // inside a test harness that catches panics and keeps using this thread).
+        let _restore = RestoreNumThreads(prev);
+        let ra = a();
+        if let Err(payload) = handle.join() {
+            std::panic::resume_unwind(payload);
+        }
+        ra
+    });
+    (ra, rb_slot.expect("join branch completed without a result"))
+}
+
+/// Drop guard restoring the thread-local budget on scope exit or unwind.
+struct RestoreNumThreads(usize);
+
+impl Drop for RestoreNumThreads {
+    fn drop(&mut self) {
+        NUM_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+type ScopeTask<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A dynamic task scope: tasks spawned onto it (including from inside other tasks) are
+/// drained by up to `current_num_threads()` workers pulling from a shared queue.
+pub struct Scope<'scope> {
+    queue: Mutex<Vec<ScopeTask<'scope>>>,
+    /// Tasks queued or currently running; workers exit only when this reaches zero.
+    pending: AtomicUsize,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Enqueues `f` to run within the scope. The task may spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().unwrap().push(Box::new(f));
+    }
+
+    fn run_pending(&self) {
+        /// Decrements `pending` even if the task unwinds, so a panicking task cannot
+        /// strand the other workers in the wait loop; the panic itself propagates
+        /// through `std::thread::scope` when the scope ends.
+        struct PendingGuard<'a>(&'a AtomicUsize);
+        impl Drop for PendingGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let mut idle_polls = 0u32;
+        loop {
+            let task = self.queue.lock().unwrap().pop();
+            match task {
+                Some(task) => {
+                    idle_polls = 0;
+                    let _guard = PendingGuard(&self.pending);
+                    task(self);
+                }
+                None => {
+                    if self.pending.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    // The queue is empty but a running task may still spawn more work.
+                    // Yield first (cheap when a task is about to finish), then back off
+                    // to a short sleep so idle workers don't burn a core spinning on
+                    // the queue mutex behind a long-running task.
+                    idle_polls += 1;
+                    if idle_polls < 16 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Creates a [`Scope`], runs `op` on it, then runs every spawned task to completion
+/// before returning `op`'s result.
+///
+/// Unlike the slice/range adapters — which split work into one static contiguous chunk
+/// per worker — scope workers repeatedly pop tasks from a shared queue, so irregular
+/// task trees keep all workers busy. With a single-thread budget the tasks run
+/// sequentially on the calling thread in LIFO order.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        queue: Mutex::new(Vec::new()),
+        pending: AtomicUsize::new(0),
+    };
+    let result = op(&s);
+    let threads = current_num_threads();
+    if threads <= 1 || s.pending.load(Ordering::SeqCst) <= 1 {
+        s.run_pending();
+        return result;
+    }
+    let base = INDEX_BASE.with(|c| c.get());
+    std::thread::scope(|ts| {
+        let scope_ref = &s;
+        for w in 1..threads {
+            ts.spawn(move || {
+                NUM_THREADS.with(|c| c.set(1));
+                INDEX_BASE.with(|c| c.set(base + w));
+                THREAD_INDEX.with(|c| c.set(Some(base + w)));
+                scope_ref.run_pending();
+            });
+        }
+        let prev_threads = NUM_THREADS.with(|c| c.replace(1));
+        let prev_index = THREAD_INDEX.with(|c| c.replace(Some(base)));
+        s.run_pending();
+        NUM_THREADS.with(|c| c.set(prev_threads));
+        THREAD_INDEX.with(|c| c.set(prev_index));
+    });
+    result
+}
+
 /// A raw pointer that may cross thread boundaries. Safety rests on the drivers below
 /// handing each worker a disjoint index range.
 struct SharedPtr<T>(*mut T);
@@ -133,6 +315,9 @@ where
         return;
     }
     let workers = threads.min(len);
+    // Worker indices are offset by the caller's index base so data-parallel calls
+    // running concurrently in sibling `join` branches hand out disjoint indices.
+    let base = INDEX_BASE.with(|c| c.get());
     std::thread::scope(|scope| {
         let body = &body;
         for w in 1..workers {
@@ -141,13 +326,14 @@ where
                 // Workers advertise a single thread so nested parallel calls run
                 // sequentially instead of oversubscribing the machine.
                 NUM_THREADS.with(|c| c.set(1));
-                THREAD_INDEX.with(|c| c.set(Some(w)));
+                INDEX_BASE.with(|c| c.set(base + w));
+                THREAD_INDEX.with(|c| c.set(Some(base + w)));
                 body(w, start, end);
             });
         }
         let (start, end) = split_range(len, workers, 0);
         let prev_threads = NUM_THREADS.with(|c| c.replace(1));
-        let prev_index = THREAD_INDEX.with(|c| c.replace(Some(0)));
+        let prev_index = THREAD_INDEX.with(|c| c.replace(Some(base)));
         body(0, start, end);
         NUM_THREADS.with(|c| c.set(prev_threads));
         THREAD_INDEX.with(|c| c.set(prev_index));
@@ -606,6 +792,26 @@ impl<I: ParIndex, R: Send, F: Fn(I) -> Option<R> + Sync> ParRangeFilterMap<I, F>
         });
         C::from_vec(parts.into_iter().flatten().collect())
     }
+
+    /// Collects into `out`, reusing its capacity (order-preserving, like `collect`).
+    ///
+    /// `out` is cleared first. This reuses the (large) concatenation buffer across
+    /// calls; the small per-worker part vectors of the fold are still allocated fresh
+    /// per call. (Real rayon offers `collect_into_vec` on indexed iterators; this shim
+    /// extends it to the filtered range shape the workspace needs.)
+    pub fn collect_into_vec(self, out: &mut Vec<R>) {
+        let range = &self.range;
+        let f = &self.f;
+        out.clear();
+        let parts = fold_collect_vecs(range.len, range.len, |i, acc| {
+            if let Some(r) = f(range.item(i)) {
+                acc.push(r);
+            }
+        });
+        for part in parts {
+            out.extend(part);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -770,6 +976,152 @@ mod tests {
             assert_eq!(v[9_999], 9_999);
         });
         assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn join_returns_both_results_at_any_budget() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (a, b) =
+                pool.install(|| join(|| (0..1000u64).sum::<u64>(), || join(|| 1u64, || 2u64)));
+            assert_eq!(a, 499_500);
+            assert_eq!(b, (1, 2));
+        }
+    }
+
+    #[test]
+    fn join_splits_the_thread_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let (a, b) = join(current_num_threads, current_num_threads);
+            assert_eq!(a + b, 4);
+            assert!(a >= 1 && b >= 1);
+        });
+        // With one thread, both branches see the sequential budget.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            let (a, b) = join(current_num_threads, current_num_threads);
+            assert_eq!((a, b), (1, 1));
+        });
+    }
+
+    #[test]
+    fn join_branches_hand_out_disjoint_worker_indices() {
+        use std::sync::Mutex;
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let a_indices = Mutex::new(Vec::new());
+        let b_indices = Mutex::new(Vec::new());
+        pool.install(|| {
+            join(
+                || {
+                    let data = vec![0u8; 100_000];
+                    data.par_chunks(1_000).for_each(|_| {
+                        a_indices
+                            .lock()
+                            .unwrap()
+                            .push(current_thread_index().unwrap_or(usize::MAX));
+                    });
+                },
+                || {
+                    let data = vec![0u8; 100_000];
+                    data.par_chunks(1_000).for_each(|_| {
+                        b_indices
+                            .lock()
+                            .unwrap()
+                            .push(current_thread_index().unwrap_or(usize::MAX));
+                    });
+                },
+            );
+        });
+        let a: std::collections::HashSet<usize> =
+            a_indices.into_inner().unwrap().into_iter().collect();
+        let b: std::collections::HashSet<usize> =
+            b_indices.into_inner().unwrap().into_iter().collect();
+        assert!(a.intersection(&b).count() == 0, "overlap: {a:?} vs {b:?}");
+        assert!(
+            a.union(&b).all(|&i| i < 4),
+            "index beyond pool size: {a:?} {b:?}"
+        );
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_including_nested_spawns() {
+        for threads in [1, 4] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let counter = AtomicUsize::new(0);
+            pool.install(|| {
+                scope(|s| {
+                    for _ in 0..10 {
+                        s.spawn(|s| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            s.spawn(|_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                });
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 20, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_instead_of_hanging() {
+        for threads in [1, 4] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.install(|| {
+                    scope(|s| {
+                        s.spawn(|_| {});
+                        s.spawn(|_| panic!("task panic"));
+                        s.spawn(|_| {});
+                    });
+                });
+            }));
+            assert!(result.is_err(), "panic must propagate at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn join_restores_the_thread_budget_after_a_branch_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                join(|| panic!("branch panic"), || ());
+            }));
+            assert!(result.is_err());
+            assert_eq!(current_num_threads(), 4, "budget must survive the unwind");
+        });
+    }
+
+    #[test]
+    fn filter_map_collect_into_vec_matches_collect() {
+        let expected: Vec<usize> = (0..50_000usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 7 == 0).then_some(i * 2))
+            .collect();
+        let mut out = vec![1, 2, 3];
+        (0..50_000usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 7 == 0).then_some(i * 2))
+            .collect_into_vec(&mut out);
+        assert_eq!(out, expected);
+        let capacity = out.capacity();
+        (0..50_000usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 7 == 0).then_some(i * 2))
+            .collect_into_vec(&mut out);
+        assert_eq!(out, expected);
+        assert_eq!(out.capacity(), capacity, "buffer must be reused");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Coarsening repeatedly (1) computes a size-constrained label propagation clustering
 //! ([`lp_clustering`]), (2) optionally merges leftover singletons via two-hop clustering
-//! ([`two_hop`]) and (3) contracts the clustering ([`contract`]) until the graph is small
+//! ([`two_hop`]) and (3) contracts the clustering ([`mod@contract`]) until the graph is small
 //! enough for initial partitioning or stops shrinking. The resulting [`Hierarchy`]
 //! records every coarse graph together with the fine-to-coarse vertex mapping needed to
 //! project partitions back up during uncoarsening.

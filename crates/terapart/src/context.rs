@@ -106,12 +106,27 @@ impl Default for CoarseningConfig {
 #[derive(Debug, Clone, PartialEq)]
 pub struct InitialPartitioningConfig {
     /// Number of independent attempts of the greedy-growing + FM portfolio per
-    /// bisection; the best result (by cut) is kept.
+    /// bisection. Each attempt derives its RNG stream from the bisection's seed and the
+    /// attempt index; the winner is the best balanced result, ties broken by lower cut
+    /// and then lower attempt index, so the outcome is independent of the order in
+    /// which parallel attempts finish.
     pub attempts: usize,
-    /// Number of 2-way FM passes applied to each bisection attempt.
+    /// Number of 2-way FM passes applied to each bisection attempt (each pass stops
+    /// early once it cannot improve the cut).
     pub fm_passes: usize,
-    /// Random seed.
+    /// Base seed used when the stage is configured standalone (e.g. by experiment
+    /// binaries). Inside the multilevel pipeline the driver passes
+    /// [`PartitionerConfig::seed`] instead, so one seed controls the whole run.
     pub seed: u64,
+    /// Run the two child recursions of each bisection and the independent portfolio
+    /// attempts in parallel (task parallelism via the rayon shim's `join`). Results are
+    /// bit-identical for a fixed seed at any thread count, because every subtree's RNG
+    /// stream is derived from the seed path rather than from scheduling.
+    pub parallel: bool,
+    /// Minimum subgraph size (in vertices) for forking a parallel task; smaller
+    /// bisections and their portfolios run sequentially on the current thread, since
+    /// task-spawn overhead would dwarf the work. Has no effect on results.
+    pub parallel_grain: usize,
 }
 
 impl Default for InitialPartitioningConfig {
@@ -120,6 +135,8 @@ impl Default for InitialPartitioningConfig {
             attempts: 4,
             fm_passes: 3,
             seed: 1,
+            parallel: true,
+            parallel_grain: 1024,
         }
     }
 }

@@ -1,16 +1,27 @@
 //! 2-way initial partitioning: greedy graph growing plus 2-way FM refinement.
 //!
 //! KaMinPar's initial bipartitioning uses a portfolio of randomized sequential greedy
-//! graph growing heuristics refined with 2-way FM (paper §II-B). These routines run on
-//! the coarsest graph only, so they are sequential; the multilevel driver invokes them
-//! repeatedly with different seeds and keeps the best result.
-
-use std::collections::BinaryHeap;
+//! graph growing heuristics refined with 2-way FM (paper §II-B). Each routine runs on
+//! one (sub)graph of the coarsest level; the multilevel driver invokes them with
+//! different seeds — concurrently, when the portfolio is parallelized — and keeps the
+//! best result.
+//!
+//! All state lives in an [`AttemptWorkspace`] checked out from the initial-partitioning
+//! scratch pool, so repeated attempts across the bisection tree are allocation-free: the
+//! `*_into` functions are the hot path, and the plain wrappers ([`greedy_graph_growing`],
+//! [`fm_bipartition_pass`], [`bipartition`]) exist for tests and standalone use.
+//!
+//! The FM pass maintains vertex gains **incrementally**: moving `u` changes a
+//! neighbour's gain by exactly `±2w`, so a move costs `O(deg(u))` instead of the seed
+//! implementation's `O(Σ_v deg(v))` full recomputation per touched neighbour — the
+//! dominant cost on skewed (web-like) coarsest graphs.
 
 use graph::traits::Graph;
 use graph::{EdgeWeight, NodeId, NodeWeight};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+
+use super::scratch::AttemptWorkspace;
 
 /// A bipartition represented as a boolean per vertex (`true` = block 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,53 +37,63 @@ pub struct Bipartition {
 impl Bipartition {
     /// Computes the edge cut of the bipartition on `graph`.
     pub fn cut(&self, graph: &impl Graph) -> EdgeWeight {
-        let mut cut = 0;
-        for u in 0..graph.n() as NodeId {
-            graph.for_each_neighbor(u, &mut |v, w| {
-                if u < v && self.side[u as usize] != self.side[v as usize] {
-                    cut += w;
-                }
-            });
-        }
-        cut
+        cut_of(graph, &self.side)
     }
 }
 
+/// Edge cut of the side assignment on `graph` (each undirected edge counted once).
+pub(crate) fn cut_of(graph: &impl Graph, side: &[bool]) -> EdgeWeight {
+    let mut cut = 0;
+    for u in 0..graph.n() as NodeId {
+        graph.for_each_neighbor(u, &mut |v, w| {
+            if u < v && side[u as usize] != side[v as usize] {
+                cut += w;
+            }
+        });
+    }
+    cut
+}
+
 /// Grows block 0 greedily from a random seed vertex until it reaches `target_weight0`;
-/// the remaining vertices form block 1.
+/// the remaining vertices form block 1. The result is left in `ws.side` /
+/// `ws.weight0` / `ws.weight1`.
 ///
 /// Frontier vertices are picked by the strength of their connection to the growing block
 /// (greedy graph growing). Disconnected graphs are handled by restarting from a fresh
 /// random unassigned vertex whenever the frontier runs dry.
-pub fn greedy_graph_growing(
+pub(crate) fn greedy_graph_growing_into(
     graph: &impl Graph,
     target_weight0: NodeWeight,
     seed: u64,
-) -> Bipartition {
+    ws: &mut AttemptWorkspace,
+) {
     let n = graph.n();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    // true = assigned to block 0.
-    let mut in_block0 = vec![false; n];
-    let mut assigned = vec![false; n];
+    // `side[u] = false` marks membership in the growing block 0.
+    ws.side.clear();
+    ws.side.resize(n, true);
+    ws.assigned.clear();
+    ws.assigned.resize(n, false);
     let mut weight0: NodeWeight = 0;
-    // Max-heap of (connection weight to block 0, vertex).
-    let mut frontier: BinaryHeap<(EdgeWeight, NodeId)> = BinaryHeap::new();
+    // Max-heap of (connection weight to block 0, vertex); the stamp slot is unused here.
+    ws.heap.clear();
 
-    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    order.shuffle(&mut rng);
+    ws.order.clear();
+    ws.order.extend(0..n as NodeId);
+    ws.order.shuffle(&mut rng);
     let mut next_seed = 0usize;
 
     while weight0 < target_weight0 {
-        let u = match frontier.pop() {
-            Some((_, u)) if !assigned[u as usize] => u,
+        let u = match ws.heap.pop() {
+            Some((_, u, _)) if !ws.assigned[u as usize] => u,
             Some(_) => continue, // stale heap entry
             None => {
                 // Frontier exhausted: restart from an arbitrary unassigned vertex.
                 let mut restart = None;
-                while next_seed < order.len() {
-                    let candidate = order[next_seed];
+                while next_seed < ws.order.len() {
+                    let candidate = ws.order[next_seed];
                     next_seed += 1;
-                    if !assigned[candidate as usize] {
+                    if !ws.assigned[candidate as usize] {
                         restart = Some(candidate);
                         break;
                     }
@@ -83,65 +104,80 @@ pub fn greedy_graph_growing(
                 }
             }
         };
-        assigned[u as usize] = true;
-        in_block0[u as usize] = true;
+        ws.assigned[u as usize] = true;
+        ws.side[u as usize] = false;
         weight0 += graph.node_weight(u);
+        let assigned = &ws.assigned;
+        let heap = &mut ws.heap;
         graph.for_each_neighbor(u, &mut |v, w| {
             if !assigned[v as usize] {
-                frontier.push((w, v));
+                heap.push((w as i64, v, 0));
             }
         });
     }
 
-    let side: Vec<bool> = in_block0.iter().map(|&b| !b).collect();
-    let total = graph.total_node_weight();
-    Bipartition {
-        side,
-        weight0,
-        weight1: total - weight0,
-    }
+    ws.weight0 = weight0;
+    ws.weight1 = graph.total_node_weight() - weight0;
 }
 
-/// One pass of 2-way FM refinement with rollback to the best observed prefix.
+/// One pass of 2-way FM refinement with rollback to the best observed prefix, operating
+/// in place on `ws.side` / `ws.weight0` / `ws.weight1`.
 ///
-/// Returns the cut improvement achieved by the pass (0 if no improvement was possible).
-pub fn fm_bipartition_pass(
+/// Returns the cut improvement achieved by the pass (0 if no improvement was possible;
+/// the bipartition is then left exactly as it was).
+pub(crate) fn fm_pass_into(
     graph: &impl Graph,
-    bipartition: &mut Bipartition,
     max_weight: [NodeWeight; 2],
+    ws: &mut AttemptWorkspace,
 ) -> EdgeWeight {
     let n = graph.n();
-    // gain(u) = weight towards the other side - weight towards the own side.
-    let gain_of = |u: NodeId, side: &[bool]| -> i64 {
-        let mut internal: i64 = 0;
-        let mut external: i64 = 0;
-        graph.for_each_neighbor(u, &mut |v, w| {
-            if side[v as usize] == side[u as usize] {
-                internal += w as i64;
-            } else {
-                external += w as i64;
-            }
-        });
-        external - internal
-    };
+    let AttemptWorkspace {
+        side,
+        weight0,
+        weight1,
+        heap,
+        gains,
+        stamp,
+        locked,
+        moves,
+        ..
+    } = ws;
 
-    let mut side = bipartition.side.clone();
-    let mut weights = [bipartition.weight0, bipartition.weight1];
-    let mut locked = vec![false; n];
-    let mut heap: BinaryHeap<(i64, NodeId, u32)> = BinaryHeap::new();
-    let mut stamp = vec![0u32; n];
+    // gain(u) = weight towards the other side - weight towards the own side; computed
+    // once per pass, then maintained incrementally as vertices move.
+    gains.clear();
+    gains.resize(n, 0);
     for u in 0..n as NodeId {
-        heap.push((gain_of(u, &side), u, 0));
+        let own = side[u as usize];
+        let mut gain: i64 = 0;
+        graph.for_each_neighbor(u, &mut |v, w| {
+            gain += if side[v as usize] == own {
+                -(w as i64)
+            } else {
+                w as i64
+            };
+        });
+        gains[u as usize] = gain;
     }
 
+    stamp.clear();
+    stamp.resize(n, 0);
+    locked.clear();
+    locked.resize(n, false);
+    heap.clear();
+    for u in 0..n as NodeId {
+        heap.push((gains[u as usize], u, 0));
+    }
+
+    let mut weights = [*weight0, *weight1];
     let mut best_improvement: i64 = 0;
     let mut current_improvement: i64 = 0;
-    let mut moves: Vec<NodeId> = Vec::new();
+    moves.clear();
     let mut best_prefix = 0usize;
 
     while let Some((gain, u, s)) = heap.pop() {
         if locked[u as usize] || s != stamp[u as usize] {
-            continue;
+            continue; // stale entry: the vertex moved or its gain changed since the push
         }
         let from = side[u as usize] as usize;
         let to = 1 - from;
@@ -151,7 +187,8 @@ pub fn fm_bipartition_pass(
         }
         // Apply the move tentatively.
         locked[u as usize] = true;
-        side[u as usize] = !side[u as usize];
+        let new_side = !side[u as usize];
+        side[u as usize] = new_side;
         weights[from] -= w;
         weights[to] += w;
         current_improvement += gain;
@@ -160,11 +197,19 @@ pub fn fm_bipartition_pass(
             best_improvement = current_improvement;
             best_prefix = moves.len();
         }
-        // Update the gains of unlocked neighbours.
-        graph.for_each_neighbor(u, &mut |v, _| {
+        // Update the gains of unlocked neighbours incrementally: an edge to u was
+        // internal for neighbours on u's old side (now external: +2w) and external for
+        // neighbours on u's new side (now internal: -2w).
+        graph.for_each_neighbor(u, &mut |v, w| {
             if !locked[v as usize] {
+                let delta = if side[v as usize] == new_side {
+                    -2 * (w as i64)
+                } else {
+                    2 * (w as i64)
+                };
+                gains[v as usize] += delta;
                 stamp[v as usize] += 1;
-                heap.push((gain_of(v, &side), v, stamp[v as usize]));
+                heap.push((gains[v as usize], v, stamp[v as usize]));
             }
         });
         // Heuristic stop: once the pass has moved every vertex there is nothing left.
@@ -173,24 +218,78 @@ pub fn fm_bipartition_pass(
         }
     }
 
-    if best_improvement <= 0 {
-        return 0;
-    }
-    // Roll back to the best prefix and commit it.
-    for &u in &moves[best_prefix..] {
+    // Roll back to the best prefix (all the way to the start if nothing improved).
+    let keep = if best_improvement > 0 { best_prefix } else { 0 };
+    for &u in &moves[keep..] {
         let w = graph.node_weight(u);
         let from = side[u as usize] as usize;
         side[u as usize] = !side[u as usize];
         weights[from] -= w;
         weights[1 - from] += w;
     }
-    bipartition.side = side;
-    bipartition.weight0 = weights[0];
-    bipartition.weight1 = weights[1];
+    if best_improvement <= 0 {
+        return 0;
+    }
+    *weight0 = weights[0];
+    *weight1 = weights[1];
     best_improvement as EdgeWeight
 }
 
-/// Produces a refined bipartition: greedy growing followed by `fm_passes` FM passes.
+/// Produces a refined bipartition in `ws`: greedy growing followed by up to `fm_passes`
+/// FM passes (stopping early once a pass yields no improvement).
+pub(crate) fn bipartition_into(
+    graph: &impl Graph,
+    target_weight0: NodeWeight,
+    max_weight: [NodeWeight; 2],
+    fm_passes: usize,
+    seed: u64,
+    ws: &mut AttemptWorkspace,
+) {
+    greedy_graph_growing_into(graph, target_weight0, seed, ws);
+    for _ in 0..fm_passes {
+        if fm_pass_into(graph, max_weight, ws) == 0 {
+            break;
+        }
+    }
+}
+
+/// Standalone wrapper over `greedy_graph_growing_into` with a fresh workspace.
+pub fn greedy_graph_growing(
+    graph: &impl Graph,
+    target_weight0: NodeWeight,
+    seed: u64,
+) -> Bipartition {
+    let mut ws = AttemptWorkspace::default();
+    greedy_graph_growing_into(graph, target_weight0, seed, &mut ws);
+    Bipartition {
+        side: std::mem::take(&mut ws.side),
+        weight0: ws.weight0,
+        weight1: ws.weight1,
+    }
+}
+
+/// Standalone wrapper over `fm_pass_into` with a fresh workspace.
+///
+/// Returns the cut improvement achieved by the pass (0 if no improvement was possible).
+pub fn fm_bipartition_pass(
+    graph: &impl Graph,
+    bipartition: &mut Bipartition,
+    max_weight: [NodeWeight; 2],
+) -> EdgeWeight {
+    let mut ws = AttemptWorkspace {
+        side: std::mem::take(&mut bipartition.side),
+        weight0: bipartition.weight0,
+        weight1: bipartition.weight1,
+        ..AttemptWorkspace::default()
+    };
+    let improvement = fm_pass_into(graph, max_weight, &mut ws);
+    bipartition.side = std::mem::take(&mut ws.side);
+    bipartition.weight0 = ws.weight0;
+    bipartition.weight1 = ws.weight1;
+    improvement
+}
+
+/// Standalone wrapper over `bipartition_into` with a fresh workspace.
 pub fn bipartition(
     graph: &impl Graph,
     target_weight0: NodeWeight,
@@ -198,13 +297,13 @@ pub fn bipartition(
     fm_passes: usize,
     seed: u64,
 ) -> Bipartition {
-    let mut result = greedy_graph_growing(graph, target_weight0, seed);
-    for _ in 0..fm_passes {
-        if fm_bipartition_pass(graph, &mut result, max_weight) == 0 {
-            break;
-        }
+    let mut ws = AttemptWorkspace::default();
+    bipartition_into(graph, target_weight0, max_weight, fm_passes, seed, &mut ws);
+    Bipartition {
+        side: std::mem::take(&mut ws.side),
+        weight0: ws.weight0,
+        weight1: ws.weight1,
     }
-    result
 }
 
 #[cfg(test)]
@@ -287,6 +386,21 @@ mod tests {
     }
 
     #[test]
+    fn fm_leaves_the_bipartition_untouched_when_nothing_improves() {
+        let g = gen::clique_chain(2, 10);
+        let side: Vec<bool> = (0..20).map(|u| u >= 10).collect();
+        let mut b = Bipartition {
+            side: side.clone(),
+            weight0: 10,
+            weight1: 10,
+        };
+        let improvement = fm_bipartition_pass(&g, &mut b, [11, 11]);
+        assert_eq!(improvement, 0);
+        assert_eq!(b.side, side, "no-improvement pass must roll back fully");
+        assert_eq!((b.weight0, b.weight1), (10, 10));
+    }
+
+    #[test]
     fn bipartition_end_to_end_is_balanced_and_low_cut() {
         let g = gen::grid2d(12, 12);
         let total = g.total_node_weight();
@@ -302,5 +416,21 @@ mod tests {
         let b = greedy_graph_growing(&g, 0, 1);
         assert_eq!(b.weight0, 0);
         assert!(b.side.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn workspace_reuse_is_equivalent_to_fresh_workspaces() {
+        // The same seeds through one reused workspace must reproduce the standalone
+        // results exactly — reused buffers must not leak state between attempts.
+        let g = gen::rgg2d(400, 9, 17);
+        let total = g.total_node_weight();
+        let max = [total, total];
+        let mut ws = AttemptWorkspace::default();
+        for seed in [1u64, 7, 42, 1_000_003] {
+            bipartition_into(&g, total / 2, max, 3, seed, &mut ws);
+            let fresh = bipartition(&g, total / 2, max, 3, seed);
+            assert_eq!(ws.side, fresh.side, "seed {seed}");
+            assert_eq!((ws.weight0, ws.weight1), (fresh.weight0, fresh.weight1));
+        }
     }
 }

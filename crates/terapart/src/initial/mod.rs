@@ -2,22 +2,44 @@
 //!
 //! KaMinPar partitions the coarsest graph with a portfolio of randomized greedy graph
 //! growing heuristics refined by 2-way FM (paper §II-B), recursing to obtain `k` blocks.
-//! The coarsest graph has `O(contraction_limit · k)` vertices, so this stage is cheap and
-//! runs sequentially per bisection; the portfolio attempts use different seeds and the
-//! best (lowest-cut, balanced) result is kept.
+//! The coarsest graph has `O(contraction_limit · k)` vertices, so the stage is cheap in
+//! memory — but it sits on the critical path, so this implementation treats it the way
+//! the paper treats every other phase: **task-parallel** and **allocation-free**.
+//!
+//! * The two child recursions of each bisection and the independent portfolio attempts
+//!   run in parallel via [`rayon::join`], with the thread budget split between branches.
+//! * The whole bisection tree works on **one** vertex permutation
+//!   (`InitialPartitioningScratch::tree_vertices`): each bisection stably partitions its
+//!   slice in place and recurses on the two disjoint subslices, so no per-node vertex
+//!   lists are ever allocated.
+//! * Induced subgraphs are extracted into pooled raw-CSR buffers through an
+//!   epoch-tagged membership map (see [`scratch`]) instead of the validating
+//!   `CsrGraphBuilder` path that hashed, deduplicated and re-sorted every subgraph.
+//! * Results are **bit-identical for a fixed seed at any thread count**: every subtree
+//!   derives its RNG stream from the root seed and its path in the bisection tree,
+//!   every attempt from the subtree seed and its attempt index, and the portfolio
+//!   winner is selected by a total order (`balanced`, `cut`, attempt index`) that does
+//!   not depend on completion order.
 
 pub mod bipartition;
+pub mod scratch;
 
 use graph::csr::{CsrGraph, CsrGraphBuilder};
 use graph::traits::Graph;
-use graph::{NodeId, NodeWeight};
+use graph::{EdgeWeight, NodeId, NodeWeight};
 
 use crate::context::InitialPartitioningConfig;
 use crate::partition::{BlockId, Partition};
+use crate::scratch::{HierarchyScratch, SharedSlice};
 
-use bipartition::{bipartition, Bipartition};
+pub use bipartition::Bipartition;
 
-/// Computes an initial `k`-way partition of `graph` via recursive bisection.
+use bipartition::{bipartition_into, cut_of};
+use scratch::{AttemptWorkspace, InitialPartitioningScratch, SubgraphView};
+
+/// Computes an initial `k`-way partition of `graph` via recursive bisection, using a
+/// throwaway scratch arena. Prefer [`initial_partition_with_scratch`] inside the
+/// multilevel pipeline.
 pub fn initial_partition(
     graph: &CsrGraph,
     k: usize,
@@ -25,21 +47,49 @@ pub fn initial_partition(
     config: &InitialPartitioningConfig,
     seed: u64,
 ) -> Partition {
+    let mut scratch = HierarchyScratch::new();
+    initial_partition_with_scratch(graph, k, epsilon, config, seed, &mut scratch)
+}
+
+/// Computes an initial `k`-way partition of `graph` via parallel recursive bisection,
+/// reusing the initial-partitioning region of `scratch` across the whole bisection tree.
+pub fn initial_partition_with_scratch(
+    graph: &CsrGraph,
+    k: usize,
+    epsilon: f64,
+    config: &InitialPartitioningConfig,
+    seed: u64,
+    scratch: &mut HierarchyScratch,
+) -> Partition {
     assert!(k >= 1);
     let n = graph.n();
     let mut assignment: Vec<BlockId> = vec![0; n];
     if k > 1 && n > 0 {
-        let vertices: Vec<NodeId> = (0..n as NodeId).collect();
-        recurse(
-            graph,
-            &vertices,
-            0,
-            k,
-            epsilon,
-            config,
-            seed,
-            &mut assignment,
-        );
+        scratch.initial.ensure(n);
+        // The tree permutation is partitioned in place; take it out of the scratch so
+        // the recursion can hold `&mut` slices of it alongside `&scratch.initial`.
+        let mut vertices = std::mem::take(&mut scratch.initial.tree_vertices);
+        vertices.clear();
+        vertices.extend(0..n as NodeId);
+        {
+            let shared = SharedSlice::new(&mut assignment);
+            recurse(
+                graph,
+                &mut vertices,
+                0,
+                k,
+                epsilon,
+                config,
+                seed,
+                &shared,
+                &scratch.initial,
+            );
+        }
+        scratch.initial.tree_vertices = vertices;
+        // The pooled workspaces have no user past this point; free them so the standing
+        // footprint through uncoarsening stays node-indexed (see `release_pools`).
+        scratch.initial.release_pools();
+        scratch.recharge();
     }
     let mut partition = Partition::from_assignment(graph, k, epsilon, assignment);
     let cut = partition.edge_cut_on(graph);
@@ -47,27 +97,40 @@ pub fn initial_partition(
     partition
 }
 
-/// Recursively bisects the subgraph induced by `vertices` into blocks
-/// `[first_block, first_block + k)`.
+/// Whether a task over `len` vertices is worth a parallel fork under `config`.
+fn should_fork(config: &InitialPartitioningConfig, len: usize) -> bool {
+    config.parallel && len >= config.parallel_grain && rayon::current_num_threads() > 1
+}
+
+/// Recursively bisects the subgraph induced by the `vertices` slice into blocks
+/// `[first_block, first_block + k)`, writing the result through `assignment`.
+///
+/// The slice is stably partitioned in place by the chosen bipartition, so the two child
+/// recursions operate on disjoint subslices (and disjoint `assignment` indices), which
+/// is what makes the parallel fork sound.
 #[allow(clippy::too_many_arguments)]
 fn recurse(
     graph: &CsrGraph,
-    vertices: &[NodeId],
+    vertices: &mut [NodeId],
     first_block: usize,
     k: usize,
     epsilon: f64,
     config: &InitialPartitioningConfig,
     seed: u64,
-    assignment: &mut [BlockId],
+    assignment: &SharedSlice<BlockId>,
+    scratch: &InitialPartitioningScratch,
 ) {
     if k == 1 || vertices.is_empty() {
-        for &u in vertices {
-            assignment[u as usize] = first_block as BlockId;
+        for &u in vertices.iter() {
+            // SAFETY: sibling recursions hold disjoint vertex sets, so each index is
+            // written by exactly one task.
+            unsafe { assignment.write(u as usize, first_block as BlockId) };
         }
         return;
     }
-    let (sub, original) = induced_subgraph(graph, vertices);
-    let total = sub.total_node_weight();
+    let mut ws = scratch.checkout_bisection();
+    ws.extract(graph, vertices, scratch);
+    let total = ws.total_node_weight;
     let k0 = k.div_ceil(2);
     let k1 = k - k0;
     let target0 = (total as f64 * k0 as f64 / k as f64).round() as NodeWeight;
@@ -77,71 +140,171 @@ fn recurse(
     let max0 = ((total as f64 * k0 as f64 / k as f64) * slack).ceil() as NodeWeight;
     let max1 = ((total as f64 * k1 as f64 / k as f64) * slack).ceil() as NodeWeight;
 
-    let best = best_bipartition(&sub, target0, [max0.max(1), max1.max(1)], config, seed);
+    let best = best_bipartition(
+        &ws.view(),
+        target0,
+        [max0.max(1), max1.max(1)],
+        config,
+        seed,
+        scratch,
+    );
 
-    let mut left: Vec<NodeId> = Vec::new();
-    let mut right: Vec<NodeId> = Vec::new();
-    for (local, &orig) in original.iter().enumerate() {
+    // Stable in-place partition of the slice: side-0 vertices first, side-1 after,
+    // relative order preserved on both sides (keeps the slices ascending, which the
+    // subgraph extraction relies on).
+    ws.right_tmp.clear();
+    let mut write = 0usize;
+    for local in 0..vertices.len() {
+        let u = vertices[local];
         if best.side[local] {
-            right.push(orig);
+            ws.right_tmp.push(u);
         } else {
-            left.push(orig);
+            vertices[write] = u;
+            write += 1;
         }
     }
-    recurse(
-        graph,
-        &left,
-        first_block,
-        k0,
-        epsilon,
-        config,
-        seed.wrapping_mul(31).wrapping_add(1),
-        assignment,
-    );
-    recurse(
-        graph,
-        &right,
-        first_block + k0,
-        k1,
-        epsilon,
-        config,
-        seed.wrapping_mul(31).wrapping_add(2),
-        assignment,
-    );
+    vertices[write..].copy_from_slice(&ws.right_tmp);
+    scratch.release_attempt(best);
+    scratch.release_bisection(ws);
+
+    let (left, right) = vertices.split_at_mut(write);
+    let seed0 = seed.wrapping_mul(31).wrapping_add(1);
+    let seed1 = seed.wrapping_mul(31).wrapping_add(2);
+    if should_fork(config, left.len().min(right.len())) {
+        rayon::join(
+            || {
+                recurse(
+                    graph,
+                    left,
+                    first_block,
+                    k0,
+                    epsilon,
+                    config,
+                    seed0,
+                    assignment,
+                    scratch,
+                )
+            },
+            || {
+                recurse(
+                    graph,
+                    right,
+                    first_block + k0,
+                    k1,
+                    epsilon,
+                    config,
+                    seed1,
+                    assignment,
+                    scratch,
+                )
+            },
+        );
+    } else {
+        recurse(
+            graph,
+            left,
+            first_block,
+            k0,
+            epsilon,
+            config,
+            seed0,
+            assignment,
+            scratch,
+        );
+        recurse(
+            graph,
+            right,
+            first_block + k0,
+            k1,
+            epsilon,
+            config,
+            seed1,
+            assignment,
+            scratch,
+        );
+    }
 }
 
-/// Runs the bisection portfolio and returns the best balanced result (or, failing that,
-/// the result with the lowest cut).
+/// Portfolio-selection key: balanced results beat imbalanced ones, then lower cut wins,
+/// then the lower attempt index — a total order, so the winner is independent of the
+/// order in which parallel attempts complete.
+type AttemptKey = (bool, EdgeWeight, usize);
+
+/// Runs the bisection portfolio and returns the winning attempt's workspace (holding the
+/// best balanced result or, failing that, the result with the lowest cut).
 fn best_bipartition(
-    sub: &CsrGraph,
+    sub: &SubgraphView<'_>,
     target0: NodeWeight,
     max_weight: [NodeWeight; 2],
     config: &InitialPartitioningConfig,
     seed: u64,
-) -> Bipartition {
-    let mut best: Option<(bool, u64, Bipartition)> = None;
-    for attempt in 0..config.attempts.max(1) {
-        let attempt_seed = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9);
-        let candidate = bipartition(sub, target0, max_weight, config.fm_passes, attempt_seed);
-        let balanced = candidate.weight0 <= max_weight[0] && candidate.weight1 <= max_weight[1];
-        let cut = candidate.cut(sub);
-        let better = match &best {
-            None => true,
-            Some((best_balanced, best_cut, _)) => {
-                (balanced && !best_balanced) || (balanced == *best_balanced && cut < *best_cut)
-            }
-        };
-        if better {
-            best = Some((balanced, cut, candidate));
-        }
-    }
-    best.expect("at least one bisection attempt").2
+    scratch: &InitialPartitioningScratch,
+) -> AttemptWorkspace {
+    let attempts = config.attempts.max(1);
+    let (_, best) = attempt_range(sub, target0, max_weight, config, seed, scratch, 0, attempts);
+    best
 }
 
-/// Extracts the subgraph induced by `vertices`.
+/// Runs attempts `[begin, end)`, forking the range in half while the subgraph is large
+/// enough, and returns the winner by [`AttemptKey`].
+#[allow(clippy::too_many_arguments)]
+fn attempt_range(
+    sub: &SubgraphView<'_>,
+    target0: NodeWeight,
+    max_weight: [NodeWeight; 2],
+    config: &InitialPartitioningConfig,
+    seed: u64,
+    scratch: &InitialPartitioningScratch,
+    begin: usize,
+    end: usize,
+) -> (AttemptKey, AttemptWorkspace) {
+    if end - begin > 1 && should_fork(config, sub.n()) {
+        let mid = begin + (end - begin) / 2;
+        let (a, b) = rayon::join(
+            || attempt_range(sub, target0, max_weight, config, seed, scratch, begin, mid),
+            || attempt_range(sub, target0, max_weight, config, seed, scratch, mid, end),
+        );
+        let (winner, loser) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        scratch.release_attempt(loser.1);
+        return winner;
+    }
+    let mut best: Option<(AttemptKey, AttemptWorkspace)> = None;
+    let mut ws = scratch.checkout_attempt();
+    for attempt in begin..end {
+        let attempt_seed = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9);
+        bipartition_into(
+            sub,
+            target0,
+            max_weight,
+            config.fm_passes,
+            attempt_seed,
+            &mut ws,
+        );
+        let balanced = ws.weight0 <= max_weight[0] && ws.weight1 <= max_weight[1];
+        let key: AttemptKey = (!balanced, cut_of(sub, &ws.side), attempt);
+        match &best {
+            Some((best_key, _)) if *best_key <= key => {} // keep the incumbent
+            _ => {
+                // The candidate wins: swap it in and reuse the loser as the next buffer.
+                let loser = match best.take() {
+                    Some((_, prev)) => prev,
+                    None => scratch.checkout_attempt(),
+                };
+                best = Some((key, std::mem::replace(&mut ws, loser)));
+            }
+        }
+    }
+    scratch.release_attempt(ws);
+    best.expect("at least one bisection attempt")
+}
+
+/// Extracts the subgraph induced by `vertices` through the validating builder path.
 ///
-/// Returns the subgraph (with vertices renumbered to `0..vertices.len()`) and the list of
-/// original vertex IDs (`original[local] = global`).
+/// Returns the subgraph (with vertices renumbered to `0..vertices.len()`) and the list
+/// of original vertex IDs (`original[local] = global`). This is the allocation-heavy
+/// reference implementation the scratch-backed extraction
+/// ([`scratch::BisectionWorkspace`]) is property-tested against; the hot path no longer
+/// uses it.
 pub fn induced_subgraph(graph: &CsrGraph, vertices: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
     let mut local_of = vec![NodeId::MAX; graph.n()];
     for (local, &u) in vertices.iter().enumerate() {
@@ -164,6 +327,7 @@ pub fn induced_subgraph(graph: &CsrGraph, vertices: &[NodeId]) -> (CsrGraph, Vec
 mod tests {
     use super::*;
     use graph::gen;
+    use proptest::prelude::*;
 
     #[test]
     fn induced_subgraph_keeps_internal_edges_only() {
@@ -217,7 +381,7 @@ mod tests {
             &InitialPartitioningConfig {
                 attempts: 8,
                 fm_passes: 4,
-                seed: 1,
+                ..InitialPartitioningConfig::default()
             },
             5,
         );
@@ -248,5 +412,89 @@ mod tests {
         let a = initial_partition(&g, 6, 0.03, &config, 42);
         let b = initial_partition(&g, 6, 0.03, &config, 42);
         assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // The tentpole guarantee: the parallel portfolio/recursion produces the same
+        // assignment at every thread count, because RNG streams derive from the seed
+        // path and the portfolio winner is selected by a total order. The grain is
+        // forced to 0 so even this small instance actually forks tasks.
+        let g = gen::rgg2d(2_000, 10, 13);
+        let config = InitialPartitioningConfig {
+            parallel_grain: 0,
+            ..InitialPartitioningConfig::default()
+        };
+        let reference = {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap();
+            pool.install(|| initial_partition(&g, 8, 0.03, &config, 99))
+        };
+        for threads in [2, 3, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let p = pool.install(|| initial_partition(&g, 8, 0.03, &config, 99));
+            assert_eq!(
+                p.assignment(),
+                reference.assignment(),
+                "assignment diverged at {} threads",
+                threads
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs_is_deterministic() {
+        // One arena serving several runs must not leak state between them.
+        let g = gen::erdos_renyi(500, 2_500, 7);
+        let config = InitialPartitioningConfig::default();
+        let mut scratch = HierarchyScratch::new();
+        let a = initial_partition_with_scratch(&g, 6, 0.03, &config, 11, &mut scratch);
+        let b = initial_partition_with_scratch(&g, 6, 0.03, &config, 11, &mut scratch);
+        assert_eq!(a.assignment(), b.assignment());
+        // And a different k through the same arena still works.
+        let c = initial_partition_with_scratch(&g, 3, 0.05, &config, 12, &mut scratch);
+        assert!(c.is_complete());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_scratch_extraction_matches_builder_path(
+            n in 8usize..120,
+            extra_edges in 0usize..300,
+            keep_modulus in 2u32..5,
+            graph_seed in 0u64..1_000,
+        ) {
+            let g = gen::erdos_renyi(n, n + extra_edges, graph_seed);
+            let vertices: Vec<NodeId> = (0..g.n() as NodeId)
+                .filter(|u| u % keep_modulus != 0)
+                .collect();
+            let (reference, _) = induced_subgraph(&g, &vertices);
+            let mut ip = InitialPartitioningScratch::default();
+            ip.ensure(g.n());
+            let mut ws = ip.checkout_bisection();
+            ws.extract(&g, &vertices, &ip);
+            let view = ws.view();
+            prop_assert_eq!(view.n(), reference.n());
+            prop_assert_eq!(view.m(), reference.m());
+            prop_assert_eq!(view.total_node_weight(), reference.total_node_weight());
+            prop_assert_eq!(view.total_edge_weight(), reference.total_edge_weight());
+            for u in 0..reference.n() as NodeId {
+                prop_assert_eq!(view.neighbors_vec(u), reference.neighbors_vec(u));
+                prop_assert_eq!(view.node_weight(u), reference.node_weight(u));
+                prop_assert_eq!(view.degree(u), reference.degree(u));
+            }
+        }
+    }
+
+    // Compile-time check that the Bipartition re-export stays public API.
+    #[allow(dead_code)]
+    fn bipartition_type_is_reexported(b: Bipartition) -> Vec<bool> {
+        b.side
     }
 }

@@ -1,0 +1,406 @@
+//! Scratch memory for the recursive-bisection engine.
+//!
+//! The bisection tree has `2k - 1` nodes, and the seed implementation allocated a fresh
+//! induced subgraph (via the validating `CsrGraphBuilder`, including a hash-map edge
+//! dedup and a full sorted rebuild), a fresh `O(n)` global-to-local map, and fresh
+//! per-attempt side/weight/heap buffers at *every* node. [`InitialPartitioningScratch`]
+//! replaces all of that with arena-style reuse:
+//!
+//! * a single **epoch-tagged membership map** (`InitialPartitioningScratch::local_of`)
+//!   shared by every tree node: each bisection claims a fresh epoch from a monotonic
+//!   counter and stores `(epoch, local_id)` packed into one atomic word per vertex, so
+//!   membership tests never require clearing and concurrent sibling subtrees (which
+//!   touch disjoint vertex sets) cannot observe each other's entries as their own;
+//! * a pool of [`BisectionWorkspace`]s holding raw CSR buffers that induced subgraphs
+//!   are extracted into directly — no builder, no hashing, no re-sorting (the global
+//!   vertex order is ascending, so extracted neighbourhoods stay sorted for free);
+//! * a pool of [`AttemptWorkspace`]s holding the side/gain/heap/stamp buffers of one
+//!   greedy-growing + 2-way-FM portfolio attempt.
+//!
+//! Pools hand out workspaces to concurrently running tasks and take them back when the
+//! task finishes, so the number of live workspaces is bounded by the number of running
+//! tasks (≤ thread count), not by the tree size. Buffers only ever grow; the root
+//! bisection (the largest subgraph) sizes them and the rest of the tree runs
+//! allocation-free.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use graph::traits::Graph;
+use graph::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+use parking_lot::Mutex;
+
+/// Reusable scratch for one run's whole bisection tree (a region of
+/// [`HierarchyScratch`](crate::scratch::HierarchyScratch)).
+#[derive(Debug, Default)]
+pub struct InitialPartitioningScratch {
+    /// Per global vertex: `(epoch << 32) | local_id`. A vertex belongs to the subgraph
+    /// of the bisection holding `epoch` iff the high half matches; stale entries from
+    /// earlier (or concurrent sibling) bisections never match because epochs are unique.
+    local_of: Vec<AtomicU64>,
+    /// Monotonic epoch source; 0 is reserved for "never written".
+    epoch: AtomicU32,
+    /// The vertex permutation the bisection tree partitions in place; child recursions
+    /// operate on disjoint subslices of this single buffer.
+    pub(crate) tree_vertices: Vec<NodeId>,
+    /// Pool of induced-subgraph buffers.
+    bisections: Mutex<Vec<BisectionWorkspace>>,
+    /// Pool of portfolio-attempt buffers.
+    attempts: Mutex<Vec<AttemptWorkspace>>,
+    /// Heap bytes currently parked in the two pools (updated on release).
+    pool_bytes: AtomicUsize,
+}
+
+impl InitialPartitioningScratch {
+    /// Grows the membership map to `n` vertices. Does not shrink.
+    pub fn ensure(&mut self, n: usize) {
+        if self.local_of.len() < n {
+            self.local_of.resize_with(n, || AtomicU64::new(0));
+        }
+    }
+
+    /// Claims a fresh, globally unique epoch for one bisection node.
+    pub(crate) fn next_epoch(&self) -> u64 {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        debug_assert!(epoch != 0, "epoch counter wrapped");
+        u64::from(epoch)
+    }
+
+    /// Tags `vertices[local] = u` with `epoch` in the membership map.
+    pub(crate) fn tag_members(&self, epoch: u64, vertices: &[NodeId]) {
+        for (local, &u) in vertices.iter().enumerate() {
+            self.local_of[u as usize].store(epoch << 32 | local as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns `u`'s local ID under `epoch`, or `None` if `u` is outside the subgraph.
+    #[inline]
+    pub(crate) fn local(&self, epoch: u64, u: NodeId) -> Option<NodeId> {
+        let entry = self.local_of[u as usize].load(Ordering::Relaxed);
+        (entry >> 32 == epoch).then_some(entry as u32)
+    }
+
+    /// Checks out a bisection workspace (fresh if the pool is empty).
+    pub(crate) fn checkout_bisection(&self) -> BisectionWorkspace {
+        match self.bisections.lock().pop() {
+            Some(ws) => {
+                self.pool_bytes
+                    .fetch_sub(ws.memory_bytes(), Ordering::Relaxed);
+                ws
+            }
+            None => Default::default(),
+        }
+    }
+
+    /// Returns a bisection workspace to the pool.
+    pub(crate) fn release_bisection(&self, ws: BisectionWorkspace) {
+        self.pool_bytes
+            .fetch_add(ws.memory_bytes(), Ordering::Relaxed);
+        self.bisections.lock().push(ws);
+    }
+
+    /// Checks out an attempt workspace (fresh if the pool is empty).
+    pub(crate) fn checkout_attempt(&self) -> AttemptWorkspace {
+        match self.attempts.lock().pop() {
+            Some(ws) => {
+                self.pool_bytes
+                    .fetch_sub(ws.memory_bytes(), Ordering::Relaxed);
+                ws
+            }
+            None => Default::default(),
+        }
+    }
+
+    /// Returns an attempt workspace to the pool.
+    pub(crate) fn release_attempt(&self, ws: AttemptWorkspace) {
+        self.pool_bytes
+            .fetch_add(ws.memory_bytes(), Ordering::Relaxed);
+        self.attempts.lock().push(ws);
+    }
+
+    /// Heap bytes of the node-indexed structures (membership map + tree permutation).
+    ///
+    /// The pooled workspace buffers are *not* part of this figure — like the
+    /// over-reserved contraction edge buffers, they are working memory sized by the
+    /// largest task rather than node-indexed state, are excluded from the standing
+    /// memtrack charge, and are freed when the stage ends ([`Self::release_pools`]).
+    /// [`Self::pool_bytes`] exposes their current footprint for introspection.
+    pub fn memory_bytes(&self) -> usize {
+        self.local_of.len() * std::mem::size_of::<AtomicU64>()
+            + self.tree_vertices.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Heap bytes currently parked in the workspace pools.
+    pub fn pool_bytes(&self) -> usize {
+        self.pool_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Frees the pooled workspaces. Called when initial partitioning ends: the pools'
+    /// only user is the bisection tree, and holding root-subgraph-sized CSR and heap
+    /// buffers through the whole uncoarsening phase would inflate the resident
+    /// footprint for zero reuse benefit. The membership map is kept — a later run
+    /// through the same arena re-grows only the pools.
+    pub fn release_pools(&mut self) {
+        self.bisections.get_mut().clear();
+        self.attempts.get_mut().clear();
+        self.pool_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Buffers of one bisection-tree node: the induced subgraph in raw CSR form plus the
+/// temporary used by the in-place stable partition of the vertex slice.
+#[derive(Debug, Default)]
+pub struct BisectionWorkspace {
+    /// CSR offsets of the induced subgraph; length `n_sub + 1`.
+    pub(crate) xadj: Vec<EdgeId>,
+    /// CSR neighbour array (local IDs).
+    pub(crate) adjacency: Vec<NodeId>,
+    /// Edge weights parallel to `adjacency` (always populated, 1s for unweighted input).
+    pub(crate) edge_weights: Vec<EdgeWeight>,
+    /// Node weights of the subgraph vertices.
+    pub(crate) node_weights: Vec<NodeWeight>,
+    /// Total node weight (cached at extraction).
+    pub(crate) total_node_weight: NodeWeight,
+    /// Total edge weight (cached at extraction; undirected edges counted once).
+    pub(crate) total_edge_weight: EdgeWeight,
+    /// Maximum degree (cached at extraction).
+    pub(crate) max_degree: usize,
+    /// Stable-partition temporary for the side-1 vertices of the chosen bipartition.
+    pub(crate) right_tmp: Vec<NodeId>,
+}
+
+impl BisectionWorkspace {
+    /// Heap bytes held by the workspace buffers.
+    pub fn memory_bytes(&self) -> usize {
+        self.xadj.capacity() * std::mem::size_of::<EdgeId>()
+            + self.adjacency.capacity() * std::mem::size_of::<NodeId>()
+            + self.edge_weights.capacity() * std::mem::size_of::<EdgeWeight>()
+            + self.node_weights.capacity() * std::mem::size_of::<NodeWeight>()
+            + self.right_tmp.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Extracts the subgraph induced by `vertices` into this workspace's buffers and
+    /// returns the epoch tag under which the membership map addresses it.
+    ///
+    /// `vertices` must be ascending (the bisection tree maintains this invariant by
+    /// partitioning stably), so extracted neighbourhoods remain sorted by local ID
+    /// whenever the input graph's neighbourhoods are sorted by global ID.
+    pub(crate) fn extract(
+        &mut self,
+        graph: &impl Graph,
+        vertices: &[NodeId],
+        scratch: &InitialPartitioningScratch,
+    ) -> u64 {
+        let n_sub = vertices.len();
+        let epoch = scratch.next_epoch();
+        scratch.tag_members(epoch, vertices);
+
+        // Single pass: neighbourhoods are appended directly and each vertex's offset is
+        // recorded afterwards, so every half-edge pays exactly one membership lookup.
+        // The buffers are pooled, so growth beyond the reused capacity is a one-time
+        // cost of the largest (root) bisection.
+        self.xadj.clear();
+        self.xadj.reserve(n_sub + 1);
+        self.node_weights.clear();
+        self.node_weights.reserve(n_sub);
+        self.adjacency.clear();
+        self.edge_weights.clear();
+        let mut total_node_weight: NodeWeight = 0;
+        let mut total_edge_weight: EdgeWeight = 0;
+        let mut max_degree = 0usize;
+        self.xadj.push(0);
+        for &u in vertices {
+            let before = self.adjacency.len();
+            let adjacency = &mut self.adjacency;
+            let edge_weights = &mut self.edge_weights;
+            graph.for_each_neighbor(u, &mut |v, w| {
+                if let Some(local) = scratch.local(epoch, v) {
+                    adjacency.push(local);
+                    edge_weights.push(w);
+                    total_edge_weight += w;
+                }
+            });
+            max_degree = max_degree.max(self.adjacency.len() - before);
+            self.xadj.push(self.adjacency.len() as EdgeId);
+            let w = graph.node_weight(u);
+            total_node_weight += w;
+            self.node_weights.push(w);
+        }
+        self.total_node_weight = total_node_weight;
+        self.total_edge_weight = total_edge_weight / 2;
+        self.max_degree = max_degree;
+        epoch
+    }
+
+    /// A [`Graph`] view of the extracted subgraph.
+    pub(crate) fn view(&self) -> SubgraphView<'_> {
+        SubgraphView { ws: self }
+    }
+}
+
+/// Borrowed [`Graph`] implementation over a [`BisectionWorkspace`]'s CSR buffers, so the
+/// bipartition routines (generic over `Graph`) run on the scratch-backed subgraph
+/// without materialising a `CsrGraph`.
+pub struct SubgraphView<'a> {
+    ws: &'a BisectionWorkspace,
+}
+
+impl Graph for SubgraphView<'_> {
+    fn n(&self) -> usize {
+        self.ws.xadj.len().saturating_sub(1)
+    }
+
+    fn m(&self) -> usize {
+        self.ws.adjacency.len() / 2
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        (self.ws.xadj[u as usize + 1] - self.ws.xadj[u as usize]) as usize
+    }
+
+    fn node_weight(&self, u: NodeId) -> NodeWeight {
+        self.ws.node_weights[u as usize]
+    }
+
+    fn total_node_weight(&self) -> NodeWeight {
+        self.ws.total_node_weight
+    }
+
+    fn total_edge_weight(&self) -> EdgeWeight {
+        self.ws.total_edge_weight
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, EdgeWeight)) {
+        let begin = self.ws.xadj[u as usize] as usize;
+        let end = self.ws.xadj[u as usize + 1] as usize;
+        for e in begin..end {
+            f(self.ws.adjacency[e], self.ws.edge_weights[e]);
+        }
+    }
+
+    fn is_edge_weighted(&self) -> bool {
+        true
+    }
+
+    fn is_node_weighted(&self) -> bool {
+        true
+    }
+
+    fn max_degree(&self) -> usize {
+        self.ws.max_degree
+    }
+}
+
+/// Buffers of one greedy-growing + 2-way-FM portfolio attempt. The attempt's resulting
+/// bipartition lives in `AttemptWorkspace::side` / the two weights, so the winning
+/// attempt's workspace doubles as the result carrier — no copy on the way out.
+#[derive(Debug, Default)]
+pub struct AttemptWorkspace {
+    /// Side of each subgraph vertex (`true` = block 1).
+    pub(crate) side: Vec<bool>,
+    /// Total node weight on side 0.
+    pub(crate) weight0: NodeWeight,
+    /// Total node weight on side 1.
+    pub(crate) weight1: NodeWeight,
+    /// Growing: whether a vertex has been assigned to block 0's region yet.
+    pub(crate) assigned: Vec<bool>,
+    /// Restart order for greedy growing (shuffled per attempt).
+    pub(crate) order: Vec<NodeId>,
+    /// Shared max-heap: `(priority, vertex, stamp)`. Growing uses it as the frontier
+    /// (stamp 0); FM uses it as the gain queue with lazy invalidation via stamps.
+    pub(crate) heap: BinaryHeap<(i64, NodeId, u32)>,
+    /// FM: current gain of each vertex (maintained incrementally).
+    pub(crate) gains: Vec<i64>,
+    /// FM: latest stamp per vertex; heap entries with older stamps are stale.
+    pub(crate) stamp: Vec<u32>,
+    /// FM: vertices already moved in the current pass.
+    pub(crate) locked: Vec<bool>,
+    /// FM: move log for best-prefix rollback.
+    pub(crate) moves: Vec<NodeId>,
+}
+
+impl AttemptWorkspace {
+    /// Heap bytes held by the workspace buffers.
+    pub fn memory_bytes(&self) -> usize {
+        self.side.capacity()
+            + self.assigned.capacity()
+            + self.locked.capacity()
+            + self.order.capacity() * std::mem::size_of::<NodeId>()
+            + self.moves.capacity() * std::mem::size_of::<NodeId>()
+            + self.heap.capacity() * std::mem::size_of::<(i64, NodeId, u32)>()
+            + self.gains.capacity() * std::mem::size_of::<i64>()
+            + self.stamp.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    #[test]
+    fn epoch_tags_keep_stale_entries_invisible() {
+        let mut scratch = InitialPartitioningScratch::default();
+        scratch.ensure(10);
+        let e1 = scratch.next_epoch();
+        scratch.tag_members(e1, &[2, 5, 7]);
+        assert_eq!(scratch.local(e1, 5), Some(1));
+        assert_eq!(scratch.local(e1, 3), None);
+        // A later bisection over an overlapping set must not see e1's entries.
+        let e2 = scratch.next_epoch();
+        scratch.tag_members(e2, &[5]);
+        assert_eq!(scratch.local(e2, 5), Some(0));
+        assert_eq!(
+            scratch.local(e2, 2),
+            None,
+            "stale entry from epoch 1 leaked"
+        );
+        assert_eq!(scratch.local(e1, 2), Some(0), "old epoch still addressable");
+    }
+
+    #[test]
+    fn extract_matches_the_reference_extraction() {
+        let g = gen::rgg2d(300, 8, 11);
+        let vertices: Vec<NodeId> = (0..g.n() as NodeId).filter(|u| u % 3 != 0).collect();
+        let (reference, original) = crate::initial::induced_subgraph(&g, &vertices);
+        let mut scratch = InitialPartitioningScratch::default();
+        scratch.ensure(g.n());
+        let mut ws = scratch.checkout_bisection();
+        ws.extract(&g, &vertices, &scratch);
+        let view = ws.view();
+        assert_eq!(view.n(), reference.n());
+        assert_eq!(view.m(), reference.m());
+        assert_eq!(view.total_node_weight(), reference.total_node_weight());
+        assert_eq!(view.total_edge_weight(), reference.total_edge_weight());
+        assert_eq!(original, vertices);
+        for u in 0..reference.n() as NodeId {
+            assert_eq!(
+                view.neighbors_vec(u),
+                reference.neighbors_vec(u),
+                "vertex {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn pools_reuse_workspace_buffers() {
+        let mut scratch = InitialPartitioningScratch::default();
+        let mut ws = scratch.checkout_attempt();
+        ws.order.reserve(1000);
+        let capacity = ws.order.capacity();
+        scratch.release_attempt(ws);
+        assert!(scratch.pool_bytes() >= capacity * std::mem::size_of::<NodeId>());
+        let ws = scratch.checkout_attempt();
+        assert_eq!(
+            ws.order.capacity(),
+            capacity,
+            "pooled buffer must come back"
+        );
+        scratch.release_attempt(ws);
+        scratch.release_pools();
+        assert_eq!(scratch.pool_bytes(), 0);
+        let ws = scratch.checkout_attempt();
+        assert_eq!(ws.order.capacity(), 0, "released pools start fresh");
+        scratch.release_attempt(ws);
+    }
+}

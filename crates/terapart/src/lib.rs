@@ -8,7 +8,7 @@
 //!    replaces the per-thread `O(n)` rating maps with small fixed-capacity hash tables and
 //!    a single shared sparse array for "bumped" high-fanout vertices — `O(n + p·T_bump)`
 //!    auxiliary memory instead of `O(n·p)` (paper §IV-A).
-//! 2. **One-pass contraction** ([`coarsening::contract`]), which writes the coarse graph's
+//! 2. **One-pass contraction** ([`mod@coarsening::contract`]), which writes the coarse graph's
 //!    CSR arrays directly using an atomically updated dual counter instead of buffering
 //!    the coarse edges twice (paper §IV-B).
 //! 3. **Space-efficient gain tables** for parallel FM refinement
@@ -18,6 +18,24 @@
 //! [`CsrGraph`](graph::CsrGraph) or the compressed
 //! [`CompressedGraph`](graph::CompressedGraph) (paper §III), because every algorithm is
 //! generic over [`graph::Graph`].
+//!
+//! # Performance invariants
+//!
+//! * **Allocation-free hot paths.** One [`HierarchyScratch`] arena is created per run
+//!   and reused by every coarsening level, every refinement level, and every node of
+//!   the initial-partitioning bisection tree; the largest (first) level sizes it and
+//!   everything after runs without heap allocation. The arena charges its node-indexed
+//!   footprint to `memtrack`; over-reserved working buffers (contraction edge arrays,
+//!   initial-partitioning workspace pools) are excluded from the standing charge and
+//!   released when their phase ends.
+//! * **Frontier-driven label propagation.** After the full first round, clustering and
+//!   refinement revisit only vertices whose neighbourhood changed.
+//! * **Deterministic parallel initial partitioning.** The recursive-bisection portfolio
+//!   ([`initial`]) forks child recursions and portfolio attempts in parallel, yet a
+//!   fixed seed produces a bit-identical assignment at any thread count: RNG streams
+//!   derive from the seed's path through the bisection tree and the portfolio winner is
+//!   selected by a total order. (Full-pipeline results still vary with the thread count
+//!   because parallel label propagation applies moves in scheduling order.)
 //!
 //! # Quick start
 //!
@@ -45,6 +63,7 @@ pub use context::{
     CoarseningConfig, ContractionAlgorithm, GainTableKind, InitialPartitioningConfig,
     LabelPropagationMode, PartitionerConfig, RefinementAlgorithm, RefinementConfig,
 };
+pub use initial::{initial_partition, initial_partition_with_scratch};
 pub use partition::{BlockId, Partition};
 pub use partitioner::{
     partition, partition_csr, partition_csr_with_tracker, partition_with_tracker, PartitionResult,

@@ -222,8 +222,8 @@ impl Partition {
         Partition::from_assignment(fine_graph, self.k, self.epsilon, assignment)
     }
 
-    /// Convenience wrapper used by tests and benches: edge cut where the graph is given
-    /// at construction time through [`Partition::attach_cut`]-style recomputation.
+    /// Convenience wrapper used by tests and benches: returns the edge cut cached by
+    /// [`Partition::set_cached_cut`].
     pub fn edge_cut(&self) -> EdgeWeight {
         // The partition does not retain a graph reference; callers that need the cut on a
         // specific graph should prefer `edge_cut_on`. This method exists for the common

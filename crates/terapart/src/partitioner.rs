@@ -15,7 +15,7 @@ use memtrack::{MemoryScope, PhaseReport, PhaseTracker};
 
 use crate::coarsening::{self, Hierarchy};
 use crate::context::PartitionerConfig;
-use crate::initial::initial_partition;
+use crate::initial::initial_partition_with_scratch;
 use crate::partition::Partition;
 use crate::refinement::{refine_with_scratch, RefinementStats};
 use crate::scratch::HierarchyScratch;
@@ -99,12 +99,13 @@ pub fn partition_with_tracker(
             }
         };
         let mut current = tracker.run("initial_partition", depth, || {
-            initial_partition(
+            initial_partition_with_scratch(
                 coarsest,
                 config.k,
                 config.epsilon,
                 &config.initial,
                 config.seed,
+                &mut scratch,
             )
         });
 

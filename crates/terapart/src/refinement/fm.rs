@@ -36,13 +36,37 @@ pub struct FmStats {
     pub passes: usize,
 }
 
-/// Runs FM refinement on `partition` with the given gain-table kind.
+/// Runs FM refinement on `partition` with the given gain-table kind, using a throwaway
+/// candidate buffer. Prefer [`fm_refine_with_candidates`] inside the pipeline.
 pub fn fm_refine(
     graph: &impl Graph,
     partition: &mut Partition,
     gain_table: GainTableKind,
     max_passes: usize,
     fraction: f64,
+) -> FmStats {
+    let mut candidates = Vec::new();
+    fm_refine_with_candidates(
+        graph,
+        partition,
+        gain_table,
+        max_passes,
+        fraction,
+        &mut candidates,
+    )
+}
+
+/// Runs FM refinement on `partition`, collecting each pass's boundary-move candidates
+/// into `candidates` — a scratch buffer whose capacity is reused across passes and (via
+/// [`HierarchyScratch`](crate::scratch::HierarchyScratch)) across hierarchy levels,
+/// instead of a fresh `Vec` per pass.
+pub fn fm_refine_with_candidates(
+    graph: &impl Graph,
+    partition: &mut Partition,
+    gain_table: GainTableKind,
+    max_passes: usize,
+    fraction: f64,
+    candidates: &mut Vec<(i64, NodeId, BlockId)>,
 ) -> FmStats {
     let n = graph.n();
     if n == 0 || partition.k() <= 1 {
@@ -66,8 +90,10 @@ pub fn fm_refine(
     let mut passes = 0usize;
     for _ in 0..max_passes {
         passes += 1;
-        // Collect boundary vertices together with their best move.
-        let mut candidates: Vec<(i64, NodeId, BlockId)> = (0..n as NodeId)
+        // Collect boundary vertices together with their best move, reusing the scratch
+        // buffer's capacity (order-preserving, so the sort below sees the same input as
+        // a fresh collect would produce).
+        (0..n as NodeId)
             .into_par_iter()
             .filter_map(|u| {
                 let from = state.block(u);
@@ -99,7 +125,7 @@ pub fn fm_refine(
                     None
                 }
             })
-            .collect();
+            .collect_into_vec(candidates);
         if candidates.is_empty() {
             break;
         }

@@ -2,8 +2,9 @@
 //!
 //! After the partition of a coarse graph is projected to the next finer graph, it is
 //! improved by local search: size-constrained label propagation refinement
-//! ([`lp_refine`]) always runs; the TeraPart-FM configuration additionally runs parallel
-//! FM-style refinement with a gain cache ([`fm`]). A greedy [`rebalance`] pass repairs
+//! ([`mod@lp_refine`]) always runs; the TeraPart-FM configuration additionally runs
+//! parallel FM-style refinement with a gain cache ([`fm`]). A greedy [`fn@rebalance`]
+//! pass repairs
 //! any residual balance violations.
 
 pub mod fm;
@@ -11,7 +12,7 @@ pub mod gain_table;
 pub mod lp_refine;
 pub mod rebalance;
 
-pub use fm::{fm_refine, FmStats};
+pub use fm::{fm_refine, fm_refine_with_candidates, FmStats};
 pub use gain_table::GainCache;
 pub use lp_refine::{lp_refine, lp_refine_with_scratch, LpRefineStats};
 pub use rebalance::rebalance;
@@ -69,12 +70,13 @@ pub fn refine_with_scratch(
         ..Default::default()
     };
     if config.algorithm == RefinementAlgorithm::FmWithLabelPropagation {
-        let fm_stats = fm_refine(
+        let fm_stats = fm_refine_with_candidates(
             graph,
             partition,
             config.gain_table,
             config.fm_passes,
             config.fm_fraction,
+            &mut scratch.fm_candidates,
         );
         stats.fm_moves = fm_stats.moves;
         stats.gain_table_bytes = fm_stats.gain_table_bytes;

@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use graph::NodeId;
 use memtrack::MemoryScope;
 
+use crate::initial::scratch::InitialPartitioningScratch;
+use crate::partition::BlockId;
 use crate::ClusterId;
 
 /// A fixed-capacity concurrent bitset with relaxed atomics.
@@ -130,6 +132,13 @@ pub struct HierarchyScratch {
     pub(crate) active: AtomicBitset,
     /// Active set being built for the next LP round.
     pub(crate) next_active: AtomicBitset,
+    /// Scratch region of the initial-partitioning stage: the epoch-tagged membership
+    /// map plus the pooled bisection/attempt workspaces reused across the whole
+    /// recursive-bisection tree (see [`crate::initial::scratch`]).
+    pub(crate) initial: InitialPartitioningScratch,
+    /// Parallel FM refinement's per-pass candidate buffer `(gain, vertex, target)`,
+    /// reused across passes and hierarchy levels.
+    pub(crate) fm_candidates: Vec<(i64, NodeId, BlockId)>,
     /// Charge of all node-indexed buffers against the global memory accounting. The
     /// over-reserved edge buffers are *not* part of this charge: following the paper's
     /// virtual-memory overcommit model (as in `memtrack::ReservedVec`), contraction
@@ -158,6 +167,8 @@ impl HierarchyScratch {
             order: Vec::new(),
             active: AtomicBitset::new(),
             next_active: AtomicBitset::new(),
+            initial: InitialPartitioningScratch::default(),
+            fm_candidates: Vec::new(),
             charge: MemoryScope::charge_global(0),
         }
     }
@@ -242,10 +253,12 @@ impl HierarchyScratch {
             + self.order.capacity() * std::mem::size_of::<NodeId>()
             + self.active.memory_bytes()
             + self.next_active.memory_bytes()
+            + self.initial.memory_bytes()
+            + self.fm_candidates.capacity() * std::mem::size_of::<(i64, NodeId, BlockId)>()
     }
 
     /// Brings the memtrack charge in line with the current footprint.
-    fn recharge(&mut self) {
+    pub(crate) fn recharge(&mut self) {
         let bytes = self.memory_bytes();
         let charged = self.charge.bytes();
         if bytes > charged {
