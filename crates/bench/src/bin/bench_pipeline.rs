@@ -11,7 +11,7 @@
 
 use std::path::PathBuf;
 
-use bench::harness::{best_seconds, write_pipeline_json, MicroComparison};
+use bench::harness::{best_seconds, write_pipeline_json, MicroComparison, OndiskRun};
 use bench::seed_baseline::{seed_contract_one_pass, seed_initial_partition, seed_lp_refine};
 use graph::gen;
 use graph::traits::Graph;
@@ -187,6 +187,43 @@ fn main() {
     };
     println!("{}", measurement.row());
 
+    // ---- On-disk pipeline: same instance through the `.tpg` store at two page
+    // budgets (a starved cache and a comfortable one). ----
+    let ondisk_dir =
+        std::env::temp_dir().join(format!("terapart_bench_ondisk_{}", std::process::id()));
+    std::fs::create_dir_all(&ondisk_dir).expect("failed to create the on-disk bench dir");
+    let tpg_path = ondisk_dir.join("rmat-14.tpg");
+    graph::store::write_tpg_from_graph(&graph, &tpg_path, &graph::CompressionConfig::default())
+        .expect("failed to write the bench container");
+    let csr_bytes = graph.size_in_bytes();
+    let mut ondisk_runs = Vec::new();
+    for page_budget in [128 * 1024usize, 2 * 1024 * 1024] {
+        let ondisk_config = PartitionerConfig::terapart(16).with_page_budget(page_budget);
+        let ondisk_tracker = PhaseTracker::new();
+        memtrack::global().reset_peak();
+        let result =
+            terapart::partition_ondisk_with_tracker(&tpg_path, &ondisk_config, &ondisk_tracker)
+                .expect("on-disk bench run failed");
+        let peak = result.peak_memory_bytes.max(ondisk_tracker.overall_peak());
+        println!(
+            "partition_ondisk @ {:>10}: cut={} peak={} ({:.2}x of CSR) time={:.2}s",
+            memtrack::format_bytes(page_budget),
+            result.edge_cut,
+            memtrack::format_bytes(peak),
+            peak as f64 / csr_bytes as f64,
+            result.total_time.as_secs_f64()
+        );
+        ondisk_runs.push(OndiskRun {
+            page_budget_bytes: page_budget,
+            time: result.total_time,
+            peak_memory_bytes: peak,
+            edge_cut: result.edge_cut,
+            csr_bytes,
+            phases: result.phase_reports,
+        });
+    }
+    std::fs::remove_dir_all(&ondisk_dir).ok();
+
     write_pipeline_json(
         &path,
         instance,
@@ -195,6 +232,7 @@ fn main() {
         &tracker,
         &measurement,
         &[contraction, refinement, initial],
+        &ondisk_runs,
     )
     .expect("failed to write BENCH_pipeline.json");
     println!("wrote {}", path.display());

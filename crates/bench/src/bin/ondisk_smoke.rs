@@ -1,0 +1,94 @@
+//! CI smoke test of the external-memory path: generate a small instance into a temp
+//! cache, run `partition_ondisk` at a page budget far below the instance size, and
+//! assert that (a) the uncompressed CSR exceeds the page budget, (b) the peak accounted
+//! memory stays below the uncompressed CSR byte size, and (c) the result is a complete,
+//! balanced partition. Exits non-zero on any violation, so CI fails loudly.
+//!
+//! Usage: `ondisk_smoke [cache_dir]` (default: a fresh temp directory).
+
+use bench::{GenSpec, InstanceStore};
+use terapart::{partition_ondisk, PartitionerConfig};
+
+fn main() {
+    let cache_dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("terapart_ondisk_smoke_{}", std::process::id()))
+        });
+    let store = InstanceStore::at(&cache_dir).expect("failed to open the smoke cache");
+    // Geometric instance: dense enough that the CSR size dominates the pipeline's O(n)
+    // auxiliary structures, and localized enough that coarse graphs shrink fast — the
+    // regime where the "peak < CSR" assertion is meaningful.
+    let spec = GenSpec::Rgg2d {
+        n: 40_000,
+        avg_deg: 20,
+        seed: 99,
+    };
+    let path = store
+        .resolve(&spec)
+        .expect("failed to generate the smoke instance");
+    let csr_bytes = store
+        .csr_bytes(&spec)
+        .expect("failed to read instance header");
+    let container_bytes = store.container_bytes(&spec).unwrap();
+    let page_budget = 256 * 1024;
+    println!(
+        "instance: {} (CSR {}, container {}), page budget {}",
+        spec.cache_file_name(),
+        memtrack::format_bytes(csr_bytes),
+        memtrack::format_bytes(container_bytes as usize),
+        memtrack::format_bytes(page_budget)
+    );
+    assert!(
+        csr_bytes > page_budget,
+        "SMOKE FAIL: instance CSR ({} B) does not exceed the page budget ({} B)",
+        csr_bytes,
+        page_budget
+    );
+
+    let config = PartitionerConfig::terapart(16)
+        .with_threads(2)
+        .with_seed(1)
+        .with_page_budget(page_budget);
+    let result = partition_ondisk(&path, &config).expect("on-disk run failed");
+    let peak = result.peak_memory_bytes;
+    println!(
+        "cut={} balanced={} peak={} ({:.2}x of CSR) time={:.2}s",
+        result.edge_cut,
+        result.partition.is_balanced(),
+        memtrack::format_bytes(peak),
+        peak as f64 / csr_bytes as f64,
+        result.total_time.as_secs_f64()
+    );
+    let mut by_peak = result.phase_reports.clone();
+    by_peak.sort_by_key(|r| std::cmp::Reverse(r.peak_bytes));
+    for r in by_peak.iter().take(6) {
+        println!(
+            "  phase {:<18} level {:<2} peak {:>12} (aux {:>12})",
+            r.name,
+            r.level,
+            memtrack::format_bytes(r.peak_bytes),
+            memtrack::format_bytes(r.auxiliary_bytes())
+        );
+    }
+    assert!(
+        result.partition.is_complete(),
+        "SMOKE FAIL: incomplete partition"
+    );
+    assert!(
+        result.partition.is_balanced(),
+        "SMOKE FAIL: imbalanced partition"
+    );
+    assert!(
+        peak < csr_bytes,
+        "SMOKE FAIL: peak accounted memory {} B is not below the uncompressed CSR size {} B",
+        peak,
+        csr_bytes
+    );
+    println!("ondisk smoke OK");
+    // Best-effort cleanup when we created the temp cache ourselves.
+    if std::env::args().nth(1).is_none() {
+        std::fs::remove_dir_all(cache_dir).ok();
+    }
+}

@@ -1,21 +1,34 @@
 //! Table I / Figure 9: properties of the benchmark instances (n, m, average and maximum
-//! degree) for both benchmark sets.
-use bench::{benchmark_set_a, benchmark_set_b};
+//! degree) for both benchmark sets, resolved through the on-disk `.tpg` instance cache
+//! (generating any missing container, streaming where the family supports it).
+use bench::{set_a_specs, set_b_specs, InstanceStore};
 use graph::stats::GraphStats;
 
 fn main() {
-    println!("Table I / Figure 9: benchmark instance properties");
+    let store = InstanceStore::open_default().expect("failed to open the instance cache");
     println!(
-        "{:<20} {:>12} {:>14} {:>8} {:>10}",
-        "graph", "n", "m", "d(G)", "max deg"
+        "Table I / Figure 9: benchmark instance properties (cache: {})",
+        store.root().display()
     );
-    for set in [benchmark_set_a(), benchmark_set_b()] {
+    println!(
+        "{:<20} {:>12} {:>14} {:>8} {:>10} {:>14} {:>12}",
+        "graph", "n", "m", "d(G)", "max deg", "container", "vs CSR"
+    );
+    for set in [set_a_specs(), set_b_specs()] {
         for instance in set {
+            let graph = store
+                .load_csr(&instance.spec)
+                .expect("failed to resolve instance");
+            let container = store.container_bytes(&instance.spec).unwrap_or(0);
+            let csr = store.csr_bytes(&instance.spec).unwrap_or(1).max(1);
             println!(
-                "{}",
-                GraphStats::of(&instance.graph).table_row(instance.name)
+                "{} {:>14} {:>11.2}x",
+                GraphStats::of(&graph).table_row(instance.name),
+                memtrack::format_bytes(container as usize),
+                csr as f64 / container.max(1) as f64
             );
         }
         println!("---");
     }
+    println!("manifest: {}", store.manifest_path().display());
 }

@@ -72,6 +72,24 @@ pub fn measure_run(
     }
 }
 
+/// One measured `partition_ondisk` run at a fixed page budget, recorded alongside the
+/// in-memory pipeline in `BENCH_pipeline.json`.
+#[derive(Debug, Clone)]
+pub struct OndiskRun {
+    /// Page-cache budget the run was configured with, in bytes.
+    pub page_budget_bytes: usize,
+    /// Wall-clock time of the run.
+    pub time: Duration,
+    /// Peak accounted memory during the run, in bytes.
+    pub peak_memory_bytes: usize,
+    /// Edge cut of the result.
+    pub edge_cut: u64,
+    /// Uncompressed CSR size of the instance, the memory reference point.
+    pub csr_bytes: usize,
+    /// Per-phase reports of the run (includes the `open_store` phase).
+    pub phases: Vec<memtrack::PhaseReport>,
+}
+
 /// One micro-benchmark comparison against the frozen seed baseline.
 #[derive(Debug, Clone)]
 pub struct MicroComparison {
@@ -116,7 +134,9 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Writes `BENCH_pipeline.json`: the phase timing/memory breakdown and headline numbers
-/// of one pipeline run plus the micro-benchmark speedups over the seed baseline.
+/// of one pipeline run, the micro-benchmark speedups over the seed baseline, and the
+/// `partition_ondisk` runs at their page budgets.
+#[allow(clippy::too_many_arguments)]
 pub fn write_pipeline_json(
     path: &Path,
     instance: &str,
@@ -125,6 +145,7 @@ pub fn write_pipeline_json(
     tracker: &PhaseTracker,
     measurement: &Measurement,
     micro: &[MicroComparison],
+    ondisk: &[OndiskRun],
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -166,6 +187,27 @@ pub fn write_pipeline_json(
             comparison.optimized_seconds,
             comparison.speedup(),
             if i + 1 < micro.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"partition_ondisk\": [\n");
+    for (i, run) in ondisk.iter().enumerate() {
+        let open_store_seconds = run
+            .phases
+            .iter()
+            .filter(|p| p.name == "open_store")
+            .map(|p| p.elapsed.as_secs_f64())
+            .sum::<f64>();
+        out.push_str(&format!(
+            "    {{\"page_budget_bytes\": {}, \"seconds\": {:.6}, \"open_store_seconds\": {:.6}, \"peak_bytes\": {}, \"csr_bytes\": {}, \"peak_vs_csr\": {:.3}, \"edge_cut\": {}}}{}\n",
+            run.page_budget_bytes,
+            run.time.as_secs_f64(),
+            open_store_seconds,
+            run.peak_memory_bytes,
+            run.csr_bytes,
+            run.peak_memory_bytes as f64 / run.csr_bytes.max(1) as f64,
+            run.edge_cut,
+            if i + 1 < ondisk.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -6,8 +6,12 @@
 //! ([`harness`]). Criterion micro-benchmarks of the core algorithms live in `benches/`.
 
 pub mod harness;
+pub mod instances;
 pub mod seed_baseline;
 pub mod setup;
 
 pub use harness::{geometric_mean, harmonic_mean, measure_run, performance_profile, Measurement};
-pub use setup::{benchmark_set_a, benchmark_set_b, config_ladder, Instance};
+pub use instances::{GenSpec, InstanceSpec, InstanceStore};
+pub use setup::{
+    benchmark_set_a, benchmark_set_b, config_ladder, set_a_specs, set_b_specs, Instance,
+};

@@ -5,10 +5,17 @@
 //! sets are reproduced *structurally*: a mix of mesh-like, geometric, power-law, random,
 //! web-like and weighted instances whose sizes are chosen so every experiment binary
 //! finishes in seconds. See DESIGN.md for the substitution rationale.
+//!
+//! Each set is defined once as [`InstanceSpec`] recipes ([`set_a_specs`] /
+//! [`set_b_specs`]); experiment binaries resolve them through the on-disk
+//! [`InstanceStore`](crate::instances::InstanceStore) cache, while
+//! [`benchmark_set_a`] / [`benchmark_set_b`] materialise the identical graphs in
+//! memory for tests and quick runs.
 
 use graph::csr::CsrGraph;
-use graph::gen;
 use terapart::PartitionerConfig;
+
+use crate::instances::{GenSpec, InstanceSpec};
 
 /// A named benchmark instance.
 pub struct Instance {
@@ -20,101 +27,184 @@ pub struct Instance {
     pub graph: CsrGraph,
 }
 
-/// The scaled-down Benchmark Set A: diverse medium-sized instances.
-pub fn benchmark_set_a() -> Vec<Instance> {
+/// The recipes of the scaled-down Benchmark Set A: diverse medium-sized instances.
+pub fn set_a_specs() -> Vec<InstanceSpec> {
     vec![
-        Instance {
+        InstanceSpec {
             name: "grid-64x64",
             class: "finite-element",
-            graph: gen::grid2d(64, 64),
+            spec: GenSpec::Grid2d { rows: 64, cols: 64 },
         },
-        Instance {
+        InstanceSpec {
             name: "grid3d-12",
             class: "finite-element",
-            graph: gen::grid3d(12, 12, 12),
+            spec: GenSpec::Grid3d {
+                x: 12,
+                y: 12,
+                z: 12,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "rgg2d-4k",
             class: "geometric",
-            graph: gen::rgg2d(4_000, 12, 11),
+            spec: GenSpec::Rgg2d {
+                n: 4_000,
+                avg_deg: 12,
+                seed: 11,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "rgg2d-8k",
             class: "geometric",
-            graph: gen::rgg2d(8_000, 16, 12),
+            spec: GenSpec::Rgg2d {
+                n: 8_000,
+                avg_deg: 16,
+                seed: 12,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "rhg-4k",
             class: "social",
-            graph: gen::rhg_like(4_000, 10, 3.0, 13),
+            spec: GenSpec::RhgLike {
+                n: 4_000,
+                avg_deg: 10,
+                gamma: 3.0,
+                seed: 13,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "rhg-8k",
             class: "social",
-            graph: gen::rhg_like(8_000, 12, 2.6, 14),
+            spec: GenSpec::RhgLike {
+                n: 8_000,
+                avg_deg: 12,
+                gamma: 2.6,
+                seed: 14,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "er-4k",
             class: "random",
-            graph: gen::erdos_renyi(4_000, 24_000, 15),
+            spec: GenSpec::ErdosRenyi {
+                n: 4_000,
+                m: 24_000,
+                seed: 15,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "rmat-12",
             class: "web",
-            graph: gen::weblike(12, 10, 16),
+            spec: GenSpec::Rmat {
+                scale: 12,
+                avg_deg: 10,
+                seed: 16,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "rmat-13",
             class: "web",
-            graph: gen::weblike(13, 8, 17),
+            spec: GenSpec::Rmat {
+                scale: 13,
+                avg_deg: 8,
+                seed: 17,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "weighted-grid",
             class: "text-compression",
-            graph: gen::with_random_edge_weights(&gen::grid2d(48, 48), 40, 18),
+            spec: GenSpec::Grid2d { rows: 48, cols: 48 }.weighted(40, 18),
         },
-        Instance {
+        InstanceSpec {
             name: "weighted-rhg",
             class: "text-compression",
-            graph: gen::with_random_edge_weights(&gen::rhg_like(3_000, 10, 3.0, 19), 20, 20),
+            spec: GenSpec::RhgLike {
+                n: 3_000,
+                avg_deg: 10,
+                gamma: 3.0,
+                seed: 19,
+            }
+            .weighted(20, 20),
         },
-        Instance {
+        InstanceSpec {
             name: "star-5k",
             class: "irregular",
-            graph: gen::star(5_000),
+            spec: GenSpec::Star { n: 5_000 },
         },
     ]
 }
 
-/// The scaled-down Benchmark Set B: "huge" web-like instances (relative to Set A).
-pub fn benchmark_set_b() -> Vec<Instance> {
+/// The recipes of the scaled-down Benchmark Set B: "huge" web-like instances (relative
+/// to Set A).
+pub fn set_b_specs() -> Vec<InstanceSpec> {
     vec![
-        Instance {
+        InstanceSpec {
             name: "gsh-like",
             class: "web-huge",
-            graph: gen::weblike(14, 12, 31),
+            spec: GenSpec::Rmat {
+                scale: 14,
+                avg_deg: 12,
+                seed: 31,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "clueweb-like",
             class: "web-huge",
-            graph: gen::weblike(14, 16, 32),
+            spec: GenSpec::Rmat {
+                scale: 14,
+                avg_deg: 16,
+                seed: 32,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "uk-like",
             class: "web-huge",
-            graph: gen::rgg2d(20_000, 24, 33),
+            spec: GenSpec::Rgg2d {
+                n: 20_000,
+                avg_deg: 24,
+                seed: 33,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "eu-like",
             class: "web-huge",
-            graph: gen::weblike(15, 12, 34),
+            spec: GenSpec::Rmat {
+                scale: 15,
+                avg_deg: 12,
+                seed: 34,
+            },
         },
-        Instance {
+        InstanceSpec {
             name: "hyperlink-like",
             class: "web-huge",
-            graph: gen::rhg_like(24_000, 20, 2.8, 35),
+            spec: GenSpec::RhgLike {
+                n: 24_000,
+                avg_deg: 20,
+                gamma: 2.8,
+                seed: 35,
+            },
         },
     ]
+}
+
+fn materialize(specs: Vec<InstanceSpec>) -> Vec<Instance> {
+    specs
+        .into_iter()
+        .map(|s| Instance {
+            name: s.name,
+            class: s.class,
+            graph: s.spec.materialize(),
+        })
+        .collect()
+}
+
+/// The scaled-down Benchmark Set A, materialised in memory.
+pub fn benchmark_set_a() -> Vec<Instance> {
+    materialize(set_a_specs())
+}
+
+/// The scaled-down Benchmark Set B, materialised in memory.
+pub fn benchmark_set_b() -> Vec<Instance> {
+    materialize(set_b_specs())
 }
 
 /// The configuration ladder of Figures 1, 4 and 6: the KaMinPar baseline with the

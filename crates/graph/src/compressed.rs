@@ -264,6 +264,55 @@ fn decode_chunk(
     pos
 }
 
+/// Decodes the fixed header of an encoded neighbourhood: `(first_edge, degree, pos)`
+/// where `pos` is the byte position right after the header.
+#[inline]
+pub(crate) fn decode_neighborhood_header(data: &[u8], pos: usize) -> (EdgeId, usize, usize) {
+    let (first_edge, pos) = decode_varint(data, pos);
+    let (degree, pos) = decode_varint(data, pos);
+    (first_edge, degree as usize, pos)
+}
+
+/// Decodes one encoded neighbourhood of vertex `u` starting at `data[pos]`, invoking
+/// `f(neighbor, weight)` for every neighbour.
+///
+/// This is the single decoding routine shared by the in-memory [`CompressedGraph`] and
+/// the on-disk [`PagedGraph`](crate::store::PagedGraph): both store neighbourhoods in
+/// the identical byte format, so neighbour iteration order — and therefore every
+/// downstream partitioning decision — is bit-identical across the two representations.
+pub(crate) fn decode_neighborhood(
+    data: &[u8],
+    pos: usize,
+    u: NodeId,
+    weighted: bool,
+    config: &CompressionConfig,
+    f: &mut dyn FnMut(NodeId, EdgeWeight),
+) {
+    let (_, degree, mut pos) = decode_neighborhood_header(data, pos);
+    if degree == 0 {
+        return;
+    }
+    if degree <= config.high_degree_threshold {
+        decode_chunk(data, pos, u, degree, weighted, config, f);
+        return;
+    }
+    let (num_chunks, p) = decode_varint(data, pos);
+    pos = p;
+    let mut chunk_lens = Vec::with_capacity(num_chunks as usize);
+    for _ in 0..num_chunks {
+        let (len, p) = decode_varint(data, pos);
+        pos = p;
+        chunk_lens.push(len as usize);
+    }
+    let mut remaining = degree;
+    for &len in &chunk_lens {
+        let count = remaining.min(config.chunk_len);
+        decode_chunk(data, pos, u, count, weighted, config, f);
+        pos += len;
+        remaining -= count;
+    }
+}
+
 impl CompressedGraph {
     /// Compresses a CSR graph. Neighbourhoods are sorted internally before encoding.
     pub fn from_csr(csr: &CsrGraph, config: &CompressionConfig) -> Self {
@@ -415,30 +464,15 @@ impl Graph for CompressedGraph {
     }
 
     fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, EdgeWeight)) {
-        let (degree, mut pos) = self.decode_header(u);
-        if degree == 0 {
-            return;
-        }
         let weighted = self.edge_weighted && self.config.compress_edge_weights;
-        if degree <= self.config.high_degree_threshold {
-            decode_chunk(&self.data, pos, u, degree, weighted, &self.config, f);
-            return;
-        }
-        let (num_chunks, p) = decode_varint(&self.data, pos);
-        pos = p;
-        let mut chunk_lens = Vec::with_capacity(num_chunks as usize);
-        for _ in 0..num_chunks {
-            let (len, p) = decode_varint(&self.data, pos);
-            pos = p;
-            chunk_lens.push(len as usize);
-        }
-        let mut remaining = degree;
-        for &len in &chunk_lens {
-            let count = remaining.min(self.config.chunk_len);
-            decode_chunk(&self.data, pos, u, count, weighted, &self.config, f);
-            pos += len;
-            remaining -= count;
-        }
+        decode_neighborhood(
+            &self.data,
+            self.offsets[u as usize] as usize,
+            u,
+            weighted,
+            &self.config,
+            f,
+        );
     }
 
     fn is_edge_weighted(&self) -> bool {

@@ -145,6 +145,17 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
 /// which gives the neighbour-ID locality real rgg2D instances have (and which interval
 /// encoding exploits). This is the `rgg2D` family of the paper (KaGen).
 pub fn rgg2d(n: usize, avg_deg: usize, seed: u64) -> CsrGraph {
+    let mut b = CsrGraphBuilder::new(n);
+    for_each_rgg2d_edge(n, avg_deg, seed, &mut |u, v| b.add_edge(u, v, 1));
+    b.build()
+}
+
+/// Invokes `f(u, v)` for every edge of the random geometric graph [`rgg2d`] would build
+/// from the same parameters. Point generation needs `O(n)` memory (positions plus the
+/// cell grid) but no adjacency is ever materialised, so the streaming `.tpg` generator
+/// ([`crate::store::stream_rgg2d_to_tpg`]) can emit edges straight into spill buckets
+/// and still produce the *identical* graph for a fixed seed.
+pub fn for_each_rgg2d_edge(n: usize, avg_deg: usize, seed: u64, f: &mut dyn FnMut(NodeId, NodeId)) {
     assert!(n >= 2);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Expected degree of a point is n * pi * r^2 (ignoring boundary effects).
@@ -172,7 +183,6 @@ pub fn rgg2d(n: usize, avg_deg: usize, seed: u64) -> CsrGraph {
     for (i, &p) in points.iter().enumerate() {
         grid[cell_of(p)].push(i as NodeId);
     }
-    let mut b = CsrGraphBuilder::new(n);
     let r2 = radius * radius;
     for (i, &p) in points.iter().enumerate() {
         let cx = ((p.0 / cell_size) as usize).min(cells - 1);
@@ -191,13 +201,12 @@ pub fn rgg2d(n: usize, avg_deg: usize, seed: u64) -> CsrGraph {
                     let q = points[j as usize];
                     let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
                     if d2 <= r2 {
-                        b.add_edge(i as NodeId, j, 1);
+                        f(i as NodeId, j);
                     }
                 }
             }
         }
     }
-    b.build()
 }
 
 /// Power-law random graph standing in for the random hyperbolic (`rhg`) family.
@@ -250,11 +259,27 @@ pub fn rhg_like(n: usize, avg_deg: usize, gamma: f64, seed: u64) -> CsrGraph {
 /// degree distribution and locality in the ID space — the structural properties of the
 /// paper's web crawl instances (Benchmark Set B).
 pub fn weblike(scale: u32, avg_deg: usize, seed: u64) -> CsrGraph {
+    let mut builder = CsrGraphBuilder::new(1usize << scale);
+    for_each_rmat_edge(scale, avg_deg, seed, &mut |u, v| builder.add_edge(u, v, 1));
+    builder.build()
+}
+
+/// Invokes `f(u, v)` for every sampled R-MAT edge [`weblike`] would add for the same
+/// parameters (self-loop samples are skipped, duplicates are emitted as sampled). The
+/// sampler keeps no per-edge state, so the streaming `.tpg` generator
+/// ([`crate::store::stream_rmat_to_tpg`]) can produce graphs far larger than the memory
+/// an in-memory build would need — while remaining bit-identical to [`weblike`] for a
+/// fixed seed (duplicate samples merge into edge weights either way).
+pub fn for_each_rmat_edge(
+    scale: u32,
+    avg_deg: usize,
+    seed: u64,
+    f: &mut dyn FnMut(NodeId, NodeId),
+) {
     let n = 1usize << scale;
     let m = n * avg_deg / 2;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let (a, b_, c) = (0.57, 0.19, 0.19);
-    let mut builder = CsrGraphBuilder::new(n);
     for _ in 0..m {
         let (mut u, mut v) = (0usize, 0usize);
         for level in (0..scale).rev() {
@@ -272,10 +297,9 @@ pub fn weblike(scale: u32, avg_deg: usize, seed: u64) -> CsrGraph {
             }
         }
         if u != v {
-            builder.add_edge(u as NodeId, v as NodeId, 1);
+            f(u as NodeId, v as NodeId);
         }
     }
-    builder.build()
 }
 
 /// Rebuilds `graph` with uniformly random edge weights in `1..=max_weight`.

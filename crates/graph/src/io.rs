@@ -15,7 +15,7 @@ use crate::traits::Graph;
 use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 
 /// Magic bytes of the binary graph format.
-const BINARY_MAGIC: &[u8; 4] = b"TPGB";
+pub(crate) const BINARY_MAGIC: &[u8; 4] = b"TPGB";
 /// Version of the binary graph format.
 const BINARY_VERSION: u32 = 1;
 
@@ -77,14 +77,14 @@ pub fn write_metis(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoErr
 }
 
 /// Parsed METIS header.
-struct MetisHeader {
-    n: usize,
-    m: usize,
-    has_node_weights: bool,
-    has_edge_weights: bool,
+pub(crate) struct MetisHeader {
+    pub(crate) n: usize,
+    pub(crate) m: usize,
+    pub(crate) has_node_weights: bool,
+    pub(crate) has_edge_weights: bool,
 }
 
-fn parse_metis_header(line: &str) -> Result<MetisHeader, IoError> {
+pub(crate) fn parse_metis_header(line: &str) -> Result<MetisHeader, IoError> {
     let mut it = line.split_whitespace();
     let n: usize = it
         .next()
@@ -181,13 +181,22 @@ pub fn read_metis(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
     Ok(graph)
 }
 
-/// Reads a METIS file and compresses it on the fly in a single pass: each vertex line is
-/// parsed and its neighbourhood immediately encoded, so no uncompressed adjacency array is
-/// ever materialised.
-pub fn read_metis_compressed(
+/// Visitor over the vertices of a METIS file: `(&header, u, node_weight, neighbors)`.
+pub(crate) type MetisVertexVisitor<'a> = dyn FnMut(&MetisHeader, NodeId, NodeWeight, &[(NodeId, EdgeWeight)]) -> Result<(), IoError>
+    + 'a;
+
+/// Streams a METIS file one vertex at a time: `f(&header, u, node_weight, neighbors)`
+/// is invoked for every vertex in ID order with its **sorted** neighbourhood (the
+/// header is available from the first call, so encoders can fix weight handling up
+/// front). Self-loops are dropped and duplicate neighbour entries merged by summing
+/// their weights (matching [`CsrGraphBuilder`] semantics), so downstream encoders can
+/// rely on a clean, strictly-increasing neighbour list. Shared by
+/// [`read_metis_compressed`] and the `.tpg` converter
+/// ([`crate::store::write_tpg_from_metis`]).
+pub(crate) fn for_each_metis_vertex(
     path: impl AsRef<Path>,
-    config: &CompressionConfig,
-) -> Result<CompressedGraph, IoError> {
+    f: &mut MetisVertexVisitor<'_>,
+) -> Result<MetisHeader, IoError> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
     let mut lines = reader.lines().filter(|l| {
@@ -199,37 +208,29 @@ pub fn read_metis_compressed(
         .next()
         .ok_or_else(|| IoError::Format("empty file".into()))??;
     let header = parse_metis_header(&header_line)?;
-
-    let mut offsets = Vec::with_capacity(header.n + 1);
-    let mut data = Vec::new();
-    let mut node_weights = if header.has_node_weights {
-        Vec::with_capacity(header.n)
-    } else {
-        Vec::new()
-    };
-    offsets.push(0u64);
-    let mut first_edge: EdgeId = 0;
-    let mut total_edge_weight: EdgeWeight = 0;
-    let mut max_degree = 0usize;
-    let mut half_edges = 0usize;
+    let mut nbrs: Vec<(NodeId, EdgeWeight)> = Vec::new();
     for u in 0..header.n {
         let line = lines
             .next()
             .ok_or_else(|| IoError::Format(format!("missing line for vertex {}", u + 1)))??;
         let mut tokens = line.split_whitespace();
-        if header.has_node_weights {
-            let w: NodeWeight = tokens
+        let node_weight: NodeWeight = if header.has_node_weights {
+            tokens
                 .next()
                 .ok_or_else(|| IoError::Format("missing node weight".into()))?
                 .parse()
-                .map_err(|_| IoError::Format("invalid node weight".into()))?;
-            node_weights.push(w);
-        }
-        let mut nbrs: Vec<(NodeId, EdgeWeight)> = Vec::new();
+                .map_err(|_| IoError::Format("invalid node weight".into()))?
+        } else {
+            1
+        };
+        nbrs.clear();
         while let Some(tok) = tokens.next() {
             let v: usize = tok
                 .parse()
                 .map_err(|_| IoError::Format(format!("invalid neighbor '{}'", tok)))?;
+            if v == 0 || v > header.n {
+                return Err(IoError::Format(format!("neighbor {} out of range", v)));
+            }
             let weight: EdgeWeight = if header.has_edge_weights {
                 tokens
                     .next()
@@ -239,24 +240,50 @@ pub fn read_metis_compressed(
             } else {
                 1
             };
-            nbrs.push(((v - 1) as NodeId, weight));
+            if v - 1 != u {
+                nbrs.push(((v - 1) as NodeId, weight));
+            }
         }
         nbrs.sort_unstable_by_key(|&(v, _)| v);
-        nbrs.dedup_by_key(|&mut (v, _)| v);
+        crate::merge_sorted_duplicates(&mut nbrs);
+        f(&header, u as NodeId, node_weight, &nbrs)?;
+    }
+    Ok(header)
+}
+
+/// Reads a METIS file and compresses it on the fly in a single pass: each vertex line is
+/// parsed and its neighbourhood immediately encoded, so no uncompressed adjacency array is
+/// ever materialised.
+pub fn read_metis_compressed(
+    path: impl AsRef<Path>,
+    config: &CompressionConfig,
+) -> Result<CompressedGraph, IoError> {
+    let mut offsets = vec![0u64];
+    let mut data = Vec::new();
+    let mut node_weights: Vec<NodeWeight> = Vec::new();
+    let mut first_edge: EdgeId = 0;
+    let mut total_edge_weight: EdgeWeight = 0;
+    let mut max_degree = 0usize;
+    let mut half_edges = 0usize;
+    let header = for_each_metis_vertex(path, &mut |header, u, node_weight, nbrs| {
+        if header.has_node_weights {
+            node_weights.push(node_weight);
+        }
         total_edge_weight += nbrs.iter().map(|&(_, w)| w).sum::<EdgeWeight>();
         max_degree = max_degree.max(nbrs.len());
         half_edges += nbrs.len();
         encode_neighborhood(
-            u as NodeId,
+            u,
             first_edge,
-            &nbrs,
+            nbrs,
             header.has_edge_weights && config.compress_edge_weights,
             config,
             &mut data,
         );
         first_edge += nbrs.len() as EdgeId;
         offsets.push(data.len() as u64);
-    }
+        Ok(())
+    })?;
     let total_node_weight = if header.has_node_weights {
         node_weights.iter().sum()
     } else {
@@ -305,13 +332,13 @@ pub fn write_binary(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoEr
     Ok(())
 }
 
-fn read_exact_u64(r: &mut impl Read) -> Result<u64, IoError> {
+pub(crate) fn read_exact_u64(r: &mut impl Read) -> Result<u64, IoError> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_exact_u32(r: &mut impl Read) -> Result<u32, IoError> {
+pub(crate) fn read_exact_u32(r: &mut impl Read) -> Result<u32, IoError> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
@@ -558,6 +585,29 @@ mod tests {
             assert_eq!(streamed.neighbors_vec(u), reference.neighbors_vec(u));
         }
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metis_self_loops_dropped_and_duplicates_merged() {
+        // Vertex 1's line lists itself (a self-loop) and vertex 2 twice with weights 2
+        // and 3: the streamed reader must drop the loop and sum the duplicate to 5,
+        // matching the CsrGraphBuilder semantics of the two-pass path.
+        let path = tmp("selfloop_dups.graph");
+        std::fs::write(&path, "2 1 1\n1 7 2 2 2 3\n1 5\n").unwrap();
+        let g = read_metis_compressed(&path, &CompressionConfig::default()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors_vec(0), vec![(1, 5)]);
+        assert_eq!(g.neighbors_vec(1), vec![(0, 5)]);
+        // The .tpg converter shares the parser, so the container round-trips cleanly
+        // (previously this panicked in CsrGraph::from_parts on the self-loop).
+        let tpg = tmp("selfloop_dups.tpg");
+        crate::store::write_tpg_from_metis(&path, &tpg, &CompressionConfig::default()).unwrap();
+        let h = crate::store::read_tpg(&tpg).unwrap();
+        assert_eq!(h.m(), 1);
+        assert_eq!(h.neighbors_vec(0), vec![(1, 5)]);
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(tpg).ok();
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   (random geometric `rgg2d`, power-law `rhg`-like, web-like R-MAT, meshes, ...).
 //! * [`io`] — METIS text and binary formats, including a streaming loader that compresses
 //!   during the single input pass.
+//! * [`store`] — the external-memory graph store: the `.tpg` on-disk container, the
+//!   page-cache-backed [`PagedGraph`] and bounded-memory streaming instance generation.
 //! * [`permute`] — vertex relabelling (BFS / degree orderings) used to create the
 //!   neighbour-ID locality that interval encoding exploits.
 //! * [`stats`] — instance statistics for Table I / Figure 9.
@@ -42,11 +44,13 @@ pub mod gen;
 pub mod io;
 pub mod permute;
 pub mod stats;
+pub mod store;
 pub mod traits;
 pub mod varint;
 
 pub use compressed::{CompressedGraph, CompressionConfig};
 pub use csr::{CsrGraph, CsrGraphBuilder};
+pub use store::{PagedGraph, PagedGraphOptions};
 pub use traits::Graph;
 
 /// Identifier of a vertex. 32 bits are sufficient for every instance this reproduction
@@ -61,6 +65,24 @@ pub type NodeWeight = u64;
 
 /// Weight of an edge (always ≥ 1 for valid graphs).
 pub type EdgeWeight = u64;
+
+/// Merges duplicate entries of a neighbour list sorted by ID, summing their weights —
+/// the [`CsrGraphBuilder`] duplicate semantics. Shared by every streaming path that
+/// must match the in-memory builder byte for byte (METIS parsing, spill-bucket
+/// aggregation).
+pub(crate) fn merge_sorted_duplicates(nbrs: &mut Vec<(NodeId, EdgeWeight)>) {
+    debug_assert!(nbrs.windows(2).all(|w| w[0].0 <= w[1].0), "must be sorted");
+    let mut write = 0usize;
+    for read in 0..nbrs.len() {
+        if write > 0 && nbrs[write - 1].0 == nbrs[read].0 {
+            nbrs[write - 1].1 += nbrs[read].1;
+        } else {
+            nbrs[write] = nbrs[read];
+            write += 1;
+        }
+    }
+    nbrs.truncate(write);
+}
 
 /// An undirected edge given by its two endpoints and a weight, used by builders and
 /// generators before the CSR arrays exist.

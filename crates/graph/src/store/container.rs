@@ -1,0 +1,718 @@
+//! The `.tpg` on-disk container format and its streaming writer.
+//!
+//! # Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "TPGS"
+//! 4       4     version (u32, currently 1)
+//! 8       4     flags   (bit 0: edge weighted, bit 1: node weighted,
+//!                        bit 2: interval encoding, bit 3: compressed edge weights)
+//! 12      4     reserved (zero)
+//! 16      8     n (vertices)
+//! 24      8     m (undirected edges)
+//! 32      8     total node weight
+//! 40      8     total edge weight
+//! 48      8     max degree
+//! 56      8     high-degree threshold of the compression config
+//! 64      8     chunk length of the compression config
+//! 72      8     minimum interval length of the compression config
+//! 80      8     data section length in bytes
+//! 88      —     data section: concatenated encoded neighbourhoods (identical byte
+//!               format to the in-memory CompressedGraph)
+//! …       —     offset index: n + 1 u64 byte offsets into the data section
+//! …       —     node weights: n u64 values, present iff flag bit 1 is set
+//! ```
+//!
+//! The offset index and node weights sit *after* the data section so [`TpgWriter`] can
+//! stream neighbourhoods straight to disk behind a fixed-size header placeholder and
+//! only seek back once, at [`TpgWriter::finish`], to patch the header. The writer's
+//! live memory is the offset index under construction plus one encode buffer —
+//! `O(n + max_degree)` bytes, never `O(m)` — which is what lets instances larger than
+//! RAM be produced and consumed on this machine.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::compressed::{
+    decode_neighborhood, encode_neighborhood, CompressedGraph, CompressionConfig,
+};
+use crate::csr::CsrGraph;
+use crate::io::{for_each_metis_vertex, read_exact_u32, read_exact_u64, IoError, BINARY_MAGIC};
+use crate::traits::Graph;
+use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+
+/// Magic bytes of the `.tpg` container.
+pub const TPG_MAGIC: &[u8; 4] = b"TPGS";
+/// Container format version.
+pub const TPG_VERSION: u32 = 1;
+/// Size of the fixed header in bytes.
+pub const TPG_HEADER_LEN: u64 = 88;
+
+const FLAG_EDGE_WEIGHTED: u32 = 1 << 0;
+const FLAG_NODE_WEIGHTED: u32 = 1 << 1;
+const FLAG_INTERVALS: u32 = 1 << 2;
+const FLAG_COMPRESS_EDGE_WEIGHTS: u32 = 1 << 3;
+
+/// Parsed `.tpg` header plus derived section positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpgMeta {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Whether the graph carries non-uniform edge weights.
+    pub edge_weighted: bool,
+    /// Whether the graph carries non-uniform node weights.
+    pub node_weighted: bool,
+    /// Sum of all node weights.
+    pub total_node_weight: NodeWeight,
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub total_edge_weight: EdgeWeight,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Compression configuration the data section was encoded with.
+    pub config: CompressionConfig,
+    /// Length of the encoded data section in bytes.
+    pub data_len: u64,
+}
+
+impl TpgMeta {
+    /// Byte offset of the data section within the file.
+    pub fn data_start(&self) -> u64 {
+        TPG_HEADER_LEN
+    }
+
+    /// Byte offset of the offset index within the file.
+    pub fn offsets_start(&self) -> u64 {
+        TPG_HEADER_LEN + self.data_len
+    }
+
+    /// Byte offset of the node-weight section within the file (meaningful only when
+    /// `node_weighted`).
+    pub fn node_weights_start(&self) -> u64 {
+        self.offsets_start() + 8 * (self.n as u64 + 1)
+    }
+
+    /// Size in bytes of the uncompressed CSR representation of the stored graph — the
+    /// reference point of the memory-ladder experiments.
+    pub fn csr_size_in_bytes(&self) -> usize {
+        let half_edges = 2 * self.m;
+        (self.n + 1) * std::mem::size_of::<EdgeId>()
+            + half_edges * std::mem::size_of::<NodeId>()
+            + if self.edge_weighted {
+                half_edges * std::mem::size_of::<EdgeWeight>()
+            } else {
+                0
+            }
+            + if self.node_weighted {
+                self.n * std::mem::size_of::<NodeWeight>()
+            } else {
+                0
+            }
+    }
+}
+
+/// Summary returned by [`TpgWriter::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpgSummary {
+    /// Number of vertices written.
+    pub n: usize,
+    /// Number of undirected edges written.
+    pub m: usize,
+    /// Bytes of the encoded data section.
+    pub data_bytes: u64,
+    /// Total size of the container file.
+    pub file_bytes: u64,
+}
+
+/// Streaming `.tpg` writer: feed neighbourhoods in vertex order, then [`finish`].
+///
+/// [`finish`]: TpgWriter::finish
+pub struct TpgWriter {
+    out: BufWriter<File>,
+    config: CompressionConfig,
+    /// Whether the source graph carries edge weights (controls weight encoding together
+    /// with [`CompressionConfig::compress_edge_weights`]).
+    edge_weighted: bool,
+    n: usize,
+    next_vertex: usize,
+    offsets: Vec<u64>,
+    node_weights: Vec<NodeWeight>,
+    any_node_weight: bool,
+    first_edge: EdgeId,
+    total_edge_weight: EdgeWeight,
+    max_degree: usize,
+    half_edges: usize,
+    encode_buf: Vec<u8>,
+}
+
+impl TpgWriter {
+    /// Creates a writer for a graph with `n` vertices at `path`. `edge_weighted`
+    /// declares whether the neighbourhoods that will be pushed carry meaningful weights.
+    pub fn create(
+        path: impl AsRef<Path>,
+        n: usize,
+        edge_weighted: bool,
+        config: &CompressionConfig,
+    ) -> Result<Self, IoError> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        // Placeholder header, patched in `finish` once the totals are known.
+        out.write_all(&[0u8; TPG_HEADER_LEN as usize])?;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        Ok(Self {
+            out,
+            config: config.clone(),
+            edge_weighted,
+            n,
+            next_vertex: 0,
+            offsets,
+            node_weights: Vec::new(),
+            any_node_weight: false,
+            first_edge: 0,
+            total_edge_weight: 0,
+            max_degree: 0,
+            half_edges: 0,
+            encode_buf: Vec::new(),
+        })
+    }
+
+    /// Appends the neighbourhood of the next vertex (vertices must be pushed in ID
+    /// order). `neighbors` must be sorted by neighbour ID and free of duplicates and
+    /// self-loops; `node_weight` is the vertex's weight (1 for uniform graphs).
+    pub fn push_neighborhood(
+        &mut self,
+        u: NodeId,
+        neighbors: &[(NodeId, EdgeWeight)],
+        node_weight: NodeWeight,
+    ) -> Result<(), IoError> {
+        assert_eq!(
+            u as usize, self.next_vertex,
+            "neighbourhoods must be pushed in vertex order"
+        );
+        assert!(self.next_vertex < self.n, "vertex {} out of range", u);
+        self.encode_buf.clear();
+        encode_neighborhood(
+            u,
+            self.first_edge,
+            neighbors,
+            self.edge_weighted && self.config.compress_edge_weights,
+            &self.config,
+            &mut self.encode_buf,
+        );
+        self.out.write_all(&self.encode_buf)?;
+        let last = *self.offsets.last().unwrap();
+        self.offsets.push(last + self.encode_buf.len() as u64);
+        self.first_edge += neighbors.len() as EdgeId;
+        self.half_edges += neighbors.len();
+        self.max_degree = self.max_degree.max(neighbors.len());
+        self.total_edge_weight += neighbors.iter().map(|&(_, w)| w).sum::<EdgeWeight>();
+        self.node_weights.push(node_weight);
+        self.any_node_weight |= node_weight != 1;
+        self.next_vertex += 1;
+        Ok(())
+    }
+
+    /// Writes the offset index and node weights, patches the header and syncs the file.
+    pub fn finish(mut self) -> Result<TpgSummary, IoError> {
+        assert_eq!(
+            self.next_vertex, self.n,
+            "expected {} vertices, got {}",
+            self.n, self.next_vertex
+        );
+        let data_len = *self.offsets.last().unwrap();
+        for &offset in &self.offsets {
+            self.out.write_all(&offset.to_le_bytes())?;
+        }
+        let node_weighted = self.any_node_weight;
+        if node_weighted {
+            for &w in &self.node_weights {
+                self.out.write_all(&w.to_le_bytes())?;
+            }
+        }
+        let total_node_weight: NodeWeight = if node_weighted {
+            self.node_weights.iter().sum()
+        } else {
+            self.n as NodeWeight
+        };
+        let mut flags = 0u32;
+        if self.edge_weighted {
+            flags |= FLAG_EDGE_WEIGHTED;
+        }
+        if node_weighted {
+            flags |= FLAG_NODE_WEIGHTED;
+        }
+        if self.config.enable_intervals {
+            flags |= FLAG_INTERVALS;
+        }
+        if self.config.compress_edge_weights {
+            flags |= FLAG_COMPRESS_EDGE_WEIGHTS;
+        }
+        let mut header = Vec::with_capacity(TPG_HEADER_LEN as usize);
+        header.extend_from_slice(TPG_MAGIC);
+        header.extend_from_slice(&TPG_VERSION.to_le_bytes());
+        header.extend_from_slice(&flags.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        header.extend_from_slice(&(self.n as u64).to_le_bytes());
+        header.extend_from_slice(&((self.half_edges / 2) as u64).to_le_bytes());
+        header.extend_from_slice(&total_node_weight.to_le_bytes());
+        header.extend_from_slice(&(self.total_edge_weight / 2).to_le_bytes());
+        header.extend_from_slice(&(self.max_degree as u64).to_le_bytes());
+        header.extend_from_slice(&(self.config.high_degree_threshold as u64).to_le_bytes());
+        header.extend_from_slice(&(self.config.chunk_len as u64).to_le_bytes());
+        header.extend_from_slice(&(self.config.min_interval_len as u64).to_le_bytes());
+        header.extend_from_slice(&data_len.to_le_bytes());
+        debug_assert_eq!(header.len() as u64, TPG_HEADER_LEN);
+        self.out.flush()?;
+        let file = self.out.get_mut();
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+        let file_bytes = file.metadata()?.len();
+        Ok(TpgSummary {
+            n: self.n,
+            m: self.half_edges / 2,
+            data_bytes: data_len,
+            file_bytes,
+        })
+    }
+}
+
+/// Reads and validates the header of a `.tpg` file.
+pub fn read_tpg_meta(path: impl AsRef<Path>) -> Result<TpgMeta, IoError> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    read_meta_from(&mut r)
+}
+
+fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != TPG_MAGIC {
+        return Err(IoError::Format("bad .tpg magic".into()));
+    }
+    let version = read_exact_u32(r)?;
+    if version != TPG_VERSION {
+        return Err(IoError::Format(format!(
+            "unsupported .tpg version {}",
+            version
+        )));
+    }
+    let flags = read_exact_u32(r)?;
+    let _reserved = read_exact_u32(r)?;
+    let n = read_exact_u64(r)? as usize;
+    let m = read_exact_u64(r)? as usize;
+    let total_node_weight = read_exact_u64(r)?;
+    let total_edge_weight = read_exact_u64(r)?;
+    let max_degree = read_exact_u64(r)? as usize;
+    let high_degree_threshold = read_exact_u64(r)? as usize;
+    let chunk_len = read_exact_u64(r)? as usize;
+    let min_interval_len = read_exact_u64(r)? as usize;
+    let data_len = read_exact_u64(r)?;
+    Ok(TpgMeta {
+        n,
+        m,
+        edge_weighted: flags & FLAG_EDGE_WEIGHTED != 0,
+        node_weighted: flags & FLAG_NODE_WEIGHTED != 0,
+        total_node_weight,
+        total_edge_weight,
+        max_degree,
+        config: CompressionConfig {
+            enable_intervals: flags & FLAG_INTERVALS != 0,
+            compress_edge_weights: flags & FLAG_COMPRESS_EDGE_WEIGHTS != 0,
+            high_degree_threshold,
+            chunk_len,
+            min_interval_len,
+        },
+        data_len,
+    })
+}
+
+/// Reads the offset index and (optional) node weights of an open `.tpg` file.
+pub(crate) fn read_tpg_index(
+    file: &mut File,
+    meta: &TpgMeta,
+) -> Result<(Vec<u64>, Vec<NodeWeight>), IoError> {
+    file.seek(SeekFrom::Start(meta.offsets_start()))?;
+    let mut r = BufReader::new(file);
+    let mut offsets = Vec::with_capacity(meta.n + 1);
+    for _ in 0..=meta.n {
+        offsets.push(read_exact_u64(&mut r)?);
+    }
+    if *offsets.last().unwrap() != meta.data_len {
+        return Err(IoError::Format(
+            "offset index does not cover the data section".into(),
+        ));
+    }
+    let mut node_weights = Vec::new();
+    if meta.node_weighted {
+        node_weights.reserve(meta.n);
+        for _ in 0..meta.n {
+            node_weights.push(read_exact_u64(&mut r)?);
+        }
+    }
+    Ok((offsets, node_weights))
+}
+
+/// Writes any [`Graph`] into a `.tpg` container. Neighbourhoods are sorted before
+/// encoding, so the container is canonical regardless of the source's iteration order.
+pub fn write_tpg_from_graph(
+    graph: &impl Graph,
+    path: impl AsRef<Path>,
+    config: &CompressionConfig,
+) -> Result<TpgSummary, IoError> {
+    let mut writer = TpgWriter::create(path, graph.n(), graph.is_edge_weighted(), config)?;
+    for u in 0..graph.n() as NodeId {
+        let mut nbrs = graph.neighbors_vec(u);
+        nbrs.sort_unstable_by_key(|&(v, _)| v);
+        writer.push_neighborhood(u, &nbrs, graph.node_weight(u))?;
+    }
+    writer.finish()
+}
+
+/// Converts a METIS text file into a `.tpg` container in one streaming pass: each vertex
+/// line is parsed, cleaned (self-loops dropped, duplicate entries weight-merged — the
+/// same parser [`crate::io::read_metis_compressed`] uses), sorted and encoded
+/// immediately, so no uncompressed adjacency is ever materialised.
+pub fn write_tpg_from_metis(
+    src: impl AsRef<Path>,
+    dst: impl AsRef<Path>,
+    config: &CompressionConfig,
+) -> Result<TpgSummary, IoError> {
+    let mut writer: Option<TpgWriter> = None;
+    let dst = dst.as_ref();
+    let header = for_each_metis_vertex(src, &mut |header, u, node_weight, nbrs| {
+        if writer.is_none() {
+            writer = Some(TpgWriter::create(
+                dst,
+                header.n,
+                header.has_edge_weights,
+                config,
+            )?);
+        }
+        writer
+            .as_mut()
+            .unwrap()
+            .push_neighborhood(u, nbrs, node_weight)
+    })?;
+    match writer {
+        Some(w) => w.finish(),
+        // Zero-vertex file: the closure never ran, so create the empty container here.
+        None => TpgWriter::create(dst, header.n, header.has_edge_weights, config)?.finish(),
+    }
+}
+
+/// Converts a binary graph file (see [`crate::io::write_binary`]) into a `.tpg`
+/// container with bounded memory. Edge weights are stored after the adjacency in the
+/// source format, so the weighted case reads the file through *two* cursors advancing in
+/// lockstep — one over the adjacency, one over the weights — instead of buffering the
+/// whole adjacency as [`crate::io::read_binary_compressed`] does.
+pub fn write_tpg_from_binary(
+    src: impl AsRef<Path>,
+    dst: impl AsRef<Path>,
+    config: &CompressionConfig,
+) -> Result<TpgSummary, IoError> {
+    let file = File::open(&src)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(IoError::Format("bad magic".into()));
+    }
+    let version = read_exact_u32(&mut r)?;
+    if version != 1 {
+        return Err(IoError::Format(format!("unsupported version {}", version)));
+    }
+    let n = read_exact_u64(&mut r)? as usize;
+    let half_edges = read_exact_u64(&mut r)? as usize;
+    let flags = read_exact_u32(&mut r)?;
+    let edge_weighted = flags & 1 != 0;
+    let node_weighted = flags & 2 != 0;
+    let mut xadj = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        xadj.push(read_exact_u64(&mut r)?);
+    }
+    // Section offsets within the source file.
+    let adjacency_start = 4 + 4 + 8 + 8 + 4 + 8 * (n as u64 + 1);
+    let weights_start = adjacency_start + 4 * half_edges as u64;
+    let node_weights_start = if edge_weighted {
+        weights_start + 8 * half_edges as u64
+    } else {
+        weights_start
+    };
+    // Second cursor over the edge-weight section (weighted graphs only).
+    let mut weight_reader = if edge_weighted {
+        let mut f = File::open(&src)?;
+        f.seek(SeekFrom::Start(weights_start))?;
+        Some(BufReader::new(f))
+    } else {
+        None
+    };
+    // Third cursor over the node weights, read up front (`O(n)` is in budget).
+    let node_weights: Vec<NodeWeight> = if node_weighted {
+        let mut f = File::open(&src)?;
+        f.seek(SeekFrom::Start(node_weights_start))?;
+        let mut nr = BufReader::new(f);
+        (0..n)
+            .map(|_| read_exact_u64(&mut nr))
+            .collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+    let mut writer = TpgWriter::create(dst, n, edge_weighted, config)?;
+    let mut nbrs: Vec<(NodeId, EdgeWeight)> = Vec::new();
+    for u in 0..n {
+        let degree = (xadj[u + 1] - xadj[u]) as usize;
+        nbrs.clear();
+        for _ in 0..degree {
+            nbrs.push((read_exact_u32(&mut r)?, 1));
+        }
+        if let Some(wr) = weight_reader.as_mut() {
+            for entry in nbrs.iter_mut() {
+                entry.1 = read_exact_u64(wr)?;
+            }
+        }
+        nbrs.sort_unstable_by_key(|&(v, _)| v);
+        let node_weight = if node_weighted { node_weights[u] } else { 1 };
+        writer.push_neighborhood(u as NodeId, &nbrs, node_weight)?;
+    }
+    writer.finish()
+}
+
+/// Materialises a `.tpg` container as an in-memory [`CsrGraph`] (sequential full read).
+/// Intended for tests, instance inspection and the in-memory experiment binaries; the
+/// partitioner itself should open a [`PagedGraph`](crate::store::PagedGraph) instead.
+pub fn read_tpg(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
+    let compressed = read_tpg_compressed(path)?;
+    let n = compressed.n();
+    let mut xadj: Vec<EdgeId> = Vec::with_capacity(n + 1);
+    let mut adjacency: Vec<NodeId> = Vec::new();
+    let mut edge_weights: Vec<EdgeWeight> = Vec::new();
+    let edge_weighted = compressed.is_edge_weighted();
+    xadj.push(0);
+    for u in 0..n as NodeId {
+        let mut nbrs = compressed.neighbors_vec(u);
+        nbrs.sort_unstable_by_key(|&(v, _)| v);
+        for (v, w) in nbrs {
+            adjacency.push(v);
+            if edge_weighted {
+                edge_weights.push(w);
+            }
+        }
+        xadj.push(adjacency.len() as EdgeId);
+    }
+    let node_weights = if compressed.is_node_weighted() {
+        (0..n as NodeId)
+            .map(|u| compressed.node_weight(u))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Ok(CsrGraph::from_parts(
+        xadj,
+        adjacency,
+        edge_weights,
+        node_weights,
+    ))
+}
+
+/// Loads a `.tpg` container fully into memory as a [`CompressedGraph`]. The data section
+/// is used verbatim, so the result iterates neighbourhoods in exactly the order a
+/// [`PagedGraph`](crate::store::PagedGraph) over the same file would — the property the
+/// bit-identical on-disk partitioning tests rely on.
+pub fn read_tpg_compressed(path: impl AsRef<Path>) -> Result<CompressedGraph, IoError> {
+    let mut file = File::open(&path)?;
+    let meta = {
+        let mut r = BufReader::new(&mut file);
+        read_meta_from(&mut r)?
+    };
+    let (offsets, node_weights) = read_tpg_index(&mut file, &meta)?;
+    file.seek(SeekFrom::Start(meta.data_start()))?;
+    let mut data = vec![0u8; meta.data_len as usize];
+    let mut r = BufReader::new(&mut file);
+    r.read_exact(&mut data)?;
+    Ok(CompressedGraph::from_encoded_parts(
+        meta.n,
+        meta.m,
+        offsets,
+        data,
+        node_weights,
+        meta.edge_weighted,
+        meta.total_node_weight,
+        meta.total_edge_weight,
+        meta.max_degree,
+        meta.config,
+    ))
+}
+
+/// Decodes every neighbourhood of an in-memory data section sequentially, invoking
+/// `f(u, neighbor, weight)`. Shared by consistency checks and tests.
+#[allow(dead_code)]
+pub(crate) fn for_each_encoded_neighbor(
+    data: &[u8],
+    offsets: &[u64],
+    weighted: bool,
+    config: &CompressionConfig,
+    f: &mut dyn FnMut(NodeId, NodeId, EdgeWeight),
+) {
+    for (u, offset) in offsets
+        .iter()
+        .take(offsets.len().saturating_sub(1))
+        .enumerate()
+    {
+        decode_neighborhood(
+            data,
+            *offset as usize,
+            u as NodeId,
+            weighted,
+            config,
+            &mut |v, w| f(u as NodeId, v, w),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressed::CompressionConfig;
+    use crate::gen;
+    use crate::io::{write_binary, write_metis};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "terapart_store_test_{}_{}",
+            std::process::id(),
+            name
+        ));
+        p
+    }
+
+    fn assert_graph_eq(a: &CsrGraph, b: &CsrGraph) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        assert_eq!(a.total_node_weight(), b.total_node_weight());
+        assert_eq!(a.total_edge_weight(), b.total_edge_weight());
+        for u in 0..a.n() as NodeId {
+            let mut na = a.neighbors_vec(u);
+            let mut nb = b.neighbors_vec(u);
+            na.sort_unstable();
+            nb.sort_unstable();
+            assert_eq!(na, nb, "vertex {}", u);
+            assert_eq!(a.node_weight(u), b.node_weight(u));
+        }
+    }
+
+    #[test]
+    fn container_round_trip_unweighted() {
+        let g = gen::grid2d(13, 9);
+        let path = tmp("roundtrip_unweighted.tpg");
+        let summary = write_tpg_from_graph(&g, &path, &CompressionConfig::default()).unwrap();
+        assert_eq!(summary.n, g.n());
+        assert_eq!(summary.m, g.m());
+        let meta = read_tpg_meta(&path).unwrap();
+        assert_eq!(meta.n, g.n());
+        assert_eq!(meta.m, g.m());
+        assert!(!meta.edge_weighted && !meta.node_weighted);
+        assert_eq!(meta.max_degree, g.max_degree());
+        assert_eq!(meta.csr_size_in_bytes(), g.size_in_bytes());
+        let h = read_tpg(&path).unwrap();
+        assert_graph_eq(&g, &h);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn container_round_trip_weighted() {
+        let g = gen::with_random_node_weights(
+            &gen::with_random_edge_weights(&gen::rhg_like(300, 8, 3.0, 5), 9, 6),
+            5,
+            7,
+        );
+        let path = tmp("roundtrip_weighted.tpg");
+        write_tpg_from_graph(&g, &path, &CompressionConfig::default()).unwrap();
+        let meta = read_tpg_meta(&path).unwrap();
+        assert!(meta.edge_weighted && meta.node_weighted);
+        let h = read_tpg(&path).unwrap();
+        assert_graph_eq(&g, &h);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn container_data_section_matches_in_memory_encoding() {
+        // The on-disk data must be byte-identical to CompressedGraph::from_csr so that
+        // paged iteration is bit-identical to the in-memory compressed path.
+        let g = gen::weblike(9, 8, 3);
+        let config = CompressionConfig::default();
+        let path = tmp("matches_in_memory.tpg");
+        let summary = write_tpg_from_graph(&g, &path, &config).unwrap();
+        let reference = CompressedGraph::from_csr(&g, &config);
+        assert_eq!(summary.data_bytes as usize, reference.encoded_data_bytes());
+        let loaded = read_tpg_compressed(&path).unwrap();
+        assert_eq!(loaded.encoded_data_bytes(), reference.encoded_data_bytes());
+        for u in 0..g.n() as NodeId {
+            assert_eq!(loaded.neighbors_vec(u), reference.neighbors_vec(u));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn metis_to_tpg_matches_graph_to_tpg() {
+        let g = gen::with_random_edge_weights(&gen::rgg2d(400, 10, 8), 7, 9);
+        let metis = tmp("via_metis.graph");
+        write_metis(&g, &metis).unwrap();
+        let direct = tmp("direct.tpg");
+        let via_metis = tmp("via_metis.tpg");
+        let config = CompressionConfig::default();
+        let a = write_tpg_from_graph(&g, &direct, &config).unwrap();
+        let b = write_tpg_from_metis(&metis, &via_metis, &config).unwrap();
+        assert_eq!(a, b);
+        assert_graph_eq(&read_tpg(&direct).unwrap(), &read_tpg(&via_metis).unwrap());
+        for p in [metis, direct, via_metis] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn binary_to_tpg_two_cursor_pass_matches() {
+        // Weighted graphs exercise the two-cursor (adjacency + weights) read.
+        let g = gen::with_random_edge_weights(&gen::weblike(9, 6, 4), 50, 10);
+        let bin = tmp("via_binary.bin");
+        write_binary(&g, &bin).unwrap();
+        let direct = tmp("direct_b.tpg");
+        let via_bin = tmp("via_binary.tpg");
+        let config = CompressionConfig::default();
+        let a = write_tpg_from_graph(&g, &direct, &config).unwrap();
+        let b = write_tpg_from_binary(&bin, &via_bin, &config).unwrap();
+        assert_eq!(a, b);
+        assert_graph_eq(&read_tpg(&direct).unwrap(), &read_tpg(&via_bin).unwrap());
+        for p in [bin, direct, via_bin] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_truncated_files_are_rejected() {
+        let path = tmp("bad.tpg");
+        std::fs::write(&path, b"XXXX").unwrap();
+        assert!(read_tpg_meta(&path).is_err());
+        std::fs::write(&path, b"TP").unwrap();
+        assert!(read_tpg_meta(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices_survive() {
+        let mut b = crate::csr::CsrGraphBuilder::new(5);
+        b.add_edge(0, 3, 2);
+        let g = b.build();
+        let path = tmp("isolated.tpg");
+        write_tpg_from_graph(&g, &path, &CompressionConfig::default()).unwrap();
+        let h = read_tpg(&path).unwrap();
+        assert_graph_eq(&g, &h);
+        assert_eq!(h.degree(1), 0);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,372 @@
+//! Bounded-memory streaming construction of `.tpg` containers from edge streams.
+//!
+//! [`StreamingTpgBuilder`] accepts an arbitrary stream of undirected edges and produces
+//! a `.tpg` container without ever materialising the full adjacency in memory. It is an
+//! external counting/bucket sort: every edge is written as two directed half-edge
+//! records into spill files bucketed by source-vertex range; `finish` then processes one
+//! bucket at a time — aggregate, sort, merge duplicates (summing weights, exactly like
+//! [`CsrGraphBuilder`](crate::csr::CsrGraphBuilder)) — and feeds the neighbourhoods to
+//! the streaming [`TpgWriter`] in vertex order. Peak memory is `O(n / buckets · d̄ +
+//! largest bucket)` instead of `O(m)`.
+//!
+//! Whether the graph carries edge weights is a *global* property (duplicate unit-weight
+//! samples merge into weights > 1, matching the in-memory builder), so `finish` runs two
+//! passes over the spill files: a cheap scan that detects merged weights, then the
+//! encoding pass. Both passes stream; nothing exceeds the per-bucket budget.
+//!
+//! [`stream_rmat_to_tpg`] and [`stream_rgg2d_to_tpg`] connect the repository's R-MAT and
+//! random-geometric edge samplers to the builder; both produce graphs **bit-identical**
+//! to their in-memory counterparts ([`gen::weblike`](crate::gen::weblike) /
+//! [`gen::rgg2d`](crate::gen::rgg2d)) for a fixed seed, which the instance cache relies
+//! on for reproducible Set A/B experiments.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::compressed::CompressionConfig;
+use crate::gen::{for_each_rgg2d_edge, for_each_rmat_edge};
+use crate::io::IoError;
+use crate::store::container::{TpgSummary, TpgWriter};
+use crate::{EdgeWeight, NodeId};
+
+/// Size of one spilled half-edge record: source u32, target u32, weight u64.
+const RECORD_BYTES: usize = 16;
+
+/// Per-vertex visitor over a bucket's aggregated neighbourhoods; returning `Ok(false)`
+/// stops the bucket scan early.
+type VertexVisitor<'a> = dyn FnMut(NodeId, &[(NodeId, EdgeWeight)]) -> Result<bool, IoError> + 'a;
+
+/// External-memory `.tpg` builder fed by an edge stream (see the module docs).
+pub struct StreamingTpgBuilder {
+    n: usize,
+    vertices_per_bucket: usize,
+    spill_dir: PathBuf,
+    bucket_paths: Vec<PathBuf>,
+    buckets: Vec<BufWriter<File>>,
+    edges_added: usize,
+    /// Whether any explicitly non-unit edge weight entered the stream; lets `finish`
+    /// skip the weight-detection pass for weighted inputs.
+    saw_explicit_weight: bool,
+}
+
+impl StreamingTpgBuilder {
+    /// Creates a builder for a graph with `n` vertices, spilling half-edge records into
+    /// `num_buckets` temporary files under `spill_dir` (created if missing; the files
+    /// are removed by [`finish`](Self::finish)).
+    pub fn new(n: usize, num_buckets: usize, spill_dir: impl AsRef<Path>) -> Result<Self, IoError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let num_buckets = num_buckets.clamp(1, n.max(1));
+        let spill_dir = spill_dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&spill_dir)?;
+        let unique = format!(
+            "spill_{}_{}",
+            std::process::id(),
+            SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let mut bucket_paths = Vec::with_capacity(num_buckets);
+        let mut buckets = Vec::with_capacity(num_buckets);
+        for b in 0..num_buckets {
+            let path = spill_dir.join(format!("{}_{}.edges", unique, b));
+            buckets.push(BufWriter::new(File::create(&path)?));
+            bucket_paths.push(path);
+        }
+        Ok(Self {
+            n,
+            vertices_per_bucket: n.div_ceil(num_buckets).max(1),
+            spill_dir,
+            bucket_paths,
+            buckets,
+            edges_added: 0,
+            saw_explicit_weight: false,
+        })
+    }
+
+    /// Directory holding the spill files.
+    pub fn spill_dir(&self) -> &Path {
+        &self.spill_dir
+    }
+
+    /// Number of undirected edge records accepted so far (before deduplication).
+    pub fn edges_added(&self) -> usize {
+        self.edges_added
+    }
+
+    /// Adds an undirected edge `{u, v}`. Self-loops are dropped, duplicates merge by
+    /// summing weights at [`finish`](Self::finish) time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: EdgeWeight) -> Result<(), IoError> {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
+        if u == v {
+            return Ok(());
+        }
+        self.spill_half_edge(u, v, weight)?;
+        self.spill_half_edge(v, u, weight)?;
+        self.edges_added += 1;
+        self.saw_explicit_weight |= weight != 1;
+        Ok(())
+    }
+
+    fn spill_half_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        weight: EdgeWeight,
+    ) -> Result<(), IoError> {
+        let bucket = src as usize / self.vertices_per_bucket;
+        let mut record = [0u8; RECORD_BYTES];
+        record[0..4].copy_from_slice(&src.to_le_bytes());
+        record[4..8].copy_from_slice(&dst.to_le_bytes());
+        record[8..16].copy_from_slice(&weight.to_le_bytes());
+        self.buckets[bucket].write_all(&record)?;
+        Ok(())
+    }
+
+    /// Streams one bucket's aggregated, sorted, duplicate-merged neighbourhoods in
+    /// vertex order to `f(u, neighbors)`. Returns `false` if the visitor stopped the
+    /// scan early.
+    fn for_each_bucket_vertex(
+        &self,
+        bucket: usize,
+        f: &mut VertexVisitor<'_>,
+    ) -> Result<bool, IoError> {
+        let lo = (bucket * self.vertices_per_bucket).min(self.n);
+        let hi = ((bucket + 1) * self.vertices_per_bucket).min(self.n);
+        let mut adjacency: Vec<Vec<(NodeId, EdgeWeight)>> = vec![Vec::new(); hi - lo];
+        let file = File::open(&self.bucket_paths[bucket])?;
+        let mut r = BufReader::new(file);
+        let mut record = [0u8; RECORD_BYTES];
+        loop {
+            match r.read_exact(&mut record) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
+            let src = NodeId::from_le_bytes(record[0..4].try_into().unwrap());
+            let dst = NodeId::from_le_bytes(record[4..8].try_into().unwrap());
+            let weight = EdgeWeight::from_le_bytes(record[8..16].try_into().unwrap());
+            adjacency[src as usize - lo].push((dst, weight));
+        }
+        for (i, nbrs) in adjacency.iter_mut().enumerate() {
+            nbrs.sort_unstable_by_key(|&(v, _)| v);
+            crate::merge_sorted_duplicates(nbrs);
+            if !f((lo + i) as NodeId, nbrs)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Aggregates the spill files and writes the final `.tpg` container to `path`. The
+    /// spill files are removed afterwards.
+    pub fn finish(
+        mut self,
+        path: impl AsRef<Path>,
+        config: &CompressionConfig,
+    ) -> Result<TpgSummary, IoError> {
+        for w in &mut self.buckets {
+            w.flush()?;
+        }
+        drop(std::mem::take(&mut self.buckets));
+        // Pass 1: edge weights are a global property of the container (the encoding of
+        // *every* neighbourhood depends on it). Skip the scan entirely when an explicit
+        // non-unit weight already entered the stream; otherwise stop at the first
+        // duplicate-merged weight (unit-weight duplicates sum past 1).
+        let mut edge_weighted = self.saw_explicit_weight;
+        for bucket in 0..self.bucket_paths.len() {
+            if edge_weighted {
+                break;
+            }
+            let completed = self.for_each_bucket_vertex(bucket, &mut |_, nbrs| {
+                edge_weighted |= nbrs.iter().any(|&(_, w)| w != 1);
+                Ok(!edge_weighted)
+            })?;
+            debug_assert!(completed || edge_weighted);
+        }
+        // Pass 2: encode in vertex order.
+        let mut writer = TpgWriter::create(&path, self.n, edge_weighted, config)?;
+        for bucket in 0..self.bucket_paths.len() {
+            self.for_each_bucket_vertex(bucket, &mut |u, nbrs| {
+                writer.push_neighborhood(u, nbrs, 1).map(|()| true)
+            })?;
+        }
+        let summary = writer.finish()?;
+        for p in &self.bucket_paths {
+            std::fs::remove_file(p).ok();
+        }
+        Ok(summary)
+    }
+}
+
+impl Drop for StreamingTpgBuilder {
+    fn drop(&mut self) {
+        // Best-effort cleanup when finish() was never reached.
+        drop(std::mem::take(&mut self.buckets));
+        for p in &self.bucket_paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+/// Streams an R-MAT graph (identical to [`gen::weblike`](crate::gen::weblike) for the
+/// same parameters) into a `.tpg` container, spilling edge chunks under `spill_dir`.
+pub fn stream_rmat_to_tpg(
+    scale: u32,
+    avg_deg: usize,
+    seed: u64,
+    path: impl AsRef<Path>,
+    spill_dir: impl AsRef<Path>,
+    num_buckets: usize,
+    config: &CompressionConfig,
+) -> Result<TpgSummary, IoError> {
+    let n = 1usize << scale;
+    let mut builder = StreamingTpgBuilder::new(n, num_buckets, spill_dir)?;
+    let mut io_error = None;
+    for_each_rmat_edge(scale, avg_deg, seed, &mut |u, v| {
+        if io_error.is_none() {
+            if let Err(e) = builder.add_edge(u, v, 1) {
+                io_error = Some(e);
+            }
+        }
+    });
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    builder.finish(path, config)
+}
+
+/// Streams a random geometric graph (identical to [`gen::rgg2d`](crate::gen::rgg2d) for
+/// the same parameters) into a `.tpg` container, spilling edge chunks under `spill_dir`.
+pub fn stream_rgg2d_to_tpg(
+    n: usize,
+    avg_deg: usize,
+    seed: u64,
+    path: impl AsRef<Path>,
+    spill_dir: impl AsRef<Path>,
+    num_buckets: usize,
+    config: &CompressionConfig,
+) -> Result<TpgSummary, IoError> {
+    let mut builder = StreamingTpgBuilder::new(n, num_buckets, spill_dir)?;
+    let mut io_error = None;
+    for_each_rgg2d_edge(n, avg_deg, seed, &mut |u, v| {
+        if io_error.is_none() {
+            if let Err(e) = builder.add_edge(u, v, 1) {
+                io_error = Some(e);
+            }
+        }
+    });
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    builder.finish(path, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::gen;
+    use crate::store::container::{read_tpg, write_tpg_from_graph};
+    use crate::traits::Graph;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "terapart_stream_test_{}_{}",
+            std::process::id(),
+            name
+        ));
+        p
+    }
+
+    fn assert_graph_eq(a: &CsrGraph, b: &CsrGraph) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        assert_eq!(a.is_edge_weighted(), b.is_edge_weighted());
+        assert_eq!(a.total_edge_weight(), b.total_edge_weight());
+        for u in 0..a.n() as NodeId {
+            assert_eq!(a.neighbors_vec(u), b.neighbors_vec(u), "vertex {}", u);
+        }
+    }
+
+    #[test]
+    fn streamed_rmat_is_bit_identical_to_weblike() {
+        let dir = tmp_dir("rmat");
+        let path = dir.join("rmat.tpg");
+        let config = CompressionConfig::default();
+        // R-MAT sampling collides often, so this also exercises the duplicate-merge
+        // (weight > 1) path end to end.
+        stream_rmat_to_tpg(10, 8, 5, &path, &dir, 7, &config).unwrap();
+        let streamed = read_tpg(&path).unwrap();
+        let reference = gen::weblike(10, 8, 5);
+        assert_graph_eq(&reference, &streamed);
+        // Byte-level check: the container must equal the one written from the
+        // materialised graph.
+        let direct = dir.join("direct.tpg");
+        write_tpg_from_graph(&reference, &direct, &config).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&direct).unwrap(),
+            "streamed container differs from the in-memory one"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn streamed_rgg2d_matches_in_memory_generator() {
+        let dir = tmp_dir("rgg");
+        let path = dir.join("rgg.tpg");
+        stream_rgg2d_to_tpg(800, 10, 9, &path, &dir, 5, &CompressionConfig::default()).unwrap();
+        let streamed = read_tpg(&path).unwrap();
+        let reference = gen::rgg2d(800, 10, 9);
+        assert_graph_eq(&reference, &streamed);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn builder_merges_duplicates_and_drops_self_loops() {
+        let dir = tmp_dir("dups");
+        let mut b = StreamingTpgBuilder::new(4, 2, &dir).unwrap();
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 0, 2).unwrap(); // duplicate, reversed
+        b.add_edge(2, 2, 5).unwrap(); // self-loop, dropped
+        b.add_edge(2, 3, 1).unwrap();
+        let path = dir.join("dups.tpg");
+        let summary = b.finish(&path, &CompressionConfig::default()).unwrap();
+        assert_eq!(summary.m, 2);
+        let g = read_tpg(&path).unwrap();
+        assert_eq!(g.neighbors_vec(0), vec![(1, 3)]);
+        assert_eq!(g.degree(2), 1);
+        assert!(g.is_edge_weighted());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up() {
+        let dir = tmp_dir("cleanup");
+        let path = dir.join("out.tpg");
+        stream_rmat_to_tpg(8, 6, 1, &path, &dir, 3, &CompressionConfig::default()).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "edges"))
+            .collect();
+        assert!(leftovers.is_empty(), "spill files left behind");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn single_bucket_and_many_buckets_agree() {
+        let dir = tmp_dir("buckets");
+        let one = dir.join("one.tpg");
+        let many = dir.join("many.tpg");
+        let config = CompressionConfig::default();
+        stream_rmat_to_tpg(9, 6, 2, &one, &dir, 1, &config).unwrap();
+        stream_rmat_to_tpg(9, 6, 2, &many, &dir, 16, &config).unwrap();
+        assert_eq!(std::fs::read(&one).unwrap(), std::fs::read(&many).unwrap());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

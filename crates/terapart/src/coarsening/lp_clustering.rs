@@ -22,8 +22,10 @@
 //! would cost `O(n)` per round (the label space is the vertex set), and full clusters
 //! rarely shrink during clustering, so the retry value a full sweep would provide is
 //! negligible here — unlike in LP *refinement*, where the analogous waiters are tracked
-//! per block. Converged regions are never rescanned. The frontier bitsets and the
-//! visit-order buffer live in the reusable [`HierarchyScratch`] arena.
+//! per block. Converged regions are never rescanned. The round loop itself
+//! (collect/shuffle/run/swap plus stop criteria) is the shared driver of
+//! `crate::lp_rounds`, instantiated here with the no-waiter semantics; the frontier
+//! bitsets and the visit-order buffer live in the reusable [`HierarchyScratch`] arena.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
@@ -31,11 +33,10 @@ use graph::traits::Graph;
 use graph::{NodeId, NodeWeight};
 use memtrack::MemoryScope;
 use parking_lot::Mutex;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 use crate::context::{CoarseningConfig, LabelPropagationMode};
+use crate::lp_rounds::{drive_lp_rounds, LpRoundSemantics};
 use crate::scratch::{AtomicBitset, HierarchyScratch};
 use crate::ClusterId;
 
@@ -294,39 +295,24 @@ pub fn cluster_with_scratch(
     }
     let state = ClusteringState::new(graph, max_cluster_weight);
     let num_threads = rayon::current_num_threads().max(1);
-    scratch.ensure_worklists(n);
     let use_frontier = config.lp_frontier;
-    let mut order = std::mem::take(&mut scratch.order);
 
-    let mut run_rounds = |run_round: &mut dyn FnMut(&[NodeId], Option<&AtomicBitset>) -> usize,
-                          scratch: &mut HierarchyScratch| {
-        for round in 0..config.lp_rounds {
-            order.clear();
-            if round == 0 || !use_frontier {
-                order.extend(0..n as NodeId);
-            } else {
-                scratch.active.collect_into(n, &mut order);
-                if order.is_empty() {
-                    break;
-                }
-            }
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ round as u64);
-            order.shuffle(&mut rng);
-            let frontier = if use_frontier {
-                scratch.next_active.clear_range(n);
-                Some(&scratch.next_active)
-            } else {
-                None
-            };
-            let moved = run_round(&order, frontier);
-            if use_frontier {
-                scratch.swap_active();
-            }
-            if moved == 0 {
-                break;
-            }
+    /// Clustering semantics for the shared driver: historical `seed ^ round` shuffle
+    /// seeds, no waiters, stop on the first move-free round (the trait defaults).
+    struct ClusteringRounds<'r> {
+        seed: u64,
+        run: &'r mut dyn FnMut(&[NodeId], Option<&AtomicBitset>) -> usize,
+    }
+
+    impl LpRoundSemantics for ClusteringRounds<'_> {
+        fn round_seed(&self, round: usize) -> u64 {
+            self.seed ^ round as u64
         }
-    };
+
+        fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize {
+            (self.run)(order, frontier)
+        }
+    }
 
     match config.lp_mode {
         LabelPropagationMode::PerThreadRatingMaps => {
@@ -336,12 +322,14 @@ pub fn cluster_with_scratch(
                 .collect();
             let aux_bytes: usize = maps.iter().map(|m| m.lock().memory_bytes()).sum();
             let _scope = MemoryScope::charge_global(aux_bytes);
-            run_rounds(
-                &mut |order, frontier| {
-                    run_round_per_thread_maps(graph, &state, &maps, order, frontier)
-                },
-                scratch,
-            );
+            let mut run = |order: &[NodeId], frontier: Option<&AtomicBitset>| {
+                run_round_per_thread_maps(graph, &state, &maps, order, frontier)
+            };
+            let mut semantics = ClusteringRounds {
+                seed,
+                run: &mut run,
+            };
+            drive_lp_rounds(n, config.lp_rounds, use_frontier, scratch, &mut semantics);
         }
         LabelPropagationMode::TwoPhase => {
             // Auxiliary memory: p fixed-capacity hash tables plus one shared O(n) array.
@@ -350,16 +338,17 @@ pub fn cluster_with_scratch(
                 shared.memory_bytes()
                     + num_threads * FixedCapacityHashMap::new(config.bump_threshold).memory_bytes(),
             );
-            run_rounds(
-                &mut |order, frontier| {
-                    run_round_two_phase(graph, &state, config, &shared, order, frontier)
-                },
-                scratch,
-            );
+            let mut run = |order: &[NodeId], frontier: Option<&AtomicBitset>| {
+                run_round_two_phase(graph, &state, config, &shared, order, frontier)
+            };
+            let mut semantics = ClusteringRounds {
+                seed,
+                run: &mut run,
+            };
+            drive_lp_rounds(n, config.lp_rounds, use_frontier, scratch, &mut semantics);
         }
     }
 
-    scratch.order = order;
     state.into_clustering()
 }
 

@@ -173,6 +173,13 @@ impl Default for RefinementConfig {
     }
 }
 
+/// Settings of the on-disk (`.tpg`-backed) partitioning entry point
+/// [`partition_ondisk`](crate::partitioner::partition_ondisk): the page-cache geometry
+/// the [`graph::PagedGraph`] is opened with. This is exactly
+/// [`graph::PagedGraphOptions`] (page size, total budget, shard count); the alias
+/// keeps the partitioner-facing name without a second struct that could drift.
+pub type OnDiskConfig = graph::PagedGraphOptions;
+
 /// Complete configuration of a partitioning run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionerConfig {
@@ -192,6 +199,8 @@ pub struct PartitionerConfig {
     pub initial: InitialPartitioningConfig,
     /// Refinement settings.
     pub refinement: RefinementConfig,
+    /// Page-cache settings of the on-disk entry point (ignored by in-memory runs).
+    pub ondisk: OnDiskConfig,
 }
 
 impl PartitionerConfig {
@@ -216,6 +225,7 @@ impl PartitionerConfig {
                 lp_frontier: false,
                 ..RefinementConfig::default()
             },
+            ondisk: OnDiskConfig::default(),
         }
     }
 
@@ -274,6 +284,12 @@ impl PartitionerConfig {
     /// Sets the gain-table kind used by FM refinement.
     pub fn with_gain_table(mut self, kind: GainTableKind) -> Self {
         self.refinement.gain_table = kind;
+        self
+    }
+
+    /// Sets the page-cache budget (bytes) of the on-disk entry point.
+    pub fn with_page_budget(mut self, bytes: usize) -> Self {
+        self.ondisk.budget_bytes = bytes;
         self
     }
 }

@@ -54,6 +54,7 @@ pub mod coarsening;
 pub mod context;
 pub mod dual_counter;
 pub mod initial;
+pub(crate) mod lp_rounds;
 pub mod partition;
 pub mod partitioner;
 pub mod refinement;
@@ -61,12 +62,13 @@ pub mod scratch;
 
 pub use context::{
     CoarseningConfig, ContractionAlgorithm, GainTableKind, InitialPartitioningConfig,
-    LabelPropagationMode, PartitionerConfig, RefinementAlgorithm, RefinementConfig,
+    LabelPropagationMode, OnDiskConfig, PartitionerConfig, RefinementAlgorithm, RefinementConfig,
 };
 pub use initial::{initial_partition, initial_partition_with_scratch};
 pub use partition::{BlockId, Partition};
 pub use partitioner::{
-    partition, partition_csr, partition_csr_with_tracker, partition_with_tracker, PartitionResult,
+    partition, partition_csr, partition_csr_with_tracker, partition_ondisk,
+    partition_ondisk_with_tracker, partition_with_tracker, PartitionResult,
 };
 pub use scratch::{AtomicBitset, HierarchyScratch};
 

@@ -1,0 +1,264 @@
+//! The shared frontier round-driver of label propagation.
+//!
+//! Clustering ([`cluster_with_scratch`]) and LP refinement ([`lp_refine_with_scratch`])
+//! run the same outer loop: build the round's visit order (full sweep in round 0 or
+//! when the frontier is disabled, the collected active set otherwise), shuffle it with
+//! a round-derived seed, run one parallel round that marks the next round's frontier,
+//! swap the frontier bitsets and evaluate a stop criterion. The loop used to be
+//! implemented twice with deliberately different *waiter* semantics; this module hosts
+//! the single driver, parameterised over those semantics through
+//! [`LpRoundSemantics`]:
+//!
+//! * clustering retries nothing beyond the frontier — a vertex whose best move was
+//!   rejected by the cluster weight constraint is dropped (full clusters rarely shrink
+//!   during clustering, and tracking per-cluster capacity changes would cost `O(n)` per
+//!   round), and a move-free round always terminates the loop;
+//! * refinement keeps balance-blocked movers as *waiters* across rounds (feasibility
+//!   depends on global block weights, not the neighbourhood), reactivates them in
+//!   whichever round their move first fits again, and only stops on a move-free round
+//!   whose next active set is empty.
+//!
+//! [`cluster_with_scratch`]: crate::coarsening::cluster_with_scratch
+//! [`lp_refine_with_scratch`]: crate::refinement::lp_refine_with_scratch
+
+use graph::NodeId;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::scratch::{AtomicBitset, HierarchyScratch};
+
+/// Aggregate outcome of a driven sequence of rounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct RoundStats {
+    /// Rounds actually executed (may be fewer than requested on convergence).
+    pub rounds: usize,
+    /// Total moves across all rounds.
+    pub moves: usize,
+    /// Number of vertices visited in each executed round.
+    pub visited_per_round: Vec<usize>,
+}
+
+/// The algorithm-specific half of the round loop (see the module docs).
+pub(crate) trait LpRoundSemantics {
+    /// Seed of the round's shuffle RNG (each caller keeps its historical mixing so
+    /// results stay bit-identical to the pre-unification implementations).
+    fn round_seed(&self, round: usize) -> u64;
+
+    /// Runs one parallel round over `order`, marking changed neighbourhoods in
+    /// `frontier` (when enabled), and returns the number of moves performed.
+    fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize;
+
+    /// Whether vertices carried across rounds *outside* the frontier bitsets (waiters)
+    /// may still produce work; an empty collected frontier only ends the loop when this
+    /// is `false`.
+    fn has_pending_waiters(&self) -> bool {
+        false
+    }
+
+    /// Called between rounds while the frontier is enabled: register this round's
+    /// blocked movers and reactivate waiters by setting bits in `next_active`.
+    fn after_round(&mut self, _next_active: &AtomicBitset) {}
+
+    /// Whether the loop should stop after a round with `moved` moves.
+    /// `next_round_has_work` lazily reports whether the upcoming round's active set is
+    /// non-empty (always `false` without the frontier); the default — stop on any
+    /// move-free round — is the clustering criterion.
+    fn should_stop(
+        &mut self,
+        moved: usize,
+        _next_round_has_work: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        moved == 0
+    }
+}
+
+/// Drives up to `max_rounds` label propagation rounds over a graph with `n` vertices,
+/// reusing the visit-order buffer and the frontier bitset pair of `scratch`.
+pub(crate) fn drive_lp_rounds<S: LpRoundSemantics>(
+    n: usize,
+    max_rounds: usize,
+    use_frontier: bool,
+    scratch: &mut HierarchyScratch,
+    semantics: &mut S,
+) -> RoundStats {
+    let mut stats = RoundStats::default();
+    if n == 0 {
+        return stats;
+    }
+    scratch.ensure_worklists(n);
+    let mut order = std::mem::take(&mut scratch.order);
+    for round in 0..max_rounds {
+        order.clear();
+        if round == 0 || !use_frontier {
+            order.extend(0..n as NodeId);
+        } else {
+            scratch.active.collect_into(n, &mut order);
+            if order.is_empty() && !semantics.has_pending_waiters() {
+                break;
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(semantics.round_seed(round));
+        order.shuffle(&mut rng);
+        let frontier = if use_frontier {
+            scratch.next_active.clear_range(n);
+            Some(&scratch.next_active)
+        } else {
+            None
+        };
+        let moved = semantics.run_round(&order, frontier);
+        if frontier.is_some() {
+            semantics.after_round(&scratch.next_active);
+        }
+        stats.rounds += 1;
+        stats.visited_per_round.push(order.len());
+        stats.moves += moved;
+        if use_frontier {
+            scratch.swap_active();
+        }
+        let mut next_round_has_work = || use_frontier && scratch.active.count(n) > 0;
+        if semantics.should_stop(moved, &mut next_round_has_work) {
+            break;
+        }
+    }
+    scratch.order = order;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal semantics that "moves" a shrinking set of vertices and records the
+    /// driver's scheduling decisions.
+    struct Recording {
+        seed: u64,
+        rounds_run: usize,
+        visited: Vec<Vec<NodeId>>,
+        moves_per_round: Vec<usize>,
+    }
+
+    impl LpRoundSemantics for Recording {
+        fn round_seed(&self, round: usize) -> u64 {
+            self.seed ^ round as u64
+        }
+
+        fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize {
+            let mut sorted = order.to_vec();
+            sorted.sort_unstable();
+            self.visited.push(sorted);
+            let moves = self
+                .moves_per_round
+                .get(self.rounds_run)
+                .copied()
+                .unwrap_or(0);
+            if let Some(bits) = frontier {
+                // Mark `moves` vertices active for the next round.
+                for &u in order.iter().take(moves) {
+                    bits.set(u as usize);
+                }
+            }
+            self.rounds_run += 1;
+            moves
+        }
+    }
+
+    #[test]
+    fn full_sweep_when_frontier_disabled() {
+        let mut scratch = HierarchyScratch::new();
+        let mut semantics = Recording {
+            seed: 7,
+            rounds_run: 0,
+            visited: Vec::new(),
+            moves_per_round: vec![3, 2, 1],
+        };
+        let stats = drive_lp_rounds(10, 3, false, &mut scratch, &mut semantics);
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.moves, 6);
+        for round in &semantics.visited {
+            assert_eq!(round.len(), 10, "sweep rounds must visit every vertex");
+        }
+    }
+
+    #[test]
+    fn frontier_rounds_shrink_to_marked_vertices() {
+        let mut scratch = HierarchyScratch::new();
+        let mut semantics = Recording {
+            seed: 7,
+            rounds_run: 0,
+            visited: Vec::new(),
+            moves_per_round: vec![4, 2, 1],
+        };
+        let stats = drive_lp_rounds(16, 5, true, &mut scratch, &mut semantics);
+        assert_eq!(stats.visited_per_round[0], 16);
+        assert_eq!(stats.visited_per_round[1], 4);
+        assert_eq!(stats.visited_per_round[2], 2);
+        assert!(stats.rounds >= 3);
+    }
+
+    #[test]
+    fn default_stop_is_first_move_free_round() {
+        let mut scratch = HierarchyScratch::new();
+        let mut semantics = Recording {
+            seed: 1,
+            rounds_run: 0,
+            visited: Vec::new(),
+            moves_per_round: vec![2, 0, 5],
+        };
+        let stats = drive_lp_rounds(8, 5, true, &mut scratch, &mut semantics);
+        assert_eq!(stats.rounds, 2, "must stop at the move-free round");
+        assert_eq!(stats.moves, 2);
+    }
+
+    /// Semantics with a waiter that keeps the loop alive across an empty frontier.
+    struct OneWaiter {
+        pending: bool,
+        rounds_run: usize,
+    }
+
+    impl LpRoundSemantics for OneWaiter {
+        fn round_seed(&self, round: usize) -> u64 {
+            round as u64
+        }
+
+        fn run_round(&mut self, _order: &[NodeId], _frontier: Option<&AtomicBitset>) -> usize {
+            self.rounds_run += 1;
+            // Round 0 performs a move but marks nothing; the waiter reactivates later.
+            usize::from(self.rounds_run == 1 || self.rounds_run == 3)
+        }
+
+        fn has_pending_waiters(&self) -> bool {
+            self.pending
+        }
+
+        fn after_round(&mut self, next_active: &AtomicBitset) {
+            if self.rounds_run == 2 && self.pending {
+                // The waiter's move became feasible: reactivate it.
+                next_active.set(5);
+                self.pending = false;
+            }
+        }
+
+        fn should_stop(
+            &mut self,
+            moved: usize,
+            next_round_has_work: &mut dyn FnMut() -> bool,
+        ) -> bool {
+            moved == 0 && !next_round_has_work() && !self.pending
+        }
+    }
+
+    #[test]
+    fn waiters_keep_the_loop_alive_and_reactivate() {
+        let mut scratch = HierarchyScratch::new();
+        let mut semantics = OneWaiter {
+            pending: true,
+            rounds_run: 0,
+        };
+        let stats = drive_lp_rounds(8, 6, true, &mut scratch, &mut semantics);
+        // Round 0 (full), round 1 (empty order but pending waiter), round 2 (the
+        // reactivated waiter), round 3 onwards stops.
+        assert!(stats.rounds >= 3, "waiter rounds missing: {:?}", stats);
+        assert_eq!(stats.visited_per_round[2], 1, "reactivated waiter only");
+        assert!(!semantics.pending);
+    }
+}

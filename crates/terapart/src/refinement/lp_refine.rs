@@ -14,6 +14,8 @@
 //! its weight and target) across rounds and reactivated in whichever round the move
 //! first fits again. On a converging instance the active set shrinks every round and
 //! the refinement cost drops from `O(rounds · m)` to `O(m + moved-region work)`.
+//! The round loop (collect/shuffle/run/swap plus stop criteria) is the shared driver of
+//! `crate::lp_rounds`, instantiated here with the balance-waiter semantics.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -21,11 +23,10 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use graph::traits::Graph;
 use graph::{NodeId, NodeWeight};
 use memtrack::MemoryScope;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 use crate::coarsening::rating_map::FixedCapacityHashMap;
+use crate::lp_rounds::{drive_lp_rounds, LpRoundSemantics};
 use crate::partition::{BlockId, Partition};
 use crate::scratch::{AtomicBitset, HierarchyScratch};
 
@@ -142,15 +143,12 @@ pub fn lp_refine_with_scratch(
     scratch: &mut HierarchyScratch,
 ) -> LpRefineStats {
     let n = graph.n();
-    let mut stats = LpRefineStats::default();
     if n == 0 || partition.k() <= 1 {
-        return stats;
+        return LpRefineStats::default();
     }
     let epsilon = partition.epsilon();
     let state = AtomicPartition::from_partition(partition);
     let k = state.k;
-    scratch.ensure_worklists(n);
-    let mut order = std::mem::take(&mut scratch.order);
     // Account the per-worker rating maps (one per thread, reused via RATINGS) for the
     // duration of the refinement, mirroring the clustering stage's accounting.
     let table_limit = k.min(1 + graph.max_degree());
@@ -158,56 +156,80 @@ pub fn lp_refine_with_scratch(
         rayon::current_num_threads().max(1) * FixedCapacityHashMap::new(table_limit).memory_bytes(),
     );
 
-    // Vertices whose best improving move was rejected by the balance constraint,
-    // carried across rounds: `(vertex, blocked target block, vertex weight)`.
-    let mut waiters: Vec<(NodeId, BlockId, NodeWeight)> = Vec::new();
-    for round in 0..rounds {
-        order.clear();
-        if round == 0 || !use_frontier {
-            order.extend(0..n as NodeId);
-        } else {
-            scratch.active.collect_into(n, &mut order);
-            if order.is_empty() && waiters.is_empty() {
-                break;
-            }
+    /// Refinement semantics for the shared driver: historical `seed ^ (round << 17)`
+    /// shuffle seeds, balance-blocked movers carried across rounds as waiters, and a
+    /// stop only on a move-free round whose next active set is empty.
+    struct RefinementRounds<'a, G: Graph> {
+        graph: &'a G,
+        state: &'a AtomicPartition,
+        k: usize,
+        seed: u64,
+        /// Vertices whose best improving move was rejected by the balance constraint,
+        /// carried across rounds: `(vertex, blocked target block, vertex weight)`.
+        waiters: Vec<(NodeId, BlockId, NodeWeight)>,
+        /// Waiters registered by the round just run, consumed by `after_round`.
+        newly_blocked: Vec<(NodeId, BlockId, NodeWeight)>,
+    }
+
+    impl<G: Graph> LpRoundSemantics for RefinementRounds<'_, G> {
+        fn round_seed(&self, round: usize) -> u64 {
+            self.seed ^ (round as u64) << 17
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (round as u64) << 17);
-        order.shuffle(&mut rng);
-        let frontier = if use_frontier {
-            scratch.next_active.clear_range(n);
-            Some(&scratch.next_active)
-        } else {
-            None
-        };
-        let (round_moves, mut newly_blocked) = run_round(graph, &state, k, &order, frontier);
-        // Feasibility depends on global block weights, not the neighbourhood: a waiter
-        // is reactivated in whichever round its recorded move first fits again (and
-        // then leaves the list — if still unlucky, the revisit re-registers it).
-        if let Some(bits) = frontier {
-            waiters.append(&mut newly_blocked);
-            waiters.retain(|&(u, block, weight)| {
+
+        fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize {
+            let (moves, newly_blocked) = run_round(self.graph, self.state, self.k, order, frontier);
+            self.newly_blocked = newly_blocked;
+            moves
+        }
+
+        fn has_pending_waiters(&self) -> bool {
+            !self.waiters.is_empty()
+        }
+
+        fn after_round(&mut self, next_active: &AtomicBitset) {
+            // Feasibility depends on global block weights, not the neighbourhood: a
+            // waiter is reactivated in whichever round its recorded move first fits
+            // again (and then leaves the list — if still unlucky, the revisit
+            // re-registers it).
+            let mut newly_blocked = std::mem::take(&mut self.newly_blocked);
+            self.waiters.append(&mut newly_blocked);
+            let state = self.state;
+            self.waiters.retain(|&(u, block, weight)| {
                 let fits = state.block_weights[block as usize].load(Ordering::Relaxed) + weight
                     <= state.max_block_weight;
                 if fits {
-                    bits.set(u as usize);
+                    next_active.set(u as usize);
                 }
                 !fits
             });
         }
-        stats.rounds += 1;
-        stats.visited_per_round.push(order.len());
-        stats.moves += round_moves;
-        if use_frontier {
-            scratch.swap_active();
-        }
-        // Stop on a move-free round — unless a reactivated waiter is queued for the
-        // next round (frontier mode only; the sweep keeps the original criterion).
-        if round_moves == 0 && (!use_frontier || scratch.active.count(n) == 0) {
-            break;
+
+        fn should_stop(
+            &mut self,
+            moved: usize,
+            next_round_has_work: &mut dyn FnMut() -> bool,
+        ) -> bool {
+            // Stop on a move-free round — unless a reactivated waiter is queued for
+            // the next round (frontier mode only; the sweep keeps the original
+            // criterion).
+            moved == 0 && !next_round_has_work()
         }
     }
 
-    scratch.order = order;
+    let mut semantics = RefinementRounds {
+        graph,
+        state: &state,
+        k,
+        seed,
+        waiters: Vec::new(),
+        newly_blocked: Vec::new(),
+    };
+    let driven = drive_lp_rounds(n, rounds, use_frontier, scratch, &mut semantics);
+    let stats = LpRefineStats {
+        moves: driven.moves,
+        rounds: driven.rounds,
+        visited_per_round: driven.visited_per_round,
+    };
     *partition = state.into_partition(graph, epsilon);
     let cut = partition.edge_cut_on(graph);
     partition.set_cached_cut(cut);
