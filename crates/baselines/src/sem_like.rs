@@ -141,7 +141,7 @@ impl StreamedGraph {
                     }
                     None => 1,
                 };
-                neighborhood.push((v, w));
+                neighborhood.push((NodeId::from(v), w));
             }
             f(u, &neighborhood);
         }

@@ -27,8 +27,8 @@ fn bench_traversal(c: &mut Criterion) {
     group.bench_function("csr", |b| {
         b.iter(|| {
             let mut total = 0u64;
-            for u in 0..csr.n() as u32 {
-                csr.for_each_neighbor(u, &mut |v, w| total += u64::from(v) + w);
+            for u in 0..csr.n() as graph::NodeId {
+                csr.for_each_neighbor(u, &mut |v, w| total += graph::ids::widen(v) + w);
             }
             total
         });
@@ -36,8 +36,8 @@ fn bench_traversal(c: &mut Criterion) {
     group.bench_function("compressed", |b| {
         b.iter(|| {
             let mut total = 0u64;
-            for u in 0..compressed.n() as u32 {
-                compressed.for_each_neighbor(u, &mut |v, w| total += u64::from(v) + w);
+            for u in 0..compressed.n() as graph::NodeId {
+                compressed.for_each_neighbor(u, &mut |v, w| total += graph::ids::widen(v) + w);
             }
             total
         });

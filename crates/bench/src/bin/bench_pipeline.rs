@@ -8,10 +8,20 @@
 //!
 //! The JSON is the perf trajectory anchor across PRs: the `micro_vs_seed_baseline`
 //! entries must stay well above 1.0x.
+//!
+//! To record the `wide-ids` overhead alongside the default width, run the wide build
+//! first and then merge its headline numbers into the default-width JSON:
+//!
+//! ```text
+//! cargo run --release --features wide-ids -p bench --bin bench_pipeline -- /tmp/wide.json
+//! cargo run --release -p bench --bin bench_pipeline -- BENCH_pipeline.json /tmp/wide.json
+//! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use bench::harness::{best_seconds, write_pipeline_json, MicroComparison, OndiskRun};
+use bench::harness::{
+    best_seconds, read_width_run, write_pipeline_json, MicroComparison, OndiskRun,
+};
 use bench::seed_baseline::{seed_contract_one_pass, seed_initial_partition, seed_lp_refine};
 use graph::gen;
 use graph::traits::Graph;
@@ -41,6 +51,22 @@ fn main() {
         .nth(1)
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
+    // Optional: a BENCH_pipeline.json produced by a build at the other ID width, whose
+    // headline numbers are embedded into this run's `width_runs` ladder.
+    let other_width_runs: Vec<bench::harness::WidthRun> = std::env::args()
+        .nth(2)
+        .map(|p| {
+            let run = read_width_run(Path::new(&p)).expect("failed to read the width-run JSON");
+            assert_ne!(
+                run.id_width,
+                graph::NodeId::BITS,
+                "{} was produced at this build's own id width",
+                p
+            );
+            vec![run]
+        })
+        .unwrap_or_default();
+    println!("id width: {} bits", graph::NodeId::BITS);
 
     // The bench RMAT instance: web-like R-MAT graph, as in the compression benches.
     let instance = "rmat-14";
@@ -233,6 +259,7 @@ fn main() {
         &measurement,
         &[contraction, refinement, initial],
         &ondisk_runs,
+        &other_width_runs,
     )
     .expect("failed to write BENCH_pipeline.json");
     println!("wrote {}", path.display());

@@ -133,6 +133,47 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Headline numbers of one pipeline run at one ID width, for the `width_runs` section
+/// of `BENCH_pipeline.json` that tracks the `wide-ids` overhead against the default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidthRun {
+    /// NodeId width in bits (32 or 64).
+    pub id_width: u32,
+    /// Edge cut of the run.
+    pub edge_cut: u64,
+    /// Wall-clock seconds of the full pipeline.
+    pub total_time_seconds: f64,
+    /// Peak accounted memory in bytes.
+    pub peak_memory_bytes: usize,
+}
+
+/// Extracts the headline [`WidthRun`] numbers from a `BENCH_pipeline.json` written by
+/// [`write_pipeline_json`] (possibly by a binary built at the *other* ID width). The
+/// format is this crate's own line-oriented output, so a line scan suffices — no JSON
+/// dependency exists in this workspace.
+pub fn read_width_run(path: &Path) -> std::io::Result<WidthRun> {
+    let text = std::fs::read_to_string(path)?;
+    let field = |name: &str| -> std::io::Result<f64> {
+        text.lines()
+            .find_map(|line| {
+                let rest = line.trim().strip_prefix(&format!("\"{}\": ", name))?;
+                rest.trim_end_matches(',').parse::<f64>().ok()
+            })
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("field '{}' missing from {}", name, path.display()),
+                )
+            })
+    };
+    Ok(WidthRun {
+        id_width: field("id_width")? as u32,
+        edge_cut: field("edge_cut")? as u64,
+        total_time_seconds: field("total_time_seconds")?,
+        peak_memory_bytes: field("peak_memory_bytes")? as usize,
+    })
+}
+
 /// Writes `BENCH_pipeline.json`: the phase timing/memory breakdown and headline numbers
 /// of one pipeline run, the micro-benchmark speedups over the seed baseline, and the
 /// `partition_ondisk` runs at their page budgets.
@@ -146,10 +187,12 @@ pub fn write_pipeline_json(
     measurement: &Measurement,
     micro: &[MicroComparison],
     ondisk: &[OndiskRun],
+    other_width_runs: &[WidthRun],
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"instance\": \"{}\",\n", json_escape(instance)));
+    out.push_str(&format!("  \"id_width\": {},\n", graph::NodeId::BITS));
     out.push_str(&format!("  \"n\": {},\n", graph.n()));
     out.push_str(&format!("  \"m\": {},\n", graph.m()));
     out.push_str(&format!("  \"k\": {},\n", config.k));
@@ -208,6 +251,28 @@ pub fn write_pipeline_json(
             run.peak_memory_bytes as f64 / run.csr_bytes.max(1) as f64,
             run.edge_cut,
             if i + 1 < ondisk.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Width ladder: this run plus any runs recorded by binaries built at other widths,
+    // so the wide-ids overhead is tracked next to the default from day one.
+    let mut width_runs = vec![WidthRun {
+        id_width: graph::NodeId::BITS,
+        edge_cut: measurement.edge_cut,
+        total_time_seconds: measurement.time.as_secs_f64(),
+        peak_memory_bytes: measurement.peak_memory_bytes,
+    }];
+    width_runs.extend(other_width_runs.iter().cloned());
+    width_runs.sort_by_key(|r| r.id_width);
+    out.push_str("  \"width_runs\": [\n");
+    for (i, run) in width_runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id_width\": {}, \"edge_cut\": {}, \"total_time_seconds\": {:.6}, \"peak_memory_bytes\": {}}}{}\n",
+            run.id_width,
+            run.edge_cut,
+            run.total_time_seconds,
+            run.peak_memory_bytes,
+            if i + 1 < width_runs.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -70,9 +70,16 @@ impl GenSpec {
         }
     }
 
-    /// The cache file name encoding every parameter of the recipe.
+    /// The cache file name encoding every parameter of the recipe — including the ID
+    /// width: containers written by a `wide-ids` build differ byte-wise (the `.tpg` v2
+    /// header records the writer's width), so wide builds use their own cache
+    /// namespace while the default width keeps the historical names.
     pub fn cache_file_name(&self) -> String {
-        format!("{}.tpg", self.key())
+        if graph::NodeId::BITS == 64 {
+            format!("{}-w64.tpg", self.key())
+        } else {
+            format!("{}.tpg", self.key())
+        }
     }
 
     fn key(&self) -> String {
@@ -301,7 +308,13 @@ mod tests {
         );
         let manifest = std::fs::read_to_string(store.manifest_path()).unwrap();
         assert_eq!(manifest.lines().count(), 1);
-        assert!(manifest.starts_with("rmat-s9-d6-x4.tpg\t"));
+        // Wide builds use their own cache namespace (the containers differ byte-wise).
+        let expected = if graph::NodeId::BITS == 64 {
+            "rmat-s9-d6-x4-w64.tpg\t"
+        } else {
+            "rmat-s9-d6-x4.tpg\t"
+        };
+        assert!(manifest.starts_with(expected));
         std::fs::remove_dir_all(store.root()).ok();
     }
 
@@ -342,7 +355,12 @@ mod tests {
     fn weighted_specs_round_trip() {
         let store = scratch_store("weighted");
         let spec = GenSpec::Grid2d { rows: 12, cols: 9 }.weighted(17, 5);
-        assert_eq!(spec.cache_file_name(), "grid2d-12x9-ew17-x5.tpg");
+        let expected = if graph::NodeId::BITS == 64 {
+            "grid2d-12x9-ew17-x5-w64.tpg"
+        } else {
+            "grid2d-12x9-ew17-x5.tpg"
+        };
+        assert_eq!(spec.cache_file_name(), expected);
         let loaded = store.load_csr(&spec).unwrap();
         let reference = spec.materialize();
         assert!(loaded.is_edge_weighted());

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use graph::csr::{CsrGraph, CsrGraphBuilder};
 use graph::traits::Graph;
-use graph::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+use graph::{AtomicNodeId, EdgeId, EdgeWeight, NodeId, NodeWeight};
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -55,7 +55,7 @@ impl SeedFixedCapacityHashMap {
     }
 
     fn slot_of(&self, key: NodeId) -> usize {
-        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+        (graph::ids::widen(key).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
     }
 
     pub fn len(&self) -> usize {
@@ -122,14 +122,14 @@ fn cluster_buckets_seed(
     clustering: &Clustering,
 ) -> (Vec<ClusterId>, Vec<Vec<NodeId>>) {
     let n = graph.n();
-    let mut bucket_of_label: Vec<u32> = vec![u32::MAX; n];
+    let mut bucket_of_label: Vec<NodeId> = vec![graph::ids::INVALID_NODE; n];
     let mut leaders: Vec<ClusterId> = Vec::with_capacity(clustering.num_clusters);
     let mut members: Vec<Vec<NodeId>> = Vec::with_capacity(clustering.num_clusters);
     for u in 0..n as NodeId {
         let label = clustering.label[u as usize];
         let bucket = bucket_of_label[label as usize];
-        if bucket == u32::MAX {
-            bucket_of_label[label as usize] = leaders.len() as u32;
+        if bucket == graph::ids::INVALID_NODE {
+            bucket_of_label[label as usize] = leaders.len() as NodeId;
             leaders.push(label);
             members.push(vec![u]);
         } else {
@@ -153,9 +153,9 @@ pub fn seed_contract_one_pass(
     let (leaders, members) = cluster_buckets_seed(graph, clustering);
     let upper_bound_edges = 2 * graph.m();
 
-    let coarse_edges: Vec<AtomicU32> = {
+    let coarse_edges: Vec<AtomicNodeId> = {
         let mut v = Vec::with_capacity(upper_bound_edges);
-        v.resize_with(upper_bound_edges, || AtomicU32::new(0));
+        v.resize_with(upper_bound_edges, || AtomicNodeId::new(0));
         v
     };
     let coarse_edge_weights: Vec<AtomicU64> = {
@@ -178,9 +178,9 @@ pub fn seed_contract_one_pass(
         v.resize_with(n, || AtomicU64::new(0));
         v
     };
-    let remap: Vec<AtomicU32> = {
+    let remap: Vec<AtomicNodeId> = {
         let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || AtomicU32::new(NodeId::MAX));
+        v.resize_with(n, || AtomicNodeId::new(graph::ids::INVALID_NODE));
         v
     };
     let dual = DualCounter::new();
@@ -215,7 +215,7 @@ pub fn seed_contract_one_pass(
             starts[coarse_id].store(edge_cursor as u64, Ordering::Relaxed);
             degrees[coarse_id].store(len, Ordering::Relaxed);
             coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
-            remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
+            remap[label as usize].store(coarse_id as NodeId, Ordering::Relaxed);
             for &(target, w) in &batch.edges[offset_in_edges..offset_in_edges + len as usize] {
                 coarse_edges[edge_cursor].store(target, Ordering::Relaxed);
                 coarse_edge_weights[edge_cursor].store(w, Ordering::Relaxed);
@@ -294,7 +294,7 @@ pub fn seed_contract_one_pass(
             starts[coarse_id].store(d_prev, Ordering::Relaxed);
             degrees[coarse_id].store(len as u32, Ordering::Relaxed);
             coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
-            remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
+            remap[label as usize].store(coarse_id as NodeId, Ordering::Relaxed);
             for (i, (target, w)) in map.iter().enumerate() {
                 coarse_edges[d_prev as usize + i].store(target, Ordering::Relaxed);
                 coarse_edge_weights[d_prev as usize + i].store(w, Ordering::Relaxed);
@@ -418,16 +418,19 @@ pub fn seed_lp_refine(
                 let mut has_external = false;
                 graph.for_each_neighbor(u, &mut |v, w| {
                     let block = assignment[v as usize].load(Ordering::Relaxed);
-                    ratings.add(block, w);
+                    // The rating table is keyed by NodeId; block ids (< k) always fit.
+                    ratings.add(NodeId::from(block), w);
                     has_external |= block != current;
                 });
                 if !has_external {
                     continue;
                 }
                 let node_weight = graph.node_weight(u);
-                let current_affinity = ratings.get(current);
+                let current_affinity = ratings.get(NodeId::from(current));
                 let mut best: Option<(BlockId, u64)> = None;
                 for (block, affinity) in ratings.iter() {
+                    // Lossless narrowing: only block ids below k were inserted.
+                    let block = block as BlockId;
                     if block == current || affinity <= current_affinity {
                         continue;
                     }

@@ -76,6 +76,14 @@ pub struct CompressedGraph {
     config: CompressionConfig,
 }
 
+/// A [`NodeId`] as the signed 64-bit domain the gap codec computes in. Lossless at both
+/// widths: valid ids stay below the reserved top bit (see [`crate::ids`]), i.e. below
+/// 2^63 even in the wide regime.
+#[inline]
+fn sid(v: NodeId) -> i64 {
+    v as i64
+}
+
 /// Encodes one neighbourhood into `out`.
 ///
 /// `first_edge` is the ID of the first half-edge of the neighbourhood, `u` the vertex the
@@ -163,28 +171,28 @@ fn encode_chunk(
 
     if config.enable_intervals {
         encode_varint(intervals.len() as u64, out);
-        let mut prev_end: i64 = i64::from(u);
+        let mut prev_end: i64 = sid(u);
         for (k, &(left, len)) in intervals.iter().enumerate() {
             if k == 0 {
-                encode_signed_varint(i64::from(left) - i64::from(u), out);
+                encode_signed_varint(sid(left) - sid(u), out);
             } else {
-                encode_varint((i64::from(left) - prev_end) as u64, out);
+                encode_varint((sid(left) - prev_end) as u64, out);
             }
             encode_varint((len - config.min_interval_len) as u64, out);
-            prev_end = i64::from(left) + len as i64;
+            prev_end = sid(left) + len as i64;
         }
     }
 
     // Residual gaps: first gap is signed relative to u, later gaps are strictly positive
     // (stored minus one).
-    let mut prev: i64 = i64::from(u);
+    let mut prev: i64 = sid(u);
     for (k, &v) in residuals.iter().enumerate() {
         if k == 0 {
-            encode_signed_varint(i64::from(v) - prev, out);
+            encode_signed_varint(sid(v) - prev, out);
         } else {
-            encode_varint((i64::from(v) - prev - 1) as u64, out);
+            encode_varint((sid(v) - prev - 1) as u64, out);
         }
-        prev = i64::from(v);
+        prev = sid(v);
     }
 
     if weighted {
@@ -213,12 +221,12 @@ fn decode_chunk(
     if config.enable_intervals {
         let (interval_count, p) = decode_varint(data, pos);
         pos = p;
-        let mut prev_end: i64 = i64::from(u);
+        let mut prev_end: i64 = sid(u);
         for k in 0..interval_count {
             let left = if k == 0 {
                 let (delta, p) = decode_signed_varint(data, pos);
                 pos = p;
-                i64::from(u) + delta
+                sid(u) + delta
             } else {
                 let (delta, p) = decode_varint(data, pos);
                 pos = p;
@@ -234,7 +242,7 @@ fn decode_chunk(
         }
     }
     let residual_count = count - ids.len();
-    let mut prev: i64 = i64::from(u);
+    let mut prev: i64 = sid(u);
     for k in 0..residual_count {
         let v = if k == 0 {
             let (delta, p) = decode_signed_varint(data, pos);
@@ -664,7 +672,7 @@ mod tests {
         ) {
             let mut b = CsrGraphBuilder::new(n);
             for (u, v, w) in edges {
-                let (u, v) = (u % n as u32, v % n as u32);
+                let (u, v) = (NodeId::from(u % n as u32), NodeId::from(v % n as u32));
                 if u != v {
                     b.add_edge(u, v, w);
                 }

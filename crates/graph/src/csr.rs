@@ -41,6 +41,7 @@ impl CsrGraph {
     ) -> Self {
         assert!(!xadj.is_empty(), "xadj must contain at least one offset");
         let n = xadj.len() - 1;
+        crate::ids::assert_node_count(n, "CsrGraph::from_parts");
         assert_eq!(
             *xadj.last().unwrap() as usize,
             adjacency.len(),
@@ -251,6 +252,7 @@ pub struct CsrGraphBuilder {
 impl CsrGraphBuilder {
     /// Creates a builder for a graph with `n` vertices, all of weight 1.
     pub fn new(n: usize) -> Self {
+        crate::ids::assert_node_count(n, "CsrGraphBuilder");
         Self {
             n,
             edges: Vec::new(),
@@ -260,6 +262,7 @@ impl CsrGraphBuilder {
 
     /// Creates a builder with explicit node weights.
     pub fn with_node_weights(node_weights: Vec<NodeWeight>) -> Self {
+        crate::ids::assert_node_count(node_weights.len(), "CsrGraphBuilder");
         Self {
             n: node_weights.len(),
             edges: Vec::new(),
@@ -441,8 +444,8 @@ mod tests {
     #[test]
     fn size_in_bytes_counts_all_arrays() {
         let g = triangle();
-        // 4 offsets * 8 bytes + 6 adjacency entries * 4 bytes.
-        assert_eq!(g.size_in_bytes(), 4 * 8 + 6 * 4);
+        // 4 offsets * 8 bytes + 6 adjacency entries at the active id width.
+        assert_eq!(g.size_in_bytes(), 4 * 8 + 6 * std::mem::size_of::<NodeId>());
     }
 
     #[test]

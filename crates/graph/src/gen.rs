@@ -14,14 +14,16 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 use crate::csr::{CsrGraph, CsrGraphBuilder};
-use crate::{EdgeWeight, NodeId};
+use crate::ids::{self, NodeId};
+use crate::EdgeWeight;
 
 /// 2D grid (mesh) graph with `rows * cols` vertices connected to their horizontal and
 /// vertical neighbours. Models the "finite element"-style instances of Benchmark Set A.
 pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
     let n = rows * cols;
+    ids::assert_node_count(n, "grid2d");
     let mut b = CsrGraphBuilder::new(n);
-    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let id = |r: usize, c: usize| ids::nid(r * cols + c);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
@@ -38,8 +40,9 @@ pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
 /// 3D grid graph (`x * y * z` vertices, 6-neighbourhood).
 pub fn grid3d(x: usize, y: usize, z: usize) -> CsrGraph {
     let n = x * y * z;
+    ids::assert_node_count(n, "grid3d");
     let mut b = CsrGraphBuilder::new(n);
-    let id = |i: usize, j: usize, k: usize| (i * y * z + j * z + k) as NodeId;
+    let id = |i: usize, j: usize, k: usize| ids::nid(i * y * z + j * z + k);
     for i in 0..x {
         for j in 0..y {
             for k in 0..z {
@@ -60,9 +63,10 @@ pub fn grid3d(x: usize, y: usize, z: usize) -> CsrGraph {
 
 /// Path graph 0 — 1 — 2 — ... — (n-1).
 pub fn path(n: usize) -> CsrGraph {
+    ids::assert_node_count(n, "path");
     let mut b = CsrGraphBuilder::new(n);
     for u in 1..n {
-        b.add_edge((u - 1) as NodeId, u as NodeId, 1);
+        b.add_edge(ids::nid(u - 1), ids::nid(u), 1);
     }
     b.build()
 }
@@ -70,19 +74,21 @@ pub fn path(n: usize) -> CsrGraph {
 /// Cycle graph on `n ≥ 3` vertices.
 pub fn cycle(n: usize) -> CsrGraph {
     assert!(n >= 3, "a cycle needs at least 3 vertices");
+    ids::assert_node_count(n, "cycle");
     let mut b = CsrGraphBuilder::new(n);
     for u in 0..n {
-        b.add_edge(u as NodeId, ((u + 1) % n) as NodeId, 1);
+        b.add_edge(ids::nid(u), ids::nid((u + 1) % n), 1);
     }
     b.build()
 }
 
 /// Complete graph on `n` vertices.
 pub fn complete(n: usize) -> CsrGraph {
+    ids::assert_node_count(n, "complete");
     let mut b = CsrGraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge(u as NodeId, v as NodeId, 1);
+            b.add_edge(ids::nid(u), ids::nid(v), 1);
         }
     }
     b.build()
@@ -91,9 +97,10 @@ pub fn complete(n: usize) -> CsrGraph {
 /// Star graph: vertex 0 is connected to all other `n - 1` vertices. Used to exercise the
 /// high-degree (chunked / two-phase) code paths.
 pub fn star(n: usize) -> CsrGraph {
+    ids::assert_node_count(n, "star");
     let mut b = CsrGraphBuilder::new(n);
     for v in 1..n {
-        b.add_edge(0, v as NodeId, 1);
+        b.add_edge(0, ids::nid(v), 1);
     }
     b.build()
 }
@@ -103,18 +110,19 @@ pub fn star(n: usize) -> CsrGraph {
 /// makes it ideal for quality assertions.
 pub fn clique_chain(k: usize, clique_size: usize) -> CsrGraph {
     let n = k * clique_size;
+    ids::assert_node_count(n, "clique_chain");
     let mut b = CsrGraphBuilder::new(n);
     for c in 0..k {
         let base = c * clique_size;
         for i in 0..clique_size {
             for j in (i + 1)..clique_size {
-                b.add_edge((base + i) as NodeId, (base + j) as NodeId, 1);
+                b.add_edge(ids::nid(base + i), ids::nid(base + j), 1);
             }
         }
         if c + 1 < k {
             b.add_edge(
-                (base + clique_size - 1) as NodeId,
-                (base + clique_size) as NodeId,
+                ids::nid(base + clique_size - 1),
+                ids::nid(base + clique_size),
                 1,
             );
         }
@@ -126,11 +134,12 @@ pub fn clique_chain(k: usize, clique_size: usize) -> CsrGraph {
 /// edges (duplicates are merged, so the final count can be slightly lower).
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
     assert!(n >= 2);
+    ids::assert_node_count(n, "erdos_renyi");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = CsrGraphBuilder::new(n);
     for _ in 0..m {
-        let u = rng.gen_range(0..n as NodeId);
-        let v = rng.gen_range(0..n as NodeId);
+        let u = rng.gen_range(0..ids::nid_count(n));
+        let v = rng.gen_range(0..ids::nid_count(n));
         if u != v {
             b.add_edge(u, v, 1);
         }
@@ -157,6 +166,7 @@ pub fn rgg2d(n: usize, avg_deg: usize, seed: u64) -> CsrGraph {
 /// and still produce the *identical* graph for a fixed seed.
 pub fn for_each_rgg2d_edge(n: usize, avg_deg: usize, seed: u64, f: &mut dyn FnMut(NodeId, NodeId)) {
     assert!(n >= 2);
+    ids::assert_node_count(n, "rgg2d");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Expected degree of a point is n * pi * r^2 (ignoring boundary effects).
     let radius = ((avg_deg as f64) / (n as f64 * std::f64::consts::PI)).sqrt();
@@ -181,7 +191,7 @@ pub fn for_each_rgg2d_edge(n: usize, avg_deg: usize, seed: u64, f: &mut dyn FnMu
         cy * cells + cx
     };
     for (i, &p) in points.iter().enumerate() {
-        grid[cell_of(p)].push(i as NodeId);
+        grid[cell_of(p)].push(ids::nid(i));
     }
     let r2 = radius * radius;
     for (i, &p) in points.iter().enumerate() {
@@ -201,7 +211,7 @@ pub fn for_each_rgg2d_edge(n: usize, avg_deg: usize, seed: u64, f: &mut dyn FnMu
                     let q = points[j as usize];
                     let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
                     if d2 <= r2 {
-                        f(i as NodeId, j);
+                        f(ids::nid(i), j);
                     }
                 }
             }
@@ -217,6 +227,7 @@ pub fn for_each_rgg2d_edge(n: usize, avg_deg: usize, seed: u64, f: &mut dyn FnMu
 /// models real-world social networks, as the paper describes for rhg graphs.
 pub fn rhg_like(n: usize, avg_deg: usize, gamma: f64, seed: u64) -> CsrGraph {
     assert!(n >= 2);
+    ids::assert_node_count(n, "rhg_like");
     assert!(gamma > 2.0, "power-law exponent must exceed 2");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Sample degrees proportional to a Pareto distribution, clamp to [1, n/4], and scale
@@ -242,7 +253,7 @@ pub fn rhg_like(n: usize, avg_deg: usize, gamma: f64, seed: u64) -> CsrGraph {
     }
     let mut stubs: Vec<NodeId> = Vec::with_capacity(degrees.iter().sum());
     for (u, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat_n(u as NodeId, d));
+        stubs.extend(std::iter::repeat_n(ids::nid(u), d));
     }
     stubs.shuffle(&mut rng);
     let mut b = CsrGraphBuilder::new(n);
@@ -277,6 +288,7 @@ pub fn for_each_rmat_edge(
     f: &mut dyn FnMut(NodeId, NodeId),
 ) {
     let n = 1usize << scale;
+    ids::assert_node_count(n, "rmat");
     let m = n * avg_deg / 2;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let (a, b_, c) = (0.57, 0.19, 0.19);
@@ -297,7 +309,7 @@ pub fn for_each_rmat_edge(
             }
         }
         if u != v {
-            f(u as NodeId, v as NodeId);
+            f(ids::nid(u), ids::nid(v));
         }
     }
 }

@@ -11,6 +11,7 @@ use std::path::Path;
 
 use crate::compressed::{encode_neighborhood, CompressedGraph, CompressionConfig};
 use crate::csr::{CsrGraph, CsrGraphBuilder};
+use crate::ids;
 use crate::traits::Graph;
 use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 
@@ -43,6 +44,50 @@ impl From<io::Error> for IoError {
     fn from(e: io::Error) -> Self {
         IoError::Io(e)
     }
+}
+
+/// Checked conversion of a vertex count read from a file into the active ID width,
+/// failing loudly — naming the offending count — instead of truncating.
+pub(crate) fn checked_node_count(n: usize, what: &str) -> Result<usize, IoError> {
+    if ids::node_count_supported(n) {
+        Ok(n)
+    } else {
+        Err(IoError::Format(format!(
+            "{} {} exceeds the {}-bit NodeId limit of {} (rebuild with `--features wide-ids`)",
+            what,
+            n,
+            NodeId::BITS,
+            ids::MAX_NODE_COUNT,
+        )))
+    }
+}
+
+/// Checked conversion of a vertex index read from a file into a [`NodeId`], failing
+/// loudly — naming the offending index — instead of truncating.
+pub(crate) fn checked_node_id(value: usize, what: &str) -> Result<NodeId, IoError> {
+    match NodeId::try_from(value) {
+        Ok(id) if value < ids::MAX_NODE_COUNT => Ok(id),
+        _ => Err(IoError::Format(format!(
+            "{} {} does not fit the {}-bit NodeId width (rebuild with `--features wide-ids`)",
+            what,
+            value,
+            NodeId::BITS,
+        ))),
+    }
+}
+
+/// Checked narrowing of a [`NodeId`] into the 32-bit on-disk binary format, failing
+/// loudly — naming the offending id — instead of truncating. (At the default width the
+/// conversion is the identity; the `try_from` spelling keeps one code path per width.)
+#[allow(clippy::useless_conversion)]
+fn checked_binary_id(value: NodeId, what: &str) -> Result<u32, IoError> {
+    u32::try_from(value).map_err(|_| {
+        IoError::Format(format!(
+            "{} {} does not fit the 32-bit on-disk binary format (use the .tpg container \
+             for 64-bit instances)",
+            what, value,
+        ))
+    })
 }
 
 /// Writes `graph` in the METIS text format.
@@ -130,6 +175,7 @@ pub fn read_metis(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
         .next()
         .ok_or_else(|| IoError::Format("empty file".into()))??;
     let header = parse_metis_header(&header_line)?;
+    checked_node_count(header.n, "METIS vertex count")?;
     let mut builder = CsrGraphBuilder::new(header.n);
     for u in 0..header.n {
         let line = lines
@@ -142,7 +188,7 @@ pub fn read_metis(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
                 .ok_or_else(|| IoError::Format("missing node weight".into()))?
                 .parse()
                 .map_err(|_| IoError::Format("invalid node weight".into()))?;
-            builder.set_node_weight(u as NodeId, w);
+            builder.set_node_weight(checked_node_id(u, "METIS vertex")?, w);
         }
         while let Some(tok) = tokens.next() {
             let v: usize = tok
@@ -163,7 +209,11 @@ pub fn read_metis(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
             // METIS files list every undirected edge in both endpoints' lines; add it
             // only once so the builder does not merge the two copies into weight 2w.
             if v - 1 > u {
-                builder.add_edge(u as NodeId, (v - 1) as NodeId, weight);
+                builder.add_edge(
+                    checked_node_id(u, "METIS vertex")?,
+                    checked_node_id(v - 1, "METIS neighbor")?,
+                    weight,
+                );
             }
         }
     }
@@ -208,6 +258,7 @@ pub(crate) fn for_each_metis_vertex(
         .next()
         .ok_or_else(|| IoError::Format("empty file".into()))??;
     let header = parse_metis_header(&header_line)?;
+    checked_node_count(header.n, "METIS vertex count")?;
     let mut nbrs: Vec<(NodeId, EdgeWeight)> = Vec::new();
     for u in 0..header.n {
         let line = lines
@@ -241,12 +292,17 @@ pub(crate) fn for_each_metis_vertex(
                 1
             };
             if v - 1 != u {
-                nbrs.push(((v - 1) as NodeId, weight));
+                nbrs.push((checked_node_id(v - 1, "METIS neighbor")?, weight));
             }
         }
         nbrs.sort_unstable_by_key(|&(v, _)| v);
         crate::merge_sorted_duplicates(&mut nbrs);
-        f(&header, u as NodeId, node_weight, &nbrs)?;
+        f(
+            &header,
+            checked_node_id(u, "METIS vertex")?,
+            node_weight,
+            &nbrs,
+        )?;
     }
     Ok(header)
 }
@@ -317,7 +373,7 @@ pub fn write_binary(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<(), IoEr
         w.write_all(&offset.to_le_bytes())?;
     }
     for &v in graph.adjacency() {
-        w.write_all(&v.to_le_bytes())?;
+        w.write_all(&checked_binary_id(v, "adjacency entry")?.to_le_bytes())?;
     }
     if graph.is_edge_weighted() {
         for &ew in graph.raw_edge_weights() {
@@ -357,7 +413,7 @@ pub fn read_binary(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
     if version != BINARY_VERSION {
         return Err(IoError::Format(format!("unsupported version {}", version)));
     }
-    let n = read_exact_u64(&mut r)? as usize;
+    let n = checked_node_count(read_exact_u64(&mut r)? as usize, "binary vertex count")?;
     let half_edges = read_exact_u64(&mut r)? as usize;
     let flags = read_exact_u32(&mut r)?;
     let edge_weighted = flags & 1 != 0;
@@ -366,9 +422,9 @@ pub fn read_binary(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
     for _ in 0..=n {
         xadj.push(read_exact_u64(&mut r)?);
     }
-    let mut adjacency = Vec::with_capacity(half_edges);
+    let mut adjacency: Vec<NodeId> = Vec::with_capacity(half_edges);
     for _ in 0..half_edges {
-        adjacency.push(read_exact_u32(&mut r)?);
+        adjacency.push(NodeId::from(read_exact_u32(&mut r)?));
     }
     let mut edge_weights = Vec::new();
     if edge_weighted {
@@ -412,7 +468,7 @@ pub fn read_binary_compressed(
     if version != BINARY_VERSION {
         return Err(IoError::Format(format!("unsupported version {}", version)));
     }
-    let n = read_exact_u64(&mut r)? as usize;
+    let n = checked_node_count(read_exact_u64(&mut r)? as usize, "binary vertex count")?;
     let half_edges = read_exact_u64(&mut r)? as usize;
     let flags = read_exact_u32(&mut r)?;
     let edge_weighted = flags & 1 != 0;
@@ -435,14 +491,14 @@ pub fn read_binary_compressed(
         max_degree = max_degree.max(degree);
         let mut nbrs: Vec<NodeId> = Vec::with_capacity(degree);
         for _ in 0..degree {
-            nbrs.push(read_exact_u32(&mut r)?);
+            nbrs.push(NodeId::from(read_exact_u32(&mut r)?));
         }
         nbrs.sort_unstable();
         if edge_weighted {
             buffered.push(nbrs);
         } else {
             let pairs: Vec<(NodeId, EdgeWeight)> = nbrs.into_iter().map(|v| (v, 1)).collect();
-            encode_neighborhood(u as NodeId, xadj[u], &pairs, false, config, &mut data);
+            encode_neighborhood(ids::nid(u), xadj[u], &pairs, false, config, &mut data);
             offsets.push(data.len() as u64);
         }
     }
@@ -461,7 +517,7 @@ pub fn read_binary_compressed(
                 .map(|(i, &v)| (v, weights[begin + i]))
                 .collect();
             encode_neighborhood(
-                u as NodeId,
+                ids::nid(u),
                 xadj[u],
                 &pairs,
                 config.compress_edge_weights,

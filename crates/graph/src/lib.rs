@@ -41,6 +41,7 @@ pub mod builder;
 pub mod compressed;
 pub mod csr;
 pub mod gen;
+pub mod ids;
 pub mod io;
 pub mod permute;
 pub mod stats;
@@ -50,14 +51,13 @@ pub mod varint;
 
 pub use compressed::{CompressedGraph, CompressionConfig};
 pub use csr::{CsrGraph, CsrGraphBuilder};
+pub use ids::{AtomicNodeId, ClusterId, NodeId};
 pub use store::{PagedGraph, PagedGraphOptions};
 pub use traits::Graph;
 
-/// Identifier of a vertex. 32 bits are sufficient for every instance this reproduction
-/// generates; the paper uses 64-bit IDs for tera-scale inputs.
-pub type NodeId = u32;
-
-/// Identifier of a directed half-edge (an index into the adjacency array).
+/// Identifier of a directed half-edge (an index into the adjacency array). Always
+/// 64-bit: the half-edge count of a graph whose vertex count fits 32 bits can still
+/// exceed 2^32 (see [`ids`] for the width contract).
 pub type EdgeId = u64;
 
 /// Weight of a vertex (always ≥ 1 for valid graphs).

@@ -96,7 +96,7 @@ pub fn locality_score(graph: &impl Graph) -> f64 {
         nbrs.sort_unstable();
         let mut prev = u;
         for &v in &nbrs {
-            total_gap += u64::from(v.abs_diff(prev));
+            total_gap += crate::ids::widen(v.abs_diff(prev));
             prev = v;
             total_edges += 1;
         }

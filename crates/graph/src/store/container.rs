@@ -5,10 +5,12 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "TPGS"
-//! 4       4     version (u32, currently 1)
+//! 4       4     version (u32, currently 2; v1 files remain readable)
 //! 8       4     flags   (bit 0: edge weighted, bit 1: node weighted,
 //!                        bit 2: interval encoding, bit 3: compressed edge weights)
-//! 12      4     reserved (zero)
+//! 12      1     id width in bytes the writer was built with (4 or 8; v1 files carry 0
+//!               here and imply 4)
+//! 13      3     reserved (zero)
 //! 16      8     n (vertices)
 //! 24      8     m (undirected edges)
 //! 32      8     total node weight
@@ -39,14 +41,20 @@ use crate::compressed::{
     decode_neighborhood, encode_neighborhood, CompressedGraph, CompressionConfig,
 };
 use crate::csr::CsrGraph;
-use crate::io::{for_each_metis_vertex, read_exact_u32, read_exact_u64, IoError, BINARY_MAGIC};
+use crate::ids::{self, IdWidth};
+use crate::io::{
+    checked_node_count, for_each_metis_vertex, read_exact_u32, read_exact_u64, IoError,
+    BINARY_MAGIC,
+};
 use crate::traits::Graph;
 use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 
 /// Magic bytes of the `.tpg` container.
 pub const TPG_MAGIC: &[u8; 4] = b"TPGS";
-/// Container format version.
-pub const TPG_VERSION: u32 = 1;
+/// Container format version. Version 2 added the explicit id-width byte in the
+/// previously reserved header field; version 1 files (implicit 32-bit width) are still
+/// accepted by the reader.
+pub const TPG_VERSION: u32 = 2;
 /// Size of the fixed header in bytes.
 pub const TPG_HEADER_LEN: u64 = 88;
 
@@ -58,6 +66,13 @@ const FLAG_COMPRESS_EDGE_WEIGHTS: u32 = 1 << 3;
 /// Parsed `.tpg` header plus derived section positions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TpgMeta {
+    /// Format version the file was written with (1 or 2).
+    pub version: u32,
+    /// ID width in bytes the writer was built with (4 or 8). Advisory: the data
+    /// section is VarInt-encoded and therefore width-agnostic, so any file whose
+    /// vertex count fits the active build's width can be read regardless of this
+    /// value. Version-1 files imply 4.
+    pub id_width: u8,
     /// Number of vertices.
     pub n: usize,
     /// Number of undirected edges.
@@ -157,6 +172,7 @@ impl TpgWriter {
         edge_weighted: bool,
         config: &CompressionConfig,
     ) -> Result<Self, IoError> {
+        checked_node_count(n, ".tpg vertex count")?;
         let file = File::create(path)?;
         let mut out = BufWriter::new(file);
         // Placeholder header, patched in `finish` once the totals are known.
@@ -255,7 +271,8 @@ impl TpgWriter {
         header.extend_from_slice(TPG_MAGIC);
         header.extend_from_slice(&TPG_VERSION.to_le_bytes());
         header.extend_from_slice(&flags.to_le_bytes());
-        header.extend_from_slice(&0u32.to_le_bytes());
+        // v2: low byte of the reserved field records the writer's id width.
+        header.extend_from_slice(&u32::from(ids::NODE_ID_BYTES).to_le_bytes());
         header.extend_from_slice(&(self.n as u64).to_le_bytes());
         header.extend_from_slice(&((self.half_edges / 2) as u64).to_le_bytes());
         header.extend_from_slice(&total_node_weight.to_le_bytes());
@@ -295,15 +312,45 @@ fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
         return Err(IoError::Format("bad .tpg magic".into()));
     }
     let version = read_exact_u32(r)?;
-    if version != TPG_VERSION {
+    if version == 0 || version > TPG_VERSION {
         return Err(IoError::Format(format!(
             "unsupported .tpg version {}",
             version
         )));
     }
     let flags = read_exact_u32(r)?;
-    let _reserved = read_exact_u32(r)?;
+    let reserved = read_exact_u32(r)?;
+    // v1 wrote a zero reserved field (implicit 32-bit ids); v2 stores the writer's id
+    // width in the low byte. The remaining bytes stay reserved and must be zero.
+    let id_width = if version == 1 {
+        if reserved != 0 {
+            return Err(IoError::Format(format!(
+                "non-zero reserved field {:#x} in a v1 .tpg header",
+                reserved
+            )));
+        }
+        <u32 as IdWidth>::BYTES
+    } else {
+        if reserved >> 8 != 0 {
+            return Err(IoError::Format(format!(
+                "non-zero reserved bytes {:#x} in a v2 .tpg header",
+                reserved >> 8
+            )));
+        }
+        match (reserved & 0xff) as u8 {
+            w @ (<u32 as IdWidth>::BYTES | <u64 as IdWidth>::BYTES) => w,
+            other => {
+                return Err(IoError::Format(format!(
+                    "unsupported .tpg id width {} bytes",
+                    other
+                )))
+            }
+        }
+    };
     let n = read_exact_u64(r)? as usize;
+    // The data section is width-agnostic (VarInt gaps), so the only hard requirement
+    // is that every vertex id is representable at the *active* width.
+    checked_node_count(n, ".tpg vertex count")?;
     let m = read_exact_u64(r)? as usize;
     let total_node_weight = read_exact_u64(r)?;
     let total_edge_weight = read_exact_u64(r)?;
@@ -313,6 +360,8 @@ fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
     let min_interval_len = read_exact_u64(r)? as usize;
     let data_len = read_exact_u64(r)?;
     Ok(TpgMeta {
+        version,
+        id_width,
         n,
         m,
         edge_weighted: flags & FLAG_EDGE_WEIGHTED != 0,
@@ -468,7 +517,7 @@ pub fn write_tpg_from_binary(
         let degree = (xadj[u + 1] - xadj[u]) as usize;
         nbrs.clear();
         for _ in 0..degree {
-            nbrs.push((read_exact_u32(&mut r)?, 1));
+            nbrs.push((NodeId::from(read_exact_u32(&mut r)?), 1));
         }
         if let Some(wr) = weight_reader.as_mut() {
             for entry in nbrs.iter_mut() {
@@ -699,6 +748,88 @@ mod tests {
         std::fs::write(&path, b"XXXX").unwrap();
         assert!(read_tpg_meta(&path).is_err());
         std::fs::write(&path, b"TP").unwrap();
+        assert!(read_tpg_meta(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Path of the checked-in version-1 fixture (written before the v2 header existed;
+    /// its reserved field is zero and its version field is 1).
+    fn v1_fixture() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/v1-grid2d-13x9.tpg")
+    }
+
+    #[test]
+    fn v1_fixture_reads_through_the_v2_reader() {
+        let meta = read_tpg_meta(v1_fixture()).unwrap();
+        assert_eq!(meta.version, 1);
+        assert_eq!(meta.id_width, 4, "v1 files imply 32-bit ids");
+        let g = read_tpg(v1_fixture()).unwrap();
+        assert_graph_eq(&g, &gen::grid2d(13, 9));
+    }
+
+    #[test]
+    fn v1_fixture_round_trips_byte_identically_through_the_v2_writer() {
+        // Re-encoding the fixture's graph with the current writer must reproduce every
+        // section byte for byte; the fixed-size header may differ only in the version
+        // field and the id-width byte that v2 added to the reserved field.
+        let g = read_tpg(v1_fixture()).unwrap();
+        let rewritten = tmp("v1_rewrite.tpg");
+        let meta = read_tpg_meta(v1_fixture()).unwrap();
+        write_tpg_from_graph(&g, &rewritten, &meta.config).unwrap();
+        let old_bytes = std::fs::read(v1_fixture()).unwrap();
+        let new_bytes = std::fs::read(&rewritten).unwrap();
+        assert_eq!(old_bytes.len(), new_bytes.len());
+        let header = TPG_HEADER_LEN as usize;
+        assert_eq!(
+            old_bytes[header..],
+            new_bytes[header..],
+            "data/offset/node-weight sections must be byte-identical across versions"
+        );
+        assert_eq!(old_bytes[..4], new_bytes[..4], "magic");
+        assert_eq!(&old_bytes[4..8], &1u32.to_le_bytes(), "fixture is v1");
+        assert_eq!(&new_bytes[4..8], &TPG_VERSION.to_le_bytes());
+        assert_eq!(old_bytes[8..12], new_bytes[8..12], "flags");
+        assert_eq!(&old_bytes[12..16], &[0u8; 4], "v1 reserved field is zero");
+        assert_eq!(
+            &new_bytes[12..16],
+            &u32::from(ids::NODE_ID_BYTES).to_le_bytes(),
+            "v2 records the writer's id width"
+        );
+        assert_eq!(old_bytes[16..header], new_bytes[16..header], "counts");
+        // And the v2 reader agrees with itself on the rewritten file.
+        let rewritten_meta = read_tpg_meta(&rewritten).unwrap();
+        assert_eq!(rewritten_meta.version, TPG_VERSION);
+        assert_eq!(rewritten_meta.id_width, ids::NODE_ID_BYTES);
+        assert_eq!(rewritten_meta.n, meta.n);
+        assert_eq!(rewritten_meta.m, meta.m);
+        std::fs::remove_file(rewritten).ok();
+    }
+
+    #[test]
+    fn v2_headers_record_and_validate_the_id_width() {
+        let g = gen::grid2d(5, 4);
+        let path = tmp("width_byte.tpg");
+        write_tpg_from_graph(&g, &path, &CompressionConfig::default()).unwrap();
+        let meta = read_tpg_meta(&path).unwrap();
+        assert_eq!(meta.version, TPG_VERSION);
+        assert_eq!(meta.id_width, ids::NODE_ID_BYTES);
+        // A file claiming the *other* supported width stays readable: the data section
+        // is VarInt-encoded, so the recorded width is advisory provenance.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let other_width = if ids::NODE_ID_BYTES == 4 { 8u8 } else { 4u8 };
+        bytes[12] = other_width;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_tpg_meta(&path).unwrap().id_width, other_width);
+        assert_graph_eq(&read_tpg(&path).unwrap(), &g);
+        // An unsupported width byte is rejected loudly.
+        bytes[12] = 3;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_tpg_meta(&path).unwrap_err().to_string();
+        assert!(err.contains("id width"), "unexpected error: {}", err);
+        // Non-zero bytes in the still-reserved remainder are rejected too.
+        bytes[12] = ids::NODE_ID_BYTES;
+        bytes[14] = 1;
+        std::fs::write(&path, &bytes).unwrap();
         assert!(read_tpg_meta(&path).is_err());
         std::fs::remove_file(path).ok();
     }

@@ -652,7 +652,7 @@ mod tests {
     ) {
         let mut b = CsrGraphBuilder::new(n);
         for (u, v, w) in edges {
-            let (u, v) = (u % n as u32, v % n as u32);
+            let (u, v) = (NodeId::from(u % n as u32), NodeId::from(v % n as u32));
             if u != v {
                 b.add_edge(u, v, w);
             }

@@ -30,8 +30,12 @@ use crate::io::IoError;
 use crate::store::container::{TpgSummary, TpgWriter};
 use crate::{EdgeWeight, NodeId};
 
-/// Size of one spilled half-edge record: source u32, target u32, weight u64.
-const RECORD_BYTES: usize = 16;
+/// Bytes of one spilled half-edge record's id fields (source, target), at the active
+/// id width.
+const ID_BYTES: usize = std::mem::size_of::<NodeId>();
+
+/// Size of one spilled half-edge record: source id, target id, weight u64.
+const RECORD_BYTES: usize = 2 * ID_BYTES + std::mem::size_of::<EdgeWeight>();
 
 /// Per-vertex visitor over a bucket's aggregated neighbourhoods; returning `Ok(false)`
 /// stops the bucket scan early.
@@ -118,9 +122,9 @@ impl StreamingTpgBuilder {
     ) -> Result<(), IoError> {
         let bucket = src as usize / self.vertices_per_bucket;
         let mut record = [0u8; RECORD_BYTES];
-        record[0..4].copy_from_slice(&src.to_le_bytes());
-        record[4..8].copy_from_slice(&dst.to_le_bytes());
-        record[8..16].copy_from_slice(&weight.to_le_bytes());
+        record[0..ID_BYTES].copy_from_slice(&src.to_le_bytes());
+        record[ID_BYTES..2 * ID_BYTES].copy_from_slice(&dst.to_le_bytes());
+        record[2 * ID_BYTES..].copy_from_slice(&weight.to_le_bytes());
         self.buckets[bucket].write_all(&record)?;
         Ok(())
     }
@@ -145,9 +149,9 @@ impl StreamingTpgBuilder {
                 Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
                 Err(e) => return Err(e.into()),
             }
-            let src = NodeId::from_le_bytes(record[0..4].try_into().unwrap());
-            let dst = NodeId::from_le_bytes(record[4..8].try_into().unwrap());
-            let weight = EdgeWeight::from_le_bytes(record[8..16].try_into().unwrap());
+            let src = NodeId::from_le_bytes(record[0..ID_BYTES].try_into().unwrap());
+            let dst = NodeId::from_le_bytes(record[ID_BYTES..2 * ID_BYTES].try_into().unwrap());
+            let weight = EdgeWeight::from_le_bytes(record[2 * ID_BYTES..].try_into().unwrap());
             adjacency[src as usize - lo].push((dst, weight));
         }
         for (i, nbrs) in adjacency.iter_mut().enumerate() {

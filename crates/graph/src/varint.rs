@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn boundary_values_round_trip() {
-        for &v in &[0, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for &v in &[0, 127, 128, 16_383, 16_384, 0xFFFF_FFFF, u64::MAX] {
             let mut buf = Vec::new();
             let len = encode_varint(v, &mut buf);
             assert_eq!(len, varint_len(v));
@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn concatenated_values_decode_in_sequence() {
-        let values = [5u64, 300, 0, u32::MAX as u64, 1];
+        let values = [5u64, 300, 0, 0xFFFF_FFFF, 1];
         let mut buf = Vec::new();
         for &v in &values {
             encode_varint(v, &mut buf);

@@ -29,6 +29,7 @@ use std::cell::RefCell;
 use std::sync::atomic::Ordering;
 
 use graph::csr::CsrGraph;
+use graph::ids;
 use graph::traits::Graph;
 use graph::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 use memtrack::MemoryScope;
@@ -121,11 +122,11 @@ fn build_cluster_buckets(clustering: &Clustering, scratch: &mut HierarchyScratch
 
     // ---- Pass 2: blocked prefix sum over the label space. ----
     let num_blocks = n.div_ceil(LABEL_BLOCK);
-    let block_totals: Vec<(u32, u32)> = heads
+    let block_totals: Vec<(NodeId, NodeId)> = heads
         .par_chunks(LABEL_BLOCK)
         .map(|chunk| {
-            let mut buckets = 0u32;
-            let mut members = 0u32;
+            let mut buckets: NodeId = 0;
+            let mut members: NodeId = 0;
             for head in chunk {
                 let count = head.load(Ordering::Relaxed);
                 if count > 0 {
@@ -137,7 +138,7 @@ fn build_cluster_buckets(clustering: &Clustering, scratch: &mut HierarchyScratch
         })
         .collect();
     let mut block_bases = Vec::with_capacity(num_blocks);
-    let (mut bucket_base, mut offset_base) = (0u32, 0u32);
+    let (mut bucket_base, mut offset_base): (NodeId, NodeId) = (0, 0);
     for &(buckets, members) in &block_totals {
         block_bases.push((bucket_base, offset_base));
         bucket_base += buckets;
@@ -173,12 +174,12 @@ fn build_cluster_buckets(clustering: &Clustering, scratch: &mut HierarchyScratch
                         bucket += 1;
                         offset += count;
                     } else {
-                        remap[label as usize].store(NodeId::MAX, Ordering::Relaxed);
+                        remap[label as usize].store(ids::INVALID_NODE, Ordering::Relaxed);
                     }
                 }
             });
         // SAFETY: index n_coarse is written exactly once, here.
-        unsafe { offsets.write(n_coarse, n as u32) };
+        unsafe { offsets.write(n_coarse, ids::nid_count(n)) };
     }
 
     // ---- Pass 3: scatter the vertices through the per-label cursors. ----
@@ -279,8 +280,12 @@ fn contract_buffered(
 
 thread_local! {
     /// Reusable buffers of the parallel per-coarse-vertex neighbourhood sort: packed
-    /// `(target << 32) | position` keys and a weight copy for the permutation gather.
+    /// `(target << 32) | position` keys (when both halves fit 32 bits) and a weight
+    /// copy for the permutation gather.
     static SORT_KEYS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Fallback `(target, position)` key pairs for wide ids that do not fit the packed
+    /// u64 scheme. Unused (never allocated) at the 32-bit default width.
+    static SORT_PAIRS: RefCell<Vec<(NodeId, u64)>> = const { RefCell::new(Vec::new()) };
     static SORT_WTS: RefCell<Vec<EdgeWeight>> = const { RefCell::new(Vec::new()) };
     /// Reusable phase-1 aggregation state (rating table + dual-counter batch), so the
     /// per-chunk table/batch allocations of the seed implementation disappear.
@@ -350,7 +355,7 @@ fn contract_one_pass(
             let coarse_id = s_prev as usize + i;
             starts[coarse_id].store(edge_cursor as u64, Ordering::Relaxed);
             coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
-            remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
+            remap[label as usize].store(coarse_id as NodeId, Ordering::Relaxed);
             for &(target, w) in &batch.edges[offset_in_edges..offset_in_edges + len as usize] {
                 coarse_edges[edge_cursor].store(target, Ordering::Relaxed);
                 coarse_edge_weights[edge_cursor].store(w, Ordering::Relaxed);
@@ -447,7 +452,7 @@ fn contract_one_pass(
             let coarse_id = s_prev as usize;
             starts[coarse_id].store(d_prev, Ordering::Relaxed);
             coarse_node_weights[coarse_id].store(weight, Ordering::Relaxed);
-            remap[label as usize].store(coarse_id as u32, Ordering::Relaxed);
+            remap[label as usize].store(coarse_id as NodeId, Ordering::Relaxed);
             for (i, (target, w)) in map.iter().enumerate() {
                 coarse_edges[d_prev as usize + i].store(target, Ordering::Relaxed);
                 coarse_edge_weights[d_prev as usize + i].store(w, Ordering::Relaxed);
@@ -461,7 +466,7 @@ fn contract_one_pass(
     // Charge the committed portion of the over-reserved edge arrays for the remainder of
     // this contraction (the paper's point: only 2m' entries are physically backed).
     let committed_bytes = m_half
-        * (std::mem::size_of::<std::sync::atomic::AtomicU32>()
+        * (std::mem::size_of::<graph::AtomicNodeId>()
             + std::mem::size_of::<std::sync::atomic::AtomicU64>());
     let _scope = MemoryScope::charge_global(committed_bytes);
 
@@ -520,27 +525,46 @@ fn contract_one_pass(
                     wts[j] = w;
                 }
             } else {
-                // Sort packed 64-bit (target, position) keys — branchless integer
-                // comparisons, no 16-byte pair shuffling — then gather the weights
-                // through the recorded positions.
-                SORT_KEYS.with(|keys_cell| {
-                    SORT_WTS.with(|wts_cell| {
-                        let mut keys = keys_cell.borrow_mut();
-                        let mut wts_copy = wts_cell.borrow_mut();
-                        keys.clear();
-                        keys.extend(
-                            adj.iter()
-                                .enumerate()
-                                .map(|(i, &v)| (u64::from(v) << 32) | i as u64),
-                        );
-                        keys.sort_unstable();
-                        wts_copy.clear();
-                        wts_copy.extend_from_slice(wts);
-                        for (i, &packed) in keys.iter().enumerate() {
-                            adj[i] = (packed >> 32) as NodeId;
-                            wts[i] = wts_copy[(packed & u64::from(u32::MAX)) as usize];
-                        }
-                    });
+                // Fast path: sort packed 64-bit (target, position) keys — branchless
+                // integer comparisons, no 16-byte pair shuffling — then gather the
+                // weights through the recorded positions. Valid whenever both halves
+                // fit 32 bits, which is always true at the default width; wide builds
+                // verify it per segment (cheap relative to the sort) and fall back to
+                // a (target, position) pair sort with the identical resulting order.
+                const LOW_32: u64 = 0xFFFF_FFFF;
+                let fits_packed = NodeId::BITS == 32
+                    || (len as u64 <= LOW_32 && adj.iter().all(|&v| ids::widen(v) <= LOW_32));
+                SORT_WTS.with(|wts_cell| {
+                    let mut wts_copy = wts_cell.borrow_mut();
+                    wts_copy.clear();
+                    wts_copy.extend_from_slice(wts);
+                    if fits_packed {
+                        SORT_KEYS.with(|keys_cell| {
+                            let mut keys = keys_cell.borrow_mut();
+                            keys.clear();
+                            keys.extend(
+                                adj.iter()
+                                    .enumerate()
+                                    .map(|(i, &v)| (ids::widen(v) << 32) | i as u64),
+                            );
+                            keys.sort_unstable();
+                            for (i, &packed) in keys.iter().enumerate() {
+                                adj[i] = (packed >> 32) as NodeId;
+                                wts[i] = wts_copy[(packed & LOW_32) as usize];
+                            }
+                        });
+                    } else {
+                        SORT_PAIRS.with(|pairs_cell| {
+                            let mut pairs = pairs_cell.borrow_mut();
+                            pairs.clear();
+                            pairs.extend(adj.iter().enumerate().map(|(i, &v)| (v, i as u64)));
+                            pairs.sort_unstable();
+                            for (i, &(v, position)) in pairs.iter().enumerate() {
+                                adj[i] = v;
+                                wts[i] = wts_copy[position as usize];
+                            }
+                        });
+                    }
                 });
             }
         });
@@ -687,7 +711,9 @@ mod tests {
         // Clustering the star's leaves into many tiny clusters gives the hub cluster a
         // huge coarse degree, forcing the bump path with a tiny threshold.
         let g = gen::star(300);
-        let labels: Vec<ClusterId> = (0..300u32).map(|u| if u == 0 { 0 } else { u }).collect();
+        let labels: Vec<ClusterId> = (0..300 as ClusterId)
+            .map(|u| if u == 0 { 0 } else { u })
+            .collect();
         let clustering = Clustering::from_labels(labels);
         let result = contract(&g, &clustering, ContractionAlgorithm::OnePass, 4);
         check_contraction(&g, &clustering, &result);

@@ -27,10 +27,11 @@
 //! `crate::lp_rounds`, instantiated here with the no-waiter semantics; the frontier
 //! bitsets and the visit-order buffer live in the reusable [`HierarchyScratch`] arena.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use graph::ids;
 use graph::traits::Graph;
-use graph::{NodeId, NodeWeight};
+use graph::{AtomicNodeId, NodeId, NodeWeight};
 use memtrack::MemoryScope;
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -52,37 +53,32 @@ pub struct Clustering {
     pub num_clusters: usize,
 }
 
-/// Bit used to mark visited labels during the in-place distinct count.
-const LABEL_MARK: ClusterId = 1 << 31;
-
 impl Clustering {
     /// Computes the number of distinct labels and builds the `Clustering`.
     ///
     /// Labels must be vertex IDs of the clustered graph, i.e. `label[u] < label.len()`
-    /// (and below 2^31). Distinct labels are counted allocation-free by temporarily
-    /// marking the high bit of `label[c]` for every label `c` seen — the label vector
-    /// itself serves as the "seen" set — and clearing the marks afterwards.
+    /// (and below the reserved mark bit of the active width — see [`graph::ids`]).
+    /// Distinct labels are counted allocation-free by temporarily marking the top bit
+    /// of `label[c]` for every label `c` seen — the label vector itself serves as the
+    /// "seen" set — and clearing the marks afterwards. The marking scheme owns the top
+    /// bit of the active width ([`ids::ID_MARK_BIT`]), so the label space must stay
+    /// below [`ids::MAX_NODE_COUNT`]: 2^31 at the 32-bit default, 2^63 under
+    /// `wide-ids`.
     pub fn from_labels(mut label: Vec<ClusterId>) -> Self {
         let n = label.len();
-        // The marking scheme owns bit 31, so the label space must stay below it; with
-        // 32-bit `NodeId`s this only excludes graphs of more than 2^31 vertices.
-        assert!(
-            n < (1 << 31) as usize,
-            "label space {} exceeds the 2^31 marking limit",
-            n
-        );
+        ids::assert_node_count(n, "Clustering::from_labels label space");
         let mut num_clusters = 0;
         for u in 0..n {
-            let c = (label[u] & !LABEL_MARK) as usize;
+            let c = ids::unmark(label[u]) as usize;
             assert!(c < n, "label {} out of range for {} vertices", c, n);
-            if label[c] & LABEL_MARK == 0 {
-                label[c] |= LABEL_MARK;
+            if !ids::is_marked(label[c]) {
+                label[c] = ids::mark(label[c]);
                 num_clusters += 1;
             }
         }
         label.par_chunks_mut(1 << 14).for_each(|chunk| {
             for l in chunk {
-                *l &= !LABEL_MARK;
+                *l = ids::unmark(*l);
             }
         });
         Self {
@@ -135,7 +131,7 @@ impl Clustering {
 
 /// Shared mutable state of one clustering run.
 struct ClusteringState {
-    labels: Vec<AtomicU32>,
+    labels: Vec<AtomicNodeId>,
     cluster_weights: Vec<AtomicU64>,
     max_cluster_weight: NodeWeight,
 }
@@ -143,7 +139,7 @@ struct ClusteringState {
 impl ClusteringState {
     fn new(graph: &impl Graph, max_cluster_weight: NodeWeight) -> Self {
         let n = graph.n();
-        let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+        let labels: Vec<AtomicNodeId> = (0..n as NodeId).map(AtomicNodeId::new).collect();
         let cluster_weights: Vec<AtomicU64> = (0..n as NodeId)
             .map(|u| AtomicU64::new(graph.node_weight(u)))
             .collect();
@@ -657,11 +653,34 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(feature = "wide-ids"))]
+    fn from_labels_label_space_is_capped_at_2_31_by_default() {
+        // The marking scheme owns bit 31 at the 32-bit width, so the admissible label
+        // space tops out at 2^31 (arithmetic-level check of the gate itself).
+        assert_eq!(ids::MAX_NODE_COUNT, 1usize << 31);
+    }
+
+    #[test]
+    #[cfg(feature = "wide-ids")]
+    #[allow(clippy::assertions_on_constants)]
+    fn from_labels_no_longer_capped_at_2_31_under_wide_ids() {
+        // Arithmetic-level: the mark moved to bit 63, so the old 2^31 assert is gone —
+        // the admissible label space is 2^63 and labels at/above the old wall survive
+        // the sentinel round trip. No giant allocation needed to check the gate.
+        assert!(ids::MAX_NODE_COUNT > 1usize << 31);
+        assert_eq!(ids::MAX_NODE_COUNT, 1usize << 63);
+        let big: ClusterId = (1u64 << 31) as ClusterId + 7;
+        assert!(!ids::is_marked(big), "an id above 2^31 is not a sentinel");
+        assert!(ids::is_marked(ids::mark(big)));
+        assert_eq!(ids::unmark(ids::mark(big)), big);
+    }
+
+    #[test]
     fn cluster_weights_parallel_and_sequential_agree() {
         // Large enough to cross the parallel threshold inside cluster_weights.
         let n = (1 << 15) + 17;
         let g = gen::path(n);
-        let label: Vec<ClusterId> = (0..n as u32).map(|u| u % 1000).collect();
+        let label: Vec<ClusterId> = (0..n as ClusterId).map(|u| u % 1000).collect();
         let clustering = Clustering::from_labels(label);
         let weights = clustering.cluster_weights(&g);
         let mut expected = vec![0u64; n];

@@ -83,7 +83,7 @@ impl FixedCapacityHashMap {
     #[inline]
     fn slot_of(&self, key: NodeId) -> usize {
         // Multiplicative hashing (Fibonacci constant); good enough for cluster IDs.
-        ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+        (graph::ids::widen(key).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
     }
 
     /// Adds `weight` to the rating of `key`. Returns `false` if the key is new and the
@@ -346,11 +346,11 @@ mod tests {
     #[test]
     fn fixed_capacity_handles_colliding_keys() {
         let mut map = FixedCapacityHashMap::new(64);
-        for i in 0..64u32 {
+        for i in 0..64 as NodeId {
             assert!(map.add(i * 1024, 1));
         }
         assert_eq!(map.len(), 64);
-        for i in 0..64u32 {
+        for i in 0..64 as NodeId {
             assert_eq!(map.get(i * 1024), 1);
         }
     }
@@ -372,7 +372,7 @@ mod tests {
 
     #[test]
     fn sparse_and_fixed_maps_agree() {
-        let updates = [(3u32, 2u64), (9, 1), (3, 5), (0, 7), (9, 1)];
+        let updates: [(NodeId, u64); 5] = [(3, 2), (9, 1), (3, 5), (0, 7), (9, 1)];
         let mut sparse = SparseRatingMap::new(16);
         let mut fixed = FixedCapacityHashMap::new(16);
         for &(k, w) in &updates {

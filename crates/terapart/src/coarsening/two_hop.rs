@@ -7,6 +7,7 @@
 //! apart) are merged with each other instead. This module implements that post-processing
 //! step on top of a [`Clustering`].
 
+use graph::ids;
 use graph::traits::Graph;
 use graph::{NodeId, NodeWeight};
 
@@ -26,6 +27,10 @@ pub fn two_hop_clustering(
     if n == 0 {
         return 0;
     }
+    // The label vector is shared with `Clustering::from_labels`' in-place marking
+    // scheme: the top bit of the active width belongs to the sentinel helpers of
+    // `graph::ids` and must never be set on a label entering (or leaving) this pass.
+    debug_assert!(clustering.label.iter().all(|&l| !ids::is_marked(l)));
     let cluster_weights = clustering.cluster_weights(graph);
     // A vertex is a singleton if it is the only member of its cluster, i.e. its label is
     // itself and the cluster weight equals its own weight.

@@ -472,7 +472,7 @@ mod tests {
         ) {
             let g = gen::erdos_renyi(n, n + extra_edges, graph_seed);
             let vertices: Vec<NodeId> = (0..g.n() as NodeId)
-                .filter(|u| u % keep_modulus != 0)
+                .filter(|u| u % NodeId::from(keep_modulus) != 0)
                 .collect();
             let (reference, _) = induced_subgraph(&g, &vertices);
             let mut ip = InitialPartitioningScratch::default();

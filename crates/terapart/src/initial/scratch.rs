@@ -24,22 +24,28 @@
 //! allocation-free.
 
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use graph::traits::Graph;
-use graph::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+use graph::{AtomicNodeId, EdgeId, EdgeWeight, NodeId, NodeWeight};
 use parking_lot::Mutex;
 
 /// Reusable scratch for one run's whole bisection tree (a region of
 /// [`HierarchyScratch`](crate::scratch::HierarchyScratch)).
 #[derive(Debug, Default)]
 pub struct InitialPartitioningScratch {
-    /// Per global vertex: `(epoch << 32) | local_id`. A vertex belongs to the subgraph
-    /// of the bisection holding `epoch` iff the high half matches; stale entries from
-    /// earlier (or concurrent sibling) bisections never match because epochs are unique.
-    local_of: Vec<AtomicU64>,
+    /// Per global vertex: the epoch of the bisection that last tagged it. A vertex
+    /// belongs to the subgraph of the bisection holding `epoch` iff the entry matches;
+    /// stale entries from earlier (or concurrent sibling) bisections never match
+    /// because epochs are unique. Split from the local ID (instead of the former
+    /// `(epoch << 32) | local_id` packing) so the local half scales with the active
+    /// [`NodeId`] width; the epoch store/load pair carries release/acquire ordering so
+    /// a matching epoch guarantees the corresponding local ID is visible.
+    local_epoch: Vec<AtomicU64>,
+    /// Per global vertex: the local ID under `local_epoch[u]`.
+    local_id: Vec<AtomicNodeId>,
     /// Monotonic epoch source; 0 is reserved for "never written".
-    epoch: AtomicU32,
+    epoch: AtomicU64,
     /// The vertex permutation the bisection tree partitions in place; child recursions
     /// operate on disjoint subslices of this single buffer.
     pub(crate) tree_vertices: Vec<NodeId>,
@@ -54,30 +60,36 @@ pub struct InitialPartitioningScratch {
 impl InitialPartitioningScratch {
     /// Grows the membership map to `n` vertices. Does not shrink.
     pub fn ensure(&mut self, n: usize) {
-        if self.local_of.len() < n {
-            self.local_of.resize_with(n, || AtomicU64::new(0));
+        if self.local_epoch.len() < n {
+            self.local_epoch.resize_with(n, || AtomicU64::new(0));
+            self.local_id.resize_with(n, || AtomicNodeId::new(0));
         }
     }
 
     /// Claims a fresh, globally unique epoch for one bisection node.
     pub(crate) fn next_epoch(&self) -> u64 {
-        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
-        debug_assert!(epoch != 0, "epoch counter wrapped");
-        u64::from(epoch)
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Tags `vertices[local] = u` with `epoch` in the membership map.
+    ///
+    /// The local ID is published *before* the epoch (release): a reader that observes
+    /// the matching epoch (acquire) therefore observes the matching local ID. Slots are
+    /// only ever written by the one task whose vertex set contains them — concurrent
+    /// sibling subtrees touch disjoint sets — so a racing reader under a different
+    /// epoch can at worst observe a foreign epoch value, which never matches its own.
     pub(crate) fn tag_members(&self, epoch: u64, vertices: &[NodeId]) {
         for (local, &u) in vertices.iter().enumerate() {
-            self.local_of[u as usize].store(epoch << 32 | local as u64, Ordering::Relaxed);
+            self.local_id[u as usize].store(local as NodeId, Ordering::Relaxed);
+            self.local_epoch[u as usize].store(epoch, Ordering::Release);
         }
     }
 
     /// Returns `u`'s local ID under `epoch`, or `None` if `u` is outside the subgraph.
     #[inline]
     pub(crate) fn local(&self, epoch: u64, u: NodeId) -> Option<NodeId> {
-        let entry = self.local_of[u as usize].load(Ordering::Relaxed);
-        (entry >> 32 == epoch).then_some(entry as u32)
+        (self.local_epoch[u as usize].load(Ordering::Acquire) == epoch)
+            .then(|| self.local_id[u as usize].load(Ordering::Relaxed))
     }
 
     /// Checks out a bisection workspace (fresh if the pool is empty).
@@ -126,7 +138,8 @@ impl InitialPartitioningScratch {
     /// memtrack charge, and are freed when the stage ends ([`Self::release_pools`]).
     /// [`Self::pool_bytes`] exposes their current footprint for introspection.
     pub fn memory_bytes(&self) -> usize {
-        self.local_of.len() * std::mem::size_of::<AtomicU64>()
+        self.local_epoch.len() * std::mem::size_of::<AtomicU64>()
+            + self.local_id.len() * std::mem::size_of::<AtomicNodeId>()
             + self.tree_vertices.capacity() * std::mem::size_of::<NodeId>()
     }
 

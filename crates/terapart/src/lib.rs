@@ -73,4 +73,5 @@ pub use partitioner::{
 pub use scratch::{AtomicBitset, HierarchyScratch};
 
 /// Identifier of a cluster during coarsening (clusters become coarse vertices).
-pub type ClusterId = graph::NodeId;
+/// Re-exported from [`graph::ids`]: the width follows the `wide-ids` feature.
+pub use graph::ids::ClusterId;

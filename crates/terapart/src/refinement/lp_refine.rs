@@ -267,19 +267,23 @@ fn run_round(
                 let mut has_external = false;
                 graph.for_each_neighbor(u, &mut |v, w| {
                     let block = state.block(v);
-                    ratings.add(block, w);
+                    // The rating table is keyed by NodeId; block ids (< k) always fit.
+                    ratings.add(NodeId::from(block), w);
                     has_external |= block != current;
                 });
                 if !has_external {
                     continue;
                 }
                 let node_weight = graph.node_weight(u);
-                let current_affinity = ratings.get(current);
+                let current_affinity = ratings.get(NodeId::from(current));
                 // Choose the feasible block with the highest affinity; move only on a
                 // strict improvement to avoid oscillation.
                 let mut best: Option<(BlockId, u64)> = None;
                 let mut blocked_best: Option<(BlockId, u64)> = None;
                 for (block, affinity) in ratings.iter() {
+                    // Narrowing back from the NodeId-keyed table is lossless: only
+                    // block ids below k were inserted.
+                    let block = block as BlockId;
                     if block == current || affinity <= current_affinity {
                         continue;
                     }

@@ -14,9 +14,10 @@
 //! worklists of label propagation (clustering and refinement): vertices whose
 //! neighbourhood changed in the previous round. Converged regions are never rescanned.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use graph::NodeId;
+use graph::ids::INVALID_NODE;
+use graph::{AtomicNodeId, NodeId};
 use memtrack::MemoryScope;
 
 use crate::initial::scratch::InitialPartitioningScratch;
@@ -108,22 +109,22 @@ impl AtomicBitset {
 pub struct HierarchyScratch {
     /// Per cluster label: member count during the counting phase, then the write cursor
     /// during the scatter phase of the bucket construction.
-    pub(crate) bucket_heads: Vec<AtomicU32>,
+    pub(crate) bucket_heads: Vec<AtomicNodeId>,
     /// CSR-style bucket boundaries: members of coarse vertex `b` occupy
     /// `bucket_members[bucket_offsets[b]..bucket_offsets[b + 1]]`.
-    pub(crate) bucket_offsets: Vec<u32>,
+    pub(crate) bucket_offsets: Vec<NodeId>,
     /// Flat member array, grouped by bucket.
     pub(crate) bucket_members: Vec<NodeId>,
     /// `leaders[b]` is the cluster label contracted into coarse vertex `b`.
     pub(crate) leaders: Vec<ClusterId>,
     /// Old cluster label -> coarse vertex ID.
-    pub(crate) remap: Vec<AtomicU32>,
+    pub(crate) remap: Vec<AtomicNodeId>,
     /// Per coarse vertex: neighbourhood start in the edge arrays.
     pub(crate) starts: Vec<AtomicU64>,
     /// Per coarse vertex: aggregated node weight.
     pub(crate) coarse_node_weights: Vec<AtomicU64>,
     /// Over-reserved coarse edge targets (old cluster labels until the final remap).
-    pub(crate) edge_targets: Vec<AtomicU32>,
+    pub(crate) edge_targets: Vec<AtomicNodeId>,
     /// Over-reserved coarse edge weights, parallel to `edge_targets`.
     pub(crate) edge_weights: Vec<AtomicU64>,
     /// Visit-order buffer for label propagation rounds.
@@ -190,8 +191,9 @@ impl HierarchyScratch {
     /// Grows the cluster-bucket buffers (counting-sort layout + label remap) to `n`.
     pub fn ensure_buckets(&mut self, n: usize) {
         if self.bucket_heads.len() < n {
-            self.bucket_heads.resize_with(n, || AtomicU32::new(0));
-            self.remap.resize_with(n, || AtomicU32::new(NodeId::MAX));
+            self.bucket_heads.resize_with(n, || AtomicNodeId::new(0));
+            self.remap
+                .resize_with(n, || AtomicNodeId::new(INVALID_NODE));
         }
         if self.bucket_offsets.len() < n + 1 {
             self.bucket_offsets.resize(n + 1, 0);
@@ -217,7 +219,7 @@ impl HierarchyScratch {
     pub fn ensure_edges(&mut self, half_edges: usize) {
         if self.edge_targets.len() < half_edges {
             self.edge_targets
-                .resize_with(half_edges, || AtomicU32::new(0));
+                .resize_with(half_edges, || AtomicNodeId::new(0));
             self.edge_weights
                 .resize_with(half_edges, || AtomicU64::new(0));
         }
@@ -243,11 +245,12 @@ impl HierarchyScratch {
     /// over-reserved edge buffers are excluded (charged transiently at their committed
     /// size by the contraction that writes them).
     pub fn memory_bytes(&self) -> usize {
-        self.bucket_heads.len() * 4
-            + self.bucket_offsets.len() * 4
-            + self.bucket_members.len() * 4
-            + self.leaders.len() * 4
-            + self.remap.len() * 4
+        let id = std::mem::size_of::<NodeId>();
+        self.bucket_heads.len() * id
+            + self.bucket_offsets.len() * id
+            + self.bucket_members.len() * id
+            + self.leaders.len() * id
+            + self.remap.len() * id
             + self.starts.len() * 8
             + self.coarse_node_weights.len() * 8
             + self.order.capacity() * std::mem::size_of::<NodeId>()

@@ -34,7 +34,7 @@ pub enum ShardStorage {
         /// Encoded neighbourhood bytes.
         data: Vec<u8>,
         /// Degrees of the owned vertices.
-        degrees: Vec<u32>,
+        degrees: Vec<NodeId>,
         /// Whether edge weights are stored.
         weighted: bool,
     },
@@ -104,13 +104,13 @@ impl Shard {
             } => {
                 let mut pos = offsets[local] as usize;
                 let degree = degrees[local] as usize;
-                let mut prev = i64::from(u);
+                let mut prev = u as i64;
                 let mut ids = Vec::with_capacity(degree);
                 for i in 0..degree {
                     let v = if i == 0 {
                         let (delta, p) = decode_signed_varint(data, pos);
                         pos = p;
-                        i64::from(u) + delta
+                        (u as i64) + delta
                     } else {
                         let (gap, p) = decode_varint(data, pos);
                         pos = p;
@@ -150,7 +150,7 @@ impl Shard {
                 data,
                 degrees,
                 ..
-            } => offsets.len() * 8 + data.len() + degrees.len() * 4,
+            } => offsets.len() * 8 + data.len() + degrees.len() * std::mem::size_of::<NodeId>(),
         };
         storage + self.node_weights.len() * 8 + self.ghosts.len() * 4
     }
@@ -211,15 +211,15 @@ impl DistGraph {
                         offsets.push(data.len() as u64);
                         let mut nbrs = graph.neighbors_vec(u);
                         nbrs.sort_unstable_by_key(|&(v, _)| v);
-                        degrees.push(nbrs.len() as u32);
-                        let mut prev = i64::from(u);
+                        degrees.push(graph::ids::nid_count(nbrs.len()));
+                        let mut prev = u as i64;
                         for (i, &(v, _)) in nbrs.iter().enumerate() {
                             if i == 0 {
-                                encode_signed_varint(i64::from(v) - prev, &mut data);
+                                encode_signed_varint((v as i64) - prev, &mut data);
                             } else {
-                                encode_varint((i64::from(v) - prev - 1) as u64, &mut data);
+                                encode_varint(((v as i64) - prev - 1) as u64, &mut data);
                             }
-                            prev = i64::from(v);
+                            prev = v as i64;
                             if v < begin || v >= end {
                                 ghosts.push(v);
                             }

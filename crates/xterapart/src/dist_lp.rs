@@ -76,8 +76,8 @@ pub fn distributed_lp_clustering(
                     *cluster_weights.entry(current).or_insert(node_weight) -=
                         node_weight.min(*cluster_weights.get(&current).unwrap_or(&0));
                     *cluster_weights.entry(target).or_insert(0) += node_weight;
-                    changed.push(u64::from(u));
-                    changed.push(u64::from(target));
+                    changed.push(graph::ids::widen(u));
+                    changed.push(graph::ids::widen(target));
                     moved += 1;
                 }
             }
@@ -122,7 +122,7 @@ fn sync_cluster_weights(
     }
     let mut payload: Vec<u64> = Vec::with_capacity(2 * local.len());
     for (&label, &weight) in &local {
-        payload.push(u64::from(label));
+        payload.push(graph::ids::widen(label));
         payload.push(weight);
     }
     let gathered = comm.allgather_u64(&payload);
@@ -197,7 +197,7 @@ pub fn distributed_lp_refinement(
                 block_weights[current as usize] =
                     block_weights[current as usize].saturating_sub(node_weight);
                 block_weights[target as usize] += node_weight;
-                changed.push(u64::from(u));
+                changed.push(graph::ids::widen(u));
                 changed.push(u64::from(target));
                 moved += 1;
             }

@@ -108,8 +108,8 @@ pub fn dist_partition(graph: &CsrGraph, config: &DistPartitionConfig) -> DistPar
             // against consistent labels.
             let mut payload: Vec<u64> = Vec::with_capacity(2 * local_labels.len());
             for &(u, label) in &local_labels {
-                payload.push(u64::from(u));
-                payload.push(u64::from(label));
+                payload.push(graph::ids::widen(u));
+                payload.push(graph::ids::widen(label));
             }
             let gathered = comm.allgather_u64(&payload);
             let mut labels: Vec<NodeId> = vec![0; dist.n];
@@ -138,11 +138,11 @@ pub fn dist_partition(graph: &CsrGraph, config: &DistPartitionConfig) -> DistPar
             // (the coarse graph is replicated, as dKaMinPar does for initial partitioning).
             let mut edge_payload: Vec<u64> = Vec::with_capacity(3 * edge_partials.len());
             for (&(a, b), &w) in &edge_partials {
-                edge_payload.extend_from_slice(&[u64::from(a), u64::from(b), w]);
+                edge_payload.extend_from_slice(&[graph::ids::widen(a), graph::ids::widen(b), w]);
             }
             let mut weight_payload: Vec<u64> = Vec::with_capacity(2 * weight_partials.len());
             for (&l, &w) in &weight_partials {
-                weight_payload.extend_from_slice(&[u64::from(l), w]);
+                weight_payload.extend_from_slice(&[graph::ids::widen(l), w]);
             }
             let all_edges = comm.allgather_u64(&edge_payload);
             let all_weights = comm.allgather_u64(&weight_payload);
