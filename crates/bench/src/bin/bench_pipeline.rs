@@ -20,10 +20,11 @@
 use std::path::{Path, PathBuf};
 
 use bench::harness::{
-    best_seconds, read_width_run, write_pipeline_json, MicroComparison, OndiskRun,
+    best_seconds, read_width_run, write_pipeline_json, MicroComparison, OndiskRun, StreamIngestRun,
 };
 use bench::seed_baseline::{seed_contract_one_pass, seed_initial_partition, seed_lp_refine};
 use graph::gen;
+use graph::store::StreamingTpgBuilder;
 use graph::traits::Graph;
 use memtrack::PhaseTracker;
 use terapart::coarsening::{self, cluster, contract_with_scratch};
@@ -196,6 +197,73 @@ fn main() {
         initial.speedup()
     );
 
+    // ---- Micro: streamed .tpg ingest — the pipelined finish (flat bucket
+    // aggregation + packet-ordered commit) against the sequential reference on the
+    // identical spilled R-MAT stream. Both outputs are byte-identical; only the
+    // wall-clock differs. ----
+    let ingest_dir =
+        std::env::temp_dir().join(format!("terapart_bench_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&ingest_dir).expect("failed to create the ingest bench dir");
+    let (ingest_scale, ingest_deg, ingest_seed, ingest_buckets) = (14u32, 10usize, 5u64, 8usize);
+    let ingest_runs = 9;
+    // The effective worker count: finish() clamps its workers to the bucket count.
+    let ingest_threads = terapart::context::default_threads().min(ingest_buckets);
+    let mut ingest_edges = 0usize;
+    let spill_edges = |dir: &Path| {
+        let mut builder = StreamingTpgBuilder::new(1usize << ingest_scale, ingest_buckets, dir)
+            .expect("failed to open the ingest builder");
+        gen::for_each_rmat_edge(ingest_scale, ingest_deg, ingest_seed, &mut |u, v| {
+            builder.add_edge(u, v, 1).expect("spill failed");
+        });
+        builder
+    };
+    let seq_container = ingest_dir.join("ingest_seq.tpg");
+    let sequential_seconds = best_seconds(
+        ingest_runs,
+        || spill_edges(&ingest_dir),
+        |builder| {
+            ingest_edges = builder.edges_added();
+            builder
+                .finish_sequential(&seq_container, &graph::CompressionConfig::default())
+                .expect("sequential finish failed")
+        },
+    );
+    let pipe_container = ingest_dir.join("ingest_pipe.tpg");
+    let mut container_bytes = 0u64;
+    let pipelined_seconds = best_seconds(
+        ingest_runs,
+        || spill_edges(&ingest_dir),
+        |builder| {
+            let summary = builder
+                .finish(&pipe_container, &graph::CompressionConfig::default())
+                .expect("pipelined finish failed");
+            container_bytes = summary.file_bytes;
+            summary
+        },
+    );
+    assert_eq!(
+        std::fs::read(&seq_container).unwrap(),
+        std::fs::read(&pipe_container).unwrap(),
+        "pipelined and sequential ingest containers diverged"
+    );
+    std::fs::remove_dir_all(&ingest_dir).ok();
+    let stream_ingest = StreamIngestRun {
+        n: 1usize << ingest_scale,
+        edges_added: ingest_edges,
+        buckets: ingest_buckets,
+        threads: ingest_threads,
+        sequential_seconds,
+        pipelined_seconds,
+        container_bytes,
+    };
+    println!(
+        "stream_ingest: sequential {:.1} ms -> pipelined {:.1} ms ({:.2}x, {:.0} edges/s)",
+        stream_ingest.sequential_seconds * 1e3,
+        stream_ingest.pipelined_seconds * 1e3,
+        stream_ingest.speedup(),
+        stream_ingest.edges_per_second()
+    );
+
     // ---- Full pipeline with phase breakdown. ----
     let tracker = PhaseTracker::new();
     memtrack::global().reset_peak();
@@ -223,30 +291,46 @@ fn main() {
         .expect("failed to write the bench container");
     let csr_bytes = graph.size_in_bytes();
     let mut ondisk_runs = Vec::new();
+    // 8 KiB pages: the rmat-14 data section spans enough pages that the cold-sweep
+    // hit rate (and the prefetch effect on it) is actually observable.
+    let page_size = 8 * 1024usize;
     for page_budget in [128 * 1024usize, 2 * 1024 * 1024] {
-        let ondisk_config = PartitionerConfig::terapart(16).with_page_budget(page_budget);
-        let ondisk_tracker = PhaseTracker::new();
-        memtrack::global().reset_peak();
-        let result =
-            terapart::partition_ondisk_with_tracker(&tpg_path, &ondisk_config, &ondisk_tracker)
-                .expect("on-disk bench run failed");
-        let peak = result.peak_memory_bytes.max(ondisk_tracker.overall_peak());
-        println!(
-            "partition_ondisk @ {:>10}: cut={} peak={} ({:.2}x of CSR) time={:.2}s",
-            memtrack::format_bytes(page_budget),
-            result.edge_cut,
-            memtrack::format_bytes(peak),
-            peak as f64 / csr_bytes as f64,
-            result.total_time.as_secs_f64()
-        );
-        ondisk_runs.push(OndiskRun {
-            page_budget_bytes: page_budget,
-            time: result.total_time,
-            peak_memory_bytes: peak,
-            edge_cut: result.edge_cut,
-            csr_bytes,
-            phases: result.phase_reports,
-        });
+        for prefetch in [false, true] {
+            let mut ondisk_config = PartitionerConfig::terapart(16)
+                .with_page_budget(page_budget)
+                .with_prefetch(prefetch);
+            ondisk_config.ondisk.page_size = page_size;
+            let ondisk_tracker = PhaseTracker::new();
+            memtrack::global().reset_peak();
+            let result =
+                terapart::partition_ondisk_with_tracker(&tpg_path, &ondisk_config, &ondisk_tracker)
+                    .expect("on-disk bench run failed");
+            let peak = result.peak_memory_bytes.max(ondisk_tracker.overall_peak());
+            let cache = result.cache_stats;
+            println!(
+                "partition_ondisk @ {:>10} prefetch={:<5}: cut={} peak={} ({:.2}x of CSR) \
+                 time={:.2}s hit_rate={:.3} prefetched={}",
+                memtrack::format_bytes(page_budget),
+                prefetch,
+                result.edge_cut,
+                memtrack::format_bytes(peak),
+                peak as f64 / csr_bytes as f64,
+                result.total_time.as_secs_f64(),
+                cache.map(|c| c.hit_rate()).unwrap_or(0.0),
+                cache.map(|c| c.prefetched_pages).unwrap_or(0),
+            );
+            ondisk_runs.push(OndiskRun {
+                page_budget_bytes: page_budget,
+                page_size_bytes: page_size,
+                prefetch,
+                time: result.total_time,
+                peak_memory_bytes: peak,
+                edge_cut: result.edge_cut,
+                csr_bytes,
+                phases: result.phase_reports,
+                cache,
+            });
+        }
     }
     std::fs::remove_dir_all(&ondisk_dir).ok();
 
@@ -258,6 +342,7 @@ fn main() {
         &tracker,
         &measurement,
         &[contraction, refinement, initial],
+        Some(&stream_ingest),
         &ondisk_runs,
         &other_width_runs,
     )

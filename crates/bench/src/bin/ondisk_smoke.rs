@@ -2,7 +2,11 @@
 //! cache, run `partition_ondisk` at a page budget far below the instance size, and
 //! assert that (a) the uncompressed CSR exceeds the page budget, (b) the peak accounted
 //! memory stays below the uncompressed CSR byte size, and (c) the result is a complete,
-//! balanced partition. Exits non-zero on any violation, so CI fails loudly.
+//! balanced partition. Then exercise the concurrent external-memory path end to end:
+//! (d) the pipelined streamed ingest must reproduce the materialised container byte for
+//! byte, and (e) a prefetch-enabled run must stay complete, balanced and below the CSR
+//! size while the readahead worker actually installs pages. Exits non-zero on any
+//! violation, so CI fails loudly.
 //!
 //! Usage: `ondisk_smoke [cache_dir]` (default: a fresh temp directory).
 
@@ -85,6 +89,58 @@ fn main() {
         "SMOKE FAIL: peak accounted memory {} B is not below the uncompressed CSR size {} B",
         peak,
         csr_bytes
+    );
+
+    // ---- Streamed-ingest byte-identity: the pipelined external builder (spill →
+    // parallel aggregate/encode → ordered commit) must reproduce the materialised
+    // container exactly. The cached instance at `path` was itself produced by the
+    // streamed path, so compare both against a container written from the fully
+    // materialised in-memory graph. ----
+    let GenSpec::Rgg2d { n, avg_deg, seed } = spec else {
+        unreachable!("smoke spec is rgg2d");
+    };
+    let materialized = cache_dir.join("smoke_materialized.tpg");
+    graph::store::write_tpg_from_graph(
+        &graph::gen::rgg2d(n, avg_deg, seed),
+        &materialized,
+        &graph::CompressionConfig::default(),
+    )
+    .expect("failed to write the materialised reference container");
+    assert_eq!(
+        std::fs::read(&path).expect("read streamed container"),
+        std::fs::read(&materialized).expect("read materialised container"),
+        "SMOKE FAIL: streamed-ingest container is not byte-identical to the materialised one"
+    );
+    println!("streamed ingest byte-identical to the materialised container");
+
+    // ---- Prefetch-enabled run at the same starved budget: still complete, balanced
+    // and below the CSR size, with the readahead worker demonstrably active. ----
+    memtrack::global().reset_peak();
+    let prefetch_result = partition_ondisk(&path, &config.clone().with_prefetch(true))
+        .expect("prefetch-enabled on-disk run failed");
+    let cache = prefetch_result
+        .cache_stats
+        .expect("on-disk runs expose cache stats");
+    println!(
+        "prefetch run: cut={} peak={} hit_rate={:.3} prefetched_pages={}",
+        prefetch_result.edge_cut,
+        memtrack::format_bytes(prefetch_result.peak_memory_bytes),
+        cache.hit_rate(),
+        cache.prefetched_pages
+    );
+    assert!(
+        prefetch_result.partition.is_complete() && prefetch_result.partition.is_balanced(),
+        "SMOKE FAIL: prefetch-enabled run produced an invalid partition"
+    );
+    assert!(
+        prefetch_result.peak_memory_bytes < csr_bytes,
+        "SMOKE FAIL: prefetch-enabled peak {} B is not below the CSR size {} B",
+        prefetch_result.peak_memory_bytes,
+        csr_bytes
+    );
+    assert!(
+        cache.prefetched_pages > 0,
+        "SMOKE FAIL: the readahead worker never installed a page"
     );
     println!("ondisk smoke OK");
     // Best-effort cleanup when we created the temp cache ourselves.

@@ -78,6 +78,10 @@ pub fn measure_run(
 pub struct OndiskRun {
     /// Page-cache budget the run was configured with, in bytes.
     pub page_budget_bytes: usize,
+    /// Page size of the run's cache, in bytes.
+    pub page_size_bytes: usize,
+    /// Whether LP-aware page readahead (`OnDiskConfig::prefetch`) was enabled.
+    pub prefetch: bool,
     /// Wall-clock time of the run.
     pub time: Duration,
     /// Peak accounted memory during the run, in bytes.
@@ -88,6 +92,41 @@ pub struct OndiskRun {
     pub csr_bytes: usize,
     /// Per-phase reports of the run (includes the `open_store` phase).
     pub phases: Vec<memtrack::PhaseReport>,
+    /// Page-cache counters of the run (hit rate, prefetched pages, ...).
+    pub cache: Option<graph::store::CacheStatsSnapshot>,
+}
+
+/// One measured streamed-ingest comparison: the pipelined
+/// [`StreamingTpgBuilder::finish`](graph::store::StreamingTpgBuilder::finish) against
+/// the sequential reference path on the identical spilled edge stream.
+#[derive(Debug, Clone)]
+pub struct StreamIngestRun {
+    /// Vertices of the streamed instance.
+    pub n: usize,
+    /// Undirected edge records fed to the builder (before deduplication).
+    pub edges_added: usize,
+    /// Spill buckets used.
+    pub buckets: usize,
+    /// Worker threads of the pipelined finish.
+    pub threads: usize,
+    /// Seconds of the sequential reference `finish_sequential`.
+    pub sequential_seconds: f64,
+    /// Seconds of the pipelined `finish`.
+    pub pipelined_seconds: f64,
+    /// Size of the produced container (byte-identical across both paths).
+    pub container_bytes: u64,
+}
+
+impl StreamIngestRun {
+    /// Sequential time over pipelined time; > 1 means the pipeline is faster.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_seconds / self.pipelined_seconds.max(1e-12)
+    }
+
+    /// Ingest throughput of the pipelined finish in edge records per second.
+    pub fn edges_per_second(&self) -> f64 {
+        self.edges_added as f64 / self.pipelined_seconds.max(1e-12)
+    }
 }
 
 /// One micro-benchmark comparison against the frozen seed baseline.
@@ -186,6 +225,7 @@ pub fn write_pipeline_json(
     tracker: &PhaseTracker,
     measurement: &Measurement,
     micro: &[MicroComparison],
+    stream_ingest: Option<&StreamIngestRun>,
     ondisk: &[OndiskRun],
     other_width_runs: &[WidthRun],
 ) -> std::io::Result<()> {
@@ -233,6 +273,21 @@ pub fn write_pipeline_json(
         ));
     }
     out.push_str("  ],\n");
+    match stream_ingest {
+        Some(run) => out.push_str(&format!(
+            "  \"stream_ingest\": {{\"n\": {}, \"edges_added\": {}, \"buckets\": {}, \"threads\": {}, \"sequential_seconds\": {:.6}, \"pipelined_seconds\": {:.6}, \"ingest_speedup\": {:.3}, \"edges_per_second\": {:.0}, \"container_bytes\": {}}},\n",
+            run.n,
+            run.edges_added,
+            run.buckets,
+            run.threads,
+            run.sequential_seconds,
+            run.pipelined_seconds,
+            run.speedup(),
+            run.edges_per_second(),
+            run.container_bytes,
+        )),
+        None => out.push_str("  \"stream_ingest\": null,\n"),
+    }
     out.push_str("  \"partition_ondisk\": [\n");
     for (i, run) in ondisk.iter().enumerate() {
         let open_store_seconds = run
@@ -241,15 +296,22 @@ pub fn write_pipeline_json(
             .filter(|p| p.name == "open_store")
             .map(|p| p.elapsed.as_secs_f64())
             .sum::<f64>();
+        let cache = run.cache.unwrap_or_default();
         out.push_str(&format!(
-            "    {{\"page_budget_bytes\": {}, \"seconds\": {:.6}, \"open_store_seconds\": {:.6}, \"peak_bytes\": {}, \"csr_bytes\": {}, \"peak_vs_csr\": {:.3}, \"edge_cut\": {}}}{}\n",
+            "    {{\"page_budget_bytes\": {}, \"page_size_bytes\": {}, \"prefetch\": {}, \"seconds\": {:.6}, \"open_store_seconds\": {:.6}, \"peak_bytes\": {}, \"csr_bytes\": {}, \"peak_vs_csr\": {:.3}, \"edge_cut\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"prefetched_pages\": {}}}{}\n",
             run.page_budget_bytes,
+            run.page_size_bytes,
+            run.prefetch,
             run.time.as_secs_f64(),
             open_store_seconds,
             run.peak_memory_bytes,
             run.csr_bytes,
             run.peak_memory_bytes as f64 / run.csr_bytes.max(1) as f64,
             run.edge_cut,
+            cache.hits,
+            cache.misses,
+            cache.hit_rate(),
+            cache.prefetched_pages,
             if i + 1 < ondisk.len() { "," } else { "" }
         ));
     }

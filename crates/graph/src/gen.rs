@@ -165,6 +165,22 @@ pub fn rgg2d(n: usize, avg_deg: usize, seed: u64) -> CsrGraph {
 /// ([`crate::store::stream_rgg2d_to_tpg`]) can emit edges straight into spill buckets
 /// and still produce the *identical* graph for a fixed seed.
 pub fn for_each_rgg2d_edge(n: usize, avg_deg: usize, seed: u64, f: &mut dyn FnMut(NodeId, NodeId)) {
+    try_for_each_rgg2d_edge(n, avg_deg, seed, &mut |u, v| {
+        f(u, v);
+        true
+    });
+}
+
+/// [`for_each_rgg2d_edge`] with a visitor that can stop the stream: returning `false`
+/// aborts edge emission immediately (e.g. the streaming `.tpg` builder stops driving
+/// the sampler once a spill I/O error is recorded). Returns `false` iff the visitor
+/// stopped early.
+pub fn try_for_each_rgg2d_edge(
+    n: usize,
+    avg_deg: usize,
+    seed: u64,
+    f: &mut dyn FnMut(NodeId, NodeId) -> bool,
+) -> bool {
     assert!(n >= 2);
     ids::assert_node_count(n, "rgg2d");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -210,13 +226,14 @@ pub fn for_each_rgg2d_edge(n: usize, avg_deg: usize, seed: u64, f: &mut dyn FnMu
                     }
                     let q = points[j as usize];
                     let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);
-                    if d2 <= r2 {
-                        f(ids::nid(i), j);
+                    if d2 <= r2 && !f(ids::nid(i), j) {
+                        return false;
                     }
                 }
             }
         }
     }
+    true
 }
 
 /// Power-law random graph standing in for the random hyperbolic (`rhg`) family.
@@ -287,6 +304,22 @@ pub fn for_each_rmat_edge(
     seed: u64,
     f: &mut dyn FnMut(NodeId, NodeId),
 ) {
+    try_for_each_rmat_edge(scale, avg_deg, seed, &mut |u, v| {
+        f(u, v);
+        true
+    });
+}
+
+/// [`for_each_rmat_edge`] with a visitor that can stop the stream: returning `false`
+/// aborts sampling immediately (e.g. the streaming `.tpg` builder stops driving the
+/// sampler once a spill I/O error is recorded). Returns `false` iff the visitor
+/// stopped early.
+pub fn try_for_each_rmat_edge(
+    scale: u32,
+    avg_deg: usize,
+    seed: u64,
+    f: &mut dyn FnMut(NodeId, NodeId) -> bool,
+) -> bool {
     let n = 1usize << scale;
     ids::assert_node_count(n, "rmat");
     let m = n * avg_deg / 2;
@@ -308,10 +341,11 @@ pub fn for_each_rmat_edge(
                 v |= bit;
             }
         }
-        if u != v {
-            f(ids::nid(u), ids::nid(v));
+        if u != v && !f(ids::nid(u), ids::nid(v)) {
+            return false;
         }
     }
+    true
 }
 
 /// Rebuilds `graph` with uniformly random edge weights in `1..=max_weight`.
@@ -446,6 +480,38 @@ mod tests {
         assert!(g.m() > 1000);
         assert!(g.max_degree() > 20);
         assert_eq!(g, weblike(10, 8, 5));
+    }
+
+    #[test]
+    fn edge_samplers_short_circuit_when_the_visitor_stops() {
+        // A visitor that fails (an I/O error in the streaming builder) must stop the
+        // sampler immediately instead of driving the generator to completion.
+        let mut seen = 0usize;
+        let completed = try_for_each_rmat_edge(10, 8, 3, &mut |_, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert!(
+            !completed,
+            "visitor stopped, sampler must report early exit"
+        );
+        assert_eq!(seen, 5, "sampler kept emitting after the visitor stopped");
+
+        let mut seen = 0usize;
+        let completed = try_for_each_rgg2d_edge(2000, 12, 7, &mut |_, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert!(!completed);
+        assert_eq!(seen, 5);
+
+        // A visitor that never stops sees the full stream and `true`.
+        let mut total = 0usize;
+        assert!(try_for_each_rmat_edge(8, 6, 3, &mut |_, _| {
+            total += 1;
+            true
+        }));
+        assert!(total > 0);
     }
 
     #[test]

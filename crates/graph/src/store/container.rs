@@ -232,6 +232,50 @@ impl TpgWriter {
         Ok(())
     }
 
+    /// Commits a worker-encoded [`EncodedSection`] — the out-of-order commit path.
+    ///
+    /// Sections must arrive in vertex order (the caller serialises commits, e.g. with
+    /// the packet scheme of [`compress_csr_parallel`]); the section must additionally
+    /// have been encoded against the writer's current half-edge prefix, which the
+    /// writer verifies. The resulting container is byte-identical to pushing the same
+    /// neighbourhoods sequentially through [`push_neighborhood`].
+    ///
+    /// [`compress_csr_parallel`]: crate::builder::compress_csr_parallel
+    /// [`push_neighborhood`]: TpgWriter::push_neighborhood
+    pub fn push_section(&mut self, section: &EncodedSection) -> Result<(), IoError> {
+        assert_eq!(
+            section.first_vertex, self.next_vertex,
+            "sections must be committed in vertex order"
+        );
+        assert_eq!(
+            section.base_first_edge, self.first_edge,
+            "section was encoded against a stale half-edge prefix"
+        );
+        assert!(
+            self.next_vertex + section.vertex_count <= self.n,
+            "section [{}, {}) out of range for {} vertices",
+            section.first_vertex,
+            section.first_vertex + section.vertex_count,
+            self.n
+        );
+        self.out.write_all(&section.bytes)?;
+        let mut last = *self.offsets.last().unwrap();
+        for &size in &section.sizes {
+            last += u64::from(size);
+            self.offsets.push(last);
+        }
+        for &w in &section.node_weights {
+            self.node_weights.push(w);
+            self.any_node_weight |= w != 1;
+        }
+        self.first_edge += section.half_edges as EdgeId;
+        self.half_edges += section.half_edges;
+        self.max_degree = self.max_degree.max(section.max_degree);
+        self.total_edge_weight += section.total_edge_weight;
+        self.next_vertex += section.vertex_count;
+        Ok(())
+    }
+
     /// Writes the offset index and node weights, patches the header and syncs the file.
     pub fn finish(mut self) -> Result<TpgSummary, IoError> {
         assert_eq!(
@@ -295,6 +339,131 @@ impl TpgWriter {
             data_bytes: data_len,
             file_bytes,
         })
+    }
+}
+
+/// One encoded run of consecutive vertex neighbourhoods, produced by a
+/// [`SectionEncoder`] and committed through [`TpgWriter::push_section`].
+///
+/// Sections are the unit of the out-of-order commit path: workers encode disjoint
+/// vertex ranges into local `EncodedSection` buffers in any order and commit them to
+/// the writer in vertex order (the packet scheme of
+/// [`compress_csr_parallel`](crate::builder::compress_csr_parallel)). The committed
+/// byte stream is identical to pushing the same neighbourhoods one by one through
+/// [`TpgWriter::push_neighborhood`].
+#[derive(Debug)]
+pub struct EncodedSection {
+    /// First vertex of the section.
+    first_vertex: usize,
+    /// Number of vertices encoded into the section.
+    vertex_count: usize,
+    /// The half-edge ID the section's first neighbourhood was encoded against. The
+    /// writer checks it at commit time: a section encoded against the wrong prefix
+    /// would embed wrong `first_edge` headers.
+    base_first_edge: EdgeId,
+    /// Concatenated encoded neighbourhoods.
+    bytes: Vec<u8>,
+    /// Encoded size of each vertex's neighbourhood within `bytes`.
+    sizes: Vec<u32>,
+    /// Node weight of each vertex in the section.
+    node_weights: Vec<NodeWeight>,
+    /// Half-edges (directed neighbour entries) in the section.
+    half_edges: usize,
+    /// Sum of all neighbour weights in the section (each half-edge counted once).
+    total_edge_weight: EdgeWeight,
+    /// Maximum degree within the section.
+    max_degree: usize,
+}
+
+impl EncodedSection {
+    /// Number of half-edges encoded into the section.
+    pub fn half_edges(&self) -> usize {
+        self.half_edges
+    }
+}
+
+/// Encodes a run of consecutive vertex neighbourhoods into an [`EncodedSection`]
+/// without touching the output file — the worker-local half of the out-of-order
+/// commit path (see [`TpgWriter::push_section`]).
+///
+/// `base_first_edge` must equal the number of half-edges of all vertices preceding
+/// `first_vertex` in the final container; the caller learns it from the preceding
+/// section's totals (the neighbourhood header embeds the absolute first-edge ID, so
+/// it cannot be patched after encoding).
+pub struct SectionEncoder {
+    config: CompressionConfig,
+    edge_weighted: bool,
+    next_vertex: usize,
+    first_edge: EdgeId,
+    section: EncodedSection,
+}
+
+impl SectionEncoder {
+    /// Creates an encoder for the vertex run starting at `first_vertex`, whose first
+    /// neighbourhood begins at half-edge `base_first_edge`. `edge_weighted` and
+    /// `config` must match the target [`TpgWriter`].
+    pub fn new(
+        first_vertex: NodeId,
+        base_first_edge: EdgeId,
+        edge_weighted: bool,
+        config: &CompressionConfig,
+    ) -> Self {
+        Self {
+            config: config.clone(),
+            edge_weighted,
+            next_vertex: first_vertex as usize,
+            first_edge: base_first_edge,
+            section: EncodedSection {
+                first_vertex: first_vertex as usize,
+                vertex_count: 0,
+                base_first_edge,
+                bytes: Vec::new(),
+                sizes: Vec::new(),
+                node_weights: Vec::new(),
+                half_edges: 0,
+                total_edge_weight: 0,
+                max_degree: 0,
+            },
+        }
+    }
+
+    /// Appends the next vertex's neighbourhood (same contract as
+    /// [`TpgWriter::push_neighborhood`]: vertices in ID order, neighbours sorted,
+    /// duplicate- and self-loop-free).
+    pub fn push_neighborhood(
+        &mut self,
+        u: NodeId,
+        neighbors: &[(NodeId, EdgeWeight)],
+        node_weight: NodeWeight,
+    ) {
+        assert_eq!(
+            u as usize, self.next_vertex,
+            "section neighbourhoods must be pushed in vertex order"
+        );
+        let before = self.section.bytes.len();
+        encode_neighborhood(
+            u,
+            self.first_edge,
+            neighbors,
+            self.edge_weighted && self.config.compress_edge_weights,
+            &self.config,
+            &mut self.section.bytes,
+        );
+        self.section
+            .sizes
+            .push((self.section.bytes.len() - before) as u32);
+        self.section.node_weights.push(node_weight);
+        self.first_edge += neighbors.len() as EdgeId;
+        self.section.half_edges += neighbors.len();
+        self.section.max_degree = self.section.max_degree.max(neighbors.len());
+        self.section.total_edge_weight += neighbors.iter().map(|&(_, w)| w).sum::<EdgeWeight>();
+        self.section.vertex_count += 1;
+        self.next_vertex += 1;
+    }
+
+    /// Finalises the section for commit.
+    pub fn finish(self) -> EncodedSection {
+        self.section
     }
 }
 
@@ -832,6 +1001,57 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(read_tpg_meta(&path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn section_commit_is_byte_identical_to_per_vertex_pushes() {
+        // The out-of-order commit path: encoding vertex ranges into sections (as the
+        // pipelined streaming builder does) and committing them in order must produce
+        // exactly the bytes of the sequential per-vertex writer.
+        let g = gen::with_random_node_weights(&gen::weblike(9, 7, 11), 4, 2);
+        let config = CompressionConfig::default();
+        let sequential = tmp("sections_seq.tpg");
+        let a = write_tpg_from_graph(&g, &sequential, &config).unwrap();
+
+        let sectioned = tmp("sections_par.tpg");
+        let mut writer =
+            TpgWriter::create(&sectioned, g.n(), g.is_edge_weighted(), &config).unwrap();
+        let ranges = [(0usize, 100usize), (100, 101), (101, 350), (350, g.n())];
+        let mut base: EdgeId = 0;
+        for &(lo, hi) in &ranges {
+            let mut enc = SectionEncoder::new(lo as NodeId, base, g.is_edge_weighted(), &config);
+            for u in lo..hi {
+                let mut nbrs = g.neighbors_vec(u as NodeId);
+                nbrs.sort_unstable_by_key(|&(v, _)| v);
+                enc.push_neighborhood(u as NodeId, &nbrs, g.node_weight(u as NodeId));
+            }
+            let section = enc.finish();
+            base += section.half_edges() as EdgeId;
+            writer.push_section(&section).unwrap();
+        }
+        let b = writer.finish().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            std::fs::read(&sequential).unwrap(),
+            std::fs::read(&sectioned).unwrap(),
+            "section-committed container differs from the per-vertex one"
+        );
+        for p in [sequential, sectioned] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale half-edge prefix")]
+    fn section_with_wrong_edge_prefix_is_rejected() {
+        let g = gen::grid2d(6, 6);
+        let config = CompressionConfig::default();
+        let path = tmp("sections_stale.tpg");
+        let mut writer = TpgWriter::create(&path, g.n(), false, &config).unwrap();
+        // Encoded as if 5 half-edges preceded vertex 0: the commit must refuse.
+        let mut enc = SectionEncoder::new(0, 5, false, &config);
+        enc.push_neighborhood(0, &g.neighbors_vec(0), 1);
+        let _ = writer.push_section(&enc.finish());
     }
 
     #[test]

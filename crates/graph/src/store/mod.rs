@@ -36,7 +36,7 @@ pub mod stream;
 
 pub use container::{
     read_tpg, read_tpg_compressed, read_tpg_meta, write_tpg_from_binary, write_tpg_from_graph,
-    write_tpg_from_metis, TpgMeta, TpgSummary, TpgWriter,
+    write_tpg_from_metis, EncodedSection, SectionEncoder, TpgMeta, TpgSummary, TpgWriter,
 };
 pub use paged::{CacheStatsSnapshot, PagedGraph, PagedGraphOptions};
-pub use stream::{stream_rgg2d_to_tpg, stream_rmat_to_tpg, StreamingTpgBuilder};
+pub use stream::{stream_rgg2d_to_tpg, stream_rmat_to_tpg, StreamingTpgBuilder, MAX_SPILL_BUCKETS};

@@ -3,32 +3,59 @@
 //! [`StreamingTpgBuilder`] accepts an arbitrary stream of undirected edges and produces
 //! a `.tpg` container without ever materialising the full adjacency in memory. It is an
 //! external counting/bucket sort: every edge is written as two directed half-edge
-//! records into spill files bucketed by source-vertex range; `finish` then processes one
-//! bucket at a time — aggregate, sort, merge duplicates (summing weights, exactly like
+//! records into spill files bucketed by source-vertex range; [`finish`] then processes
+//! the buckets — aggregate, sort, merge duplicates (summing weights, exactly like
 //! [`CsrGraphBuilder`](crate::csr::CsrGraphBuilder)) — and feeds the neighbourhoods to
-//! the streaming [`TpgWriter`] in vertex order. Peak memory is `O(n / buckets · d̄ +
-//! largest bucket)` instead of `O(m)`.
+//! the streaming [`TpgWriter`] in vertex order.
+//!
+//! # The finish pipeline
+//!
+//! Buckets are independent until their encoded bytes must land in the container, so
+//! [`finish`] runs them as a pipeline on worker threads: while bucket *b*'s encoded
+//! section commits to the writer, buckets *b+1…* are already being read, sorted and
+//! merged. Three ordered hand-offs keep the output deterministic (the packet scheme of
+//! [`compress_csr_parallel`](crate::builder::compress_csr_parallel)):
+//!
+//! 1. *claim* — workers claim bucket indices from an atomic counter;
+//! 2. *base grant* — the first-edge ID of a bucket's first vertex is the running
+//!    half-edge total of all preceding buckets, known only after they aggregated, so
+//!    workers receive their base in bucket order (aggregation itself is unordered);
+//! 3. *commit* — encoded sections commit to the [`TpgWriter`] in bucket order through
+//!    its out-of-order commit path ([`TpgWriter::push_section`]).
+//!
+//! The output container is **byte-identical** to the sequential reference path
+//! ([`finish_sequential`]) for any thread count and bucket count. Peak memory grows
+//! from one aggregated bucket to at most `threads` aggregated buckets in flight.
 //!
 //! Whether the graph carries edge weights is a *global* property (duplicate unit-weight
 //! samples merge into weights > 1, matching the in-memory builder), so `finish` runs two
-//! passes over the spill files: a cheap scan that detects merged weights, then the
-//! encoding pass. Both passes stream; nothing exceeds the per-bucket budget.
+//! passes over the spill files: a cheap parallel scan that detects merged weights, then
+//! the encoding pipeline. Both passes stream; nothing exceeds the per-bucket budget
+//! times the worker count.
 //!
 //! [`stream_rmat_to_tpg`] and [`stream_rgg2d_to_tpg`] connect the repository's R-MAT and
 //! random-geometric edge samplers to the builder; both produce graphs **bit-identical**
 //! to their in-memory counterparts ([`gen::weblike`](crate::gen::weblike) /
 //! [`gen::rgg2d`](crate::gen::rgg2d)) for a fixed seed, which the instance cache relies
-//! on for reproducible Set A/B experiments.
+//! on for reproducible Set A/B experiments. A spill I/O error short-circuits the edge
+//! sampler immediately instead of driving it to completion.
+//!
+//! [`finish`]: StreamingTpgBuilder::finish
+//! [`finish_sequential`]: StreamingTpgBuilder::finish_sequential
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::compressed::CompressionConfig;
-use crate::gen::{for_each_rgg2d_edge, for_each_rmat_edge};
+use crate::gen::{try_for_each_rgg2d_edge, try_for_each_rmat_edge};
+use crate::ids;
 use crate::io::IoError;
-use crate::store::container::{TpgSummary, TpgWriter};
-use crate::{EdgeWeight, NodeId};
+use crate::store::container::{SectionEncoder, TpgSummary, TpgWriter};
+use crate::{EdgeId, EdgeWeight, NodeId};
 
 /// Bytes of one spilled half-edge record's id fields (source, target), at the active
 /// id width.
@@ -36,6 +63,14 @@ const ID_BYTES: usize = std::mem::size_of::<NodeId>();
 
 /// Size of one spilled half-edge record: source id, target id, weight u64.
 const RECORD_BYTES: usize = 2 * ID_BYTES + std::mem::size_of::<EdgeWeight>();
+
+/// Hard cap on the number of spill buckets (and therefore concurrently open spill file
+/// writers). Each bucket holds one `BufWriter<File>` for the builder's whole lifetime,
+/// so an unbounded `num_buckets` would exhaust the process's file-descriptor budget and
+/// die mid-spill; requests beyond the cap are clamped instead. 256 buckets bound the
+/// per-bucket aggregation of even tera-scale streams while staying far below common
+/// `ulimit -n` defaults (1024).
+pub const MAX_SPILL_BUCKETS: usize = 256;
 
 /// Per-vertex visitor over a bucket's aggregated neighbourhoods; returning `Ok(false)`
 /// stops the bucket scan early.
@@ -54,14 +89,40 @@ pub struct StreamingTpgBuilder {
     saw_explicit_weight: bool,
 }
 
+/// One bucket's aggregated adjacency in flat form: `entries[starts[i]..starts[i + 1]]`
+/// is the sorted, duplicate-merged neighbourhood of vertex `lo + i`. Built from the
+/// spill records with a counting sort by source plus per-vertex target sorts instead
+/// of a `Vec<Vec<_>>` per vertex, which keeps the aggregation allocation-light and
+/// cache-friendly.
+struct BucketAdjacency {
+    lo: usize,
+    starts: Vec<usize>,
+    entries: Vec<(NodeId, EdgeWeight)>,
+}
+
+impl BucketAdjacency {
+    fn vertex_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    fn half_edges(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn neighbors(&self, i: usize) -> &[(NodeId, EdgeWeight)] {
+        &self.entries[self.starts[i]..self.starts[i + 1]]
+    }
+}
+
 impl StreamingTpgBuilder {
     /// Creates a builder for a graph with `n` vertices, spilling half-edge records into
     /// `num_buckets` temporary files under `spill_dir` (created if missing; the files
-    /// are removed by [`finish`](Self::finish)).
+    /// are removed by [`finish`](Self::finish)). `num_buckets` is clamped to
+    /// `[1, min(n, MAX_SPILL_BUCKETS)]` — see [`MAX_SPILL_BUCKETS`] for why the upper
+    /// bound exists.
     pub fn new(n: usize, num_buckets: usize, spill_dir: impl AsRef<Path>) -> Result<Self, IoError> {
-        use std::sync::atomic::{AtomicU64, Ordering};
         static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
-        let num_buckets = num_buckets.clamp(1, n.max(1));
+        let num_buckets = num_buckets.clamp(1, n.max(1)).min(MAX_SPILL_BUCKETS);
         let spill_dir = spill_dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&spill_dir)?;
         let unique = format!(
@@ -73,7 +134,24 @@ impl StreamingTpgBuilder {
         let mut buckets = Vec::with_capacity(num_buckets);
         for b in 0..num_buckets {
             let path = spill_dir.join(format!("{}_{}.edges", unique, b));
-            buckets.push(BufWriter::new(File::create(&path)?));
+            let file = match File::create(&path) {
+                Ok(f) => f,
+                Err(e) => {
+                    // Clean up the spill files already created so a failed construction
+                    // (e.g. an exhausted fd budget despite the cap) leaves no litter.
+                    for p in &bucket_paths {
+                        std::fs::remove_file(p).ok();
+                    }
+                    return Err(IoError::Format(format!(
+                        "failed to create spill bucket {} of {} under {}: {}",
+                        b,
+                        num_buckets,
+                        spill_dir.display(),
+                        e
+                    )));
+                }
+            };
+            buckets.push(BufWriter::new(file));
             bucket_paths.push(path);
         }
         Ok(Self {
@@ -92,18 +170,29 @@ impl StreamingTpgBuilder {
         &self.spill_dir
     }
 
+    /// Number of spill buckets actually in use (after clamping).
+    pub fn num_buckets(&self) -> usize {
+        self.bucket_paths.len()
+    }
+
     /// Number of undirected edge records accepted so far (before deduplication).
     pub fn edges_added(&self) -> usize {
         self.edges_added
     }
 
     /// Adds an undirected edge `{u, v}`. Self-loops are dropped, duplicates merge by
-    /// summing weights at [`finish`](Self::finish) time.
+    /// summing weights at [`finish`](Self::finish) time. An endpoint at or beyond the
+    /// builder's vertex count is a recoverable [`IoError`] naming the endpoint, not a
+    /// panic — edge streams come from external inputs.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: EdgeWeight) -> Result<(), IoError> {
-        assert!(
-            (u as usize) < self.n && (v as usize) < self.n,
-            "edge endpoint out of range"
-        );
+        for (name, id) in [("u", u), ("v", v)] {
+            if id as usize >= self.n {
+                return Err(IoError::Format(format!(
+                    "edge endpoint {} = {} out of range for a stream of n = {} vertices",
+                    name, id, self.n
+                )));
+            }
+        }
         if u == v {
             return Ok(());
         }
@@ -129,16 +218,179 @@ impl StreamingTpgBuilder {
         Ok(())
     }
 
+    /// Vertex range `[lo, hi)` covered by `bucket`.
+    fn bucket_range(&self, bucket: usize) -> (usize, usize) {
+        let lo = (bucket * self.vertices_per_bucket).min(self.n);
+        let hi = ((bucket + 1) * self.vertices_per_bucket).min(self.n);
+        (lo, hi)
+    }
+
+    /// Reads every spilled half-edge record of `bucket` into a flat vector.
+    fn read_bucket_records(
+        &self,
+        bucket: usize,
+    ) -> Result<Vec<(NodeId, NodeId, EdgeWeight)>, IoError> {
+        let file = File::open(&self.bucket_paths[bucket])?;
+        let expected = file.metadata()?.len() as usize / RECORD_BYTES;
+        let mut records = Vec::with_capacity(expected);
+        let mut r = BufReader::new(file);
+        let mut record = [0u8; RECORD_BYTES];
+        loop {
+            match r.read_exact(&mut record) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
+            let src = NodeId::from_le_bytes(record[0..ID_BYTES].try_into().unwrap());
+            let dst = NodeId::from_le_bytes(record[ID_BYTES..2 * ID_BYTES].try_into().unwrap());
+            let weight = EdgeWeight::from_le_bytes(record[2 * ID_BYTES..].try_into().unwrap());
+            records.push((src, dst, weight));
+        }
+        Ok(records)
+    }
+
+    /// Aggregates `bucket` into its flat sorted, duplicate-merged adjacency: a
+    /// counting sort by local source vertex (one scatter pass), then a per-vertex sort
+    /// by target and a linear duplicate merge — `O(B + Σ d log d)` for a bucket of `B`
+    /// records, with two flat arrays instead of a `Vec<Vec<_>>` per vertex. Duplicate
+    /// semantics (weights sum) are identical to the reference path, so the encoded
+    /// output is byte-identical.
+    fn aggregate_bucket(&self, bucket: usize) -> Result<BucketAdjacency, IoError> {
+        let (lo, hi) = self.bucket_range(bucket);
+        let span = hi - lo;
+        let records = self.read_bucket_records(bucket)?;
+        // `bounds[i]` = first slot of local vertex `i` after the prefix sum.
+        let mut bounds = vec![0usize; span + 1];
+        for &(src, _, _) in &records {
+            debug_assert!((lo..hi).contains(&(src as usize)));
+            bounds[src as usize - lo + 1] += 1;
+        }
+        for i in 0..span {
+            bounds[i + 1] += bounds[i];
+        }
+        let mut cursor = bounds[..span].to_vec();
+        let mut slots: Vec<(NodeId, EdgeWeight)> = vec![(0, 0); records.len()];
+        for &(src, dst, weight) in &records {
+            let slot = &mut cursor[src as usize - lo];
+            slots[*slot] = (dst, weight);
+            *slot += 1;
+        }
+        drop(records);
+        drop(cursor);
+        let mut entries: Vec<(NodeId, EdgeWeight)> = Vec::with_capacity(slots.len());
+        let mut starts = Vec::with_capacity(span + 1);
+        starts.push(0usize);
+        for i in 0..span {
+            let range = &mut slots[bounds[i]..bounds[i + 1]];
+            range.sort_unstable_by_key(|&(v, _)| v);
+            let begin = entries.len();
+            for &(v, weight) in range.iter() {
+                if entries.len() > begin && entries.last().unwrap().0 == v {
+                    entries.last_mut().unwrap().1 += weight;
+                } else {
+                    entries.push((v, weight));
+                }
+            }
+            starts.push(entries.len());
+        }
+        Ok(BucketAdjacency {
+            lo,
+            starts,
+            entries,
+        })
+    }
+
+    /// Whether `bucket` aggregates to any non-unit weight: an explicitly non-unit
+    /// record, or duplicate unit-weight records merging past 1. Returns at the first
+    /// finding — on duplicate-heavy streams the scan ends after a handful of vertices.
+    fn bucket_has_merged_weights(&self, bucket: usize) -> Result<bool, IoError> {
+        let (lo, hi) = self.bucket_range(bucket);
+        let span = hi - lo;
+        let records = self.read_bucket_records(bucket)?;
+        if records.iter().any(|&(_, _, w)| w != 1) {
+            return Ok(true);
+        }
+        // All weights are unit: a merged weight exists iff some (source, target) pair
+        // repeats. Counting-sort the targets by source, then scan vertex by vertex so
+        // the first duplicate ends the pass.
+        let mut bounds = vec![0usize; span + 1];
+        for &(src, _, _) in &records {
+            bounds[src as usize - lo + 1] += 1;
+        }
+        for i in 0..span {
+            bounds[i + 1] += bounds[i];
+        }
+        let mut cursor = bounds[..span].to_vec();
+        let mut targets: Vec<NodeId> = vec![0; records.len()];
+        for &(src, dst, _) in &records {
+            let slot = &mut cursor[src as usize - lo];
+            targets[*slot] = dst;
+            *slot += 1;
+        }
+        drop(records);
+        for i in 0..span {
+            let range = &mut targets[bounds[i]..bounds[i + 1]];
+            range.sort_unstable();
+            if range.windows(2).any(|w| w[0] == w[1]) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Runs the weight-detection pass over all buckets on `threads` workers, stopping
+    /// every worker as soon as one bucket reports a merged weight.
+    fn detect_merged_weights(&self, threads: usize) -> Result<bool, IoError> {
+        let num_buckets = self.bucket_paths.len();
+        if threads <= 1 || num_buckets == 1 {
+            for bucket in 0..num_buckets {
+                if self.bucket_has_merged_weights(bucket)? {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        let found = AtomicBool::new(false);
+        let next_bucket = AtomicUsize::new(0);
+        let error: Mutex<Option<IoError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(num_buckets) {
+                scope.spawn(|| loop {
+                    if found.load(Ordering::Relaxed) || error.lock().is_some() {
+                        break;
+                    }
+                    let bucket = next_bucket.fetch_add(1, Ordering::Relaxed);
+                    if bucket >= num_buckets {
+                        break;
+                    }
+                    match self.bucket_has_merged_weights(bucket) {
+                        Ok(true) => found.store(true, Ordering::Relaxed),
+                        Ok(false) => {}
+                        Err(e) => {
+                            let mut guard = error.lock();
+                            if guard.is_none() {
+                                *guard = Some(e);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        Ok(found.load(Ordering::Relaxed))
+    }
+
     /// Streams one bucket's aggregated, sorted, duplicate-merged neighbourhoods in
     /// vertex order to `f(u, neighbors)`. Returns `false` if the visitor stopped the
-    /// scan early.
+    /// scan early. (Reference path used by [`finish_sequential`](Self::finish_sequential).)
     fn for_each_bucket_vertex(
         &self,
         bucket: usize,
         f: &mut VertexVisitor<'_>,
     ) -> Result<bool, IoError> {
-        let lo = (bucket * self.vertices_per_bucket).min(self.n);
-        let hi = ((bucket + 1) * self.vertices_per_bucket).min(self.n);
+        let (lo, hi) = self.bucket_range(bucket);
         let mut adjacency: Vec<Vec<(NodeId, EdgeWeight)>> = vec![Vec::new(); hi - lo];
         let file = File::open(&self.bucket_paths[bucket])?;
         let mut r = BufReader::new(file);
@@ -157,28 +409,181 @@ impl StreamingTpgBuilder {
         for (i, nbrs) in adjacency.iter_mut().enumerate() {
             nbrs.sort_unstable_by_key(|&(v, _)| v);
             crate::merge_sorted_duplicates(nbrs);
-            if !f((lo + i) as NodeId, nbrs)? {
+            if !f(ids::nid(lo + i), nbrs)? {
                 return Ok(false);
             }
         }
         Ok(true)
     }
 
-    /// Aggregates the spill files and writes the final `.tpg` container to `path`. The
-    /// spill files are removed afterwards.
-    pub fn finish(
-        mut self,
-        path: impl AsRef<Path>,
-        config: &CompressionConfig,
-    ) -> Result<TpgSummary, IoError> {
+    /// Flushes and closes the spill writers (the common prologue of both finish paths).
+    fn seal_spill_files(&mut self) -> Result<(), IoError> {
         for w in &mut self.buckets {
             w.flush()?;
         }
         drop(std::mem::take(&mut self.buckets));
+        Ok(())
+    }
+
+    fn remove_spill_files(&self) {
+        for p in &self.bucket_paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Aggregates the spill files and writes the final `.tpg` container to `path`,
+    /// pipelining the buckets across one worker thread per available core (see the
+    /// module docs). The spill files are removed afterwards. The container is
+    /// byte-identical to [`finish_sequential`](Self::finish_sequential).
+    pub fn finish(
+        self,
+        path: impl AsRef<Path>,
+        config: &CompressionConfig,
+    ) -> Result<TpgSummary, IoError> {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.finish_with_threads(path, config, threads)
+    }
+
+    /// [`finish`](Self::finish) with an explicit worker-thread count. The output does
+    /// not depend on `num_threads`; peak memory is `O(num_threads · bucket size)`.
+    pub fn finish_with_threads(
+        mut self,
+        path: impl AsRef<Path>,
+        config: &CompressionConfig,
+        num_threads: usize,
+    ) -> Result<TpgSummary, IoError> {
+        self.seal_spill_files()?;
+        let num_buckets = self.bucket_paths.len();
+        let threads = num_threads.clamp(1, num_buckets);
         // Pass 1: edge weights are a global property of the container (the encoding of
-        // *every* neighbourhood depends on it). Skip the scan entirely when an explicit
-        // non-unit weight already entered the stream; otherwise stop at the first
-        // duplicate-merged weight (unit-weight duplicates sum past 1).
+        // *every* neighbourhood depends on it), so the scan must complete before any
+        // section is encoded. Skipped when an explicit non-unit weight already entered
+        // the stream.
+        let edge_weighted = self.saw_explicit_weight || self.detect_merged_weights(threads)?;
+        // Pass 2: the aggregate → encode → commit pipeline.
+        let writer = Mutex::new(TpgWriter::create(&path, self.n, edge_weighted, config)?);
+        let next_bucket = AtomicUsize::new(0);
+        // Bucket whose first-edge base grant is next, and the running half-edge total.
+        let next_base = AtomicUsize::new(0);
+        let base_edge = AtomicU64::new(0);
+        // Bucket whose ordered commit is next.
+        let next_commit = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let error: Mutex<Option<IoError>> = Mutex::new(None);
+        let fail = |e: IoError| {
+            let mut guard = error.lock();
+            if guard.is_none() {
+                *guard = Some(e);
+            }
+            drop(guard);
+            failed.store(true, Ordering::Release);
+        };
+        /// Waits until `counter` reaches `turn`; bails out early when the pipeline
+        /// failed elsewhere (so no worker spins on a turn that will never come).
+        /// Yields first, then backs off to short sleeps so workers blocked behind a
+        /// large predecessor bucket (skewed streams) do not burn their cores.
+        fn wait_turn(counter: &AtomicUsize, turn: usize, failed: &AtomicBool) -> bool {
+            let mut idle_polls = 0u32;
+            while counter.load(Ordering::Acquire) != turn {
+                if failed.load(Ordering::Acquire) {
+                    return false;
+                }
+                idle_polls += 1;
+                if idle_polls < 64 {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+            true
+        }
+
+        /// Marks the pipeline failed when its worker unwinds, so sibling workers
+        /// waiting on the panicked bucket's turn bail out instead of spinning forever
+        /// (the panic itself still propagates through `std::thread::scope`).
+        struct PanicFailGuard<'a>(&'a AtomicBool);
+        impl Drop for PanicFailGuard<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, Ordering::Release);
+                }
+            }
+        }
+        let this = &self;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let _panic_guard = PanicFailGuard(&failed);
+                    loop {
+                        let bucket = next_bucket.fetch_add(1, Ordering::Relaxed);
+                        if bucket >= num_buckets || failed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Unordered: read + sort + merge this bucket while other workers
+                        // encode or commit theirs.
+                        let aggregated = match this.aggregate_bucket(bucket) {
+                            Ok(a) => a,
+                            Err(e) => {
+                                fail(e);
+                                break;
+                            }
+                        };
+                        // Ordered hand-off 1: learn the first-edge base and immediately
+                        // grant the next bucket its own.
+                        if !wait_turn(&next_base, bucket, &failed) {
+                            break;
+                        }
+                        let base = base_edge.load(Ordering::Relaxed);
+                        base_edge.store(base + aggregated.half_edges() as u64, Ordering::Relaxed);
+                        next_base.store(bucket + 1, Ordering::Release);
+                        // Unordered again: encode into a worker-local section.
+                        let lo = aggregated.lo;
+                        let mut encoder = SectionEncoder::new(
+                            ids::nid(lo),
+                            base as EdgeId,
+                            edge_weighted,
+                            config,
+                        );
+                        for i in 0..aggregated.vertex_count() {
+                            encoder.push_neighborhood(ids::nid(lo + i), aggregated.neighbors(i), 1);
+                        }
+                        let section = encoder.finish();
+                        drop(aggregated);
+                        // Ordered hand-off 2: commit the section in bucket order.
+                        if !wait_turn(&next_commit, bucket, &failed) {
+                            break;
+                        }
+                        let committed = writer.lock().push_section(&section);
+                        next_commit.store(bucket + 1, Ordering::Release);
+                        if let Err(e) = committed {
+                            fail(e);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        let summary = writer.into_inner().finish()?;
+        self.remove_spill_files();
+        Ok(summary)
+    }
+
+    /// The sequential reference implementation of [`finish`](Self::finish): one bucket
+    /// at a time, aggregated into per-vertex vectors and pushed neighbourhood by
+    /// neighbourhood. Kept as the byte-identity baseline the pipelined path is tested
+    /// (and benchmarked) against.
+    pub fn finish_sequential(
+        mut self,
+        path: impl AsRef<Path>,
+        config: &CompressionConfig,
+    ) -> Result<TpgSummary, IoError> {
+        self.seal_spill_files()?;
         let mut edge_weighted = self.saw_explicit_weight;
         for bucket in 0..self.bucket_paths.len() {
             if edge_weighted {
@@ -190,7 +595,6 @@ impl StreamingTpgBuilder {
             })?;
             debug_assert!(completed || edge_weighted);
         }
-        // Pass 2: encode in vertex order.
         let mut writer = TpgWriter::create(&path, self.n, edge_weighted, config)?;
         for bucket in 0..self.bucket_paths.len() {
             self.for_each_bucket_vertex(bucket, &mut |u, nbrs| {
@@ -198,9 +602,7 @@ impl StreamingTpgBuilder {
             })?;
         }
         let summary = writer.finish()?;
-        for p in &self.bucket_paths {
-            std::fs::remove_file(p).ok();
-        }
+        self.remove_spill_files();
         Ok(summary)
     }
 }
@@ -209,14 +611,13 @@ impl Drop for StreamingTpgBuilder {
     fn drop(&mut self) {
         // Best-effort cleanup when finish() was never reached.
         drop(std::mem::take(&mut self.buckets));
-        for p in &self.bucket_paths {
-            std::fs::remove_file(p).ok();
-        }
+        self.remove_spill_files();
     }
 }
 
 /// Streams an R-MAT graph (identical to [`gen::weblike`](crate::gen::weblike) for the
 /// same parameters) into a `.tpg` container, spilling edge chunks under `spill_dir`.
+/// The sampler is short-circuited as soon as a spill write fails.
 pub fn stream_rmat_to_tpg(
     scale: u32,
     avg_deg: usize,
@@ -229,13 +630,18 @@ pub fn stream_rmat_to_tpg(
     let n = 1usize << scale;
     let mut builder = StreamingTpgBuilder::new(n, num_buckets, spill_dir)?;
     let mut io_error = None;
-    for_each_rmat_edge(scale, avg_deg, seed, &mut |u, v| {
-        if io_error.is_none() {
-            if let Err(e) = builder.add_edge(u, v, 1) {
+    try_for_each_rmat_edge(
+        scale,
+        avg_deg,
+        seed,
+        &mut |u, v| match builder.add_edge(u, v, 1) {
+            Ok(()) => true,
+            Err(e) => {
                 io_error = Some(e);
+                false
             }
-        }
-    });
+        },
+    );
     if let Some(e) = io_error {
         return Err(e);
     }
@@ -244,6 +650,7 @@ pub fn stream_rmat_to_tpg(
 
 /// Streams a random geometric graph (identical to [`gen::rgg2d`](crate::gen::rgg2d) for
 /// the same parameters) into a `.tpg` container, spilling edge chunks under `spill_dir`.
+/// The sampler is short-circuited as soon as a spill write fails.
 pub fn stream_rgg2d_to_tpg(
     n: usize,
     avg_deg: usize,
@@ -255,13 +662,18 @@ pub fn stream_rgg2d_to_tpg(
 ) -> Result<TpgSummary, IoError> {
     let mut builder = StreamingTpgBuilder::new(n, num_buckets, spill_dir)?;
     let mut io_error = None;
-    for_each_rgg2d_edge(n, avg_deg, seed, &mut |u, v| {
-        if io_error.is_none() {
-            if let Err(e) = builder.add_edge(u, v, 1) {
+    try_for_each_rgg2d_edge(
+        n,
+        avg_deg,
+        seed,
+        &mut |u, v| match builder.add_edge(u, v, 1) {
+            Ok(()) => true,
+            Err(e) => {
                 io_error = Some(e);
+                false
             }
-        }
-    });
+        },
+    );
     if let Some(e) = io_error {
         return Err(e);
     }
@@ -349,6 +761,61 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_endpoints_are_structured_errors_not_panics() {
+        let dir = tmp_dir("oob");
+        let mut b = StreamingTpgBuilder::new(4, 2, &dir).unwrap();
+        // First endpoint out of range.
+        let err = b.add_edge(7, 1, 1).unwrap_err().to_string();
+        assert!(
+            err.contains("u = 7"),
+            "error must name the endpoint: {}",
+            err
+        );
+        assert!(err.contains("n = 4"), "error must name n: {}", err);
+        // Second endpoint out of range (boundary value n itself).
+        let err = b.add_edge(1, 4, 1).unwrap_err().to_string();
+        assert!(
+            err.contains("v = 4"),
+            "error must name the endpoint: {}",
+            err
+        );
+        assert!(err.contains("n = 4"), "error must name n: {}", err);
+        // The builder survives the rejected edges and finishes normally.
+        b.add_edge(0, 3, 1).unwrap();
+        let path = dir.join("oob.tpg");
+        let summary = b.finish(&path, &CompressionConfig::default()).unwrap();
+        assert_eq!(summary.m, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bucket_count_is_clamped_to_the_documented_limit() {
+        let dir = tmp_dir("clamp");
+        // A request far beyond the fd budget must be clamped, not honoured until the
+        // process dies mid-spill.
+        let b = StreamingTpgBuilder::new(100_000, 1_000_000, &dir).unwrap();
+        assert_eq!(b.num_buckets(), MAX_SPILL_BUCKETS);
+        let spill_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "edges"))
+            .count();
+        assert_eq!(spill_files, MAX_SPILL_BUCKETS);
+        drop(b);
+        // And the clamped bucket count still produces the canonical container.
+        let clamped = dir.join("clamped.tpg");
+        let reference = dir.join("reference.tpg");
+        let config = CompressionConfig::default();
+        stream_rmat_to_tpg(9, 6, 4, &clamped, &dir, 1_000_000, &config).unwrap();
+        stream_rmat_to_tpg(9, 6, 4, &reference, &dir, 4, &config).unwrap();
+        assert_eq!(
+            std::fs::read(&clamped).unwrap(),
+            std::fs::read(&reference).unwrap()
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn spill_files_are_cleaned_up() {
         let dir = tmp_dir("cleanup");
         let path = dir.join("out.tpg");
@@ -371,6 +838,96 @@ mod tests {
         stream_rmat_to_tpg(9, 6, 2, &one, &dir, 1, &config).unwrap();
         stream_rmat_to_tpg(9, 6, 2, &many, &dir, 16, &config).unwrap();
         assert_eq!(std::fs::read(&one).unwrap(), std::fs::read(&many).unwrap());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Feeds a deterministic mixed-weight edge stream (exercising duplicates,
+    /// isolated vertices and explicit weights) into a fresh builder.
+    fn feed_weighted_stream(builder: &mut StreamingTpgBuilder, n: usize) {
+        let mut x = 7u64;
+        for _ in 0..(n * 6) {
+            // Small xorshift so the stream is deterministic but unordered.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = ids::nid((x % n as u64) as usize);
+            let v = ids::nid(((x >> 17) % n as u64) as usize);
+            let w = x % 4 + 1;
+            builder.add_edge(u, v, w).unwrap();
+        }
+    }
+
+    #[test]
+    fn pipelined_and_sequential_finish_are_byte_identical() {
+        // The tentpole acceptance: the pipelined finish must produce byte-identical
+        // containers to the sequential reference across bucket counts and thread
+        // counts, for both unit-weight (detection pass) and explicitly weighted
+        // streams. Run under both id widths by the CI legs.
+        let dir = tmp_dir("pipeline_identity");
+        let config = CompressionConfig::default();
+        for buckets in [1usize, 2, 4, 16] {
+            for threads in [1usize, 2, 4] {
+                // Unit-weight stream with duplicates (R-MAT): weight-detection path.
+                let mut sequential = StreamingTpgBuilder::new(1 << 9, buckets, &dir).unwrap();
+                let mut pipelined = StreamingTpgBuilder::new(1 << 9, buckets, &dir).unwrap();
+                gen::for_each_rmat_edge(9, 6, 31, &mut |u, v| {
+                    sequential.add_edge(u, v, 1).unwrap();
+                    pipelined.add_edge(u, v, 1).unwrap();
+                });
+                let seq_path = dir.join(format!("seq_{}_{}.tpg", buckets, threads));
+                let pipe_path = dir.join(format!("pipe_{}_{}.tpg", buckets, threads));
+                let a = sequential.finish_sequential(&seq_path, &config).unwrap();
+                let b = pipelined
+                    .finish_with_threads(&pipe_path, &config, threads)
+                    .unwrap();
+                assert_eq!(a, b, "summary mismatch at {} buckets", buckets);
+                assert_eq!(
+                    std::fs::read(&seq_path).unwrap(),
+                    std::fs::read(&pipe_path).unwrap(),
+                    "container mismatch at {} buckets / {} threads",
+                    buckets,
+                    threads
+                );
+
+                // Explicitly weighted stream: detection pass skipped.
+                let mut sequential = StreamingTpgBuilder::new(777, buckets, &dir).unwrap();
+                let mut pipelined = StreamingTpgBuilder::new(777, buckets, &dir).unwrap();
+                feed_weighted_stream(&mut sequential, 777);
+                feed_weighted_stream(&mut pipelined, 777);
+                let a = sequential.finish_sequential(&seq_path, &config).unwrap();
+                let b = pipelined
+                    .finish_with_threads(&pipe_path, &config, threads)
+                    .unwrap();
+                assert_eq!(a, b);
+                assert_eq!(
+                    std::fs::read(&seq_path).unwrap(),
+                    std::fs::read(&pipe_path).unwrap(),
+                    "weighted container mismatch at {} buckets / {} threads",
+                    buckets,
+                    threads
+                );
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn pipelined_finish_handles_empty_and_sparse_buckets() {
+        let dir = tmp_dir("sparse_buckets");
+        // 40 vertices over 16 buckets: several buckets cover vertices with no edges.
+        let mut b = StreamingTpgBuilder::new(40, 16, &dir).unwrap();
+        b.add_edge(0, 39, 1).unwrap();
+        b.add_edge(5, 6, 1).unwrap();
+        let path = dir.join("sparse.tpg");
+        let summary = b
+            .finish_with_threads(&path, &CompressionConfig::default(), 4)
+            .unwrap();
+        assert_eq!(summary.n, 40);
+        assert_eq!(summary.m, 2);
+        let g = read_tpg(&path).unwrap();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(17), 0);
+        assert_eq!(g.neighbors_vec(39), vec![(0, 1)]);
         std::fs::remove_dir_all(dir).ok();
     }
 }

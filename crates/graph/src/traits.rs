@@ -93,6 +93,13 @@ pub trait Graph: Sync {
         self.for_each_neighbor(u, &mut |_, w| total += w);
         total
     }
+
+    /// Hints that the caller will soon iterate the neighbourhoods of `nodes`, in the
+    /// given order. Purely an optimisation hint: implementations may start readahead
+    /// (the [`PagedGraph`](crate::store::PagedGraph) hands the order to its page-cache
+    /// prefetcher), and the default for in-memory representations does nothing.
+    /// Results of subsequent accesses are never affected.
+    fn prefetch(&self, _nodes: &[NodeId]) {}
 }
 
 /// Blanket implementation so `&G` can be passed wherever a `Graph` is expected.
@@ -117,6 +124,9 @@ impl<G: Graph + ?Sized> Graph for &G {
     }
     fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, EdgeWeight)) {
         (**self).for_each_neighbor(u, f)
+    }
+    fn prefetch(&self, nodes: &[NodeId]) {
+        (**self).prefetch(nodes)
     }
     fn for_each_neighbor_indexed(&self, u: NodeId, f: &mut dyn FnMut(usize, NodeId, EdgeWeight)) {
         (**self).for_each_neighbor_indexed(u, f)

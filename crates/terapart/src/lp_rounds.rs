@@ -48,6 +48,15 @@ pub(crate) trait LpRoundSemantics {
     /// `frontier` (when enabled), and returns the number of moves performed.
     fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize;
 
+    /// Called with the round's final (shuffled) visit order immediately before
+    /// [`run_round`](Self::run_round). Implementations forward it to the graph's
+    /// [`prefetch`](graph::Graph::prefetch) hint so a paged graph can start readahead
+    /// of exactly the neighbourhoods the round will decode — the visit order is known
+    /// one round ahead (the collected frontier), which is what lets the cold sweep
+    /// overlap disk with compute. Purely an optimisation hook; the default does
+    /// nothing.
+    fn prefetch_round(&mut self, _order: &[NodeId]) {}
+
     /// Whether vertices carried across rounds *outside* the frontier bitsets (waiters)
     /// may still produce work; an empty collected frontier only ends the loop when this
     /// is `false`.
@@ -105,6 +114,7 @@ pub(crate) fn drive_lp_rounds<S: LpRoundSemantics>(
         } else {
             None
         };
+        semantics.prefetch_round(&order);
         let moved = semantics.run_round(&order, frontier);
         if frontier.is_some() {
             semantics.after_round(&scratch.next_active);

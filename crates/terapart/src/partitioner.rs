@@ -48,6 +48,9 @@ pub struct PartitionResult {
     pub phase_reports: Vec<PhaseReport>,
     /// Aggregated refinement statistics over all levels.
     pub refinement: RefinementStats,
+    /// Page-cache counters of the run — `Some` only for the on-disk entry points
+    /// ([`partition_ondisk`]), snapshotted after the prefetch queue drained.
+    pub cache_stats: Option<graph::store::CacheStatsSnapshot>,
 }
 
 /// Materialises any graph representation as an (unsorted-weight-preserving) CSR graph.
@@ -208,6 +211,7 @@ pub fn partition_with_tracker(
         phase_reports: tracker.reports(),
         refinement,
         partition,
+        cache_stats: None,
     }
 }
 
@@ -272,7 +276,12 @@ pub fn partition_ondisk_with_tracker(
     let graph = tracker.run("open_store", 0, || {
         PagedGraph::open_with_options(path, &config.ondisk)
     })?;
-    Ok(partition_with_tracker(&graph, config, tracker))
+    let mut result = partition_with_tracker(&graph, config, tracker);
+    // Let queued readahead hints drain so the snapshot's prefetch counters are settled
+    // (prefetch itself never affects results, only cache residency).
+    graph.wait_prefetch_idle();
+    result.cache_stats = Some(graph.cache_stats());
+    Ok(result)
 }
 
 #[cfg(test)]
