@@ -298,7 +298,7 @@ pub fn write_pipeline_json(
             .sum::<f64>();
         let cache = run.cache.unwrap_or_default();
         out.push_str(&format!(
-            "    {{\"page_budget_bytes\": {}, \"page_size_bytes\": {}, \"prefetch\": {}, \"seconds\": {:.6}, \"open_store_seconds\": {:.6}, \"peak_bytes\": {}, \"csr_bytes\": {}, \"peak_vs_csr\": {:.3}, \"edge_cut\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"prefetched_pages\": {}}}{}\n",
+            "    {{\"page_budget_bytes\": {}, \"page_size_bytes\": {}, \"prefetch\": {}, \"seconds\": {:.6}, \"open_store_seconds\": {:.6}, \"peak_bytes\": {}, \"csr_bytes\": {}, \"peak_vs_csr\": {:.3}, \"edge_cut\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"prefetched_pages\": {}, \"retried_reads\": {}, \"checksum_failures\": {}}}{}\n",
             run.page_budget_bytes,
             run.page_size_bytes,
             run.prefetch,
@@ -312,6 +312,8 @@ pub fn write_pipeline_json(
             cache.misses,
             cache.hit_rate(),
             cache.prefetched_pages,
+            cache.retried_reads,
+            cache.checksum_failures,
             if i + 1 < ondisk.len() { "," } else { "" }
         ));
     }

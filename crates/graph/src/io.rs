@@ -27,6 +27,12 @@ pub enum IoError {
     Io(io::Error),
     /// The file is syntactically or semantically malformed.
     Format(String),
+    /// The bytes were read successfully but failed checksum verification. Unlike
+    /// [`IoError::Format`] this is treated as *transient* by retrying readers: a bit
+    /// flipped in flight (bus, cable, controller) heals on a clean re-read, while
+    /// persistent on-disk corruption exhausts the retry budget and still surfaces
+    /// structurally.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -34,11 +40,68 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {}", e),
             IoError::Format(msg) => write!(f, "format error: {}", msg),
+            IoError::Corrupt(msg) => write!(f, "corruption detected: {}", msg),
         }
     }
 }
 
-impl std::error::Error for IoError {}
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl IoError {
+    /// `true` when retrying the failed operation could plausibly succeed: transient
+    /// I/O errors (interrupted syscalls, `EIO` from a momentarily unhappy device) and
+    /// checksum mismatches. Structural errors — malformed files, out-of-range reads,
+    /// missing paths, permission failures — are permanent and retrying them only
+    /// delays the structured failure.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            IoError::Io(e) => io_error_is_transient(e),
+            IoError::Format(_) => false,
+            IoError::Corrupt(_) => true,
+        }
+    }
+}
+
+/// Retryability of an open-time failure — wider than [`IoError::is_transient`]:
+/// a corrupted header or index *read* parses into arbitrary format/EOF errors
+/// before any checksum can vouch for the bytes, and only a clean re-read
+/// distinguishes that from a genuinely malformed file. Everything except the
+/// errors that describe the request rather than the data (missing path,
+/// permissions, invalid arguments) is worth the retry budget; retrying a truly
+/// bad file costs a few extra small reads before the same structured error.
+pub(crate) fn open_error_is_retryable(e: &IoError) -> bool {
+    match e {
+        IoError::Format(_) | IoError::Corrupt(_) => true,
+        IoError::Io(err) => !matches!(
+            err.kind(),
+            io::ErrorKind::NotFound
+                | io::ErrorKind::PermissionDenied
+                | io::ErrorKind::InvalidInput
+                | io::ErrorKind::Unsupported
+        ),
+    }
+}
+
+/// Retryability of a raw [`io::Error`]: everything except the kinds that describe a
+/// structural property of the file or the request (which no retry can change).
+pub(crate) fn io_error_is_transient(e: &io::Error) -> bool {
+    !matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::PermissionDenied
+            | io::ErrorKind::InvalidInput
+            | io::ErrorKind::InvalidData
+            | io::ErrorKind::Unsupported
+    )
+}
 
 impl From<io::Error> for IoError {
     fn from(e: io::Error) -> Self {

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod builder;
+pub mod checksum;
 pub mod compressed;
 pub mod csr;
 pub mod gen;

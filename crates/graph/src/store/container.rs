@@ -5,12 +5,13 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "TPGS"
-//! 4       4     version (u32, currently 2; v1 files remain readable)
+//! 4       4     version (u32, currently 3; v1 and v2 files remain readable)
 //! 8       4     flags   (bit 0: edge weighted, bit 1: node weighted,
 //!                        bit 2: interval encoding, bit 3: compressed edge weights)
 //! 12      1     id width in bytes the writer was built with (4 or 8; v1 files carry 0
 //!               here and imply 4)
-//! 13      3     reserved (zero)
+//! 13      1     v3: log2 of the checksum block length (zero in v1/v2 files)
+//! 14      2     reserved (zero)
 //! 16      8     n (vertices)
 //! 24      8     m (undirected edges)
 //! 32      8     total node weight
@@ -24,39 +25,72 @@
 //!               format to the in-memory CompressedGraph)
 //! …       —     offset index: n + 1 u64 byte offsets into the data section
 //! …       —     node weights: n u64 values, present iff flag bit 1 is set
+//! …       —     v3 checksum footer:
+//!                 magic "TPGC" (4 bytes)
+//!                 per-block crc32 of the data section, ceil(data_len / B) u32 values
+//!                   where B = 1 << header byte 13
+//!                 crc32 of the offset index (4 bytes)
+//!                 crc32 of the node-weight section (4 bytes; crc of zero bytes when
+//!                   the section is absent)
+//!                 crc32 of the final 88-byte header (4 bytes)
 //! ```
 //!
-//! The offset index and node weights sit *after* the data section so [`TpgWriter`] can
-//! stream neighbourhoods straight to disk behind a fixed-size header placeholder and
-//! only seek back once, at [`TpgWriter::finish`], to patch the header. The writer's
-//! live memory is the offset index under construction plus one encode buffer —
-//! `O(n + max_degree)` bytes, never `O(m)` — which is what lets instances larger than
-//! RAM be produced and consumed on this machine.
+//! The offset index, node weights and checksum footer sit *after* the data section so
+//! [`TpgWriter`] can stream neighbourhoods straight to disk behind a fixed-size header
+//! placeholder and only write the header once, at [`TpgWriter::finish`], when the
+//! totals (and the header checksum) are known. The writer's live memory is the offset
+//! index under construction plus one encode buffer and one crc per data block —
+//! `O(n + max_degree + data_len / B)` bytes, never `O(m)` — which is what lets
+//! instances larger than RAM be produced and consumed on this machine.
+//!
+//! # Fault tolerance (v3)
+//!
+//! Every section of a v3 container is covered by a crc32: the data section at block
+//! granularity (so the paged reader can verify exactly the pages it touches), the
+//! offset index, the node weights and the header itself. Verification failures surface
+//! as [`IoError::Corrupt`] — never a panic and never a silently wrong graph. The
+//! writer is crash-safe: it streams into a hidden temp file in the destination
+//! directory and atomically renames it over the destination only after `fsync`
+//! succeeds, so a crashed or failed write can never leave a truncated `.tpg` under the
+//! destination name. v1/v2 files carry no checksums and are read with verification
+//! disabled.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::checksum::{crc32, Crc32};
 use crate::compressed::{
     decode_neighborhood, encode_neighborhood, CompressedGraph, CompressionConfig,
 };
 use crate::csr::CsrGraph;
 use crate::ids::{self, IdWidth};
 use crate::io::{
-    checked_node_count, for_each_metis_vertex, read_exact_u32, read_exact_u64, IoError,
-    BINARY_MAGIC,
+    checked_node_count, for_each_metis_vertex, open_error_is_retryable, read_exact_u32,
+    read_exact_u64, IoError, BINARY_MAGIC,
 };
+use crate::store::backend::{read_full_at, FileBackend, StorageBackend};
+use crate::store::paged::RetryPolicy;
 use crate::traits::Graph;
 use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 
 /// Magic bytes of the `.tpg` container.
 pub const TPG_MAGIC: &[u8; 4] = b"TPGS";
 /// Container format version. Version 2 added the explicit id-width byte in the
-/// previously reserved header field; version 1 files (implicit 32-bit width) are still
-/// accepted by the reader.
-pub const TPG_VERSION: u32 = 2;
+/// previously reserved header field; version 3 added the crc32 checksum footer and the
+/// block-length byte. Version 1 and 2 files (no checksums) are still accepted by the
+/// reader.
+pub const TPG_VERSION: u32 = 3;
 /// Size of the fixed header in bytes.
 pub const TPG_HEADER_LEN: u64 = 88;
+/// Magic bytes of the v3 checksum footer.
+pub const TPG_FOOTER_MAGIC: &[u8; 4] = b"TPGC";
+/// Default checksum block length of the data section (64 KiB — the default page size
+/// of the paged reader, so page-granular reads verify exactly one block).
+pub const TPG_CHECKSUM_BLOCK_LEN: usize = 64 * 1024;
+/// Admissible log2 range of the checksum block length (64 B .. 1 GiB).
+const TPG_BLOCK_LOG2_RANGE: std::ops::RangeInclusive<u32> = 6..=30;
 
 const FLAG_EDGE_WEIGHTED: u32 = 1 << 0;
 const FLAG_NODE_WEIGHTED: u32 = 1 << 1;
@@ -66,7 +100,7 @@ const FLAG_COMPRESS_EDGE_WEIGHTS: u32 = 1 << 3;
 /// Parsed `.tpg` header plus derived section positions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TpgMeta {
-    /// Format version the file was written with (1 or 2).
+    /// Format version the file was written with (1, 2 or 3).
     pub version: u32,
     /// ID width in bytes the writer was built with (4 or 8). Advisory: the data
     /// section is VarInt-encoded and therefore width-agnostic, so any file whose
@@ -91,6 +125,9 @@ pub struct TpgMeta {
     pub config: CompressionConfig,
     /// Length of the encoded data section in bytes.
     pub data_len: u64,
+    /// Checksum block length of the data section (v3 files), or `None` for v1/v2
+    /// files, which carry no checksums and are read with verification disabled.
+    pub checksum_block_len: Option<u32>,
 }
 
 impl TpgMeta {
@@ -108,6 +145,37 @@ impl TpgMeta {
     /// `node_weighted`).
     pub fn node_weights_start(&self) -> u64 {
         self.offsets_start() + 8 * (self.n as u64 + 1)
+    }
+
+    /// Number of checksum blocks covering the data section (0 for v1/v2 files).
+    pub fn checksum_block_count(&self) -> u64 {
+        match self.checksum_block_len {
+            Some(b) => self.data_len.div_ceil(u64::from(b)),
+            None => 0,
+        }
+    }
+
+    /// Byte offset of the v3 checksum footer (== end of file for v1/v2 files).
+    pub fn footer_start(&self) -> u64 {
+        self.node_weights_start()
+            + if self.node_weighted {
+                8 * self.n as u64
+            } else {
+                0
+            }
+    }
+
+    /// Length of the v3 checksum footer in bytes (0 for v1/v2 files).
+    pub fn footer_len(&self) -> u64 {
+        if self.checksum_block_len.is_none() {
+            return 0;
+        }
+        4 + 4 * self.checksum_block_count() + 12
+    }
+
+    /// Byte offset of the stored header crc32 (the last 4 bytes of the v3 footer).
+    pub(crate) fn header_crc_pos(&self) -> u64 {
+        self.footer_start() + self.footer_len() - 4
     }
 
     /// Size in bytes of the uncompressed CSR representation of the stored graph — the
@@ -142,11 +210,43 @@ pub struct TpgSummary {
     pub file_bytes: u64,
 }
 
+/// Flush threshold of the writer's append buffer.
+const WRITER_FLUSH_LEN: usize = 256 * 1024;
+
+/// Process-wide counter making concurrent writers' temp-file names unique.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Hidden temp-file path in the destination's directory (same filesystem, so the
+/// commit rename is atomic).
+fn temp_path_for(dst: &Path) -> Result<PathBuf, IoError> {
+    let name = dst
+        .file_name()
+        .ok_or_else(|| IoError::Format(format!(".tpg path {:?} has no file name", dst)))?;
+    let id = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    Ok(dst.with_file_name(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        id
+    )))
+}
+
 /// Streaming `.tpg` writer: feed neighbourhoods in vertex order, then [`finish`].
+///
+/// The path-based constructor is crash-safe: bytes stream into a hidden temp file next
+/// to the destination and the destination only comes into existence through an atomic
+/// rename after a successful `fsync` in [`finish`]. Dropping an unfinished writer (or
+/// any error path) removes the temp file, so no partial container ever leaks.
 ///
 /// [`finish`]: TpgWriter::finish
 pub struct TpgWriter {
-    out: BufWriter<File>,
+    out: Box<dyn StorageBackend>,
+    /// Append buffer between the encode path and the backend.
+    buf: Vec<u8>,
+    /// Temp and destination paths of the crash-safe path-based writer; `None` when
+    /// writing to a caller-provided backend.
+    paths: Option<(PathBuf, PathBuf)>,
+    committed: bool,
     config: CompressionConfig,
     /// Whether the source graph carries edge weights (controls weight encoding together
     /// with [`CompressionConfig::compress_edge_weights`]).
@@ -161,6 +261,14 @@ pub struct TpgWriter {
     max_degree: usize,
     half_edges: usize,
     encode_buf: Vec<u8>,
+    /// Checksum block length of the data section.
+    block_len: usize,
+    /// Completed per-block crc32 values of the data section.
+    block_crcs: Vec<u32>,
+    /// Streaming crc of the block currently being filled.
+    block_crc: Crc32,
+    /// Bytes absorbed into `block_crc` so far.
+    block_fill: usize,
 }
 
 impl TpgWriter {
@@ -172,15 +280,45 @@ impl TpgWriter {
         edge_weighted: bool,
         config: &CompressionConfig,
     ) -> Result<Self, IoError> {
+        let dst = path.as_ref().to_path_buf();
+        let tmp = temp_path_for(&dst)?;
+        let backend = FileBackend::create(&tmp)?;
+        Self::with_backend(
+            Box::new(backend),
+            Some((tmp, dst)),
+            n,
+            edge_weighted,
+            config,
+        )
+    }
+
+    /// Creates a writer streaming into a caller-provided backend (no temp file or
+    /// commit rename — the fault-injection seam). The backend must be empty.
+    pub fn create_with_backend(
+        out: Box<dyn StorageBackend>,
+        n: usize,
+        edge_weighted: bool,
+        config: &CompressionConfig,
+    ) -> Result<Self, IoError> {
+        Self::with_backend(out, None, n, edge_weighted, config)
+    }
+
+    fn with_backend(
+        out: Box<dyn StorageBackend>,
+        paths: Option<(PathBuf, PathBuf)>,
+        n: usize,
+        edge_weighted: bool,
+        config: &CompressionConfig,
+    ) -> Result<Self, IoError> {
         checked_node_count(n, ".tpg vertex count")?;
-        let file = File::create(path)?;
-        let mut out = BufWriter::new(file);
-        // Placeholder header, patched in `finish` once the totals are known.
-        out.write_all(&[0u8; TPG_HEADER_LEN as usize])?;
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);
         Ok(Self {
             out,
+            // Placeholder header, overwritten in `finish` once the totals are known.
+            buf: vec![0u8; TPG_HEADER_LEN as usize],
+            paths,
+            committed: false,
             config: config.clone(),
             edge_weighted,
             n,
@@ -193,7 +331,70 @@ impl TpgWriter {
             max_degree: 0,
             half_edges: 0,
             encode_buf: Vec::new(),
+            block_len: TPG_CHECKSUM_BLOCK_LEN,
+            block_crcs: Vec::new(),
+            block_crc: Crc32::new(),
+            block_fill: 0,
         })
+    }
+
+    /// Overrides the checksum block length (must be a power of two in the format's
+    /// admissible range, before any neighbourhood is pushed). Smaller blocks mean
+    /// finer-grained corruption detection at the cost of a larger footer.
+    pub fn with_checksum_block_len(mut self, block_len: usize) -> Self {
+        assert!(
+            block_len.is_power_of_two()
+                && TPG_BLOCK_LOG2_RANGE.contains(&block_len.trailing_zeros()),
+            "checksum block length {} not a power of two in 2^{}..=2^{}",
+            block_len,
+            TPG_BLOCK_LOG2_RANGE.start(),
+            TPG_BLOCK_LOG2_RANGE.end(),
+        );
+        assert_eq!(
+            self.next_vertex, 0,
+            "checksum block length must be set before pushing neighbourhoods"
+        );
+        self.block_len = block_len;
+        self
+    }
+
+    /// Byte offset of the end of the data section written so far.
+    fn last_offset(&self) -> u64 {
+        self.offsets.last().copied().unwrap_or(0)
+    }
+
+    /// Buffers `bytes` for appending; flushes to the backend past the threshold.
+    fn buffered_write(&mut self, bytes: &[u8]) -> Result<(), IoError> {
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() >= WRITER_FLUSH_LEN {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> Result<(), IoError> {
+        if !self.buf.is_empty() {
+            self.out.append(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Appends data-section bytes, folding them into the per-block streaming crc.
+    fn write_data(&mut self, bytes: &[u8]) -> Result<(), IoError> {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let room = self.block_len - self.block_fill;
+            let take = room.min(rest.len());
+            self.block_crc.update(&rest[..take]);
+            self.block_fill += take;
+            if self.block_fill == self.block_len {
+                self.block_crcs.push(self.block_crc.take());
+                self.block_fill = 0;
+            }
+            rest = &rest[take..];
+        }
+        self.buffered_write(bytes)
     }
 
     /// Appends the neighbourhood of the next vertex (vertices must be pushed in ID
@@ -210,18 +411,22 @@ impl TpgWriter {
             "neighbourhoods must be pushed in vertex order"
         );
         assert!(self.next_vertex < self.n, "vertex {} out of range", u);
-        self.encode_buf.clear();
+        let mut encode_buf = std::mem::take(&mut self.encode_buf);
+        encode_buf.clear();
         encode_neighborhood(
             u,
             self.first_edge,
             neighbors,
             self.edge_weighted && self.config.compress_edge_weights,
             &self.config,
-            &mut self.encode_buf,
+            &mut encode_buf,
         );
-        self.out.write_all(&self.encode_buf)?;
-        let last = *self.offsets.last().unwrap();
-        self.offsets.push(last + self.encode_buf.len() as u64);
+        let written = self.write_data(&encode_buf);
+        let encoded_len = encode_buf.len() as u64;
+        self.encode_buf = encode_buf;
+        written?;
+        let last = self.last_offset();
+        self.offsets.push(last + encoded_len);
         self.first_edge += neighbors.len() as EdgeId;
         self.half_edges += neighbors.len();
         self.max_degree = self.max_degree.max(neighbors.len());
@@ -258,8 +463,21 @@ impl TpgWriter {
             section.first_vertex + section.vertex_count,
             self.n
         );
-        self.out.write_all(&section.bytes)?;
-        let mut last = *self.offsets.last().unwrap();
+        // The section travelled through a channel between an encoder worker and this
+        // writer; re-derive its crc so corruption in flight is caught before the bytes
+        // reach disk with a checksum vouching for them.
+        let actual = crc32(&section.bytes);
+        if actual != section.crc {
+            return Err(IoError::Corrupt(format!(
+                "encoded section [{}, {}) checksum mismatch: encoder {:#010x}, commit {:#010x}",
+                section.first_vertex,
+                section.first_vertex + section.vertex_count,
+                section.crc,
+                actual
+            )));
+        }
+        self.write_data(&section.bytes)?;
+        let mut last = self.last_offset();
         for &size in &section.sizes {
             last += u64::from(size);
             self.offsets.push(last);
@@ -276,22 +494,38 @@ impl TpgWriter {
         Ok(())
     }
 
-    /// Writes the offset index and node weights, patches the header and syncs the file.
+    /// Writes the offset index, node weights and checksum footer, writes the header,
+    /// syncs the file and — for path-based writers — atomically renames the temp file
+    /// over the destination.
     pub fn finish(mut self) -> Result<TpgSummary, IoError> {
         assert_eq!(
             self.next_vertex, self.n,
             "expected {} vertices, got {}",
             self.n, self.next_vertex
         );
-        let data_len = *self.offsets.last().unwrap();
-        for &offset in &self.offsets {
-            self.out.write_all(&offset.to_le_bytes())?;
+        let data_len = self.last_offset();
+        // Seal the final partial data block.
+        if self.block_fill > 0 {
+            self.block_crcs.push(self.block_crc.take());
+            self.block_fill = 0;
+        }
+        let offsets = std::mem::take(&mut self.offsets);
+        let mut offsets_crc = Crc32::new();
+        for &offset in &offsets {
+            let bytes = offset.to_le_bytes();
+            offsets_crc.update(&bytes);
+            self.buffered_write(&bytes)?;
         }
         let node_weighted = self.any_node_weight;
+        let mut weights_crc = Crc32::new();
         if node_weighted {
-            for &w in &self.node_weights {
-                self.out.write_all(&w.to_le_bytes())?;
+            let weights = std::mem::take(&mut self.node_weights);
+            for &w in &weights {
+                let bytes = w.to_le_bytes();
+                weights_crc.update(&bytes);
+                self.buffered_write(&bytes)?;
             }
+            self.node_weights = weights;
         }
         let total_node_weight: NodeWeight = if node_weighted {
             self.node_weights.iter().sum()
@@ -315,8 +549,10 @@ impl TpgWriter {
         header.extend_from_slice(TPG_MAGIC);
         header.extend_from_slice(&TPG_VERSION.to_le_bytes());
         header.extend_from_slice(&flags.to_le_bytes());
-        // v2: low byte of the reserved field records the writer's id width.
-        header.extend_from_slice(&u32::from(ids::NODE_ID_BYTES).to_le_bytes());
+        // v3 reserved field: byte 0 the writer's id width, byte 1 the log2 of the
+        // checksum block length.
+        let block_log2 = self.block_len.trailing_zeros() as u8;
+        header.extend_from_slice(&[ids::NODE_ID_BYTES, block_log2, 0, 0]);
         header.extend_from_slice(&(self.n as u64).to_le_bytes());
         header.extend_from_slice(&((self.half_edges / 2) as u64).to_le_bytes());
         header.extend_from_slice(&total_node_weight.to_le_bytes());
@@ -327,18 +563,44 @@ impl TpgWriter {
         header.extend_from_slice(&(self.config.min_interval_len as u64).to_le_bytes());
         header.extend_from_slice(&data_len.to_le_bytes());
         debug_assert_eq!(header.len() as u64, TPG_HEADER_LEN);
-        self.out.flush()?;
-        let file = self.out.get_mut();
-        file.seek(SeekFrom::Start(0))?;
-        file.write_all(&header)?;
-        file.sync_all()?;
-        let file_bytes = file.metadata()?.len();
+        // Checksum footer: per-block data crcs, section crcs, then the header crc
+        // (computable only now that the header bytes are final).
+        let block_crcs = std::mem::take(&mut self.block_crcs);
+        self.buffered_write(TPG_FOOTER_MAGIC)?;
+        for &c in &block_crcs {
+            self.buffered_write(&c.to_le_bytes())?;
+        }
+        self.buffered_write(&offsets_crc.finalize().to_le_bytes())?;
+        self.buffered_write(&weights_crc.finalize().to_le_bytes())?;
+        self.buffered_write(&crc32(&header).to_le_bytes())?;
+        self.flush_buf()?;
+        self.out.write_at(0, &header)?;
+        // fsync before the commit rename: the destination name must never refer to
+        // bytes that could still be lost in the page cache.
+        self.out.sync()?;
+        let file_bytes = self.out.len()?;
+        if let Some((tmp, dst)) = self.paths.take() {
+            std::fs::rename(&tmp, &dst)?;
+        }
+        self.committed = true;
         Ok(TpgSummary {
             n: self.n,
             m: self.half_edges / 2,
             data_bytes: data_len,
             file_bytes,
         })
+    }
+}
+
+impl Drop for TpgWriter {
+    fn drop(&mut self) {
+        // An unfinished (or failed) path-based writer removes its temp file so error
+        // paths never leak partial containers.
+        if !self.committed {
+            if let Some((tmp, _)) = &self.paths {
+                let _ = std::fs::remove_file(tmp);
+            }
+        }
     }
 }
 
@@ -373,6 +635,9 @@ pub struct EncodedSection {
     total_edge_weight: EdgeWeight,
     /// Maximum degree within the section.
     max_degree: usize,
+    /// crc32 of `bytes`, computed streaming by the encoder and re-verified by
+    /// [`TpgWriter::push_section`] before the bytes reach disk.
+    crc: u32,
 }
 
 impl EncodedSection {
@@ -396,6 +661,8 @@ pub struct SectionEncoder {
     next_vertex: usize,
     first_edge: EdgeId,
     section: EncodedSection,
+    /// Streaming crc over the section bytes encoded so far.
+    crc: Crc32,
 }
 
 impl SectionEncoder {
@@ -423,7 +690,9 @@ impl SectionEncoder {
                 half_edges: 0,
                 total_edge_weight: 0,
                 max_degree: 0,
+                crc: 0,
             },
+            crc: Crc32::new(),
         }
     }
 
@@ -449,6 +718,7 @@ impl SectionEncoder {
             &self.config,
             &mut self.section.bytes,
         );
+        self.crc.update(&self.section.bytes[before..]);
         self.section
             .sizes
             .push((self.section.bytes.len() - before) as u32);
@@ -462,16 +732,40 @@ impl SectionEncoder {
     }
 
     /// Finalises the section for commit.
-    pub fn finish(self) -> EncodedSection {
+    pub fn finish(mut self) -> EncodedSection {
+        self.section.crc = self.crc.finalize();
         self.section
     }
 }
 
-/// Reads and validates the header of a `.tpg` file.
+/// Reads and validates the header of a `.tpg` file (including the stored header crc32
+/// for v3 files).
 pub fn read_tpg_meta(path: impl AsRef<Path>) -> Result<TpgMeta, IoError> {
-    let file = File::open(path)?;
-    let mut r = BufReader::new(file);
-    read_meta_from(&mut r)
+    let backend = FileBackend::open(path)?;
+    read_tpg_meta_backend(&backend)
+}
+
+/// Backend-generic [`read_tpg_meta`]: parses the header and, for v3 files, verifies it
+/// against the crc32 stored in the checksum footer, so any flipped header bit —
+/// including one in the version or length fields the footer position itself is derived
+/// from — surfaces as a structured error rather than garbage section offsets.
+pub fn read_tpg_meta_backend(backend: &dyn StorageBackend) -> Result<TpgMeta, IoError> {
+    let mut header = [0u8; TPG_HEADER_LEN as usize];
+    read_full_at(backend, &mut header, 0)?;
+    let meta = read_meta_from(&mut &header[..])?;
+    if meta.checksum_block_len.is_some() {
+        let mut stored = [0u8; 4];
+        read_full_at(backend, &mut stored, meta.header_crc_pos())?;
+        let stored = u32::from_le_bytes(stored);
+        let computed = crc32(&header);
+        if computed != stored {
+            return Err(IoError::Corrupt(format!(
+                ".tpg header checksum mismatch: stored {:#010x}, computed {:#010x}",
+                stored, computed
+            )));
+        }
+    }
+    Ok(meta)
 }
 
 fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
@@ -490,7 +784,9 @@ fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
     let flags = read_exact_u32(r)?;
     let reserved = read_exact_u32(r)?;
     // v1 wrote a zero reserved field (implicit 32-bit ids); v2 stores the writer's id
-    // width in the low byte. The remaining bytes stay reserved and must be zero.
+    // width in the low byte; v3 additionally stores the log2 of the checksum block
+    // length in the second byte. The remaining bytes stay reserved and must be zero.
+    let mut checksum_block_len = None;
     let id_width = if version == 1 {
         if reserved != 0 {
             return Err(IoError::Format(format!(
@@ -500,10 +796,23 @@ fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
         }
         <u32 as IdWidth>::BYTES
     } else {
-        if reserved >> 8 != 0 {
+        let reserved_tail = if version == 2 {
+            reserved >> 8
+        } else {
+            let block_log2 = (reserved >> 8) & 0xff;
+            if !TPG_BLOCK_LOG2_RANGE.contains(&block_log2) {
+                return Err(IoError::Format(format!(
+                    "unsupported .tpg checksum block length 2^{}",
+                    block_log2
+                )));
+            }
+            checksum_block_len = Some(1u32 << block_log2);
+            reserved >> 16
+        };
+        if reserved_tail != 0 {
             return Err(IoError::Format(format!(
-                "non-zero reserved bytes {:#x} in a v2 .tpg header",
-                reserved >> 8
+                "non-zero reserved bytes {:#x} in a v{} .tpg header",
+                reserved_tail, version
             )));
         }
         match (reserved & 0xff) as u8 {
@@ -546,33 +855,221 @@ fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
             min_interval_len,
         },
         data_len,
+        checksum_block_len,
     })
 }
 
-/// Reads the offset index and (optional) node weights of an open `.tpg` file.
-pub(crate) fn read_tpg_index(
-    file: &mut File,
-    meta: &TpgMeta,
-) -> Result<(Vec<u64>, Vec<NodeWeight>), IoError> {
-    file.seek(SeekFrom::Start(meta.offsets_start()))?;
-    let mut r = BufReader::new(file);
-    let mut offsets = Vec::with_capacity(meta.n + 1);
-    for _ in 0..=meta.n {
-        offsets.push(read_exact_u64(&mut r)?);
+/// The per-block data-section checksums of an open v3 container, held by readers that
+/// verify pages incrementally (the paged graph).
+#[derive(Debug, Clone)]
+pub(crate) struct TpgChecksums {
+    /// Block length the data section was checksummed at.
+    pub(crate) block_len: u32,
+    /// crc32 of each `block_len`-sized data block (the last one may be shorter).
+    pub(crate) blocks: Vec<u32>,
+}
+
+/// Decodes a little-endian u32 from the first 4 bytes of `bytes`.
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(raw)
+}
+
+/// Decodes a little-endian u64 from the first 8 bytes of `bytes`.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(raw)
+}
+
+/// Chunk size of the section readers: large enough to amortise syscalls, small enough
+/// to keep the transient buffer out of the accounted budget's way.
+const SECTION_READ_CHUNK: usize = 64 * 1024;
+
+/// Reads `count` little-endian u64 values starting at `start`, folding the raw bytes
+/// into `crc`.
+fn read_u64_section(
+    backend: &dyn StorageBackend,
+    start: u64,
+    count: usize,
+    crc: &mut Crc32,
+) -> Result<Vec<u64>, IoError> {
+    let mut out = Vec::with_capacity(count);
+    let mut chunk = vec![0u8; SECTION_READ_CHUNK.min(count.max(1) * 8)];
+    let mut offset = start;
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len() / 8);
+        let bytes = &mut chunk[..take * 8];
+        read_full_at(backend, bytes, offset)?;
+        crc.update(bytes);
+        for i in 0..take {
+            out.push(le_u64(&bytes[i * 8..]));
+        }
+        offset += (take * 8) as u64;
+        remaining -= take;
     }
-    if *offsets.last().unwrap() != meta.data_len {
-        return Err(IoError::Format(
-            "offset index does not cover the data section".into(),
-        ));
+    Ok(out)
+}
+
+/// Reads `count` little-endian u32 values starting at `start`.
+fn read_u32_section(
+    backend: &dyn StorageBackend,
+    start: u64,
+    count: usize,
+) -> Result<Vec<u32>, IoError> {
+    let mut out = Vec::with_capacity(count);
+    let mut chunk = vec![0u8; SECTION_READ_CHUNK.min(count.max(1) * 4)];
+    let mut offset = start;
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len() / 4);
+        let bytes = &mut chunk[..take * 4];
+        read_full_at(backend, bytes, offset)?;
+        for i in 0..take {
+            out.push(le_u32(&bytes[i * 4..]));
+        }
+        offset += (take * 4) as u64;
+        remaining -= take;
     }
-    let mut node_weights = Vec::new();
-    if meta.node_weighted {
-        node_weights.reserve(meta.n);
-        for _ in 0..meta.n {
-            node_weights.push(read_exact_u64(&mut r)?);
+    Ok(out)
+}
+
+/// Offset index, node weights and (v3 only) checksum footer of an open container.
+pub(crate) type TpgIndexParts = (Vec<u64>, Vec<NodeWeight>, Option<TpgChecksums>);
+
+/// Runs one retryable unit of the open path under `retry`, re-attempting every
+/// failure [`open_error_is_retryable`] admits (transient I/O *and* checksum or
+/// format errors — corrupt reads parse into arbitrary nonsense, so only a clean
+/// re-read can acquit the bytes). Retries taken are added to `retries`.
+pub(crate) fn retry_section<T>(
+    retry: &RetryPolicy,
+    retries: &mut u64,
+    mut op: impl FnMut() -> Result<T, IoError>,
+) -> Result<T, IoError> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt >= retry.max_retries || !open_error_is_retryable(&e) {
+                    return Err(e);
+                }
+                *retries += 1;
+                std::thread::sleep(retry.delay_for(attempt));
+                attempt += 1;
+            }
         }
     }
-    Ok((offsets, node_weights))
+}
+
+/// Reads the offset index, (optional) node weights and — for v3 files — the checksum
+/// footer of an open `.tpg` container, verifying the index and weight sections against
+/// their stored crcs.
+///
+/// Each section is read, verified and *retried* as its own unit (footer first, so the
+/// stored crcs are in hand when the sections they cover arrive): under a flaky
+/// backend, a fault in one section only re-reads that section, which keeps the
+/// whole-open success probability high where an all-or-nothing retry of the full
+/// header/index chain would almost never see a fault-free pass. Retries taken are
+/// added to `retries`.
+pub(crate) fn read_tpg_index_backend(
+    backend: &dyn StorageBackend,
+    meta: &TpgMeta,
+    retry: &RetryPolicy,
+    retries: &mut u64,
+) -> Result<TpgIndexParts, IoError> {
+    // Footer first (v3): magic, per-block data crcs and the stored section crcs.
+    let footer = match meta.checksum_block_len {
+        None => None,
+        Some(block_len) => Some(retry_section(retry, retries, || {
+            let mut pos = meta.footer_start();
+            let mut magic = [0u8; 4];
+            read_full_at(backend, &mut magic, pos)?;
+            if &magic != TPG_FOOTER_MAGIC {
+                return Err(IoError::Format("missing .tpg v3 checksum footer".into()));
+            }
+            pos += 4;
+            let count = meta.checksum_block_count() as usize;
+            let blocks = read_u32_section(backend, pos, count)?;
+            pos += 4 * count as u64;
+            let mut tail = [0u8; 12];
+            read_full_at(backend, &mut tail, pos)?;
+            // tail[8..12] is the header crc, verified at meta-read time.
+            Ok((
+                TpgChecksums { block_len, blocks },
+                le_u32(&tail[0..]),
+                le_u32(&tail[4..]),
+            ))
+        })?),
+    };
+    let stored_offsets = footer.as_ref().map(|(_, offsets_crc, _)| *offsets_crc);
+    let stored_weights = footer.as_ref().map(|(_, _, weights_crc)| *weights_crc);
+
+    let offsets = retry_section(retry, retries, || {
+        let mut crc = Crc32::new();
+        let offsets = read_u64_section(backend, meta.offsets_start(), meta.n + 1, &mut crc)?;
+        if let Some(stored) = stored_offsets {
+            let computed = crc.finalize();
+            if computed != stored {
+                return Err(IoError::Corrupt(format!(
+                    ".tpg offset index checksum mismatch: stored {:#010x}, computed {:#010x}",
+                    stored, computed
+                )));
+            }
+        }
+        if offsets.last().copied().unwrap_or(0) != meta.data_len {
+            return Err(IoError::Format(
+                "offset index does not cover the data section".into(),
+            ));
+        }
+        Ok(offsets)
+    })?;
+
+    let node_weights = retry_section(retry, retries, || {
+        let mut crc = Crc32::new();
+        let weights = if meta.node_weighted {
+            read_u64_section(backend, meta.node_weights_start(), meta.n, &mut crc)?
+        } else {
+            Vec::new()
+        };
+        if let Some(stored) = stored_weights {
+            let computed = crc.finalize();
+            if computed != stored {
+                return Err(IoError::Corrupt(format!(
+                    ".tpg node-weight checksum mismatch: stored {:#010x}, computed {:#010x}",
+                    stored, computed
+                )));
+            }
+        }
+        Ok(weights)
+    })?;
+
+    Ok((offsets, node_weights, footer.map(|(ck, _, _)| ck)))
+}
+
+/// Verifies a fully materialised data section against its per-block crcs.
+pub(crate) fn verify_data_blocks(data: &[u8], checksums: &TpgChecksums) -> Result<(), IoError> {
+    let block_len = checksums.block_len as usize;
+    let expected = data.len().div_ceil(block_len);
+    if checksums.blocks.len() != expected {
+        return Err(IoError::Format(format!(
+            ".tpg footer carries {} block checksums, data section needs {}",
+            checksums.blocks.len(),
+            expected
+        )));
+    }
+    for (i, chunk) in data.chunks(block_len).enumerate() {
+        let computed = crc32(chunk);
+        if computed != checksums.blocks[i] {
+            return Err(IoError::Corrupt(format!(
+                ".tpg data block {} checksum mismatch: stored {:#010x}, computed {:#010x}",
+                i, checksums.blocks[i], computed
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Writes any [`Graph`] into a `.tpg` container. Neighbourhoods are sorted before
@@ -611,10 +1108,10 @@ pub fn write_tpg_from_metis(
                 config,
             )?);
         }
-        writer
-            .as_mut()
-            .unwrap()
-            .push_neighborhood(u, nbrs, node_weight)
+        match writer.as_mut() {
+            Some(w) => w.push_neighborhood(u, nbrs, node_weight),
+            None => unreachable!("writer initialised above"),
+        }
     })?;
     match writer {
         Some(w) => w.finish(),
@@ -742,16 +1239,24 @@ pub fn read_tpg(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> {
 /// [`PagedGraph`](crate::store::PagedGraph) over the same file would — the property the
 /// bit-identical on-disk partitioning tests rely on.
 pub fn read_tpg_compressed(path: impl AsRef<Path>) -> Result<CompressedGraph, IoError> {
-    let mut file = File::open(&path)?;
-    let meta = {
-        let mut r = BufReader::new(&mut file);
-        read_meta_from(&mut r)?
-    };
-    let (offsets, node_weights) = read_tpg_index(&mut file, &meta)?;
-    file.seek(SeekFrom::Start(meta.data_start()))?;
+    let backend = FileBackend::open(&path)?;
+    read_tpg_compressed_backend(&backend)
+}
+
+/// Backend-generic [`read_tpg_compressed`]; v3 containers have every section verified
+/// against the checksum footer before the graph is handed out.
+pub fn read_tpg_compressed_backend(
+    backend: &dyn StorageBackend,
+) -> Result<CompressedGraph, IoError> {
+    let meta = read_tpg_meta_backend(backend)?;
+    // The eager reader surfaces the first failure; retrying is the paged reader's job.
+    let (offsets, node_weights, checksums) =
+        read_tpg_index_backend(backend, &meta, &RetryPolicy::disabled(), &mut 0)?;
     let mut data = vec![0u8; meta.data_len as usize];
-    let mut r = BufReader::new(&mut file);
-    r.read_exact(&mut data)?;
+    read_full_at(backend, &mut data, meta.data_start())?;
+    if let Some(ck) = &checksums {
+        verify_data_blocks(&data, ck)?;
+    }
     Ok(CompressedGraph::from_encoded_parts(
         meta.n,
         meta.m,
@@ -794,6 +1299,8 @@ pub(crate) fn for_each_encoded_neighbor(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::compressed::CompressionConfig;
     use crate::gen;
@@ -937,21 +1444,27 @@ mod tests {
     }
 
     #[test]
-    fn v1_fixture_round_trips_byte_identically_through_the_v2_writer() {
+    fn v1_fixture_round_trips_section_identically_through_the_v3_writer() {
         // Re-encoding the fixture's graph with the current writer must reproduce every
-        // section byte for byte; the fixed-size header may differ only in the version
-        // field and the id-width byte that v2 added to the reserved field.
+        // pre-footer section byte for byte; the fixed-size header may differ only in
+        // the version field and the reserved field (id width + checksum-block log2),
+        // and the only new bytes are the appended v3 checksum footer.
         let g = read_tpg(v1_fixture()).unwrap();
         let rewritten = tmp("v1_rewrite.tpg");
         let meta = read_tpg_meta(v1_fixture()).unwrap();
         write_tpg_from_graph(&g, &rewritten, &meta.config).unwrap();
         let old_bytes = std::fs::read(v1_fixture()).unwrap();
         let new_bytes = std::fs::read(&rewritten).unwrap();
-        assert_eq!(old_bytes.len(), new_bytes.len());
+        let rewritten_meta = read_tpg_meta(&rewritten).unwrap();
+        assert_eq!(
+            new_bytes.len() as u64,
+            old_bytes.len() as u64 + rewritten_meta.footer_len(),
+            "v3 must only append the checksum footer"
+        );
         let header = TPG_HEADER_LEN as usize;
         assert_eq!(
             old_bytes[header..],
-            new_bytes[header..],
+            new_bytes[header..old_bytes.len()],
             "data/offset/node-weight sections must be byte-identical across versions"
         );
         assert_eq!(old_bytes[..4], new_bytes[..4], "magic");
@@ -961,21 +1474,42 @@ mod tests {
         assert_eq!(&old_bytes[12..16], &[0u8; 4], "v1 reserved field is zero");
         assert_eq!(
             &new_bytes[12..16],
-            &u32::from(ids::NODE_ID_BYTES).to_le_bytes(),
-            "v2 records the writer's id width"
+            &[
+                ids::NODE_ID_BYTES,
+                TPG_CHECKSUM_BLOCK_LEN.trailing_zeros() as u8,
+                0,
+                0
+            ],
+            "v3 records the writer's id width and checksum-block length"
         );
         assert_eq!(old_bytes[16..header], new_bytes[16..header], "counts");
-        // And the v2 reader agrees with itself on the rewritten file.
-        let rewritten_meta = read_tpg_meta(&rewritten).unwrap();
+        assert_eq!(
+            &new_bytes[old_bytes.len()..old_bytes.len() + 4],
+            TPG_FOOTER_MAGIC,
+            "footer magic"
+        );
+        // And the v3 reader agrees with itself on the rewritten file.
         assert_eq!(rewritten_meta.version, TPG_VERSION);
         assert_eq!(rewritten_meta.id_width, ids::NODE_ID_BYTES);
+        assert_eq!(
+            rewritten_meta.checksum_block_len,
+            Some(TPG_CHECKSUM_BLOCK_LEN as u32)
+        );
         assert_eq!(rewritten_meta.n, meta.n);
         assert_eq!(rewritten_meta.m, meta.m);
         std::fs::remove_file(rewritten).ok();
     }
 
+    /// Recomputes and re-stamps the v3 header crc after the test patched header bytes,
+    /// so the patch under test (not the checksum) decides the outcome.
+    fn restamp_header_crc(bytes: &mut [u8], meta: &TpgMeta) {
+        let crc = crate::checksum::crc32(&bytes[..TPG_HEADER_LEN as usize]);
+        let pos = meta.header_crc_pos() as usize;
+        bytes[pos..pos + 4].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
-    fn v2_headers_record_and_validate_the_id_width() {
+    fn v3_headers_record_and_validate_the_id_width() {
         let g = gen::grid2d(5, 4);
         let path = tmp("width_byte.tpg");
         write_tpg_from_graph(&g, &path, &CompressionConfig::default()).unwrap();
@@ -987,20 +1521,52 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         let other_width = if ids::NODE_ID_BYTES == 4 { 8u8 } else { 4u8 };
         bytes[12] = other_width;
+        restamp_header_crc(&mut bytes, &meta);
         std::fs::write(&path, &bytes).unwrap();
         assert_eq!(read_tpg_meta(&path).unwrap().id_width, other_width);
         assert_graph_eq(&read_tpg(&path).unwrap(), &g);
-        // An unsupported width byte is rejected loudly.
+        // An unsupported width byte is rejected loudly even with a valid checksum.
         bytes[12] = 3;
+        restamp_header_crc(&mut bytes, &meta);
         std::fs::write(&path, &bytes).unwrap();
         let err = read_tpg_meta(&path).unwrap_err().to_string();
         assert!(err.contains("id width"), "unexpected error: {}", err);
         // Non-zero bytes in the still-reserved remainder are rejected too.
         bytes[12] = ids::NODE_ID_BYTES;
         bytes[14] = 1;
+        restamp_header_crc(&mut bytes, &meta);
         std::fs::write(&path, &bytes).unwrap();
         assert!(read_tpg_meta(&path).is_err());
+        // A patched header *without* a matching re-stamp is caught by the header crc.
+        bytes[14] = 0;
+        bytes[12] = other_width;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_tpg_meta(&path).unwrap_err();
+        assert!(
+            matches!(&err, IoError::Corrupt(msg) if msg.contains("header checksum")),
+            "unexpected error: {}",
+            err
+        );
         std::fs::remove_file(path).ok();
+    }
+
+    /// Path of the checked-in version-2 fixture (written by the pre-checksum writer:
+    /// id-width byte in `reserved`, no footer).
+    fn v2_fixture() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/v2-grid2d-13x9.tpg")
+    }
+
+    #[test]
+    fn v2_fixture_reads_through_the_v3_reader() {
+        let meta = read_tpg_meta(v2_fixture()).unwrap();
+        assert_eq!(meta.version, 2);
+        assert_eq!(
+            meta.checksum_block_len, None,
+            "v2 files carry no checksums; verification must be disabled"
+        );
+        assert_eq!(meta.footer_len(), 0);
+        let g = read_tpg(v2_fixture()).unwrap();
+        assert_graph_eq(&g, &gen::grid2d(13, 9));
     }
 
     #[test]
@@ -1064,6 +1630,102 @@ mod tests {
         let h = read_tpg(&path).unwrap();
         assert_graph_eq(&g, &h);
         assert_eq!(h.degree(1), 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_data_blocks_are_detected_on_read() {
+        let g = gen::weblike(8, 6, 3);
+        let path = tmp("bitrot.tpg");
+        write_tpg_from_graph(&g, &path, &CompressionConfig::default()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the middle of the data section.
+        let mid = TPG_HEADER_LEN as usize + (bytes.len() - TPG_HEADER_LEN as usize) / 4;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_tpg_compressed(&path).unwrap_err();
+        assert!(
+            matches!(&err, IoError::Corrupt(msg) if msg.contains("block")),
+            "unexpected error: {}",
+            err
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn small_checksum_blocks_round_trip_and_detect_corruption() {
+        // A 64-byte block length forces many blocks even on a small instance,
+        // exercising block sealing inside `write_data` and the multi-block footer.
+        let g = gen::with_random_node_weights(&gen::weblike(8, 7, 9), 4, 2);
+        let config = CompressionConfig::default();
+        let path = tmp("small_blocks.tpg");
+        let mut writer = TpgWriter::create(&path, g.n(), g.is_edge_weighted(), &config)
+            .unwrap()
+            .with_checksum_block_len(64);
+        for u in 0..g.n() as NodeId {
+            let mut nbrs = g.neighbors_vec(u);
+            nbrs.sort_unstable_by_key(|&(v, _)| v);
+            writer
+                .push_neighborhood(u, &nbrs, g.node_weight(u))
+                .unwrap();
+        }
+        writer.finish().unwrap();
+        let meta = read_tpg_meta(&path).unwrap();
+        assert_eq!(meta.checksum_block_len, Some(64));
+        assert!(meta.checksum_block_count() > 4, "expected many blocks");
+        assert_graph_eq(&read_tpg(&path).unwrap(), &g);
+        // Corrupt the final (short) block: it is covered too.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = (TPG_HEADER_LEN + meta.data_len) as usize - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_tpg_compressed(&path).unwrap_err(),
+            IoError::Corrupt(_)
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unfinished_writers_leave_no_files_behind() {
+        let dir = std::env::temp_dir();
+        let path = tmp("abandoned.tpg");
+        let tmp_prefix = format!(".{}.tmp.", path.file_name().unwrap().to_string_lossy());
+        let stale_tmps = |dir: &std::path::Path| {
+            std::fs::read_dir(dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().starts_with(&tmp_prefix))
+                .count()
+        };
+        {
+            let mut writer =
+                TpgWriter::create(&path, 4, false, &CompressionConfig::default()).unwrap();
+            writer.push_neighborhood(0, &[(1, 1)], 1).unwrap();
+            assert_eq!(stale_tmps(&dir), 1, "writer works through a temp file");
+            // Dropped without `finish()`: simulates a crash/error mid-write.
+        }
+        assert_eq!(stale_tmps(&dir), 0, "temp file must be cleaned up on drop");
+        assert!(
+            !path.exists(),
+            "the destination must not exist after an abandoned write"
+        );
+    }
+
+    #[test]
+    fn finished_writers_publish_atomically_and_keep_no_temp() {
+        let dir = std::env::temp_dir();
+        let path = tmp("published.tpg");
+        let g = gen::grid2d(4, 4);
+        write_tpg_from_graph(&g, &path, &CompressionConfig::default()).unwrap();
+        let tmp_prefix = format!(".{}.tmp.", path.file_name().unwrap().to_string_lossy());
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(&tmp_prefix))
+            .count();
+        assert_eq!(leftovers, 0, "no temp files after a committed write");
+        assert_graph_eq(&read_tpg(&path).unwrap(), &g);
         std::fs::remove_file(path).ok();
     }
 }

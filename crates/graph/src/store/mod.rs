@@ -30,13 +30,22 @@
 //!
 //! [`CompressedGraph`]: crate::compressed::CompressedGraph
 
+// The storage layer must degrade structurally — poison, `IoError`, retry — never by
+// panicking mid-pipeline, so unwrap/expect are banned outside test modules (which
+// opt back in with `#![allow]`).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod backend;
 pub mod container;
 pub mod paged;
 pub mod stream;
 
+pub use backend::{
+    read_full_at, FaultPlan, FaultStats, FaultyBackend, FileBackend, StorageBackend,
+};
 pub use container::{
     read_tpg, read_tpg_compressed, read_tpg_meta, write_tpg_from_binary, write_tpg_from_graph,
     write_tpg_from_metis, EncodedSection, SectionEncoder, TpgMeta, TpgSummary, TpgWriter,
 };
-pub use paged::{CacheStatsSnapshot, PagedGraph, PagedGraphOptions};
+pub use paged::{CacheStatsSnapshot, FatalIoError, PagedGraph, PagedGraphOptions, RetryPolicy};
 pub use stream::{stream_rgg2d_to_tpg, stream_rmat_to_tpg, StreamingTpgBuilder, MAX_SPILL_BUCKETS};

@@ -37,20 +37,65 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use crate::compressed::{decode_neighborhood, decode_neighborhood_header, CompressionConfig};
-use crate::io::IoError;
-use crate::store::container::{read_tpg_index, read_tpg_meta, TpgMeta};
+use crate::io::{io_error_is_transient, IoError};
+use crate::store::backend::{read_full_at, FileBackend, StorageBackend};
+use crate::store::container::{
+    read_tpg_index_backend, read_tpg_meta_backend, retry_section, TpgChecksums, TpgMeta,
+};
 use crate::traits::Graph;
 use crate::varint::MAX_VARINT_LEN;
 use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
+
+/// Bounded retry with exponential backoff for transient read failures (`EIO`,
+/// interrupted syscalls, checksum mismatches that heal on a clean re-read).
+///
+/// `max_retries` counts *additional* attempts after the first failure; 0 disables
+/// retrying. The delay before retry `i` is `base_delay << i`, capped at `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = fail immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound of the exponential backoff.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retrying: every read failure surfaces immediately.
+    pub fn disabled() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        self.base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay)
+    }
+}
 
 /// Tuning knobs of the page cache behind a [`PagedGraph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +112,9 @@ pub struct PagedGraphOptions {
     /// background readahead worker (see the module docs). Off by default; purely an
     /// optimisation — results are identical either way.
     pub prefetch: bool,
+    /// Retry policy for transient read failures (applies to page faults, readahead
+    /// and the open-time index read).
+    pub retry: RetryPolicy,
 }
 
 impl Default for PagedGraphOptions {
@@ -76,6 +124,7 @@ impl Default for PagedGraphOptions {
             budget_bytes: 8 * 1024 * 1024,
             shards: 8,
             prefetch: false,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -113,6 +162,12 @@ pub struct CacheStatsSnapshot {
     pub prefetched_pages: u64,
     /// Bytes read from disk by readahead.
     pub prefetch_bytes: u64,
+    /// Read attempts repeated after a transient failure (see
+    /// [`PagedGraphOptions::retry`]).
+    pub retried_reads: u64,
+    /// Checksum verification failures observed (each failed attempt counts; a
+    /// mismatch healed by a retry still shows up here).
+    pub checksum_failures: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -135,6 +190,8 @@ struct CacheStats {
     bytes_read: AtomicU64,
     prefetched_pages: AtomicU64,
     prefetch_bytes: AtomicU64,
+    retried_reads: AtomicU64,
+    checksum_failures: AtomicU64,
 }
 
 struct Frame {
@@ -151,38 +208,45 @@ struct Shard {
     hand: usize,
 }
 
-/// Positional read that does not move any shared cursor.
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
-    #[cfg(unix)]
-    {
-        use std::os::unix::fs::FileExt;
-        file.read_exact_at(buf, offset)
+/// Typed payload of a checksum-verification failure, carried inside an
+/// [`io::Error`] of kind `InvalidData` so the retry predicate can recognise it
+/// (checksum mismatches are retryable — a transient in-flight flip heals on a clean
+/// re-read — while every other `InvalidData` is structural).
+#[derive(Debug)]
+struct ChecksumMismatch {
+    block: u64,
+    stored: u32,
+    computed: u32,
+}
+
+impl std::fmt::Display for ChecksumMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            ".tpg data block {} checksum mismatch: stored {:#010x}, computed {:#010x}",
+            self.block, self.stored, self.computed
+        )
     }
-    #[cfg(windows)]
-    {
-        use std::os::windows::fs::FileExt;
-        let mut done = 0;
-        while done < buf.len() {
-            let read = file.seek_read(&mut buf[done..], offset + done as u64)?;
-            if read == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "failed to fill buffer",
-                ));
-            }
-            done += read;
-        }
-        Ok(())
-    }
-    #[cfg(not(any(unix, windows)))]
-    {
-        compile_error!("PagedGraph requires positional reads (unix or windows)");
-    }
+}
+
+impl std::error::Error for ChecksumMismatch {}
+
+fn is_checksum_mismatch(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|p| p.is::<ChecksumMismatch>())
+}
+
+/// Retryability of a read error inside the page cache's retry loop.
+fn read_error_is_transient(e: &io::Error) -> bool {
+    is_checksum_mismatch(e) || io_error_is_transient(e)
 }
 
 /// Longest run of consecutive pages coalesced into a single readahead syscall; bounds
 /// the prefetch staging buffer (`MAX_PREFETCH_RUN_PAGES · page_size` bytes).
 const MAX_PREFETCH_RUN_PAGES: usize = 16;
+
+/// Consecutive readahead-batch failures after which the worker downgrades the run to
+/// prefetch-off (graceful degradation: foreground faults keep the pipeline alive).
+const PREFETCH_FAILURE_LIMIT: u32 = 3;
 
 /// Readahead staging buffer: grows to the largest coalesced run actually read and
 /// charges that footprint to the global memory accounting until dropped (covering
@@ -221,7 +285,7 @@ const PREFETCH_HEAD_START_PAGES: usize = 64;
 
 /// Sharded CLOCK page cache over the data section of one `.tpg` file.
 struct PageCache {
-    file: File,
+    backend: Box<dyn StorageBackend>,
     data_start: u64,
     data_len: u64,
     page_size: usize,
@@ -231,10 +295,24 @@ struct PageCache {
     stats: CacheStats,
     /// Bytes charged to the global memory accounting for allocated frames.
     charged: AtomicUsize,
+    /// Per-block crcs of the data section (v3 containers); `None` disables read
+    /// verification (v1/v2 containers).
+    checksums: Option<TpgChecksums>,
+    /// Retry policy for transient read failures.
+    retry: RetryPolicy,
+    /// Set by the readahead worker after repeated failures: readahead is disabled for
+    /// the rest of the run while foreground reads keep working (graceful degradation).
+    prefetch_disabled: AtomicBool,
 }
 
 impl PageCache {
-    fn new(file: File, data_start: u64, data_len: u64, options: &PagedGraphOptions) -> Self {
+    fn new(
+        backend: Box<dyn StorageBackend>,
+        data_start: u64,
+        data_len: u64,
+        checksums: Option<TpgChecksums>,
+        options: &PagedGraphOptions,
+    ) -> Self {
         let page_size = options.page_size.max(64);
         let shards = options.shards.max(1);
         let total_frames = (options.budget_bytes / page_size).max(shards);
@@ -250,7 +328,7 @@ impl PageCache {
             })
             .collect();
         Self {
-            file,
+            backend,
             data_start,
             data_len,
             page_size,
@@ -258,6 +336,104 @@ impl PageCache {
             shards,
             stats: CacheStats::default(),
             charged: AtomicUsize::new(0),
+            checksums,
+            retry: options.retry,
+            prefetch_disabled: AtomicBool::new(false),
+        }
+    }
+
+    /// Verifies `bytes` (starting at block-aligned data offset `start`) against the
+    /// stored per-block crcs. The caller guarantees every chunk is either a full block
+    /// or the final (short) block of the data section.
+    fn verify_blocks(&self, bytes: &[u8], start: u64) -> io::Result<()> {
+        let Some(ck) = &self.checksums else {
+            return Ok(());
+        };
+        let block_len = ck.block_len as usize;
+        debug_assert_eq!(start % block_len as u64, 0);
+        let first = (start / block_len as u64) as usize;
+        for (i, chunk) in bytes.chunks(block_len).enumerate() {
+            let block = first + i;
+            let stored = *ck.blocks.get(block).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "data block {} beyond the container's {} checksummed blocks",
+                        block,
+                        ck.blocks.len()
+                    ),
+                )
+            })?;
+            let computed = crate::checksum::crc32(chunk);
+            if computed != stored {
+                self.stats.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    ChecksumMismatch {
+                        block: block as u64,
+                        stored,
+                        computed,
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// One attempt at reading `dest.len()` bytes at data-section offset `offset`,
+    /// verifying the covering checksum blocks. When the requested range is not
+    /// block-aligned, the covering block range is staged and verified before the
+    /// requested bytes are copied out (zero staging when `page_size` is a multiple of
+    /// the block length — the default geometry).
+    fn try_read_verified(&self, dest: &mut [u8], offset: u64) -> io::Result<()> {
+        let Some(ck) = &self.checksums else {
+            return read_full_at(self.backend.as_ref(), dest, self.data_start + offset);
+        };
+        if dest.is_empty() {
+            return Ok(());
+        }
+        let block_len = u64::from(ck.block_len);
+        let end = offset + dest.len() as u64;
+        let cover_start = offset / block_len * block_len;
+        let cover_end = end
+            .div_ceil(block_len)
+            .saturating_mul(block_len)
+            .min(self.data_len);
+        if cover_start == offset && cover_end == end {
+            read_full_at(self.backend.as_ref(), dest, self.data_start + offset)?;
+            self.verify_blocks(dest, cover_start)
+        } else {
+            let mut staging = vec![0u8; (cover_end - cover_start) as usize];
+            read_full_at(
+                self.backend.as_ref(),
+                &mut staging,
+                self.data_start + cover_start,
+            )?;
+            self.verify_blocks(&staging, cover_start)?;
+            let skip = (offset - cover_start) as usize;
+            dest.copy_from_slice(&staging[skip..skip + dest.len()]);
+            Ok(())
+        }
+    }
+
+    /// Reads `dest.len()` bytes at data-section offset `offset` with verification,
+    /// retrying transient failures per [`PagedGraphOptions::retry`] with exponential
+    /// backoff. All page-cache disk reads (foreground faults and readahead) funnel
+    /// through here.
+    fn read_verified(&self, dest: &mut [u8], offset: u64) -> io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_read_verified(dest, offset) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if attempt >= self.retry.max_retries || !read_error_is_transient(&e) {
+                        return Err(e);
+                    }
+                    self.stats.retried_reads.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.retry.delay_for(attempt));
+                    attempt += 1;
+                }
+            }
         }
     }
 
@@ -341,7 +517,7 @@ impl PageCache {
         let idx = self.claim_frame(&mut s);
         {
             let frame = &mut s.frames[idx];
-            read_exact_at(&self.file, &mut frame.data[..len], self.data_start + offset)?;
+            self.read_verified(&mut frame.data[..len], offset)?;
             frame.page = page;
             frame.len = len as u32;
             frame.referenced = true;
@@ -437,11 +613,7 @@ impl PageCache {
             let available = self.data_len - offset;
             let run_len = available.min(run as u64 * ps) as usize;
             debug_assert!(first_len <= run_len);
-            read_exact_at(
-                &self.file,
-                staging.ensure(run_len),
-                self.data_start + offset,
-            )?;
+            self.read_verified(staging.ensure(run_len), offset)?;
             self.stats
                 .prefetch_bytes
                 .fetch_add(run_len as u64, Ordering::Relaxed);
@@ -490,6 +662,8 @@ impl PageCache {
             bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
             prefetched_pages: self.stats.prefetched_pages.load(Ordering::Relaxed),
             prefetch_bytes: self.stats.prefetch_bytes.load(Ordering::Relaxed),
+            retried_reads: self.stats.retried_reads.load(Ordering::Relaxed),
+            checksum_failures: self.stats.checksum_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -523,22 +697,30 @@ struct PrefetchQueue {
 }
 
 impl PrefetchQueue {
+    // Poison-tolerant locking throughout: the counter is a plain usize that is valid
+    // under any interleaving, so a hint sender that panicked while holding the lock
+    // must not wedge `wait_prefetch_idle` (or take the whole run down) — recover the
+    // guard and keep draining.
+
     fn enqueue_one(&self) {
-        *self.pending.lock().unwrap() += 1;
+        *self.pending.lock().unwrap_or_else(PoisonError::into_inner) += 1;
     }
 
     fn finish_one(&self) {
-        let mut pending = self.pending.lock().unwrap();
-        *pending -= 1;
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        *pending = pending.saturating_sub(1);
         if *pending == 0 {
             self.idle.notify_all();
         }
     }
 
     fn wait_idle(&self) {
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
         while *pending > 0 {
-            pending = self.idle.wait(pending).unwrap();
+            pending = self
+                .idle
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -553,9 +735,35 @@ struct Prefetcher {
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
+/// The first fatal I/O error of a poisoned [`PagedGraph`], plus the context the fault
+/// observer captured at poison time (typically the active pipeline phase).
+#[derive(Debug)]
+pub struct FatalIoError {
+    /// The error of the first failed access.
+    pub error: io::Error,
+    /// Context recorded by the [fault observer](PagedGraph::set_fault_observer), if
+    /// one was installed.
+    pub context: Option<String>,
+}
+
+/// Callback capturing ambient context (e.g. the active memtrack phase) the moment a
+/// graph poisons itself.
+type FaultObserver = Box<dyn Fn() -> String + Send + Sync>;
+
 /// A graph stored in a `.tpg` container on disk, accessed through a fixed-budget page
 /// cache. Implements [`Graph`], so the full multilevel pipeline runs against it
 /// unchanged.
+///
+/// # Failure protocol
+///
+/// [`Graph`] accessors cannot return `Result`s, so a read that still fails after
+/// checksum verification and retries **poisons** the graph instead of panicking: the
+/// first fatal error is stored, and every subsequent accessor returns empty
+/// neighbourhoods (degree 0) without touching the disk again. The pipeline thereby
+/// degrades to computing on a partial graph and terminates normally; the driver must
+/// call [`take_fatal_error`](PagedGraph::take_fatal_error) afterwards and discard the
+/// result if the graph poisoned mid-run (which is what `partition_ondisk` does,
+/// surfacing a structured error).
 pub struct PagedGraph {
     meta: TpgMeta,
     path: PathBuf,
@@ -568,6 +776,12 @@ pub struct PagedGraph {
     prefetcher: Option<Prefetcher>,
     /// Bytes charged for the semi-external arrays, released on drop.
     resident_charge: usize,
+    /// Fast-path flag of the poison protocol (see the type-level docs).
+    poisoned: AtomicBool,
+    /// First fatal error (with observer context), kept until taken.
+    fatal: Mutex<Option<FatalIoError>>,
+    /// Observer invoked once, at poison time.
+    fault_observer: Mutex<Option<FaultObserver>>,
 }
 
 impl std::fmt::Debug for PagedGraph {
@@ -593,18 +807,58 @@ impl PagedGraph {
         options: &PagedGraphOptions,
     ) -> Result<Self, IoError> {
         let path = path.as_ref().to_path_buf();
-        let meta = read_tpg_meta(&path)?;
-        let mut file = File::open(&path)?;
-        let (offsets, node_weights) = read_tpg_index(&mut file, &meta)?;
+        let backend = FileBackend::open(&path)?;
+        Self::open_backend_at(Box::new(backend), path, options)
+    }
+
+    /// Opens a `.tpg` container through a caller-provided backend — the seam the
+    /// fault-injection harness uses to put a [`FaultyBackend`] under the whole
+    /// pipeline.
+    ///
+    /// [`FaultyBackend`]: crate::store::backend::FaultyBackend
+    pub fn open_with_backend(
+        backend: Box<dyn StorageBackend>,
+        options: &PagedGraphOptions,
+    ) -> Result<Self, IoError> {
+        Self::open_backend_at(backend, PathBuf::from("<storage backend>"), options)
+    }
+
+    fn open_backend_at(
+        backend: Box<dyn StorageBackend>,
+        path: PathBuf,
+        options: &PagedGraphOptions,
+    ) -> Result<Self, IoError> {
+        // The open-time reads (header, offset index, node weights, checksum footer)
+        // retry under the same policy as page faults, each verified section as its
+        // own retry unit (see `read_tpg_index_backend`); the retries are folded into
+        // the cache's counter afterwards. Unlike page faults, open also retries on
+        // format/corruption/EOF errors: a bit flip in the header read parses into
+        // arbitrary nonsense (bad version, absurd counts, out-of-range crc
+        // positions) *before* the header checksum can be verified, and only a clean
+        // re-read distinguishes that from a genuinely malformed file.
+        let mut open_retries = 0u64;
+        let meta = retry_section(&options.retry, &mut open_retries, || {
+            read_tpg_meta_backend(backend.as_ref())
+        })?;
+        let (offsets, node_weights, checksums) =
+            read_tpg_index_backend(backend.as_ref(), &meta, &options.retry, &mut open_retries)?;
         let resident_charge = offsets.len() * std::mem::size_of::<u64>()
-            + node_weights.len() * std::mem::size_of::<NodeWeight>();
+            + node_weights.len() * std::mem::size_of::<NodeWeight>()
+            + checksums
+                .as_ref()
+                .map_or(0, |ck| ck.blocks.len() * std::mem::size_of::<u32>());
         memtrack::global().add(resident_charge);
         let cache = Arc::new(PageCache::new(
-            file,
+            backend,
             meta.data_start(),
             meta.data_len,
+            checksums,
             options,
         ));
+        cache
+            .stats
+            .retried_reads
+            .fetch_add(open_retries, Ordering::Relaxed);
         let prefetcher = if options.prefetch {
             let (tx, rx) = mpsc::sync_channel::<Vec<u64>>(8);
             let queue = Arc::new(PrefetchQueue {
@@ -616,11 +870,33 @@ impl PagedGraph {
             let spawned = std::thread::Builder::new()
                 .name("tpg-prefetch".into())
                 .spawn(move || {
+                    /// `finish_one` must run even if a hint handler panics, so
+                    /// `wait_prefetch_idle` can never wedge on a dead worker.
+                    struct FinishGuard<'a>(&'a PrefetchQueue);
+                    impl Drop for FinishGuard<'_> {
+                        fn drop(&mut self) {
+                            self.0.finish_one();
+                        }
+                    }
+                    let mut consecutive_failures = 0u32;
                     while let Ok(pages) = rx.recv() {
-                        // Readahead is advisory: an I/O error here is dropped and will
-                        // surface (with full context) on the foreground access instead.
-                        let _ = worker_cache.prefetch_pages(&pages);
-                        worker_queue.finish_one();
+                        let _guard = FinishGuard(&worker_queue);
+                        // Readahead is advisory: an I/O error here will surface (with
+                        // full context) on the foreground access instead. But a
+                        // *persistently* failing worker stops burning the disk with
+                        // doomed readahead — prefetch downgrades to off and the run
+                        // stays alive on foreground faults alone.
+                        match worker_cache.prefetch_pages(&pages) {
+                            Ok(_) => consecutive_failures = 0,
+                            Err(_) => {
+                                consecutive_failures += 1;
+                                if consecutive_failures >= PREFETCH_FAILURE_LIMIT {
+                                    worker_cache
+                                        .prefetch_disabled
+                                        .store(true, Ordering::Release);
+                                }
+                            }
+                        }
                     }
                 });
             let handle = match spawned {
@@ -649,6 +925,9 @@ impl PagedGraph {
             cache,
             prefetcher,
             resident_charge,
+            poisoned: AtomicBool::new(false),
+            fatal: Mutex::new(None),
+            fault_observer: Mutex::new(None),
         })
     }
 
@@ -687,17 +966,54 @@ impl PagedGraph {
         self.meta.edge_weighted && self.meta.config.compress_edge_weights
     }
 
+    /// Poisons the graph with `error` unless it is already poisoned: the *first* fatal
+    /// error (and the observer's context) is kept; later ones are dropped. See the
+    /// type-level "Failure protocol" docs.
+    fn poison(&self, error: io::Error) {
+        let mut fatal = self.fatal.lock();
+        if fatal.is_none() {
+            let context = self.fault_observer.lock().as_ref().map(|observe| observe());
+            *fatal = Some(FatalIoError { error, context });
+            self.poisoned.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether a fatal read error has poisoned this graph (accessors now return empty
+    /// neighbourhoods without touching the disk).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Takes the first fatal error if the graph poisoned itself (leaving the graph
+    /// poisoned). Drivers call this after a run to decide whether the result is valid.
+    pub fn take_fatal_error(&self) -> Option<FatalIoError> {
+        self.fatal.lock().take()
+    }
+
+    /// Installs a callback that captures ambient context (e.g. the active pipeline
+    /// phase) the moment the graph poisons itself; the captured string travels in
+    /// [`FatalIoError::context`]. Replaces any previous observer.
+    pub fn set_fault_observer(&self, observe: impl Fn() -> String + Send + Sync + 'static) {
+        *self.fault_observer.lock() = Some(Box::new(observe));
+    }
+
     /// Decoded header `(first_edge, degree)` of `u`'s neighbourhood. Only the first few
-    /// bytes of the encoding are fetched.
+    /// bytes of the encoding are fetched. Returns `(0, 0)` on a poisoned graph.
     fn header(&self, u: NodeId) -> (EdgeId, usize) {
+        if self.is_poisoned() {
+            return (0, 0);
+        }
         let start = self.offsets[u as usize];
         let end = self.offsets[u as usize + 1].min(start + 2 * MAX_VARINT_LEN as u64);
-        with_decode_buf(|buf| {
-            self.cache
-                .read_range(start, end, buf)
-                .expect("I/O error reading .tpg header");
-            let (first_edge, degree, _) = decode_neighborhood_header(buf, 0);
-            (first_edge, degree)
+        with_decode_buf(|buf| match self.cache.read_range(start, end, buf) {
+            Ok(()) => {
+                let (first_edge, degree, _) = decode_neighborhood_header(buf, 0);
+                (first_edge, degree)
+            }
+            Err(e) => {
+                self.poison(e);
+                (0, 0)
+            }
         })
     }
 
@@ -799,16 +1115,17 @@ impl Graph for PagedGraph {
     }
 
     fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, EdgeWeight)) {
+        if self.is_poisoned() {
+            return;
+        }
         let start = self.offsets[u as usize];
         let end = self.offsets[u as usize + 1];
         if start == end {
             return;
         }
-        with_decode_buf(|buf| {
-            self.cache
-                .read_range(start, end, buf)
-                .expect("I/O error reading .tpg neighbourhood");
-            decode_neighborhood(buf, 0, u, self.weighted(), &self.meta.config, f);
+        with_decode_buf(|buf| match self.cache.read_range(start, end, buf) {
+            Ok(()) => decode_neighborhood(buf, 0, u, self.weighted(), &self.meta.config, f),
+            Err(e) => self.poison(e),
         });
     }
 
@@ -836,7 +1153,10 @@ impl Graph for PagedGraph {
         let Some(prefetcher) = &self.prefetcher else {
             return;
         };
-        if nodes.is_empty() {
+        if nodes.is_empty()
+            || self.is_poisoned()
+            || self.cache.prefetch_disabled.load(Ordering::Acquire)
+        {
             return;
         }
         let mut pages = self.pages_covering(nodes);
@@ -855,14 +1175,13 @@ impl Graph for PagedGraph {
         if rest.is_empty() {
             return;
         }
+        // The channel is only taken in `Drop`, but a hint racing teardown must not
+        // panic — it is advisory either way.
+        let Some(tx) = prefetcher.tx.as_ref() else {
+            return;
+        };
         prefetcher.queue.enqueue_one();
-        if prefetcher
-            .tx
-            .as_ref()
-            .expect("hint channel open while the graph is live")
-            .try_send(rest)
-            .is_err()
-        {
+        if tx.try_send(rest).is_err() {
             prefetcher.queue.finish_one();
         }
     }
@@ -870,6 +1189,8 @@ impl Graph for PagedGraph {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::compressed::CompressedGraph;
     use crate::csr::CsrGraphBuilder;
@@ -1101,6 +1422,14 @@ mod tests {
             let entry = (meta.offsets_start() + 8 * index) as usize;
             bytes[entry..entry + 8].copy_from_slice(&value.to_le_bytes());
         }
+        // Re-stamp the offsets checksum so the (simulated) corruption models a bad
+        // writer rather than bit rot — open must succeed and the error surface on use.
+        let offsets_start = meta.offsets_start() as usize;
+        let offsets_len = 8 * (meta.n + 1);
+        let offsets_crc =
+            crate::checksum::crc32(&bytes[offsets_start..offsets_start + offsets_len]);
+        let crc_pos = (meta.footer_start() + 4 + 4 * meta.checksum_block_count()) as usize;
+        bytes[crc_pos..crc_pos + 4].copy_from_slice(&offsets_crc.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         let paged = PagedGraph::open_with_options(&path, &tiny_options()).unwrap();
         let err = paged.prefetch_sync(&[2]).unwrap_err();

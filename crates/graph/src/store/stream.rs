@@ -64,6 +64,31 @@ const ID_BYTES: usize = std::mem::size_of::<NodeId>();
 /// Size of one spilled half-edge record: source id, target id, weight u64.
 const RECORD_BYTES: usize = 2 * ID_BYTES + std::mem::size_of::<EdgeWeight>();
 
+/// Decodes the little-endian node id at the start of `bytes` (which the record layout
+/// guarantees holds at least `ID_BYTES`).
+fn le_node_id(bytes: &[u8]) -> NodeId {
+    let mut raw = [0u8; ID_BYTES];
+    raw.copy_from_slice(&bytes[..ID_BYTES]);
+    NodeId::from_le_bytes(raw)
+}
+
+/// Decodes the little-endian edge weight at the start of `bytes`.
+fn le_weight(bytes: &[u8]) -> EdgeWeight {
+    const W: usize = std::mem::size_of::<EdgeWeight>();
+    let mut raw = [0u8; W];
+    raw.copy_from_slice(&bytes[..W]);
+    EdgeWeight::from_le_bytes(raw)
+}
+
+/// Splits one spill record into `(src, dst, weight)`.
+fn decode_record(record: &[u8; RECORD_BYTES]) -> (NodeId, NodeId, EdgeWeight) {
+    (
+        le_node_id(&record[0..ID_BYTES]),
+        le_node_id(&record[ID_BYTES..2 * ID_BYTES]),
+        le_weight(&record[2 * ID_BYTES..]),
+    )
+}
+
 /// Hard cap on the number of spill buckets (and therefore concurrently open spill file
 /// writers). Each bucket holds one `BufWriter<File>` for the builder's whole lifetime,
 /// so an unbounded `num_buckets` would exhaust the process's file-descriptor budget and
@@ -241,10 +266,7 @@ impl StreamingTpgBuilder {
                 Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
                 Err(e) => return Err(e.into()),
             }
-            let src = NodeId::from_le_bytes(record[0..ID_BYTES].try_into().unwrap());
-            let dst = NodeId::from_le_bytes(record[ID_BYTES..2 * ID_BYTES].try_into().unwrap());
-            let weight = EdgeWeight::from_le_bytes(record[2 * ID_BYTES..].try_into().unwrap());
-            records.push((src, dst, weight));
+            records.push(decode_record(&record));
         }
         Ok(records)
     }
@@ -285,8 +307,9 @@ impl StreamingTpgBuilder {
             range.sort_unstable_by_key(|&(v, _)| v);
             let begin = entries.len();
             for &(v, weight) in range.iter() {
-                if entries.len() > begin && entries.last().unwrap().0 == v {
-                    entries.last_mut().unwrap().1 += weight;
+                let last = entries.len();
+                if last > begin && entries[last - 1].0 == v {
+                    entries[last - 1].1 += weight;
                 } else {
                     entries.push((v, weight));
                 }
@@ -401,9 +424,7 @@ impl StreamingTpgBuilder {
                 Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
                 Err(e) => return Err(e.into()),
             }
-            let src = NodeId::from_le_bytes(record[0..ID_BYTES].try_into().unwrap());
-            let dst = NodeId::from_le_bytes(record[ID_BYTES..2 * ID_BYTES].try_into().unwrap());
-            let weight = EdgeWeight::from_le_bytes(record[2 * ID_BYTES..].try_into().unwrap());
+            let (src, dst, weight) = decode_record(&record);
             adjacency[src as usize - lo].push((dst, weight));
         }
         for (i, nbrs) in adjacency.iter_mut().enumerate() {
@@ -682,6 +703,8 @@ pub fn stream_rgg2d_to_tpg(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::csr::CsrGraph;
     use crate::gen;
@@ -908,6 +931,63 @@ mod tests {
                 );
             }
         }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn dropped_builders_remove_their_spill_files() {
+        let dir = tmp_dir("drop_guard");
+        {
+            let mut b = StreamingTpgBuilder::new(64, 8, &dir).unwrap();
+            b.add_edge(0, 1, 1).unwrap();
+            b.add_edge(2, 3, 1).unwrap();
+            let spills = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "edges"))
+                .count();
+            assert_eq!(spills, 8);
+            // Dropped without finish(): simulates an abandoned stream (error upstream).
+        }
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .count();
+        assert_eq!(leftovers, 0, "spill files left behind by the drop guard");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mid_finish_errors_leak_neither_spills_nor_partial_containers() {
+        // A spill file vanishing mid-finish (disk trouble, external cleanup) must turn
+        // into a structured error that leaves the spill directory empty and the
+        // destination unpublished — no partial `.tpg`, no writer temp file.
+        let dir = tmp_dir("mid_finish_error");
+        let mut b = StreamingTpgBuilder::new(64, 8, &dir).unwrap();
+        gen::for_each_rmat_edge(6, 4, 11, &mut |u, v| {
+            b.add_edge(u, v, 1).unwrap();
+        });
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "edges"))
+            .expect("builder must have spill files");
+        std::fs::remove_file(&victim).unwrap();
+        let path = dir.join("doomed.tpg");
+        let err = b.finish_with_threads(&path, &CompressionConfig::default(), 4);
+        assert!(err.is_err(), "missing spill file must fail the finish");
+        assert!(!path.exists(), "partial container published after an error");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "files left behind after a failed finish: {:?}",
+            leftovers
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -36,7 +36,7 @@ pub mod reserve;
 
 pub use alloc::TrackingAllocator;
 pub use counter::{global, MemoryCounter, MemoryScope};
-pub use phase::{PhaseReport, PhaseTracker};
+pub use phase::{PhaseHandle, PhaseReport, PhaseTracker};
 pub use reserve::ReservedVec;
 
 /// Number of bytes in one binary mebibyte. Used by reporting helpers.

@@ -6,11 +6,46 @@
 //! memory held at phase entry. The resulting [`PhaseReport`]s form the stacked bars of
 //! Figure 2 in the paper.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::counter::global;
+
+/// A cheap, cloneable view of the phase stack a [`PhaseTracker`] is currently inside.
+///
+/// The handle outlives borrow scopes (it shares the stack by `Arc`), so long-lived
+/// observers — e.g. an I/O layer that wants to label a fault with the pipeline phase
+/// it interrupted — can capture one and query it at any time from any thread.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseHandle {
+    stack: Arc<Mutex<Vec<String>>>,
+}
+
+impl PhaseHandle {
+    /// The innermost phase currently running (phases may nest), or `None` between
+    /// phases. Formatted as `"name@level"`, e.g. `"cluster@2"`.
+    pub fn current(&self) -> Option<String> {
+        self.stack.lock().last().cloned()
+    }
+
+    /// The full phase stack, outermost first.
+    pub fn stack(&self) -> Vec<String> {
+        self.stack.lock().clone()
+    }
+}
+
+/// Pops the phase stack even when the phase body panics or returns early.
+struct PhaseStackGuard<'a> {
+    stack: &'a Mutex<Vec<String>>,
+}
+
+impl Drop for PhaseStackGuard<'_> {
+    fn drop(&mut self) {
+        self.stack.lock().pop();
+    }
+}
 
 /// Statistics captured for one phase invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,12 +76,19 @@ impl PhaseReport {
 #[derive(Debug, Default)]
 pub struct PhaseTracker {
     reports: Mutex<Vec<PhaseReport>>,
+    active: PhaseHandle,
 }
 
 impl PhaseTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cloneable handle to the live phase stack, for observers that need to know
+    /// *which* phase the run is in right now (see [`PhaseHandle`]).
+    pub fn phase_handle(&self) -> PhaseHandle {
+        self.active.clone()
     }
 
     /// Runs `f` as a named phase, capturing entry/peak/exit memory and elapsed time.
@@ -57,9 +99,14 @@ impl PhaseTracker {
     pub fn run<T>(&self, name: &str, level: usize, f: impl FnOnce() -> T) -> T {
         let entry = global().current();
         global().reset_peak();
+        self.active.stack.lock().push(format!("{}@{}", name, level));
+        let guard = PhaseStackGuard {
+            stack: &self.active.stack,
+        };
         let start = Instant::now();
         let result = f();
         let elapsed = start.elapsed();
+        drop(guard);
         let peak = global().peak();
         let exit = global().current();
         self.reports.lock().push(PhaseReport {
@@ -167,6 +214,33 @@ mod tests {
         tracker.clear();
         assert!(tracker.reports().is_empty());
         assert_eq!(tracker.overall_peak(), 0);
+    }
+
+    #[test]
+    fn phase_handle_tracks_the_live_stack() {
+        let tracker = PhaseTracker::new();
+        let handle = tracker.phase_handle();
+        assert_eq!(handle.current(), None);
+        tracker.run("outer", 0, || {
+            assert_eq!(handle.current().as_deref(), Some("outer@0"));
+            tracker.run("inner", 1, || {
+                assert_eq!(handle.current().as_deref(), Some("inner@1"));
+                assert_eq!(handle.stack(), vec!["outer@0", "inner@1"]);
+            });
+            assert_eq!(handle.current().as_deref(), Some("outer@0"));
+        });
+        assert_eq!(handle.current(), None, "stack drained after the phases");
+    }
+
+    #[test]
+    fn phase_stack_is_popped_on_panic() {
+        let tracker = PhaseTracker::new();
+        let handle = tracker.phase_handle();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tracker.run("doomed", 0, || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert_eq!(handle.current(), None, "guard must pop on unwind");
     }
 
     #[test]

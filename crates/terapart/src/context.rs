@@ -302,6 +302,14 @@ impl PartitionerConfig {
         self.ondisk.prefetch = prefetch;
         self
     }
+
+    /// Sets the transient-read retry policy ([`OnDiskConfig::retry`]) of the on-disk
+    /// entry point: how many times (and with what backoff) a failed page read is
+    /// repeated before the run gives up with a structured error.
+    pub fn with_retry(mut self, retry: graph::store::RetryPolicy) -> Self {
+        self.ondisk.retry = retry;
+        self
+    }
 }
 
 /// Default thread count: all available parallelism, matching the paper's "use all cores

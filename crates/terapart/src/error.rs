@@ -1,0 +1,87 @@
+//! Structured errors of the on-disk partitioning entry points.
+//!
+//! The [`Graph`](graph::traits::Graph) accessors the pipeline runs against cannot
+//! return `Result`s, so a [`graph::PagedGraph`] that keeps failing after checksum
+//! verification and retries *poisons* itself instead of panicking (see the graph
+//! crate's failure protocol). The on-disk driver turns that — and plain open
+//! failures — into a [`PartitionError`] carrying the pipeline phase the fault
+//! interrupted, so callers get one structured error instead of a panic deep inside
+//! clustering or refinement.
+
+use graph::io::IoError;
+
+/// Why an on-disk partitioning run failed, with the pipeline phase it failed in.
+#[derive(Debug)]
+pub struct PartitionError {
+    /// The pipeline phase active when the fault struck (`"name@level"`, e.g.
+    /// `"cluster@0"`), when known. `None` when the fault hit outside any tracked
+    /// phase.
+    pub phase: Option<String>,
+    /// What the run was doing, e.g. `"opening the .tpg container"`.
+    pub context: String,
+    /// The underlying storage error.
+    pub source: IoError,
+}
+
+impl PartitionError {
+    pub(crate) fn new(phase: Option<String>, context: impl Into<String>, source: IoError) -> Self {
+        Self {
+            phase: phase.filter(|p| !p.is_empty()),
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.phase {
+            Some(phase) => write!(
+                f,
+                "on-disk partitioning failed in phase {} while {}: {}",
+                phase, self.context, self.source
+            ),
+            None => write!(
+                f,
+                "on-disk partitioning failed while {}: {}",
+                self.context, self.source
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_context_and_source() {
+        let err = PartitionError::new(
+            Some("cluster@2".into()),
+            "decoding a neighbourhood",
+            IoError::Corrupt("block 7 checksum mismatch".into()),
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("cluster@2"), "missing phase: {}", msg);
+        assert!(msg.contains("decoding a neighbourhood"), "{}", msg);
+        assert!(msg.contains("block 7"), "{}", msg);
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn empty_phase_strings_collapse_to_none() {
+        let err = PartitionError::new(
+            Some(String::new()),
+            "opening the .tpg container",
+            IoError::Format("bad magic".into()),
+        );
+        assert_eq!(err.phase, None);
+        assert!(!err.to_string().contains("phase"));
+    }
+}

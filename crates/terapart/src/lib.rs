@@ -53,6 +53,7 @@
 pub mod coarsening;
 pub mod context;
 pub mod dual_counter;
+pub mod error;
 pub mod initial;
 pub(crate) mod lp_rounds;
 pub mod partition;
@@ -64,13 +65,19 @@ pub use context::{
     CoarseningConfig, ContractionAlgorithm, GainTableKind, InitialPartitioningConfig,
     LabelPropagationMode, OnDiskConfig, PartitionerConfig, RefinementAlgorithm, RefinementConfig,
 };
+pub use error::PartitionError;
 pub use initial::{initial_partition, initial_partition_with_scratch};
 pub use partition::{BlockId, Partition};
 pub use partitioner::{
     partition, partition_csr, partition_csr_with_tracker, partition_ondisk,
-    partition_ondisk_with_tracker, partition_with_tracker, PartitionResult,
+    partition_ondisk_with_tracker, partition_paged_with_tracker, partition_with_tracker,
+    PartitionResult,
 };
 pub use scratch::{AtomicBitset, HierarchyScratch};
+
+/// Retry/backoff policy of the on-disk page cache, re-exported for
+/// [`PartitionerConfig::with_retry`].
+pub use graph::store::RetryPolicy;
 
 /// Identifier of a cluster during coarsening (clusters become coarse vertices).
 /// Re-exported from [`graph::ids`]: the width follows the `wide-ids` feature.

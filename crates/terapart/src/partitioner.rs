@@ -23,6 +23,7 @@ use memtrack::{MemoryScope, PhaseReport, PhaseTracker};
 
 use crate::coarsening::{self, Hierarchy};
 use crate::context::PartitionerConfig;
+use crate::error::PartitionError;
 use crate::initial::initial_partition_with_scratch;
 use crate::partition::Partition;
 use crate::refinement::{refine_with_scratch, RefinementStats};
@@ -257,10 +258,18 @@ pub fn partition_csr_with_tracker(
 /// running [`partition`] on the in-memory compressed graph loaded from the same
 /// container ([`graph::store::read_tpg_compressed`]): both decode the identical bytes
 /// in the identical order.
+///
+/// # Errors
+///
+/// Storage faults never panic the pipeline. A failed open (missing file, malformed or
+/// corrupt container) and a read that still fails after checksum verification and
+/// [retries](crate::context::OnDiskConfig) both surface as a structured
+/// [`PartitionError`] naming the pipeline phase the fault interrupted; any partial
+/// result computed before the fault is discarded.
 pub fn partition_ondisk(
     path: impl AsRef<Path>,
     config: &PartitionerConfig,
-) -> Result<PartitionResult, IoError> {
+) -> Result<PartitionResult, PartitionError> {
     let tracker = PhaseTracker::new();
     partition_ondisk_with_tracker(path, config, &tracker)
 }
@@ -272,14 +281,44 @@ pub fn partition_ondisk_with_tracker(
     path: impl AsRef<Path>,
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
-) -> Result<PartitionResult, IoError> {
-    let graph = tracker.run("open_store", 0, || {
-        PagedGraph::open_with_options(path, &config.ondisk)
-    })?;
-    let mut result = partition_with_tracker(&graph, config, tracker);
+) -> Result<PartitionResult, PartitionError> {
+    let graph = tracker
+        .run("open_store", 0, || {
+            PagedGraph::open_with_options(path, &config.ondisk)
+        })
+        .map_err(|e| {
+            PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
+        })?;
+    partition_paged_with_tracker(&graph, config, tracker)
+}
+
+/// Runs the on-disk pipeline against an already-open [`PagedGraph`] — the entry point
+/// the fault-injection harness uses with
+/// [`PagedGraph::open_with_backend`], and what [`partition_ondisk_with_tracker`]
+/// delegates to after opening the container from a path.
+///
+/// Installs a fault observer that labels any mid-run storage fault with the pipeline
+/// phase it interrupted (via the tracker's [phase handle](PhaseTracker::phase_handle));
+/// if the graph poisoned itself during the run, the partial result is discarded and
+/// the first fatal error returns as a [`PartitionError`].
+pub fn partition_paged_with_tracker(
+    graph: &PagedGraph,
+    config: &PartitionerConfig,
+    tracker: &PhaseTracker,
+) -> Result<PartitionResult, PartitionError> {
+    let phases = tracker.phase_handle();
+    graph.set_fault_observer(move || phases.current().unwrap_or_default());
+    let mut result = partition_with_tracker(graph, config, tracker);
     // Let queued readahead hints drain so the snapshot's prefetch counters are settled
     // (prefetch itself never affects results, only cache residency).
     graph.wait_prefetch_idle();
+    if let Some(fatal) = graph.take_fatal_error() {
+        return Err(PartitionError::new(
+            fatal.context,
+            "reading the .tpg container mid-pipeline",
+            IoError::Io(fatal.error),
+        ));
+    }
     result.cache_stats = Some(graph.cache_stats());
     Ok(result)
 }
