@@ -344,6 +344,117 @@ pub fn write_pipeline_json(
     file.write_all(out.as_bytes())
 }
 
+/// One (preset, instance) point of the quality Pareto sweep recorded in
+/// `BENCH_quality.json`.
+#[derive(Debug, Clone)]
+pub struct QualityRun {
+    /// Instance family (e.g. `"web"`).
+    pub family: String,
+    /// Instance name within the family (e.g. `"rmat-16"`).
+    pub instance: String,
+    /// Vertices of the instance.
+    pub n: usize,
+    /// Undirected edges of the instance.
+    pub m: usize,
+    /// Preset name (`fast` / `default` / `strong`).
+    pub preset: String,
+    /// Edge cut of the run.
+    pub edge_cut: u64,
+    /// Wall-clock seconds of the run.
+    pub seconds: f64,
+    /// Peak accounted memory in bytes.
+    pub peak_memory_bytes: usize,
+    /// Whether the balance constraint held.
+    pub balanced: bool,
+}
+
+/// One frontier-vs-full-sweep comparison: the `fast` preset's frontier-driven LP
+/// against the identical configuration with full-sweep rounds, on one instance.
+#[derive(Debug, Clone)]
+pub struct FrontierCheck {
+    /// Instance family.
+    pub family: String,
+    /// Instance name.
+    pub instance: String,
+    /// Cut with frontier-driven LP rounds (the `fast` preset as shipped).
+    pub frontier_cut: u64,
+    /// Cut with full-sweep LP rounds, everything else identical.
+    pub full_sweep_cut: u64,
+    /// `frontier_cut / full_sweep_cut`; > 1 means the frontier lost quality.
+    pub ratio: f64,
+    /// Whether the frontier degraded the cut beyond the accepted tolerance.
+    pub degraded: bool,
+}
+
+/// Writes `BENCH_quality.json`: the cut-vs-time Pareto sweep of every preset across
+/// the instance-family ladder, the per-family `strong`-vs-`fast` verdicts, and the
+/// frontier-vs-full-sweep degradation flags. `frontier_tolerance` is the accepted
+/// `frontier_cut / full_sweep_cut` ratio above which a check counts as degraded
+/// (recorded in the file so readers can interpret the flags).
+pub fn write_quality_json(
+    path: &Path,
+    k: usize,
+    frontier_tolerance: f64,
+    runs: &[QualityRun],
+    frontier_checks: &[FrontierCheck],
+    strong_beats_fast_families: &[String],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"id_width\": {},\n", graph::NodeId::BITS));
+    out.push_str(&format!("  \"k\": {},\n", k));
+    out.push_str(&format!(
+        "  \"frontier_tolerance\": {:.3},\n",
+        frontier_tolerance
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"instance\": \"{}\", \"n\": {}, \"m\": {}, \"preset\": \"{}\", \"edge_cut\": {}, \"seconds\": {:.6}, \"peak_memory_bytes\": {}, \"balanced\": {}}}{}\n",
+            json_escape(&run.family),
+            json_escape(&run.instance),
+            run.n,
+            run.m,
+            json_escape(&run.preset),
+            run.edge_cut,
+            run.seconds,
+            run.peak_memory_bytes,
+            run.balanced,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"frontier_checks\": [\n");
+    for (i, check) in frontier_checks.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"instance\": \"{}\", \"frontier_cut\": {}, \"full_sweep_cut\": {}, \"ratio\": {:.4}, \"degraded\": {}}}{}\n",
+            json_escape(&check.family),
+            json_escape(&check.instance),
+            check.frontier_cut,
+            check.full_sweep_cut,
+            check.ratio,
+            check.degraded,
+            if i + 1 < frontier_checks.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"strong_beats_fast_families\": [");
+    for (i, family) in strong_beats_fast_families.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{}\"{}",
+            json_escape(family),
+            if i + 1 < strong_beats_fast_families.len() {
+                ", "
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
 /// Geometric mean of a slice of positive values.
 pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {

@@ -21,8 +21,8 @@ use graph::csr::CsrGraph;
 use graph::gen;
 use graph::io::IoError;
 use graph::store::{
-    read_tpg, read_tpg_meta, stream_rgg2d_to_tpg, stream_rmat_to_tpg, write_tpg_from_graph,
-    PagedGraph, PagedGraphOptions,
+    read_tpg, read_tpg_meta, stream_rgg2d_to_tpg, stream_rgg3d_to_tpg, stream_rmat_to_tpg,
+    write_tpg_from_graph, PagedGraph, PagedGraphOptions,
 };
 use graph::CompressionConfig;
 
@@ -35,6 +35,15 @@ pub enum GenSpec {
     Grid3d { x: usize, y: usize, z: usize },
     /// Random geometric graph (`gen::rgg2d`) — streamable.
     Rgg2d { n: usize, avg_deg: usize, seed: u64 },
+    /// 3D random geometric graph (`gen::rgg3d`) — streamable.
+    Rgg3d { n: usize, avg_deg: usize, seed: u64 },
+    /// Power-law clustered graph (`gen::powerlaw_cluster`, Holme–Kim).
+    PowerLawCluster {
+        n: usize,
+        attach: usize,
+        triad_p: f64,
+        seed: u64,
+    },
     /// Power-law configuration-model graph (`gen::rhg_like`).
     RhgLike {
         n: usize,
@@ -87,6 +96,13 @@ impl GenSpec {
             GenSpec::Grid2d { rows, cols } => format!("grid2d-{}x{}", rows, cols),
             GenSpec::Grid3d { x, y, z } => format!("grid3d-{}x{}x{}", x, y, z),
             GenSpec::Rgg2d { n, avg_deg, seed } => format!("rgg2d-n{}-d{}-x{}", n, avg_deg, seed),
+            GenSpec::Rgg3d { n, avg_deg, seed } => format!("rgg3d-n{}-d{}-x{}", n, avg_deg, seed),
+            GenSpec::PowerLawCluster {
+                n,
+                attach,
+                triad_p,
+                seed,
+            } => format!("plc-n{}-a{}-p{}-x{}", n, attach, triad_p, seed),
             GenSpec::RhgLike {
                 n,
                 avg_deg,
@@ -110,7 +126,10 @@ impl GenSpec {
 
     /// Whether this family can be generated straight to disk with bounded memory.
     pub fn is_streamable(&self) -> bool {
-        matches!(self, GenSpec::Rmat { .. } | GenSpec::Rgg2d { .. })
+        matches!(
+            self,
+            GenSpec::Rmat { .. } | GenSpec::Rgg2d { .. } | GenSpec::Rgg3d { .. }
+        )
     }
 
     /// Materialises the instance in memory. Cached runs should prefer
@@ -120,6 +139,13 @@ impl GenSpec {
             GenSpec::Grid2d { rows, cols } => gen::grid2d(rows, cols),
             GenSpec::Grid3d { x, y, z } => gen::grid3d(x, y, z),
             GenSpec::Rgg2d { n, avg_deg, seed } => gen::rgg2d(n, avg_deg, seed),
+            GenSpec::Rgg3d { n, avg_deg, seed } => gen::rgg3d(n, avg_deg, seed),
+            GenSpec::PowerLawCluster {
+                n,
+                attach,
+                triad_p,
+                seed,
+            } => gen::powerlaw_cluster(n, attach, triad_p, seed),
             GenSpec::RhgLike {
                 n,
                 avg_deg,
@@ -219,6 +245,15 @@ impl InstanceStore {
                 &config,
             )?,
             GenSpec::Rgg2d { n, avg_deg, seed } => stream_rgg2d_to_tpg(
+                n,
+                avg_deg,
+                seed,
+                &partial,
+                self.root.join("spill"),
+                16,
+                &config,
+            )?,
+            GenSpec::Rgg3d { n, avg_deg, seed } => stream_rgg3d_to_tpg(
                 n,
                 avg_deg,
                 seed,
@@ -348,6 +383,46 @@ mod tests {
                 assert_eq!(loaded.neighbors_vec(u), reference.neighbors_vec(u));
             }
         }
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn quality_ladder_families_round_trip() {
+        let store = scratch_store("ladder");
+        // The streamed rgg3d path must agree with the in-memory generator, and the
+        // power-law clustered family goes through the materialise path.
+        for (spec, reference) in [
+            (
+                GenSpec::Rgg3d {
+                    n: 500,
+                    avg_deg: 8,
+                    seed: 11,
+                },
+                gen::rgg3d(500, 8, 11),
+            ),
+            (
+                GenSpec::PowerLawCluster {
+                    n: 600,
+                    attach: 4,
+                    triad_p: 0.5,
+                    seed: 3,
+                },
+                gen::powerlaw_cluster(600, 4, 0.5, 3),
+            ),
+        ] {
+            let loaded = store.load_csr(&spec).unwrap();
+            assert_eq!(loaded.n(), reference.n());
+            assert_eq!(loaded.m(), reference.m());
+            for u in 0..reference.n() as graph::NodeId {
+                assert_eq!(loaded.neighbors_vec(u), reference.neighbors_vec(u));
+            }
+        }
+        assert!(GenSpec::Rgg3d {
+            n: 500,
+            avg_deg: 8,
+            seed: 11
+        }
+        .is_streamable());
         std::fs::remove_dir_all(store.root()).ok();
     }
 

@@ -5,13 +5,16 @@
 //! benchmark instance sets ([`setup`]) and the measurement/aggregation utilities
 //! ([`harness`]). Criterion micro-benchmarks of the core algorithms live in `benches/`.
 
+pub mod golden;
 pub mod harness;
 pub mod instances;
 pub mod seed_baseline;
 pub mod setup;
 
+pub use golden::{golden_cut, golden_entries, golden_run, GoldenEntry};
 pub use harness::{geometric_mean, harmonic_mean, measure_run, performance_profile, Measurement};
 pub use instances::{GenSpec, InstanceSpec, InstanceStore};
 pub use setup::{
-    benchmark_set_a, benchmark_set_b, config_ladder, set_a_specs, set_b_specs, Instance,
+    benchmark_set_a, benchmark_set_b, config_ladder, preset_ladder, quality_families, set_a_specs,
+    set_b_specs, Instance, QualityFamily,
 };

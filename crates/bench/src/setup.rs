@@ -13,7 +13,7 @@
 //! memory for tests and quick runs.
 
 use graph::csr::CsrGraph;
-use terapart::PartitionerConfig;
+use terapart::{PartitionerConfig, Preset};
 
 use crate::instances::{GenSpec, InstanceSpec};
 
@@ -186,6 +186,163 @@ pub fn set_b_specs() -> Vec<InstanceSpec> {
     ]
 }
 
+/// One instance family of the quality ladder: a named class with rungs of increasing
+/// size, all sharing one generator family.
+pub struct QualityFamily {
+    /// Family name used in `BENCH_quality.json` (e.g. `"web"`).
+    pub family: &'static str,
+    /// The rungs, smallest first. The first rung is the smoke rung.
+    pub rungs: Vec<InstanceSpec>,
+}
+
+/// The instance ladder of the quality sweep: five generator families — mesh,
+/// geometric (2D and 3D), power-law clustered, web (R-MAT up to scale 18) and
+/// social — each with a small smoke rung first and larger rungs after. Streamable
+/// families (rgg2d, rgg3d, rmat) go through the bounded-memory `.tpg` path of the
+/// [`InstanceStore`](crate::instances::InstanceStore), so the big web rungs never
+/// materialise their adjacency during generation.
+pub fn quality_families() -> Vec<QualityFamily> {
+    vec![
+        QualityFamily {
+            family: "mesh",
+            rungs: vec![
+                InstanceSpec {
+                    name: "grid3d-16",
+                    class: "mesh",
+                    spec: GenSpec::Grid3d {
+                        x: 16,
+                        y: 16,
+                        z: 16,
+                    },
+                },
+                InstanceSpec {
+                    name: "grid3d-24",
+                    class: "mesh",
+                    spec: GenSpec::Grid3d {
+                        x: 24,
+                        y: 24,
+                        z: 24,
+                    },
+                },
+            ],
+        },
+        QualityFamily {
+            family: "geometric",
+            rungs: vec![
+                InstanceSpec {
+                    name: "rgg2d-6k",
+                    class: "geometric",
+                    spec: GenSpec::Rgg2d {
+                        n: 6_000,
+                        avg_deg: 12,
+                        seed: 41,
+                    },
+                },
+                InstanceSpec {
+                    name: "rgg3d-10k",
+                    class: "geometric",
+                    spec: GenSpec::Rgg3d {
+                        n: 10_000,
+                        avg_deg: 14,
+                        seed: 42,
+                    },
+                },
+            ],
+        },
+        QualityFamily {
+            family: "powerlaw-cluster",
+            rungs: vec![
+                InstanceSpec {
+                    name: "plc-6k",
+                    class: "social",
+                    spec: GenSpec::PowerLawCluster {
+                        n: 6_000,
+                        attach: 6,
+                        triad_p: 0.4,
+                        seed: 43,
+                    },
+                },
+                InstanceSpec {
+                    name: "plc-12k",
+                    class: "social",
+                    spec: GenSpec::PowerLawCluster {
+                        n: 12_000,
+                        attach: 8,
+                        triad_p: 0.5,
+                        seed: 44,
+                    },
+                },
+            ],
+        },
+        QualityFamily {
+            family: "web",
+            rungs: vec![
+                InstanceSpec {
+                    name: "rmat-14",
+                    class: "web",
+                    spec: GenSpec::Rmat {
+                        scale: 14,
+                        avg_deg: 8,
+                        seed: 45,
+                    },
+                },
+                InstanceSpec {
+                    name: "rmat-16",
+                    class: "web",
+                    spec: GenSpec::Rmat {
+                        scale: 16,
+                        avg_deg: 8,
+                        seed: 46,
+                    },
+                },
+                InstanceSpec {
+                    name: "rmat-18",
+                    class: "web",
+                    spec: GenSpec::Rmat {
+                        scale: 18,
+                        avg_deg: 8,
+                        seed: 47,
+                    },
+                },
+            ],
+        },
+        QualityFamily {
+            family: "social",
+            rungs: vec![
+                InstanceSpec {
+                    name: "rhg-6k",
+                    class: "social",
+                    spec: GenSpec::RhgLike {
+                        n: 6_000,
+                        avg_deg: 10,
+                        gamma: 2.8,
+                        seed: 48,
+                    },
+                },
+                InstanceSpec {
+                    name: "rhg-16k",
+                    class: "social",
+                    spec: GenSpec::RhgLike {
+                        n: 16_000,
+                        avg_deg: 12,
+                        gamma: 2.6,
+                        seed: 49,
+                    },
+                },
+            ],
+        },
+    ]
+}
+
+/// The preset ladder of the quality sweep: every [`Preset`] with its configuration at
+/// the given `k`, in speed order (fastest first).
+pub fn preset_ladder(k: usize) -> Vec<(&'static str, PartitionerConfig)> {
+    Preset::ALL
+        .iter()
+        .map(|p| (p.name(), PartitionerConfig::preset(*p, k)))
+        .collect()
+}
+
 fn materialize(specs: Vec<InstanceSpec>) -> Vec<Instance> {
     specs
         .into_iter()
@@ -255,6 +412,26 @@ mod tests {
                 instance.name
             );
         }
+    }
+
+    #[test]
+    fn quality_ladder_covers_enough_families_and_presets() {
+        let families = quality_families();
+        assert!(families.len() >= 4, "quality sweep needs >= 4 families");
+        for family in &families {
+            assert!(!family.rungs.is_empty(), "{} has no rungs", family.family);
+        }
+        assert!(
+            families.iter().any(|f| f
+                .rungs
+                .iter()
+                .any(|r| matches!(r.spec, GenSpec::Rmat { scale: 18, .. }))),
+            "web family must reach rmat-18"
+        );
+        let ladder = preset_ladder(16);
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0].0, "fast");
+        assert_eq!(ladder[2].0, "strong");
     }
 
     #[test]

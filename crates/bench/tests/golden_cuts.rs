@@ -1,0 +1,42 @@
+//! Golden-cut regression suite: every (preset, golden instance) pair must reproduce
+//! the pinned single-threaded fixed-seed cut exactly (see `bench::golden` for the
+//! rationale and the one-command regeneration).
+
+use bench::golden::{golden_cut, golden_entries, golden_specs};
+use terapart::Preset;
+
+#[test]
+fn the_table_covers_every_preset_on_every_golden_instance() {
+    let entries = golden_entries();
+    for preset in Preset::ALL {
+        for (instance, _) in golden_specs() {
+            assert!(
+                entries
+                    .iter()
+                    .any(|e| e.preset == preset && e.instance == instance),
+                "golden table is missing ({:?}, {})",
+                preset,
+                instance
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_cuts_match_the_pinned_table() {
+    for entry in golden_entries() {
+        let cut = golden_cut(entry.preset, entry.instance);
+        assert_eq!(
+            cut,
+            entry.expected_cut(),
+            "golden cut changed: preset {:?} on {} produced {} instead of the pinned \
+             {} — if the change is intentional, regenerate the table with \
+             `cargo run --release -p bench --bin bench_quality -- --golden` (both ID \
+             widths) and update crates/bench/src/golden.rs",
+            entry.preset,
+            entry.instance,
+            cut,
+            entry.expected_cut()
+        );
+    }
+}

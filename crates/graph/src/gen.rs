@@ -236,6 +236,164 @@ pub fn try_for_each_rgg2d_edge(
     true
 }
 
+/// Random geometric graph on the unit cube with expected average degree `avg_deg` —
+/// the 3D sibling of [`rgg2d`] (`rgg3D` in KaGen terms). Vertex IDs follow the
+/// row-major cell order of the underlying 3D grid, giving the same neighbour-ID
+/// locality as the 2D family.
+pub fn rgg3d(n: usize, avg_deg: usize, seed: u64) -> CsrGraph {
+    let mut b = CsrGraphBuilder::new(n);
+    for_each_rgg3d_edge(n, avg_deg, seed, &mut |u, v| b.add_edge(u, v, 1));
+    b.build()
+}
+
+/// Invokes `f(u, v)` for every edge of the graph [`rgg3d`] would build from the same
+/// parameters. Point generation needs `O(n)` memory but no adjacency is materialised,
+/// so the streaming `.tpg` generator ([`crate::store::stream_rgg3d_to_tpg`]) can emit
+/// edges straight into spill buckets and still produce the *identical* graph.
+pub fn for_each_rgg3d_edge(n: usize, avg_deg: usize, seed: u64, f: &mut dyn FnMut(NodeId, NodeId)) {
+    try_for_each_rgg3d_edge(n, avg_deg, seed, &mut |u, v| {
+        f(u, v);
+        true
+    });
+}
+
+/// [`for_each_rgg3d_edge`] with a visitor that can stop the stream early by returning
+/// `false`. Returns `false` iff the visitor stopped early.
+pub fn try_for_each_rgg3d_edge(
+    n: usize,
+    avg_deg: usize,
+    seed: u64,
+    f: &mut dyn FnMut(NodeId, NodeId) -> bool,
+) -> bool {
+    assert!(n >= 2);
+    ids::assert_node_count(n, "rgg3d");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Expected degree of a point is n * (4/3)π r³ (ignoring boundary effects).
+    let radius = ((avg_deg as f64) * 3.0 / (n as f64 * 4.0 * std::f64::consts::PI)).cbrt();
+    let cells = ((1.0 / radius).floor() as usize).clamp(1, 256);
+    let cell_size = 1.0 / cells as f64;
+    let mut points: Vec<(f64, f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    // Sort into row-major cell order (z, then y, then x) so nearby points get nearby IDs.
+    points.sort_by(|a, b| {
+        let ca = (
+            (a.2 / cell_size) as usize,
+            (a.1 / cell_size) as usize,
+            (a.0 / cell_size) as usize,
+        );
+        let cb = (
+            (b.2 / cell_size) as usize,
+            (b.1 / cell_size) as usize,
+            (b.0 / cell_size) as usize,
+        );
+        ca.cmp(&cb)
+            .then(a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let cell_coord = |x: f64| ((x / cell_size) as usize).min(cells - 1);
+    let cell_of =
+        |p: (f64, f64, f64)| (cell_coord(p.2) * cells + cell_coord(p.1)) * cells + cell_coord(p.0);
+    let mut grid: Vec<Vec<NodeId>> = vec![Vec::new(); cells * cells * cells];
+    for (i, &p) in points.iter().enumerate() {
+        grid[cell_of(p)].push(ids::nid(i));
+    }
+    let r2 = radius * radius;
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy, cz) = (cell_coord(p.0), cell_coord(p.1), cell_coord(p.2));
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (nx, ny, nz) = (cx as i64 + dx, cy as i64 + dy, cz as i64 + dz);
+                    if nx < 0 || ny < 0 || nz < 0 {
+                        continue;
+                    }
+                    let (nx, ny, nz) = (nx as usize, ny as usize, nz as usize);
+                    if nx >= cells || ny >= cells || nz >= cells {
+                        continue;
+                    }
+                    for &j in &grid[(nz * cells + ny) * cells + nx] {
+                        if (j as usize) <= i {
+                            continue;
+                        }
+                        let q = points[j as usize];
+                        let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2) + (p.2 - q.2).powi(2);
+                        if d2 <= r2 && !f(ids::nid(i), j) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Power-law *clustered* graph (Holme–Kim preferential attachment with triad
+/// formation): the hyperbolic-style family combining a skewed degree distribution with
+/// high clustering, which neither [`rhg_like`] (no clustering) nor [`weblike`]
+/// (no triangles beyond sampling noise) produces. Each new vertex attaches `attach`
+/// edges: the first by preferential attachment, each further edge with probability
+/// `triad_p` to a random neighbour of the previous target (closing a triangle) and by
+/// preferential attachment otherwise. Models the social-network instances whose tight
+/// communities make frontier-based local search hardest.
+pub fn powerlaw_cluster(n: usize, attach: usize, triad_p: f64, seed: u64) -> CsrGraph {
+    assert!(attach >= 1, "each vertex must attach at least one edge");
+    assert!((0.0..=1.0).contains(&triad_p));
+    assert!(n > attach, "need more vertices than attachment edges");
+    ids::assert_node_count(n, "powerlaw_cluster");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m0 = attach + 1;
+    let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    // Flat list of edge endpoints: sampling it uniformly is degree-proportional.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * attach);
+    let add = |adjacency: &mut Vec<Vec<NodeId>>, endpoints: &mut Vec<NodeId>, u, v| {
+        adjacency[u as usize].push(v);
+        adjacency[v as usize].push(u);
+        endpoints.push(u);
+        endpoints.push(v);
+    };
+    // Seed clique on the first `attach + 1` vertices.
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            add(&mut adjacency, &mut endpoints, ids::nid(u), ids::nid(v));
+        }
+    }
+    for u in m0..n {
+        let u = ids::nid(u);
+        let mut last_target: Option<NodeId> = None;
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < attach && attempts < 8 * attach {
+            attempts += 1;
+            let triad = added > 0 && rng.gen::<f64>() < triad_p;
+            let candidate = if triad {
+                // Close a triangle: a random neighbour of the previous target.
+                let t = last_target.expect("triad steps follow an attachment");
+                let nbrs = &adjacency[t as usize];
+                nbrs[rng.gen_range(0..nbrs.len())]
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if candidate == u || adjacency[u as usize].contains(&candidate) {
+                continue;
+            }
+            add(&mut adjacency, &mut endpoints, u, candidate);
+            last_target = Some(candidate);
+            added += 1;
+        }
+    }
+    let mut b = CsrGraphBuilder::new(n);
+    for (u, neighbors) in adjacency.iter().enumerate() {
+        let un = ids::nid(u);
+        for &v in neighbors {
+            if un < v {
+                b.add_edge(un, v, 1);
+            }
+        }
+    }
+    b.build()
+}
+
 /// Power-law random graph standing in for the random hyperbolic (`rhg`) family.
 ///
 /// Generates a degree sequence from a power law with exponent `gamma`, then pairs stubs
@@ -512,6 +670,88 @@ mod tests {
             true
         }));
         assert!(total > 0);
+    }
+
+    #[test]
+    fn rgg3d_is_geometric_and_deterministic() {
+        let g = rgg3d(1500, 10, 7);
+        assert_eq!(g.n(), 1500);
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(
+            (4.0..20.0).contains(&avg),
+            "average degree {} far from requested 10",
+            avg
+        );
+        assert_eq!(g, rgg3d(1500, 10, 7));
+        // Streaming sampler emits exactly the in-memory edge set.
+        let mut streamed = 0usize;
+        for_each_rgg3d_edge(1500, 10, 7, &mut |_, _| streamed += 1);
+        assert_eq!(streamed, g.m());
+        // Cell-order IDs give neighbour locality: most edges are short in ID space.
+        let mut local = 0usize;
+        let mut total = 0usize;
+        for u in 0..g.n() as NodeId {
+            crate::traits::Graph::for_each_neighbor(&g, u, &mut |v, _| {
+                total += 1;
+                if (v as i64 - u as i64).unsigned_abs() < 300 {
+                    local += 1;
+                }
+            });
+        }
+        assert!(local * 2 > total, "IDs lack locality: {}/{}", local, total);
+    }
+
+    #[test]
+    fn rgg3d_sampler_short_circuits() {
+        let mut seen = 0usize;
+        let completed = try_for_each_rgg3d_edge(1200, 10, 3, &mut |_, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert!(!completed);
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn powerlaw_cluster_is_skewed_clustered_and_deterministic() {
+        let g = powerlaw_cluster(2000, 4, 0.6, 11);
+        assert_eq!(g.n(), 2000);
+        assert!(g.m() >= 2000 * 3, "too few edges: {}", g.m());
+        assert!(
+            g.max_degree() > 40,
+            "degree distribution not skewed: max {}",
+            g.max_degree()
+        );
+        assert_eq!(g, powerlaw_cluster(2000, 4, 0.6, 11));
+        // Triad formation must produce many triangles; the configuration-model
+        // power-law family has almost none. Count wedges closed at a sample of
+        // vertices.
+        let triangles = |g: &CsrGraph| {
+            let mut count = 0usize;
+            for u in (0..g.n() as NodeId).step_by(17) {
+                let nbrs = crate::traits::Graph::neighbors_vec(g, u);
+                for i in 0..nbrs.len().min(20) {
+                    for j in (i + 1)..nbrs.len().min(20) {
+                        let (a, b) = (nbrs[i].0, nbrs[j].0);
+                        if crate::traits::Graph::neighbors_vec(g, a)
+                            .iter()
+                            .any(|&(x, _)| x == b)
+                        {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+            count
+        };
+        let clustered = triangles(&g);
+        let unclustered = triangles(&rhg_like(2000, 8, 2.8, 11));
+        assert!(
+            clustered > 4 * unclustered.max(1),
+            "expected far more triangles than the configuration model: {} vs {}",
+            clustered,
+            unclustered
+        );
     }
 
     #[test]

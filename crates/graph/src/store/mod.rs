@@ -48,4 +48,7 @@ pub use container::{
     write_tpg_from_metis, EncodedSection, SectionEncoder, TpgMeta, TpgSummary, TpgWriter,
 };
 pub use paged::{CacheStatsSnapshot, FatalIoError, PagedGraph, PagedGraphOptions, RetryPolicy};
-pub use stream::{stream_rgg2d_to_tpg, stream_rmat_to_tpg, StreamingTpgBuilder, MAX_SPILL_BUCKETS};
+pub use stream::{
+    stream_rgg2d_to_tpg, stream_rgg3d_to_tpg, stream_rmat_to_tpg, StreamingTpgBuilder,
+    MAX_SPILL_BUCKETS,
+};

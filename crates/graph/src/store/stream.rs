@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use parking_lot::Mutex;
 
 use crate::compressed::CompressionConfig;
-use crate::gen::{try_for_each_rgg2d_edge, try_for_each_rmat_edge};
+use crate::gen::{try_for_each_rgg2d_edge, try_for_each_rgg3d_edge, try_for_each_rmat_edge};
 use crate::ids;
 use crate::io::IoError;
 use crate::store::container::{SectionEncoder, TpgSummary, TpgWriter};
@@ -701,6 +701,38 @@ pub fn stream_rgg2d_to_tpg(
     builder.finish(path, config)
 }
 
+/// Streams a 3D random geometric graph (identical to [`gen::rgg3d`](crate::gen::rgg3d)
+/// for the same parameters) into a `.tpg` container, spilling edge chunks under
+/// `spill_dir`. The sampler is short-circuited as soon as a spill write fails.
+pub fn stream_rgg3d_to_tpg(
+    n: usize,
+    avg_deg: usize,
+    seed: u64,
+    path: impl AsRef<Path>,
+    spill_dir: impl AsRef<Path>,
+    num_buckets: usize,
+    config: &CompressionConfig,
+) -> Result<TpgSummary, IoError> {
+    let mut builder = StreamingTpgBuilder::new(n, num_buckets, spill_dir)?;
+    let mut io_error = None;
+    try_for_each_rgg3d_edge(
+        n,
+        avg_deg,
+        seed,
+        &mut |u, v| match builder.add_edge(u, v, 1) {
+            Ok(()) => true,
+            Err(e) => {
+                io_error = Some(e);
+                false
+            }
+        },
+    );
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    builder.finish(path, config)
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -761,6 +793,17 @@ mod tests {
         stream_rgg2d_to_tpg(800, 10, 9, &path, &dir, 5, &CompressionConfig::default()).unwrap();
         let streamed = read_tpg(&path).unwrap();
         let reference = gen::rgg2d(800, 10, 9);
+        assert_graph_eq(&reference, &streamed);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn streamed_rgg3d_matches_in_memory_generator() {
+        let dir = tmp_dir("rgg3d");
+        let path = dir.join("rgg3d.tpg");
+        stream_rgg3d_to_tpg(700, 8, 13, &path, &dir, 5, &CompressionConfig::default()).unwrap();
+        let streamed = read_tpg(&path).unwrap();
+        let reference = gen::rgg3d(700, 8, 13);
         assert_graph_eq(&reference, &streamed);
         std::fs::remove_dir_all(dir).ok();
     }

@@ -54,8 +54,29 @@ pub enum GainTableKind {
 pub enum RefinementAlgorithm {
     /// Size-constrained label propagation refinement (KaMinPar default, TeraPart-LP).
     LabelPropagation,
-    /// Label propagation followed by parallel k-way FM refinement (TeraPart-FM).
+    /// Label propagation followed by parallel batched FM refinement (TeraPart-FM):
+    /// positive-gain boundary moves collected in parallel and applied in gain order.
     FmWithLabelPropagation,
+    /// Label propagation followed by priority-queue k-way FM
+    /// ([`kway_fm`](crate::refinement::kway_fm)): the classic FM discipline over all
+    /// `k` blocks with hill climbing and rollback to the best move prefix. Higher
+    /// quality than the batched scheme at some extra cost; deterministic at any
+    /// thread count.
+    KWayFmWithLabelPropagation,
+}
+
+/// Edge rating used by label propagation clustering to score candidate clusters
+/// (advanced coarsening, Safro et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeRating {
+    /// Plain summed edge weight (the KaMinPar/TeraPart default).
+    Weight,
+    /// Degree-scaled rating `1 + (ω(u,v) << 8) / (1 + deg(u) + deg(v))`: an integer
+    /// stand-in for the algebraic-distance-style ratings of Safro et al.'s advanced
+    /// coarsening schemes. Edges between low-degree vertices are preferred over hub
+    /// edges, which keeps hubs from absorbing whole neighbourhoods on power-law
+    /// graphs and preserves cluster structure for the refinement to exploit.
+    DegreeScaled,
 }
 
 /// Settings of the coarsening stage.
@@ -84,6 +105,8 @@ pub struct CoarseningConfig {
     /// neighbourhood changed in the previous round are revisited (active-set
     /// scheduling). Disable to reproduce the original full-sweep rounds.
     pub lp_frontier: bool,
+    /// Edge rating used when scoring candidate clusters.
+    pub edge_rating: EdgeRating,
 }
 
 impl Default for CoarseningConfig {
@@ -98,6 +121,7 @@ impl Default for CoarseningConfig {
             two_hop_clustering: true,
             max_cluster_weight_fraction: 1.0,
             lp_frontier: true,
+            edge_rating: EdgeRating::Weight,
         }
     }
 }
@@ -158,6 +182,10 @@ pub struct RefinementConfig {
     /// Frontier-driven LP refinement rounds: after the full first round, only vertices
     /// whose neighbourhood changed are revisited. Disable for full-sweep rounds.
     pub lp_frontier: bool,
+    /// Priority-queue k-way FM only: how many consecutive moves without a new best
+    /// prefix a pass tolerates before it stops hill climbing (the rolled-back tail is
+    /// bounded by this).
+    pub fm_adverse_limit: usize,
 }
 
 impl Default for RefinementConfig {
@@ -169,6 +197,7 @@ impl Default for RefinementConfig {
             fm_passes: 2,
             fm_fraction: 1.0,
             lp_frontier: true,
+            fm_adverse_limit: 64,
         }
     }
 }
@@ -263,6 +292,37 @@ impl PartitionerConfig {
         config
     }
 
+    /// The configuration of a quality [`Preset`]. See the preset docs for what each
+    /// level enables.
+    pub fn preset(preset: Preset, k: usize) -> Self {
+        match preset {
+            Preset::Fast => Self::terapart(k),
+            Preset::Default => {
+                let mut config = Self::terapart(k);
+                config.refinement.algorithm = RefinementAlgorithm::KWayFmWithLabelPropagation;
+                config.refinement.gain_table = GainTableKind::Sparse;
+                config
+            }
+            Preset::Strong => {
+                let mut config = Self::preset(Preset::Default, k);
+                // Full-sweep LP rounds: revisit every vertex each round instead of
+                // only the active frontier.
+                config.coarsening.lp_frontier = false;
+                config.refinement.lp_frontier = false;
+                // Advanced-coarsening edge rating (Safro et al.).
+                config.coarsening.edge_rating = EdgeRating::DegreeScaled;
+                // More local search everywhere.
+                config.coarsening.lp_rounds = 8;
+                config.refinement.lp_rounds = 8;
+                config.refinement.fm_passes = 4;
+                config.refinement.fm_adverse_limit = 192;
+                config.initial.attempts = 8;
+                config.initial.fm_passes = 5;
+                config
+            }
+        }
+    }
+
     /// Sets the number of threads, returning the modified configuration.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.num_threads = threads.max(1);
@@ -309,6 +369,43 @@ impl PartitionerConfig {
     pub fn with_retry(mut self, retry: graph::store::RetryPolicy) -> Self {
         self.ondisk.retry = retry;
         self
+    }
+}
+
+/// Quality presets: named points on the cut-vs-time trade-off, built on top of the
+/// paper's optimization ladder. `BENCH_quality.json` (written by the `bench_quality`
+/// binary) records the Pareto sweep across these presets and the instance families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Today's frontier-driven TeraPart-LP pipeline: frontier LP clustering and
+    /// refinement, label propagation refinement only. Fastest, coarsest cuts.
+    Fast,
+    /// Frontier LP plus priority-queue k-way FM refinement with the space-efficient
+    /// gain table. The recommended balance of quality and speed.
+    Default,
+    /// Full-sweep LP rounds, the degree-scaled advanced-coarsening edge rating
+    /// ([`EdgeRating::DegreeScaled`], per Safro et al.), more LP rounds, more k-way FM
+    /// passes with a longer hill-climbing budget and a larger initial-partitioning
+    /// portfolio. Best cuts, slowest.
+    Strong,
+}
+
+impl Preset {
+    /// Every preset, fastest first — the order bench sweeps report.
+    pub const ALL: [Preset; 3] = [Preset::Fast, Preset::Default, Preset::Strong];
+
+    /// The lowercase name used in CLI flags, bench reports and golden-cut tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Fast => "fast",
+            Preset::Default => "default",
+            Preset::Strong => "strong",
+        }
+    }
+
+    /// Parses [`Preset::name`] back. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Preset::ALL.into_iter().find(|p| p.name() == name)
     }
 }
 
@@ -382,6 +479,39 @@ mod tests {
         let config = PartitionerConfig::terapart(4).with_threads(0);
         assert_eq!(config.num_threads, 1);
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn quality_presets_trade_speed_for_quality() {
+        let fast = PartitionerConfig::preset(Preset::Fast, 8);
+        assert_eq!(fast, PartitionerConfig::terapart(8));
+        assert_eq!(
+            fast.refinement.algorithm,
+            RefinementAlgorithm::LabelPropagation
+        );
+
+        let default = PartitionerConfig::preset(Preset::Default, 8);
+        assert_eq!(
+            default.refinement.algorithm,
+            RefinementAlgorithm::KWayFmWithLabelPropagation
+        );
+        assert_eq!(default.refinement.gain_table, GainTableKind::Sparse);
+        assert!(default.coarsening.lp_frontier, "default keeps frontier LP");
+
+        let strong = PartitionerConfig::preset(Preset::Strong, 8);
+        assert!(!strong.coarsening.lp_frontier && !strong.refinement.lp_frontier);
+        assert_eq!(strong.coarsening.edge_rating, EdgeRating::DegreeScaled);
+        assert!(strong.refinement.fm_passes > default.refinement.fm_passes);
+        assert!(strong.initial.attempts > default.initial.attempts);
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for preset in Preset::ALL {
+            assert_eq!(Preset::from_name(preset.name()), Some(preset));
+        }
+        assert_eq!(Preset::from_name("fastest"), None);
+        assert_eq!(Preset::ALL.map(|p| p.name()), ["fast", "default", "strong"]);
     }
 
     #[test]

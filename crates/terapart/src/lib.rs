@@ -62,8 +62,9 @@ pub mod refinement;
 pub mod scratch;
 
 pub use context::{
-    CoarseningConfig, ContractionAlgorithm, GainTableKind, InitialPartitioningConfig,
-    LabelPropagationMode, OnDiskConfig, PartitionerConfig, RefinementAlgorithm, RefinementConfig,
+    CoarseningConfig, ContractionAlgorithm, EdgeRating, GainTableKind, InitialPartitioningConfig,
+    LabelPropagationMode, OnDiskConfig, PartitionerConfig, Preset, RefinementAlgorithm,
+    RefinementConfig,
 };
 pub use error::PartitionError;
 pub use initial::{initial_partition, initial_partition_with_scratch};

@@ -1,0 +1,389 @@
+//! Priority-queue k-way FM refinement (the classic FM discipline on top of the
+//! paper's gain tables).
+//!
+//! [`fm`](super::fm) applies only positive-gain moves in batched passes; this module is
+//! the full Fiduccia–Mattheyses local search over all `k` blocks: a max-heap of
+//! `(gain, vertex, target)` candidates drives the move order, moves with *negative* gain
+//! are allowed (hill climbing) and the pass is rolled back to the best prefix seen, so
+//! the search escapes local minima the batched scheme cannot leave. Gains come from the
+//! same [`GainCache`] variants as the batched path (none / dense `O(nk)` / sparse
+//! `O(m)`, paper §V) and are maintained incrementally after every move exactly like the
+//! 2-way FM of the initial partitioner ([`crate::initial::bipartition`]): moving `u`
+//! bumps the stamp of each neighbour and re-inserts its best feasible move, and stale
+//! heap entries are rejected by their stamp.
+//!
+//! # Determinism
+//!
+//! The candidate seeding and the gain-cache construction are parallel
+//! (order-preserving), while the move loop itself is sequential: heap entries are
+//! totally ordered by `(gain, vertex, target, stamp)`, so for a fixed seed the applied
+//! move sequence — and therefore the refined partition — is bit-identical at any thread
+//! count and on any graph representation that decodes the same neighbourhoods (CSR,
+//! compressed, paged). This matches the determinism invariant of initial partitioning
+//! and makes the algorithm usable in golden-cut regression tests.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use graph::traits::Graph;
+use graph::{NodeId, NodeWeight};
+use memtrack::MemoryScope;
+use rayon::prelude::*;
+
+use crate::context::GainTableKind;
+use crate::partition::{BlockId, Partition};
+
+use super::fm::FmStats;
+use super::gain_table::GainCache;
+
+/// A heap candidate: the move of `vertex` to `target` with `gain`, valid while the
+/// vertex's stamp still equals `stamp`. The derived lexicographic order (gain first)
+/// makes the `BinaryHeap` pop the highest-gain move; the remaining fields give every
+/// entry a unique rank, so the pop sequence is independent of insertion order.
+type Candidate = (i64, NodeId, BlockId, u64);
+
+/// Best feasible move of `u` under the current assignment: the adjacent block with the
+/// highest affinity gain whose weight constraint admits `u` (ties broken towards the
+/// lower block ID). Moves that would empty the source block are rejected so the
+/// partition keeps exactly `k` non-empty blocks.
+fn best_feasible_move(
+    graph: &impl Graph,
+    cache: &GainCache,
+    assignment: &[AtomicU32],
+    block_weights: &[NodeWeight],
+    max_block_weight: NodeWeight,
+    u: NodeId,
+) -> Option<(i64, BlockId)> {
+    let from = assignment[u as usize].load(Ordering::Relaxed);
+    let node_weight = graph.node_weight(u);
+    if block_weights[from as usize] <= node_weight {
+        return None;
+    }
+    let mut adjacent: Vec<BlockId> = Vec::new();
+    graph.for_each_neighbor(u, &mut |v, _| {
+        let b = assignment[v as usize].load(Ordering::Relaxed);
+        if b != from && !adjacent.contains(&b) {
+            adjacent.push(b);
+        }
+    });
+    if adjacent.is_empty() {
+        return None;
+    }
+    let from_affinity = cache.affinity(graph, assignment, u, from) as i64;
+    let mut best: Option<(i64, BlockId)> = None;
+    for &to in &adjacent {
+        if block_weights[to as usize] + node_weight > max_block_weight {
+            continue;
+        }
+        let gain = cache.affinity(graph, assignment, u, to) as i64 - from_affinity;
+        let better = match best {
+            None => true,
+            Some((bg, bt)) => gain > bg || (gain == bg && to < bt),
+        };
+        if better {
+            best = Some((gain, to));
+        }
+    }
+    best
+}
+
+/// Runs priority-queue k-way FM refinement on `partition`.
+///
+/// Each pass seeds the heap with every boundary vertex's best feasible move, then pops
+/// candidates in gain order: stale entries (stamp mismatch) are dropped, entries whose
+/// recomputed best move changed are re-inserted, and valid entries are applied — also
+/// when the gain is negative. A pass records the prefix of the move sequence with the
+/// best total gain and rolls back everything after it; it stops once `adverse_limit`
+/// consecutive moves fail to produce a new best prefix (bounded hill climbing). Passes
+/// repeat up to `max_passes` times or until a pass keeps no move.
+pub fn kway_fm_refine(
+    graph: &impl Graph,
+    partition: &mut Partition,
+    gain_table: GainTableKind,
+    max_passes: usize,
+    adverse_limit: usize,
+) -> FmStats {
+    let n = graph.n();
+    let k = partition.k();
+    if n == 0 || k <= 1 || max_passes == 0 {
+        return FmStats {
+            moves: 0,
+            gain_table_bytes: 0,
+            passes: 0,
+        };
+    }
+    let epsilon = partition.epsilon();
+    let max_block_weight = partition.max_block_weight();
+    let assignment: Vec<AtomicU32> = partition
+        .assignment()
+        .iter()
+        .map(|&b| AtomicU32::new(b))
+        .collect();
+    let mut block_weights: Vec<NodeWeight> = partition.block_weights().to_vec();
+
+    let cache = GainCache::new(gain_table, graph, &assignment, k);
+    let gain_table_bytes = cache.memory_bytes();
+    // Charged for the duration of refinement, like the batched FM path (Figure 7).
+    let _scope = MemoryScope::charge_global(gain_table_bytes);
+
+    let mut stamps: Vec<u64> = vec![0; n];
+    let mut locked: Vec<bool> = vec![false; n];
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    let mut seeds: Vec<(i64, NodeId, BlockId)> = Vec::new();
+    let mut move_log: Vec<(NodeId, BlockId, BlockId)> = Vec::new();
+
+    let mut total_moves = 0usize;
+    let mut passes = 0usize;
+    for _ in 0..max_passes {
+        passes += 1;
+        // Parallel, order-preserving seeding; the heap's total order makes the pop
+        // sequence independent of the insertion order anyway.
+        {
+            let assignment = &assignment;
+            let block_weights = &block_weights;
+            let cache = &cache;
+            (0..n as NodeId)
+                .into_par_iter()
+                .filter_map(|u| {
+                    best_feasible_move(graph, cache, assignment, block_weights, max_block_weight, u)
+                        .map(|(gain, to)| (gain, u, to))
+                })
+                .collect_into_vec(&mut seeds);
+        }
+        if seeds.is_empty() {
+            break;
+        }
+        heap.clear();
+        for &(gain, u, to) in &seeds {
+            heap.push((gain, u, to, stamps[u as usize]));
+        }
+        move_log.clear();
+        let mut total_gain = 0i64;
+        let mut best_gain = 0i64;
+        let mut best_len = 0usize;
+        let mut since_best = 0usize;
+        while let Some((gain, u, to, stamp)) = heap.pop() {
+            if since_best > adverse_limit {
+                break;
+            }
+            if locked[u as usize] || stamp != stamps[u as usize] {
+                continue;
+            }
+            let current = best_feasible_move(
+                graph,
+                &cache,
+                &assignment,
+                &block_weights,
+                max_block_weight,
+                u,
+            );
+            let (current_gain, current_to) = match current {
+                None => continue,
+                Some(best) => best,
+            };
+            if (current_gain, current_to) != (gain, to) {
+                // The entry went stale without a stamp bump (a block filled up or
+                // drained); re-insert the corrected move and retry later.
+                stamps[u as usize] += 1;
+                heap.push((current_gain, u, current_to, stamps[u as usize]));
+                continue;
+            }
+            let from = assignment[u as usize].load(Ordering::Relaxed);
+            let node_weight = graph.node_weight(u);
+            assignment[u as usize].store(to, Ordering::Relaxed);
+            block_weights[from as usize] -= node_weight;
+            block_weights[to as usize] += node_weight;
+            cache.apply_move(graph, u, from, to);
+            locked[u as usize] = true;
+            move_log.push((u, from, to));
+            total_gain += gain;
+            since_best += 1;
+            if total_gain > best_gain {
+                best_gain = total_gain;
+                best_len = move_log.len();
+                since_best = 0;
+            }
+            graph.for_each_neighbor(u, &mut |v, _| {
+                if !locked[v as usize] {
+                    stamps[v as usize] += 1;
+                    if let Some((gv, tv)) = best_feasible_move(
+                        graph,
+                        &cache,
+                        &assignment,
+                        &block_weights,
+                        max_block_weight,
+                        v,
+                    ) {
+                        heap.push((gv, v, tv, stamps[v as usize]));
+                    }
+                }
+            });
+        }
+        // Roll back the adverse tail: keep only the best prefix of the move sequence.
+        for &(u, from, to) in move_log[best_len..].iter().rev() {
+            let node_weight = graph.node_weight(u);
+            assignment[u as usize].store(from, Ordering::Relaxed);
+            block_weights[to as usize] -= node_weight;
+            block_weights[from as usize] += node_weight;
+            cache.apply_move(graph, u, to, from);
+        }
+        total_moves += best_len;
+        for l in locked.iter_mut() {
+            *l = false;
+        }
+        if best_len == 0 {
+            break;
+        }
+    }
+
+    let final_assignment: Vec<BlockId> = assignment
+        .into_iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
+    *partition = Partition::from_assignment(graph, k, epsilon, final_assignment);
+    let cut = partition.edge_cut_on(graph);
+    partition.set_cached_cut(cut);
+    FmStats {
+        moves: total_moves,
+        gain_table_bytes,
+        passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen;
+
+    fn scrambled(graph: &impl Graph, k: usize, epsilon: f64) -> Partition {
+        let assignment: Vec<BlockId> = (0..graph.n() as u32)
+            .map(|u| (u.wrapping_mul(2_654_435_761) >> 8) % k as u32)
+            .collect();
+        Partition::from_assignment(graph, k, epsilon, assignment)
+    }
+
+    #[test]
+    fn improves_cut_with_every_gain_table_kind() {
+        let g = gen::grid2d(16, 16);
+        for kind in [
+            GainTableKind::None,
+            GainTableKind::Dense,
+            GainTableKind::Sparse,
+        ] {
+            let mut p = scrambled(&g, 4, 0.25);
+            let before = p.edge_cut_on(&g);
+            let stats = kway_fm_refine(&g, &mut p, kind, 8, 64);
+            let after = p.edge_cut_on(&g);
+            assert!(stats.moves > 0, "{:?}: no moves", kind);
+            assert!(after < before, "{:?}: cut {} -> {}", kind, before, after);
+            assert!(p.is_balanced(), "{:?}: imbalance {}", kind, p.imbalance());
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_the_batched_fm() {
+        let g = gen::rgg2d(800, 10, 5);
+        let mut batched = scrambled(&g, 8, 0.25);
+        let mut kway = batched.clone();
+        super::super::fm::fm_refine(&g, &mut batched, GainTableKind::Sparse, 8, 1.0);
+        kway_fm_refine(&g, &mut kway, GainTableKind::Sparse, 8, 64);
+        assert!(
+            kway.edge_cut_on(&g) <= batched.edge_cut_on(&g),
+            "priority-queue FM worse than batched FM: {} vs {}",
+            kway.edge_cut_on(&g),
+            batched.edge_cut_on(&g)
+        );
+    }
+
+    #[test]
+    fn untangles_an_alternating_clique_bisection() {
+        let g = gen::clique_chain(2, 8);
+        let assignment: Vec<BlockId> = (0..16u32).map(|u| if u % 2 == 0 { 0 } else { 1 }).collect();
+        let mut p = Partition::from_assignment(&g, 2, 0.3, assignment);
+        let before = p.edge_cut_on(&g);
+        let stats = kway_fm_refine(&g, &mut p, GainTableKind::Sparse, 8, 64);
+        let after = p.edge_cut_on(&g);
+        assert!(stats.moves > 0);
+        assert!(after < before, "cut {} -> {}", before, after);
+        assert!(p.is_balanced());
+    }
+
+    #[test]
+    fn zero_gain_plateau_is_escaped_by_hill_climbing() {
+        // A cycle cut into four arcs of equal length: every boundary move has gain 0
+        // (one neighbour per side), so a positive-gain-only scheme is frozen at cut 4.
+        // Sliding arc boundaries via zero-gain moves merges arcs and reaches a lower
+        // cut; only the rollback-to-best-prefix discipline can keep such a sequence.
+        let g = gen::cycle(16);
+        let assignment: Vec<BlockId> = (0..16u32).map(|u| (u / 4) % 2).collect();
+        let mut p = Partition::from_assignment(&g, 2, 0.6, assignment);
+        assert_eq!(p.edge_cut_on(&g), 4);
+        kway_fm_refine(&g, &mut p, GainTableKind::Sparse, 8, 64);
+        let after = p.edge_cut_on(&g);
+        assert!(after < 4, "plateau not escaped: cut still {}", after);
+        assert!(p.is_balanced());
+    }
+
+    #[test]
+    fn respects_the_balance_constraint() {
+        let g = gen::star(101);
+        let assignment: Vec<BlockId> = (0..101u32).map(|u| u % 4).collect();
+        let mut p = Partition::from_assignment(&g, 4, 0.03, assignment);
+        kway_fm_refine(&g, &mut p, GainTableKind::Sparse, 4, 64);
+        assert!(p.is_balanced(), "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn never_empties_a_block() {
+        let g = gen::grid2d(8, 8);
+        let mut p = scrambled(&g, 8, 0.5);
+        kway_fm_refine(&g, &mut p, GainTableKind::Dense, 6, 64);
+        for b in 0..8u32 {
+            assert!(p.block_weight(b) > 0, "block {} emptied", b);
+        }
+    }
+
+    #[test]
+    fn noop_on_an_optimal_partition_and_degenerate_inputs() {
+        let g = gen::clique_chain(2, 10);
+        let assignment: Vec<BlockId> = (0..20u32).map(|u| if u < 10 { 0 } else { 1 }).collect();
+        let mut p = Partition::from_assignment(&g, 2, 0.03, assignment);
+        let stats = kway_fm_refine(&g, &mut p, GainTableKind::Sparse, 4, 64);
+        assert_eq!(stats.moves, 0);
+        assert_eq!(p.edge_cut_on(&g), 1);
+
+        let path = gen::path(5);
+        let mut single = Partition::from_assignment(&path, 1, 0.03, vec![0; 5]);
+        let stats = kway_fm_refine(&path, &mut single, GainTableKind::Dense, 3, 64);
+        assert_eq!(stats.moves, 0);
+        assert_eq!(stats.passes, 0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = gen::rgg2d(600, 10, 9);
+        let reference = {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap();
+            let mut p = scrambled(&g, 6, 0.1);
+            pool.install(|| kway_fm_refine(&g, &mut p, GainTableKind::Sparse, 4, 64));
+            p
+        };
+        for threads in [2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut p = scrambled(&g, 6, 0.1);
+            pool.install(|| kway_fm_refine(&g, &mut p, GainTableKind::Sparse, 4, 64));
+            assert_eq!(
+                p.assignment(),
+                reference.assignment(),
+                "{} threads diverged",
+                threads
+            );
+        }
+    }
+}

@@ -2,18 +2,21 @@
 //!
 //! After the partition of a coarse graph is projected to the next finer graph, it is
 //! improved by local search: size-constrained label propagation refinement
-//! ([`mod@lp_refine`]) always runs; the TeraPart-FM configuration additionally runs
-//! parallel FM-style refinement with a gain cache ([`fm`]). A greedy [`fn@rebalance`]
-//! pass repairs
-//! any residual balance violations.
+//! ([`mod@lp_refine`]) always runs; depending on [`RefinementAlgorithm`] it is
+//! followed by the batched positive-gain parallel FM of the paper ([`fm`]) or by
+//! priority-queue hill-climbing k-way FM ([`kway_fm`], the `default`/`strong`
+//! presets) — both on the §V gain caches ([`gain_table`]). A greedy
+//! [`fn@rebalance`] pass repairs any residual balance violations.
 
 pub mod fm;
 pub mod gain_table;
+pub mod kway_fm;
 pub mod lp_refine;
 pub mod rebalance;
 
 pub use fm::{fm_refine, fm_refine_with_candidates, FmStats};
 pub use gain_table::GainCache;
+pub use kway_fm::kway_fm_refine;
 pub use lp_refine::{lp_refine, lp_refine_with_scratch, LpRefineStats};
 pub use rebalance::rebalance;
 
@@ -69,17 +72,31 @@ pub fn refine_with_scratch(
         lp_moves: lp_stats.moves,
         ..Default::default()
     };
-    if config.algorithm == RefinementAlgorithm::FmWithLabelPropagation {
-        let fm_stats = fm_refine_with_candidates(
-            graph,
-            partition,
-            config.gain_table,
-            config.fm_passes,
-            config.fm_fraction,
-            &mut scratch.fm_candidates,
-        );
-        stats.fm_moves = fm_stats.moves;
-        stats.gain_table_bytes = fm_stats.gain_table_bytes;
+    match config.algorithm {
+        RefinementAlgorithm::LabelPropagation => {}
+        RefinementAlgorithm::FmWithLabelPropagation => {
+            let fm_stats = fm_refine_with_candidates(
+                graph,
+                partition,
+                config.gain_table,
+                config.fm_passes,
+                config.fm_fraction,
+                &mut scratch.fm_candidates,
+            );
+            stats.fm_moves = fm_stats.moves;
+            stats.gain_table_bytes = fm_stats.gain_table_bytes;
+        }
+        RefinementAlgorithm::KWayFmWithLabelPropagation => {
+            let fm_stats = kway_fm::kway_fm_refine(
+                graph,
+                partition,
+                config.gain_table,
+                config.fm_passes,
+                config.fm_adverse_limit,
+            );
+            stats.fm_moves = fm_stats.moves;
+            stats.gain_table_bytes = fm_stats.gain_table_bytes;
+        }
     }
     if !partition.is_balanced() {
         stats.rebalance_moves = rebalance(graph, partition);
