@@ -218,11 +218,13 @@ fn main() {
         builder
     };
     let seq_container = ingest_dir.join("ingest_seq.tpg");
+    let mut ingest_spill = graph::store::SpillStats::default();
     let sequential_seconds = best_seconds(
         ingest_runs,
         || spill_edges(&ingest_dir),
         |builder| {
             ingest_edges = builder.edges_added();
+            ingest_spill = builder.spill_stats();
             builder
                 .finish_sequential(&seq_container, &graph::CompressionConfig::default())
                 .expect("sequential finish failed")
@@ -255,6 +257,7 @@ fn main() {
         sequential_seconds,
         pipelined_seconds,
         container_bytes,
+        spill: ingest_spill,
     };
     println!(
         "stream_ingest: sequential {:.1} ms -> pipelined {:.1} ms ({:.2}x, {:.0} edges/s)",
@@ -263,23 +266,69 @@ fn main() {
         stream_ingest.speedup(),
         stream_ingest.edges_per_second()
     );
+    println!(
+        "spill volume: {} unit + {} weighted records, {} vs {} full-width ({:.1}% saved)",
+        ingest_spill.unit_records,
+        ingest_spill.weighted_records,
+        memtrack::format_bytes(ingest_spill.bytes as usize),
+        memtrack::format_bytes(ingest_spill.full_width_bytes as usize),
+        ingest_spill.savings() * 100.0
+    );
 
-    // ---- Full pipeline with phase breakdown. ----
+    // ---- Full pipeline with phase breakdown, recorded through the obs layer. ----
     let tracker = PhaseTracker::new();
     memtrack::global().reset_peak();
-    let measurement = {
-        let result = terapart::partition_csr_with_tracker(&graph, &config, &tracker);
-        bench::harness::Measurement {
-            instance: instance.to_string(),
-            algorithm: "terapart".to_string(),
-            k: config.k,
-            edge_cut: result.edge_cut,
-            time: result.total_time,
-            peak_memory_bytes: result.peak_memory_bytes.max(tracker.overall_peak()),
-            balanced: result.partition.is_balanced(),
-        }
+    let (measurement, run_report) = {
+        let recording_config = config.clone().with_run_report(true);
+        let result = terapart::partition_csr_with_tracker(&graph, &recording_config, &tracker);
+        let report = result
+            .run_report
+            .expect("recording config attaches a run report");
+        (
+            bench::harness::Measurement {
+                instance: instance.to_string(),
+                algorithm: "terapart".to_string(),
+                k: config.k,
+                edge_cut: result.edge_cut,
+                time: result.total_time,
+                peak_memory_bytes: result.peak_memory_bytes.max(tracker.overall_peak()),
+                balanced: result.partition.is_balanced(),
+            },
+            report,
+        )
     };
     println!("{}", measurement.row());
+    println!(
+        "run report: total {:.3}s, span coverage {:.1}% ({} spans, {} counters)",
+        run_report.total_seconds(),
+        run_report.span_coverage * 100.0,
+        run_report.all_spans().len(),
+        run_report.counters.len()
+    );
+    assert!(
+        run_report.span_coverage >= 0.95,
+        "span tree covers only {:.1}% of the pipeline wall time",
+        run_report.span_coverage * 100.0
+    );
+
+    // ---- Observability determinism check: recording must not perturb the result.
+    // Single-threaded, because parallel LP applies moves in scheduling order and is
+    // only reproducible sequentially (see tests/observability.rs for the LP-free
+    // multi-thread check). ----
+    let det_config = config.clone().with_threads(1);
+    let noop_run = terapart::partition_csr(&graph, &det_config);
+    assert!(noop_run.run_report.is_none());
+    let recorded_run = terapart::partition_csr(&graph, &det_config.clone().with_run_report(true));
+    assert_eq!(noop_run.edge_cut, recorded_run.edge_cut);
+    assert_eq!(
+        noop_run.partition.assignment(),
+        recorded_run.partition.assignment(),
+        "recording perturbed the fixed-seed rmat-14 result"
+    );
+    println!(
+        "determinism: recording run bit-identical to noop run (cut {})",
+        noop_run.edge_cut
+    );
 
     // ---- On-disk pipeline: same instance through the `.tpg` store at two page
     // budgets (a starved cache and a comfortable one). ----
@@ -345,6 +394,7 @@ fn main() {
         Some(&stream_ingest),
         &ondisk_runs,
         &other_width_runs,
+        Some(&run_report),
     )
     .expect("failed to write BENCH_pipeline.json");
     println!("wrote {}", path.display());

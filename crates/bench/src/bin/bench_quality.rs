@@ -22,7 +22,10 @@
 //! * `--out`    — output path (default `BENCH_quality.json`).
 
 use bench::golden::{golden_run, golden_specs, GOLDEN_K};
-use bench::harness::{geometric_mean, measure_run, write_quality_json, FrontierCheck, QualityRun};
+use bench::harness::{
+    geometric_mean, measure_run, measure_run_reported, write_quality_json, FrontierCheck,
+    QualityRun,
+};
 use bench::instances::InstanceStore;
 use bench::setup::{preset_ladder, quality_families};
 use graph::traits::Graph;
@@ -50,6 +53,9 @@ fn main() {
     let store = InstanceStore::open_default().expect("failed to open the instance cache");
     let mut runs: Vec<QualityRun> = Vec::new();
     let mut frontier_checks: Vec<FrontierCheck> = Vec::new();
+    // One representative recorded run (the first rung's `default` preset), embedded as
+    // the compact `observability` section of BENCH_quality.json.
+    let mut obs_report: Option<obs::RunReport> = None;
 
     for family in quality_families() {
         let rung_count = if smoke { 1 } else { family.rungs.len() };
@@ -59,7 +65,13 @@ fn main() {
                 .expect("failed to resolve a ladder instance");
             let mut fast_cut = None;
             for (preset_name, config) in preset_ladder(QUALITY_K) {
-                let m = measure_run(rung.name, preset_name, &graph, &config);
+                let m = if obs_report.is_none() && preset_name == "default" {
+                    let (m, report) = measure_run_reported(rung.name, preset_name, &graph, &config);
+                    obs_report = Some(report);
+                    m
+                } else {
+                    measure_run(rung.name, preset_name, &graph, &config)
+                };
                 println!("{:<18} {}", family.family, m.row());
                 if preset_name == "fast" {
                     fast_cut = Some(m.edge_cut);
@@ -140,6 +152,7 @@ fn main() {
         &runs,
         &frontier_checks,
         &strong_beats_fast,
+        obs_report.as_ref(),
     )
     .expect("failed to write the quality sweep");
     println!(

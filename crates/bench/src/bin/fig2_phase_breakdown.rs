@@ -1,8 +1,12 @@
-//! Figure 2: memory consumption during the different phases of the algorithm.
+//! Figure 2: time and memory consumption during the different phases of the algorithm.
 //!
 //! Paper setting: webbase2001, p = 96, k = 64 with the baseline KaMinPar configuration.
 //! Here: a web-like synthetic graph, k = 64; the expected shape is that clustering on
 //! the top level dominates the peak, followed by contraction.
+//!
+//! The breakdown is the observability layer's own [`obs::RunReport::summary_table`]:
+//! the span tree (pipeline → level → phase) with durations and share of the total
+//! wall time, the per-phase `peak_bytes` attributes, and the unified counter snapshot.
 use graph::gen;
 use memtrack::PhaseTracker;
 use terapart::{partition_csr_with_tracker, PartitionerConfig};
@@ -11,29 +15,23 @@ fn main() {
     let graph = gen::weblike(14, 14, 9);
     let k = 64;
     let tracker = PhaseTracker::new();
-    let config = PartitionerConfig::kaminpar(k).with_threads(2);
+    let config = PartitionerConfig::kaminpar(k)
+        .with_threads(2)
+        .with_run_report(true);
     let result = partition_csr_with_tracker(&graph, &config, &tracker);
+    let report = result
+        .run_report
+        .as_ref()
+        .expect("recording config attaches a run report");
     println!(
-        "Figure 2: per-phase peak memory (KaMinPar baseline, k={})",
+        "Figure 2: per-phase wall time and peak memory (KaMinPar baseline, k={})",
         k
     );
+    print!("{}", report.summary_table());
     println!(
-        "{:<20} {:>6} {:>14} {:>14} {:>10}",
-        "phase", "level", "peak", "auxiliary", "time [s]"
-    );
-    for report in tracker.reports() {
-        println!(
-            "{:<20} {:>6} {:>14} {:>14} {:>10.3}",
-            report.name,
-            report.level,
-            memtrack::format_bytes(report.peak_bytes),
-            memtrack::format_bytes(report.auxiliary_bytes()),
-            report.elapsed.as_secs_f64()
-        );
-    }
-    println!(
-        "edge cut = {}, overall peak = {}",
+        "edge cut = {}, span coverage = {:.1}%, overall peak = {}",
         result.edge_cut,
+        report.span_coverage * 100.0,
         memtrack::format_bytes(tracker.overall_peak())
     );
 }

@@ -1,0 +1,203 @@
+//! CI smoke test of the observability layer: runs one traced pipeline on a small
+//! web-like instance, then validates that the exported Chrome trace-event file parses
+//! and that its span tree nests correctly (`pipeline ⊇ level ⊇ phase ⊇ round`).
+//!
+//! Run at both ID widths by the `obs-smoke` CI job:
+//!
+//! ```text
+//! cargo run --release -p bench --bin obs_smoke
+//! cargo run --release --features wide-ids -p bench --bin obs_smoke
+//! ```
+//!
+//! The validator is a minimal hand-rolled scanner over this workspace's own trace
+//! output (one complete event per line) — no JSON dependency exists in the workspace.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use graph::gen;
+use graph::traits::Graph;
+use terapart::{PartitionerConfig, ProgressEvent};
+
+/// One parsed `"ph": "X"` complete event of the trace file.
+#[derive(Debug)]
+struct TraceEvent {
+    name: String,
+    /// Span kind (`pipeline` / `level` / `phase` / `round`), from the `cat` field.
+    cat: String,
+    /// Recorder-unique id from `args.id`.
+    id: u64,
+    /// Id of the enclosing span from `args.parent` (0 for a root).
+    parent: u64,
+    /// Start timestamp in microseconds.
+    ts: f64,
+    /// Duration in microseconds.
+    dur: f64,
+}
+
+/// Extracts `"key": <value>` from one event line, up to the next `,` or `}`.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn string_field(line: &str, key: &str) -> Option<String> {
+    raw_field(line, key).map(|v| v.trim_matches('"').to_string())
+}
+
+fn parse_trace(text: &str) -> Vec<TraceEvent> {
+    assert!(
+        text.trim_start().starts_with('['),
+        "trace must be a JSON array"
+    );
+    assert!(
+        text.trim_end().ends_with(']'),
+        "trace array is unterminated"
+    );
+    text.lines()
+        .filter(|line| line.contains("\"ph\": \"X\""))
+        .map(|line| TraceEvent {
+            name: string_field(line, "name").expect("event without a name"),
+            cat: string_field(line, "cat").expect("event without a cat"),
+            id: raw_field(line, "id")
+                .and_then(|v| v.parse().ok())
+                .expect("event without an args.id"),
+            parent: raw_field(line, "parent")
+                .and_then(|v| v.parse().ok())
+                .expect("event without an args.parent"),
+            ts: raw_field(line, "ts")
+                .and_then(|v| v.parse().ok())
+                .expect("event without a ts"),
+            dur: raw_field(line, "dur")
+                .and_then(|v| v.parse().ok())
+                .expect("event without a dur"),
+        })
+        .collect()
+}
+
+/// Nesting rank of a span kind; a child's rank must be strictly greater than its
+/// parent's.
+fn rank(cat: &str) -> u32 {
+    match cat {
+        "pipeline" => 0,
+        "level" => 1,
+        "phase" => 2,
+        "round" => 3,
+        other => panic!("unknown span kind {other:?} in the trace"),
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("terapart_obs_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("failed to create the smoke dir");
+    let trace_path = dir.join("trace.json");
+
+    let graph = gen::weblike(12, 10, 7);
+    println!(
+        "obs smoke: id width {} bits, n={}, m={}",
+        graph::NodeId::BITS,
+        graph.n(),
+        graph.m()
+    );
+    let progress_events = Arc::new(AtomicUsize::new(0));
+    let progress_counter = progress_events.clone();
+    let config = PartitionerConfig::terapart(8)
+        .with_threads(2)
+        .with_trace_path(&trace_path)
+        .with_progress(move |_event: &ProgressEvent| {
+            progress_counter.fetch_add(1, Ordering::Relaxed);
+        });
+    let result = terapart::partition_csr(&graph, &config);
+    assert!(result.partition.is_balanced(), "smoke run is imbalanced");
+    let report = result
+        .run_report
+        .as_ref()
+        .expect("a trace path implies recording");
+    assert!(
+        report.span_coverage >= 0.9,
+        "span coverage {:.3} too low",
+        report.span_coverage
+    );
+    let fired = progress_events.load(Ordering::Relaxed);
+    assert!(
+        fired >= 2,
+        "progress hook fired only {fired} times (expected coarsen + initial + refine events)"
+    );
+
+    // ---- Validate the Chrome trace. ----
+    let text = std::fs::read_to_string(&trace_path).expect("trace file missing");
+    let events = parse_trace(&text);
+    assert!(!events.is_empty(), "trace contains no events");
+    let by_id: std::collections::HashMap<u64, &TraceEvent> =
+        events.iter().map(|e| (e.id, e)).collect();
+    assert_eq!(by_id.len(), events.len(), "duplicate span ids in the trace");
+
+    let pipeline = events
+        .iter()
+        .find(|e| e.cat == "pipeline")
+        .expect("no pipeline span in the trace");
+    assert_eq!(pipeline.parent, 0, "the pipeline span must be a root");
+    let mut levels = 0usize;
+    let mut phases_under_level = 0usize;
+    for event in &events {
+        if event.parent == 0 {
+            // Roots: the pipeline itself plus pre-pipeline phases (compress_input /
+            // open_store), which end before the pipeline span begins.
+            assert!(
+                event.cat == "pipeline" || event.cat == "phase",
+                "unexpected root span {} ({})",
+                event.name,
+                event.cat
+            );
+            continue;
+        }
+        let parent = by_id
+            .get(&event.parent)
+            .unwrap_or_else(|| panic!("span {} has a dangling parent id", event.name));
+        assert!(
+            rank(&event.cat) > rank(&parent.cat),
+            "span {} ({}) nested under {} ({})",
+            event.name,
+            event.cat,
+            parent.name,
+            parent.cat
+        );
+        // Timestamp containment, with 1µs slack for the truncation to microseconds.
+        assert!(
+            event.ts + 1e-3 >= parent.ts && event.ts + event.dur <= parent.ts + parent.dur + 1e-3,
+            "span {} [{}, {}] escapes its parent {} [{}, {}]",
+            event.name,
+            event.ts,
+            event.ts + event.dur,
+            parent.name,
+            parent.ts,
+            parent.ts + parent.dur
+        );
+        if event.cat == "level" {
+            assert_eq!(
+                parent.cat, "pipeline",
+                "level span {} not directly under the pipeline",
+                event.name
+            );
+            levels += 1;
+        }
+        if event.cat == "phase" && parent.cat == "level" {
+            phases_under_level += 1;
+        }
+    }
+    assert!(levels > 0, "no level spans under the pipeline");
+    assert!(phases_under_level > 0, "no phase spans under a level");
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "obs smoke OK: {} events, {} level spans, {} nested phases, coverage {:.1}%, {} progress events",
+        events.len(),
+        levels,
+        phases_under_level,
+        report.span_coverage * 100.0,
+        fired
+    );
+}

@@ -72,6 +72,34 @@ pub fn measure_run(
     }
 }
 
+/// Like [`measure_run`], but with run-report recording enabled. Returns the structured
+/// [`obs::RunReport`] (span tree + counter snapshot) alongside the measurement, for
+/// embedding into the bench JSON files.
+pub fn measure_run_reported(
+    instance: &str,
+    algorithm: &str,
+    graph: &CsrGraph,
+    config: &PartitionerConfig,
+) -> (Measurement, obs::RunReport) {
+    let recording = config.clone().with_run_report(true);
+    let tracker = PhaseTracker::new();
+    memtrack::global().reset_peak();
+    let result = partition_csr_with_tracker(graph, &recording, &tracker);
+    let report = result
+        .run_report
+        .expect("recording config attaches a run report");
+    let measurement = Measurement {
+        instance: instance.to_string(),
+        algorithm: algorithm.to_string(),
+        k: config.k,
+        edge_cut: result.edge_cut,
+        time: result.total_time,
+        peak_memory_bytes: result.peak_memory_bytes.max(tracker.overall_peak()),
+        balanced: result.partition.is_balanced(),
+    };
+    (measurement, report)
+}
+
 /// One measured `partition_ondisk` run at a fixed page budget, recorded alongside the
 /// in-memory pipeline in `BENCH_pipeline.json`.
 #[derive(Debug, Clone)]
@@ -115,6 +143,9 @@ pub struct StreamIngestRun {
     pub pipelined_seconds: f64,
     /// Size of the produced container (byte-identical across both paths).
     pub container_bytes: u64,
+    /// Spill-file volume of the stream (unit-weight vs full-width records), the
+    /// before/after evidence for the unit-weight spill-record format.
+    pub spill: graph::store::SpillStats,
 }
 
 impl StreamIngestRun {
@@ -228,6 +259,7 @@ pub fn write_pipeline_json(
     stream_ingest: Option<&StreamIngestRun>,
     ondisk: &[OndiskRun],
     other_width_runs: &[WidthRun],
+    run_report: Option<&obs::RunReport>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -275,7 +307,7 @@ pub fn write_pipeline_json(
     out.push_str("  ],\n");
     match stream_ingest {
         Some(run) => out.push_str(&format!(
-            "  \"stream_ingest\": {{\"n\": {}, \"edges_added\": {}, \"buckets\": {}, \"threads\": {}, \"sequential_seconds\": {:.6}, \"pipelined_seconds\": {:.6}, \"ingest_speedup\": {:.3}, \"edges_per_second\": {:.0}, \"container_bytes\": {}}},\n",
+            "  \"stream_ingest\": {{\"n\": {}, \"edges_added\": {}, \"buckets\": {}, \"threads\": {}, \"sequential_seconds\": {:.6}, \"pipelined_seconds\": {:.6}, \"ingest_speedup\": {:.3}, \"edges_per_second\": {:.0}, \"container_bytes\": {}, \"spill_unit_records\": {}, \"spill_weighted_records\": {}, \"spill_bytes\": {}, \"spill_full_width_bytes\": {}, \"spill_savings\": {:.4}}},\n",
             run.n,
             run.edges_added,
             run.buckets,
@@ -285,6 +317,11 @@ pub fn write_pipeline_json(
             run.speedup(),
             run.edges_per_second(),
             run.container_bytes,
+            run.spill.unit_records,
+            run.spill.weighted_records,
+            run.spill.bytes,
+            run.spill.full_width_bytes,
+            run.spill.savings(),
         )),
         None => out.push_str("  \"stream_ingest\": null,\n"),
     }
@@ -318,6 +355,18 @@ pub fn write_pipeline_json(
         ));
     }
     out.push_str("  ],\n");
+    // Embedded run report (span tree + counters) of the recorded pipeline run. This
+    // section must stay *below* the headline fields: `read_width_run` line-scans for
+    // the first match of each field name, and the report's counter names overlap
+    // (e.g. `peak_memory_bytes`).
+    match run_report {
+        Some(report) => {
+            out.push_str("  \"observability\": ");
+            report.write_json(&mut out, 1);
+            out.push_str(",\n");
+        }
+        None => out.push_str("  \"observability\": null,\n"),
+    }
     // Width ladder: this run plus any runs recorded by binaries built at other widths,
     // so the wide-ids overhead is tracked next to the default from day one.
     let mut width_runs = vec![WidthRun {
@@ -398,6 +447,7 @@ pub fn write_quality_json(
     runs: &[QualityRun],
     frontier_checks: &[FrontierCheck],
     strong_beats_fast_families: &[String],
+    run_report: Option<&obs::RunReport>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -450,7 +500,29 @@ pub fn write_quality_json(
             }
         ));
     }
-    out.push_str("]\n}\n");
+    out.push_str("],\n");
+    // Compact observability view of one representative recorded run: headline timing,
+    // coverage, and the counter snapshot — the full span tree lives in
+    // `BENCH_pipeline.json`.
+    match run_report {
+        Some(report) => {
+            out.push_str("  \"observability\": {");
+            out.push_str(&format!(
+                "\"total_seconds\": {:.6}, \"span_coverage\": {:.4}, \"counters\": {{",
+                report.total_seconds(),
+                report.span_coverage
+            ));
+            for (i, (c, v)) in report.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", c.name(), v));
+            }
+            out.push_str("}}\n");
+        }
+        None => out.push_str("  \"observability\": null\n"),
+    }
+    out.push_str("}\n");
     let mut file = std::fs::File::create(path)?;
     file.write_all(out.as_bytes())
 }

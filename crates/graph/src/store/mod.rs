@@ -49,6 +49,6 @@ pub use container::{
 };
 pub use paged::{CacheStatsSnapshot, FatalIoError, PagedGraph, PagedGraphOptions, RetryPolicy};
 pub use stream::{
-    stream_rgg2d_to_tpg, stream_rgg3d_to_tpg, stream_rmat_to_tpg, StreamingTpgBuilder,
+    stream_rgg2d_to_tpg, stream_rgg3d_to_tpg, stream_rmat_to_tpg, SpillStats, StreamingTpgBuilder,
     MAX_SPILL_BUCKETS,
 };

@@ -180,6 +180,18 @@ impl CacheStatsSnapshot {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Pours this snapshot into an observability registry, making the snapshot a view
+    /// over the unified counter set rather than a parallel ad-hoc struct.
+    pub fn export_into(&self, metrics: &obs::MetricsRegistry) {
+        use obs::Counter;
+        metrics.add(Counter::CacheHits, self.hits);
+        metrics.add(Counter::CacheMisses, self.misses);
+        metrics.add(Counter::CachePrefetchedPages, self.prefetched_pages);
+        metrics.add(Counter::CachePrefetchBytes, self.prefetch_bytes);
+        metrics.add(Counter::CacheRetriedReads, self.retried_reads);
+        metrics.add(Counter::CacheChecksumFailures, self.checksum_failures);
+    }
 }
 
 #[derive(Default)]
@@ -1135,6 +1147,12 @@ impl Graph for PagedGraph {
 
     fn is_node_weighted(&self) -> bool {
         !self.node_weights.is_empty()
+    }
+
+    fn record_obs_metrics(&self, metrics: &obs::MetricsRegistry) {
+        // Settle queued readahead first so the exported prefetch counters are final.
+        self.wait_prefetch_idle();
+        self.cache_stats().export_into(metrics);
     }
 
     fn max_degree(&self) -> usize {

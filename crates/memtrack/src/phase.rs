@@ -97,6 +97,18 @@ impl PhaseTracker {
     /// is reset to the current value at phase entry so that the recorded peak belongs to
     /// this phase (the overall run peak is the maximum over all reports).
     pub fn run<T>(&self, name: &str, level: usize, f: impl FnOnce() -> T) -> T {
+        self.run_reported(name, level, f).0
+    }
+
+    /// Like [`run`](Self::run), but also hands the caller the [`PhaseReport`] that was
+    /// recorded, so observability layers can attach the phase's peak/elapsed figures
+    /// to their own span without re-scanning [`reports`](Self::reports).
+    pub fn run_reported<T>(
+        &self,
+        name: &str,
+        level: usize,
+        f: impl FnOnce() -> T,
+    ) -> (T, PhaseReport) {
         let entry = global().current();
         global().reset_peak();
         self.active.stack.lock().push(format!("{}@{}", name, level));
@@ -109,15 +121,16 @@ impl PhaseTracker {
         drop(guard);
         let peak = global().peak();
         let exit = global().current();
-        self.reports.lock().push(PhaseReport {
+        let report = PhaseReport {
             name: name.to_string(),
             level,
             bytes_at_entry: entry,
             peak_bytes: peak.max(entry),
             bytes_at_exit: exit,
             elapsed,
-        });
-        result
+        };
+        self.reports.lock().push(report.clone());
+        (result, report)
     }
 
     /// Records an externally measured phase (used by code that cannot wrap the phase in a

@@ -1,0 +1,114 @@
+//! Chrome `chrome://tracing` / Perfetto trace-event export.
+//!
+//! Emits the JSON-array flavour of the trace-event format: one complete (`"ph": "X"`)
+//! event per span, timestamps in microseconds relative to the recorder epoch. The
+//! span's recorder id and parent id ride along in `args` so tools (and the `obs_smoke`
+//! validator) can check the nesting without relying on timestamp containment alone.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::report::{ReportSpan, RunReport};
+
+/// Writes the report's span tree as a Chrome trace-event JSON file.
+///
+/// The file is written atomically enough for our purposes (single create + buffered
+/// writes); on error the partially written file is left for inspection.
+pub fn write_chrome_trace(path: &Path, report: &RunReport) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = io::BufWriter::new(file);
+    out.write_all(b"[\n")?;
+    let mut next_id = 1u64;
+    let mut first = true;
+    for root in &report.roots {
+        write_events(&mut out, root, 0, &mut next_id, &mut first)?;
+    }
+    out.write_all(b"\n]\n")?;
+    out.flush()
+}
+
+fn write_events(
+    out: &mut impl Write,
+    span: &ReportSpan,
+    parent: u64,
+    next_id: &mut u64,
+    first: &mut bool,
+) -> io::Result<()> {
+    let id = *next_id;
+    *next_id += 1;
+    if !*first {
+        out.write_all(b",\n")?;
+    }
+    *first = false;
+    let mut args = format!("\"id\": {id}, \"parent\": {parent}");
+    if let Some(level) = span.level {
+        args.push_str(&format!(", \"level\": {level}"));
+    }
+    for (k, v) in &span.attrs {
+        args.push_str(&format!(", \"{k}\": {v}"));
+    }
+    write!(
+        out,
+        "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": 1, \"tid\": 1, \"args\": {{{}}}}}",
+        span.name,
+        span.kind.name(),
+        span.start_ns / 1000,
+        span.start_ns % 1000,
+        span.dur_ns / 1000,
+        span.dur_ns % 1000,
+        args
+    )?;
+    for child in &span.children {
+        write_events(out, child, id, next_id, first)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::report::SpanRecord;
+    use crate::sink::SpanKind;
+
+    #[test]
+    fn trace_file_is_a_json_array_of_complete_events() {
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                kind: SpanKind::Pipeline,
+                name: "pipeline",
+                level: None,
+                start_ns: 0,
+                end_ns: 5_000_000,
+                attrs: vec![("n", 100)],
+            },
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                kind: SpanKind::Phase,
+                name: "cluster",
+                level: Some(0),
+                start_ns: 1_000,
+                end_ns: 2_000_000,
+                attrs: Vec::new(),
+            },
+        ];
+        let report = RunReport::from_spans(spans, &MetricsRegistry::new());
+        let dir = std::env::temp_dir().join("obs_chrome_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        write_chrome_trace(&path, &report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"ph\": \"X\""));
+        assert!(text.contains("\"name\": \"pipeline\""));
+        assert!(
+            text.contains("\"parent\": 1"),
+            "child links to its parent id"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

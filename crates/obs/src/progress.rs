@@ -1,0 +1,133 @@
+//! Live progress reporting: the seam a resident server streams to clients.
+//!
+//! The hook is deliberately pull-free — the pipeline pushes small value-typed events
+//! at coarse boundaries (level transitions, refinement pass completion) and never
+//! blocks on the callback's behalf. Computing the live cut for an event is a read-only
+//! scan, so an installed hook cannot perturb the partitioning result.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// What the pipeline reports while it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// A coarsening level finished (clustering + contraction).
+    LevelCoarsened {
+        /// Level index, 0 = first contraction of the input graph.
+        level: usize,
+        /// Vertices before contraction.
+        fine_nodes: usize,
+        /// Vertices after contraction.
+        coarse_nodes: usize,
+        /// Edges after contraction.
+        coarse_edges: usize,
+    },
+    /// The coarsest graph received its initial partition.
+    InitialPartitioned {
+        /// Vertices of the coarsest graph.
+        coarse_nodes: usize,
+        /// Cut of the initial partition.
+        edge_cut: u64,
+        /// Imbalance of the initial partition.
+        imbalance: f64,
+    },
+    /// One uncoarsening level finished refining (projection + LP + FM + rebalance).
+    LevelRefined {
+        /// Level index counting down toward 0 (= the input graph).
+        level: usize,
+        /// Vertices at this level.
+        nodes: usize,
+        /// Cut after refining this level.
+        edge_cut: u64,
+        /// Imbalance after refining this level.
+        imbalance: f64,
+    },
+}
+
+/// An optional, cloneable progress callback (`PartitionerConfig::with_progress`).
+///
+/// Equality (needed because partitioner configs derive `PartialEq`) is identity-based:
+/// two hooks are equal when both are unset or both share the same callback allocation.
+#[derive(Clone, Default)]
+pub struct ProgressHook(Option<Arc<ProgressCallback>>);
+
+/// The boxed callback type behind a [`ProgressHook`].
+type ProgressCallback = dyn Fn(&ProgressEvent) + Send + Sync;
+
+impl ProgressHook {
+    /// The unset hook (no callback, no allocation).
+    pub const fn none() -> Self {
+        Self(None)
+    }
+
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> Self {
+        Self(Some(Arc::new(f)))
+    }
+
+    /// Whether a callback is installed.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Invokes the callback if installed.
+    pub fn emit(&self, event: &ProgressEvent) {
+        if let Some(f) = &self.0 {
+            f(event);
+        }
+    }
+}
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ProgressHook")
+            .field(&self.0.as_ref().map(|_| "fn"))
+            .finish()
+    }
+}
+
+impl PartialEq for ProgressHook {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn unset_hook_is_free_and_silent() {
+        let hook = ProgressHook::none();
+        assert!(!hook.is_set());
+        hook.emit(&ProgressEvent::InitialPartitioned {
+            coarse_nodes: 1,
+            edge_cut: 0,
+            imbalance: 0.0,
+        });
+    }
+
+    #[test]
+    fn set_hook_receives_events_and_compares_by_identity() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let hook = ProgressHook::new(move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        let clone = hook.clone();
+        assert_eq!(hook, clone, "clones share the callback");
+        assert_ne!(hook, ProgressHook::none());
+        clone.emit(&ProgressEvent::LevelCoarsened {
+            level: 0,
+            fine_nodes: 10,
+            coarse_nodes: 5,
+            coarse_edges: 7,
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,398 @@
+//! The structured [`RunReport`] exporter: span tree + counter snapshot + coverage,
+//! with hand-rolled JSON (this workspace uses no serde) and a human-readable summary
+//! table.
+
+use crate::metrics::{Counter, MetricsRegistry};
+use crate::sink::SpanKind;
+
+/// One completed span as recorded by the sink (flat, pre-tree form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Recorder-unique id (1-based; 0 is "no parent").
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root.
+    pub parent: u64,
+    /// Position in the span hierarchy.
+    pub kind: SpanKind,
+    /// Static span name, e.g. `"cluster"`.
+    pub name: &'static str,
+    /// Hierarchy level or round/pass index, when meaningful.
+    pub level: Option<u64>,
+    /// Start offset from the recorder epoch, nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the recorder epoch, nanoseconds.
+    pub end_ns: u64,
+    /// Key/value attributes attached before the span closed.
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+/// A span in the assembled tree of a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportSpan {
+    /// Position in the span hierarchy.
+    pub kind: SpanKind,
+    /// Static span name.
+    pub name: &'static str,
+    /// Hierarchy level or round/pass index, when meaningful.
+    pub level: Option<u64>,
+    /// Start offset from the recorder epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Key/value attributes.
+    pub attrs: Vec<(&'static str, u64)>,
+    /// Child spans, in start order.
+    pub children: Vec<ReportSpan>,
+}
+
+impl ReportSpan {
+    /// Duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.dur_ns as f64 / 1e9
+    }
+
+    /// Fraction of this span's duration covered by its direct children.
+    pub fn child_coverage(&self) -> f64 {
+        if self.dur_ns == 0 {
+            return 1.0;
+        }
+        let covered: u64 = self.children.iter().map(|c| c.dur_ns).sum();
+        (covered as f64 / self.dur_ns as f64).min(1.0)
+    }
+
+    /// Value of an attribute, if attached.
+    pub fn attr(&self, key: &str) -> Option<u64> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// Depth-first search for the first descendant (or self) with this name.
+    pub fn find(&self, name: &str) -> Option<&ReportSpan> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn for_each<'a>(&'a self, f: &mut impl FnMut(&'a ReportSpan)) {
+        f(self);
+        for c in &self.children {
+            c.for_each(f);
+        }
+    }
+}
+
+/// Everything one recorded run exports: the span tree, the counter snapshot, and the
+/// coverage figure used by the acceptance tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Duration of the longest root span (the `pipeline` span), nanoseconds.
+    pub total_ns: u64,
+    /// Fraction of the root span's wall time covered by its direct children.
+    pub span_coverage: f64,
+    /// Non-zero counters, in declaration order.
+    pub counters: Vec<(Counter, u64)>,
+    /// Root spans (normally exactly one: `pipeline`).
+    pub roots: Vec<ReportSpan>,
+}
+
+impl RunReport {
+    /// Assembles the tree from flat records plus a counter snapshot.
+    pub fn from_spans(mut spans: Vec<SpanRecord>, metrics: &MetricsRegistry) -> Self {
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        // Children are attached bottom-up: process in reverse start order so every
+        // span's children are complete before it is attached to its own parent.
+        let mut nodes: Vec<Option<ReportSpan>> = spans
+            .iter()
+            .map(|s| {
+                Some(ReportSpan {
+                    kind: s.kind,
+                    name: s.name,
+                    level: s.level,
+                    start_ns: s.start_ns,
+                    dur_ns: s.end_ns - s.start_ns,
+                    attrs: s.attrs.clone(),
+                    children: Vec::new(),
+                })
+            })
+            .collect();
+        let index_of_id: std::collections::HashMap<u64, usize> =
+            spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let mut roots = Vec::new();
+        for i in (0..spans.len()).rev() {
+            let node = nodes[i].take().expect("node taken once");
+            match index_of_id.get(&spans[i].parent) {
+                Some(&p) if p != i => nodes[p]
+                    .as_mut()
+                    .expect("parent ends after child, so it is still present")
+                    .children
+                    .insert(0, node),
+                _ => roots.push(node),
+            }
+        }
+        roots.reverse();
+        roots.sort_by_key(|r| r.start_ns);
+        let root = roots.iter().max_by_key(|r| r.dur_ns);
+        let total_ns = root.map_or(0, |r| r.dur_ns);
+        let span_coverage = root.map_or(0.0, |r| r.child_coverage());
+        Self {
+            total_ns,
+            span_coverage,
+            counters: metrics.snapshot(),
+            roots,
+        }
+    }
+
+    /// Total wall time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Value of a counter in the snapshot (0 if absent).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(c, _)| *c == counter)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Depth-first search across all roots for a span by name.
+    pub fn find(&self, name: &str) -> Option<&ReportSpan> {
+        self.roots.iter().find_map(|r| r.find(name))
+    }
+
+    /// Every span in the report, pre-order.
+    pub fn all_spans(&self) -> Vec<&ReportSpan> {
+        let mut out = Vec::new();
+        for r in &self.roots {
+            r.for_each(&mut |s| out.push(s));
+        }
+        out
+    }
+
+    /// Serialises the report as a JSON object (no trailing newline).
+    ///
+    /// Schema (documented in the README):
+    /// ```json
+    /// {
+    ///   "total_seconds": 1.23,
+    ///   "span_coverage": 0.987,
+    ///   "counters": { "lp_cluster_rounds": 12, ... },
+    ///   "spans": [ { "name": "pipeline", "kind": "pipeline", "level": null,
+    ///                "start_us": 0, "dur_us": 1230000,
+    ///                "attrs": { "n": 16384 }, "children": [ ... ] } ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        self.write_json(&mut out, 0);
+        out
+    }
+
+    /// Writes the JSON object at the given indentation depth (two spaces per step),
+    /// so callers can embed the report inside a larger hand-rolled document.
+    pub fn write_json(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "{pad}  \"total_seconds\": {:.6},\n",
+            self.total_seconds()
+        ));
+        out.push_str(&format!(
+            "{pad}  \"span_coverage\": {:.4},\n",
+            self.span_coverage
+        ));
+        out.push_str(&format!("{pad}  \"counters\": {{"));
+        for (i, (c, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n{pad}    \"{}\": {}", c.name(), v));
+        }
+        if self.counters.is_empty() {
+            out.push_str("},\n");
+        } else {
+            out.push_str(&format!("\n{pad}  }},\n"));
+        }
+        out.push_str(&format!("{pad}  \"spans\": ["));
+        for (i, root) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&format!("{pad}    "));
+            write_span_json(root, out, indent + 2);
+        }
+        if self.roots.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str(&format!("\n{pad}  ]\n"));
+        }
+        out.push_str(&format!("{pad}}}"));
+    }
+
+    /// A fixed-width per-span breakdown table: one row per span down to phase depth,
+    /// with duration, share of the pipeline, and attributes. This is what the
+    /// `fig2_phase_breakdown` tool prints.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<38} {:>12} {:>7}  {}\n",
+            "span", "seconds", "share", "attributes"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(90)));
+        let total = self.total_ns.max(1) as f64;
+        for root in &self.roots {
+            summary_rows(root, 0, total, &mut out);
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{}\n", "-".repeat(90)));
+            for (c, v) in &self.counters {
+                out.push_str(&format!("{:<38} {:>12}\n", c.name(), v));
+            }
+        }
+        out
+    }
+}
+
+fn summary_rows(span: &ReportSpan, depth: usize, total_ns: f64, out: &mut String) {
+    // Rounds/passes are too numerous for a table; stop at phase depth.
+    if span.kind == SpanKind::Round {
+        return;
+    }
+    let label = match span.level {
+        Some(l) => format!("{}{}@{}", "  ".repeat(depth), span.name, l),
+        None => format!("{}{}", "  ".repeat(depth), span.name),
+    };
+    let attrs = span
+        .attrs
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    out.push_str(&format!(
+        "{:<38} {:>12.4} {:>6.1}%  {}\n",
+        label,
+        span.seconds(),
+        span.dur_ns as f64 / total_ns * 100.0,
+        attrs
+    ));
+    for c in &span.children {
+        summary_rows(c, depth + 1, total_ns, out);
+    }
+}
+
+fn write_span_json(span: &ReportSpan, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    out.push_str("{\n");
+    out.push_str(&format!("{pad}  \"name\": \"{}\",\n", span.name));
+    out.push_str(&format!("{pad}  \"kind\": \"{}\",\n", span.kind.name()));
+    match span.level {
+        Some(l) => out.push_str(&format!("{pad}  \"level\": {l},\n")),
+        None => out.push_str(&format!("{pad}  \"level\": null,\n")),
+    }
+    out.push_str(&format!("{pad}  \"start_us\": {},\n", span.start_ns / 1000));
+    out.push_str(&format!("{pad}  \"dur_us\": {},\n", span.dur_ns / 1000));
+    out.push_str(&format!("{pad}  \"attrs\": {{"));
+    for (i, (k, v)) in span.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{k}\": {v}"));
+    }
+    out.push_str("},\n");
+    out.push_str(&format!("{pad}  \"children\": ["));
+    for (i, c) in span.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&format!("{pad}    "));
+        write_span_json(c, out, indent + 2);
+    }
+    if span.children.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str(&format!("\n{pad}  ]\n"));
+    }
+    out.push_str(&format!("{pad}}}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        id: u64,
+        parent: u64,
+        kind: SpanKind,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            kind,
+            name,
+            level: None,
+            start_ns,
+            end_ns,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_assembly_and_coverage() {
+        let spans = vec![
+            record(1, 0, SpanKind::Pipeline, "pipeline", 0, 100),
+            record(2, 1, SpanKind::Level, "coarsen_level", 0, 50),
+            record(3, 1, SpanKind::Level, "uncoarsen_level", 50, 98),
+            record(4, 2, SpanKind::Phase, "cluster", 0, 30),
+        ];
+        let report = RunReport::from_spans(spans, &MetricsRegistry::new());
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.total_ns, 100);
+        assert!((report.span_coverage - 0.98).abs() < 1e-9);
+        let root = &report.roots[0];
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].children[0].name, "cluster");
+        assert_eq!(report.find("cluster").unwrap().dur_ns, 30);
+        assert_eq!(report.all_spans().len(), 4);
+    }
+
+    #[test]
+    fn json_has_the_documented_shape() {
+        let metrics = MetricsRegistry::new();
+        metrics.add(Counter::FmPasses, 3);
+        let spans = vec![
+            record(1, 0, SpanKind::Pipeline, "pipeline", 0, 2_000_000),
+            record(2, 1, SpanKind::Phase, "cluster", 0, 1_000_000),
+        ];
+        let report = RunReport::from_spans(spans, &metrics);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"total_seconds\""));
+        assert!(json.contains("\"span_coverage\""));
+        assert!(json.contains("\"fm_passes\": 3"));
+        assert!(json.contains("\"name\": \"pipeline\""));
+        assert!(json.contains("\"children\": ["));
+    }
+
+    #[test]
+    fn summary_table_lists_spans_and_counters() {
+        let metrics = MetricsRegistry::new();
+        metrics.add(Counter::LpClusterRounds, 4);
+        let spans = vec![
+            record(1, 0, SpanKind::Pipeline, "pipeline", 0, 1_000_000_000),
+            record(2, 1, SpanKind::Round, "lp_round", 0, 1000),
+        ];
+        let report = RunReport::from_spans(spans, &metrics);
+        let table = report.summary_table();
+        assert!(table.contains("pipeline"));
+        assert!(
+            !table.contains("lp_round"),
+            "rounds are elided in the table"
+        );
+        assert!(table.contains("lp_cluster_rounds"));
+    }
+}

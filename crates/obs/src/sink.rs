@@ -1,0 +1,224 @@
+//! The recording seam: [`ObsSink`] trait, the zero-cost [`NoopSink`], the cloneable
+//! [`ObsHandle`] threaded through the pipeline, and the RAII [`SpanGuard`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::metrics::Counter;
+use crate::recorder::Recorder;
+
+/// Position of a span in the `pipeline → level → phase → round/pass` hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The whole-run root span.
+    Pipeline,
+    /// One hierarchy level (coarsening or uncoarsening side).
+    Level,
+    /// A named phase within a level (`cluster`, `contract`, `refine`, ...).
+    Phase,
+    /// One LP round or FM pass within a phase.
+    Round,
+}
+
+impl SpanKind {
+    /// Stable lowercase name (used as the Chrome trace event category).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Pipeline => "pipeline",
+            SpanKind::Level => "level",
+            SpanKind::Phase => "phase",
+            SpanKind::Round => "round",
+        }
+    }
+}
+
+/// Where observations go. The pipeline never talks to a sink directly — it goes
+/// through [`ObsHandle`], whose disabled state skips the virtual call entirely.
+pub trait ObsSink: Send + Sync + fmt::Debug {
+    /// Starts a span; returns an id to pass to [`span_end`](ObsSink::span_end).
+    /// `level` is the hierarchy level (or round index) when meaningful.
+    fn span_begin(&self, kind: SpanKind, name: &'static str, level: Option<u64>) -> u64;
+
+    /// Ends the span `id` with its accumulated attributes.
+    fn span_end(&self, id: u64, attrs: &[(&'static str, u64)]);
+
+    /// Adds to a sum counter.
+    fn counter_add(&self, counter: Counter, delta: u64);
+
+    /// Raises a max gauge.
+    fn gauge_max(&self, counter: Counter, value: u64);
+}
+
+/// A sink that drops everything. Exists for the trait contract and for tests; the
+/// pipeline's fast path is the *absent* sink inside [`ObsHandle::noop`], which skips
+/// even the dynamic dispatch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl ObsSink for NoopSink {
+    fn span_begin(&self, _kind: SpanKind, _name: &'static str, _level: Option<u64>) -> u64 {
+        0
+    }
+    fn span_end(&self, _id: u64, _attrs: &[(&'static str, u64)]) {}
+    fn counter_add(&self, _counter: Counter, _delta: u64) {}
+    fn gauge_max(&self, _counter: Counter, _value: u64) {}
+}
+
+/// Cheap cloneable entry point to the observability layer.
+///
+/// The default/noop handle holds `None` — one pointer-sized word, no allocation —
+/// and every operation through it is a branch that the optimizer folds away. A
+/// recording handle holds an `Arc` to a [`Recorder`] (or any custom [`ObsSink`]).
+#[derive(Clone, Default)]
+pub struct ObsHandle {
+    sink: Option<Arc<dyn ObsSink>>,
+}
+
+impl fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsHandle")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl ObsHandle {
+    /// The disabled handle: no sink, no allocation, near-zero overhead.
+    pub const fn noop() -> Self {
+        Self { sink: None }
+    }
+
+    /// A handle recording into a fresh [`Recorder`]; the returned `Arc` is kept by the
+    /// caller to build the [`RunReport`](crate::RunReport) when the run finishes.
+    pub fn recording() -> (Self, Arc<Recorder>) {
+        let recorder = Arc::new(Recorder::new());
+        (
+            Self {
+                sink: Some(recorder.clone()),
+            },
+            recorder,
+        )
+    }
+
+    /// A handle over a custom sink.
+    pub fn from_sink(sink: Arc<dyn ObsSink>) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Whether observations are recorded at all.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Opens a span; it ends (and is recorded) when the returned guard drops.
+    pub fn span(&self, kind: SpanKind, name: &'static str) -> SpanGuard {
+        self.span_inner(kind, name, None)
+    }
+
+    /// Opens a span tagged with a hierarchy level or round/pass index.
+    pub fn span_at(&self, kind: SpanKind, name: &'static str, level: u64) -> SpanGuard {
+        self.span_inner(kind, name, Some(level))
+    }
+
+    fn span_inner(&self, kind: SpanKind, name: &'static str, level: Option<u64>) -> SpanGuard {
+        match &self.sink {
+            Some(sink) => SpanGuard {
+                id: sink.span_begin(kind, name, level),
+                sink: Some(sink.clone()),
+                attrs: Vec::new(),
+            },
+            None => SpanGuard {
+                id: 0,
+                sink: None,
+                attrs: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds to a sum counter (no-op when disabled).
+    pub fn add(&self, counter: Counter, delta: u64) {
+        if let Some(sink) = &self.sink {
+            sink.counter_add(counter, delta);
+        }
+    }
+
+    /// Raises a max gauge (no-op when disabled).
+    pub fn gauge_max(&self, counter: Counter, value: u64) {
+        if let Some(sink) = &self.sink {
+            sink.gauge_max(counter, value);
+        }
+    }
+}
+
+/// RAII guard for an open span. Attributes attached via [`attr`](SpanGuard::attr)
+/// are delivered to the sink when the guard drops.
+pub struct SpanGuard {
+    sink: Option<Arc<dyn ObsSink>>,
+    id: u64,
+    attrs: Vec<(&'static str, u64)>,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value attribute. Skipped (no allocation) on a disabled handle.
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if self.sink.is_some() {
+            self.attrs.push((key, value));
+        }
+    }
+
+    /// Capacity of the internal attribute buffer — stays 0 for spans from a noop
+    /// handle, which is how tests assert the "allocates nothing when disabled"
+    /// contract.
+    pub fn attr_capacity(&self) -> usize {
+        self.attrs.capacity()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink.span_end(self.id, &self.attrs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_allocates_nothing() {
+        let obs = ObsHandle::noop();
+        assert!(!obs.is_enabled());
+        let mut span = obs.span(SpanKind::Pipeline, "pipeline");
+        for i in 0..64 {
+            span.attr("k", i);
+        }
+        assert_eq!(
+            span.attr_capacity(),
+            0,
+            "attr() on a disabled span must not allocate"
+        );
+        // Counters on a disabled handle are a branch and nothing else.
+        obs.add(Counter::LpClusterMoves, 7);
+        obs.gauge_max(Counter::PeakMemoryBytes, 1 << 30);
+    }
+
+    #[test]
+    fn noop_handle_is_pointer_sized() {
+        assert_eq!(
+            std::mem::size_of::<ObsHandle>(),
+            std::mem::size_of::<Option<Arc<dyn ObsSink>>>()
+        );
+    }
+
+    #[test]
+    fn noop_sink_satisfies_the_trait() {
+        let obs = ObsHandle::from_sink(Arc::new(NoopSink));
+        assert!(obs.is_enabled());
+        let mut span = obs.span_at(SpanKind::Phase, "cluster", 3);
+        span.attr("moves", 1);
+        drop(span);
+        obs.add(Counter::FmPasses, 1);
+    }
+}

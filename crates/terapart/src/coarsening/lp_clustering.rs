@@ -320,6 +320,10 @@ pub fn cluster_with_scratch(
             self.seed ^ round as u64
         }
 
+        fn obs_counters(&self) -> (obs::Counter, obs::Counter) {
+            (obs::Counter::LpClusterRounds, obs::Counter::LpClusterMoves)
+        }
+
         fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize {
             (self.run)(order, frontier)
         }

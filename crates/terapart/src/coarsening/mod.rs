@@ -21,7 +21,10 @@ use graph::traits::Graph;
 use graph::{NodeId, NodeWeight};
 use memtrack::{MemoryScope, PhaseTracker};
 
+use obs::{Counter, ProgressEvent, SpanKind};
+
 use crate::context::PartitionerConfig;
+use crate::partitioner::obs_phase;
 use crate::scratch::HierarchyScratch;
 
 /// One level of the multilevel hierarchy.
@@ -114,7 +117,10 @@ pub fn coarsen_with_scratch(
             coarsening.max_cluster_weight_fraction,
         );
         let seed = config.seed ^ ((level as u64 + 1) << 32);
-        let clustering = tracker.run("cluster", level, || match &current {
+        let obs = scratch.obs.clone();
+        let mut level_span = obs.span_at(SpanKind::Level, "coarsen_level", level as u64);
+        level_span.attr("fine_nodes", n as u64);
+        let clustering = obs_phase(&obs, tracker, "cluster", level, || match &current {
             None => {
                 let mut c =
                     lp_clustering::cluster_with_scratch(graph, coarsening, limit, seed, scratch);
@@ -140,7 +146,7 @@ pub fn coarsen_with_scratch(
         if clustering.num_clusters as f64 > coarsening.min_shrink_factor * n as f64 {
             break;
         }
-        let result = tracker.run("contract", level, || match &current {
+        let result = obs_phase(&obs, tracker, "contract", level, || match &current {
             None => contract::contract_with_scratch(
                 graph,
                 &clustering,
@@ -155,6 +161,16 @@ pub fn coarsen_with_scratch(
                 coarsening.bump_threshold,
                 scratch,
             ),
+        });
+        level_span.attr("coarse_nodes", result.coarse.n() as u64);
+        level_span.attr("coarse_edges", result.coarse.m() as u64);
+        drop(level_span);
+        obs.add(Counter::CoarseningLevels, 1);
+        config.obs.progress.emit(&ProgressEvent::LevelCoarsened {
+            level,
+            fine_nodes: n,
+            coarse_nodes: result.coarse.n(),
+            coarse_edges: result.coarse.m(),
         });
         hierarchy
             .charges

@@ -202,6 +202,44 @@ impl Default for RefinementConfig {
     }
 }
 
+/// Observability settings: whether a run records spans/counters, where (if anywhere)
+/// the Chrome trace goes, and an optional live progress callback.
+///
+/// All of this is *read-only* with respect to the partitioning algorithms: a fixed-seed
+/// run produces a bit-identical partition whether recording is off, on, or exporting a
+/// trace, at any thread count (asserted by `tests/observability.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Record spans and counters into an [`obs::Recorder`] and attach the resulting
+    /// [`obs::RunReport`] to the [`PartitionResult`](crate::partitioner::PartitionResult).
+    /// When `false` (the default) the pipeline runs against [`obs::NoopSink`], which
+    /// allocates nothing and compiles down to a branch on a `None`.
+    pub record: bool,
+    /// Also export the recorded spans as a Chrome trace-event JSON file (implies
+    /// `record`). Load it at `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub trace_path: Option<std::path::PathBuf>,
+    /// Live progress callback invoked at coarsening level transitions, after initial
+    /// partitioning, and after each refined level (with the current cut and balance).
+    pub progress: obs::ProgressHook,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            record: false,
+            trace_path: None,
+            progress: obs::ProgressHook::none(),
+        }
+    }
+}
+
+impl ObsConfig {
+    /// `true` if the run needs a recording sink (an explicit request or a trace export).
+    pub fn wants_recording(&self) -> bool {
+        self.record || self.trace_path.is_some()
+    }
+}
+
 /// Settings of the on-disk (`.tpg`-backed) partitioning entry point
 /// [`partition_ondisk`](crate::partitioner::partition_ondisk): the page-cache geometry
 /// the [`graph::PagedGraph`] is opened with. This is exactly
@@ -230,6 +268,8 @@ pub struct PartitionerConfig {
     pub refinement: RefinementConfig,
     /// Page-cache settings of the on-disk entry point (ignored by in-memory runs).
     pub ondisk: OnDiskConfig,
+    /// Observability settings (span recording, trace export, progress callback).
+    pub obs: ObsConfig,
 }
 
 impl PartitionerConfig {
@@ -255,6 +295,7 @@ impl PartitionerConfig {
                 ..RefinementConfig::default()
             },
             ondisk: OnDiskConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 
@@ -368,6 +409,35 @@ impl PartitionerConfig {
     /// repeated before the run gives up with a structured error.
     pub fn with_retry(mut self, retry: graph::store::RetryPolicy) -> Self {
         self.ondisk.retry = retry;
+        self
+    }
+
+    /// Enables span/counter recording: the run attaches an [`obs::RunReport`] (span
+    /// tree, phase wall times, unified counters) to its
+    /// [`PartitionResult`](crate::partitioner::PartitionResult). Results are
+    /// bit-identical with recording on or off; the overhead is one timestamp pair and
+    /// one mutex push per phase, nothing per vertex or edge.
+    pub fn with_run_report(mut self, record: bool) -> Self {
+        self.obs.record = record;
+        self
+    }
+
+    /// Exports the recorded spans as Chrome trace-event JSON to `path` (implies
+    /// [`ObsConfig::record`]). Load the file at `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
+    pub fn with_trace_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.obs.trace_path = Some(path.into());
+        self
+    }
+
+    /// Installs a live progress callback. The hook observes coarsening level
+    /// transitions, the initial partition, and each refined level with the current
+    /// cut and imbalance; it never influences the computation.
+    pub fn with_progress(
+        mut self,
+        hook: impl Fn(&obs::ProgressEvent) + Send + Sync + 'static,
+    ) -> Self {
+        self.obs.progress = obs::ProgressHook::new(hook);
         self
     }
 }
@@ -512,6 +582,23 @@ mod tests {
         }
         assert_eq!(Preset::from_name("fastest"), None);
         assert_eq!(Preset::ALL.map(|p| p.name()), ["fast", "default", "strong"]);
+    }
+
+    #[test]
+    fn observability_builders() {
+        let config = PartitionerConfig::terapart(4);
+        assert!(!config.obs.wants_recording());
+        assert!(!config.obs.progress.is_set());
+
+        let recording = config.clone().with_run_report(true);
+        assert!(recording.obs.record && recording.obs.wants_recording());
+
+        let traced = config.clone().with_trace_path("/tmp/run_trace.json");
+        assert!(!traced.obs.record, "trace export does not flip `record`");
+        assert!(traced.obs.wants_recording(), "but it implies recording");
+
+        let hooked = config.with_progress(|_event| {});
+        assert!(hooked.obs.progress.is_set());
     }
 
     #[test]

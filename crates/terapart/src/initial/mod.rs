@@ -66,6 +66,9 @@ pub fn initial_partition_with_scratch(
     let mut assignment: Vec<BlockId> = vec![0; n];
     if k > 1 && n > 0 {
         scratch.initial.ensure(n);
+        // Install the run's observability handle so the recursion can count
+        // bisections/attempts; reset to whatever the current run uses (noop by default).
+        scratch.initial.obs = scratch.obs.clone();
         // The tree permutation is partitioned in place; take it out of the scratch so
         // the recursion can hold `&mut` slices of it alongside `&scratch.initial`.
         let mut vertices = std::mem::take(&mut scratch.initial.tree_vertices);
@@ -148,6 +151,7 @@ fn recurse(
         seed,
         scratch,
     );
+    scratch.obs.add(obs::Counter::InitialBisections, 1);
 
     // Stable in-place partition of the slice: side-0 vertices first, side-1 after,
     // relative order preserved on both sides (keeps the slices ascending, which the
@@ -270,6 +274,9 @@ fn attempt_range(
     }
     let mut best: Option<(AttemptKey, AttemptWorkspace)> = None;
     let mut ws = scratch.checkout_attempt();
+    scratch
+        .obs
+        .add(obs::Counter::InitialAttempts, (end - begin) as u64);
     for attempt in begin..end {
         let attempt_seed = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9);
         bipartition_into(

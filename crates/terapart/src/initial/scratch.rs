@@ -55,6 +55,12 @@ pub struct InitialPartitioningScratch {
     attempts: Mutex<Vec<AttemptWorkspace>>,
     /// Heap bytes currently parked in the two pools (updated on release).
     pool_bytes: AtomicUsize,
+    /// Observability handle for the current run, installed by
+    /// [`initial_partition_with_scratch`](crate::initial::initial_partition_with_scratch)
+    /// so the recursion can bump bisection/attempt counters without widening every
+    /// signature. Counter sums are scheduling-independent, so the parallel tree may
+    /// bump them from any task.
+    pub(crate) obs: obs::ObsHandle,
 }
 
 impl InitialPartitioningScratch {

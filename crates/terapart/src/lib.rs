@@ -63,7 +63,7 @@ pub mod scratch;
 
 pub use context::{
     CoarseningConfig, ContractionAlgorithm, EdgeRating, GainTableKind, InitialPartitioningConfig,
-    LabelPropagationMode, OnDiskConfig, PartitionerConfig, Preset, RefinementAlgorithm,
+    LabelPropagationMode, ObsConfig, OnDiskConfig, PartitionerConfig, Preset, RefinementAlgorithm,
     RefinementConfig,
 };
 pub use error::PartitionError;
@@ -79,6 +79,12 @@ pub use scratch::{AtomicBitset, HierarchyScratch};
 /// Retry/backoff policy of the on-disk page cache, re-exported for
 /// [`PartitionerConfig::with_retry`].
 pub use graph::store::RetryPolicy;
+
+/// Observability surface, re-exported for [`PartitionerConfig::with_run_report`],
+/// [`PartitionerConfig::with_trace_path`] and [`PartitionerConfig::with_progress`]:
+/// the typed counter registry, the progress-callback event, and the structured run
+/// report attached to [`PartitionResult::run_report`].
+pub use obs::{Counter, ProgressEvent, ProgressHook, RunReport};
 
 /// Identifier of a cluster during coarsening (clusters become coarse vertices).
 /// Re-exported from [`graph::ids`]: the width follows the `wide-ids` feature.

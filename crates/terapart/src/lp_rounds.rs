@@ -22,6 +22,7 @@
 //! [`lp_refine_with_scratch`]: crate::refinement::lp_refine_with_scratch
 
 use graph::NodeId;
+use obs::{Counter, SpanKind};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -43,6 +44,10 @@ pub(crate) trait LpRoundSemantics {
     /// Seed of the round's shuffle RNG (each caller keeps its historical mixing so
     /// results stay bit-identical to the pre-unification implementations).
     fn round_seed(&self, round: usize) -> u64;
+
+    /// The `(rounds, moves)` counter pair the driver bumps per executed round, so the
+    /// unified registry distinguishes clustering rounds from refinement rounds.
+    fn obs_counters(&self) -> (Counter, Counter);
 
     /// Runs one parallel round over `order`, marking changed neighbourhoods in
     /// `frontier` (when enabled), and returns the number of moves performed.
@@ -94,6 +99,8 @@ pub(crate) fn drive_lp_rounds<S: LpRoundSemantics>(
     if n == 0 {
         return stats;
     }
+    let obs = scratch.obs.clone();
+    let (rounds_counter, moves_counter) = semantics.obs_counters();
     scratch.ensure_worklists(n);
     let mut order = std::mem::take(&mut scratch.order);
     for round in 0..max_rounds {
@@ -106,6 +113,7 @@ pub(crate) fn drive_lp_rounds<S: LpRoundSemantics>(
                 break;
             }
         }
+        let mut round_span = obs.span_at(SpanKind::Round, "lp_round", round as u64);
         let mut rng = ChaCha8Rng::seed_from_u64(semantics.round_seed(round));
         order.shuffle(&mut rng);
         let frontier = if use_frontier {
@@ -119,6 +127,11 @@ pub(crate) fn drive_lp_rounds<S: LpRoundSemantics>(
         if frontier.is_some() {
             semantics.after_round(&scratch.next_active);
         }
+        round_span.attr("visited", order.len() as u64);
+        round_span.attr("moves", moved as u64);
+        drop(round_span);
+        obs.add(rounds_counter, 1);
+        obs.add(moves_counter, moved as u64);
         stats.rounds += 1;
         stats.visited_per_round.push(order.len());
         stats.moves += moved;
@@ -150,6 +163,10 @@ mod tests {
     impl LpRoundSemantics for Recording {
         fn round_seed(&self, round: usize) -> u64 {
             self.seed ^ round as u64
+        }
+
+        fn obs_counters(&self) -> (Counter, Counter) {
+            (Counter::LpClusterRounds, Counter::LpClusterMoves)
         }
 
         fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize {
@@ -228,6 +245,10 @@ mod tests {
     impl LpRoundSemantics for OneWaiter {
         fn round_seed(&self, round: usize) -> u64 {
             round as u64
+        }
+
+        fn obs_counters(&self) -> (Counter, Counter) {
+            (Counter::LpRefineRounds, Counter::LpRefineMoves)
         }
 
         fn run_round(&mut self, _order: &[NodeId], _frontier: Option<&AtomicBitset>) -> usize {

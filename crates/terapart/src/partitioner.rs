@@ -11,6 +11,7 @@
 //! page budget` instead of the compressed (let alone the CSR) size.
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graph::builder::compress_csr_parallel;
@@ -20,6 +21,7 @@ use graph::store::PagedGraph;
 use graph::traits::Graph;
 use graph::{CompressionConfig, EdgeWeight, NodeId};
 use memtrack::{MemoryScope, PhaseReport, PhaseTracker};
+use obs::{Counter, ObsHandle, ProgressEvent, Recorder, RunReport, SpanKind};
 
 use crate::coarsening::{self, Hierarchy};
 use crate::context::PartitionerConfig;
@@ -52,6 +54,12 @@ pub struct PartitionResult {
     /// Page-cache counters of the run — `Some` only for the on-disk entry points
     /// ([`partition_ondisk`]), snapshotted after the prefetch queue drained.
     pub cache_stats: Option<graph::store::CacheStatsSnapshot>,
+    /// Structured observability report: the `pipeline → level → phase → round` span
+    /// tree with wall times and per-phase peak memory, plus the unified counter
+    /// registry. `Some` only when the run recorded
+    /// ([`PartitionerConfig::with_run_report`] or
+    /// [`PartitionerConfig::with_trace_path`]); recording never changes the partition.
+    pub run_report: Option<RunReport>,
 }
 
 /// Materialises any graph representation as an (unsorted-weight-preserving) CSR graph.
@@ -76,6 +84,74 @@ fn to_csr(graph: &impl Graph) -> CsrGraph {
     builder.build()
 }
 
+/// The observability side of one partitioning run: a recording sink when the
+/// configuration asks for a run report or a trace export, the free noop path otherwise.
+struct ObsSession {
+    handle: ObsHandle,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl ObsSession {
+    fn new(config: &PartitionerConfig) -> Self {
+        if config.obs.wants_recording() {
+            let (handle, recorder) = ObsHandle::recording();
+            Self {
+                handle,
+                recorder: Some(recorder),
+            }
+        } else {
+            Self {
+                handle: ObsHandle::noop(),
+                recorder: None,
+            }
+        }
+    }
+
+    /// Settles the run: pours the graph representation's counters (e.g. page-cache
+    /// statistics) and the run's memory peak into the registry, builds the
+    /// [`RunReport`], and exports the Chrome trace if one was requested. Returns
+    /// `None` for non-recording runs. Trace export is best-effort — an unwritable
+    /// path must not fail an otherwise successful partitioning run.
+    fn finish(
+        self,
+        graph: &impl Graph,
+        config: &PartitionerConfig,
+        tracker: &PhaseTracker,
+    ) -> Option<RunReport> {
+        let recorder = self.recorder?;
+        graph.record_obs_metrics(recorder.metrics());
+        recorder
+            .metrics()
+            .record_max(Counter::PeakMemoryBytes, tracker.overall_peak() as u64);
+        let report = recorder.finish_report();
+        if let Some(path) = &config.obs.trace_path {
+            if let Err(err) = obs::write_chrome_trace(path, &report) {
+                eprintln!(
+                    "terapart: failed to write the chrome trace to {}: {err}",
+                    path.display()
+                );
+            }
+        }
+        Some(report)
+    }
+}
+
+/// Runs `f` as a tracked phase (memtrack peak attribution) wrapped in an observability
+/// span of the same name; the phase's peak memory rides on the span as an attribute.
+/// With a noop handle this is exactly `tracker.run` plus two dead branches.
+pub(crate) fn obs_phase<T>(
+    obs: &ObsHandle,
+    tracker: &PhaseTracker,
+    name: &'static str,
+    level: usize,
+    f: impl FnOnce() -> T,
+) -> T {
+    let mut span = obs.span_at(SpanKind::Phase, name, level as u64);
+    let (value, report) = tracker.run_reported(name, level, f);
+    span.attr("peak_bytes", report.peak_bytes as u64);
+    value
+}
+
 /// Partitions `graph` into `config.k` blocks, recording phases in `tracker`.
 ///
 /// The graph is used in whatever representation it is passed in; see [`partition_csr`]
@@ -85,16 +161,40 @@ pub fn partition_with_tracker(
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
 ) -> PartitionResult {
+    partition_with_session(graph, config, tracker, ObsSession::new(config))
+}
+
+/// [`partition_with_tracker`] against an already-created observability session, so the
+/// compressing/opening entry points can record their input phases into the same report.
+fn partition_with_session(
+    graph: &impl Graph,
+    config: &PartitionerConfig,
+    tracker: &PhaseTracker,
+    session: ObsSession,
+) -> PartitionResult {
     let start = Instant::now();
+    let obs = session.handle.clone();
+    let progress = &config.obs.progress;
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(config.num_threads.max(1))
         .build()
         .expect("failed to build the partitioning thread pool");
 
+    // The root span of the run. Everything the pipeline does — coarsening levels,
+    // initial partitioning, uncoarsening levels, the final cut evaluation — nests
+    // underneath it, so its child coverage accounts for (nearly) the whole wall time.
+    let mut root = obs.span(SpanKind::Pipeline, "pipeline");
+    root.attr("n", graph.n() as u64);
+    root.attr("m", graph.m() as u64);
+    root.attr("k", config.k as u64);
+    root.attr("threads", config.num_threads.max(1) as u64);
+
     let (partition, hierarchy_depth, refinement) = pool.install(|| {
         // One scratch arena serves the whole run: the input level sizes it, every
-        // later coarsening level and every refinement level reuses it.
+        // later coarsening level and every refinement level reuses it. It also
+        // carries the run's observability handle into the phase implementations.
         let mut scratch = HierarchyScratch::new();
+        scratch.obs = obs.clone();
 
         // ---- Coarsening ----
         let hierarchy: Hierarchy =
@@ -111,7 +211,7 @@ pub fn partition_with_tracker(
                 // the input. Materialising it is a real memory event — charge it and
                 // report it as its own phase, so the memory ladder cannot silently
                 // under-report the no-coarsening path.
-                let (csr, charge) = tracker.run("materialize_csr", 0, || {
+                let (csr, charge) = obs_phase(&obs, tracker, "materialize_csr", 0, || {
                     let csr = to_csr(graph);
                     let charge = MemoryScope::charge_global(csr.size_in_bytes());
                     (csr, charge)
@@ -121,7 +221,7 @@ pub fn partition_with_tracker(
                 &coarsest_owned
             }
         };
-        let mut current = tracker.run("initial_partition", depth, || {
+        let mut current = obs_phase(&obs, tracker, "initial_partition", depth, || {
             initial_partition_with_scratch(
                 coarsest,
                 config.k,
@@ -131,6 +231,13 @@ pub fn partition_with_tracker(
                 &mut scratch,
             )
         });
+        if progress.is_set() {
+            progress.emit(&ProgressEvent::InitialPartitioned {
+                coarse_nodes: coarsest.n(),
+                edge_cut: current.edge_cut_on(coarsest),
+                imbalance: current.imbalance(),
+            });
+        }
 
         // ---- Uncoarsening: refine, then project to the next finer level ----
         let mut total_refinement = RefinementStats::default();
@@ -140,32 +247,51 @@ pub fn partition_with_tracker(
             total.rebalance_moves += stats.rebalance_moves;
             total.gain_table_bytes = total.gain_table_bytes.max(stats.gain_table_bytes);
         };
+        // Live-progress report after refining one level: a read-only cut scan, done
+        // only when a hook is installed, so it cannot perturb the partitioning.
+        let report_refined =
+            |level: usize, g: &dyn Graph, partition: &crate::partition::Partition| {
+                if progress.is_set() {
+                    progress.emit(&ProgressEvent::LevelRefined {
+                        level,
+                        nodes: g.n(),
+                        edge_cut: partition.edge_cut_on(&g),
+                        imbalance: partition.imbalance(),
+                    });
+                }
+            };
 
         if depth > 0 {
             // Refine on the coarsest graph first.
-            let stats = tracker.run("refine", depth, || {
-                refine_with_scratch(
-                    coarsest,
-                    &mut current,
-                    &config.refinement,
-                    config.seed ^ 0xC0A53,
-                    &mut scratch,
-                )
-            });
+            let stats = {
+                let _level = obs.span_at(SpanKind::Level, "uncoarsen_level", depth as u64);
+                let stats = obs_phase(&obs, tracker, "refine", depth, || {
+                    refine_with_scratch(
+                        coarsest,
+                        &mut current,
+                        &config.refinement,
+                        config.seed ^ 0xC0A53,
+                        &mut scratch,
+                    )
+                });
+                report_refined(depth, coarsest, &current);
+                stats
+            };
             accumulate(stats, &mut total_refinement);
             // Walk the hierarchy back up: project from level i+1 onto level i's graph.
             for i in (0..depth).rev() {
+                let _level = obs.span_at(SpanKind::Level, "uncoarsen_level", i as u64);
                 let level_graph = if i == 0 {
                     None
                 } else {
                     Some(&hierarchy.levels[i - 1].coarse)
                 };
                 let mapping = &hierarchy.levels[i].mapping;
-                current = tracker.run("uncoarsen", i, || match level_graph {
+                current = obs_phase(&obs, tracker, "uncoarsen", i, || match level_graph {
                     Some(g) => current.project(g, mapping),
                     None => current.project(graph, mapping),
                 });
-                let stats = tracker.run("refine", i, || match level_graph {
+                let stats = obs_phase(&obs, tracker, "refine", i, || match level_graph {
                     Some(g) => refine_with_scratch(
                         g,
                         &mut current,
@@ -181,11 +307,16 @@ pub fn partition_with_tracker(
                         &mut scratch,
                     ),
                 });
+                match level_graph {
+                    Some(g) => report_refined(i, g, &current),
+                    None => report_refined(i, &graph, &current),
+                }
                 accumulate(stats, &mut total_refinement);
             }
         } else {
             // No coarsening took place: refine directly on the input graph.
-            let stats = tracker.run("refine", 0, || {
+            let _level = obs.span_at(SpanKind::Level, "uncoarsen_level", 0);
+            let stats = obs_phase(&obs, tracker, "refine", 0, || {
                 refine_with_scratch(
                     graph,
                     &mut current,
@@ -194,15 +325,23 @@ pub fn partition_with_tracker(
                     &mut scratch,
                 )
             });
+            report_refined(0, &graph, &current);
             accumulate(stats, &mut total_refinement);
         }
         (current, depth, total_refinement)
     });
 
-    let edge_cut = partition.edge_cut_on(graph);
+    let edge_cut = {
+        let _span = obs.span(SpanKind::Phase, "evaluate");
+        partition.edge_cut_on(graph)
+    };
     let mut partition = partition;
     partition.set_cached_cut(edge_cut);
     let imbalance = partition.imbalance();
+    root.attr("edge_cut", edge_cut);
+    root.attr("depth", hierarchy_depth as u64);
+    drop(root);
+    let run_report = session.finish(graph, config, tracker);
     PartitionResult {
         edge_cut,
         imbalance,
@@ -213,6 +352,7 @@ pub fn partition_with_tracker(
         refinement,
         partition,
         cache_stats: None,
+        run_report,
     }
 }
 
@@ -237,15 +377,16 @@ pub fn partition_csr_with_tracker(
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
 ) -> PartitionResult {
+    let session = ObsSession::new(config);
     if config.use_compression {
-        let compressed = tracker.run("compress_input", 0, || {
+        let compressed = obs_phase(&session.handle, tracker, "compress_input", 0, || {
             compress_csr_parallel(graph, &CompressionConfig::default(), config.num_threads)
         });
         let _graph_charge = MemoryScope::charge_global(compressed.size_in_bytes());
-        partition_with_tracker(&compressed, config, tracker)
+        partition_with_session(&compressed, config, tracker, session)
     } else {
         let _graph_charge = MemoryScope::charge_global(graph.size_in_bytes());
-        partition_with_tracker(graph, config, tracker)
+        partition_with_session(graph, config, tracker, session)
     }
 }
 
@@ -282,14 +423,14 @@ pub fn partition_ondisk_with_tracker(
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
 ) -> Result<PartitionResult, PartitionError> {
-    let graph = tracker
-        .run("open_store", 0, || {
-            PagedGraph::open_with_options(path, &config.ondisk)
-        })
-        .map_err(|e| {
-            PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
-        })?;
-    partition_paged_with_tracker(&graph, config, tracker)
+    let session = ObsSession::new(config);
+    let graph = obs_phase(&session.handle, tracker, "open_store", 0, || {
+        PagedGraph::open_with_options(path, &config.ondisk)
+    })
+    .map_err(|e| {
+        PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
+    })?;
+    partition_paged_with_session(&graph, config, tracker, session)
 }
 
 /// Runs the on-disk pipeline against an already-open [`PagedGraph`] — the entry point
@@ -306,9 +447,18 @@ pub fn partition_paged_with_tracker(
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
 ) -> Result<PartitionResult, PartitionError> {
+    partition_paged_with_session(graph, config, tracker, ObsSession::new(config))
+}
+
+fn partition_paged_with_session(
+    graph: &PagedGraph,
+    config: &PartitionerConfig,
+    tracker: &PhaseTracker,
+    session: ObsSession,
+) -> Result<PartitionResult, PartitionError> {
     let phases = tracker.phase_handle();
     graph.set_fault_observer(move || phases.current().unwrap_or_default());
-    let mut result = partition_with_tracker(graph, config, tracker);
+    let mut result = partition_with_session(graph, config, tracker, session);
     // Let queued readahead hints drain so the snapshot's prefetch counters are settled
     // (prefetch itself never affects results, only cache residency).
     graph.wait_prefetch_idle();
@@ -552,5 +702,67 @@ mod tests {
     fn ondisk_open_errors_are_propagated() {
         let config = PartitionerConfig::terapart(4);
         assert!(partition_ondisk("/nonexistent/path/graph.tpg", &config).is_err());
+    }
+
+    #[test]
+    fn run_report_is_attached_and_covers_the_pipeline() {
+        let g = gen::rgg2d(2000, 10, 4);
+        let config = PartitionerConfig::terapart(8)
+            .with_threads(2)
+            .with_run_report(true);
+        let result = partition(&g, &config);
+        check_result(&g, &result, 8);
+        let report = result
+            .run_report
+            .as_ref()
+            .expect("recording run attaches a report");
+        assert!(report.total_ns > 0);
+        assert!(
+            report.span_coverage >= 0.9,
+            "span coverage {} below 0.9",
+            report.span_coverage
+        );
+        let root = report.find("pipeline").expect("pipeline root span");
+        assert_eq!(root.attr("n"), Some(g.n() as u64));
+        assert_eq!(root.attr("k"), Some(8));
+        assert_eq!(root.attr("edge_cut"), Some(result.edge_cut));
+        for phase in [
+            "cluster",
+            "contract",
+            "initial_partition",
+            "refine",
+            "evaluate",
+        ] {
+            assert!(report.find(phase).is_some(), "missing span {phase}");
+        }
+        assert!(report.counter(Counter::LpClusterRounds) > 0);
+        assert!(report.counter(Counter::LpClusterMoves) > 0);
+        assert_eq!(
+            report.counter(Counter::CoarseningLevels),
+            result.hierarchy_depth as u64
+        );
+        // Recursive bisection for k = 8 performs exactly k - 1 bisections, each running
+        // at least one portfolio attempt.
+        assert_eq!(report.counter(Counter::InitialBisections), 7);
+        assert!(
+            report.counter(Counter::InitialAttempts) >= report.counter(Counter::InitialBisections)
+        );
+        assert!(report.counter(Counter::PeakMemoryBytes) > 0);
+    }
+
+    #[test]
+    fn noop_config_attaches_no_report_and_matches_recording_bitwise() {
+        let g = gen::erdos_renyi(1500, 6000, 11);
+        let base = PartitionerConfig::terapart(4).with_threads(1).with_seed(5);
+        let plain = partition(&g, &base);
+        assert!(plain.run_report.is_none(), "noop config must not record");
+        let recorded = partition(&g, &base.clone().with_run_report(true));
+        assert!(recorded.run_report.is_some());
+        assert_eq!(plain.edge_cut, recorded.edge_cut);
+        assert_eq!(
+            plain.partition.assignment(),
+            recorded.partition.assignment(),
+            "recording perturbed the fixed-seed result"
+        );
     }
 }

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use graph::traits::Graph;
 use graph::{EdgeWeight, NodeId};
 use memtrack::MemoryScope;
+use obs::{Counter, ObsHandle, SpanKind};
 use rayon::prelude::*;
 
 use crate::context::GainTableKind;
@@ -34,6 +35,10 @@ pub struct FmStats {
     pub gain_table_bytes: usize,
     /// Number of refinement passes executed.
     pub passes: usize,
+    /// Moves applied and later undone by hill-climbing rollback. Always 0 for this
+    /// batched scheme (it only applies positive-gain moves); the priority-queue k-way
+    /// FM ([`kway_fm`](super::kway_fm)) reports its rolled-back tails here.
+    pub moves_rolled_back: usize,
 }
 
 /// Runs FM refinement on `partition` with the given gain-table kind, using a throwaway
@@ -68,12 +73,36 @@ pub fn fm_refine_with_candidates(
     fraction: f64,
     candidates: &mut Vec<(i64, NodeId, BlockId)>,
 ) -> FmStats {
+    fm_refine_obs(
+        graph,
+        partition,
+        gain_table,
+        max_passes,
+        fraction,
+        candidates,
+        &ObsHandle::noop(),
+    )
+}
+
+/// [`fm_refine_with_candidates`] with an observability handle: each pass is a `fm_pass`
+/// round span and the pass/move totals feed the unified counter registry.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fm_refine_obs(
+    graph: &impl Graph,
+    partition: &mut Partition,
+    gain_table: GainTableKind,
+    max_passes: usize,
+    fraction: f64,
+    candidates: &mut Vec<(i64, NodeId, BlockId)>,
+    obs: &ObsHandle,
+) -> FmStats {
     let n = graph.n();
     if n == 0 || partition.k() <= 1 {
         return FmStats {
             moves: 0,
             gain_table_bytes: 0,
             passes: 0,
+            moves_rolled_back: 0,
         };
     }
     let epsilon = partition.epsilon();
@@ -86,10 +115,14 @@ pub fn fm_refine_with_candidates(
     // this is the quantity Figure 7 (middle) compares across the three variants.
     let _scope = MemoryScope::charge_global(gain_table_bytes);
 
+    obs.gauge_max(Counter::GainTableBytes, gain_table_bytes as u64);
+
     let mut total_moves = 0usize;
     let mut passes = 0usize;
-    for _ in 0..max_passes {
+    for pass in 0..max_passes {
+        let mut pass_span = obs.span_at(SpanKind::Round, "fm_pass", pass as u64);
         passes += 1;
+        obs.add(Counter::FmPasses, 1);
         // Collect boundary vertices together with their best move, reusing the scratch
         // buffer's capacity (order-preserving, so the sort below sees the same input as
         // a fresh collect would produce).
@@ -126,6 +159,7 @@ pub fn fm_refine_with_candidates(
                 }
             })
             .collect_into_vec(candidates);
+        pass_span.attr("candidates", candidates.len() as u64);
         if candidates.is_empty() {
             break;
         }
@@ -154,6 +188,8 @@ pub fn fm_refine_with_candidates(
             }
         }
         let pass_moves = moves.load(Ordering::Relaxed);
+        pass_span.attr("moves", pass_moves as u64);
+        obs.add(Counter::FmMovesAccepted, pass_moves as u64);
         total_moves += pass_moves;
         if pass_moves == 0 {
             break;
@@ -167,6 +203,7 @@ pub fn fm_refine_with_candidates(
         moves: total_moves,
         gain_table_bytes,
         passes,
+        moves_rolled_back: 0,
     }
 }
 

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use graph::traits::Graph;
 use graph::{NodeId, NodeWeight};
 use memtrack::MemoryScope;
+use obs::{Counter, ObsHandle, SpanKind};
 use rayon::prelude::*;
 
 use crate::context::GainTableKind;
@@ -103,6 +104,27 @@ pub fn kway_fm_refine(
     max_passes: usize,
     adverse_limit: usize,
 ) -> FmStats {
+    kway_fm_refine_obs(
+        graph,
+        partition,
+        gain_table,
+        max_passes,
+        adverse_limit,
+        &ObsHandle::noop(),
+    )
+}
+
+/// [`kway_fm_refine`] with an observability handle: each pass is an `fm_pass` round
+/// span (with accepted/rolled-back move attributes) and the totals feed the unified
+/// counter registry.
+pub(crate) fn kway_fm_refine_obs(
+    graph: &impl Graph,
+    partition: &mut Partition,
+    gain_table: GainTableKind,
+    max_passes: usize,
+    adverse_limit: usize,
+    obs: &ObsHandle,
+) -> FmStats {
     let n = graph.n();
     let k = partition.k();
     if n == 0 || k <= 1 || max_passes == 0 {
@@ -110,6 +132,7 @@ pub fn kway_fm_refine(
             moves: 0,
             gain_table_bytes: 0,
             passes: 0,
+            moves_rolled_back: 0,
         };
     }
     let epsilon = partition.epsilon();
@@ -132,10 +155,15 @@ pub fn kway_fm_refine(
     let mut seeds: Vec<(i64, NodeId, BlockId)> = Vec::new();
     let mut move_log: Vec<(NodeId, BlockId, BlockId)> = Vec::new();
 
+    obs.gauge_max(Counter::GainTableBytes, gain_table_bytes as u64);
+
     let mut total_moves = 0usize;
+    let mut total_rolled_back = 0usize;
     let mut passes = 0usize;
-    for _ in 0..max_passes {
+    for pass in 0..max_passes {
+        let mut pass_span = obs.span_at(SpanKind::Round, "fm_pass", pass as u64);
         passes += 1;
+        obs.add(Counter::FmPasses, 1);
         // Parallel, order-preserving seeding; the heap's total order makes the pop
         // sequence independent of the insertion order anyway.
         {
@@ -220,6 +248,7 @@ pub fn kway_fm_refine(
             });
         }
         // Roll back the adverse tail: keep only the best prefix of the move sequence.
+        let rolled_back = move_log.len() - best_len;
         for &(u, from, to) in move_log[best_len..].iter().rev() {
             let node_weight = graph.node_weight(u);
             assignment[u as usize].store(from, Ordering::Relaxed);
@@ -227,7 +256,12 @@ pub fn kway_fm_refine(
             block_weights[from as usize] += node_weight;
             cache.apply_move(graph, u, to, from);
         }
+        pass_span.attr("moves", best_len as u64);
+        pass_span.attr("rolled_back", rolled_back as u64);
+        obs.add(Counter::FmMovesAccepted, best_len as u64);
+        obs.add(Counter::FmMovesRolledBack, rolled_back as u64);
         total_moves += best_len;
+        total_rolled_back += rolled_back;
         for l in locked.iter_mut() {
             *l = false;
         }
@@ -247,6 +281,7 @@ pub fn kway_fm_refine(
         moves: total_moves,
         gain_table_bytes,
         passes,
+        moves_rolled_back: total_rolled_back,
     }
 }
 

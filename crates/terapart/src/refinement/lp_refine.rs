@@ -176,6 +176,10 @@ pub fn lp_refine_with_scratch(
             self.seed ^ (round as u64) << 17
         }
 
+        fn obs_counters(&self) -> (obs::Counter, obs::Counter) {
+            (obs::Counter::LpRefineRounds, obs::Counter::LpRefineMoves)
+        }
+
         fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize {
             let (moves, newly_blocked) = run_round(self.graph, self.state, self.k, order, frontier);
             self.newly_blocked = newly_blocked;

@@ -60,6 +60,7 @@ pub fn refine_with_scratch(
     seed: u64,
     scratch: &mut HierarchyScratch,
 ) -> RefinementStats {
+    let obs = scratch.obs.clone();
     let lp_stats = lp_refine_with_scratch(
         graph,
         partition,
@@ -75,24 +76,26 @@ pub fn refine_with_scratch(
     match config.algorithm {
         RefinementAlgorithm::LabelPropagation => {}
         RefinementAlgorithm::FmWithLabelPropagation => {
-            let fm_stats = fm_refine_with_candidates(
+            let fm_stats = fm::fm_refine_obs(
                 graph,
                 partition,
                 config.gain_table,
                 config.fm_passes,
                 config.fm_fraction,
                 &mut scratch.fm_candidates,
+                &obs,
             );
             stats.fm_moves = fm_stats.moves;
             stats.gain_table_bytes = fm_stats.gain_table_bytes;
         }
         RefinementAlgorithm::KWayFmWithLabelPropagation => {
-            let fm_stats = kway_fm::kway_fm_refine(
+            let fm_stats = kway_fm::kway_fm_refine_obs(
                 graph,
                 partition,
                 config.gain_table,
                 config.fm_passes,
                 config.fm_adverse_limit,
+                &obs,
             );
             stats.fm_moves = fm_stats.moves;
             stats.gain_table_bytes = fm_stats.gain_table_bytes;
@@ -100,6 +103,7 @@ pub fn refine_with_scratch(
     }
     if !partition.is_balanced() {
         stats.rebalance_moves = rebalance(graph, partition);
+        obs.add(obs::Counter::RebalanceMoves, stats.rebalance_moves as u64);
     }
     stats
 }

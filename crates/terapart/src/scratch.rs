@@ -140,6 +140,10 @@ pub struct HierarchyScratch {
     /// Parallel FM refinement's per-pass candidate buffer `(gain, vertex, target)`,
     /// reused across passes and hierarchy levels.
     pub(crate) fm_candidates: Vec<(i64, NodeId, BlockId)>,
+    /// Observability sink of the current run (noop unless the run records). Threaded
+    /// through the scratch arena so the phase implementations can open round-level
+    /// spans and bump counters without widening every signature.
+    pub(crate) obs: obs::ObsHandle,
     /// Charge of all node-indexed buffers against the global memory accounting. The
     /// over-reserved edge buffers are *not* part of this charge: following the paper's
     /// virtual-memory overcommit model (as in `memtrack::ReservedVec`), contraction
@@ -170,6 +174,7 @@ impl HierarchyScratch {
             next_active: AtomicBitset::new(),
             initial: InitialPartitioningScratch::default(),
             fm_candidates: Vec::new(),
+            obs: obs::ObsHandle::noop(),
             charge: MemoryScope::charge_global(0),
         }
     }

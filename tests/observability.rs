@@ -1,0 +1,132 @@
+//! Cross-crate observability tests: recording spans, counters and traces through the
+//! public API must never perturb the partitioning result.
+//!
+//! Two determinism regimes are covered (see `terapart::partitioner` docs): the full
+//! pipeline is bitwise reproducible single-threaded, so the noop-vs-recording check
+//! runs the complete default configuration at one thread. Parallel label propagation
+//! applies moves asynchronously and is only reproducible sequentially, so the
+//! multi-thread checks (1/2/4/8 threads) use an LP-free configuration — no clustering
+//! rounds, no LP refinement rounds, k-way FM only — whose remaining stages (initial
+//! partitioning, k-way FM, rebalancing) are deterministic at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use graph::gen;
+use terapart::{partition_csr, Counter, PartitionerConfig, ProgressEvent, RefinementAlgorithm};
+
+/// Recording a run report, exporting a Chrome trace and firing progress callbacks must
+/// all leave the fixed-seed single-threaded result bit-identical to the noop run.
+#[test]
+fn observability_does_not_perturb_the_single_threaded_pipeline() {
+    let graph = gen::rgg2d(4_000, 12, 33);
+    let base = PartitionerConfig::terapart(8).with_threads(1).with_seed(9);
+
+    let noop = partition_csr(&graph, &base);
+    assert!(
+        noop.run_report.is_none(),
+        "the noop configuration must not allocate a run report"
+    );
+
+    let recorded = partition_csr(&graph, &base.clone().with_run_report(true));
+    let report = recorded
+        .run_report
+        .as_ref()
+        .expect("recording config attaches a run report");
+    assert!(report.total_ns > 0);
+    assert!(
+        report.span_coverage >= 0.9,
+        "span coverage {:.3} too low",
+        report.span_coverage
+    );
+    assert!(report.counter(Counter::LpClusterRounds) > 0);
+
+    let dir = std::env::temp_dir().join(format!("terapart_obs_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("failed to create the trace dir");
+    let trace_path = dir.join("trace.json");
+    let progress_events = Arc::new(AtomicUsize::new(0));
+    let progress_counter = progress_events.clone();
+    let traced = partition_csr(
+        &graph,
+        &base
+            .clone()
+            .with_trace_path(&trace_path)
+            .with_progress(move |_event: &ProgressEvent| {
+                progress_counter.fetch_add(1, Ordering::Relaxed);
+            }),
+    );
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file missing");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        trace.trim_start().starts_with('['),
+        "trace is not a JSON array"
+    );
+    assert!(
+        trace.trim_end().ends_with(']'),
+        "trace array is unterminated"
+    );
+    assert!(trace.contains("\"ph\": \"X\""), "trace contains no events");
+    assert!(
+        progress_events.load(Ordering::Relaxed) >= 2,
+        "progress hook never fired"
+    );
+
+    // Bitwise identity across all three observability modes.
+    assert_eq!(noop.edge_cut, recorded.edge_cut);
+    assert_eq!(noop.edge_cut, traced.edge_cut);
+    assert_eq!(
+        noop.partition.assignment(),
+        recorded.partition.assignment(),
+        "recording perturbed the fixed-seed result"
+    );
+    assert_eq!(
+        noop.partition.assignment(),
+        traced.partition.assignment(),
+        "tracing perturbed the fixed-seed result"
+    );
+}
+
+/// An LP-free configuration: every remaining stage (initial partitioning, k-way FM,
+/// rebalancing) is deterministic at any thread count, so noop and recording runs can
+/// be compared bitwise even in parallel.
+fn lp_free_config(k: usize) -> PartitionerConfig {
+    let mut config = PartitionerConfig::terapart(k).with_seed(17);
+    config.coarsening.lp_rounds = 0;
+    config.coarsening.two_hop_clustering = false;
+    config.refinement.lp_rounds = 0;
+    config.refinement.algorithm = RefinementAlgorithm::KWayFmWithLabelPropagation;
+    config
+}
+
+/// With observability on, the LP-free pipeline stays bit-identical to the noop run at
+/// every thread count.
+#[test]
+fn recording_is_bitwise_deterministic_across_thread_counts() {
+    let graph = gen::erdos_renyi(2_000, 9_000, 41);
+    let reference = partition_csr(&graph, &lp_free_config(4).with_threads(1));
+    for threads in [1usize, 2, 4, 8] {
+        let config = lp_free_config(4).with_threads(threads);
+        let noop = partition_csr(&graph, &config);
+        let recorded = partition_csr(&graph, &config.clone().with_run_report(true));
+        assert_eq!(
+            noop.edge_cut, recorded.edge_cut,
+            "cut diverged at {threads} threads"
+        );
+        assert_eq!(
+            noop.partition.assignment(),
+            recorded.partition.assignment(),
+            "recording perturbed the result at {threads} threads"
+        );
+        // The LP-free stages are also deterministic *across* thread counts; pin that
+        // so this test keeps meaning something if the stages gain parallel phases.
+        assert_eq!(
+            reference.partition.assignment(),
+            recorded.partition.assignment(),
+            "LP-free pipeline diverged between 1 and {threads} threads"
+        );
+        let report = recorded.run_report.expect("recording attaches a report");
+        assert_eq!(report.counter(Counter::LpClusterRounds), 0);
+        assert_eq!(report.counter(Counter::CoarseningLevels), 0);
+        assert!(report.counter(Counter::FmPasses) > 0);
+    }
+}
