@@ -338,6 +338,7 @@ fn main() {
     let tpg_path = ondisk_dir.join("rmat-14.tpg");
     graph::store::write_tpg_from_graph(&graph, &tpg_path, &graph::CompressionConfig::default())
         .expect("failed to write the bench container");
+    let plain_meta = graph::store::read_tpg_meta(&tpg_path).expect("bench container unreadable");
     let csr_bytes = graph.size_in_bytes();
     let mut ondisk_runs = Vec::new();
     // 8 KiB pages: the rmat-14 data section spans enough pages that the cold-sweep
@@ -369,6 +370,10 @@ fn main() {
                 cache.map(|c| c.prefetched_pages).unwrap_or(0),
             );
             ondisk_runs.push(OndiskRun {
+                backend: "paged",
+                offsets: "plain",
+                offset_index_bytes: plain_meta.offsets_len_bytes(),
+                n: graph.n(),
                 page_budget_bytes: page_budget,
                 page_size_bytes: page_size,
                 prefetch,
@@ -381,6 +386,130 @@ fn main() {
             });
         }
     }
+
+    // ---- Store-backend ladder: the same instance through the mmap fast path, on the
+    // plain container and on an Elias-Fano-offset one (plus paged-on-EF, proving the
+    // succinct index is backend-agnostic). Cuts must be bit-identical throughout. ----
+    let ef_path = ondisk_dir.join("rmat-14-ef.tpg");
+    graph::store::write_tpg_from_graph_ef(&graph, &ef_path, &graph::CompressionConfig::default())
+        .expect("failed to write the EF bench container");
+    let ef_meta = graph::store::read_tpg_meta(&ef_path).expect("EF bench container unreadable");
+    println!(
+        "offset index: plain {} B ({:.2} B/node) vs elias-fano {} B ({:.2} B/node)",
+        plain_meta.offsets_len_bytes(),
+        plain_meta.offsets_len_bytes() as f64 / graph.n() as f64,
+        ef_meta.offsets_len_bytes(),
+        ef_meta.offsets_len_bytes() as f64 / graph.n() as f64,
+    );
+    assert!(
+        ef_meta.offsets_len_bytes() < plain_meta.offsets_len_bytes(),
+        "Elias-Fano offsets not smaller than plain"
+    );
+    // Single-threaded (the reproducible regime), so the identical-cut assertion holds
+    // across the whole ladder; the paged/mmap wall-time comparison stays apples to
+    // apples. The 2 MiB budget is the "container fits in RAM" point — mmap's home turf.
+    let mut ladder_cut: Option<u64> = None;
+    let mut ladder_times: Vec<(String, f64)> = Vec::new();
+    for (backend, ladder_path, offsets, meta, prefetch) in [
+        (
+            graph::store::OnDiskBackend::Paged,
+            &tpg_path,
+            "plain",
+            &plain_meta,
+            false,
+        ),
+        (
+            graph::store::OnDiskBackend::Paged,
+            &tpg_path,
+            "plain",
+            &plain_meta,
+            true,
+        ),
+        (
+            graph::store::OnDiskBackend::Mmap,
+            &tpg_path,
+            "plain",
+            &plain_meta,
+            false,
+        ),
+        (
+            graph::store::OnDiskBackend::Paged,
+            &ef_path,
+            "ef",
+            &ef_meta,
+            false,
+        ),
+        (
+            graph::store::OnDiskBackend::Mmap,
+            &ef_path,
+            "ef",
+            &ef_meta,
+            false,
+        ),
+    ] {
+        let is_mmap = backend == graph::store::OnDiskBackend::Mmap;
+        let mut ladder_config = PartitionerConfig::terapart(16)
+            .with_threads(1)
+            .with_store_backend(backend)
+            .with_prefetch(prefetch);
+        if !is_mmap {
+            ladder_config = ladder_config.with_page_budget(2 * 1024 * 1024);
+            ladder_config.ondisk.page_size = page_size;
+        }
+        let ladder_tracker = PhaseTracker::new();
+        memtrack::global().reset_peak();
+        let result =
+            terapart::partition_ondisk_with_tracker(ladder_path, &ladder_config, &ladder_tracker)
+                .expect("store-backend ladder run failed");
+        let peak = result.peak_memory_bytes.max(ladder_tracker.overall_peak());
+        match ladder_cut {
+            None => ladder_cut = Some(result.edge_cut),
+            Some(cut) => assert_eq!(
+                result.edge_cut, cut,
+                "{:?}/{} diverged from the ladder cut",
+                backend, offsets
+            ),
+        }
+        let label = format!(
+            "{}{}/{}",
+            if is_mmap { "mmap" } else { "paged" },
+            if prefetch { "+prefetch" } else { "" },
+            offsets
+        );
+        println!(
+            "partition_ondisk ladder {:<20}: cut={} peak={} ({:.2}x of CSR) time={:.2}s",
+            label,
+            result.edge_cut,
+            memtrack::format_bytes(peak),
+            peak as f64 / csr_bytes as f64,
+            result.total_time.as_secs_f64(),
+        );
+        ladder_times.push((label, result.total_time.as_secs_f64()));
+        ondisk_runs.push(OndiskRun {
+            backend: if is_mmap { "mmap" } else { "paged" },
+            offsets,
+            offset_index_bytes: meta.offsets_len_bytes(),
+            n: graph.n(),
+            page_budget_bytes: if is_mmap { 0 } else { 2 * 1024 * 1024 },
+            page_size_bytes: if is_mmap { 0 } else { page_size },
+            prefetch,
+            time: result.total_time,
+            peak_memory_bytes: peak,
+            edge_cut: result.edge_cut,
+            csr_bytes,
+            phases: result.phase_reports,
+            cache: result.cache_stats,
+        });
+    }
+    let paged_plain_seconds = ladder_times[0].1;
+    let mmap_plain_seconds = ladder_times[2].1;
+    println!(
+        "store-backend ladder: mmap {:.2}s vs paged {:.2}s ({:.2}x) at identical cut {}",
+        mmap_plain_seconds,
+        paged_plain_seconds,
+        paged_plain_seconds / mmap_plain_seconds.max(1e-9),
+        ladder_cut.unwrap_or(0),
+    );
     std::fs::remove_dir_all(&ondisk_dir).ok();
 
     write_pipeline_json(

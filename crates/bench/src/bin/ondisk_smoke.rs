@@ -142,9 +142,82 @@ fn main() {
         cache.prefetched_pages > 0,
         "SMOKE FAIL: the readahead worker never installed a page"
     );
+    // ---- Store-backend ladder (single-threaded, the bit-reproducible regime):
+    // paged, paged+prefetch and mmap must all produce the *identical* cut, on the
+    // plain-offset container and on an Elias-Fano-offset re-encoding of it — and the
+    // succinct index must actually be smaller. ----
+    use graph::store::OnDiskBackend;
+    let ef_container = cache_dir.join("smoke_ef.tpg");
+    graph::store::write_tpg_from_graph_ef(
+        &graph::store::read_tpg_compressed(&path).expect("re-read smoke container"),
+        &ef_container,
+        &graph::CompressionConfig::default(),
+    )
+    .expect("failed to write the EF smoke container");
+    let plain_meta = graph::store::read_tpg_meta(&path).unwrap();
+    let ef_meta = graph::store::read_tpg_meta(&ef_container).unwrap();
+    println!(
+        "offset index: plain {} B vs elias-fano {} B",
+        plain_meta.offsets_len_bytes(),
+        ef_meta.offsets_len_bytes()
+    );
+    assert!(
+        ef_meta.offsets_len_bytes() < plain_meta.offsets_len_bytes(),
+        "SMOKE FAIL: Elias-Fano offset index ({} B) is not smaller than plain ({} B)",
+        ef_meta.offsets_len_bytes(),
+        plain_meta.offsets_len_bytes()
+    );
+    let ladder_base = config.clone().with_threads(1);
+    let mut ladder_cut: Option<u64> = None;
+    for (label, ladder_path, ladder_config) in [
+        ("paged/plain", &path, ladder_base.clone()),
+        (
+            "paged+prefetch/plain",
+            &path,
+            ladder_base.clone().with_prefetch(true),
+        ),
+        (
+            "mmap/plain",
+            &path,
+            ladder_base.clone().with_store_backend(OnDiskBackend::Mmap),
+        ),
+        ("paged/ef", &ef_container, ladder_base.clone()),
+        (
+            "mmap/ef",
+            &ef_container,
+            ladder_base.clone().with_store_backend(OnDiskBackend::Mmap),
+        ),
+    ] {
+        let run = partition_ondisk(ladder_path, &ladder_config)
+            .unwrap_or_else(|e| panic!("SMOKE FAIL: ladder run {} failed: {}", label, e));
+        println!(
+            "ladder {:<22}: cut={} time={:.2}s",
+            label,
+            run.edge_cut,
+            run.total_time.as_secs_f64()
+        );
+        assert!(
+            run.partition.is_complete() && run.partition.is_balanced(),
+            "SMOKE FAIL: ladder run {} produced an invalid partition",
+            label
+        );
+        match ladder_cut {
+            None => ladder_cut = Some(run.edge_cut),
+            Some(cut) => assert_eq!(
+                run.edge_cut, cut,
+                "SMOKE FAIL: ladder run {} diverged from the common cut",
+                label
+            ),
+        }
+    }
+    println!("store-backend ladder: identical cut {} across all five runs", ladder_cut.unwrap());
+
     println!("ondisk smoke OK");
     // Best-effort cleanup when we created the temp cache ourselves.
     if std::env::args().nth(1).is_none() {
         std::fs::remove_dir_all(cache_dir).ok();
+    } else {
+        std::fs::remove_file(&ef_container).ok();
+        std::fs::remove_file(cache_dir.join("smoke_materialized.tpg")).ok();
     }
 }

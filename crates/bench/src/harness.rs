@@ -104,9 +104,19 @@ pub fn measure_run_reported(
 /// in-memory pipeline in `BENCH_pipeline.json`.
 #[derive(Debug, Clone)]
 pub struct OndiskRun {
-    /// Page-cache budget the run was configured with, in bytes.
+    /// Store backend of the run: `"paged"` or `"mmap"`.
+    pub backend: &'static str,
+    /// Offset-index encoding of the container: `"plain"` (raw u64s) or `"ef"`
+    /// (Elias-Fano).
+    pub offsets: &'static str,
+    /// On-disk size of the container's offset index, in bytes.
+    pub offset_index_bytes: u64,
+    /// Vertices of the instance (for the offset-bytes-per-node metric).
+    pub n: usize,
+    /// Page-cache budget the run was configured with, in bytes (0 for the mmap
+    /// backend, which has no cache).
     pub page_budget_bytes: usize,
-    /// Page size of the run's cache, in bytes.
+    /// Page size of the run's cache, in bytes (0 for the mmap backend).
     pub page_size_bytes: usize,
     /// Whether LP-aware page readahead (`OnDiskConfig::prefetch`) was enabled.
     pub prefetch: bool,
@@ -335,7 +345,11 @@ pub fn write_pipeline_json(
             .sum::<f64>();
         let cache = run.cache.unwrap_or_default();
         out.push_str(&format!(
-            "    {{\"page_budget_bytes\": {}, \"page_size_bytes\": {}, \"prefetch\": {}, \"seconds\": {:.6}, \"open_store_seconds\": {:.6}, \"peak_bytes\": {}, \"csr_bytes\": {}, \"peak_vs_csr\": {:.3}, \"edge_cut\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"prefetched_pages\": {}, \"retried_reads\": {}, \"checksum_failures\": {}}}{}\n",
+            "    {{\"backend\": \"{}\", \"offsets\": \"{}\", \"offset_index_bytes\": {}, \"offset_bytes_per_node\": {:.3}, \"page_budget_bytes\": {}, \"page_size_bytes\": {}, \"prefetch\": {}, \"seconds\": {:.6}, \"open_store_seconds\": {:.6}, \"peak_bytes\": {}, \"csr_bytes\": {}, \"peak_vs_csr\": {:.3}, \"edge_cut\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"prefetched_pages\": {}, \"retried_reads\": {}, \"checksum_failures\": {}}}{}\n",
+            run.backend,
+            run.offsets,
+            run.offset_index_bytes,
+            run.offset_index_bytes as f64 / run.n.max(1) as f64,
             run.page_budget_bytes,
             run.page_size_bytes,
             run.prefetch,

@@ -35,6 +35,15 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     fn is_empty(&self) -> io::Result<bool> {
         Ok(self.len()? == 0)
     }
+
+    /// The underlying [`File`], if this backend is a plain file whose bytes may be
+    /// memory-mapped directly. Fault-injecting and in-memory backends return `None`
+    /// (the default), which routes the mmap store onto its heap fallback so every
+    /// byte keeps flowing through [`read_at`](Self::read_at) — the seam the fault
+    /// schedules hook.
+    fn as_file(&self) -> Option<&File> {
+        None
+    }
 }
 
 /// Reads exactly `buf.len()` bytes at `offset`, looping over short reads. Fails with
@@ -147,6 +156,10 @@ impl StorageBackend for FileBackend {
 
     fn sync(&self) -> io::Result<()> {
         self.file.sync_all()
+    }
+
+    fn as_file(&self) -> Option<&File> {
+        Some(&self.file)
     }
 
     fn len(&self) -> io::Result<u64> {

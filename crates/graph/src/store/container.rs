@@ -5,12 +5,13 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "TPGS"
-//! 4       4     version (u32, currently 3; v1 and v2 files remain readable)
+//! 4       4     version (u32, currently 4; v1–v3 files remain readable)
 //! 8       4     flags   (bit 0: edge weighted, bit 1: node weighted,
-//!                        bit 2: interval encoding, bit 3: compressed edge weights)
+//!                        bit 2: interval encoding, bit 3: compressed edge weights,
+//!                        bit 4: Elias-Fano offset index, v4 only)
 //! 12      1     id width in bytes the writer was built with (4 or 8; v1 files carry 0
 //!               here and imply 4)
-//! 13      1     v3: log2 of the checksum block length (zero in v1/v2 files)
+//! 13      1     v3+: log2 of the checksum block length (zero in v1/v2 files)
 //! 14      2     reserved (zero)
 //! 16      8     n (vertices)
 //! 24      8     m (undirected edges)
@@ -23,7 +24,11 @@
 //! 80      8     data section length in bytes
 //! 88      —     data section: concatenated encoded neighbourhoods (identical byte
 //!               format to the in-memory CompressedGraph)
-//! …       —     offset index: n + 1 u64 byte offsets into the data section
+//! …       —     offset index: n + 1 byte offsets into the data section — plain u64s,
+//!               or (flag bit 4, v4) the same monotone sequence Elias-Fano encoded as
+//!               whole little-endian u64 words, low-bits array then upper-bits array
+//!               (see `store::elias_fano`; both word counts derive from n and
+//!               data_len, so later sections stay locatable from the header alone)
 //! …       —     node weights: n u64 values, present iff flag bit 1 is set
 //! …       —     v3 checksum footer:
 //!                 magic "TPGC" (4 bytes)
@@ -71,6 +76,7 @@ use crate::io::{
     read_exact_u64, IoError, BINARY_MAGIC,
 };
 use crate::store::backend::{read_full_at, FileBackend, StorageBackend};
+use crate::store::elias_fano::{EliasFanoIndex, OffsetIndex};
 use crate::store::paged::RetryPolicy;
 use crate::traits::Graph;
 use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
@@ -79,9 +85,9 @@ use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 pub const TPG_MAGIC: &[u8; 4] = b"TPGS";
 /// Container format version. Version 2 added the explicit id-width byte in the
 /// previously reserved header field; version 3 added the crc32 checksum footer and the
-/// block-length byte. Version 1 and 2 files (no checksums) are still accepted by the
-/// reader.
-pub const TPG_VERSION: u32 = 3;
+/// block-length byte; version 4 added the optional Elias-Fano offset index (flag
+/// bit 4). Version 1–3 files are still accepted by the reader.
+pub const TPG_VERSION: u32 = 4;
 /// Size of the fixed header in bytes.
 pub const TPG_HEADER_LEN: u64 = 88;
 /// Magic bytes of the v3 checksum footer.
@@ -96,11 +102,13 @@ const FLAG_EDGE_WEIGHTED: u32 = 1 << 0;
 const FLAG_NODE_WEIGHTED: u32 = 1 << 1;
 const FLAG_INTERVALS: u32 = 1 << 2;
 const FLAG_COMPRESS_EDGE_WEIGHTS: u32 = 1 << 3;
+/// The offset index is Elias-Fano encoded (v4 only; rejected in older versions).
+const FLAG_EF_OFFSETS: u32 = 1 << 4;
 
 /// Parsed `.tpg` header plus derived section positions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TpgMeta {
-    /// Format version the file was written with (1, 2 or 3).
+    /// Format version the file was written with (1 through 4).
     pub version: u32,
     /// ID width in bytes the writer was built with (4 or 8). Advisory: the data
     /// section is VarInt-encoded and therefore width-agnostic, so any file whose
@@ -125,9 +133,11 @@ pub struct TpgMeta {
     pub config: CompressionConfig,
     /// Length of the encoded data section in bytes.
     pub data_len: u64,
-    /// Checksum block length of the data section (v3 files), or `None` for v1/v2
+    /// Checksum block length of the data section (v3+ files), or `None` for v1/v2
     /// files, which carry no checksums and are read with verification disabled.
     pub checksum_block_len: Option<u32>,
+    /// Whether the offset index is Elias-Fano encoded (v4 files with flag bit 4).
+    pub ef_offsets: bool,
 }
 
 impl TpgMeta {
@@ -141,10 +151,21 @@ impl TpgMeta {
         TPG_HEADER_LEN + self.data_len
     }
 
+    /// Length of the offset-index section in bytes. For Elias-Fano indices the word
+    /// counts derive from `n` and `data_len` alone, which is what keeps the following
+    /// sections locatable without decoding the index first.
+    pub fn offsets_len_bytes(&self) -> u64 {
+        if self.ef_offsets {
+            crate::store::elias_fano::ef_section_bytes(self.n as u64 + 1, self.data_len)
+        } else {
+            8 * (self.n as u64 + 1)
+        }
+    }
+
     /// Byte offset of the node-weight section within the file (meaningful only when
     /// `node_weighted`).
     pub fn node_weights_start(&self) -> u64 {
-        self.offsets_start() + 8 * (self.n as u64 + 1)
+        self.offsets_start() + self.offsets_len_bytes()
     }
 
     /// Number of checksum blocks covering the data section (0 for v1/v2 files).
@@ -269,6 +290,8 @@ pub struct TpgWriter {
     block_crc: Crc32,
     /// Bytes absorbed into `block_crc` so far.
     block_fill: usize,
+    /// Whether to emit the offset index Elias-Fano encoded (v4 flag bit 4).
+    ef_offsets: bool,
 }
 
 impl TpgWriter {
@@ -335,7 +358,17 @@ impl TpgWriter {
             block_crcs: Vec::new(),
             block_crc: Crc32::new(),
             block_fill: 0,
+            ef_offsets: false,
         })
+    }
+
+    /// Emits the offset index Elias-Fano encoded instead of as plain u64s, shrinking
+    /// it from 8 bytes per vertex toward `2 + log2(data_len / n)` *bits* per vertex.
+    /// Readable by every v4-aware reader (both store backends and the eager reader);
+    /// leave off for containers that must stay readable by v3 tooling.
+    pub fn with_ef_offsets(mut self, ef_offsets: bool) -> Self {
+        self.ef_offsets = ef_offsets;
+        self
     }
 
     /// Overrides the checksum block length (must be a power of two in the format's
@@ -511,10 +544,19 @@ impl TpgWriter {
         }
         let offsets = std::mem::take(&mut self.offsets);
         let mut offsets_crc = Crc32::new();
-        for &offset in &offsets {
-            let bytes = offset.to_le_bytes();
-            offsets_crc.update(&bytes);
-            self.buffered_write(&bytes)?;
+        if self.ef_offsets {
+            let ef = EliasFanoIndex::encode(&offsets, data_len);
+            for &word in ef.lower_words().iter().chain(ef.upper_words().iter()) {
+                let bytes = word.to_le_bytes();
+                offsets_crc.update(&bytes);
+                self.buffered_write(&bytes)?;
+            }
+        } else {
+            for &offset in &offsets {
+                let bytes = offset.to_le_bytes();
+                offsets_crc.update(&bytes);
+                self.buffered_write(&bytes)?;
+            }
         }
         let node_weighted = self.any_node_weight;
         let mut weights_crc = Crc32::new();
@@ -544,6 +586,9 @@ impl TpgWriter {
         }
         if self.config.compress_edge_weights {
             flags |= FLAG_COMPRESS_EDGE_WEIGHTS;
+        }
+        if self.ef_offsets {
+            flags |= FLAG_EF_OFFSETS;
         }
         let mut header = Vec::with_capacity(TPG_HEADER_LEN as usize);
         header.extend_from_slice(TPG_MAGIC);
@@ -825,6 +870,13 @@ fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
             }
         }
     };
+    let ef_offsets = flags & FLAG_EF_OFFSETS != 0;
+    if ef_offsets && version < 4 {
+        return Err(IoError::Format(format!(
+            "Elias-Fano offset flag set in a v{} .tpg header (requires v4)",
+            version
+        )));
+    }
     let n = read_exact_u64(r)? as usize;
     // The data section is width-agnostic (VarInt gaps), so the only hard requirement
     // is that every vertex id is representable at the *active* width.
@@ -856,6 +908,7 @@ fn read_meta_from(r: &mut impl Read) -> Result<TpgMeta, IoError> {
         },
         data_len,
         checksum_block_len,
+        ef_offsets,
     })
 }
 
@@ -936,8 +989,8 @@ fn read_u32_section(
     Ok(out)
 }
 
-/// Offset index, node weights and (v3 only) checksum footer of an open container.
-pub(crate) type TpgIndexParts = (Vec<u64>, Vec<NodeWeight>, Option<TpgChecksums>);
+/// Offset index, node weights and (v3+ only) checksum footer of an open container.
+pub(crate) type TpgIndexParts = (OffsetIndex, Vec<NodeWeight>, Option<TpgChecksums>);
 
 /// Runs one retryable unit of the open path under `retry`, re-attempting every
 /// failure [`open_error_is_retryable`] admits (transient I/O *and* checksum or
@@ -1009,7 +1062,14 @@ pub(crate) fn read_tpg_index_backend(
 
     let offsets = retry_section(retry, retries, || {
         let mut crc = Crc32::new();
-        let offsets = read_u64_section(backend, meta.offsets_start(), meta.n + 1, &mut crc)?;
+        // For an Elias-Fano index the stored unit is whole u64 words; the word count
+        // derives from the header, so the crc covers exactly the section bytes.
+        let count = if meta.ef_offsets {
+            (meta.offsets_len_bytes() / 8) as usize
+        } else {
+            meta.n + 1
+        };
+        let raw = read_u64_section(backend, meta.offsets_start(), count, &mut crc)?;
         if let Some(stored) = stored_offsets {
             let computed = crc.finalize();
             if computed != stored {
@@ -1019,12 +1079,17 @@ pub(crate) fn read_tpg_index_backend(
                 )));
             }
         }
-        if offsets.last().copied().unwrap_or(0) != meta.data_len {
+        let index = if meta.ef_offsets {
+            OffsetIndex::EliasFano(EliasFanoIndex::from_words(meta.n + 1, meta.data_len, raw)?)
+        } else {
+            OffsetIndex::Plain(raw)
+        };
+        if index.last() != meta.data_len {
             return Err(IoError::Format(
                 "offset index does not cover the data section".into(),
             ));
         }
-        Ok(offsets)
+        Ok(index)
     })?;
 
     let node_weights = retry_section(retry, retries, || {
@@ -1060,14 +1125,88 @@ pub(crate) fn verify_data_blocks(data: &[u8], checksums: &TpgChecksums) -> Resul
             expected
         )));
     }
+    verify_data_blocks_at(data, 0, checksums)
+}
+
+/// Verifies a data-section slice starting at block-aligned byte offset `start`
+/// against the per-block crcs. A partial trailing chunk is only admissible at the end
+/// of the data section, where the writer checksummed the short block as-is.
+pub(crate) fn verify_data_blocks_at(
+    data: &[u8],
+    start: u64,
+    checksums: &TpgChecksums,
+) -> Result<(), IoError> {
+    let block_len = checksums.block_len as usize;
+    debug_assert_eq!(start % block_len as u64, 0);
+    let first = (start / block_len as u64) as usize;
     for (i, chunk) in data.chunks(block_len).enumerate() {
+        let stored = match checksums.blocks.get(first + i) {
+            Some(&c) => c,
+            None => {
+                return Err(IoError::Format(format!(
+                    ".tpg footer carries {} block checksums, block {} requested",
+                    checksums.blocks.len(),
+                    first + i
+                )))
+            }
+        };
         let computed = crc32(chunk);
-        if computed != checksums.blocks[i] {
+        if computed != stored {
             return Err(IoError::Corrupt(format!(
                 ".tpg data block {} checksum mismatch: stored {:#010x}, computed {:#010x}",
-                i, checksums.blocks[i], computed
+                first + i,
+                stored,
+                computed
             )));
         }
+    }
+    Ok(())
+}
+
+/// Verification chunk target of [`verify_or_load_data`], rounded down to a whole
+/// number of checksum blocks.
+const DATA_VERIFY_CHUNK: usize = 1024 * 1024;
+
+/// Streams the data section of an open container through the backend in
+/// checksum-block-aligned chunks, verifying each chunk against the footer's per-block
+/// crcs and optionally collecting the bytes into `sink` (the mmap backend's heap
+/// fallback). Each chunk is its own retry unit, so a transient fault re-reads only
+/// the chunk it hit — and because every byte flows through
+/// [`StorageBackend::read_at`], injected fault schedules apply to this path exactly
+/// as they do to the paged reader.
+pub(crate) fn verify_or_load_data(
+    backend: &dyn StorageBackend,
+    meta: &TpgMeta,
+    checksums: Option<&TpgChecksums>,
+    retry: &RetryPolicy,
+    retries: &mut u64,
+    mut sink: Option<&mut Vec<u8>>,
+) -> Result<(), IoError> {
+    if let Some(out) = sink.as_deref_mut() {
+        out.clear();
+        out.reserve(meta.data_len as usize);
+    }
+    if meta.data_len == 0 {
+        return Ok(());
+    }
+    let block_len = checksums.map_or(DATA_VERIFY_CHUNK as u64, |ck| u64::from(ck.block_len));
+    let chunk_len = block_len * (DATA_VERIFY_CHUNK as u64 / block_len).max(1);
+    let mut buf = vec![0u8; chunk_len.min(meta.data_len) as usize];
+    let mut pos = 0u64;
+    while pos < meta.data_len {
+        let take = chunk_len.min(meta.data_len - pos) as usize;
+        retry_section(retry, retries, || {
+            let bytes = &mut buf[..take];
+            read_full_at(backend, bytes, meta.data_start() + pos)?;
+            if let Some(ck) = checksums {
+                verify_data_blocks_at(bytes, pos, ck)?;
+            }
+            Ok(())
+        })?;
+        if let Some(out) = sink.as_deref_mut() {
+            out.extend_from_slice(&buf[..take]);
+        }
+        pos += take as u64;
     }
     Ok(())
 }
@@ -1080,6 +1219,23 @@ pub fn write_tpg_from_graph(
     config: &CompressionConfig,
 ) -> Result<TpgSummary, IoError> {
     let mut writer = TpgWriter::create(path, graph.n(), graph.is_edge_weighted(), config)?;
+    for u in 0..graph.n() as NodeId {
+        let mut nbrs = graph.neighbors_vec(u);
+        nbrs.sort_unstable_by_key(|&(v, _)| v);
+        writer.push_neighborhood(u, &nbrs, graph.node_weight(u))?;
+    }
+    writer.finish()
+}
+
+/// [`write_tpg_from_graph`] with the Elias-Fano offset index enabled: identical data
+/// section, compressed offsets (a v4-only container).
+pub fn write_tpg_from_graph_ef(
+    graph: &impl Graph,
+    path: impl AsRef<Path>,
+    config: &CompressionConfig,
+) -> Result<TpgSummary, IoError> {
+    let mut writer = TpgWriter::create(path, graph.n(), graph.is_edge_weighted(), config)?
+        .with_ef_offsets(true);
     for u in 0..graph.n() as NodeId {
         let mut nbrs = graph.neighbors_vec(u);
         nbrs.sort_unstable_by_key(|&(v, _)| v);
@@ -1260,7 +1416,7 @@ pub fn read_tpg_compressed_backend(
     Ok(CompressedGraph::from_encoded_parts(
         meta.n,
         meta.m,
-        offsets,
+        offsets.into_vec(),
         data,
         node_weights,
         meta.edge_weighted,

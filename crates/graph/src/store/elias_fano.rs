@@ -1,0 +1,471 @@
+//! Elias–Fano encoding of the `.tpg` offset index, and the [`OffsetIndex`] the
+//! store backends read neighbourhood byte ranges from.
+//!
+//! The offset index of a `.tpg` container is a monotone sequence of `n + 1` byte
+//! positions into the data section. Stored plainly it costs 8 bytes per vertex; the
+//! Elias–Fano representation stores the same sequence in roughly
+//! `2 + log2(data_len / (n + 1))` bits per entry — within half a bit per element of
+//! the information-theoretic minimum for a monotone sequence (the webgraph idiom:
+//! memory-mapped adjacency plus a compressed offset index).
+//!
+//! # Layout
+//!
+//! For `count` values over universe `[0, universe]` the low `l` bits of every value
+//! (`l = floor(log2(universe / count))`, 0 when the quotient vanishes) are packed
+//! LSB-first into little-endian u64 words; the high parts are stored as a unary
+//! (negated) bit vector with a set bit at position `i + (v_i >> l)` for the `i`-th
+//! value. Both word counts derive from `count` and `universe` alone, so a reader can
+//! locate every following container section from the header without decoding the
+//! index first (see [`ef_section_bytes`]). Lookups use a sampled `select1` over the
+//! upper bits: the position of every [`SELECT_QUANTUM`]-th set bit is kept, and a
+//! query popcount-scans at most a few words from the preceding sample.
+
+use crate::io::IoError;
+
+/// Set bits between consecutive select samples. The upper bit vector holds
+/// `count + (universe >> l)` bits for `count` set bits, and `universe >> l` is below
+/// `2 * count` by the choice of `l`, so a quantum of 64 set bits spans at most ~3
+/// words of scan per lookup.
+const SELECT_QUANTUM: usize = 64;
+
+/// Number of low bits stored explicitly per value: `floor(log2(universe / count))`,
+/// or 0 when the quotient vanishes.
+pub fn ef_low_bits(count: u64, universe: u64) -> u32 {
+    if count == 0 {
+        return 0;
+    }
+    let per = universe / count;
+    if per == 0 {
+        0
+    } else {
+        per.ilog2()
+    }
+}
+
+/// Little-endian u64 words of the packed low-bits array.
+pub fn ef_lower_words(count: u64, universe: u64) -> u64 {
+    (count * u64::from(ef_low_bits(count, universe))).div_ceil(64)
+}
+
+/// Little-endian u64 words of the unary upper-bits array.
+pub fn ef_upper_words(count: u64, universe: u64) -> u64 {
+    let l = ef_low_bits(count, universe);
+    (count + (universe >> l)).div_ceil(64)
+}
+
+/// On-disk size in bytes of the Elias–Fano section for `count` monotone values over
+/// `[0, universe]`. Derivable from the `.tpg` header alone (`count = n + 1`,
+/// `universe = data_len`), which is what keeps the node-weight and footer offsets of
+/// a v4 container computable without reading the index.
+pub fn ef_section_bytes(count: u64, universe: u64) -> u64 {
+    8 * (ef_lower_words(count, universe) + ef_upper_words(count, universe))
+}
+
+/// A monotone sequence in Elias–Fano representation with sampled `select1` lookup.
+#[derive(Debug, Clone)]
+pub struct EliasFanoIndex {
+    count: usize,
+    universe: u64,
+    low_bits: u32,
+    /// Packed low bits, `low_bits` per value, LSB-first.
+    lower: Box<[u64]>,
+    /// Unary upper bits: bit `i + (v_i >> low_bits)` is set for the `i`-th value.
+    upper: Box<[u64]>,
+    /// Bit position of every [`SELECT_QUANTUM`]-th set bit of `upper` (in-memory
+    /// acceleration only, never stored).
+    select: Box<[u64]>,
+}
+
+/// Position of the `k`-th (0-based) set bit of `word`; `word` must have more than
+/// `k` set bits.
+fn select_in_word(mut word: u64, mut k: u32) -> u64 {
+    loop {
+        let bit = word.trailing_zeros();
+        if k == 0 {
+            return u64::from(bit);
+        }
+        word &= word - 1;
+        k -= 1;
+    }
+}
+
+impl EliasFanoIndex {
+    /// Encodes a sorted slice of values over `[0, universe]`.
+    pub fn encode(values: &[u64], universe: u64) -> Self {
+        let count = values.len();
+        let l = ef_low_bits(count as u64, universe);
+        let mut lower = vec![0u64; ef_lower_words(count as u64, universe) as usize];
+        let mut upper = vec![0u64; ef_upper_words(count as u64, universe) as usize];
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(v <= universe, "value {} beyond universe {}", v, universe);
+            debug_assert!(i == 0 || values[i - 1] <= v, "values must be sorted");
+            if l > 0 {
+                let low = v & ((1u64 << l) - 1);
+                let pos = i as u64 * u64::from(l);
+                let (w, s) = ((pos / 64) as usize, (pos % 64) as u32);
+                lower[w] |= low << s;
+                if s + l > 64 {
+                    lower[w + 1] |= low >> (64 - s);
+                }
+            }
+            let hi = i as u64 + (v >> l);
+            upper[(hi / 64) as usize] |= 1u64 << (hi % 64);
+        }
+        Self::with_select(count, universe, l, lower.into(), upper.into())
+    }
+
+    /// Rebuilds an index from the words read back from a container. Validates shape
+    /// (word count, exactly `count` set upper bits) and semantics (monotone values
+    /// within the universe), so lookups on the returned index can never scan out of
+    /// bounds — a corrupted-but-plausible section becomes a structured error here,
+    /// never a panic later.
+    pub fn from_words(count: usize, universe: u64, mut words: Vec<u64>) -> Result<Self, IoError> {
+        let lower_words = ef_lower_words(count as u64, universe) as usize;
+        let upper_words = ef_upper_words(count as u64, universe) as usize;
+        if words.len() != lower_words + upper_words {
+            return Err(IoError::Format(format!(
+                ".tpg Elias-Fano offset index holds {} words, expected {}",
+                words.len(),
+                lower_words + upper_words
+            )));
+        }
+        let upper: Box<[u64]> = words[lower_words..].into();
+        words.truncate(lower_words);
+        let ones: u64 = upper.iter().map(|w| u64::from(w.count_ones())).sum();
+        if ones != count as u64 {
+            return Err(IoError::Format(format!(
+                ".tpg Elias-Fano offset index has {} upper bits set, expected {}",
+                ones, count
+            )));
+        }
+        let l = ef_low_bits(count as u64, universe);
+        let index = Self::with_select(count, universe, l, words.into(), upper);
+        let mut prev = 0u64;
+        for i in 0..count {
+            let v = index.get(i);
+            if v < prev || v > universe {
+                return Err(IoError::Format(format!(
+                    ".tpg Elias-Fano offset index is not monotone at entry {}",
+                    i
+                )));
+            }
+            prev = v;
+        }
+        Ok(index)
+    }
+
+    fn with_select(
+        count: usize,
+        universe: u64,
+        low_bits: u32,
+        lower: Box<[u64]>,
+        upper: Box<[u64]>,
+    ) -> Self {
+        let mut select = Vec::with_capacity(count / SELECT_QUANTUM + 1);
+        let mut rank = 0usize;
+        for (w, &bits) in upper.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                if rank.is_multiple_of(SELECT_QUANTUM) {
+                    select.push(w as u64 * 64 + u64::from(bits.trailing_zeros()));
+                }
+                rank += 1;
+                bits &= bits - 1;
+            }
+        }
+        Self {
+            count,
+            universe,
+            low_bits,
+            lower,
+            upper,
+            select: select.into(),
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the index holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The upper bound of the encoded universe.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Position of the `i`-th set bit of the upper array. The construction-time
+    /// validation guarantees at least `count` set bits, so the scan cannot overrun
+    /// for `i < count`.
+    fn select1(&self, i: usize) -> u64 {
+        let sample = self.select[i / SELECT_QUANTUM];
+        let mut word_idx = (sample / 64) as usize;
+        let mut remaining = (i % SELECT_QUANTUM) as u32;
+        // The sample bit itself is the (i - remaining)-th set bit; mask off the bits
+        // below it and scan forward.
+        let mut word = self.upper[word_idx] & (u64::MAX << (sample % 64));
+        loop {
+            let ones = word.count_ones();
+            if remaining < ones {
+                return word_idx as u64 * 64 + select_in_word(word, remaining);
+            }
+            remaining -= ones;
+            word_idx += 1;
+            word = self.upper[word_idx];
+        }
+    }
+
+    /// The `i`-th value (`i < len()`).
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.count, "index {} out of {} values", i, self.count);
+        let hi = self.select1(i) - i as u64;
+        let low = if self.low_bits == 0 {
+            0
+        } else {
+            let pos = i as u64 * u64::from(self.low_bits);
+            let (w, s) = ((pos / 64) as usize, (pos % 64) as u32);
+            let mut low = self.lower[w] >> s;
+            if s + self.low_bits > 64 {
+                low |= self.lower[w + 1] << (64 - s);
+            }
+            low & ((1u64 << self.low_bits) - 1)
+        };
+        (hi << self.low_bits) | low
+    }
+
+    /// The packed low-bits words, in storage order.
+    pub fn lower_words(&self) -> &[u64] {
+        &self.lower
+    }
+
+    /// The unary upper-bits words, in storage order.
+    pub fn upper_words(&self) -> &[u64] {
+        &self.upper
+    }
+
+    /// In-memory footprint (stored words plus the select samples).
+    pub fn size_in_bytes(&self) -> usize {
+        (self.lower.len() + self.upper.len() + self.select.len()) * std::mem::size_of::<u64>()
+    }
+}
+
+/// The offset index of an open `.tpg` container: plain trailing u64s (v1–v3, and v4
+/// without the flag) or the Elias–Fano section of a v4 container. Both store backends
+/// resolve neighbourhood byte ranges through this one type, so the representation is
+/// invisible to everything above the store layer.
+#[derive(Debug, Clone)]
+pub enum OffsetIndex {
+    /// One u64 byte offset per vertex plus the terminating `data_len` entry.
+    Plain(Vec<u64>),
+    /// The same sequence, Elias–Fano encoded.
+    EliasFano(EliasFanoIndex),
+}
+
+impl OffsetIndex {
+    /// Number of entries (`n + 1` for an n-vertex container).
+    pub fn len(&self) -> usize {
+        match self {
+            OffsetIndex::Plain(v) => v.len(),
+            OffsetIndex::EliasFano(ef) => ef.len(),
+        }
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th byte offset.
+    pub fn get(&self, i: usize) -> u64 {
+        match self {
+            OffsetIndex::Plain(v) => v[i],
+            OffsetIndex::EliasFano(ef) => ef.get(i),
+        }
+    }
+
+    /// The byte range `[get(i), get(i + 1))` of vertex `i`'s encoded neighbourhood.
+    pub fn pair(&self, i: usize) -> (u64, u64) {
+        (self.get(i), self.get(i + 1))
+    }
+
+    /// The final entry (the data-section length), or 0 for an empty index.
+    pub fn last(&self) -> u64 {
+        match self.len() {
+            0 => 0,
+            len => self.get(len - 1),
+        }
+    }
+
+    /// In-memory footprint of the index.
+    pub fn size_in_bytes(&self) -> usize {
+        match self {
+            OffsetIndex::Plain(v) => v.len() * std::mem::size_of::<u64>(),
+            OffsetIndex::EliasFano(ef) => ef.size_in_bytes(),
+        }
+    }
+
+    /// Materialises the index as a plain vector (the eager reader's path).
+    pub fn into_vec(self) -> Vec<u64> {
+        match self {
+            OffsetIndex::Plain(v) => v,
+            OffsetIndex::EliasFano(ef) => (0..ef.len()).map(|i| ef.get(i)).collect(),
+        }
+    }
+
+    /// Validates monotonicity and that the final entry equals `data_len`. The
+    /// Elias–Fano variant is already validated at construction; a plain index read
+    /// from a v1/v2 container (no checksums) or stamped by a broken writer is not,
+    /// and the mmap backend — which decodes without per-access range checks — must
+    /// reject it at open.
+    pub(crate) fn check_monotone(&self, data_len: u64) -> Result<(), IoError> {
+        if let OffsetIndex::Plain(v) = self {
+            let mut prev = 0u64;
+            for (i, &offset) in v.iter().enumerate() {
+                if offset < prev || offset > data_len {
+                    return Err(IoError::Format(format!(
+                        ".tpg offset index is not monotone within the data section \
+                         at entry {}",
+                        i
+                    )));
+                }
+                prev = offset;
+            }
+        }
+        if self.last() != data_len {
+            return Err(IoError::Format(
+                "offset index does not cover the data section".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(values: &[u64], universe: u64) {
+        let encoded = EliasFanoIndex::encode(values, universe);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(encoded.get(i), v, "entry {} of {:?}", i, values);
+        }
+        // Through the storage words, as a reader would rebuild it.
+        let words: Vec<u64> = encoded
+            .lower_words()
+            .iter()
+            .chain(encoded.upper_words())
+            .copied()
+            .collect();
+        let decoded = EliasFanoIndex::from_words(values.len(), universe, words).unwrap();
+        let as_vec: Vec<u64> = (0..decoded.len()).map(|i| decoded.get(i)).collect();
+        assert_eq!(as_vec, values);
+    }
+
+    #[test]
+    fn boundary_sequences_round_trip() {
+        // Empty graph: the offset index still has one entry (0) over universe 0.
+        roundtrip(&[0], 0);
+        // Single node, empty and non-empty neighbourhood.
+        roundtrip(&[0, 0], 0);
+        roundtrip(&[0, 17], 17);
+        // Repeated values (runs of empty neighbourhoods).
+        roundtrip(&[0, 0, 0, 5, 5, 5, 9], 9);
+        // A max-degree node: one giant step dominating the universe.
+        roundtrip(&[0, 1, 1_000_000, 1_000_001], 1_000_001);
+        // Dense consecutive values.
+        let dense: Vec<u64> = (0..1000).collect();
+        roundtrip(&dense, 999);
+        // Sparse values over a huge universe (forces a large low-bit width).
+        roundtrip(&[0, 1 << 40, (1 << 50) + 3, u64::MAX / 2], u64::MAX / 2);
+    }
+
+    #[test]
+    fn section_bytes_match_encoding_and_beat_plain_offsets() {
+        // A typical offsets shape: ~5 bytes per neighbourhood.
+        let values: Vec<u64> = (0..10_001u64).map(|i| i * 5).collect();
+        let universe = *values.last().unwrap();
+        let encoded = EliasFanoIndex::encode(&values, universe);
+        let bytes = ef_section_bytes(values.len() as u64, universe);
+        assert_eq!(
+            bytes as usize,
+            (encoded.lower_words().len() + encoded.upper_words().len()) * 8
+        );
+        let plain = 8 * values.len() as u64;
+        assert!(
+            bytes * 2 < plain,
+            "Elias-Fano section {} not substantially below plain {}",
+            bytes,
+            plain
+        );
+    }
+
+    #[test]
+    fn corrupt_words_are_structured_errors() {
+        let values: Vec<u64> = (0..257u64).map(|i| i * 3).collect();
+        let universe = *values.last().unwrap();
+        let encoded = EliasFanoIndex::encode(&values, universe);
+        let words: Vec<u64> = encoded
+            .lower_words()
+            .iter()
+            .chain(encoded.upper_words())
+            .copied()
+            .collect();
+        // Wrong word count.
+        assert!(EliasFanoIndex::from_words(values.len(), universe, words[1..].to_vec()).is_err());
+        // Flipping an upper bit changes the set-bit count.
+        let mut flipped = words.clone();
+        let upper_start = encoded.lower_words().len();
+        flipped[upper_start] ^= 1 << 7;
+        assert!(EliasFanoIndex::from_words(values.len(), universe, flipped).is_err());
+    }
+
+    #[test]
+    fn offset_index_variants_agree() {
+        let values: Vec<u64> = vec![0, 3, 3, 10, 64, 64, 128];
+        let universe = *values.last().unwrap();
+        let plain = OffsetIndex::Plain(values.clone());
+        let ef = OffsetIndex::EliasFano(EliasFanoIndex::encode(&values, universe));
+        assert_eq!(plain.len(), ef.len());
+        for i in 0..values.len() {
+            assert_eq!(plain.get(i), ef.get(i));
+            if i + 1 < values.len() {
+                assert_eq!(plain.pair(i), ef.pair(i));
+            }
+        }
+        assert_eq!(plain.last(), ef.last());
+        assert!(ef.size_in_bytes() < plain.size_in_bytes());
+        assert!(plain.check_monotone(universe).is_ok());
+        assert!(plain.check_monotone(universe + 1).is_err());
+        assert!(OffsetIndex::Plain(vec![5, 2, 9]).check_monotone(9).is_err());
+        assert_eq!(ef.clone().into_vec(), values);
+        assert_eq!(plain.into_vec(), values);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Arbitrary monotone sequences (built from deltas) round-trip through encode
+        // and through the storage words, including a universe strictly larger than
+        // the last value.
+        #[test]
+        fn prop_monotone_sequences_round_trip(
+            deltas in proptest::collection::vec(0u64..10_000, 1..300),
+            slack in 0u64..1000,
+        ) {
+            let mut values = Vec::with_capacity(deltas.len());
+            let mut acc = 0u64;
+            for d in deltas {
+                acc += d;
+                values.push(acc);
+            }
+            roundtrip(&values, acc + slack);
+        }
+    }
+}

@@ -23,6 +23,12 @@
 //!   positional reads (`pread`-style, no mmap). Iteration order is bit-identical to the
 //!   in-memory [`CompressedGraph`], so a fixed-seed partitioning run produces the same
 //!   partition from either representation.
+//! * [`mmap`] — [`MmapGraph`], the zero-copy fast path: the container is memory-mapped
+//!   read-only (after full open-time verification) and neighbourhoods decode in place —
+//!   no frame copies, no shard locks. Selected via [`OnDiskBackend`].
+//! * [`elias_fano`] — the quasi-succinct [`OffsetIndex`] shared by both backends: a
+//!   `.tpg` v4 container can store the per-vertex offsets Elias-Fano encoded
+//!   (~`2 + log2(bytes/node)` bits per entry instead of 64).
 //! * [`stream`] — bounded-memory streaming instance generation: an external
 //!   bucket-spilling builder that accepts arbitrary edge streams and produces a `.tpg`
 //!   without ever materialising the full adjacency, plus streaming variants of the
@@ -37,6 +43,8 @@
 
 pub mod backend;
 pub mod container;
+pub mod elias_fano;
+pub mod mmap;
 pub mod paged;
 pub mod stream;
 
@@ -45,9 +53,14 @@ pub use backend::{
 };
 pub use container::{
     read_tpg, read_tpg_compressed, read_tpg_meta, write_tpg_from_binary, write_tpg_from_graph,
-    write_tpg_from_metis, EncodedSection, SectionEncoder, TpgMeta, TpgSummary, TpgWriter,
+    write_tpg_from_graph_ef, write_tpg_from_metis, EncodedSection, SectionEncoder, TpgMeta,
+    TpgSummary, TpgWriter,
 };
-pub use paged::{CacheStatsSnapshot, FatalIoError, PagedGraph, PagedGraphOptions, RetryPolicy};
+pub use elias_fano::{ef_section_bytes, EliasFanoIndex, OffsetIndex};
+pub use mmap::MmapGraph;
+pub use paged::{
+    CacheStatsSnapshot, FatalIoError, OnDiskBackend, PagedGraph, PagedGraphOptions, RetryPolicy,
+};
 pub use stream::{
     stream_rgg2d_to_tpg, stream_rgg3d_to_tpg, stream_rmat_to_tpg, SpillStats, StreamingTpgBuilder,
     MAX_SPILL_BUCKETS,

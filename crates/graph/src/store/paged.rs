@@ -20,17 +20,22 @@
 //!
 //! With [`PagedGraphOptions::prefetch`] enabled, [`Graph::prefetch`] hints are honoured
 //! by the readahead machinery: the hinted nodes' byte ranges are translated to a
-//! deduplicated page list (in visit order); a bounded head-start of that list is
-//! faulted synchronously at the hint (between LP rounds, never inside a lookup) and
-//! the rest is handed to a dedicated worker that faults the missing pages with
-//! batched, run-coalesced positional reads — overlapping the disk work with the
-//! caller's compute. Readahead never blocks foreground lookups (pages are read outside
-//! the shard locks and installed under a brief lock) and never claims more than **half
-//! the frame budget per hint**, so CLOCK cannot be pressured into evicting the
-//! foreground's recent working set wholesale. Prefetched pages are installed with a
-//! clear reference bit: if the hint was wrong, they are the first candidates CLOCK
-//! recycles. Prefetch is purely an optimisation — results of all accesses, and
-//! therefore fixed-seed partitioning runs, are unaffected.
+//! deduplicated page list (in visit order); one window of that list is faulted
+//! synchronously at the hint (between LP rounds, never inside a lookup) and the rest
+//! is handed to a dedicated worker that faults the missing pages with batched,
+//! run-coalesced positional reads — overlapping the disk work with the caller's
+//! compute. The worker is **consumption-coupled**: it advances one window at a time
+//! and, before each window, waits until the CLOCK reference bits show the foreground
+//! has visited at least half of the previous one (prefetch installs clear the bit,
+//! foreground lookups set it), so readahead stays roughly one window ahead of the LP
+//! visit cursor instead of racing the whole hint into the cache at once. Readahead
+//! never blocks foreground lookups (pages are read outside the shard locks and
+//! installed under a brief lock) and never claims more than **half the frame budget
+//! per hint**, so CLOCK cannot be pressured into evicting the foreground's recent
+//! working set wholesale. Prefetched pages are installed with a clear reference bit:
+//! if the hint was wrong, they are the first candidates CLOCK recycles. Prefetch is
+//! purely an optimisation — results of all accesses, and therefore fixed-seed
+//! partitioning runs, are unaffected.
 //!
 //! [`CompressedGraph`]: crate::compressed::CompressedGraph
 //! [`Graph::prefetch`]: crate::traits::Graph::prefetch
@@ -51,6 +56,7 @@ use crate::store::backend::{read_full_at, FileBackend, StorageBackend};
 use crate::store::container::{
     read_tpg_index_backend, read_tpg_meta_backend, retry_section, TpgChecksums, TpgMeta,
 };
+use crate::store::elias_fano::OffsetIndex;
 use crate::traits::Graph;
 use crate::varint::MAX_VARINT_LEN;
 use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
@@ -97,6 +103,24 @@ impl RetryPolicy {
     }
 }
 
+/// Which store implementation the on-disk entry points open a `.tpg` container
+/// with. Fixed-seed results are bit-identical across backends — both decode with the
+/// same routine in the same order — so the choice is purely a speed/footprint
+/// trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnDiskBackend {
+    /// The strict-budget sharded CLOCK page cache ([`PagedGraph`]): resident bytes
+    /// never exceed `offset index + node weights + page budget`, suitable for
+    /// containers larger than RAM.
+    #[default]
+    Paged,
+    /// The zero-copy mmap fast path ([`MmapGraph`](crate::store::MmapGraph)):
+    /// neighbourhoods decode straight out of a read-only memory mapping — no frame
+    /// copies, no shard locks, no per-access bookkeeping — with residency delegated
+    /// to the OS page cache. The fits-in-RAM choice.
+    Mmap,
+}
+
 /// Tuning knobs of the page cache behind a [`PagedGraph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PagedGraphOptions {
@@ -115,6 +139,13 @@ pub struct PagedGraphOptions {
     /// Retry policy for transient read failures (applies to page faults, readahead
     /// and the open-time index read).
     pub retry: RetryPolicy,
+    /// Store implementation the on-disk entry points (`partition_ondisk`) open the
+    /// container with. The page-cache knobs above only apply to [`Paged`]; the
+    /// [`Mmap`] backend shares `retry` for its open-time verification reads.
+    ///
+    /// [`Paged`]: OnDiskBackend::Paged
+    /// [`Mmap`]: OnDiskBackend::Mmap
+    pub backend: OnDiskBackend,
 }
 
 impl Default for PagedGraphOptions {
@@ -125,6 +156,7 @@ impl Default for PagedGraphOptions {
             shards: 8,
             prefetch: false,
             retry: RetryPolicy::default(),
+            backend: OnDiskBackend::Paged,
         }
     }
 }
@@ -288,12 +320,22 @@ impl Drop for StagingBuf {
     }
 }
 
-/// Upper bound on the pages faulted synchronously at the [`Graph::prefetch`] hint
-/// itself (the head-start; see the module docs) before the rest of the hint is handed
-/// to the worker. Bounds the between-rounds readahead stall the hinting thread
-/// accepts; the effective head-start is additionally halved against the per-hint page
-/// cap so the worker always receives the tail of a full-size hint.
-const PREFETCH_HEAD_START_PAGES: usize = 64;
+/// Fraction of the previous window's pages the foreground must have consumed before
+/// the readahead worker faults the next window (see [`PageCache::prefetch_window`]).
+const PREFETCH_CONSUMED_FRACTION: f64 = 0.5;
+
+/// Poll interval of the worker's consumption gate. Short enough that a freshly
+/// consumed window releases the next one well within a page-fault's latency; long
+/// enough that a stalled consumer costs no measurable CPU.
+const PREFETCH_POLL_INTERVAL: Duration = Duration::from_micros(200);
+
+/// A visit-ordered page list handed to the readahead worker. `pages[..start]` was
+/// already faulted synchronously at the hint (the head-start window); the worker
+/// works through `pages[start..]` window by window under the consumption gate.
+struct PrefetchHint {
+    pages: Vec<u64>,
+    start: usize,
+}
 
 /// Sharded CLOCK page cache over the data section of one `.tpg` file.
 struct PageCache {
@@ -666,6 +708,38 @@ impl PageCache {
         (self.total_frames / 2).max(1)
     }
 
+    /// Pages per readahead window — the granularity the consumption-coupled throttle
+    /// advances at. An eighth of the frame budget keeps a full window plus the
+    /// foreground's working set comfortably resident at any cache geometry; the
+    /// clamp bounds syscall overhead on tiny caches and hint latency on huge ones.
+    fn prefetch_window(&self) -> usize {
+        (self.total_frames / 8).clamp(4, 256)
+    }
+
+    /// Fraction of `pages` the foreground has consumed, judged by the CLOCK
+    /// reference bits: prefetch installs a page with the bit clear, a foreground
+    /// lookup sets it. A page that is *gone* from the cache (evicted, or never
+    /// installed because the hint raced teardown) also counts as consumed — a
+    /// mispredicted or pressure-evicted window must never stall the worker forever.
+    fn referenced_fraction(&self, pages: &[u64]) -> f64 {
+        if pages.is_empty() {
+            return 1.0;
+        }
+        let mut consumed = 0usize;
+        for &page in pages {
+            let s = self.shard_of(page).lock();
+            match s.map.get(&page) {
+                Some(&idx) => {
+                    if s.frames[idx].referenced {
+                        consumed += 1;
+                    }
+                }
+                None => consumed += 1,
+            }
+        }
+        consumed as f64 / pages.len() as f64
+    }
+
     fn snapshot(&self) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
             hits: self.stats.hits.load(Ordering::Relaxed),
@@ -706,6 +780,15 @@ fn with_decode_buf<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
 struct PrefetchQueue {
     pending: StdMutex<usize>,
     idle: Condvar,
+    /// Callers currently blocked in [`wait_idle`](Self::wait_idle). While non-zero
+    /// the worker's consumption gate is lifted — the waiter *wants* the queue
+    /// drained, and gating on a consumer that is itself blocked waiting would
+    /// deadlock.
+    draining: AtomicUsize,
+    /// Set (permanently) at graph teardown, before the hint channel closes, so a
+    /// worker stalled in the consumption gate exits its current hint promptly
+    /// instead of deadlocking the joining `Drop`.
+    shutdown: AtomicBool,
 }
 
 impl PrefetchQueue {
@@ -726,7 +809,18 @@ impl PrefetchQueue {
         }
     }
 
+    fn pending_count(&self) -> usize {
+        *self.pending.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether the worker should stop gating on consumption and drain outstanding
+    /// hints as fast as it can.
+    fn drain_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) || self.draining.load(Ordering::Acquire) > 0
+    }
+
     fn wait_idle(&self) {
+        self.draining.fetch_add(1, Ordering::AcqRel);
         let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
         while *pending > 0 {
             pending = self
@@ -734,6 +828,8 @@ impl PrefetchQueue {
                 .wait(pending)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+        drop(pending);
+        self.draining.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -742,7 +838,7 @@ impl PrefetchQueue {
 struct Prefetcher {
     /// Hint channel to the worker; `None` once the graph is shutting down. Bounded so
     /// a stalled worker makes `try_send` drop hints instead of queueing unboundedly.
-    tx: Option<mpsc::SyncSender<Vec<u64>>>,
+    tx: Option<mpsc::SyncSender<PrefetchHint>>,
     queue: Arc<PrefetchQueue>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -779,8 +875,9 @@ type FaultObserver = Box<dyn Fn() -> String + Send + Sync>;
 pub struct PagedGraph {
     meta: TpgMeta,
     path: PathBuf,
-    /// Byte offset of each vertex's encoded neighbourhood within the data section.
-    offsets: Vec<u64>,
+    /// Byte offset of each vertex's encoded neighbourhood within the data section
+    /// (plain or Elias-Fano, as stored).
+    offsets: OffsetIndex,
     /// Node weights, empty when uniform.
     node_weights: Vec<NodeWeight>,
     /// Shared with the readahead worker (when enabled).
@@ -854,7 +951,7 @@ impl PagedGraph {
         })?;
         let (offsets, node_weights, checksums) =
             read_tpg_index_backend(backend.as_ref(), &meta, &options.retry, &mut open_retries)?;
-        let resident_charge = offsets.len() * std::mem::size_of::<u64>()
+        let resident_charge = offsets.size_in_bytes()
             + node_weights.len() * std::mem::size_of::<NodeWeight>()
             + checksums
                 .as_ref()
@@ -872,10 +969,12 @@ impl PagedGraph {
             .retried_reads
             .fetch_add(open_retries, Ordering::Relaxed);
         let prefetcher = if options.prefetch {
-            let (tx, rx) = mpsc::sync_channel::<Vec<u64>>(8);
+            let (tx, rx) = mpsc::sync_channel::<PrefetchHint>(8);
             let queue = Arc::new(PrefetchQueue {
                 pending: StdMutex::new(0),
                 idle: Condvar::new(),
+                draining: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
             });
             let worker_cache = Arc::clone(&cache);
             let worker_queue = Arc::clone(&queue);
@@ -891,23 +990,55 @@ impl PagedGraph {
                         }
                     }
                     let mut consecutive_failures = 0u32;
-                    while let Ok(pages) = rx.recv() {
+                    while let Ok(hint) = rx.recv() {
                         let _guard = FinishGuard(&worker_queue);
-                        // Readahead is advisory: an I/O error here will surface (with
-                        // full context) on the foreground access instead. But a
-                        // *persistently* failing worker stops burning the disk with
-                        // doomed readahead — prefetch downgrades to off and the run
-                        // stays alive on foreground faults alone.
-                        match worker_cache.prefetch_pages(&pages) {
-                            Ok(_) => consecutive_failures = 0,
-                            Err(_) => {
-                                consecutive_failures += 1;
-                                if consecutive_failures >= PREFETCH_FAILURE_LIMIT {
-                                    worker_cache
-                                        .prefetch_disabled
-                                        .store(true, Ordering::Release);
+                        if worker_cache.prefetch_disabled.load(Ordering::Acquire) {
+                            continue;
+                        }
+                        // Consumption-coupled readahead: advance one window at a
+                        // time, and before each window wait until the reference
+                        // bits show the foreground has visited at least half of
+                        // the previous one (the synchronous head-start is the
+                        // first "previous window"). A drain request lifts the
+                        // gate; a newer pending hint supersedes this one — the LP
+                        // cursor has moved on, so the rest of this hint is stale.
+                        let window = worker_cache.prefetch_window();
+                        let mut prev = 0..hint.start;
+                        let mut next = hint.start;
+                        let mut failed = false;
+                        'windows: while next < hint.pages.len() {
+                            while !worker_queue.drain_requested()
+                                && worker_cache.referenced_fraction(&hint.pages[prev.clone()])
+                                    < PREFETCH_CONSUMED_FRACTION
+                            {
+                                if worker_queue.pending_count() > 1 {
+                                    break 'windows;
                                 }
+                                std::thread::sleep(PREFETCH_POLL_INTERVAL);
                             }
+                            let end = (next + window).min(hint.pages.len());
+                            // Readahead is advisory: an I/O error here will
+                            // surface (with full context) on the foreground access
+                            // instead. But a *persistently* failing worker stops
+                            // burning the disk with doomed readahead — prefetch
+                            // downgrades to off and the run stays alive on
+                            // foreground faults alone.
+                            if worker_cache.prefetch_pages(&hint.pages[next..end]).is_err() {
+                                failed = true;
+                                break 'windows;
+                            }
+                            prev = next..end;
+                            next = end;
+                        }
+                        if failed {
+                            consecutive_failures += 1;
+                            if consecutive_failures >= PREFETCH_FAILURE_LIMIT {
+                                worker_cache
+                                    .prefetch_disabled
+                                    .store(true, Ordering::Release);
+                            }
+                        } else {
+                            consecutive_failures = 0;
                         }
                     }
                 });
@@ -1015,8 +1146,8 @@ impl PagedGraph {
         if self.is_poisoned() {
             return (0, 0);
         }
-        let start = self.offsets[u as usize];
-        let end = self.offsets[u as usize + 1].min(start + 2 * MAX_VARINT_LEN as u64);
+        let (start, end) = self.offsets.pair(u as usize);
+        let end = end.min(start + 2 * MAX_VARINT_LEN as u64);
         with_decode_buf(|buf| match self.cache.read_range(start, end, buf) {
             Ok(()) => {
                 let (first_edge, degree, _) = decode_neighborhood_header(buf, 0);
@@ -1043,8 +1174,7 @@ impl PagedGraph {
         let mut pages = Vec::new();
         let mut seen: HashSet<u64> = HashSet::new();
         for &u in nodes {
-            let start = self.offsets[u as usize];
-            let end = self.offsets[u as usize + 1];
+            let (start, end) = self.offsets.pair(u as usize);
             if start >= end {
                 continue;
             }
@@ -1086,6 +1216,10 @@ impl PagedGraph {
 impl Drop for PagedGraph {
     fn drop(&mut self) {
         if let Some(prefetcher) = &mut self.prefetcher {
+            // Lift the consumption gate *before* closing the hint channel: a worker
+            // stalled mid-hint waiting for a consumer that will never come must
+            // drain and exit, or the join below would deadlock.
+            prefetcher.queue.shutdown.store(true, Ordering::Release);
             // Close the hint channel and join the worker so the shared cache (and its
             // memory charge) is released deterministically with the graph.
             drop(prefetcher.tx.take());
@@ -1130,8 +1264,7 @@ impl Graph for PagedGraph {
         if self.is_poisoned() {
             return;
         }
-        let start = self.offsets[u as usize];
-        let end = self.offsets[u as usize + 1];
+        let (start, end) = self.offsets.pair(u as usize);
         if start == end {
             return;
         }
@@ -1160,13 +1293,13 @@ impl Graph for PagedGraph {
     }
 
     /// Hands the upcoming visit order to the readahead machinery (no-op unless the
-    /// graph was opened with [`PagedGraphOptions::prefetch`]). The first
-    /// `PREFETCH_HEAD_START_PAGES` pages are faulted synchronously as a bounded
-    /// head-start — coalesced reads issued between rounds, so the round's first
-    /// accesses hit even when the worker thread has not been scheduled yet (the
-    /// single-core case). The remainder goes to the worker; if the worker is behind,
-    /// that part of the hint is dropped — page *lookups* are never blocked, and the
-    /// foreground simply faults on demand.
+    /// graph was opened with [`PagedGraphOptions::prefetch`]). One window of pages is
+    /// faulted synchronously as the head-start — coalesced reads issued between
+    /// rounds, so the round's first accesses hit even when the worker thread has not
+    /// been scheduled yet (the single-core case). The remainder goes to the worker,
+    /// which follows the foreground's consumption window by window (see the module
+    /// docs); if the worker is behind, the hint is dropped — page *lookups* are never
+    /// blocked, and the foreground simply faults on demand.
     fn prefetch(&self, nodes: &[NodeId]) {
         let Some(prefetcher) = &self.prefetcher else {
             return;
@@ -1177,20 +1310,21 @@ impl Graph for PagedGraph {
         {
             return;
         }
-        let mut pages = self.pages_covering(nodes);
+        let pages = self.pages_covering(nodes);
         if pages.is_empty() {
             return;
         }
         // Halve the head-start against the per-hint cap: a hint at the cap always
         // leaves a tail for the worker, so the asynchronous path is reachable at any
-        // cache geometry (not only when the cap exceeds the head-start constant).
-        let head_start = (self.cache.max_prefetch_pages() / 2)
-            .clamp(1, PREFETCH_HEAD_START_PAGES)
+        // cache geometry (not only when the cap exceeds the window size).
+        let head_start = self
+            .cache
+            .prefetch_window()
+            .min((self.cache.max_prefetch_pages() / 2).max(1))
             .min(pages.len());
-        let rest = pages.split_off(head_start);
         // Advisory: readahead errors are dropped; the foreground access surfaces them.
-        let _ = self.cache.prefetch_pages(&pages);
-        if rest.is_empty() {
+        let _ = self.cache.prefetch_pages(&pages[..head_start]);
+        if head_start == pages.len() {
             return;
         }
         // The channel is only taken in `Drop`, but a hint racing teardown must not
@@ -1199,7 +1333,11 @@ impl Graph for PagedGraph {
             return;
         };
         prefetcher.queue.enqueue_one();
-        if tx.try_send(rest).is_err() {
+        let hint = PrefetchHint {
+            pages,
+            start: head_start,
+        };
+        if tx.try_send(hint).is_err() {
             prefetcher.queue.finish_one();
         }
     }
@@ -1529,27 +1667,35 @@ mod tests {
         let compressed = CompressedGraph::from_csr(&csr, &config);
         let path = tmp("async_prefetch.tpg");
         let summary = write_tpg_from_graph(&csr, &path, &config).unwrap();
-        // Small pages so the hint far exceeds the synchronous head-start: the tail of
-        // the page list must flow through the background worker.
+        // Small pages so the hint far exceeds the synchronous head-start window: the
+        // tail of the page list must flow through the background worker.
         let options = PagedGraphOptions {
             prefetch: true,
             page_size: 1024,
+            budget_bytes: 256 * 1024,
             ..PagedGraphOptions::default()
         };
+        let paged = PagedGraph::open_with_options(&path, &options).unwrap();
+        let head_start = paged
+            .cache
+            .prefetch_window()
+            .min((paged.cache.max_prefetch_pages() / 2).max(1));
         let data_pages = summary.data_bytes.div_ceil(options.page_size as u64);
         assert!(
-            data_pages > 2 * PREFETCH_HEAD_START_PAGES as u64,
-            "instance too small to reach the worker path: {} pages",
-            data_pages
+            data_pages > 2 * head_start as u64,
+            "instance too small to reach the worker path: {} pages, head {}",
+            data_pages,
+            head_start
         );
-        let paged = PagedGraph::open_with_options(&path, &options).unwrap();
         let order: Vec<NodeId> = (0..csr.n() as NodeId).collect();
-        // Hint through the Graph trait (what the LP round driver calls), then consume.
+        // Hint through the Graph trait (what the LP round driver calls), then drain:
+        // the drain request lifts the consumption gate, so the worker must finish the
+        // whole hint without any foreground consumption.
         Graph::prefetch(&paged, &order);
         paged.wait_prefetch_idle();
         let stats = paged.cache_stats();
         assert!(
-            stats.prefetched_pages > PREFETCH_HEAD_START_PAGES as u64,
+            stats.prefetched_pages > head_start as u64,
             "the background worker installed nothing beyond the synchronous \
              head-start: {:?}",
             stats
@@ -1565,7 +1711,92 @@ mod tests {
         std::fs::remove_file(path).ok();
     }
 
-    /// Body of the three-way equivalence property below, out of the macro so the shim's
+    #[test]
+    fn prefetch_worker_is_throttled_by_consumption() {
+        // The consumption-coupled throttle: after the synchronous head start, the
+        // background worker must not run ahead of the foreground — each readahead
+        // window is gated on the previous one being at least half consumed (judged
+        // by the CLOCK reference bits). A stalled consumer therefore pins the worker
+        // at the head; consuming the head releases the next window; a drain request
+        // lifts the gate entirely.
+        let csr = gen::weblike(13, 12, 5);
+        let config = CompressionConfig::default();
+        let compressed = CompressedGraph::from_csr(&csr, &config);
+        let path = tmp("throttle.tpg");
+        write_tpg_from_graph(&csr, &path, &config).unwrap();
+        let options = PagedGraphOptions {
+            prefetch: true,
+            page_size: 512,
+            budget_bytes: 128 * 1024,
+            ..PagedGraphOptions::default()
+        };
+        let paged = PagedGraph::open_with_options(&path, &options).unwrap();
+        let window = paged.cache.prefetch_window();
+        let head = window.min((paged.cache.max_prefetch_pages() / 2).max(1));
+        let order: Vec<NodeId> = (0..csr.n() as NodeId).collect();
+        let pages = paged.pages_covering(&order);
+        // The geometry the assertions below rely on: the hint spans well over two
+        // windows beyond the head, and every hinted page fits in the frame budget
+        // at once (no evictions, so the reference bits are trustworthy).
+        assert!(
+            pages.len() >= head + 2 * window && pages.len() <= paged.cache.total_frames / 2,
+            "bad test geometry: {} pages, head {}, window {}",
+            pages.len(),
+            head,
+            window
+        );
+
+        Graph::prefetch(&paged, &order);
+        // Nothing consumed yet: the head start is installed synchronously with its
+        // reference bits clear, so the worker's gate on it cannot open. Give the
+        // worker ample real time to overrun if it were going to.
+        std::thread::sleep(Duration::from_millis(100));
+        let stalled = paged.cache_stats().prefetched_pages;
+        assert_eq!(stalled, head as u64, "worker ran ahead of an idle consumer");
+
+        // Consume the visit order from the front. Decoding sets the reference bits,
+        // which opens the gate one window at a time; the worker must make progress.
+        let mut consumed = Vec::new();
+        let mut advanced = false;
+        'consume: for chunk in order.chunks(64) {
+            for &u in chunk {
+                consumed.push((u, paged.neighbors_vec(u)));
+            }
+            for _ in 0..200 {
+                if paged.cache_stats().prefetched_pages > stalled {
+                    advanced = true;
+                    break 'consume;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert!(advanced, "consumption did not release the throttle");
+        // One window released, not the whole tail: the worker stays coupled to the
+        // consumer. (The consumption loop may have referenced a little past the
+        // head before we observed the release, hence the one-extra-window slack.)
+        std::thread::sleep(Duration::from_millis(50));
+        let after = paged.cache_stats().prefetched_pages;
+        assert!(
+            after <= (head + 2 * window) as u64,
+            "worker overran the consumption gate: {} installed, head {}, window {}",
+            after,
+            head,
+            window
+        );
+
+        // Draining lifts the gate: the rest of the hint must complete without any
+        // further consumption, and decode results are unchanged throughout.
+        paged.wait_prefetch_idle();
+        let final_stats = paged.cache_stats();
+        assert!(final_stats.prefetched_pages >= after);
+        assert!(final_stats.prefetched_pages <= pages.len() as u64);
+        for (u, nbrs) in consumed {
+            assert_eq!(nbrs, compressed.neighbors_vec(u), "neighbourhood of {}", u);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Body of the backend equivalence property below, out of the macro so the shim's
     /// token-muncher stays shallow.
     fn check_three_way_equivalence(
         n: usize,
@@ -1602,18 +1833,43 @@ mod tests {
         .unwrap();
         assert_eq!(paged.n(), csr.n());
         assert_eq!(paged.m(), csr.m());
+        // The mmap backend must agree too — on the same plain container, and on an
+        // Elias-Fano-offset v4 container (which the paged backend must also read).
+        let mmap = crate::store::mmap::MmapGraph::open(&path).unwrap();
+        let ef_path = tmp(&format!("prop_ef_{}_{}", n, page_size));
+        crate::store::container::write_tpg_from_graph_ef(&csr, &ef_path, &config).unwrap();
+        let paged_ef = PagedGraph::open_with_options(
+            &ef_path,
+            &PagedGraphOptions {
+                page_size,
+                budget_bytes: page_size * 3,
+                shards: 2,
+                ..PagedGraphOptions::default()
+            },
+        )
+        .unwrap();
+        let mmap_ef = crate::store::mmap::MmapGraph::open(&ef_path).unwrap();
+        assert_eq!(mmap.n(), csr.n());
+        assert_eq!(mmap_ef.m(), csr.m());
         for u in 0..n as NodeId {
             assert_eq!(paged.degree(u), csr.degree(u));
-            assert_eq!(paged.neighbors_vec(u), compressed.neighbors_vec(u));
+            let reference = compressed.neighbors_vec(u);
+            assert_eq!(paged.neighbors_vec(u), reference);
+            assert_eq!(mmap.neighbors_vec(u), reference, "mmap neighbourhood of {}", u);
+            assert_eq!(paged_ef.neighbors_vec(u), reference, "paged-EF neighbourhood of {}", u);
+            assert_eq!(mmap_ef.neighbors_vec(u), reference, "mmap-EF neighbourhood of {}", u);
+            assert_eq!(mmap_ef.degree(u), compressed.degree(u));
             let mut sorted = paged.neighbors_vec(u);
             sorted.sort_unstable();
             assert_eq!(sorted, csr.neighbors_vec(u));
         }
         std::fs::remove_file(path).ok();
+        std::fs::remove_file(ef_path).ok();
     }
 
-    // The satellite acceptance property: paged neighbour iteration ≡ in-memory
-    // compressed ≡ CSR, on random graphs, under a pathologically small page cache.
+    // The satellite acceptance property: paged and mmap neighbour iteration (plain
+    // and Elias-Fano containers) ≡ in-memory compressed ≡ CSR, on random graphs,
+    // under a pathologically small page cache.
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]

@@ -1,19 +1,21 @@
-//! Corruption-robustness property tests of the v3 `.tpg` container.
+//! Corruption-robustness property tests of the checksummed (v3+) `.tpg` container.
 //!
-//! Every byte of a v3 container is covered by some crc32 — the header crc, the
-//! offset-index crc, the node-weight crc, or a per-block data crc (stored block
-//! crcs are themselves verified against the recomputed block on read, so a flip
-//! in the *stored* checksum is caught exactly like a flip in the data it
-//! covers). These properties assert the consequence: flipping any single byte
-//! of a valid container, or truncating it anywhere, yields a structured
-//! [`IoError`] — from the eager decode path and from the lazily verifying
-//! [`PagedGraph`] — and never a panic. They run at both id widths via the
-//! `wide-ids` feature.
+//! Every byte of a checksummed container is covered by some crc32 — the header
+//! crc, the offset-index crc (plain *or* Elias-Fano encoded), the node-weight
+//! crc, or a per-block data crc (stored block crcs are themselves verified
+//! against the recomputed block on read, so a flip in the *stored* checksum is
+//! caught exactly like a flip in the data it covers). These properties assert
+//! the consequence: flipping any single byte of a valid container, or
+//! truncating it anywhere, yields a structured [`IoError`] — from the eager
+//! decode path, from the lazily verifying [`PagedGraph`], and from the
+//! everything-verified-at-open [`MmapGraph`] — and never a panic. They run over
+//! both offset-index encodings (v4 plain and v4 Elias-Fano) and at both id
+//! widths via the `wide-ids` feature.
 
 use std::sync::{Arc, Mutex, OnceLock};
 
 use graph::store::container::read_tpg_compressed_backend;
-use graph::store::{RetryPolicy, StorageBackend, TpgWriter};
+use graph::store::{MmapGraph, RetryPolicy, StorageBackend, TpgWriter};
 use graph::traits::Graph;
 use graph::{gen, CompressionConfig, NodeId, PagedGraph, PagedGraphOptions};
 use proptest::prelude::*;
@@ -66,33 +68,43 @@ impl StorageBackend for MemBackend {
     }
 }
 
-/// A valid v3 container (node- and edge-weighted, 256-byte checksum blocks so
-/// the footer holds many block crcs), built once and cloned per case.
+fn build_fixture(ef_offsets: bool) -> Vec<u8> {
+    let g = gen::with_random_node_weights(&gen::weblike(9, 8, 5), 4, 2);
+    let out = MemBackend::default();
+    let mut writer = TpgWriter::create_with_backend(
+        Box::new(out.clone()),
+        g.n(),
+        g.is_edge_weighted(),
+        &CompressionConfig::default(),
+    )
+    .unwrap()
+    .with_checksum_block_len(256)
+    .with_ef_offsets(ef_offsets);
+    for u in 0..g.n() as NodeId {
+        let mut nbrs = g.neighbors_vec(u);
+        nbrs.sort_unstable_by_key(|&(v, _)| v);
+        writer
+            .push_neighborhood(u, &nbrs, g.node_weight(u))
+            .unwrap();
+    }
+    writer.finish().unwrap();
+    let bytes = out.data.lock().unwrap().clone();
+    assert!(bytes.len() > 512, "fixture too small to be interesting");
+    bytes
+}
+
+/// A valid v4 container with plain offsets (node- and edge-weighted, 256-byte
+/// checksum blocks so the footer holds many block crcs), built once.
 fn fixture() -> &'static [u8] {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
-    BYTES.get_or_init(|| {
-        let g = gen::with_random_node_weights(&gen::weblike(9, 8, 5), 4, 2);
-        let out = MemBackend::default();
-        let mut writer = TpgWriter::create_with_backend(
-            Box::new(out.clone()),
-            g.n(),
-            g.is_edge_weighted(),
-            &CompressionConfig::default(),
-        )
-        .unwrap()
-        .with_checksum_block_len(256);
-        for u in 0..g.n() as NodeId {
-            let mut nbrs = g.neighbors_vec(u);
-            nbrs.sort_unstable_by_key(|&(v, _)| v);
-            writer
-                .push_neighborhood(u, &nbrs, g.node_weight(u))
-                .unwrap();
-        }
-        writer.finish().unwrap();
-        let bytes = out.data.lock().unwrap().clone();
-        assert!(bytes.len() > 512, "fixture too small to be interesting");
-        bytes
-    })
+    BYTES.get_or_init(|| build_fixture(false))
+}
+
+/// The same graph with the Elias-Fano offset index: corruption of the succinct
+/// encoding must be just as detectable as corruption of plain offsets.
+fn fixture_ef() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| build_fixture(true))
 }
 
 /// Retries re-read the same corrupt bytes, so disable them to keep cases fast.
@@ -123,60 +135,70 @@ fn assert_paged_detects(bytes: Vec<u8>, what: &str) {
     }
 }
 
+/// The mmap backend verifies *everything* at open (it has no lazy verification
+/// to fall back on), so a corrupted container must simply refuse to open.
+fn assert_mmap_detects(bytes: Vec<u8>, what: &str) {
+    assert!(
+        MmapGraph::open_with_backend(Box::new(MemBackend::with_bytes(bytes)), &paged_options())
+            .is_err(),
+        "{} opened as an MmapGraph undetected",
+        what
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    // Any single corrupted byte — header, data, offset index, node weights or
-    // footer — turns both read paths into an error, never a panic and never a
-    // silently wrong graph.
+    // Any single corrupted byte — header, data, offset index (plain or
+    // Elias-Fano), node weights or footer — turns every read path into an
+    // error, never a panic and never a silently wrong graph.
     #[test]
     fn prop_single_byte_corruption_is_always_detected(
         pos_seed in any::<u64>(),
         mask in 1u32..256,
     ) {
-        let clean = fixture();
-        let pos = (pos_seed % clean.len() as u64) as usize;
-        let mut bytes = clean.to_vec();
-        bytes[pos] ^= mask as u8;
+        for (clean, label) in [(fixture(), "plain"), (fixture_ef(), "ef")] {
+            let pos = (pos_seed % clean.len() as u64) as usize;
+            let mut bytes = clean.to_vec();
+            bytes[pos] ^= mask as u8;
+            let what = format!("[{}] flip of byte {} (mask {:#04x})", label, pos, mask);
 
-        let eager = read_tpg_compressed_backend(&MemBackend::with_bytes(bytes.clone()));
-        prop_assert!(
-            eager.is_err(),
-            "flip of byte {} (mask {:#04x}) decoded eagerly without error",
-            pos,
-            mask
-        );
-        assert_paged_detects(bytes, &format!("flip of byte {} (mask {:#04x})", pos, mask));
+            let eager = read_tpg_compressed_backend(&MemBackend::with_bytes(bytes.clone()));
+            prop_assert!(eager.is_err(), "{} decoded eagerly without error", what);
+            assert_paged_detects(bytes.clone(), &what);
+            assert_mmap_detects(bytes, &what);
+        }
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    // Truncating the container anywhere — even one byte — fails both read
-    // paths: the trailing header crc (and below 88 bytes, the header itself)
+    // Truncating the container anywhere — even one byte — fails every read
+    // path: the trailing header crc (and below 88 bytes, the header itself)
     // can no longer be read.
     #[test]
     fn prop_truncations_fail_to_open(cut_seed in any::<u64>()) {
-        let clean = fixture();
-        let keep = (cut_seed % clean.len() as u64) as usize;
-        let bytes = clean[..keep].to_vec();
+        for (clean, label) in [(fixture(), "plain"), (fixture_ef(), "ef")] {
+            let keep = (cut_seed % clean.len() as u64) as usize;
+            let bytes = clean[..keep].to_vec();
+            let what = format!("[{}] container truncated to {} of {} bytes", label, keep, clean.len());
 
-        prop_assert!(
-            read_tpg_compressed_backend(&MemBackend::with_bytes(bytes.clone())).is_err(),
-            "container truncated to {} of {} bytes decoded eagerly",
-            keep,
-            clean.len()
-        );
-        prop_assert!(
-            PagedGraph::open_with_backend(
-                Box::new(MemBackend::with_bytes(bytes)),
-                &paged_options()
-            )
-            .is_err(),
-            "container truncated to {} of {} bytes opened as a PagedGraph",
-            keep,
-            clean.len()
-        );
+            prop_assert!(
+                read_tpg_compressed_backend(&MemBackend::with_bytes(bytes.clone())).is_err(),
+                "{} decoded eagerly",
+                what
+            );
+            prop_assert!(
+                PagedGraph::open_with_backend(
+                    Box::new(MemBackend::with_bytes(bytes.clone())),
+                    &paged_options()
+                )
+                .is_err(),
+                "{} opened as a PagedGraph",
+                what
+            );
+            assert_mmap_detects(bytes, &what);
+        }
     }
 }

@@ -67,6 +67,11 @@ counters! {
     // Streaming ingest spill files.
     (SpillBytes, "spill_bytes", Sum),
     (SpillRecords, "spill_records", Sum),
+    // Mmap store backend.
+    (MmapOpens, "mmap_opens", Sum),
+    (MmapMappedBytes, "mmap_mapped_bytes", Max),
+    (MmapOffsetIndexBytes, "mmap_offset_index_bytes", Max),
+    (MmapOpenRetriedReads, "mmap_open_retried_reads", Sum),
     // Memory gauges (peaks, not sums).
     (GainTableBytes, "gain_table_bytes", Max),
     (PeakMemoryBytes, "peak_memory_bytes", Max),

@@ -404,6 +404,16 @@ impl PartitionerConfig {
         self
     }
 
+    /// Selects the store backend ([`OnDiskConfig::backend`]) of the on-disk entry
+    /// point: [`Paged`](graph::store::OnDiskBackend::Paged) (default) decodes through
+    /// the budgeted page cache, [`Mmap`](graph::store::OnDiskBackend::Mmap) decodes
+    /// zero-copy out of a verified read-only memory mapping — the fits-in-RAM fast
+    /// path. Fixed-seed results are bit-identical across backends.
+    pub fn with_store_backend(mut self, backend: graph::store::OnDiskBackend) -> Self {
+        self.ondisk.backend = backend;
+        self
+    }
+
     /// Sets the transient-read retry policy ([`OnDiskConfig::retry`]) of the on-disk
     /// entry point: how many times (and with what backoff) a failed page read is
     /// repeated before the run gives up with a structured error.

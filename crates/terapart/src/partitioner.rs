@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use graph::builder::compress_csr_parallel;
 use graph::csr::{CsrGraph, CsrGraphBuilder};
 use graph::io::IoError;
-use graph::store::PagedGraph;
+use graph::store::{MmapGraph, OnDiskBackend, PagedGraph};
 use graph::traits::Graph;
 use graph::{CompressionConfig, EdgeWeight, NodeId};
 use memtrack::{MemoryScope, PhaseReport, PhaseTracker};
@@ -424,13 +424,29 @@ pub fn partition_ondisk_with_tracker(
     tracker: &PhaseTracker,
 ) -> Result<PartitionResult, PartitionError> {
     let session = ObsSession::new(config);
-    let graph = obs_phase(&session.handle, tracker, "open_store", 0, || {
-        PagedGraph::open_with_options(path, &config.ondisk)
-    })
-    .map_err(|e| {
-        PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
-    })?;
-    partition_paged_with_session(&graph, config, tracker, session)
+    match config.ondisk.backend {
+        OnDiskBackend::Paged => {
+            let graph = obs_phase(&session.handle, tracker, "open_store", 0, || {
+                PagedGraph::open_with_options(path, &config.ondisk)
+            })
+            .map_err(|e| {
+                PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
+            })?;
+            partition_paged_with_session(&graph, config, tracker, session)
+        }
+        // The mmap backend front-loads all verification (and therefore every I/O
+        // error path) into the open; after that the run is infallible, so it goes
+        // straight to the generic pipeline with no fault observer or poison check.
+        OnDiskBackend::Mmap => {
+            let graph = obs_phase(&session.handle, tracker, "open_store", 0, || {
+                MmapGraph::open_with_options(path, &config.ondisk)
+            })
+            .map_err(|e| {
+                PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
+            })?;
+            Ok(partition_with_session(&graph, config, tracker, session))
+        }
+    }
 }
 
 /// Runs the on-disk pipeline against an already-open [`PagedGraph`] — the entry point

@@ -174,6 +174,81 @@ fn hard_outage_mid_pipeline_returns_a_structured_error() {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// The mmap backend front-loads every read (header, offset index, node weights and
+/// the full checksummed data section) into the open, so fault schedules hit it
+/// there: transient faults heal through the same per-section retry policy the
+/// paged open uses — and the opened graph decodes identically to a fault-free
+/// open — while a permanent outage fails the open with a structured [`IoError`],
+/// never a panic. A fault-injecting backend exposes no mappable file, so the
+/// verification flows through `read_at` on the heap-fallback path by design.
+#[test]
+fn mmap_open_path_heals_transients_and_fails_outages_structurally() {
+    let dir = scratch_dir("mmap_faults");
+    let path = make_instance(&dir, 12_000, 16);
+    let clean = graph::MmapGraph::open(&path).unwrap();
+    let options = graph::PagedGraphOptions {
+        retry: RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(500),
+        },
+        ..graph::PagedGraphOptions::default()
+    };
+
+    let mut total_faults = 0u64;
+    let mut healed = 0u32;
+    for seed in 1..=6u64 {
+        let backend = FaultyBackend::new(
+            FileBackend::open(&path).unwrap(),
+            FaultPlan::transient(seed),
+        );
+        let stats = backend.stats();
+        match graph::MmapGraph::open_with_backend(Box::new(backend), &options) {
+            Ok(g) => {
+                assert!(
+                    !g.is_mmap(),
+                    "a fault-injecting backend must route onto the heap fallback"
+                );
+                for u in (0..g.n() as NodeId).step_by(97) {
+                    assert_eq!(g.neighbors_vec(u), clean.neighbors_vec(u), "seed {}", seed);
+                }
+                healed += 1;
+            }
+            Err(err) => {
+                // Structured failure with a readable display chain.
+                assert!(!err.to_string().is_empty());
+            }
+        }
+        total_faults += stats.total();
+    }
+    assert!(total_faults > 0, "no faults were injected at all");
+    assert!(
+        healed >= 1,
+        "no transient schedule healed through the open-time retries"
+    );
+
+    // A permanent outage a few reads in: retries exhaust, the open fails cleanly.
+    let backend = FaultyBackend::new(
+        FileBackend::open(&path).unwrap(),
+        FaultPlan {
+            fail_reads_from: Some(2),
+            ..FaultPlan::default()
+        },
+    );
+    let stats = backend.stats();
+    let err = graph::MmapGraph::open_with_backend(Box::new(backend), &options)
+        .expect_err("a permanent outage must fail the mmap open");
+    assert!(
+        stats
+            .outage_reads
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "the outage never fired"
+    );
+    assert!(!err.to_string().is_empty());
+    std::fs::remove_dir_all(dir).ok();
+}
+
 /// Readahead faults are advisory: a plan that fails every multi-page prefetch
 /// run (reads longer than the fault threshold) degrades the worker, while the
 /// foreground's single-page faults keep succeeding — the run completes

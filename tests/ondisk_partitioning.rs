@@ -1,9 +1,12 @@
 //! Integration tests of the external-memory graph store: the acceptance criteria of the
 //! on-disk subsystem exercised through the public APIs of graph, terapart and memtrack.
 
-use graph::store::{read_tpg_compressed, read_tpg_meta, stream_rgg2d_to_tpg};
+use graph::store::{
+    read_tpg_compressed, read_tpg_meta, stream_rgg2d_to_tpg, write_tpg_from_graph_ef,
+    OnDiskBackend,
+};
 use graph::traits::Graph;
-use graph::{PagedGraph, PagedGraphOptions};
+use graph::{MmapGraph, PagedGraph, PagedGraphOptions};
 use terapart::{partition, partition_ondisk, PartitionerConfig};
 
 fn scratch_dir(name: &str) -> std::path::PathBuf {
@@ -142,6 +145,90 @@ fn prefetch_on_and_off_runs_are_bit_identical() {
         on_stats.prefetched_pages > 0,
         "the readahead worker never ran: {:?}",
         on_stats
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// The mmap fast path is a pure representation change: fixed-seed runs through the
+/// `Mmap` backend produce partitions bit-identical to the paged backend and the
+/// in-memory compressed path — on a plain-offset container and on an Elias-Fano one.
+#[test]
+fn mmap_backend_runs_are_bit_identical_across_backends_and_encodings() {
+    let dir = scratch_dir("mmap_identity");
+    let path = dir.join("instance.tpg");
+    stream_rgg2d_to_tpg(15_000, 14, 51, &path, &dir, 4, &Default::default()).unwrap();
+
+    let base = PartitionerConfig::terapart(8)
+        .with_threads(1)
+        .with_seed(11)
+        .with_page_budget(96 * 1024);
+    let reference = partition(&read_tpg_compressed(&path).unwrap(), &base);
+    let paged = partition_ondisk(&path, &base).unwrap();
+    let mmap =
+        partition_ondisk(&path, &base.clone().with_store_backend(OnDiskBackend::Mmap)).unwrap();
+    assert_eq!(mmap.edge_cut, reference.edge_cut);
+    assert_eq!(paged.edge_cut, reference.edge_cut);
+    assert_eq!(
+        mmap.partition.assignment(),
+        reference.partition.assignment(),
+        "mmap-backend partition must be bit-identical to the in-memory compressed path"
+    );
+    assert_eq!(paged.partition.assignment(), reference.partition.assignment());
+
+    // Re-encode the same graph with the Elias-Fano offset index: the data section is
+    // identical, so every backend must still reach the identical partition.
+    let ef_path = dir.join("instance_ef.tpg");
+    write_tpg_from_graph_ef(
+        &read_tpg_compressed(&path).unwrap(),
+        &ef_path,
+        &Default::default(),
+    )
+    .unwrap();
+    let ef_meta = read_tpg_meta(&ef_path).unwrap();
+    let plain_meta = read_tpg_meta(&path).unwrap();
+    assert!(
+        ef_meta.offsets_len_bytes() < plain_meta.offsets_len_bytes(),
+        "Elias-Fano offsets ({} B) not smaller than plain ({} B)",
+        ef_meta.offsets_len_bytes(),
+        plain_meta.offsets_len_bytes()
+    );
+    let paged_ef = partition_ondisk(&ef_path, &base).unwrap();
+    let mmap_ef =
+        partition_ondisk(&ef_path, &base.with_store_backend(OnDiskBackend::Mmap)).unwrap();
+    assert_eq!(paged_ef.partition.assignment(), reference.partition.assignment());
+    assert_eq!(mmap_ef.partition.assignment(), reference.partition.assignment());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// The mmap view charges its full mapping to the memory accounting and releases it
+/// on drop; the zero-copy decode agrees with the materialised view.
+#[test]
+fn mmap_view_accounts_its_mapping_and_agrees_with_materialized() {
+    let dir = scratch_dir("mmap_views");
+    let path = dir.join("instance.tpg");
+    let g = graph::gen::weblike(11, 10, 3);
+    graph::store::write_tpg_from_graph(&g, &path, &Default::default()).unwrap();
+    let materialized = graph::store::read_tpg(&path).unwrap();
+    let before = memtrack::global().current();
+    {
+        let mmap = MmapGraph::open(&path).unwrap();
+        assert!(
+            memtrack::global().current() >= before + mmap.accounted_bytes(),
+            "mapping not charged to the global memory accounting"
+        );
+        assert_eq!(mmap.n(), materialized.n());
+        assert_eq!(mmap.m(), materialized.m());
+        assert_eq!(mmap.total_edge_weight(), materialized.total_edge_weight());
+        assert_eq!(mmap.max_degree(), materialized.max_degree());
+        for u in (0..mmap.n() as graph::NodeId).step_by(37) {
+            let mut a = mmap.neighbors_vec(u);
+            a.sort_unstable();
+            assert_eq!(a, materialized.neighbors_vec(u));
+        }
+    }
+    assert!(
+        memtrack::global().current() <= before,
+        "mapping charge not released on drop"
     );
     std::fs::remove_dir_all(dir).ok();
 }
