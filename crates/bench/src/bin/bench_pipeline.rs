@@ -20,7 +20,8 @@
 use std::path::{Path, PathBuf};
 
 use bench::harness::{
-    best_seconds, read_width_run, write_pipeline_json, MicroComparison, OndiskRun, StreamIngestRun,
+    best_seconds, read_width_run, write_pipeline_json, ConcurrentSessionsRun, MicroComparison,
+    OndiskRun, StreamIngestRun,
 };
 use bench::seed_baseline::{seed_contract_one_pass, seed_initial_partition, seed_lp_refine};
 use graph::gen;
@@ -31,7 +32,10 @@ use terapart::coarsening::{self, cluster, contract_with_scratch};
 use terapart::context::{CoarseningConfig, ContractionAlgorithm};
 use terapart::partition::{BlockId, Partition};
 use terapart::refinement::lp_refine_with_scratch;
-use terapart::{initial_partition_with_scratch, HierarchyScratch, PartitionerConfig};
+use terapart::{
+    initial_partition_with_scratch, EngineConfig, HierarchyScratch, PartitionEngine,
+    PartitionRequest, PartitionerConfig,
+};
 
 /// Samples per micro-benchmark (the fastest sample is reported).
 const RUNS: usize = 25;
@@ -338,7 +342,9 @@ fn main() {
     let tpg_path = ondisk_dir.join("rmat-14.tpg");
     graph::store::write_tpg_from_graph(&graph, &tpg_path, &graph::CompressionConfig::default())
         .expect("failed to write the bench container");
-    let plain_meta = graph::store::read_tpg_meta(&tpg_path).expect("bench container unreadable");
+    // The default writer path emits Elias-Fano offsets, so `tpg_path` is the EF
+    // container of the ladder.
+    let ef_meta = graph::store::read_tpg_meta(&tpg_path).expect("bench container unreadable");
     let csr_bytes = graph.size_in_bytes();
     let mut ondisk_runs = Vec::new();
     // 8 KiB pages: the rmat-14 data section spans enough pages that the cold-sweep
@@ -371,8 +377,8 @@ fn main() {
             );
             ondisk_runs.push(OndiskRun {
                 backend: "paged",
-                offsets: "plain",
-                offset_index_bytes: plain_meta.offsets_len_bytes(),
+                offsets: "ef",
+                offset_index_bytes: ef_meta.offsets_len_bytes(),
                 n: graph.n(),
                 page_budget_bytes: page_budget,
                 page_size_bytes: page_size,
@@ -388,12 +394,17 @@ fn main() {
     }
 
     // ---- Store-backend ladder: the same instance through the mmap fast path, on the
-    // plain container and on an Elias-Fano-offset one (plus paged-on-EF, proving the
+    // default Elias-Fano container and on a plain-offset re-encoding (proving the
     // succinct index is backend-agnostic). Cuts must be bit-identical throughout. ----
-    let ef_path = ondisk_dir.join("rmat-14-ef.tpg");
-    graph::store::write_tpg_from_graph_ef(&graph, &ef_path, &graph::CompressionConfig::default())
-        .expect("failed to write the EF bench container");
-    let ef_meta = graph::store::read_tpg_meta(&ef_path).expect("EF bench container unreadable");
+    let plain_path = ondisk_dir.join("rmat-14-plain.tpg");
+    graph::store::write_tpg_from_graph_plain(
+        &graph,
+        &plain_path,
+        &graph::CompressionConfig::default(),
+    )
+    .expect("failed to write the plain-offset bench container");
+    let plain_meta =
+        graph::store::read_tpg_meta(&plain_path).expect("plain bench container unreadable");
     println!(
         "offset index: plain {} B ({:.2} B/node) vs elias-fano {} B ({:.2} B/node)",
         plain_meta.offsets_len_bytes(),
@@ -414,36 +425,36 @@ fn main() {
         (
             graph::store::OnDiskBackend::Paged,
             &tpg_path,
-            "plain",
-            &plain_meta,
+            "ef",
+            &ef_meta,
             false,
         ),
         (
             graph::store::OnDiskBackend::Paged,
             &tpg_path,
-            "plain",
-            &plain_meta,
+            "ef",
+            &ef_meta,
             true,
         ),
         (
             graph::store::OnDiskBackend::Mmap,
             &tpg_path,
+            "ef",
+            &ef_meta,
+            false,
+        ),
+        (
+            graph::store::OnDiskBackend::Paged,
+            &plain_path,
             "plain",
             &plain_meta,
             false,
         ),
         (
-            graph::store::OnDiskBackend::Paged,
-            &ef_path,
-            "ef",
-            &ef_meta,
-            false,
-        ),
-        (
             graph::store::OnDiskBackend::Mmap,
-            &ef_path,
-            "ef",
-            &ef_meta,
+            &plain_path,
+            "plain",
+            &plain_meta,
             false,
         ),
     ] {
@@ -501,15 +512,103 @@ fn main() {
             cache: result.cache_stats,
         });
     }
-    let paged_plain_seconds = ladder_times[0].1;
-    let mmap_plain_seconds = ladder_times[2].1;
+    let paged_ef_seconds = ladder_times[0].1;
+    let mmap_ef_seconds = ladder_times[2].1;
     println!(
         "store-backend ladder: mmap {:.2}s vs paged {:.2}s ({:.2}x) at identical cut {}",
-        mmap_plain_seconds,
-        paged_plain_seconds,
-        paged_plain_seconds / mmap_plain_seconds.max(1e-9),
+        mmap_ef_seconds,
+        paged_ef_seconds,
+        paged_ef_seconds / mmap_ef_seconds.max(1e-9),
         ladder_cut.unwrap_or(0),
     );
+
+    // ---- Concurrent sessions: one engine, one shared mmap store, N simultaneous
+    // single-threaded requests on their own OS threads. Each session must be
+    // bit-identical to a solo run of the same request on a fresh engine, while the
+    // engine's scratch pool bounds the arena count by the simultaneity level. ----
+    let session_base = PartitionerConfig::terapart(16)
+        .with_threads(1)
+        .with_store_backend(graph::store::OnDiskBackend::Mmap);
+    let engine_cfg = EngineConfig::from_partitioner(&session_base);
+    let mut concurrent_runs = Vec::new();
+    for sessions in [4usize, 8] {
+        let requests: Vec<PartitionRequest> = (0..sessions)
+            .map(|i| PartitionRequest::from_config(&session_base).with_seed(500 + i as u64))
+            .collect();
+        // Sequential references on fresh engines: the bit-identity anchors and the
+        // single-arena memory reference point.
+        let mut references = Vec::new();
+        let mut sequential_seconds = 0.0f64;
+        let mut single_arena_bytes = 0usize;
+        for request in &requests {
+            let fresh = PartitionEngine::with_config(engine_cfg.clone());
+            let start = std::time::Instant::now();
+            let result = fresh
+                .partition_path(&tpg_path, request)
+                .expect("sequential reference run failed");
+            sequential_seconds += start.elapsed().as_secs_f64();
+            single_arena_bytes = single_arena_bytes.max(fresh.scratch_pool().parked_bytes());
+            references.push(result);
+        }
+        let engine = PartitionEngine::with_config(engine_cfg.clone());
+        let store = engine
+            .open_store(&tpg_path)
+            .expect("failed to open the shared bench store");
+        memtrack::global().reset_peak();
+        let start = std::time::Instant::now();
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|request| {
+                    let engine = &engine;
+                    let store = &*store;
+                    scope.spawn(move || {
+                        engine
+                            .partition_store(store, request)
+                            .expect("concurrent session failed")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("concurrent session panicked"))
+                .collect()
+        });
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let peak_memory_bytes = memtrack::global().peak();
+        let bit_identical = results
+            .iter()
+            .zip(&references)
+            .all(|(run, reference)| run.partition.assignment() == reference.partition.assignment());
+        assert!(
+            bit_identical,
+            "a concurrent session diverged from its sequential reference"
+        );
+        let run = ConcurrentSessionsRun {
+            sessions,
+            wall_seconds,
+            sequential_seconds,
+            pool_high_water: engine.scratch_pool().high_water(),
+            pool_parked_bytes: engine.scratch_pool().parked_bytes(),
+            single_arena_bytes,
+            peak_memory_bytes,
+            bit_identical,
+        };
+        println!(
+            "concurrent_sessions n={}: wall {:.2}s vs sequential {:.2}s ({:.2}x), \
+             pool high-water {} arenas, parked {} (single arena {}), peak {}",
+            run.sessions,
+            run.wall_seconds,
+            run.sequential_seconds,
+            run.throughput_gain(),
+            run.pool_high_water,
+            memtrack::format_bytes(run.pool_parked_bytes),
+            memtrack::format_bytes(run.single_arena_bytes),
+            memtrack::format_bytes(run.peak_memory_bytes),
+        );
+        concurrent_runs.push(run);
+        drop(store);
+    }
     std::fs::remove_dir_all(&ondisk_dir).ok();
 
     write_pipeline_json(
@@ -522,6 +621,7 @@ fn main() {
         &[contraction, refinement, initial],
         Some(&stream_ingest),
         &ondisk_runs,
+        &concurrent_runs,
         &other_width_runs,
         Some(&run_report),
     )

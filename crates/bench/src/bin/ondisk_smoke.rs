@@ -144,22 +144,22 @@ fn main() {
     );
     // ---- Store-backend ladder (single-threaded, the bit-reproducible regime):
     // paged, paged+prefetch and mmap must all produce the *identical* cut, on the
-    // plain-offset container and on an Elias-Fano-offset re-encoding of it — and the
-    // succinct index must actually be smaller. ----
+    // Elias-Fano-offset container (the writer default) and on a plain-offset
+    // re-encoding of it — and the succinct index must actually be smaller. ----
     use graph::store::OnDiskBackend;
-    let ef_container = cache_dir.join("smoke_ef.tpg");
-    graph::store::write_tpg_from_graph_ef(
+    let plain_container = cache_dir.join("smoke_plain.tpg");
+    graph::store::write_tpg_from_graph_plain(
         &graph::store::read_tpg_compressed(&path).expect("re-read smoke container"),
-        &ef_container,
+        &plain_container,
         &graph::CompressionConfig::default(),
     )
-    .expect("failed to write the EF smoke container");
-    let plain_meta = graph::store::read_tpg_meta(&path).unwrap();
-    let ef_meta = graph::store::read_tpg_meta(&ef_container).unwrap();
+    .expect("failed to write the plain-offset smoke container");
+    let ef_meta = graph::store::read_tpg_meta(&path).unwrap();
+    let plain_meta = graph::store::read_tpg_meta(&plain_container).unwrap();
     println!(
-        "offset index: plain {} B vs elias-fano {} B",
-        plain_meta.offsets_len_bytes(),
-        ef_meta.offsets_len_bytes()
+        "offset index: elias-fano {} B (default) vs plain {} B",
+        ef_meta.offsets_len_bytes(),
+        plain_meta.offsets_len_bytes()
     );
     assert!(
         ef_meta.offsets_len_bytes() < plain_meta.offsets_len_bytes(),
@@ -170,21 +170,21 @@ fn main() {
     let ladder_base = config.clone().with_threads(1);
     let mut ladder_cut: Option<u64> = None;
     for (label, ladder_path, ladder_config) in [
-        ("paged/plain", &path, ladder_base.clone()),
+        ("paged/ef", &path, ladder_base.clone()),
         (
-            "paged+prefetch/plain",
+            "paged+prefetch/ef",
             &path,
             ladder_base.clone().with_prefetch(true),
         ),
         (
-            "mmap/plain",
+            "mmap/ef",
             &path,
             ladder_base.clone().with_store_backend(OnDiskBackend::Mmap),
         ),
-        ("paged/ef", &ef_container, ladder_base.clone()),
+        ("paged/plain", &plain_container, ladder_base.clone()),
         (
-            "mmap/ef",
-            &ef_container,
+            "mmap/plain",
+            &plain_container,
             ladder_base.clone().with_store_backend(OnDiskBackend::Mmap),
         ),
     ] {
@@ -210,14 +210,104 @@ fn main() {
             ),
         }
     }
-    println!("store-backend ladder: identical cut {} across all five runs", ladder_cut.unwrap());
+    println!(
+        "store-backend ladder: identical cut {} across all five runs",
+        ladder_cut.unwrap()
+    );
+
+    // ---- Engine/session smoke: one engine serving 8 sessions against a single
+    // shared mmap store must (a) deduplicate the open (the registry returns the same
+    // Arc), (b) reproduce each session's sequential single-session cut, and (c) keep
+    // the pooled scratch-arena footprint below 8 independent arenas — arenas scale
+    // with *simultaneity*, not with request count. ----
+    use std::sync::Arc;
+    use terapart::{EngineConfig, PartitionEngine, PartitionRequest};
+    const SESSIONS: usize = 8;
+    const RUNNERS: usize = 4; // 4 threads x 2 requests each: simultaneity < sessions
+    let mut engine_cfg = EngineConfig::from_partitioner(&ladder_base);
+    engine_cfg.ondisk.backend = OnDiskBackend::Mmap;
+    let engine = Arc::new(PartitionEngine::with_config(engine_cfg.clone()));
+    let store = engine.open_store(&path).expect("engine open failed");
+    let reopened = engine.open_store(&path).expect("engine re-open failed");
+    assert!(
+        Arc::ptr_eq(&store, &reopened),
+        "SMOKE FAIL: the registry did not return the same Arc for a repeated open"
+    );
+    assert_eq!(engine.registry().open_count(), 1);
+
+    // Sequential references: one fresh engine per request, so every run pays for its
+    // own arena — the baseline the pooled run must beat.
+    let requests: Vec<PartitionRequest> = (0..SESSIONS)
+        .map(|i| PartitionRequest::from_config(&ladder_base).with_seed(1000 + i as u64))
+        .collect();
+    let mut sequential_cuts = Vec::new();
+    let mut single_arena_bytes = 0usize;
+    for request in &requests {
+        let fresh = PartitionEngine::with_config(engine_cfg.clone());
+        let run = fresh
+            .partition_path(&path, request)
+            .expect("sequential reference run failed");
+        single_arena_bytes = single_arena_bytes.max(fresh.scratch_pool().parked_bytes());
+        sequential_cuts.push(run.edge_cut);
+    }
+
+    let concurrent_cuts: Vec<(usize, u64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for runner in 0..RUNNERS {
+            let engine = Arc::clone(&engine);
+            let store = Arc::clone(&store);
+            let requests = &requests;
+            handles.push(scope.spawn(move || {
+                let mut cuts = Vec::new();
+                for i in (runner..SESSIONS).step_by(RUNNERS) {
+                    let run = engine
+                        .partition_store(&store, &requests[i])
+                        .expect("concurrent session failed");
+                    cuts.push((i, run.edge_cut));
+                }
+                cuts
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    for &(i, cut) in &concurrent_cuts {
+        assert_eq!(
+            cut, sequential_cuts[i],
+            "SMOKE FAIL: concurrent session {} diverged from its sequential run",
+            i
+        );
+    }
+    let pool = engine.scratch_pool();
+    println!(
+        "engine: {} sessions on one store, arena high-water {} (pooled {} vs {} for 8 independent arenas)",
+        SESSIONS,
+        pool.high_water(),
+        memtrack::format_bytes(pool.parked_bytes()),
+        memtrack::format_bytes(SESSIONS * single_arena_bytes)
+    );
+    assert!(
+        pool.high_water() <= RUNNERS,
+        "SMOKE FAIL: arena high-water {} exceeds the {} simultaneous runners",
+        pool.high_water(),
+        RUNNERS
+    );
+    assert!(
+        pool.parked_bytes() < SESSIONS * single_arena_bytes,
+        "SMOKE FAIL: pooled arena bytes {} not below 8 independent arenas {}",
+        pool.parked_bytes(),
+        SESSIONS * single_arena_bytes
+    );
 
     println!("ondisk smoke OK");
     // Best-effort cleanup when we created the temp cache ourselves.
+    drop((store, reopened));
     if std::env::args().nth(1).is_none() {
         std::fs::remove_dir_all(cache_dir).ok();
     } else {
-        std::fs::remove_file(&ef_container).ok();
+        std::fs::remove_file(&plain_container).ok();
         std::fs::remove_file(cache_dir.join("smoke_materialized.tpg")).ok();
     }
 }

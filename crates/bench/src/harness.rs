@@ -170,6 +170,41 @@ impl StreamIngestRun {
     }
 }
 
+/// One concurrent-engine measurement: N simultaneous sessions against one shared
+/// mmap store, all driven through a single [`terapart::PartitionEngine`]. Recorded in
+/// the `concurrent_sessions` section of `BENCH_pipeline.json`.
+#[derive(Debug, Clone)]
+pub struct ConcurrentSessionsRun {
+    /// Simultaneous sessions launched (one OS thread each).
+    pub sessions: usize,
+    /// Wall-clock seconds until every session completed.
+    pub wall_seconds: f64,
+    /// Summed wall-clock seconds of the same requests run one at a time on fresh
+    /// engines (the bit-identity references).
+    pub sequential_seconds: f64,
+    /// High-water mark of simultaneously checked-out scratch arenas in the engine's
+    /// [`terapart::ScratchPool`].
+    pub pool_high_water: usize,
+    /// Bytes parked in the scratch pool after all sessions returned their arenas.
+    pub pool_parked_bytes: usize,
+    /// Parked bytes of a fresh single-request engine — the per-arena reference point
+    /// for `pool_parked_bytes`.
+    pub single_arena_bytes: usize,
+    /// Peak accounted memory across the concurrent run, in bytes.
+    pub peak_memory_bytes: usize,
+    /// Whether every session's assignment was bit-identical to its sequential
+    /// reference run.
+    pub bit_identical: bool,
+}
+
+impl ConcurrentSessionsRun {
+    /// Sequential time over concurrent wall time; > 1 means overlapping sessions
+    /// beat running them back to back.
+    pub fn throughput_gain(&self) -> f64 {
+        self.sequential_seconds / self.wall_seconds.max(1e-12)
+    }
+}
+
 /// One micro-benchmark comparison against the frozen seed baseline.
 #[derive(Debug, Clone)]
 pub struct MicroComparison {
@@ -268,6 +303,7 @@ pub fn write_pipeline_json(
     micro: &[MicroComparison],
     stream_ingest: Option<&StreamIngestRun>,
     ondisk: &[OndiskRun],
+    concurrent_sessions: &[ConcurrentSessionsRun],
     other_width_runs: &[WidthRun],
     run_report: Option<&obs::RunReport>,
 ) -> std::io::Result<()> {
@@ -366,6 +402,26 @@ pub fn write_pipeline_json(
             cache.retried_reads,
             cache.checksum_failures,
             if i + 1 < ondisk.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Engine concurrency ladder: N simultaneous sessions through one engine on one
+    // shared mmap store. Single-line objects keyed by `sessions`, so the
+    // `read_width_run` line scan cannot mistake their fields for headline ones.
+    out.push_str("  \"concurrent_sessions\": [\n");
+    for (i, run) in concurrent_sessions.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"wall_seconds\": {:.6}, \"sequential_seconds\": {:.6}, \"throughput_gain\": {:.3}, \"pool_high_water\": {}, \"pool_parked_bytes\": {}, \"single_arena_bytes\": {}, \"peak_bytes\": {}, \"bit_identical\": {}}}{}\n",
+            run.sessions,
+            run.wall_seconds,
+            run.sequential_seconds,
+            run.throughput_gain(),
+            run.pool_high_water,
+            run.pool_parked_bytes,
+            run.single_arena_bytes,
+            run.peak_memory_bytes,
+            run.bit_identical,
+            if i + 1 < concurrent_sessions.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");

@@ -53,7 +53,10 @@ pub mod varint;
 pub use compressed::{CompressedGraph, CompressionConfig};
 pub use csr::{CsrGraph, CsrGraphBuilder};
 pub use ids::{AtomicNodeId, ClusterId, NodeId};
-pub use store::{MmapGraph, OnDiskBackend, PagedGraph, PagedGraphOptions};
+pub use store::{
+    MmapGraph, OnDiskBackend, PagedGraph, PagedGraphOptions, StoreHandle, StoreRegistry,
+    StoreSession,
+};
 pub use traits::Graph;
 
 /// Identifier of a directed half-edge (an index into the adjacency array). Always

@@ -358,17 +358,26 @@ impl TpgWriter {
             block_crcs: Vec::new(),
             block_crc: Crc32::new(),
             block_fill: 0,
-            ef_offsets: false,
+            // EF offsets are the default writer path: ~10x smaller offset index,
+            // readable by every v4-aware reader. `with_plain_offsets` opts out for
+            // containers that must stay readable by v3 tooling.
+            ef_offsets: true,
         })
     }
 
-    /// Emits the offset index Elias-Fano encoded instead of as plain u64s, shrinking
-    /// it from 8 bytes per vertex toward `2 + log2(data_len / n)` *bits* per vertex.
-    /// Readable by every v4-aware reader (both store backends and the eager reader);
-    /// leave off for containers that must stay readable by v3 tooling.
+    /// Selects the offset-index encoding: Elias-Fano (the default) shrinks the index
+    /// from 8 bytes per vertex toward `2 + log2(data_len / n)` *bits* per vertex and
+    /// is readable by every v4-aware reader (both store backends and the eager
+    /// reader). Pass `false` for plain u64 offsets (see [`Self::with_plain_offsets`]).
     pub fn with_ef_offsets(mut self, ef_offsets: bool) -> Self {
         self.ef_offsets = ef_offsets;
         self
+    }
+
+    /// Opts out of the Elias-Fano offset index and emits plain u64 offsets, keeping
+    /// the container readable by v3 tooling at 8 bytes per vertex.
+    pub fn with_plain_offsets(self) -> Self {
+        self.with_ef_offsets(false)
     }
 
     /// Overrides the checksum block length (must be a power of two in the format's
@@ -1213,6 +1222,8 @@ pub(crate) fn verify_or_load_data(
 
 /// Writes any [`Graph`] into a `.tpg` container. Neighbourhoods are sorted before
 /// encoding, so the container is canonical regardless of the source's iteration order.
+/// Emits the Elias-Fano offset index (the writer default); use
+/// [`write_tpg_from_graph_plain`] for containers that must stay readable by v3 tooling.
 pub fn write_tpg_from_graph(
     graph: &impl Graph,
     path: impl AsRef<Path>,
@@ -1227,15 +1238,33 @@ pub fn write_tpg_from_graph(
     writer.finish()
 }
 
-/// [`write_tpg_from_graph`] with the Elias-Fano offset index enabled: identical data
-/// section, compressed offsets (a v4-only container).
+/// [`write_tpg_from_graph`] with the Elias-Fano offset index explicitly enabled.
+/// Identical to the default path now that EF is the writer default; kept for callers
+/// that want the encoding spelled out.
 pub fn write_tpg_from_graph_ef(
     graph: &impl Graph,
     path: impl AsRef<Path>,
     config: &CompressionConfig,
 ) -> Result<TpgSummary, IoError> {
-    let mut writer = TpgWriter::create(path, graph.n(), graph.is_edge_weighted(), config)?
-        .with_ef_offsets(true);
+    let mut writer =
+        TpgWriter::create(path, graph.n(), graph.is_edge_weighted(), config)?.with_ef_offsets(true);
+    for u in 0..graph.n() as NodeId {
+        let mut nbrs = graph.neighbors_vec(u);
+        nbrs.sort_unstable_by_key(|&(v, _)| v);
+        writer.push_neighborhood(u, &nbrs, graph.node_weight(u))?;
+    }
+    writer.finish()
+}
+
+/// [`write_tpg_from_graph`] with the plain u64 offset index: identical data section,
+/// 8 bytes per vertex of offsets, readable by v3 tooling.
+pub fn write_tpg_from_graph_plain(
+    graph: &impl Graph,
+    path: impl AsRef<Path>,
+    config: &CompressionConfig,
+) -> Result<TpgSummary, IoError> {
+    let mut writer =
+        TpgWriter::create(path, graph.n(), graph.is_edge_weighted(), config)?.with_plain_offsets();
     for u in 0..graph.n() as NodeId {
         let mut nbrs = graph.neighbors_vec(u);
         nbrs.sort_unstable_by_key(|&(v, _)| v);
@@ -1608,7 +1637,8 @@ mod tests {
         let g = read_tpg(v1_fixture()).unwrap();
         let rewritten = tmp("v1_rewrite.tpg");
         let meta = read_tpg_meta(v1_fixture()).unwrap();
-        write_tpg_from_graph(&g, &rewritten, &meta.config).unwrap();
+        // The fixture predates the EF offset index, so re-encode with plain offsets.
+        write_tpg_from_graph_plain(&g, &rewritten, &meta.config).unwrap();
         let old_bytes = std::fs::read(v1_fixture()).unwrap();
         let new_bytes = std::fs::read(&rewritten).unwrap();
         let rewritten_meta = read_tpg_meta(&rewritten).unwrap();

@@ -1,0 +1,438 @@
+//! [`StoreHandle`] and [`StoreSession`]: the engine/session split at the storage layer.
+//!
+//! A partitioning *engine* keeps graphs open and shares them across concurrent
+//! requests; a *session* is one request's view of one store. The split assigns every
+//! piece of state to exactly one side:
+//!
+//! * [`StoreHandle`] — the **shared, immutable** side: any of the four graph
+//!   representations behind one `Arc`-shareable, [`Sync`] type. All read access is
+//!   lock-free or internally synchronised (the paged backend's page cache), so any
+//!   number of sessions may read one handle concurrently.
+//! * [`StoreSession`] — the **per-request** side: a cheap view carrying the poison /
+//!   fault-observer machinery that used to live on [`PagedGraph`] itself. A session
+//!   reads the paged store through its fault-neutral accessors
+//!   ([`PagedGraph::try_header`] / [`PagedGraph::try_for_each_neighbor`]) and records
+//!   the first unrecoverable fault *on the session*, so one request's disk failure
+//!   never poisons the shared store out from under its co-tenants.
+//!
+//! The in-memory and mmap representations are infallible after construction, so their
+//! sessions are plain pass-throughs; the protocol only does work on the paged variant.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::compressed::CompressedGraph;
+use crate::csr::CsrGraph;
+use crate::io::IoError;
+use crate::store::mmap::MmapGraph;
+use crate::store::paged::{
+    CacheStatsSnapshot, FatalIoError, OnDiskBackend, PagedGraph, PagedGraphOptions,
+};
+use crate::traits::Graph;
+use crate::{EdgeWeight, NodeId, NodeWeight};
+
+/// One open graph store, in whichever representation it was opened or built:
+/// shareable (`Arc<StoreHandle>`), [`Sync`], and readable by any number of concurrent
+/// [`StoreSession`]s. See the module docs for the engine/session split.
+#[derive(Debug)]
+pub enum StoreHandle {
+    /// Uncompressed in-memory CSR.
+    Csr(CsrGraph),
+    /// Compressed in-memory neighbourhoods.
+    Compressed(CompressedGraph),
+    /// On-disk container behind the strict-budget page cache.
+    Paged(PagedGraph),
+    /// On-disk container behind a read-only memory mapping.
+    Mmap(MmapGraph),
+}
+
+impl StoreHandle {
+    /// Opens a `.tpg` container with the backend selected by
+    /// [`options.backend`](PagedGraphOptions::backend). This is the open the
+    /// [`StoreRegistry`](crate::store::StoreRegistry) deduplicates.
+    pub fn open(path: impl AsRef<Path>, options: &PagedGraphOptions) -> Result<Self, IoError> {
+        match options.backend {
+            OnDiskBackend::Paged => Ok(Self::Paged(PagedGraph::open_with_options(path, options)?)),
+            OnDiskBackend::Mmap => Ok(Self::Mmap(MmapGraph::open_with_options(path, options)?)),
+        }
+    }
+
+    /// Starts a per-request session view of this store (see [`StoreSession`]).
+    pub fn session(&self) -> StoreSession<'_> {
+        match self {
+            StoreHandle::Csr(g) => StoreSession::infallible(g),
+            StoreHandle::Compressed(g) => StoreSession::infallible(g),
+            StoreHandle::Paged(g) => StoreSession::paged(g),
+            StoreHandle::Mmap(g) => StoreSession::infallible(g),
+        }
+    }
+
+    /// The paged store behind this handle, if that is the representation.
+    pub fn as_paged(&self) -> Option<&PagedGraph> {
+        match self {
+            StoreHandle::Paged(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The mmap store behind this handle, if that is the representation.
+    pub fn as_mmap(&self) -> Option<&MmapGraph> {
+        match self {
+            StoreHandle::Mmap(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Short name of the representation (for logs and bench output).
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            StoreHandle::Csr(_) => "csr",
+            StoreHandle::Compressed(_) => "compressed",
+            StoreHandle::Paged(_) => "paged",
+            StoreHandle::Mmap(_) => "mmap",
+        }
+    }
+
+    /// Bytes currently charged to the memory accounting for this store (zero for the
+    /// in-memory CSR, which predates the accounting seam).
+    pub fn accounted_bytes(&self) -> usize {
+        match self {
+            StoreHandle::Csr(g) => g.size_in_bytes(),
+            StoreHandle::Compressed(g) => g.size_in_bytes(),
+            StoreHandle::Paged(g) => g.accounted_bytes(),
+            StoreHandle::Mmap(g) => g.accounted_bytes(),
+        }
+    }
+
+    /// Current page-cache counters (on-disk paged representation only).
+    pub fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        self.as_paged().map(|g| g.cache_stats())
+    }
+
+    /// Blocks until queued prefetch hints have been processed (no-op for
+    /// representations without a prefetcher).
+    pub fn wait_prefetch_idle(&self) {
+        if let Some(g) = self.as_paged() {
+            g.wait_prefetch_idle();
+        }
+    }
+}
+
+macro_rules! forward_to_variant {
+    ($self:ident, $g:ident => $body:expr) => {
+        match $self {
+            StoreHandle::Csr($g) => $body,
+            StoreHandle::Compressed($g) => $body,
+            StoreHandle::Paged($g) => $body,
+            StoreHandle::Mmap($g) => $body,
+        }
+    };
+}
+
+impl Graph for StoreHandle {
+    fn n(&self) -> usize {
+        forward_to_variant!(self, g => g.n())
+    }
+    fn m(&self) -> usize {
+        forward_to_variant!(self, g => g.m())
+    }
+    fn degree(&self, u: NodeId) -> usize {
+        forward_to_variant!(self, g => g.degree(u))
+    }
+    fn node_weight(&self, u: NodeId) -> NodeWeight {
+        forward_to_variant!(self, g => g.node_weight(u))
+    }
+    fn total_node_weight(&self) -> NodeWeight {
+        forward_to_variant!(self, g => g.total_node_weight())
+    }
+    fn total_edge_weight(&self) -> EdgeWeight {
+        forward_to_variant!(self, g => g.total_edge_weight())
+    }
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, EdgeWeight)) {
+        forward_to_variant!(self, g => g.for_each_neighbor(u, f))
+    }
+    fn for_each_neighbor_indexed(&self, u: NodeId, f: &mut dyn FnMut(usize, NodeId, EdgeWeight)) {
+        forward_to_variant!(self, g => g.for_each_neighbor_indexed(u, f))
+    }
+    fn is_edge_weighted(&self) -> bool {
+        forward_to_variant!(self, g => g.is_edge_weighted())
+    }
+    fn is_node_weighted(&self) -> bool {
+        forward_to_variant!(self, g => g.is_node_weighted())
+    }
+    fn max_degree(&self) -> usize {
+        forward_to_variant!(self, g => g.max_degree())
+    }
+    fn prefetch(&self, nodes: &[NodeId]) {
+        forward_to_variant!(self, g => g.prefetch(nodes))
+    }
+    fn record_obs_metrics(&self, metrics: &obs::MetricsRegistry) {
+        forward_to_variant!(self, g => g.record_obs_metrics(metrics))
+    }
+}
+
+/// Callback capturing ambient context (e.g. the active pipeline phase) the moment a
+/// session records its fatal error; same shape as the observer [`PagedGraph`] takes.
+type FaultObserver = Box<dyn Fn() -> String + Send + Sync>;
+
+/// What a session reads through: the fallible paged store (routed through its
+/// fault-neutral accessors) or any of the infallible representations.
+enum StoreRef<'a> {
+    /// Representations with no post-open I/O error paths: plain pass-through.
+    Infallible(&'a dyn Graph),
+    /// The paged store: reads go through [`PagedGraph::try_header`] /
+    /// [`PagedGraph::try_for_each_neighbor`] so faults land on the session.
+    Paged(&'a PagedGraph),
+}
+
+/// One request's view of a [`StoreHandle`] — a [`Graph`] carrying the per-request
+/// poison protocol.
+///
+/// Reads against the paged representation surface unrecoverable faults *here*: the
+/// first fatal error (with the installed observer's context) is kept, the session
+/// flips to the poisoned state, and every later accessor returns empty neighbourhoods
+/// without touching the disk — exactly the degradation contract [`PagedGraph`]
+/// documents, scoped to one request. The shared store, and with it every co-tenant
+/// session, stays healthy.
+pub struct StoreSession<'a> {
+    store: StoreRef<'a>,
+    poisoned: AtomicBool,
+    fatal: Mutex<Option<FatalIoError>>,
+    fault_observer: Mutex<Option<FaultObserver>>,
+}
+
+impl<'a> StoreSession<'a> {
+    /// A session over a representation with no post-open I/O error paths.
+    pub fn infallible(graph: &'a (impl Graph + 'a)) -> Self {
+        Self::from_ref(StoreRef::Infallible(graph))
+    }
+
+    /// A session over a paged store (reads route through the fault-neutral
+    /// accessors; faults poison this session, not the store).
+    pub fn paged(graph: &'a PagedGraph) -> Self {
+        Self::from_ref(StoreRef::Paged(graph))
+    }
+
+    fn from_ref(store: StoreRef<'a>) -> Self {
+        Self {
+            store,
+            poisoned: AtomicBool::new(false),
+            fatal: Mutex::new(None),
+            fault_observer: Mutex::new(None),
+        }
+    }
+
+    fn as_graph(&self) -> &dyn Graph {
+        match &self.store {
+            StoreRef::Infallible(g) => *g,
+            StoreRef::Paged(g) => *g,
+        }
+    }
+
+    /// Poisons the session with `error` unless it is already poisoned: the *first*
+    /// fatal error (and the observer's context) is kept; later ones are dropped.
+    fn poison(&self, error: std::io::Error) {
+        let mut fatal = self.fatal.lock();
+        if fatal.is_none() {
+            let context = self.fault_observer.lock().as_ref().map(|observe| observe());
+            *fatal = Some(FatalIoError { error, context });
+            self.poisoned.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether a fatal read error has poisoned this session (accessors now return
+    /// empty neighbourhoods without touching the disk).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Takes the first fatal error if the session poisoned itself (leaving the
+    /// session poisoned). Drivers call this after a run to decide whether the result
+    /// is valid.
+    pub fn take_fatal_error(&self) -> Option<FatalIoError> {
+        self.fatal.lock().take()
+    }
+
+    /// Installs a callback that captures ambient context (e.g. the active pipeline
+    /// phase) the moment the session poisons itself; the captured string travels in
+    /// [`FatalIoError::context`]. Replaces any previous observer.
+    pub fn set_fault_observer(&self, observe: impl Fn() -> String + Send + Sync + 'static) {
+        *self.fault_observer.lock() = Some(Box::new(observe));
+    }
+}
+
+impl Graph for StoreSession<'_> {
+    fn n(&self) -> usize {
+        self.as_graph().n()
+    }
+    fn m(&self) -> usize {
+        self.as_graph().m()
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        match &self.store {
+            StoreRef::Infallible(g) => g.degree(u),
+            StoreRef::Paged(g) => {
+                if self.is_poisoned() {
+                    return 0;
+                }
+                match g.try_header(u) {
+                    Ok((_, degree)) => degree,
+                    Err(e) => {
+                        self.poison(e);
+                        0
+                    }
+                }
+            }
+        }
+    }
+
+    fn node_weight(&self, u: NodeId) -> NodeWeight {
+        self.as_graph().node_weight(u)
+    }
+    fn total_node_weight(&self) -> NodeWeight {
+        self.as_graph().total_node_weight()
+    }
+    fn total_edge_weight(&self) -> EdgeWeight {
+        self.as_graph().total_edge_weight()
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId, EdgeWeight)) {
+        match &self.store {
+            StoreRef::Infallible(g) => g.for_each_neighbor(u, f),
+            StoreRef::Paged(g) => {
+                if self.is_poisoned() {
+                    return;
+                }
+                if let Err(e) = g.try_for_each_neighbor(u, f) {
+                    self.poison(e);
+                }
+            }
+        }
+    }
+
+    fn is_edge_weighted(&self) -> bool {
+        self.as_graph().is_edge_weighted()
+    }
+    fn is_node_weighted(&self) -> bool {
+        self.as_graph().is_node_weighted()
+    }
+    fn max_degree(&self) -> usize {
+        self.as_graph().max_degree()
+    }
+    fn prefetch(&self, nodes: &[NodeId]) {
+        self.as_graph().prefetch(nodes)
+    }
+    fn record_obs_metrics(&self, metrics: &obs::MetricsRegistry) {
+        self.as_graph().record_obs_metrics(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::compressed::CompressionConfig;
+    use crate::gen;
+    use crate::store::backend::{FaultPlan, FaultyBackend, FileBackend};
+    use crate::store::container::write_tpg_from_graph;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "terapart_handle_test_{}_{}",
+            std::process::id(),
+            name
+        ));
+        p
+    }
+
+    #[test]
+    fn handle_forwards_graph_access_for_every_representation() {
+        let csr = gen::with_random_edge_weights(&gen::grid2d(9, 7), 5, 3);
+        let config = CompressionConfig::default();
+        let path = tmp("forwarding.tpg");
+        write_tpg_from_graph(&csr, &path, &config).unwrap();
+        let handles = [
+            StoreHandle::Csr(csr.clone()),
+            StoreHandle::Compressed(crate::compressed::CompressedGraph::from_csr(&csr, &config)),
+            StoreHandle::open(&path, &PagedGraphOptions::default()).unwrap(),
+            StoreHandle::open(
+                &path,
+                &PagedGraphOptions {
+                    backend: OnDiskBackend::Mmap,
+                    ..PagedGraphOptions::default()
+                },
+            )
+            .unwrap(),
+        ];
+        assert!(handles[2].as_paged().is_some());
+        assert!(handles[3].as_mmap().is_some());
+        for handle in &handles {
+            assert_eq!(handle.n(), csr.n(), "{}", handle.backend_name());
+            assert_eq!(handle.m(), csr.m());
+            assert_eq!(handle.max_degree(), csr.max_degree());
+            let session = handle.session();
+            for u in 0..csr.n() as NodeId {
+                assert_eq!(session.degree(u), csr.degree(u));
+                assert_eq!(session.neighbors_vec(u), csr.neighbors_vec(u));
+            }
+            assert!(!session.is_poisoned());
+            assert!(session.take_fatal_error().is_none());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn session_fault_poisons_the_session_but_not_the_store_or_cotenants() {
+        let csr = gen::grid2d(64, 64);
+        let path = tmp("session_poison.tpg");
+        write_tpg_from_graph(&csr, &path, &CompressionConfig::default()).unwrap();
+        // A tiny cache so sweeps keep faulting pages in; reads fail permanently
+        // once the open (a handful of operations) is past.
+        let backend = FileBackend::open(&path).unwrap();
+        let plan = FaultPlan {
+            fail_reads_from: Some(50),
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyBackend::new(backend, plan);
+        let options = PagedGraphOptions {
+            page_size: 256,
+            budget_bytes: 1024,
+            shards: 1,
+            retry: crate::store::RetryPolicy::disabled(),
+            ..PagedGraphOptions::default()
+        };
+        let paged = PagedGraph::open_with_backend(Box::new(faulty), &options).unwrap();
+        let handle = StoreHandle::Paged(paged);
+
+        // Session A sweeps until the injected outage poisons it.
+        let a = handle.session();
+        a.set_fault_observer(|| "session-a".to_string());
+        for _ in 0..8 {
+            for u in 0..csr.n() as NodeId {
+                let _ = a.neighbors_vec(u);
+            }
+            if a.is_poisoned() {
+                break;
+            }
+        }
+        assert!(a.is_poisoned(), "the outage must surface in session A");
+        let fatal = a.take_fatal_error().unwrap();
+        assert_eq!(fatal.context.as_deref(), Some("session-a"));
+
+        // The shared store never engaged its own poison protocol...
+        let paged = handle.as_paged().unwrap();
+        assert!(!paged.is_poisoned());
+        assert!(paged.take_fatal_error().is_none());
+        // ...and a fresh co-tenant session starts healthy (the injected plan has
+        // exhausted its healthy reads, so it may fault too — but independently).
+        let b = handle.session();
+        assert!(!b.is_poisoned());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -33,6 +33,11 @@
 //!   bucket-spilling builder that accepts arbitrary edge streams and produces a `.tpg`
 //!   without ever materialising the full adjacency, plus streaming variants of the
 //!   R-MAT and random-geometric generators that feed it chunk by chunk.
+//! * [`handle`] / [`registry`] — the engine/session split: [`StoreHandle`] unifies all
+//!   four graph representations behind one `Arc`-shareable type whose per-request
+//!   [`StoreSession`] views carry the poison protocol, and [`StoreRegistry`]
+//!   deduplicates opens by `(path, options)` so concurrent requests share one open
+//!   store (and one memory charge).
 //!
 //! [`CompressedGraph`]: crate::compressed::CompressedGraph
 
@@ -44,8 +49,10 @@
 pub mod backend;
 pub mod container;
 pub mod elias_fano;
+pub mod handle;
 pub mod mmap;
 pub mod paged;
+pub mod registry;
 pub mod stream;
 
 pub use backend::{
@@ -53,14 +60,16 @@ pub use backend::{
 };
 pub use container::{
     read_tpg, read_tpg_compressed, read_tpg_meta, write_tpg_from_binary, write_tpg_from_graph,
-    write_tpg_from_graph_ef, write_tpg_from_metis, EncodedSection, SectionEncoder, TpgMeta,
-    TpgSummary, TpgWriter,
+    write_tpg_from_graph_ef, write_tpg_from_graph_plain, write_tpg_from_metis, EncodedSection,
+    SectionEncoder, TpgMeta, TpgSummary, TpgWriter,
 };
 pub use elias_fano::{ef_section_bytes, EliasFanoIndex, OffsetIndex};
+pub use handle::{StoreHandle, StoreSession};
 pub use mmap::MmapGraph;
 pub use paged::{
     CacheStatsSnapshot, FatalIoError, OnDiskBackend, PagedGraph, PagedGraphOptions, RetryPolicy,
 };
+pub use registry::StoreRegistry;
 pub use stream::{
     stream_rgg2d_to_tpg, stream_rgg3d_to_tpg, stream_rmat_to_tpg, SpillStats, StreamingTpgBuilder,
     MAX_SPILL_BUCKETS,

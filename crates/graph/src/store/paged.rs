@@ -66,7 +66,7 @@ use crate::{EdgeId, EdgeWeight, NodeId, NodeWeight};
 ///
 /// `max_retries` counts *additional* attempts after the first failure; 0 disables
 /// retrying. The delay before retry `i` is `base_delay << i`, capped at `max_delay`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RetryPolicy {
     /// Additional attempts after the first failure (0 = fail immediately).
     pub max_retries: u32,
@@ -107,7 +107,7 @@ impl RetryPolicy {
 /// with. Fixed-seed results are bit-identical across backends — both decode with the
 /// same routine in the same order — so the choice is purely a speed/footprint
 /// trade-off.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OnDiskBackend {
     /// The strict-budget sharded CLOCK page cache ([`PagedGraph`]): resident bytes
     /// never exceed `offset index + node weights + page budget`, suitable for
@@ -122,7 +122,11 @@ pub enum OnDiskBackend {
 }
 
 /// Tuning knobs of the page cache behind a [`PagedGraph`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` make the options usable as part of a registry key: the open-store
+/// registry ([`StoreRegistry`](crate::store::StoreRegistry)) deduplicates opens by
+/// `(path, options)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PagedGraphOptions {
     /// Bytes per cache page. Smaller pages waste less budget on cold neighbourhoods;
     /// larger pages amortise syscalls on sequential sweeps.
@@ -1140,24 +1144,52 @@ impl PagedGraph {
         *self.fault_observer.lock() = Some(Box::new(observe));
     }
 
+    /// Decoded header `(first_edge, degree)` of `u`'s neighbourhood, surfacing read
+    /// failures as `Err` instead of engaging the built-in poison protocol. This is the
+    /// seam per-session views ([`StoreSession`](crate::store::StoreSession)) read
+    /// through, so one session's unrecoverable fault stays confined to that session.
+    pub fn try_header(&self, u: NodeId) -> io::Result<(EdgeId, usize)> {
+        let (start, end) = self.offsets.pair(u as usize);
+        let end = end.min(start + 2 * MAX_VARINT_LEN as u64);
+        with_decode_buf(|buf| {
+            self.cache.read_range(start, end, buf)?;
+            let (first_edge, degree, _) = decode_neighborhood_header(buf, 0);
+            Ok((first_edge, degree))
+        })
+    }
+
+    /// Iterates `u`'s neighbourhood, surfacing read failures as `Err` instead of
+    /// engaging the built-in poison protocol (the per-session counterpart of
+    /// [`Graph::for_each_neighbor`]).
+    pub fn try_for_each_neighbor(
+        &self,
+        u: NodeId,
+        f: &mut dyn FnMut(NodeId, EdgeWeight),
+    ) -> io::Result<()> {
+        let (start, end) = self.offsets.pair(u as usize);
+        if start == end {
+            return Ok(());
+        }
+        with_decode_buf(|buf| {
+            self.cache.read_range(start, end, buf)?;
+            decode_neighborhood(buf, 0, u, self.weighted(), &self.meta.config, f);
+            Ok(())
+        })
+    }
+
     /// Decoded header `(first_edge, degree)` of `u`'s neighbourhood. Only the first few
     /// bytes of the encoding are fetched. Returns `(0, 0)` on a poisoned graph.
     fn header(&self, u: NodeId) -> (EdgeId, usize) {
         if self.is_poisoned() {
             return (0, 0);
         }
-        let (start, end) = self.offsets.pair(u as usize);
-        let end = end.min(start + 2 * MAX_VARINT_LEN as u64);
-        with_decode_buf(|buf| match self.cache.read_range(start, end, buf) {
-            Ok(()) => {
-                let (first_edge, degree, _) = decode_neighborhood_header(buf, 0);
-                (first_edge, degree)
-            }
+        match self.try_header(u) {
+            Ok(header) => header,
             Err(e) => {
                 self.poison(e);
                 (0, 0)
             }
-        })
+        }
     }
 
     /// ID of the first half-edge of `u`'s neighbourhood.
@@ -1264,14 +1296,9 @@ impl Graph for PagedGraph {
         if self.is_poisoned() {
             return;
         }
-        let (start, end) = self.offsets.pair(u as usize);
-        if start == end {
-            return;
+        if let Err(e) = self.try_for_each_neighbor(u, f) {
+            self.poison(e);
         }
-        with_decode_buf(|buf| match self.cache.read_range(start, end, buf) {
-            Ok(()) => decode_neighborhood(buf, 0, u, self.weighted(), &self.meta.config, f),
-            Err(e) => self.poison(e),
-        });
     }
 
     fn is_edge_weighted(&self) -> bool {
@@ -1351,7 +1378,7 @@ mod tests {
     use crate::compressed::CompressedGraph;
     use crate::csr::CsrGraphBuilder;
     use crate::gen;
-    use crate::store::container::write_tpg_from_graph;
+    use crate::store::container::{write_tpg_from_graph, write_tpg_from_graph_plain};
     use proptest::prelude::*;
 
     fn tmp(name: &str) -> PathBuf {
@@ -1492,7 +1519,9 @@ mod tests {
     fn memory_accounting_is_charged_and_released() {
         let csr = gen::grid2d(40, 40);
         let path = tmp("accounting.tpg");
-        write_tpg_from_graph(&csr, &path, &CompressionConfig::default()).unwrap();
+        // Plain offsets so the expected semi-external charge is exactly 8 bytes per
+        // vertex (the EF index is smaller and its size is data-dependent).
+        write_tpg_from_graph_plain(&csr, &path, &CompressionConfig::default()).unwrap();
         let before = memtrack::global().current();
         {
             let paged = PagedGraph::open_with_options(&path, &tiny_options()).unwrap();
@@ -1565,7 +1594,8 @@ mod tests {
         // wrapped subtraction and a bogus read.
         let csr = gen::grid2d(12, 12);
         let path = tmp("corrupt_offsets.tpg");
-        write_tpg_from_graph(&csr, &path, &CompressionConfig::default()).unwrap();
+        // Plain offsets: the patch below rewrites fixed-width u64 entries in place.
+        write_tpg_from_graph_plain(&csr, &path, &CompressionConfig::default()).unwrap();
         let meta = crate::store::read_tpg_meta(&path).unwrap();
         // Patch vertex 2's offset range to sit entirely past the data section. The
         // reader only validates the final offset, so the corruption goes unnoticed
@@ -1820,7 +1850,7 @@ mod tests {
         };
         let compressed = CompressedGraph::from_csr(&csr, &config);
         let path = tmp(&format!("prop_{}_{}", n, page_size));
-        write_tpg_from_graph(&csr, &path, &config).unwrap();
+        write_tpg_from_graph_plain(&csr, &path, &config).unwrap();
         let paged = PagedGraph::open_with_options(
             &path,
             &PagedGraphOptions {
@@ -1855,9 +1885,24 @@ mod tests {
             assert_eq!(paged.degree(u), csr.degree(u));
             let reference = compressed.neighbors_vec(u);
             assert_eq!(paged.neighbors_vec(u), reference);
-            assert_eq!(mmap.neighbors_vec(u), reference, "mmap neighbourhood of {}", u);
-            assert_eq!(paged_ef.neighbors_vec(u), reference, "paged-EF neighbourhood of {}", u);
-            assert_eq!(mmap_ef.neighbors_vec(u), reference, "mmap-EF neighbourhood of {}", u);
+            assert_eq!(
+                mmap.neighbors_vec(u),
+                reference,
+                "mmap neighbourhood of {}",
+                u
+            );
+            assert_eq!(
+                paged_ef.neighbors_vec(u),
+                reference,
+                "paged-EF neighbourhood of {}",
+                u
+            );
+            assert_eq!(
+                mmap_ef.neighbors_vec(u),
+                reference,
+                "mmap-EF neighbourhood of {}",
+                u
+            );
             assert_eq!(mmap_ef.degree(u), compressed.degree(u));
             let mut sorted = paged.neighbors_vec(u);
             sorted.sort_unstable();

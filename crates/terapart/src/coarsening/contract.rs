@@ -25,7 +25,6 @@
 //! scatter) into a CSR-style `(offsets, members)` layout, replacing the seed's
 //! `Vec<Vec<NodeId>>` bucket structure and its one-allocation-per-coarse-vertex cost.
 
-use std::cell::RefCell;
 use std::sync::atomic::Ordering;
 
 use graph::csr::CsrGraph;
@@ -278,23 +277,13 @@ fn contract_buffered(
     ContractionResult { coarse, mapping }
 }
 
-thread_local! {
-    /// Reusable buffers of the parallel per-coarse-vertex neighbourhood sort: packed
-    /// `(target << 32) | position` keys (when both halves fit 32 bits) and a weight
-    /// copy for the permutation gather.
-    static SORT_KEYS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
-    /// Fallback `(target, position)` key pairs for wide ids that do not fit the packed
-    /// u64 scheme. Unused (never allocated) at the 32-bit default width.
-    static SORT_PAIRS: RefCell<Vec<(NodeId, u64)>> = const { RefCell::new(Vec::new()) };
-    static SORT_WTS: RefCell<Vec<EdgeWeight>> = const { RefCell::new(Vec::new()) };
-    /// Reusable phase-1 aggregation state (rating table + dual-counter batch), so the
-    /// per-chunk table/batch allocations of the seed implementation disappear.
-    static AGG_STATE: RefCell<Option<(FixedCapacityHashMap, Batch)>> = const { RefCell::new(None) };
-}
-
 /// A buffered batch of aggregated coarse neighbourhoods awaiting a dual-counter
-/// transaction.
-struct Batch {
+/// transaction. Pooled per worker in the arena's
+/// [`WorkerScratchPool`](crate::scratch::WorkerScratchPool) (formerly a
+/// `thread_local!` static), so the per-chunk table/batch allocations of the seed
+/// implementation disappear without pinning the buffers to rayon's threads for the
+/// process lifetime.
+pub(crate) struct Batch {
     /// (old label, node weight, number of edges) per coarse vertex in the batch.
     vertices: Vec<(ClusterId, NodeWeight, u32)>,
     /// Concatenated (old target label, weight) pairs.
@@ -302,7 +291,7 @@ struct Batch {
 }
 
 impl Batch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             vertices: Vec::new(),
             edges: Vec::with_capacity(BATCH_EDGE_CAPACITY),
@@ -341,6 +330,7 @@ fn contract_one_pass(
     let coarse_node_weights = &scratch.coarse_node_weights[..n];
     let coarse_edges = &scratch.edge_targets[..upper_bound_edges];
     let coarse_edge_weights = &scratch.edge_weights[..upper_bound_edges];
+    let workers = &*scratch.workers;
     let dual = DualCounter::new();
 
     let flush_batch = |batch: &mut Batch| {
@@ -369,7 +359,7 @@ fn contract_one_pass(
 
     // ---- First phase: clusters in parallel, fixed-capacity hash tables, batching. ----
     // Account the per-worker aggregation state (rating table + dual-counter batch,
-    // reused via AGG_STATE) for the duration of the phase.
+    // reused via the arena's worker pool) for the duration of the phase.
     let _agg_scope = MemoryScope::charge_global(
         rayon::current_num_threads().max(1)
             * (FixedCapacityHashMap::new(bump_threshold).memory_bytes()
@@ -379,16 +369,19 @@ fn contract_one_pass(
         .par_chunks(64)
         .enumerate()
         .map(|(chunk_index, chunk)| {
-            // Reuse the worker's table and batch across chunks (and across calls).
-            let mut state = AGG_STATE.with(|cell| cell.borrow_mut().take());
-            let needs_new = match &state {
+            // Reuse a pooled worker's table and batch across chunks (and across calls);
+            // the lease returns them to the arena's pool when the chunk is done.
+            let mut worker = workers.checkout();
+            let needs_new = match &worker.agg {
                 Some((table, _)) => table.limit() != bump_threshold,
                 None => true,
             };
             if needs_new {
-                state = Some((FixedCapacityHashMap::new(bump_threshold), Batch::new()));
+                worker.agg = Some((FixedCapacityHashMap::new(bump_threshold), Batch::new()));
             }
-            let (mut table, mut batch) = state.unwrap();
+            let Some((table, batch)) = worker.agg.as_mut() else {
+                unreachable!()
+            };
             table.clear();
             let mut bumped = Vec::new();
             for (i, &label) in chunk.iter().enumerate() {
@@ -414,16 +407,15 @@ fn contract_one_pass(
                 }
                 let len = table.len() as u32;
                 if batch.edges.len() + len as usize > BATCH_EDGE_CAPACITY && !batch.is_empty() {
-                    flush_batch(&mut batch);
+                    flush_batch(batch);
                 }
                 batch.vertices.push((label, weight, len));
                 batch.edges.extend(table.iter());
                 if batch.edges.len() >= BATCH_EDGE_CAPACITY {
-                    flush_batch(&mut batch);
+                    flush_batch(batch);
                 }
             }
-            flush_batch(&mut batch);
-            AGG_STATE.with(|cell| *cell.borrow_mut() = Some((table, batch)));
+            flush_batch(batch);
             bumped
         })
         .reduce(Vec::new, |mut a, mut b| {
@@ -498,7 +490,7 @@ fn contract_one_pass(
     // Sort each coarse neighbourhood by target ID for deterministic downstream
     // behaviour, in parallel over the (disjoint) CSR segments. Coarse degrees are
     // mostly tiny, so short segments use an in-place dual-array insertion sort; only
-    // long segments go through the (thread-local, reused) pair buffer.
+    // long segments go through a pooled per-worker key buffer.
     {
         let adj_shared = SharedSlice::new(&mut adjacency);
         let wts_shared = SharedSlice::new(&mut edge_weights);
@@ -534,38 +526,34 @@ fn contract_one_pass(
                 const LOW_32: u64 = 0xFFFF_FFFF;
                 let fits_packed = NodeId::BITS == 32
                     || (len as u64 <= LOW_32 && adj.iter().all(|&v| ids::widen(v) <= LOW_32));
-                SORT_WTS.with(|wts_cell| {
-                    let mut wts_copy = wts_cell.borrow_mut();
-                    wts_copy.clear();
-                    wts_copy.extend_from_slice(wts);
-                    if fits_packed {
-                        SORT_KEYS.with(|keys_cell| {
-                            let mut keys = keys_cell.borrow_mut();
-                            keys.clear();
-                            keys.extend(
-                                adj.iter()
-                                    .enumerate()
-                                    .map(|(i, &v)| (ids::widen(v) << 32) | i as u64),
-                            );
-                            keys.sort_unstable();
-                            for (i, &packed) in keys.iter().enumerate() {
-                                adj[i] = (packed >> 32) as NodeId;
-                                wts[i] = wts_copy[(packed & LOW_32) as usize];
-                            }
-                        });
-                    } else {
-                        SORT_PAIRS.with(|pairs_cell| {
-                            let mut pairs = pairs_cell.borrow_mut();
-                            pairs.clear();
-                            pairs.extend(adj.iter().enumerate().map(|(i, &v)| (v, i as u64)));
-                            pairs.sort_unstable();
-                            for (i, &(v, position)) in pairs.iter().enumerate() {
-                                adj[i] = v;
-                                wts[i] = wts_copy[position as usize];
-                            }
-                        });
+                let mut worker = workers.checkout();
+                let worker = &mut *worker;
+                let wts_copy = &mut worker.sort_wts;
+                wts_copy.clear();
+                wts_copy.extend_from_slice(wts);
+                if fits_packed {
+                    let keys = &mut worker.sort_keys;
+                    keys.clear();
+                    keys.extend(
+                        adj.iter()
+                            .enumerate()
+                            .map(|(i, &v)| (ids::widen(v) << 32) | i as u64),
+                    );
+                    keys.sort_unstable();
+                    for (i, &packed) in keys.iter().enumerate() {
+                        adj[i] = (packed >> 32) as NodeId;
+                        wts[i] = wts_copy[(packed & LOW_32) as usize];
                     }
-                });
+                } else {
+                    let pairs = &mut worker.sort_pairs;
+                    pairs.clear();
+                    pairs.extend(adj.iter().enumerate().map(|(i, &v)| (v, i as u64)));
+                    pairs.sort_unstable();
+                    for (i, &(v, position)) in pairs.iter().enumerate() {
+                        adj[i] = v;
+                        wts[i] = wts_copy[position as usize];
+                    }
+                }
             }
         });
     }

@@ -1,0 +1,681 @@
+//! The reentrant partitioning core: [`PartitionEngine`] + [`PartitionRequest`].
+//!
+//! The `partition*` free functions in [`crate::partitioner`] are one-shot: each call
+//! builds its scratch arena from nothing, opens its own store, and tears everything
+//! down on return. A service partitioning many graphs (or the same graph many times —
+//! seed portfolios, k sweeps, quality ladders) pays that setup per request, and two
+//! concurrent requests against the same `.tpg` container open (and memtrack-charge) it
+//! twice.
+//!
+//! The engine is the long-lived object those callers hold instead:
+//!
+//! * an open-store registry ([`graph::StoreRegistry`]) deduplicates container opens by
+//!   `(path, options)` — N concurrent requests against one graph share one page cache
+//!   or mapping and one memory charge;
+//! * a [`ScratchPool`] checks out [`HierarchyScratch`] arenas per request and parks
+//!   them again afterwards, so a warmed engine partitions without re-growing the
+//!   auxiliary buffers, and N concurrent requests peak at `max(simultaneous)` arenas
+//!   rather than N;
+//! * each request reads the store through its own [`graph::StoreSession`], which
+//!   carries the poison protocol: an unrecoverable storage fault fails *that* request
+//!   with a structured [`PartitionError`] and leaves co-tenant sessions, the store and
+//!   the registry healthy.
+//!
+//! Engine-level knobs (thread default, store geometry, compression policy) live in
+//! [`EngineConfig`]; request-level knobs (k, epsilon, seed, refinement settings,
+//! observability, memory budget) live in [`PartitionRequest`]. A request resolves
+//! against the engine's defaults into exactly the [`PartitionerConfig`] the free
+//! functions would have used, so fixed-seed results are bit-identical across both
+//! APIs — and across sequential vs. concurrent execution, since sessions share no
+//! mutable algorithmic state.
+
+use std::ops::{Deref, DerefMut};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use graph::builder::compress_csr_parallel;
+use graph::csr::CsrGraph;
+use graph::io::IoError;
+use graph::store::{
+    CacheStatsSnapshot, PagedGraph, RetryPolicy, StoreHandle, StoreRegistry, StoreSession,
+};
+use graph::traits::Graph;
+use graph::CompressionConfig;
+use memtrack::{MemoryScope, PhaseTracker};
+use parking_lot::Mutex;
+
+use crate::context::{
+    default_threads, CoarseningConfig, InitialPartitioningConfig, ObsConfig, OnDiskConfig,
+    PartitionerConfig, RefinementConfig,
+};
+use crate::error::PartitionError;
+use crate::partitioner::{obs_phase, partition_with_session, ObsSession, PartitionResult};
+use crate::scratch::HierarchyScratch;
+
+/// Engine-level configuration: the knobs that outlive any single request because they
+/// describe the *environment* (store geometry, default parallelism, input
+/// representation policy) rather than one partitioning problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Store geometry for path-based requests: backend, page size, cache budget,
+    /// prefetch and retry policy. Also the registry key — requests resolved with
+    /// different on-disk options deliberately do not share a store.
+    pub ondisk: OnDiskConfig,
+    /// Default worker-thread count for requests that do not override it.
+    pub num_threads: usize,
+    /// Whether CSR inputs are compressed before partitioning (the paper's
+    /// configuration-ladder switch); requests inherit this policy.
+    pub use_compression: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            ondisk: OnDiskConfig::default(),
+            num_threads: default_threads(),
+            use_compression: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Extracts the engine-level knobs from a flat [`PartitionerConfig`] — the
+    /// compatibility path the free `partition*` functions use.
+    pub fn from_partitioner(config: &PartitionerConfig) -> Self {
+        Self {
+            ondisk: config.ondisk.clone(),
+            num_threads: config.num_threads,
+            use_compression: config.use_compression,
+        }
+    }
+}
+
+/// One partitioning problem posed to a [`PartitionEngine`]: the request-level half of
+/// the former [`PartitionerConfig`]. Everything here scopes to a single run; engine
+/// defaults fill in whatever a request does not override.
+#[derive(Debug, Clone)]
+pub struct PartitionRequest {
+    /// Number of blocks.
+    pub k: usize,
+    /// Balance constraint ε.
+    pub epsilon: f64,
+    /// Seed of the run's deterministic RNG streams.
+    pub seed: u64,
+    /// Per-request thread-count override; `None` inherits the engine default.
+    pub num_threads: Option<usize>,
+    /// Per-request retry-policy override for path-based requests. Changing the retry
+    /// policy changes the store key, so two requests differing here do not share an
+    /// open store (they would behave differently under faults).
+    pub retry: Option<RetryPolicy>,
+    /// Coarsening settings of this request.
+    pub coarsening: CoarseningConfig,
+    /// Initial-partitioning settings of this request.
+    pub initial: InitialPartitioningConfig,
+    /// Refinement settings of this request.
+    pub refinement: RefinementConfig,
+    /// Observability: run-report recording, trace export, progress callback.
+    pub obs: ObsConfig,
+    /// Soft cap on the bytes the engine's parked scratch arenas may keep alive after
+    /// this request completes; the engine trims the pool (largest arena first) to fit.
+    /// `None` keeps every arena warm.
+    pub memory_budget: Option<usize>,
+}
+
+impl PartitionRequest {
+    /// A request for `k` blocks with the TeraPart defaults (mirrors
+    /// [`PartitionerConfig::terapart`] minus the engine-level knobs).
+    pub fn new(k: usize) -> Self {
+        Self::from_config(&PartitionerConfig::terapart(k))
+    }
+
+    /// Extracts the request-level half of a flat [`PartitionerConfig`]. The resulting
+    /// request pins the config's thread count (rather than inheriting the engine
+    /// default), so resolving it reproduces the config exactly.
+    pub fn from_config(config: &PartitionerConfig) -> Self {
+        Self {
+            k: config.k,
+            epsilon: config.epsilon,
+            seed: config.seed,
+            num_threads: Some(config.num_threads),
+            retry: None,
+            coarsening: config.coarsening.clone(),
+            initial: config.initial.clone(),
+            refinement: config.refinement.clone(),
+            obs: config.obs.clone(),
+            memory_budget: None,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the balance constraint.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Overrides the engine's default thread count for this request.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.num_threads = Some(threads);
+        self
+    }
+
+    /// Overrides the engine's retry policy for this request's store opens.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Caps the bytes the engine's parked arenas may keep alive after this request.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Resolves the request against the engine defaults into the flat
+    /// [`PartitionerConfig`] the pipeline runs on. Bit-identity across the free
+    /// functions and the engine API rests on this being a verbatim field mapping.
+    pub fn effective_config(&self, engine: &EngineConfig) -> PartitionerConfig {
+        let mut ondisk = engine.ondisk.clone();
+        if let Some(retry) = self.retry {
+            ondisk.retry = retry;
+        }
+        PartitionerConfig {
+            k: self.k,
+            epsilon: self.epsilon,
+            num_threads: self.num_threads.unwrap_or(engine.num_threads),
+            seed: self.seed,
+            use_compression: engine.use_compression,
+            coarsening: self.coarsening.clone(),
+            initial: self.initial.clone(),
+            refinement: self.refinement.clone(),
+            ondisk,
+            obs: self.obs.clone(),
+        }
+    }
+}
+
+/// Pool of [`HierarchyScratch`] arenas, checked out one per request.
+///
+/// Arenas only ever grow, so a parked arena sized by one request serves the next
+/// allocation-free; concurrent requests each get their own arena (never shared — the
+/// pipeline mutates it throughout) and the pool's high-water mark records the maximum
+/// simultaneous checkout count, which is what peak auxiliary memory scales with:
+/// 8 sequential requests on one engine cost one arena, not eight.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    // Boxed so checkout/park move a pointer, not the multi-hundred-field arena.
+    #[allow(clippy::vec_box)]
+    parked: Mutex<Vec<Box<HierarchyScratch>>>,
+    live: AtomicUsize,
+    high_water: AtomicUsize,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out an arena (reusing the most recently parked one if available). The
+    /// lease parks the arena again on drop.
+    pub fn checkout(&self) -> ScratchLease<'_> {
+        let scratch = self
+            .parked
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Box::new(HierarchyScratch::new()));
+        let live = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(live, Ordering::Relaxed);
+        ScratchLease {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    /// Maximum number of simultaneously checked-out arenas ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Number of arenas currently parked (idle).
+    pub fn parked_arenas(&self) -> usize {
+        self.parked.lock().len()
+    }
+
+    /// Total accounted bytes of the parked arenas.
+    pub fn parked_bytes(&self) -> usize {
+        self.parked.lock().iter().map(|s| s.memory_bytes()).sum()
+    }
+
+    /// Drops parked arenas, largest first, until their total accounted bytes fit
+    /// `budget`. Live (checked-out) arenas are unaffected.
+    pub fn trim_to_bytes(&self, budget: usize) {
+        let mut parked = self.parked.lock();
+        while parked.iter().map(|s| s.memory_bytes()).sum::<usize>() > budget {
+            let largest = parked
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, s)| s.memory_bytes())
+                .map(|(i, _)| i);
+            match largest {
+                Some(i) => {
+                    parked.swap_remove(i);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drops every parked arena (releasing their memtrack charges).
+    pub fn clear(&self) {
+        self.parked.lock().clear();
+    }
+
+    fn park(&self, mut scratch: Box<HierarchyScratch>) {
+        // A parked arena must not keep the previous request's recording sink alive.
+        scratch.reset_obs();
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.parked.lock().push(scratch);
+    }
+}
+
+/// A checked-out [`HierarchyScratch`]; derefs to the arena and parks it on drop.
+#[derive(Debug)]
+pub struct ScratchLease<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<Box<HierarchyScratch>>,
+}
+
+impl Deref for ScratchLease<'_> {
+    type Target = HierarchyScratch;
+    fn deref(&self) -> &HierarchyScratch {
+        self.scratch.as_deref().unwrap_or_else(|| unreachable!())
+    }
+}
+
+impl DerefMut for ScratchLease<'_> {
+    fn deref_mut(&mut self) -> &mut HierarchyScratch {
+        self.scratch
+            .as_deref_mut()
+            .unwrap_or_else(|| unreachable!())
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.park(scratch);
+        }
+    }
+}
+
+/// The long-lived partitioning engine (see the module docs).
+///
+/// `&PartitionEngine` is `Sync`: concurrent requests from multiple threads are the
+/// intended use. Each request checks out its own scratch arena and store session, so
+/// requests share *immutable* state only (the open stores, the engine config) and a
+/// fixed-seed request returns the same partition whether it runs alone or next to
+/// seven co-tenants.
+#[derive(Debug, Default)]
+pub struct PartitionEngine {
+    config: EngineConfig,
+    registry: StoreRegistry,
+    pool: ScratchPool,
+}
+
+impl PartitionEngine {
+    /// An engine with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine with the given configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Self {
+            config,
+            registry: StoreRegistry::new(),
+            pool: ScratchPool::new(),
+        }
+    }
+
+    /// The engine-level configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The engine's open-store registry.
+    pub fn registry(&self) -> &StoreRegistry {
+        &self.registry
+    }
+
+    /// The engine's scratch-arena pool.
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.pool
+    }
+
+    /// Opens (or returns the already-open handle of) the `.tpg` container at `path`
+    /// with the engine's on-disk options. Sessions created from the returned handle
+    /// can be partitioned with [`Self::partition_store`].
+    pub fn open_store(
+        &self,
+        path: impl AsRef<Path>,
+    ) -> Result<std::sync::Arc<StoreHandle>, IoError> {
+        self.registry.open(path, &self.config.ondisk)
+    }
+
+    /// Partitions any in-memory [`Graph`] representation as-is (no compression step).
+    pub fn partition(&self, graph: &impl Graph, request: &PartitionRequest) -> PartitionResult {
+        let tracker = PhaseTracker::new();
+        self.partition_with_tracker(graph, request, &tracker)
+    }
+
+    /// [`Self::partition`] with an externally supplied phase tracker.
+    pub fn partition_with_tracker(
+        &self,
+        graph: &impl Graph,
+        request: &PartitionRequest,
+        tracker: &PhaseTracker,
+    ) -> PartitionResult {
+        let config = request.effective_config(&self.config);
+        let session = ObsSession::new(&config);
+        let result = {
+            let mut scratch = self.pool.checkout();
+            partition_with_session(graph, &config, tracker, session, &mut scratch)
+        };
+        self.enforce_budget(request);
+        result
+    }
+
+    /// Partitions a CSR graph, honouring the engine's compression policy: with
+    /// `use_compression` the input is compressed first (reported as the
+    /// `compress_input` phase) and the pipeline runs on the compressed representation.
+    pub fn partition_csr(&self, graph: &CsrGraph, request: &PartitionRequest) -> PartitionResult {
+        let tracker = PhaseTracker::new();
+        self.partition_csr_with_tracker(graph, request, &tracker)
+    }
+
+    /// [`Self::partition_csr`] with an externally supplied phase tracker.
+    pub fn partition_csr_with_tracker(
+        &self,
+        graph: &CsrGraph,
+        request: &PartitionRequest,
+        tracker: &PhaseTracker,
+    ) -> PartitionResult {
+        let config = request.effective_config(&self.config);
+        let session = ObsSession::new(&config);
+        let result = if config.use_compression {
+            let compressed = obs_phase(&session.handle, tracker, "compress_input", 0, || {
+                compress_csr_parallel(graph, &CompressionConfig::default(), config.num_threads)
+            });
+            let _graph_charge = MemoryScope::charge_global(compressed.size_in_bytes());
+            let mut scratch = self.pool.checkout();
+            partition_with_session(&compressed, &config, tracker, session, &mut scratch)
+        } else {
+            let _graph_charge = MemoryScope::charge_global(graph.size_in_bytes());
+            let mut scratch = self.pool.checkout();
+            partition_with_session(graph, &config, tracker, session, &mut scratch)
+        };
+        self.enforce_budget(request);
+        result
+    }
+
+    /// Partitions the `.tpg` container at `path`, opening it through the engine's
+    /// registry (deduplicated against other requests for the same container) and
+    /// reading it through a per-request session. See
+    /// [`crate::partition_ondisk`] for the semantics and error contract.
+    pub fn partition_path(
+        &self,
+        path: impl AsRef<Path>,
+        request: &PartitionRequest,
+    ) -> Result<PartitionResult, PartitionError> {
+        let tracker = PhaseTracker::new();
+        self.partition_path_with_tracker(path, request, &tracker)
+    }
+
+    /// [`Self::partition_path`] with an externally supplied phase tracker. The
+    /// container open (or registry hit) is reported as the `open_store` phase.
+    pub fn partition_path_with_tracker(
+        &self,
+        path: impl AsRef<Path>,
+        request: &PartitionRequest,
+        tracker: &PhaseTracker,
+    ) -> Result<PartitionResult, PartitionError> {
+        let config = request.effective_config(&self.config);
+        let obs = ObsSession::new(&config);
+        let store = obs_phase(&obs.handle, tracker, "open_store", 0, || {
+            self.registry.open(path, &config.ondisk)
+        })
+        .map_err(|e| {
+            PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
+        })?;
+        let result = self.run_store(&store, &config, tracker, obs);
+        self.enforce_budget(request);
+        result
+    }
+
+    /// Partitions an already-open shared store. Each call creates its own
+    /// [`StoreSession`], so concurrent calls against one `Arc<StoreHandle>` are
+    /// isolated: a storage fault fails only the session that hit it.
+    pub fn partition_store(
+        &self,
+        store: &StoreHandle,
+        request: &PartitionRequest,
+    ) -> Result<PartitionResult, PartitionError> {
+        let tracker = PhaseTracker::new();
+        self.partition_store_with_tracker(store, request, &tracker)
+    }
+
+    /// [`Self::partition_store`] with an externally supplied phase tracker.
+    pub fn partition_store_with_tracker(
+        &self,
+        store: &StoreHandle,
+        request: &PartitionRequest,
+        tracker: &PhaseTracker,
+    ) -> Result<PartitionResult, PartitionError> {
+        let config = request.effective_config(&self.config);
+        let obs = ObsSession::new(&config);
+        let result = self.run_store(store, &config, tracker, obs);
+        self.enforce_budget(request);
+        result
+    }
+
+    /// Partitions an already-open [`PagedGraph`] through a per-request session — the
+    /// entry point the fault-injection harness uses with custom backends.
+    pub fn partition_paged_with_tracker(
+        &self,
+        graph: &PagedGraph,
+        request: &PartitionRequest,
+        tracker: &PhaseTracker,
+    ) -> Result<PartitionResult, PartitionError> {
+        let config = request.effective_config(&self.config);
+        let obs = ObsSession::new(&config);
+        let session = StoreSession::paged(graph);
+        let result = self.run_session(
+            &session,
+            &config,
+            tracker,
+            obs,
+            || graph.wait_prefetch_idle(),
+            || Some(graph.cache_stats()),
+        );
+        self.enforce_budget(request);
+        result
+    }
+
+    /// Shared store-session run: session for `store`, pipeline, prefetch drain,
+    /// poison check, cache-stats snapshot.
+    fn run_store(
+        &self,
+        store: &StoreHandle,
+        config: &PartitionerConfig,
+        tracker: &PhaseTracker,
+        obs: ObsSession,
+    ) -> Result<PartitionResult, PartitionError> {
+        let session = store.session();
+        self.run_session(
+            &session,
+            config,
+            tracker,
+            obs,
+            || store.wait_prefetch_idle(),
+            || store.cache_stats(),
+        )
+    }
+
+    /// Runs the pipeline against one [`StoreSession`]. The fault observer labels any
+    /// mid-run storage fault with the pipeline phase it interrupted; a poisoned
+    /// session discards its partial result and surfaces the first fatal error. Only
+    /// the session is poisoned — the underlying store and its other sessions are
+    /// untouched.
+    fn run_session(
+        &self,
+        session: &StoreSession<'_>,
+        config: &PartitionerConfig,
+        tracker: &PhaseTracker,
+        obs: ObsSession,
+        wait_idle: impl FnOnce(),
+        cache_stats: impl FnOnce() -> Option<CacheStatsSnapshot>,
+    ) -> Result<PartitionResult, PartitionError> {
+        let phases = tracker.phase_handle();
+        session.set_fault_observer(move || phases.current().unwrap_or_default());
+        let mut result = {
+            let mut scratch = self.pool.checkout();
+            partition_with_session(session, config, tracker, obs, &mut scratch)
+        };
+        // Let queued readahead hints drain so the snapshot's prefetch counters are
+        // settled (prefetch itself never affects results, only cache residency).
+        wait_idle();
+        if let Some(fatal) = session.take_fatal_error() {
+            return Err(PartitionError::new(
+                fatal.context,
+                "reading the .tpg container mid-pipeline",
+                IoError::Io(fatal.error),
+            ));
+        }
+        result.cache_stats = cache_stats();
+        Ok(result)
+    }
+
+    fn enforce_budget(&self, request: &PartitionRequest) {
+        if let Some(budget) = request.memory_budget {
+            self.pool.trim_to_bytes(budget);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::partition;
+    use graph::gen;
+
+    #[test]
+    fn scratch_pool_reuses_one_arena_across_sequential_checkouts() {
+        let pool = ScratchPool::new();
+        {
+            let mut lease = pool.checkout();
+            lease.ensure_buckets(4096);
+        }
+        assert_eq!(pool.parked_arenas(), 1);
+        assert_eq!(pool.high_water(), 1);
+        let first_bytes = pool.parked_bytes();
+        assert!(first_bytes > 0);
+        {
+            let lease = pool.checkout();
+            // The parked (already sized) arena came back.
+            assert!(lease.memory_bytes() >= first_bytes);
+            assert_eq!(pool.parked_arenas(), 0);
+        }
+        assert_eq!(pool.high_water(), 1, "sequential checkouts never overlap");
+    }
+
+    #[test]
+    fn scratch_pool_trims_largest_arena_first() {
+        let pool = ScratchPool::new();
+        {
+            let mut big = pool.checkout();
+            big.ensure_buckets(32_768);
+            let mut small = pool.checkout();
+            small.ensure_buckets(1024);
+        }
+        assert_eq!(pool.parked_arenas(), 2);
+        assert_eq!(pool.high_water(), 2);
+        let small_bytes = {
+            let all = pool.parked_bytes();
+            // Trim to just above the small arena: the big one must go.
+            let small = pool
+                .parked
+                .lock()
+                .iter()
+                .map(|s| s.memory_bytes())
+                .min()
+                .unwrap();
+            pool.trim_to_bytes(small + 64);
+            assert_eq!(pool.parked_arenas(), 1);
+            assert!(pool.parked_bytes() < all);
+            small
+        };
+        assert!(pool.parked_bytes() <= small_bytes + 64);
+        pool.trim_to_bytes(0);
+        assert_eq!(pool.parked_arenas(), 0);
+    }
+
+    #[test]
+    fn engine_matches_free_function_bit_for_bit() {
+        let g = gen::erdos_renyi(600, 2500, 13);
+        let config = PartitionerConfig::terapart(4).with_threads(1).with_seed(42);
+        let reference = partition(&g, &config);
+        let engine = PartitionEngine::with_config(EngineConfig::from_partitioner(&config));
+        let request = PartitionRequest::from_config(&config);
+        let a = engine.partition(&g, &request);
+        // A second run on the warmed engine reuses the parked arena and still matches.
+        let b = engine.partition(&g, &request);
+        assert_eq!(a.edge_cut, reference.edge_cut);
+        assert_eq!(a.partition.assignment(), reference.partition.assignment());
+        assert_eq!(b.partition.assignment(), reference.partition.assignment());
+        assert_eq!(engine.scratch_pool().high_water(), 1);
+        assert_eq!(engine.scratch_pool().parked_arenas(), 1);
+    }
+
+    #[test]
+    fn request_resolution_round_trips_the_flat_config() {
+        let config = PartitionerConfig::terapart_fm(12)
+            .with_threads(3)
+            .with_seed(99)
+            .with_epsilon(0.07);
+        let engine = EngineConfig::from_partitioner(&config);
+        let request = PartitionRequest::from_config(&config);
+        let resolved = request.effective_config(&engine);
+        assert_eq!(resolved.k, config.k);
+        assert_eq!(resolved.epsilon, config.epsilon);
+        assert_eq!(resolved.num_threads, config.num_threads);
+        assert_eq!(resolved.seed, config.seed);
+        assert_eq!(resolved.use_compression, config.use_compression);
+        assert_eq!(resolved.coarsening, config.coarsening);
+        assert_eq!(resolved.refinement, config.refinement);
+        assert_eq!(resolved.ondisk, config.ondisk);
+    }
+
+    #[test]
+    fn memory_budget_trims_the_parked_pool() {
+        let g = gen::grid2d(24, 24);
+        let config = PartitionerConfig::terapart(4).with_threads(1).with_seed(1);
+        let engine = PartitionEngine::with_config(EngineConfig::from_partitioner(&config));
+        let unbudgeted = PartitionRequest::from_config(&config);
+        engine.partition(&g, &unbudgeted);
+        assert!(engine.scratch_pool().parked_bytes() > 0);
+        let budgeted = unbudgeted.with_memory_budget(0);
+        engine.partition(&g, &budgeted);
+        assert_eq!(
+            engine.scratch_pool().parked_bytes(),
+            0,
+            "a zero budget must release every parked arena"
+        );
+        assert_eq!(engine.scratch_pool().parked_arenas(), 0);
+    }
+}

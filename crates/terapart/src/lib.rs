@@ -53,6 +53,7 @@
 pub mod coarsening;
 pub mod context;
 pub mod dual_counter;
+pub mod engine;
 pub mod error;
 pub mod initial;
 pub(crate) mod lp_rounds;
@@ -66,6 +67,7 @@ pub use context::{
     LabelPropagationMode, ObsConfig, OnDiskConfig, PartitionerConfig, Preset, RefinementAlgorithm,
     RefinementConfig,
 };
+pub use engine::{EngineConfig, PartitionEngine, PartitionRequest, ScratchLease, ScratchPool};
 pub use error::PartitionError;
 pub use initial::{initial_partition, initial_partition_with_scratch};
 pub use partition::{BlockId, Partition};
@@ -79,6 +81,11 @@ pub use scratch::{AtomicBitset, HierarchyScratch};
 /// Retry/backoff policy of the on-disk page cache, re-exported for
 /// [`PartitionerConfig::with_retry`].
 pub use graph::store::RetryPolicy;
+
+/// The shared-store surface of the engine API, re-exported from [`graph`]: the
+/// `Arc`-shareable unified store handle, its per-request session view (poison
+/// protocol), and the deduplicating open-store registry an engine owns.
+pub use graph::store::{StoreHandle, StoreRegistry, StoreSession};
 
 /// Observability surface, re-exported for [`PartitionerConfig::with_run_report`],
 /// [`PartitionerConfig::with_trace_path`] and [`PartitionerConfig::with_progress`]:

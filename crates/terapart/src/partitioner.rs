@@ -14,12 +14,10 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use graph::builder::compress_csr_parallel;
 use graph::csr::{CsrGraph, CsrGraphBuilder};
-use graph::io::IoError;
-use graph::store::{MmapGraph, OnDiskBackend, PagedGraph};
+use graph::store::PagedGraph;
 use graph::traits::Graph;
-use graph::{CompressionConfig, EdgeWeight, NodeId};
+use graph::{EdgeWeight, NodeId};
 use memtrack::{MemoryScope, PhaseReport, PhaseTracker};
 use obs::{Counter, ObsHandle, ProgressEvent, Recorder, RunReport, SpanKind};
 
@@ -86,13 +84,13 @@ fn to_csr(graph: &impl Graph) -> CsrGraph {
 
 /// The observability side of one partitioning run: a recording sink when the
 /// configuration asks for a run report or a trace export, the free noop path otherwise.
-struct ObsSession {
-    handle: ObsHandle,
+pub(crate) struct ObsSession {
+    pub(crate) handle: ObsHandle,
     recorder: Option<Arc<Recorder>>,
 }
 
 impl ObsSession {
-    fn new(config: &PartitionerConfig) -> Self {
+    pub(crate) fn new(config: &PartitionerConfig) -> Self {
         if config.obs.wants_recording() {
             let (handle, recorder) = ObsHandle::recording();
             Self {
@@ -112,7 +110,7 @@ impl ObsSession {
     /// [`RunReport`], and exports the Chrome trace if one was requested. Returns
     /// `None` for non-recording runs. Trace export is best-effort — an unwritable
     /// path must not fail an otherwise successful partitioning run.
-    fn finish(
+    pub(crate) fn finish(
         self,
         graph: &impl Graph,
         config: &PartitionerConfig,
@@ -156,21 +154,36 @@ pub(crate) fn obs_phase<T>(
 ///
 /// The graph is used in whatever representation it is passed in; see [`partition_csr`]
 /// for the variant that applies graph compression according to the configuration.
+///
+/// Thin wrapper over a run-scoped [`PartitionEngine`](crate::engine::PartitionEngine);
+/// long-lived callers serving many requests should hold an engine instead, which reuses
+/// scratch arenas and open stores across requests.
 pub fn partition_with_tracker(
     graph: &impl Graph,
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
 ) -> PartitionResult {
-    partition_with_session(graph, config, tracker, ObsSession::new(config))
+    let engine = crate::engine::PartitionEngine::with_config(
+        crate::engine::EngineConfig::from_partitioner(config),
+    );
+    engine.partition_with_tracker(
+        graph,
+        &crate::engine::PartitionRequest::from_config(config),
+        tracker,
+    )
 }
 
-/// [`partition_with_tracker`] against an already-created observability session, so the
-/// compressing/opening entry points can record their input phases into the same report.
-fn partition_with_session(
+/// [`partition_with_tracker`] against an already-created observability session and an
+/// externally owned scratch arena — the engine's inner pipeline. The compressing and
+/// store-opening entry points record their input phases into the same session's report;
+/// the arena comes from the engine's [`ScratchPool`](crate::engine::ScratchPool), so a
+/// request on a warmed engine partitions without re-growing the auxiliary buffers.
+pub(crate) fn partition_with_session(
     graph: &impl Graph,
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
     session: ObsSession,
+    scratch: &mut HierarchyScratch,
 ) -> PartitionResult {
     let start = Instant::now();
     let obs = session.handle.clone();
@@ -191,14 +204,14 @@ fn partition_with_session(
 
     let (partition, hierarchy_depth, refinement) = pool.install(|| {
         // One scratch arena serves the whole run: the input level sizes it, every
-        // later coarsening level and every refinement level reuses it. It also
-        // carries the run's observability handle into the phase implementations.
-        let mut scratch = HierarchyScratch::new();
+        // later coarsening level and every refinement level reuses it (and on a
+        // warmed engine, the previous run already sized it). It also carries the
+        // run's observability handle into the phase implementations.
         scratch.obs = obs.clone();
 
         // ---- Coarsening ----
         let hierarchy: Hierarchy =
-            coarsening::coarsen_with_scratch(graph, config, tracker, &mut scratch);
+            coarsening::coarsen_with_scratch(graph, config, tracker, scratch);
         let depth = hierarchy.depth();
 
         // ---- Initial partitioning on the coarsest graph ----
@@ -228,7 +241,7 @@ fn partition_with_session(
                 config.epsilon,
                 &config.initial,
                 config.seed,
-                &mut scratch,
+                scratch,
             )
         });
         if progress.is_set() {
@@ -271,7 +284,7 @@ fn partition_with_session(
                         &mut current,
                         &config.refinement,
                         config.seed ^ 0xC0A53,
-                        &mut scratch,
+                        scratch,
                     )
                 });
                 report_refined(depth, coarsest, &current);
@@ -297,14 +310,14 @@ fn partition_with_session(
                         &mut current,
                         &config.refinement,
                         config.seed ^ (i as u64),
-                        &mut scratch,
+                        scratch,
                     ),
                     None => refine_with_scratch(
                         graph,
                         &mut current,
                         &config.refinement,
                         config.seed ^ (i as u64),
-                        &mut scratch,
+                        scratch,
                     ),
                 });
                 match level_graph {
@@ -322,7 +335,7 @@ fn partition_with_session(
                     &mut current,
                     &config.refinement,
                     config.seed ^ 0xC0A53,
-                    &mut scratch,
+                    scratch,
                 )
             });
             report_refined(0, &graph, &current);
@@ -377,17 +390,14 @@ pub fn partition_csr_with_tracker(
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
 ) -> PartitionResult {
-    let session = ObsSession::new(config);
-    if config.use_compression {
-        let compressed = obs_phase(&session.handle, tracker, "compress_input", 0, || {
-            compress_csr_parallel(graph, &CompressionConfig::default(), config.num_threads)
-        });
-        let _graph_charge = MemoryScope::charge_global(compressed.size_in_bytes());
-        partition_with_session(&compressed, config, tracker, session)
-    } else {
-        let _graph_charge = MemoryScope::charge_global(graph.size_in_bytes());
-        partition_with_session(graph, config, tracker, session)
-    }
+    let engine = crate::engine::PartitionEngine::with_config(
+        crate::engine::EngineConfig::from_partitioner(config),
+    );
+    engine.partition_csr_with_tracker(
+        graph,
+        &crate::engine::PartitionRequest::from_config(config),
+        tracker,
+    )
 }
 
 /// Partitions a graph stored in a `.tpg` container on disk, never loading the full
@@ -423,70 +433,40 @@ pub fn partition_ondisk_with_tracker(
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
 ) -> Result<PartitionResult, PartitionError> {
-    let session = ObsSession::new(config);
-    match config.ondisk.backend {
-        OnDiskBackend::Paged => {
-            let graph = obs_phase(&session.handle, tracker, "open_store", 0, || {
-                PagedGraph::open_with_options(path, &config.ondisk)
-            })
-            .map_err(|e| {
-                PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
-            })?;
-            partition_paged_with_session(&graph, config, tracker, session)
-        }
-        // The mmap backend front-loads all verification (and therefore every I/O
-        // error path) into the open; after that the run is infallible, so it goes
-        // straight to the generic pipeline with no fault observer or poison check.
-        OnDiskBackend::Mmap => {
-            let graph = obs_phase(&session.handle, tracker, "open_store", 0, || {
-                MmapGraph::open_with_options(path, &config.ondisk)
-            })
-            .map_err(|e| {
-                PartitionError::new(Some("open_store@0".into()), "opening the .tpg container", e)
-            })?;
-            Ok(partition_with_session(&graph, config, tracker, session))
-        }
-    }
+    let engine = crate::engine::PartitionEngine::with_config(
+        crate::engine::EngineConfig::from_partitioner(config),
+    );
+    engine.partition_path_with_tracker(
+        path,
+        &crate::engine::PartitionRequest::from_config(config),
+        tracker,
+    )
 }
 
 /// Runs the on-disk pipeline against an already-open [`PagedGraph`] — the entry point
 /// the fault-injection harness uses with
-/// [`PagedGraph::open_with_backend`], and what [`partition_ondisk_with_tracker`]
-/// delegates to after opening the container from a path.
+/// [`PagedGraph::open_with_backend`], and what the engine's path entry delegates to
+/// after opening the container.
 ///
-/// Installs a fault observer that labels any mid-run storage fault with the pipeline
-/// phase it interrupted (via the tracker's [phase handle](PhaseTracker::phase_handle));
-/// if the graph poisoned itself during the run, the partial result is discarded and
-/// the first fatal error returns as a [`PartitionError`].
+/// The run reads the graph through a per-request [`graph::StoreSession`] with a fault
+/// observer that labels any mid-run storage fault with the pipeline phase it
+/// interrupted (via the tracker's [phase handle](PhaseTracker::phase_handle)); if the
+/// session poisoned itself during the run, the partial result is discarded and the
+/// first fatal error returns as a [`PartitionError`]. The `PagedGraph` itself stays
+/// healthy — a fault in one request never poisons a co-tenant sharing the store.
 pub fn partition_paged_with_tracker(
     graph: &PagedGraph,
     config: &PartitionerConfig,
     tracker: &PhaseTracker,
 ) -> Result<PartitionResult, PartitionError> {
-    partition_paged_with_session(graph, config, tracker, ObsSession::new(config))
-}
-
-fn partition_paged_with_session(
-    graph: &PagedGraph,
-    config: &PartitionerConfig,
-    tracker: &PhaseTracker,
-    session: ObsSession,
-) -> Result<PartitionResult, PartitionError> {
-    let phases = tracker.phase_handle();
-    graph.set_fault_observer(move || phases.current().unwrap_or_default());
-    let mut result = partition_with_session(graph, config, tracker, session);
-    // Let queued readahead hints drain so the snapshot's prefetch counters are settled
-    // (prefetch itself never affects results, only cache residency).
-    graph.wait_prefetch_idle();
-    if let Some(fatal) = graph.take_fatal_error() {
-        return Err(PartitionError::new(
-            fatal.context,
-            "reading the .tpg container mid-pipeline",
-            IoError::Io(fatal.error),
-        ));
-    }
-    result.cache_stats = Some(graph.cache_stats());
-    Ok(result)
+    let engine = crate::engine::PartitionEngine::with_config(
+        crate::engine::EngineConfig::from_partitioner(config),
+    );
+    engine.partition_paged_with_tracker(
+        graph,
+        &crate::engine::PartitionRequest::from_config(config),
+        tracker,
+    )
 }
 
 #[cfg(test)]

@@ -17,8 +17,8 @@
 //! The round loop (collect/shuffle/run/swap plus stop criteria) is the shared driver of
 //! `crate::lp_rounds`, instantiated here with the balance-waiter semantics.
 
-use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use graph::traits::Graph;
 use graph::{NodeId, NodeWeight};
@@ -28,13 +28,7 @@ use rayon::prelude::*;
 use crate::coarsening::rating_map::FixedCapacityHashMap;
 use crate::lp_rounds::{drive_lp_rounds, LpRoundSemantics};
 use crate::partition::{BlockId, Partition};
-use crate::scratch::{AtomicBitset, HierarchyScratch};
-
-thread_local! {
-    /// Reusable per-worker block-rating map: sized once per (k, max-degree) regime and
-    /// reused across chunks, rounds and levels instead of being allocated per chunk.
-    static RATINGS: RefCell<Option<FixedCapacityHashMap>> = const { RefCell::new(None) };
-}
+use crate::scratch::{AtomicBitset, HierarchyScratch, WorkerScratchPool};
 
 /// Shared atomic view of a partition used by the parallel refinement algorithms.
 pub(crate) struct AtomicPartition {
@@ -149,8 +143,9 @@ pub fn lp_refine_with_scratch(
     let epsilon = partition.epsilon();
     let state = AtomicPartition::from_partition(partition);
     let k = state.k;
-    // Account the per-worker rating maps (one per thread, reused via RATINGS) for the
-    // duration of the refinement, mirroring the clustering stage's accounting.
+    // Account the per-worker rating maps (one per thread, reused via the arena's worker
+    // pool) for the duration of the refinement, mirroring the clustering stage's
+    // accounting.
     let table_limit = k.min(1 + graph.max_degree());
     let _ratings_scope = MemoryScope::charge_global(
         rayon::current_num_threads().max(1) * FixedCapacityHashMap::new(table_limit).memory_bytes(),
@@ -169,6 +164,9 @@ pub fn lp_refine_with_scratch(
         waiters: Vec<(NodeId, BlockId, NodeWeight)>,
         /// Waiters registered by the round just run, consumed by `after_round`.
         newly_blocked: Vec<(NodeId, BlockId, NodeWeight)>,
+        /// Handle to the arena's per-worker buffer pool, cloned out before the driver
+        /// takes `&mut` of the whole arena.
+        workers: Arc<WorkerScratchPool>,
     }
 
     impl<G: Graph> LpRoundSemantics for RefinementRounds<'_, G> {
@@ -181,7 +179,14 @@ pub fn lp_refine_with_scratch(
         }
 
         fn run_round(&mut self, order: &[NodeId], frontier: Option<&AtomicBitset>) -> usize {
-            let (moves, newly_blocked) = run_round(self.graph, self.state, self.k, order, frontier);
+            let (moves, newly_blocked) = run_round(
+                self.graph,
+                self.state,
+                self.k,
+                order,
+                frontier,
+                &self.workers,
+            );
             self.newly_blocked = newly_blocked;
             moves
         }
@@ -233,6 +238,7 @@ pub fn lp_refine_with_scratch(
         seed,
         waiters: Vec::new(),
         newly_blocked: Vec::new(),
+        workers: Arc::clone(&scratch.workers),
     };
     let driven = drive_lp_rounds(n, rounds, use_frontier, scratch, &mut semantics);
     let stats = LpRefineStats {
@@ -258,17 +264,26 @@ fn run_round(
     k: usize,
     order: &[NodeId],
     frontier: Option<&AtomicBitset>,
+    workers: &WorkerScratchPool,
 ) -> (usize, Vec<(NodeId, BlockId, NodeWeight)>) {
     let moves = AtomicUsize::new(0);
     let table_limit = k.min(1 + graph.max_degree());
     let waiters: Vec<(NodeId, BlockId, NodeWeight)> = order
         .par_chunks(256)
         .map(|chunk| {
-            // Reuse the worker's rating map across chunks (and across calls).
-            let mut ratings = RATINGS
-                .with(|cell| cell.borrow_mut().take())
-                .filter(|table| table.limit() == table_limit)
-                .unwrap_or_else(|| FixedCapacityHashMap::new(table_limit));
+            // Reuse a pooled worker's rating map across chunks (and across calls); the
+            // lease returns it to the arena's pool when the chunk is done.
+            let mut worker = workers.checkout();
+            let needs_new = match &worker.ratings {
+                Some(table) => table.limit() != table_limit,
+                None => true,
+            };
+            if needs_new {
+                worker.ratings = Some(FixedCapacityHashMap::new(table_limit));
+            }
+            let Some(ratings) = worker.ratings.as_mut() else {
+                unreachable!()
+            };
             ratings.clear();
             let mut blocked = Vec::new();
             for &u in chunk {
@@ -337,7 +352,6 @@ fn run_round(
                     }
                 }
             }
-            RATINGS.with(|cell| *cell.borrow_mut() = Some(ratings));
             blocked
         })
         .reduce(Vec::new, |mut a, mut b| {

@@ -14,12 +14,18 @@
 //! worklists of label propagation (clustering and refinement): vertices whose
 //! neighbourhood changed in the previous round. Converged regions are never rescanned.
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use graph::ids::INVALID_NODE;
-use graph::{AtomicNodeId, NodeId};
+use graph::{AtomicNodeId, EdgeWeight, NodeId};
 use memtrack::MemoryScope;
+use parking_lot::Mutex;
 
+use crate::coarsening::contract::Batch;
+use crate::coarsening::rating_map::FixedCapacityHashMap;
 use crate::initial::scratch::InitialPartitioningScratch;
 use crate::partition::BlockId;
 use crate::ClusterId;
@@ -99,6 +105,101 @@ impl AtomicBitset {
     }
 }
 
+/// Per-worker reusable buffers of the parallel hot loops.
+///
+/// These were formerly `thread_local!` statics in `coarsening/contract.rs` and
+/// `refinement/lp_refine.rs`. Thread-local storage pins the buffers to rayon's worker
+/// threads for the *process* lifetime — acceptable for a one-shot CLI, but wrong for a
+/// reentrant engine where many concurrent requests share one rayon pool: every request
+/// would grow every worker's statics to its own high-water mark and nothing would ever
+/// be released. Owned by the arena (via [`HierarchyScratch::workers`]), the buffers
+/// are scoped to one request's arena and returned to its pool when a worker finishes a
+/// chunk, so co-tenant requests never see (or pay for) each other's buffers.
+#[derive(Default)]
+pub(crate) struct WorkerScratch {
+    /// Packed `(target << 32) | position` sort keys of the contraction neighbourhood
+    /// sort (narrow-id fast path).
+    pub(crate) sort_keys: Vec<u64>,
+    /// `(target, position)` sort pairs — the wide-id fallback of the same sort.
+    pub(crate) sort_pairs: Vec<(NodeId, u64)>,
+    /// Edge-weight copy backing the permutation gather of the neighbourhood sort.
+    pub(crate) sort_wts: Vec<EdgeWeight>,
+    /// LP refinement's block-rating table, recreated when the `(k, max_degree)` regime
+    /// changes its capacity limit.
+    pub(crate) ratings: Option<FixedCapacityHashMap>,
+    /// Contraction phase 1 aggregation state: rating table plus the vertex/edge batch
+    /// flushed into the shared coarse arrays.
+    pub(crate) agg: Option<(FixedCapacityHashMap, Batch)>,
+}
+
+/// Pool of [`WorkerScratch`] buffers, one checked out per worker per parallel chunk.
+///
+/// Lock-held time is a single `Vec` push/pop; checkout frequency is per *chunk* (64–256
+/// vertices), not per vertex, so contention is negligible next to the work each chunk
+/// does. The pool never holds more buffers than the maximum number of simultaneously
+/// active workers that ever served this arena.
+#[derive(Default)]
+pub(crate) struct WorkerScratchPool {
+    // Boxed so checkout/park under the lock move a pointer, not the buffer struct.
+    #[allow(clippy::vec_box)]
+    parked: Mutex<Vec<Box<WorkerScratch>>>,
+}
+
+impl WorkerScratchPool {
+    /// Checks out a worker buffer (reusing a parked one if available). The lease
+    /// returns the buffer on drop.
+    pub(crate) fn checkout(&self) -> WorkerLease<'_> {
+        let scratch = self.parked.lock().pop().unwrap_or_default();
+        WorkerLease {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    /// Number of buffers currently parked (for tests).
+    #[cfg(test)]
+    pub(crate) fn parked_count(&self) -> usize {
+        self.parked.lock().len()
+    }
+}
+
+impl fmt::Debug for WorkerScratchPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerScratchPool")
+            .field("parked", &self.parked.lock().len())
+            .finish()
+    }
+}
+
+/// A checked-out [`WorkerScratch`]; derefs to the buffer and parks it again on drop.
+pub(crate) struct WorkerLease<'a> {
+    pool: &'a WorkerScratchPool,
+    scratch: Option<Box<WorkerScratch>>,
+}
+
+impl Deref for WorkerLease<'_> {
+    type Target = WorkerScratch;
+    fn deref(&self) -> &WorkerScratch {
+        self.scratch.as_deref().unwrap_or_else(|| unreachable!())
+    }
+}
+
+impl DerefMut for WorkerLease<'_> {
+    fn deref_mut(&mut self) -> &mut WorkerScratch {
+        self.scratch
+            .as_deref_mut()
+            .unwrap_or_else(|| unreachable!())
+    }
+}
+
+impl Drop for WorkerLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.parked.lock().push(scratch);
+        }
+    }
+}
+
 /// The reusable per-run scratch arena (see the module docs).
 ///
 /// Buffers only ever grow; within one multilevel run the first (largest) level sizes
@@ -144,6 +245,13 @@ pub struct HierarchyScratch {
     /// through the scratch arena so the phase implementations can open round-level
     /// spans and bump counters without widening every signature.
     pub(crate) obs: obs::ObsHandle,
+    /// Pool of per-worker buffers backing the parallel hot loops (see
+    /// [`WorkerScratchPool`]). Behind an `Arc` so phase code can clone a handle out
+    /// before mutably borrowing the rest of the arena (e.g. across
+    /// [`crate::lp_rounds::drive_lp_rounds`]). Not part of [`Self::memory_bytes`]:
+    /// like the thread-locals it replaces, the worker buffers are transient hot-loop
+    /// state whose committed size the phases charge (estimated) per level.
+    pub(crate) workers: Arc<WorkerScratchPool>,
     /// Charge of all node-indexed buffers against the global memory accounting. The
     /// over-reserved edge buffers are *not* part of this charge: following the paper's
     /// virtual-memory overcommit model (as in `memtrack::ReservedVec`), contraction
@@ -175,8 +283,17 @@ impl HierarchyScratch {
             initial: InitialPartitioningScratch::default(),
             fm_candidates: Vec::new(),
             obs: obs::ObsHandle::noop(),
+            workers: Arc::new(WorkerScratchPool::default()),
             charge: MemoryScope::charge_global(0),
         }
+    }
+
+    /// Detaches the run-scoped observability handles, restoring noop sinks. Called when
+    /// an engine parks the arena: a pooled arena must not keep the previous request's
+    /// recording sink (and its `Arc<Recorder>`) alive between requests.
+    pub(crate) fn reset_obs(&mut self) {
+        self.obs = obs::ObsHandle::noop();
+        self.initial.obs = obs::ObsHandle::noop();
     }
 
     /// Grows the LP worklist buffers (visit order, frontier bitsets) to `n` vertices.
@@ -385,6 +502,25 @@ mod tests {
             assert!(memtrack::global().current() >= before + scratch.memory_bytes());
         }
         assert!(memtrack::global().current() <= before + 64);
+    }
+
+    #[test]
+    fn worker_pool_checkout_parks_and_reuses_buffers() {
+        let pool = WorkerScratchPool::default();
+        {
+            let mut a = pool.checkout();
+            a.sort_keys.reserve(128);
+            let _b = pool.checkout();
+            assert_eq!(pool.parked_count(), 0, "leases are live, nothing parked");
+        }
+        assert_eq!(pool.parked_count(), 2, "dropped leases park their buffers");
+        let c = pool.checkout();
+        let d = pool.checkout();
+        assert_eq!(pool.parked_count(), 0);
+        assert!(
+            c.sort_keys.capacity() + d.sort_keys.capacity() >= 128,
+            "a reused buffer keeps its grown capacity"
+        );
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Integration tests of the reentrant engine core: concurrent sessions sharing one
+//! open store through the engine's registry, and per-session fault isolation — an
+//! unrecoverable storage fault fails only the request that hit it, never a co-tenant
+//! and never the shared store itself.
+
+use std::sync::Arc;
+
+use graph::store::{stream_rgg2d_to_tpg, FaultPlan, FaultyBackend, FileBackend};
+use graph::PagedGraph;
+use terapart::{
+    EngineConfig, PartitionEngine, PartitionRequest, PartitionerConfig, RetryPolicy, StoreHandle,
+};
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "terapart_sessions_it_{}_{}",
+        std::process::id(),
+        name
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Eight sessions with distinct seeds and block counts, all on one engine and one
+/// shared `Arc<StoreHandle>`, running simultaneously on their own OS threads: each
+/// must be bit-identical to a solo run of the same request on a fresh engine, the
+/// registry must hand every open of the container the same store, and the scratch
+/// arenas must return to the pool afterwards.
+#[test]
+fn concurrent_sessions_on_one_store_are_bit_identical_to_sequential_runs() {
+    let dir = scratch_dir("concurrent");
+    let path = dir.join("instance.tpg");
+    stream_rgg2d_to_tpg(12_000, 14, 21, &path, &dir, 4, &Default::default()).unwrap();
+
+    let base = PartitionerConfig::terapart(8)
+        .with_threads(1)
+        .with_page_budget(128 * 1024);
+    let engine_cfg = EngineConfig::from_partitioner(&base);
+
+    // Registry dedup: repeated opens of the same container return one shared handle.
+    let engine = PartitionEngine::with_config(engine_cfg.clone());
+    let store = engine.open_store(&path).unwrap();
+    let reopened = engine.open_store(&path).unwrap();
+    assert!(
+        Arc::ptr_eq(&store, &reopened),
+        "the registry opened the same container twice"
+    );
+    assert_eq!(engine.registry().open_count(), 1);
+
+    // Distinct seeds and block counts per session.
+    let requests: Vec<PartitionRequest> = (0..8)
+        .map(|i| {
+            let mut request = PartitionRequest::from_config(&base).with_seed(100 + i as u64);
+            request.k = if i % 2 == 0 { 8 } else { 4 };
+            request
+        })
+        .collect();
+
+    // Sequential references, each on its own fresh engine.
+    let references: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            PartitionEngine::with_config(engine_cfg.clone())
+                .partition_path(&path, request)
+                .expect("sequential reference run failed")
+        })
+        .collect();
+
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| {
+                let engine = &engine;
+                let store = &*store;
+                scope.spawn(move || {
+                    engine
+                        .partition_store(store, request)
+                        .expect("concurrent session failed")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("concurrent session panicked"))
+            .collect()
+    });
+
+    for (i, (run, reference)) in results.iter().zip(&references).enumerate() {
+        assert_eq!(run.edge_cut, reference.edge_cut, "session {i} cut diverged");
+        assert_eq!(
+            run.partition.assignment(),
+            reference.partition.assignment(),
+            "session {i} not bit-identical to its sequential reference"
+        );
+    }
+
+    // Arenas scale with simultaneity, never exceed it, and all return to the pool.
+    let pool = engine.scratch_pool();
+    assert!(pool.high_water() >= 1 && pool.high_water() <= 8);
+    assert_eq!(pool.parked_arenas(), pool.high_water());
+
+    drop((store, reopened));
+    engine.registry().prune();
+    assert_eq!(engine.registry().open_count(), 0);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Two stores on one engine: store F sits on a backend with a permanent read outage,
+/// store G is healthy. The session on F must fail with a structured error while the
+/// co-tenant sessions on G (running simultaneously) complete bit-identically to a
+/// solo reference — and the poison dies with F's failed session: the shared store,
+/// fresh sessions on it, and the registry all stay healthy.
+#[test]
+fn a_failed_session_leaves_co_tenants_store_and_registry_healthy() {
+    let dir = scratch_dir("fault_isolation");
+    let faulty_path = dir.join("faulty.tpg");
+    let healthy_path = dir.join("healthy.tpg");
+    stream_rgg2d_to_tpg(8_000, 12, 31, &faulty_path, &dir, 4, &Default::default()).unwrap();
+    stream_rgg2d_to_tpg(8_000, 12, 32, &healthy_path, &dir, 4, &Default::default()).unwrap();
+
+    let mut base = PartitionerConfig::terapart(4)
+        .with_threads(1)
+        .with_retry(RetryPolicy::disabled());
+    base.ondisk.page_size = 4 * 1024;
+    base.ondisk.budget_bytes = 64 * 1024;
+    let engine_cfg = EngineConfig::from_partitioner(&base);
+    let engine = PartitionEngine::with_config(engine_cfg.clone());
+
+    // Store F: every read from operation 64 on fails, modelling a device outage that
+    // strikes mid-pipeline (the open itself stays below the threshold).
+    let backend = FaultyBackend::new(
+        FileBackend::open(&faulty_path).unwrap(),
+        FaultPlan {
+            fail_reads_from: Some(64),
+            ..FaultPlan::default()
+        },
+    );
+    let stats = backend.stats();
+    let paged = PagedGraph::open_with_backend(Box::new(backend), &base.ondisk)
+        .expect("the outage must not strike during the open");
+    let faulty_store =
+        engine
+            .registry()
+            .insert(&faulty_path, &base.ondisk, StoreHandle::Paged(paged));
+    let healthy_store = engine.open_store(&healthy_path).unwrap();
+    assert_eq!(engine.registry().open_count(), 2);
+
+    let request = PartitionRequest::from_config(&base);
+    let reference = PartitionEngine::with_config(engine_cfg.clone())
+        .partition_path(&healthy_path, &request)
+        .expect("healthy reference run failed");
+
+    std::thread::scope(|scope| {
+        let faulty = scope.spawn(|| engine.partition_store(&faulty_store, &request));
+        let co_tenants: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(|| {
+                    engine
+                        .partition_store(&healthy_store, &request)
+                        .expect("healthy co-tenant session failed")
+                })
+            })
+            .collect();
+        let err = faulty
+            .join()
+            .unwrap()
+            .expect_err("the outage store must fail its session");
+        assert!(
+            err.phase.is_some(),
+            "outage error lost its pipeline phase: {err}"
+        );
+        for handle in co_tenants {
+            let run = handle.join().expect("co-tenant session panicked");
+            assert_eq!(
+                run.partition.assignment(),
+                reference.partition.assignment(),
+                "a co-tenant diverged while another session was poisoned"
+            );
+        }
+    });
+    assert!(
+        stats
+            .outage_reads
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "the outage never fired"
+    );
+
+    // The poison died with the failed session: the shared store itself is clean and
+    // a fresh session on it starts healthy.
+    let paged = faulty_store.as_paged().expect("store F is paged");
+    assert!(paged.take_fatal_error().is_none());
+    let fresh = faulty_store.session();
+    assert!(!fresh.is_poisoned());
+    assert!(fresh.take_fatal_error().is_none());
+    drop(fresh);
+
+    // The registry is untouched by the failure.
+    assert_eq!(engine.registry().open_count(), 2);
+    assert!(Arc::ptr_eq(
+        &engine.open_store(&healthy_path).unwrap(),
+        &healthy_store
+    ));
+    drop((faulty_store, healthy_store));
+    engine.registry().prune();
+    assert_eq!(engine.registry().open_count(), 0);
+    std::fs::remove_dir_all(dir).ok();
+}

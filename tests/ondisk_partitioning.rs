@@ -2,7 +2,7 @@
 //! on-disk subsystem exercised through the public APIs of graph, terapart and memtrack.
 
 use graph::store::{
-    read_tpg_compressed, read_tpg_meta, stream_rgg2d_to_tpg, write_tpg_from_graph_ef,
+    read_tpg_compressed, read_tpg_meta, stream_rgg2d_to_tpg, write_tpg_from_graph_plain,
     OnDiskBackend,
 };
 use graph::traits::Graph;
@@ -151,11 +151,13 @@ fn prefetch_on_and_off_runs_are_bit_identical() {
 
 /// The mmap fast path is a pure representation change: fixed-seed runs through the
 /// `Mmap` backend produce partitions bit-identical to the paged backend and the
-/// in-memory compressed path — on a plain-offset container and on an Elias-Fano one.
+/// in-memory compressed path — on an Elias-Fano container (the writer default) and on
+/// a plain-offset one (the `with_plain_offsets` opt-out).
 #[test]
 fn mmap_backend_runs_are_bit_identical_across_backends_and_encodings() {
     let dir = scratch_dir("mmap_identity");
     let path = dir.join("instance.tpg");
+    // Streamed containers use the default writer path, i.e. Elias-Fano offsets.
     stream_rgg2d_to_tpg(15_000, 14, 51, &path, &dir, 4, &Default::default()).unwrap();
 
     let base = PartitionerConfig::terapart(8)
@@ -173,30 +175,40 @@ fn mmap_backend_runs_are_bit_identical_across_backends_and_encodings() {
         reference.partition.assignment(),
         "mmap-backend partition must be bit-identical to the in-memory compressed path"
     );
-    assert_eq!(paged.partition.assignment(), reference.partition.assignment());
+    assert_eq!(
+        paged.partition.assignment(),
+        reference.partition.assignment()
+    );
 
-    // Re-encode the same graph with the Elias-Fano offset index: the data section is
-    // identical, so every backend must still reach the identical partition.
-    let ef_path = dir.join("instance_ef.tpg");
-    write_tpg_from_graph_ef(
+    // Re-encode the same graph with plain u64 offsets: the data section is identical,
+    // so every backend must still reach the identical partition — and the default
+    // (Elias-Fano) container must carry the smaller offset index.
+    let plain_path = dir.join("instance_plain.tpg");
+    write_tpg_from_graph_plain(
         &read_tpg_compressed(&path).unwrap(),
-        &ef_path,
+        &plain_path,
         &Default::default(),
     )
     .unwrap();
-    let ef_meta = read_tpg_meta(&ef_path).unwrap();
-    let plain_meta = read_tpg_meta(&path).unwrap();
+    let ef_meta = read_tpg_meta(&path).unwrap();
+    let plain_meta = read_tpg_meta(&plain_path).unwrap();
     assert!(
         ef_meta.offsets_len_bytes() < plain_meta.offsets_len_bytes(),
         "Elias-Fano offsets ({} B) not smaller than plain ({} B)",
         ef_meta.offsets_len_bytes(),
         plain_meta.offsets_len_bytes()
     );
-    let paged_ef = partition_ondisk(&ef_path, &base).unwrap();
-    let mmap_ef =
-        partition_ondisk(&ef_path, &base.with_store_backend(OnDiskBackend::Mmap)).unwrap();
-    assert_eq!(paged_ef.partition.assignment(), reference.partition.assignment());
-    assert_eq!(mmap_ef.partition.assignment(), reference.partition.assignment());
+    let paged_plain = partition_ondisk(&plain_path, &base).unwrap();
+    let mmap_plain =
+        partition_ondisk(&plain_path, &base.with_store_backend(OnDiskBackend::Mmap)).unwrap();
+    assert_eq!(
+        paged_plain.partition.assignment(),
+        reference.partition.assignment()
+    );
+    assert_eq!(
+        mmap_plain.partition.assignment(),
+        reference.partition.assignment()
+    );
     std::fs::remove_dir_all(dir).ok();
 }
 
